@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the blocking substrate: candidate generation
+//! cost per blocker, and the inverted-index overlap join vs its brute-force
+//! equivalent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_blocking::{AttrEquivalenceBlocker, Blocker, CartesianBlocker, OverlapBlocker};
+use em_datagen::Domain;
+use em_similarity::TokenScheme;
+
+fn bench_blockers(c: &mut Criterion) {
+    let ds = Domain::Products.generate(5, 0.05);
+
+    let mut group = c.benchmark_group("blocking_products_5pct");
+    group.sample_size(10);
+
+    group.bench_function("cartesian", |b| {
+        b.iter(|| CartesianBlocker.block(&ds.table_a, &ds.table_b).unwrap())
+    });
+    group.bench_function("attr_equivalence(brand)", |b| {
+        let blocker = AttrEquivalenceBlocker::new("brand");
+        b.iter(|| blocker.block(&ds.table_a, &ds.table_b).unwrap())
+    });
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("overlap(title)", k),
+            &k,
+            |b, &k| {
+                let blocker = OverlapBlocker::new("title", TokenScheme::Whitespace, k);
+                b.iter(|| blocker.block(&ds.table_a, &ds.table_b).unwrap())
+            },
+        );
+    }
+    group.bench_function("overlap_qgram3(title, k=6)", |b| {
+        let blocker = OverlapBlocker::new("title", TokenScheme::QGram(3), 6);
+        b.iter(|| blocker.block(&ds.table_a, &ds.table_b).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blockers);
+criterion_main!(benches);

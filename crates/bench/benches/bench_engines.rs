@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the §4 matching engines (the Figure 3A/3B
+//! comparison as statistically robust measurements on a small workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::Workload;
+use em_core::Strategy;
+
+fn bench_engines(c: &mut Criterion) {
+    // Small fixed workload so a full criterion run stays fast.
+    let w = Workload::products(0.02, 40);
+    let func = w.function_with_rules(20, 1);
+
+    let strategies = vec![
+        Strategy::Rudimentary,
+        Strategy::EarlyExit,
+        Strategy::PrecomputeProduction,
+        Strategy::PrecomputeFull(w.features.clone()),
+        Strategy::MemoEarlyExit {
+            check_cache_first: false,
+        },
+        Strategy::MemoEarlyExit {
+            check_cache_first: true,
+        },
+    ];
+
+    let mut group = c.benchmark_group("engines_20rules");
+    group.sample_size(10);
+    for s in strategies {
+        let label = match &s {
+            Strategy::MemoEarlyExit {
+                check_cache_first: true,
+            } => "DM+EE+ccf".to_string(),
+            other => other.label().to_string(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
+            b.iter(|| s.run(&func, &w.ctx, &w.cands))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let w = Workload::products(0.02, 40);
+    let func = w.function_with_rules(20, 1);
+
+    let mut group = c.benchmark_group("parallel_memo");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| em_core::run_memo_parallel(&func, &w.ctx, &w.cands, true, threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for §5: the cost of *computing* an ordering
+//! (Algorithms 5 and 6 themselves) and the matching speed-up the orderings
+//! deliver (the Figure 3C comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::Workload;
+use em_core::{optimize, order_rules, run_memo, FunctionStats, OrderingAlgo};
+
+fn bench_ordering_computation(c: &mut Criterion) {
+    let w = Workload::products(0.02, 120);
+    let func = w.function_with_rules(100, 1);
+    let stats = FunctionStats::estimate(&func, &w.ctx, &w.cands, 0.05, 1);
+
+    let mut group = c.benchmark_group("compute_order_100rules");
+    for algo in [
+        OrderingAlgo::ByRank,
+        OrderingAlgo::GreedyCost,
+        OrderingAlgo::GreedyReduction,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            b.iter(|| order_rules(&func, &stats, algo))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordered_matching(c: &mut Criterion) {
+    let w = Workload::products(0.02, 60);
+    let base = w.function_with_rules(40, 1);
+    let stats = FunctionStats::estimate(&base, &w.ctx, &w.cands, 0.05, 1);
+
+    let mut group = c.benchmark_group("match_with_order_40rules");
+    group.sample_size(10);
+    for algo in [
+        OrderingAlgo::Random(7),
+        OrderingAlgo::GreedyCost,
+        OrderingAlgo::GreedyReduction,
+    ] {
+        let mut func = base.clone();
+        optimize(&mut func, &stats, algo);
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &func, |b, func| {
+            b.iter(|| run_memo(func, &w.ctx, &w.cands, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering_computation, bench_ordered_matching);
+criterion_main!(benches);

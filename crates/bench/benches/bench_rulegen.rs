@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the rule-learning substrate: feature-matrix
+//! computation, tree/forest training, and rule extraction — the paper's
+//! §7.1 pipeline as measurable stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_blocking::{Blocker, OverlapBlocker};
+use em_core::EvalContext;
+use em_datagen::Domain;
+use em_rulegen::{extract_rules, DecisionTree, ExtractConfig, FeatureMatrix, ForestConfig, RandomForest, TreeConfig};
+use em_similarity::{Measure, TokenScheme};
+
+fn setup() -> (EvalContext, em_types::CandidateSet, Vec<em_core::FeatureId>, Vec<em_types::LabeledPair>) {
+    let ds = Domain::Products.generate(3, 0.02);
+    let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
+    let features = vec![
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Trigram, "title", "title").unwrap(),
+        ctx.feature(Measure::JaroWinkler, "modelno", "modelno").unwrap(),
+        ctx.feature(Measure::Exact, "brand", "brand").unwrap(),
+    ];
+    let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 1)
+        .block(&ds.table_a, &ds.table_b)
+        .unwrap();
+    let labeled = ds.label_candidates(&cands);
+    (ctx, cands, features, labeled)
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let (ctx, cands, features, labeled) = setup();
+
+    let mut group = c.benchmark_group("rulegen");
+    group.sample_size(10);
+
+    group.bench_function("feature_matrix", |b| {
+        b.iter(|| FeatureMatrix::compute(&ctx, &cands, &labeled, &features))
+    });
+
+    let matrix = FeatureMatrix::compute(&ctx, &cands, &labeled, &features);
+    group.bench_function("single_tree", |b| {
+        b.iter(|| DecisionTree::train(&matrix, &TreeConfig::default()))
+    });
+    for n_trees in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("forest", n_trees),
+            &n_trees,
+            |b, &n| {
+                let cfg = ForestConfig {
+                    n_trees: n,
+                    seed: 1,
+                    ..Default::default()
+                };
+                b.iter(|| RandomForest::train(&matrix, &cfg))
+            },
+        );
+    }
+
+    let forest = RandomForest::train(
+        &matrix,
+        &ForestConfig {
+            n_trees: 32,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    group.bench_function("extract_rules", |b| {
+        b.iter(|| extract_rules(&forest, &features, &ExtractConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stages);
+criterion_main!(benches);

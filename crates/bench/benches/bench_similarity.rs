@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for every similarity measure (Table 3's
+//! µs-per-evaluation numbers, as statistically robust measurements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_similarity::{IdfTable, Measure, TokenScheme};
+
+/// Representative products strings (title-length and modelno-length).
+const TITLES: &[(&str, &str)] = &[
+    (
+        "apple ipod nano MC037 16gb silver",
+        "Apple iPod Nano MC037LL/A 16 GB Silver (7th Generation)",
+    ),
+    (
+        "sony bravia 55 inch led smart tv",
+        "Sony BRAVIA KDL-55W800B 55-Inch LED HDTV",
+    ),
+];
+const MODELNOS: &[(&str, &str)] = &[("MC037", "MC037LL/A"), ("KDL-55W800B", "KDL55W800B")];
+
+fn bench_measures(c: &mut Criterion) {
+    let idf = IdfTable::build(
+        TITLES.iter().flat_map(|(a, b)| [*a, *b]),
+        TokenScheme::Whitespace,
+    );
+
+    let mut group = c.benchmark_group("similarity");
+    for m in Measure::paper_menu() {
+        let pairs: &[(&str, &str)] = if matches!(
+            m,
+            Measure::Exact | Measure::Jaro | Measure::JaroWinkler | Measure::Levenshtein
+        ) {
+            MODELNOS
+        } else {
+            TITLES
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (x, y) in pairs {
+                    acc += m.similarity_with(x, y, Some(&idf));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation study — isolates each design choice the paper (and DESIGN.md)
+//! calls out:
+//!
+//! 1. **check-cache-first** (§5.4.3): DM+EE runtime with and without the
+//!    runtime predicate re-ordering;
+//! 2. **Lemma 3 predicate ordering**: matching time with optimally ordered
+//!    predicates vs the authored (extraction) order, rule order fixed;
+//! 3. **memo layout** (§7.4): dense array vs hash-map memo;
+//! 4. **greedy vs exact rule ordering**: modeled C₄ gap between
+//!    Algorithms 5/6 and the branch-and-bound optimum on 8-rule subsets.
+
+use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::{
+    cost_memo, optimal_rule_order, optimize_predicate_orders, order_rules, run_memo,
+    run_memo_with, FunctionStats, OrderingAlgo, SparseMemo,
+};
+
+fn main() {
+    let w = Workload::products(scale(), 255);
+    let func = w.function_with_rules(240, SEED);
+    println!(
+        "## Ablations ({} candidate pairs, 240 rules)\n",
+        w.cands.len()
+    );
+
+    // 1. check-cache-first.
+    header(&["check-cache-first", "DM+EE (ms)", "computations", "lookups"]);
+    for ccf in [false, true] {
+        let (out, _) = run_memo(&func, &w.ctx, &w.cands, ccf);
+        row(&[
+            ccf.to_string(),
+            ms(out.elapsed),
+            out.stats.feature_computations.to_string(),
+            out.stats.memo_lookups.to_string(),
+        ]);
+    }
+
+    // 2. Lemma 3 predicate ordering (rule order fixed).
+    println!();
+    header(&["predicate order", "DM+EE (ms)", "computations"]);
+    let stats = FunctionStats::estimate(&func, &w.ctx, &w.cands, 0.01, SEED);
+    {
+        let (out, _) = run_memo(&func, &w.ctx, &w.cands, false);
+        row(&[
+            "authored (extraction) order".to_string(),
+            ms(out.elapsed),
+            out.stats.feature_computations.to_string(),
+        ]);
+        let mut tuned = func.clone();
+        optimize_predicate_orders(&mut tuned, &stats);
+        let (out, _) = run_memo(&tuned, &w.ctx, &w.cands, false);
+        row(&[
+            "Lemma 3 order".to_string(),
+            ms(out.elapsed),
+            out.stats.feature_computations.to_string(),
+        ]);
+    }
+
+    // 3. Dense vs sparse memo.
+    println!();
+    header(&["memo layout", "DM+EE (ms)", "heap MB"]);
+    {
+        use em_core::Memo;
+        let mut dense = em_core::DenseMemo::new(w.cands.len(), w.ctx.registry().len());
+        let out = run_memo_with(&func, &w.ctx, &w.cands, &mut dense, true);
+        row(&[
+            "dense (|C|×|F| array)".to_string(),
+            ms(out.elapsed),
+            format!("{:.2}", dense.heap_bytes() as f64 / 1048576.0),
+        ]);
+        let mut sparse = SparseMemo::new();
+        let out = run_memo_with(&func, &w.ctx, &w.cands, &mut sparse, true);
+        row(&[
+            "sparse (hash map)".to_string(),
+            ms(out.elapsed),
+            format!("{:.2}", sparse.heap_bytes() as f64 / 1048576.0),
+        ]);
+    }
+
+    // 4. Greedy vs exact ordering in the cost model (8-rule subsets).
+    println!();
+    header(&["8-rule subset", "random C₄", "Alg.5 C₄", "Alg.6 C₄", "exact C₄", "Alg.5 gap", "Alg.6 gap"]);
+    for rep in 0..5u64 {
+        let mut sub = w.function_with_rules(8, SEED ^ (100 + rep));
+        let stats = FunctionStats::estimate(&sub, &w.ctx, &w.cands, 0.01, SEED ^ rep);
+        optimize_predicate_orders(&mut sub, &stats);
+
+        let cost_with = |algo: OrderingAlgo| {
+            let order = order_rules(&sub, &stats, algo);
+            let mut f = sub.clone();
+            f.set_rule_order(&order).expect("permutation");
+            cost_memo(&f, &stats)
+        };
+        let random = cost_with(OrderingAlgo::Random(rep));
+        let alg5 = cost_with(OrderingAlgo::GreedyCost);
+        let alg6 = cost_with(OrderingAlgo::GreedyReduction);
+        let exact = optimal_rule_order(&sub, &stats)
+            .expect("8 rules is within the exact cap")
+            .cost;
+        row(&[
+            format!("draw {rep}"),
+            format!("{random:.0}"),
+            format!("{alg5:.0}"),
+            format!("{alg6:.0}"),
+            format!("{exact:.0}"),
+            format!("{:.1}%", (alg5 / exact - 1.0) * 100.0),
+            format!("{:.1}%", (alg6 / exact - 1.0) * 100.0),
+        ]);
+    }
+}

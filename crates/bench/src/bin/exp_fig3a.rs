@@ -1,0 +1,59 @@
+//! Figure 3A / 3B — matching time vs. rule-set size for the five
+//! strategies: rudimentary (R), early exit (EE), production
+//! precomputation (PPR+EE), full precomputation (FPR+EE), and dynamic
+//! memoing (DM+EE).
+//!
+//! Expected shape (paper): R explodes fastest and is impractical beyond
+//! a handful of rules; EE is an order of magnitude better but still grows
+//! steeply; the three memo-based strategies are far below both, with
+//! DM+EE at or below FPR+EE (it never computes unused features) and
+//! DM+EE close to PPR+EE.
+//!
+//! R is only run up to 20 rules (the paper itself reports >10 minutes
+//! there); the other strategies cover the full sweep.
+
+use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Strategy;
+
+const RULE_COUNTS: &[usize] = &[5, 10, 20, 40, 80, 160, 240];
+const REPS: u64 = 3;
+const R_CAP: usize = 20;
+
+fn main() {
+    let w = Workload::products(scale(), 255);
+    println!(
+        "## Figure 3A/3B — engines vs #rules ({} candidate pairs, mean of {REPS} rule draws)\n",
+        w.cands.len()
+    );
+    header(&["#rules", "R (ms)", "EE (ms)", "PPR+EE (ms)", "FPR+EE (ms)", "DM+EE (ms)"]);
+
+    for &n in RULE_COUNTS {
+        let mut cells = vec![n.to_string()];
+        let strategies: Vec<(Strategy, bool)> = vec![
+            (Strategy::Rudimentary, n <= R_CAP),
+            (Strategy::EarlyExit, true),
+            (Strategy::PrecomputeProduction, true),
+            (Strategy::PrecomputeFull(w.features.clone()), true),
+            (
+                Strategy::MemoEarlyExit {
+                    check_cache_first: true,
+                },
+                true,
+            ),
+        ];
+        for (strategy, run_it) in strategies {
+            if !run_it {
+                cells.push("—".to_string());
+                continue;
+            }
+            let mut total = std::time::Duration::ZERO;
+            for rep in 0..REPS {
+                let func = w.function_with_rules(n, SEED ^ rep);
+                let out = strategy.run(&func, &w.ctx, &w.cands);
+                total += out.elapsed;
+            }
+            cells.push(ms(total / REPS as u32));
+        }
+        row(&cells);
+    }
+}

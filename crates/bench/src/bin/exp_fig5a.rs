@@ -1,0 +1,45 @@
+//! Figure 5A — cost-model validation: predicted vs actual DM+EE runtime
+//! for random ordering and Algorithm 6 ordering.
+//!
+//! Predicted runtime is `|C| × C₄` (the §4.4.4 expected per-pair cost under
+//! early exit + memoing), with feature costs, selectivities, and δ all
+//! estimated from a 1 % sample. Expected shape: the predicted and actual
+//! curves track each other for both orderings.
+
+use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::{cost_memo, optimize, run_memo, FunctionStats, OrderingAlgo};
+use std::time::Duration;
+
+const RULE_COUNTS: &[usize] = &[5, 10, 20, 40, 80, 160, 240];
+
+fn main() {
+    let w = Workload::products(scale(), 255);
+    println!(
+        "## Figure 5A — cost model predicted vs actual ({} candidate pairs)\n",
+        w.cands.len()
+    );
+    header(&[
+        "#rules",
+        "random actual (ms)",
+        "random predicted (ms)",
+        "Alg.6 actual (ms)",
+        "Alg.6 predicted (ms)",
+    ]);
+
+    for &n in RULE_COUNTS {
+        let mut cells = vec![n.to_string()];
+        for algo in [OrderingAlgo::Random(SEED), OrderingAlgo::GreedyReduction] {
+            let mut func = w.function_with_rules(n, SEED);
+            let stats = FunctionStats::estimate(&func, &w.ctx, &w.cands, 0.01, SEED);
+            optimize(&mut func, &stats, algo);
+
+            let (out, _) = run_memo(&func, &w.ctx, &w.cands, false);
+            let predicted_ns = cost_memo(&func, &stats) * w.cands.len() as f64;
+            let predicted = Duration::from_nanos(predicted_ns as u64);
+
+            cells.push(ms(out.elapsed));
+            cells.push(ms(predicted));
+        }
+        row(&cells);
+    }
+}

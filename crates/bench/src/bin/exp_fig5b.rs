@@ -1,0 +1,28 @@
+//! Figure 5B — matching time vs number of candidate pairs, full rule set.
+//!
+//! Expected shape (paper): linear growth. Since the candidate count is
+//! quadratic in the input table sizes, this linearity is what makes the
+//! optimizations increasingly important at scale.
+
+use em_bench::{header, ms, row, scale, Workload};
+use em_core::run_memo;
+
+const FRACTIONS: &[f64] = &[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+fn main() {
+    let w = Workload::products(scale(), 255);
+    let func = w.function_with_rules(240, em_bench::SEED);
+    println!(
+        "## Figure 5B — runtime vs #pairs (240 rules, {} total candidates)\n",
+        w.cands.len()
+    );
+    header(&["#pairs", "DM+EE (ms)", "ms / 1k pairs"]);
+
+    for &frac in FRACTIONS {
+        let n = ((w.cands.len() as f64) * frac).round() as usize;
+        let subset = w.cands.truncated(n);
+        let (out, _) = run_memo(&func, &w.ctx, &subset, true);
+        let per_k = out.elapsed.as_secs_f64() * 1e3 / (n.max(1) as f64 / 1e3);
+        row(&[n.to_string(), ms(out.elapsed), format!("{per_k:.3}")]);
+    }
+}

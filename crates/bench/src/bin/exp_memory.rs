@@ -1,0 +1,66 @@
+//! §7.4 — memory consumption of the materialization: the feature-value
+//! memo plus the per-rule / per-predicate bitmaps.
+//!
+//! Expected shape (paper): for the products dataset the dense memo is tens
+//! of MB and the bitmaps dominate (542 MB for 255 rules / 1688 predicates
+//! at full size); everything fits comfortably in memory, and a sparse
+//! (hash-map) memo trades lookup speed for a smaller footprint when lazy
+//! evaluation leaves most of the grid empty.
+
+use em_bench::{header, row, scale, Workload, SEED};
+use em_core::{run_full, MatchState, Memo, SparseMemo};
+
+fn main() {
+    let w = Workload::products(scale(), 255);
+    let func = w.function_with_rules(240, SEED);
+    let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
+    run_full(&func, &w.ctx, &w.cands, &mut state, true);
+
+    let report = state.memory_report();
+    let mb = |bytes: usize| format!("{:.2}", bytes as f64 / (1024.0 * 1024.0));
+
+    println!(
+        "## §7.4 — materialization memory ({} pairs × {} features, {} rules / {} predicates)\n",
+        w.cands.len(),
+        w.ctx.registry().len(),
+        func.n_rules(),
+        func.n_predicates()
+    );
+    header(&["Component", "MB"]);
+    row(&["dense memo (|C| × |F| f64 array)".into(), mb(report.memo_bytes)]);
+    row(&[
+        format!(
+            "bitmaps ({} rule + {} predicate)",
+            report.n_rule_bitmaps, report.n_pred_bitmaps
+        ),
+        mb(report.bitmap_bytes),
+    ]);
+    row(&["total".into(), mb(report.total_bytes())]);
+
+    // The sparse alternative: only stores computed values.
+    let mut sparse = SparseMemo::new();
+    let filled = state.memo.stored();
+    for i in 0..w.cands.len() {
+        for (fid, _) in w.ctx.registry().iter() {
+            if let Some(v) = state.memo.get(i, fid) {
+                sparse.put(i, fid, v);
+            }
+        }
+    }
+    println!();
+    header(&["Memo variant", "values stored", "MB"]);
+    row(&[
+        "dense".into(),
+        format!(
+            "{} / {}",
+            filled,
+            w.cands.len() * w.ctx.registry().len()
+        ),
+        mb(state.memo.heap_bytes()),
+    ]);
+    row(&[
+        "sparse (hash map)".into(),
+        sparse.stored().to_string(),
+        mb(sparse.heap_bytes()),
+    ]);
+}

@@ -1,0 +1,47 @@
+//! Table 3 — computation cost per feature (µs) on the products dataset.
+//!
+//! The paper measures each similarity function over Walmart/Amazon
+//! attribute pairs; the relative ordering (exact ≪ edit measures ≪ token
+//! measures ≪ TF-IDF family, with Soft TF-IDF(title, title) the most
+//! expensive) is the reproduced shape.
+
+use em_bench::{header, row, scale, Workload};
+use std::time::Instant;
+
+fn main() {
+    let w = Workload::products(scale(), 16);
+    println!(
+        "## Table 3 — feature computation costs ({} candidate pairs sampled)\n",
+        2_000.min(w.cands.len())
+    );
+
+    let sample: Vec<_> = w
+        .cands
+        .as_slice()
+        .iter()
+        .step_by((w.cands.len() / 2_000).max(1))
+        .take(2_000)
+        .copied()
+        .collect();
+
+    let mut rows: Vec<(String, f64)> = w
+        .features
+        .iter()
+        .map(|&f| {
+            let start = Instant::now();
+            let mut acc = 0.0;
+            for &p in &sample {
+                acc += w.ctx.compute(f, p);
+            }
+            std::hint::black_box(acc);
+            let us = start.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
+            (w.ctx.feature_name(f), us)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
+
+    header(&["Feature", "µs / evaluation"]);
+    for (name, us) in rows {
+        row(&[name, format!("{us:.2}")]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Attribute-equivalence blocking: a hash join on one attribute.
+
+use crate::{Blocker, BlockingError};
+use em_types::{CandidateSet, PairIdx, Table};
+use std::collections::HashMap;
+
+/// Keeps pairs whose chosen attribute values are equal (after optional
+/// case-insensitive normalization). Records with a missing blocking value
+/// produce no candidates — the standard convention (they cannot be safely
+/// assigned to any block).
+#[derive(Debug, Clone)]
+pub struct AttrEquivalenceBlocker {
+    attr: String,
+    case_insensitive: bool,
+}
+
+impl AttrEquivalenceBlocker {
+    /// Case-insensitive equivalence on `attr` (the common case).
+    pub fn new(attr: impl Into<String>) -> Self {
+        AttrEquivalenceBlocker {
+            attr: attr.into(),
+            case_insensitive: true,
+        }
+    }
+
+    /// Exact (case-sensitive) equivalence on `attr`.
+    pub fn case_sensitive(attr: impl Into<String>) -> Self {
+        AttrEquivalenceBlocker {
+            attr: attr.into(),
+            case_insensitive: false,
+        }
+    }
+
+    fn key(&self, value: &str) -> String {
+        let trimmed = value.trim();
+        if self.case_insensitive {
+            trimmed.to_lowercase()
+        } else {
+            trimmed.to_string()
+        }
+    }
+}
+
+impl Blocker for AttrEquivalenceBlocker {
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+        let attr_a = a
+            .schema()
+            .attr_id(&self.attr)
+            .ok_or_else(|| BlockingError::UnknownAttr {
+                attr: self.attr.clone(),
+                table: "A",
+            })?;
+        let attr_b = b
+            .schema()
+            .attr_id(&self.attr)
+            .ok_or_else(|| BlockingError::UnknownAttr {
+                attr: self.attr.clone(),
+                table: "B",
+            })?;
+
+        // Build side: hash table A's values.
+        let mut buckets: HashMap<String, Vec<u32>> = HashMap::new();
+        for (row, rec) in a.iter().enumerate() {
+            if let Some(v) = rec.value(attr_a.index()) {
+                buckets.entry(self.key(v)).or_default().push(row as u32);
+            }
+        }
+
+        // Probe side: table B, preserving (a-row, b-row) lexicographic order
+        // within each probe for determinism.
+        let mut out = CandidateSet::new();
+        for (brow, rec) in b.iter().enumerate() {
+            if let Some(v) = rec.value(attr_b.index()) {
+                if let Some(rows) = buckets.get(&self.key(v)) {
+                    for &arow in rows {
+                        out.push(PairIdx::new(arow, brow as u32));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> String {
+        format!("attr_equivalence({})", self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::{Record, Schema};
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new(["title", "category"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["ipod", "Electronics"]));
+        a.push(Record::new("a2", ["novel", "books"]));
+        a.try_push(Record::with_missing(
+            "a3",
+            vec![Some("mystery".into()), None],
+        ))
+        .unwrap();
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["walkman", "electronics"]));
+        b.push(Record::new("b2", ["cookbook", "Books"]));
+        b.push(Record::new("b3", ["socks", "clothing"]));
+        (a, b)
+    }
+
+    #[test]
+    fn joins_on_equal_category() {
+        let (a, b) = tables();
+        let cands = AttrEquivalenceBlocker::new("category").block(&a, &b).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert!(cands.as_slice().contains(&PairIdx::new(0, 0)));
+        assert!(cands.as_slice().contains(&PairIdx::new(1, 1)));
+    }
+
+    #[test]
+    fn case_sensitivity_matters() {
+        let (a, b) = tables();
+        let cands = AttrEquivalenceBlocker::case_sensitive("category")
+            .block(&a, &b)
+            .unwrap();
+        // "Electronics" ≠ "electronics", "books" ≠ "Books".
+        assert_eq!(cands.len(), 0);
+    }
+
+    #[test]
+    fn missing_values_blocked_out() {
+        let (a, b) = tables();
+        let cands = AttrEquivalenceBlocker::new("category").block(&a, &b).unwrap();
+        assert!(!cands.as_slice().iter().any(|p| p.a == 2), "a3 has no category");
+    }
+
+    #[test]
+    fn unknown_attr_is_error() {
+        let (a, b) = tables();
+        let err = AttrEquivalenceBlocker::new("nope").block(&a, &b).unwrap_err();
+        assert_eq!(
+            err,
+            BlockingError::UnknownAttr {
+                attr: "nope".to_string(),
+                table: "A"
+            }
+        );
+    }
+
+    #[test]
+    fn subset_of_cartesian_and_dedup_free() {
+        let (a, b) = tables();
+        let cands = AttrEquivalenceBlocker::new("category").block(&a, &b).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for p in cands.as_slice() {
+            assert!(seen.insert(*p), "duplicate pair {p:?}");
+            assert!((p.a as usize) < a.len() && (p.b as usize) < b.len());
+        }
+    }
+}

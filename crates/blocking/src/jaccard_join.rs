@@ -1,0 +1,282 @@
+//! Jaccard-threshold blocking via prefix filtering — the classic
+//! similarity-join technique (PPJoin-style, simplified): guarantees that
+//! *every* pair with token-set Jaccard ≥ t survives, while only probing a
+//! small "prefix" of each record's tokens.
+//!
+//! Key fact: if `jaccard(A, B) ≥ t`, the overlap must satisfy
+//! `|A ∩ B| ≥ ⌈t/(1+t) · (|A| + |B|)⌉ ≥ 1`, so `A` and `B` must share at
+//! least one token among the `|A| − ⌈t·|A|⌉ + 1` rarest tokens of `A`
+//! (its *prefix* under a global frequency order). Indexing only prefixes
+//! keeps the inverted index — and the candidate explosion — small, and a
+//! cheap size filter (`t·|A| ≤ |B| ≤ |A|/t`) prunes further before the
+//! exact Jaccard verification.
+
+use crate::{Blocker, BlockingError};
+use em_similarity::TokenScheme;
+use em_types::{CandidateSet, PairIdx, Table};
+use std::collections::HashMap;
+
+/// Emits exactly the pairs whose chosen attribute has token-set Jaccard at
+/// least `threshold` (an *exact* similarity join, unlike the recall-lossy
+/// [`crate::OverlapBlocker`]).
+#[derive(Debug, Clone)]
+pub struct JaccardJoinBlocker {
+    attr: String,
+    scheme: TokenScheme,
+    threshold: f64,
+}
+
+impl JaccardJoinBlocker {
+    /// Joins on `attr` with Jaccard ≥ `threshold` (clamped to (0, 1]).
+    pub fn new(attr: impl Into<String>, scheme: TokenScheme, threshold: f64) -> Self {
+        JaccardJoinBlocker {
+            attr: attr.into(),
+            scheme,
+            threshold: threshold.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+
+    fn distinct_tokens(&self, value: &str) -> Vec<String> {
+        let mut toks = self.scheme.tokenize(value);
+        toks.sort_unstable();
+        toks.dedup();
+        toks
+    }
+}
+
+/// Number of prefix tokens that must be indexed/probed for a record with
+/// `len` tokens at threshold `t`: `len − ⌈t·len⌉ + 1`.
+fn prefix_len(len: usize, t: f64) -> usize {
+    let required_overlap = (t * len as f64).ceil() as usize;
+    len.saturating_sub(required_overlap) + 1
+}
+
+impl Blocker for JaccardJoinBlocker {
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+        let attr_a = a
+            .schema()
+            .attr_id(&self.attr)
+            .ok_or_else(|| BlockingError::UnknownAttr {
+                attr: self.attr.clone(),
+                table: "A",
+            })?;
+        let attr_b = b
+            .schema()
+            .attr_id(&self.attr)
+            .ok_or_else(|| BlockingError::UnknownAttr {
+                attr: self.attr.clone(),
+                table: "B",
+            })?;
+        let t = self.threshold;
+
+        // Tokenize both sides once.
+        let tokens_a: Vec<Option<Vec<String>>> = a
+            .iter()
+            .map(|r| r.value(attr_a.index()).map(|v| self.distinct_tokens(v)))
+            .collect();
+        let tokens_b: Vec<Option<Vec<String>>> = b
+            .iter()
+            .map(|r| r.value(attr_b.index()).map(|v| self.distinct_tokens(v)))
+            .collect();
+
+        // Global token order: ascending document frequency, so prefixes
+        // hold the *rarest* tokens and postings stay short.
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for toks in tokens_a.iter().chain(&tokens_b).flatten() {
+            for tok in toks {
+                *df.entry(tok).or_insert(0) += 1;
+            }
+        }
+        // Canonically sort each record's tokens by the global order
+        // (ascending document frequency, ties by the token itself).
+        let canon = |toks: &Option<Vec<String>>| -> Option<Vec<String>> {
+            toks.as_ref().map(|ts| {
+                let mut ts = ts.clone();
+                ts.sort_by(|x, y| (df[x.as_str()], x).cmp(&(df[y.as_str()], y)));
+                ts
+            })
+        };
+        let tokens_a: Vec<Option<Vec<String>>> = tokens_a.iter().map(canon).collect();
+        let tokens_b: Vec<Option<Vec<String>>> = tokens_b.iter().map(canon).collect();
+
+        // Index table A's prefixes.
+        let mut index: HashMap<&str, Vec<u32>> = HashMap::new();
+        for (row, toks) in tokens_a.iter().enumerate() {
+            let Some(toks) = toks else { continue };
+            if toks.is_empty() {
+                continue;
+            }
+            for tok in toks.iter().take(prefix_len(toks.len(), t)) {
+                index.entry(tok).or_default().push(row as u32);
+            }
+        }
+
+        // Probe with B's prefixes; verify exact Jaccard on survivors.
+        let mut out = CandidateSet::new();
+        let mut seen: Vec<u32> = Vec::new();
+        for (brow, toks_b) in tokens_b.iter().enumerate() {
+            let Some(toks_b) = toks_b else { continue };
+            if toks_b.is_empty() {
+                continue;
+            }
+            seen.clear();
+            for tok in toks_b.iter().take(prefix_len(toks_b.len(), t)) {
+                if let Some(rows) = index.get(tok.as_str()) {
+                    seen.extend_from_slice(rows);
+                }
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            for &arow in &seen {
+                let toks_a = tokens_a[arow as usize]
+                    .as_ref()
+                    .expect("indexed rows have tokens");
+                // Size filter: |B| must lie in [t·|A|, |A|/t].
+                let (la, lb) = (toks_a.len() as f64, toks_b.len() as f64);
+                if lb < t * la || lb > la / t {
+                    continue;
+                }
+                // Exact verification (both sides are distinct-token sets).
+                let set_a: std::collections::HashSet<&str> =
+                    toks_a.iter().map(String::as_str).collect();
+                let inter = toks_b.iter().filter(|tk| set_a.contains(tk.as_str())).count();
+                let union = toks_a.len() + toks_b.len() - inter;
+                if inter as f64 >= t * union as f64 {
+                    out.push(PairIdx::new(arow, brow as u32));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> String {
+        format!("jaccard_join({}, t={})", self.attr, self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_similarity::jaccard;
+    use em_types::{Record, Schema};
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new(["title"]);
+        let titles_a = [
+            "apple ipod nano silver",
+            "sony walkman mp3 player",
+            "bose quietcomfort headphones",
+            "red red wine bottle",
+        ];
+        let titles_b = [
+            "apple ipod nano",
+            "sony walkman cassette player",
+            "dell monitor stand",
+            "wine bottle red",
+            "completely unrelated thing",
+        ];
+        let mut a = Table::new("A", schema.clone());
+        for (i, t) in titles_a.iter().enumerate() {
+            a.push(Record::new(format!("a{i}"), [*t]));
+        }
+        let mut b = Table::new("B", schema);
+        for (i, t) in titles_b.iter().enumerate() {
+            b.push(Record::new(format!("b{i}"), [*t]));
+        }
+        (a, b)
+    }
+
+    /// Brute-force reference join.
+    fn brute(a: &Table, b: &Table, t: f64) -> Vec<PairIdx> {
+        let scheme = TokenScheme::Whitespace;
+        let mut out = Vec::new();
+        for (ia, ra) in a.iter().enumerate() {
+            for (ib, rb) in b.iter().enumerate() {
+                let (Some(va), Some(vb)) = (ra.value(0), rb.value(0)) else {
+                    continue;
+                };
+                if jaccard(&scheme.tokenize(va), &scheme.tokenize(vb)) >= t {
+                    out.push(PairIdx::new(ia as u32, ib as u32));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn exact_join_equals_bruteforce_across_thresholds() {
+        let (a, b) = tables();
+        for t in [0.1, 0.3, 0.5, 0.75, 0.9, 1.0] {
+            let blocker = JaccardJoinBlocker::new("title", TokenScheme::Whitespace, t);
+            let mut fast = blocker.block(&a, &b).unwrap().as_slice().to_vec();
+            fast.sort();
+            assert_eq!(fast, brute(&a, &b, t), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn exact_join_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let vocab = ["red", "blue", "wine", "apple", "sony", "nano", "mp3", "hd"];
+        let schema = Schema::new(["title"]);
+        let mk = |name: &str, n: usize, rng: &mut rand::rngs::StdRng| {
+            let mut t = Table::new(name, schema.clone());
+            for i in 0..n {
+                let k = rng.gen_range(1..5);
+                let title: Vec<&str> =
+                    (0..k).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect();
+                t.push(Record::new(format!("{name}{i}"), [title.join(" ")]));
+            }
+            t
+        };
+        let a = mk("a", 30, &mut rng);
+        let b = mk("b", 40, &mut rng);
+        for t in [0.34, 0.5, 0.67] {
+            let blocker = JaccardJoinBlocker::new("title", TokenScheme::Whitespace, t);
+            let mut fast = blocker.block(&a, &b).unwrap().as_slice().to_vec();
+            fast.sort();
+            fast.dedup();
+            assert_eq!(fast, brute(&a, &b, t), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn prefix_len_formula() {
+        // t = 0.8, len = 10 → overlap ≥ 8 → prefix = 3.
+        assert_eq!(prefix_len(10, 0.8), 3);
+        // t = 1.0 → prefix 1 (only identical sets qualify).
+        assert_eq!(prefix_len(10, 1.0), 1);
+        // Tiny thresholds degrade to indexing everything.
+        assert_eq!(prefix_len(4, 0.1), 4);
+    }
+
+    #[test]
+    fn threshold_one_is_set_equality() {
+        let (a, b) = tables();
+        let blocker = JaccardJoinBlocker::new("title", TokenScheme::Whitespace, 1.0);
+        let cands = blocker.block(&a, &b).unwrap();
+        // "red red wine bottle" vs "wine bottle red": same token *set*.
+        assert_eq!(cands.as_slice(), &[PairIdx::new(3, 3)]);
+    }
+
+    #[test]
+    fn missing_values_skipped() {
+        let schema = Schema::new(["title"]);
+        let mut a = Table::new("A", schema.clone());
+        a.try_push(Record::with_missing("a0", vec![None])).unwrap();
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b0", ["anything"]));
+        let blocker = JaccardJoinBlocker::new("title", TokenScheme::Whitespace, 0.5);
+        assert!(blocker.block(&a, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_attr_is_error() {
+        let (a, b) = tables();
+        assert!(JaccardJoinBlocker::new("nope", TokenScheme::Whitespace, 0.5)
+            .block(&a, &b)
+            .is_err());
+    }
+}

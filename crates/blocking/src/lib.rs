@@ -1,0 +1,112 @@
+//! # em-blocking
+//!
+//! Blocking: the step that precedes matching (§3 of the paper). Comparing
+//! every record of table `A` with every record of `B` is quadratic;
+//! blocking cheaply discards pairs that obviously cannot match and emits
+//! the surviving *candidate pairs*.
+//!
+//! Three blockers are provided, all implemented from scratch:
+//!
+//! * [`CartesianBlocker`] — no blocking (the `m × n` cross product); the
+//!   baseline and the right choice for small tables.
+//! * [`AttrEquivalenceBlocker`] — hash join on one attribute (e.g. keep
+//!   only pairs with the same `category`), the paper's motivating example.
+//! * [`OverlapBlocker`] — inverted-index join keeping pairs whose chosen
+//!   attribute shares at least `k` tokens (the standard Magellan-style
+//!   overlap blocker).
+//! * [`JaccardJoinBlocker`] — an *exact* Jaccard-threshold similarity
+//!   join using prefix filtering (PPJoin-style).
+//!
+//! ```
+//! use em_blocking::{Blocker, OverlapBlocker};
+//! use em_similarity::TokenScheme;
+//! use em_types::{Record, Schema, Table};
+//!
+//! let schema = Schema::new(["title"]);
+//! let mut a = Table::new("A", schema.clone());
+//! a.push(Record::new("a1", ["apple ipod nano"]));
+//! let mut b = Table::new("B", schema);
+//! b.push(Record::new("b1", ["apple ipod touch"]));
+//! b.push(Record::new("b2", ["garden hose"]));
+//!
+//! let blocker = OverlapBlocker::new("title", TokenScheme::Whitespace, 2);
+//! let cands = blocker.block(&a, &b).unwrap();
+//! assert_eq!(cands.len(), 1); // only a1-b1 shares ≥ 2 tokens
+//! ```
+
+mod attr_equiv;
+mod jaccard_join;
+mod overlap;
+
+pub use attr_equiv::AttrEquivalenceBlocker;
+pub use jaccard_join::JaccardJoinBlocker;
+pub use overlap::OverlapBlocker;
+
+use em_types::{CandidateSet, Table};
+use std::fmt;
+
+/// Errors raised by blockers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockingError {
+    /// The blocking attribute does not exist in one of the schemas.
+    UnknownAttr {
+        /// The missing attribute name.
+        attr: String,
+        /// The table it was missing from (`"A"` or `"B"`).
+        table: &'static str,
+    },
+}
+
+impl fmt::Display for BlockingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockingError::UnknownAttr { attr, table } => {
+                write!(f, "attribute {attr:?} not found in table {table}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockingError {}
+
+/// A strategy producing candidate pairs from two tables.
+pub trait Blocker {
+    /// Computes the candidate pairs, in deterministic order.
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// The no-op blocker: every pair survives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CartesianBlocker;
+
+impl Blocker for CartesianBlocker {
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+        Ok(CandidateSet::cartesian(a, b))
+    }
+
+    fn name(&self) -> String {
+        "cartesian".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::{Record, Schema};
+
+    #[test]
+    fn cartesian_blocker_keeps_everything() {
+        let schema = Schema::new(["x"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["1"]));
+        a.push(Record::new("a2", ["2"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["1"]));
+        let cands = CartesianBlocker.block(&a, &b).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(CartesianBlocker.name(), "cartesian");
+    }
+}

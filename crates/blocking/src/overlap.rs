@@ -1,0 +1,208 @@
+//! Overlap blocking: an inverted-index join on shared tokens.
+
+use crate::{Blocker, BlockingError};
+use em_similarity::TokenScheme;
+use em_types::{CandidateSet, PairIdx, Table};
+use std::collections::HashMap;
+
+/// Keeps pairs whose chosen attribute shares at least `min_overlap` distinct
+/// tokens under the given [`TokenScheme`].
+///
+/// Implementation: build an inverted index `token → rows of A`, then for
+/// each record of `B` count, per A-row, how many of its distinct tokens hit
+/// that row. Complexity is proportional to the number of (token, row)
+/// postings touched, not `|A| × |B|`.
+#[derive(Debug, Clone)]
+pub struct OverlapBlocker {
+    attr: String,
+    scheme: TokenScheme,
+    min_overlap: usize,
+}
+
+impl OverlapBlocker {
+    /// Requires `min_overlap` shared tokens on `attr`.
+    pub fn new(attr: impl Into<String>, scheme: TokenScheme, min_overlap: usize) -> Self {
+        OverlapBlocker {
+            attr: attr.into(),
+            scheme,
+            min_overlap: min_overlap.max(1),
+        }
+    }
+
+    fn distinct_tokens(&self, value: &str) -> Vec<String> {
+        let mut toks = self.scheme.tokenize(value);
+        toks.sort_unstable();
+        toks.dedup();
+        toks
+    }
+}
+
+impl Blocker for OverlapBlocker {
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+        let attr_a = a
+            .schema()
+            .attr_id(&self.attr)
+            .ok_or_else(|| BlockingError::UnknownAttr {
+                attr: self.attr.clone(),
+                table: "A",
+            })?;
+        let attr_b = b
+            .schema()
+            .attr_id(&self.attr)
+            .ok_or_else(|| BlockingError::UnknownAttr {
+                attr: self.attr.clone(),
+                table: "B",
+            })?;
+
+        // Inverted index over A.
+        let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+        for (row, rec) in a.iter().enumerate() {
+            if let Some(v) = rec.value(attr_a.index()) {
+                for t in self.distinct_tokens(v) {
+                    index.entry(t).or_default().push(row as u32);
+                }
+            }
+        }
+
+        // Probe with B, counting hits per A-row.
+        let mut out = CandidateSet::new();
+        let mut hits: HashMap<u32, usize> = HashMap::new();
+        for (brow, rec) in b.iter().enumerate() {
+            let Some(v) = rec.value(attr_b.index()) else {
+                continue;
+            };
+            hits.clear();
+            for t in self.distinct_tokens(v) {
+                if let Some(rows) = index.get(&t) {
+                    for &arow in rows {
+                        *hits.entry(arow).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut survivors: Vec<u32> = hits
+                .iter()
+                .filter(|&(_, &c)| c >= self.min_overlap)
+                .map(|(&arow, _)| arow)
+                .collect();
+            survivors.sort_unstable(); // deterministic output order
+            for arow in survivors {
+                out.push(PairIdx::new(arow, brow as u32));
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> String {
+        format!("overlap({}, k={})", self.attr, self.min_overlap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::{Record, Schema};
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new(["title"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["apple ipod nano silver"]));
+        a.push(Record::new("a2", ["sony walkman mp3"]));
+        a.try_push(Record::with_missing("a3", vec![None])).unwrap();
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["apple ipod touch"]));
+        b.push(Record::new("b2", ["sony bravia tv"]));
+        b.push(Record::new("b3", ["kitchen sink"]));
+        (a, b)
+    }
+
+    #[test]
+    fn overlap_threshold_filters() {
+        let (a, b) = tables();
+        let k2 = OverlapBlocker::new("title", TokenScheme::Whitespace, 2)
+            .block(&a, &b)
+            .unwrap();
+        // Only a1-b1 shares 2 tokens (apple, ipod).
+        assert_eq!(k2.as_slice(), &[PairIdx::new(0, 0)]);
+
+        let k1 = OverlapBlocker::new("title", TokenScheme::Whitespace, 1)
+            .block(&a, &b)
+            .unwrap();
+        // a1-b1 (apple, ipod) and a2-b2 (sony).
+        assert_eq!(k1.len(), 2);
+        assert!(k1.as_slice().contains(&PairIdx::new(1, 1)));
+    }
+
+    #[test]
+    fn equals_bruteforce_overlap() {
+        // Cross-check the inverted index against a brute-force count.
+        let (a, b) = tables();
+        let scheme = TokenScheme::Whitespace;
+        for k in 1..=3usize {
+            let fast = OverlapBlocker::new("title", scheme, k).block(&a, &b).unwrap();
+            let mut brute = Vec::new();
+            for (ia, ra) in a.iter().enumerate() {
+                for (ib, rb) in b.iter().enumerate() {
+                    let (Some(va), Some(vb)) = (ra.value(0), rb.value(0)) else {
+                        continue;
+                    };
+                    let ta: std::collections::HashSet<_> =
+                        scheme.tokenize(va).into_iter().collect();
+                    let tb: std::collections::HashSet<_> =
+                        scheme.tokenize(vb).into_iter().collect();
+                    if ta.intersection(&tb).count() >= k {
+                        brute.push(PairIdx::new(ia as u32, ib as u32));
+                    }
+                }
+            }
+            let mut fast_sorted = fast.as_slice().to_vec();
+            fast_sorted.sort();
+            brute.sort();
+            assert_eq!(fast_sorted, brute, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn qgram_scheme_catches_typos() {
+        let schema = Schema::new(["title"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["television"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["televsion"])); // missing 'i'
+        b.push(Record::new("b2", ["radio"]));
+        let cands = OverlapBlocker::new("title", TokenScheme::QGram(3), 4)
+            .block(&a, &b)
+            .unwrap();
+        assert_eq!(cands.as_slice(), &[PairIdx::new(0, 0)]);
+    }
+
+    #[test]
+    fn duplicate_tokens_counted_once() {
+        let schema = Schema::new(["title"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["red red red wine"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["red red carpet"]));
+        // Shared *distinct* tokens = {red} → overlap 1, not 2+.
+        let k2 = OverlapBlocker::new("title", TokenScheme::Whitespace, 2)
+            .block(&a, &b)
+            .unwrap();
+        assert!(k2.is_empty());
+    }
+
+    #[test]
+    fn unknown_attr_is_error() {
+        let (a, b) = tables();
+        assert!(OverlapBlocker::new("nope", TokenScheme::Whitespace, 1)
+            .block(&a, &b)
+            .is_err());
+    }
+
+    #[test]
+    fn min_overlap_zero_clamped_to_one() {
+        let (a, b) = tables();
+        let blocker = OverlapBlocker::new("title", TokenScheme::Whitespace, 0);
+        let cands = blocker.block(&a, &b).unwrap();
+        // Behaves as k = 1, not "keep everything".
+        assert!(cands.len() < a.len() * b.len());
+    }
+}

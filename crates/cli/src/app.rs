@@ -1,0 +1,518 @@
+//! The REPL application: owns a [`DebugSession`] and executes parsed
+//! commands, returning their output as strings (stdout-free, so the whole
+//! app is unit-testable).
+
+use crate::command::{Command, HELP};
+use em_core::{DebugSession, Memo, SessionConfig};
+use em_types::LabeledPair;
+use std::fmt::Write as _;
+
+/// The interactive application state.
+pub struct App {
+    session: DebugSession,
+    labels: Vec<LabeledPair>,
+    quit: bool,
+}
+
+impl App {
+    /// Wraps a prepared session; `labels` may be empty (then `quality`
+    /// reports it has nothing to compare against).
+    pub fn new(session: DebugSession, labels: Vec<LabeledPair>) -> Self {
+        App {
+            session,
+            labels,
+            quit: false,
+        }
+    }
+
+    /// Builds a demo app over a synthetic dataset.
+    pub fn demo(domain: em_datagen::Domain, scale: f64, seed: u64) -> Self {
+        use em_blocking::Blocker;
+        let ds = domain.generate(seed, scale);
+        let cands = em_blocking::OverlapBlocker::new(
+            domain.title_attr(),
+            em_similarity::TokenScheme::Whitespace,
+            2,
+        )
+        .block(&ds.table_a, &ds.table_b)
+        .expect("title attribute exists");
+        let labels = ds.label_candidates(&cands);
+        let session = DebugSession::new(
+            ds.table_a.clone(),
+            ds.table_b.clone(),
+            cands,
+            SessionConfig::default(),
+        );
+        App::new(session, labels)
+    }
+
+    /// Whether a `quit` command has been executed.
+    pub fn should_quit(&self) -> bool {
+        self.quit
+    }
+
+    /// Read access to the session (for the banner and tests).
+    pub fn session(&self) -> &DebugSession {
+        &self.session
+    }
+
+    /// Executes one command, returning its printable output.
+    pub fn execute(&mut self, cmd: Command) -> Result<String, String> {
+        match cmd {
+            Command::Help => Ok(HELP.to_string()),
+            Command::Quit => {
+                self.quit = true;
+                Ok("bye".to_string())
+            }
+            Command::AddRule(text) => {
+                let (rid, report) = self
+                    .session
+                    .add_rule_text(&text)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "added rule {rid}: +{} / -{} verdicts, {} pairs examined, {:?}",
+                    report.newly_matched.len(),
+                    report.newly_unmatched.len(),
+                    report.pairs_examined,
+                    report.elapsed
+                ))
+            }
+            Command::ListRules => {
+                if self.session.function().is_empty() {
+                    return Ok("(no rules)".to_string());
+                }
+                let mut out = String::new();
+                for rule in self.session.function().rules() {
+                    let preds: Vec<String> = rule
+                        .preds
+                        .iter()
+                        .map(|bp| {
+                            format!(
+                                "[{}] {} {} {}",
+                                bp.id,
+                                self.session.context().feature_name(bp.pred.feature),
+                                bp.pred.op,
+                                bp.pred.threshold
+                            )
+                        })
+                        .collect();
+                    let _ = writeln!(out, "{}: {}", rule.id, preds.join(" AND "));
+                }
+                let _ = write!(
+                    out,
+                    "{} rules / {} predicates, {} matches",
+                    self.session.function().n_rules(),
+                    self.session.function().n_predicates(),
+                    self.session.n_matches()
+                );
+                Ok(out)
+            }
+            Command::RemoveRule(rid) => {
+                let report = self.session.remove_rule(rid).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "removed {rid}: +{} / -{} verdicts in {:?}",
+                    report.newly_matched.len(),
+                    report.newly_unmatched.len(),
+                    report.elapsed
+                ))
+            }
+            Command::AddPredicate(rid, text) => {
+                let pred = self.parse_predicate(&text)?;
+                let (pid, report) = self
+                    .session
+                    .add_predicate(rid, pred)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "added {pid} to {rid}: -{} verdicts, {} pairs examined, {:?}",
+                    report.newly_unmatched.len(),
+                    report.pairs_examined,
+                    report.elapsed
+                ))
+            }
+            Command::RemovePredicate(pid) => {
+                let report = self
+                    .session
+                    .remove_predicate(pid)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "removed {pid}: +{} verdicts in {:?}",
+                    report.newly_matched.len(),
+                    report.elapsed
+                ))
+            }
+            Command::SetThreshold(pid, threshold) => {
+                let report = self
+                    .session
+                    .set_threshold(pid, threshold)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "set {pid} to {threshold}: +{} / -{} verdicts, {} pairs examined, {:?}",
+                    report.newly_matched.len(),
+                    report.newly_unmatched.len(),
+                    report.pairs_examined,
+                    report.elapsed
+                ))
+            }
+            Command::Undo => match self.session.undo().map_err(|e| e.to_string())? {
+                None => Ok("nothing to undo".to_string()),
+                Some(report) => Ok(format!(
+                    "undone: +{} / -{} verdicts in {:?} ({} edits remain undoable)",
+                    report.newly_matched.len(),
+                    report.newly_unmatched.len(),
+                    report.elapsed,
+                    self.session.undo_depth()
+                )),
+            },
+            Command::Simplify => {
+                let report = self.session.simplify();
+                if report.is_noop() {
+                    Ok("already minimal".to_string())
+                } else {
+                    Ok(format!(
+                        "simplified: removed {} dominated predicates, {} unsatisfiable rules, {} subsumed rules ({} rules remain)",
+                        report.dominated_predicates.len(),
+                        report.unsatisfiable_rules.len(),
+                        report.subsumed_rules.len(),
+                        self.session.function().n_rules()
+                    ))
+                }
+            }
+            Command::Run => {
+                let start = std::time::Instant::now();
+                let stats = self.session.run_full();
+                Ok(format!(
+                    "full run in {:?}: {} matches, {} computations, {} lookups",
+                    start.elapsed(),
+                    self.session.n_matches(),
+                    stats.feature_computations,
+                    stats.memo_lookups
+                ))
+            }
+            Command::Matches(limit) => {
+                let matches = self.session.matches();
+                let mut out = format!("{} matches", matches.len());
+                for &i in matches.iter().take(limit) {
+                    let pair = self.session.candidates().pair(i);
+                    let a = self.session.context().table_a().record(pair.a);
+                    let b = self.session.context().table_b().record(pair.b);
+                    let fired = self
+                        .session
+                        .state()
+                        .fired_rule(i)
+                        .map(|r| r.to_string())
+                        .unwrap_or_default();
+                    let _ = write!(
+                        out,
+                        "\n  #{i} [{fired}] {} ({:?}) ~ {} ({:?})",
+                        a.id(),
+                        a.value(0).unwrap_or(""),
+                        b.id(),
+                        b.value(0).unwrap_or("")
+                    );
+                }
+                if matches.len() > limit {
+                    let _ = write!(out, "\n  … and {} more", matches.len() - limit);
+                }
+                Ok(out)
+            }
+            Command::Explain(i) => {
+                if i >= self.session.candidates().len() {
+                    return Err(format!(
+                        "pair index {i} out of range (0..{})",
+                        self.session.candidates().len()
+                    ));
+                }
+                Ok(self.session.explain(i).to_string())
+            }
+            Command::NearMisses(fid, n) => {
+                if fid.index() >= self.session.context().registry().len() {
+                    return Err(format!("unknown feature {fid}; see `features`"));
+                }
+                let misses = self.session.near_misses(fid, n);
+                let name = self.session.context().feature_name(fid);
+                let mut out = format!("top {} unmatched pairs by {name}:", misses.len());
+                for (i, v) in misses {
+                    let pair = self.session.candidates().pair(i);
+                    let a = self.session.context().table_a().record(pair.a);
+                    let b = self.session.context().table_b().record(pair.b);
+                    let _ = write!(
+                        out,
+                        "\n  #{i} {v:.4}  {} ({:?}) ~ {} ({:?})",
+                        a.id(),
+                        a.value(0).unwrap_or(""),
+                        b.id(),
+                        b.value(0).unwrap_or("")
+                    );
+                }
+                Ok(out)
+            }
+            Command::Quality => {
+                if self.labels.is_empty() {
+                    return Ok("no labels loaded".to_string());
+                }
+                let q = self.session.quality(&self.labels);
+                Ok(format!(
+                    "P = {:.3}  R = {:.3}  F1 = {:.3}  (tp {} fp {} fn {} tn {})",
+                    q.precision(),
+                    q.recall(),
+                    q.f1(),
+                    q.true_positives,
+                    q.false_positives,
+                    q.false_negatives,
+                    q.true_negatives
+                ))
+            }
+            Command::Stats => {
+                if self.session.function().is_empty() {
+                    return Ok("(no rules — nothing to estimate)".to_string());
+                }
+                let stats = self.session.estimate_stats();
+                let mut out = String::from("feature costs (ns/eval):");
+                for f in self.session.function().features() {
+                    let _ = write!(
+                        out,
+                        "\n  {:<40} {:>12.0}",
+                        self.session.context().feature_name(f),
+                        stats.cost(f)
+                    );
+                }
+                let _ = write!(out, "\nmemo lookup δ: {:.0} ns", stats.lookup_cost());
+                let _ = write!(out, "\npredicate selectivities:");
+                for (rid, bp) in self.session.function().predicates() {
+                    let _ = write!(
+                        out,
+                        "\n  {rid}/{} sel = {:.4}",
+                        bp.id,
+                        stats.sel(bp.id)
+                    );
+                }
+                Ok(out)
+            }
+            Command::Optimize(algo) => {
+                let start = std::time::Instant::now();
+                self.session.optimize(algo);
+                Ok(format!(
+                    "reordered with {} and re-ran in {:?} ({} matches unchanged-correct)",
+                    algo.label(),
+                    start.elapsed(),
+                    self.session.n_matches()
+                ))
+            }
+            Command::MemoryReport => {
+                let m = self.session.memory_report();
+                let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+                Ok(format!(
+                    "memo: {:.2} MB ({} values) | bitmaps: {:.2} MB ({} rule + {} predicate) | total {:.2} MB",
+                    mb(m.memo_bytes),
+                    self.session.state().memo.stored(),
+                    mb(m.bitmap_bytes),
+                    m.n_rule_bitmaps,
+                    m.n_pred_bitmaps,
+                    mb(m.total_bytes())
+                ))
+            }
+            Command::History => {
+                if self.session.history().is_empty() {
+                    return Ok("(no edits yet)".to_string());
+                }
+                let mut out = String::new();
+                for (i, e) in self.session.history().iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "{:>3}. {:<40} {:>5} changed {:>7} examined {:>12?}",
+                        i + 1,
+                        e.description,
+                        e.n_changed,
+                        e.pairs_examined,
+                        e.elapsed
+                    );
+                }
+                out.pop();
+                Ok(out)
+            }
+            Command::Features => {
+                let reg = self.session.context().registry();
+                if reg.is_empty() {
+                    return Ok("(no features interned)".to_string());
+                }
+                let mut out = String::new();
+                for (fid, _) in reg.iter() {
+                    let _ = writeln!(out, "{fid}: {}", self.session.context().feature_name(fid));
+                }
+                out.pop();
+                Ok(out)
+            }
+            Command::Save(path) => {
+                let text = self.session.function_text();
+                std::fs::write(&path, &text).map_err(|e| format!("save {path}: {e}"))?;
+                Ok(format!(
+                    "saved {} rules to {path}",
+                    self.session.function().n_rules()
+                ))
+            }
+            Command::Export(path) => {
+                let snapshot = self.session.snapshot();
+                let json = serde_json::to_string_pretty(&snapshot)
+                    .map_err(|e| format!("export: {e}"))?;
+                std::fs::write(&path, json).map_err(|e| format!("export {path}: {e}"))?;
+                Ok(format!(
+                    "exported {} rules to {path}",
+                    self.session.function().n_rules()
+                ))
+            }
+            Command::Import(path) => {
+                let json =
+                    std::fs::read_to_string(&path).map_err(|e| format!("import {path}: {e}"))?;
+                let snapshot: em_core::SessionSnapshot =
+                    serde_json::from_str(&json).map_err(|e| format!("import {path}: {e}"))?;
+                self.session.restore(&snapshot).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "imported {} rules from {path}: {} matches",
+                    self.session.function().n_rules(),
+                    self.session.n_matches()
+                ))
+            }
+            Command::Load(path) => {
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("load {path}: {e}"))?;
+                // Replace: remove existing rules, then add the loaded ones
+                // (each applied incrementally, reusing the memo).
+                let existing: Vec<_> =
+                    self.session.function().rules().iter().map(|r| r.id).collect();
+                for rid in existing {
+                    self.session.remove_rule(rid).map_err(|e| e.to_string())?;
+                }
+                let mut added = 0;
+                for line in text.lines() {
+                    if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                        continue;
+                    }
+                    self.session
+                        .add_rule_text(line)
+                        .map_err(|e| format!("line {:?}: {e}", line))?;
+                    added += 1;
+                }
+                Ok(format!(
+                    "loaded {added} rules from {path}: {} matches",
+                    self.session.n_matches()
+                ))
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self, text: &str) -> Result<em_core::Predicate, String> {
+        // A predicate is a one-predicate rule in the rule language; the
+        // session interns the feature and grows the memo.
+        self.session.parse_predicate(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::parse;
+    use em_datagen::Domain;
+
+    fn demo_app() -> App {
+        App::demo(Domain::Products, 0.01, 7)
+    }
+
+    fn exec(app: &mut App, line: &str) -> Result<String, String> {
+        let cmd = parse(line).unwrap().expect("non-empty command");
+        app.execute(cmd)
+    }
+
+    #[test]
+    fn full_session_script() {
+        let mut app = demo_app();
+        assert!(exec(&mut app, "rules").unwrap().contains("(no rules)"));
+        let out = exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        assert!(out.contains("added rule r0"), "{out}");
+        assert!(exec(&mut app, "rules").unwrap().contains("jaccard_ws(title, title)"));
+        assert!(exec(&mut app, "quality").unwrap().contains("F1"));
+        let out = exec(&mut app, "set p0 0.8").unwrap();
+        assert!(out.contains("set p0"), "{out}");
+        assert!(exec(&mut app, "matches 3").unwrap().contains("matches"));
+        assert!(exec(&mut app, "memory").unwrap().contains("memo"));
+        assert!(exec(&mut app, "stats").unwrap().contains("feature costs"));
+        assert!(exec(&mut app, "history").unwrap().contains("add rule"));
+        let out = exec(&mut app, "undo").unwrap();
+        assert!(out.contains("undone"), "{out}");
+        assert!(exec(&mut app, "undo").unwrap().contains("undone")); // undoes the add
+        assert!(exec(&mut app, "undo").unwrap().contains("nothing to undo"));
+        // Ids are never reused: the re-added rule is r1 with predicate p1.
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        exec(&mut app, "set p1 0.8").unwrap();
+        assert!(exec(&mut app, "features").unwrap().contains("f0"));
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.95").unwrap(); // subsumed by the 0.6 rule
+        let out = exec(&mut app, "simplify").unwrap();
+        assert!(out.contains("1 subsumed"), "{out}");
+        assert!(exec(&mut app, "simplify").unwrap().contains("already minimal"));
+        let out = exec(&mut app, "misses f0 4").unwrap();
+        assert!(out.contains("unmatched pairs by"), "{out}");
+        assert!(exec(&mut app, "misses f99").is_err());
+        let out = exec(&mut app, "explain 0").unwrap();
+        assert!(out.contains("rule r1"), "{out}");
+        assert!(exec(&mut app, "optimize alg6").unwrap().contains("reordered"));
+        assert!(!app.should_quit());
+        exec(&mut app, "quit").unwrap();
+        assert!(app.should_quit());
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_app() {
+        let mut app = demo_app();
+        assert!(exec(&mut app, "rm r99").is_err());
+        assert!(exec(&mut app, "set p99 0.5").is_err());
+        assert!(exec(&mut app, "add bogus(title, title) >= 1").is_err());
+        assert!(exec(&mut app, "explain 9999999").is_err());
+        // Still usable afterwards.
+        assert!(exec(&mut app, "add exact(modelno, modelno) >= 1").is_ok());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("rulem_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.txt");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut app = demo_app();
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        exec(&mut app, "add exact(modelno, modelno) >= 1 AND jaro(title, title) >= 0.4").unwrap();
+        let matches_before = app.session().n_matches();
+        exec(&mut app, &format!("save {path_str}")).unwrap();
+
+        let mut app2 = demo_app();
+        let out = exec(&mut app2, &format!("load {path_str}")).unwrap();
+        assert!(out.contains("loaded 2 rules"), "{out}");
+        assert_eq!(app2.session().n_matches(), matches_before);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let dir = std::env::temp_dir().join("rulem_cli_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json").to_str().unwrap().to_string();
+
+        let mut app = demo_app();
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        let matches_before = app.session().n_matches();
+        exec(&mut app, &format!("export {path}")).unwrap();
+
+        let mut app2 = demo_app();
+        let out = exec(&mut app2, &format!("import {path}")).unwrap();
+        assert!(out.contains("imported 1 rules"), "{out}");
+        assert_eq!(app2.session().n_matches(), matches_before);
+    }
+
+    #[test]
+    fn addpred_and_rmpred() {
+        let mut app = demo_app();
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.5").unwrap();
+        let out = exec(&mut app, "addpred r0 exact(brand, brand) >= 1").unwrap();
+        assert!(out.contains("added p1 to r0"), "{out}");
+        let out = exec(&mut app, "rmpred p1").unwrap();
+        assert!(out.contains("removed p1"), "{out}");
+    }
+}

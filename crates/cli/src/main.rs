@@ -1,0 +1,148 @@
+//! The `rulem` binary: argument parsing and the REPL loop.
+
+use em_blocking::Blocker;
+use em_cli::{parse, App};
+use em_core::{DebugSession, SessionConfig};
+use em_datagen::Domain;
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+usage:
+  rulem --demo <domain> [--scale <f>] [--seed <n>]
+      domains: products | restaurants | books | breakfast | movies | videogames
+  rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>]
+      CSV files: first column is the record id, header row names attributes;
+      blocking is token overlap on <attr> (default min-overlap 2), or an
+      exact attribute-equivalence join with ':eq'.
+
+examples:
+  rulem --demo products --scale 0.05
+  rulem walmart.csv amazon.csv --block title:2
+  rulem yelp.csv foursquare.csv --block city:eq";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = match build_app(&args) {
+        Ok(app) => app,
+        Err(msg) => {
+            eprintln!("{msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    run_repl(app);
+}
+
+fn build_app(args: &[String]) -> Result<App, String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err("rulem — interactive entity-matching debugger".to_string());
+    }
+
+    let get_flag = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    if let Some(domain_name) = get_flag("--demo") {
+        let domain = match domain_name.to_lowercase().as_str() {
+            "products" => Domain::Products,
+            "restaurants" => Domain::Restaurants,
+            "books" => Domain::Books,
+            "breakfast" => Domain::Breakfast,
+            "movies" => Domain::Movies,
+            "videogames" | "video-games" => Domain::VideoGames,
+            other => return Err(format!("unknown demo domain {other:?}")),
+        };
+        let scale: f64 = get_flag("--scale")
+            .map(|s| s.parse().map_err(|_| format!("bad --scale {s:?}")))
+            .transpose()?
+            .unwrap_or(0.05);
+        let seed: u64 = get_flag("--seed")
+            .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+            .transpose()?
+            .unwrap_or(42);
+        return Ok(App::demo(domain, scale, seed));
+    }
+
+    // CSV mode. Positional arguments are whatever is neither a flag nor
+    // the value belonging to the flag before it.
+    let mut files = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+        } else if a.starts_with("--") {
+            skip_next = true; // all our flags take a value
+        } else {
+            files.push(a);
+        }
+    }
+    let [path_a, path_b] = files.as_slice() else {
+        return Err("expected two CSV paths (or --demo <domain>)".to_string());
+    };
+    let block = get_flag("--block").ok_or("missing --block <attr>[:k|:eq]")?;
+
+    let read_table = |path: &str| -> Result<em_types::Table, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("table");
+        em_types::parse_csv(name, &text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read_table(path_a)?;
+    let b = read_table(path_b)?;
+
+    let (attr, spec) = block.split_once(':').unwrap_or((block, "2"));
+    let cands = if spec == "eq" {
+        em_blocking::AttrEquivalenceBlocker::new(attr)
+            .block(&a, &b)
+            .map_err(|e| e.to_string())?
+    } else {
+        let k: usize = spec.parse().map_err(|_| format!("bad overlap {spec:?}"))?;
+        em_blocking::OverlapBlocker::new(attr, em_similarity::TokenScheme::Whitespace, k)
+            .block(&a, &b)
+            .map_err(|e| e.to_string())?
+    };
+
+    let session = DebugSession::new(a, b, cands, SessionConfig::default());
+    Ok(App::new(session, Vec::new()))
+}
+
+fn run_repl(mut app: App) {
+    println!("rulem — interactive entity-matching debugger");
+    println!(
+        "{} × {} records, {} candidate pairs. Type `help`.",
+        app.session().context().table_a().len(),
+        app.session().context().table_b().len(),
+        app.session().candidates().len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin: {e}");
+                break;
+            }
+        }
+        match parse(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => match app.execute(cmd) {
+                Ok(out) => println!("{out}"),
+                Err(err) => println!("error: {err}"),
+            },
+            Err(err) => println!("error: {err}"),
+        }
+        if app.should_quit() {
+            break;
+        }
+    }
+}

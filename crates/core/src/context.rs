@@ -1,0 +1,195 @@
+//! Evaluation context: the two tables, the feature registry, and prepared
+//! corpus statistics.
+//!
+//! The context is what turns a `(FeatureId, PairIdx)` into a similarity
+//! value. It owns the [`FeatureRegistry`] and lazily builds one
+//! [`IdfTable`] per `(token scheme, attr_a, attr_b)` combination — the
+//! corpus for a feature over `(A.x, B.y)` is all non-missing values of
+//! `A.x` plus all non-missing values of `B.y`.
+
+use crate::feature::{FeatureDef, FeatureId, FeatureRegistry};
+use em_similarity::{IdfTable, Measure, TokenScheme};
+use em_types::{AttrId, PairIdx, Table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key of a prepared IDF table.
+type CorpusKey = (TokenScheme, AttrId, AttrId);
+
+/// Everything needed to compute feature values for candidate pairs.
+///
+/// Tables are held behind `Arc` so the context (and states derived from it)
+/// can be shared with worker threads by the parallel engine.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    table_a: Arc<Table>,
+    table_b: Arc<Table>,
+    registry: FeatureRegistry,
+    idf: HashMap<CorpusKey, Arc<IdfTable>>,
+}
+
+impl EvalContext {
+    /// Creates a context over two tables with an empty feature registry.
+    pub fn new(table_a: Arc<Table>, table_b: Arc<Table>) -> Self {
+        EvalContext {
+            table_a,
+            table_b,
+            registry: FeatureRegistry::new(),
+            idf: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor taking owned tables.
+    pub fn from_tables(table_a: Table, table_b: Table) -> Self {
+        Self::new(Arc::new(table_a), Arc::new(table_b))
+    }
+
+    /// Table `A`.
+    pub fn table_a(&self) -> &Table {
+        &self.table_a
+    }
+
+    /// Table `B`.
+    pub fn table_b(&self) -> &Table {
+        &self.table_b
+    }
+
+    /// The feature registry.
+    pub fn registry(&self) -> &FeatureRegistry {
+        &self.registry
+    }
+
+    /// Interns a feature by measure and attribute *names*, preparing corpus
+    /// statistics if the measure needs them.
+    ///
+    /// Returns `None` when either attribute name does not exist in the
+    /// corresponding schema.
+    pub fn feature(&mut self, measure: Measure, attr_a: &str, attr_b: &str) -> Option<FeatureId> {
+        let a = self.table_a.schema().attr_id(attr_a)?;
+        let b = self.table_b.schema().attr_id(attr_b)?;
+        Some(self.feature_by_ids(measure, a, b))
+    }
+
+    /// Interns a feature by attribute ids, preparing corpus statistics if
+    /// the measure needs them.
+    pub fn feature_by_ids(&mut self, measure: Measure, attr_a: AttrId, attr_b: AttrId) -> FeatureId {
+        let id = self.registry.intern(FeatureDef::new(measure, attr_a, attr_b));
+        if let Some(scheme) = measure.corpus_scheme() {
+            self.ensure_corpus(scheme, attr_a, attr_b);
+        }
+        id
+    }
+
+    fn ensure_corpus(&mut self, scheme: TokenScheme, attr_a: AttrId, attr_b: AttrId) {
+        let key = (scheme, attr_a, attr_b);
+        if self.idf.contains_key(&key) {
+            return;
+        }
+        let docs = self
+            .table_a
+            .column(attr_a)
+            .chain(self.table_b.column(attr_b));
+        let table = IdfTable::build(docs, scheme);
+        self.idf.insert(key, Arc::new(table));
+    }
+
+    /// The prepared IDF table for a feature, if any.
+    pub fn idf_for(&self, def: &FeatureDef) -> Option<&IdfTable> {
+        let scheme = def.measure.corpus_scheme()?;
+        self.idf
+            .get(&(scheme, def.attr_a, def.attr_b))
+            .map(|a| a.as_ref())
+    }
+
+    /// Computes the value of feature `fid` for candidate pair `pair`.
+    ///
+    /// Missing attribute values score 0.0 by convention (§3: predicates over
+    /// missing data cannot support a match).
+    pub fn compute(&self, fid: FeatureId, pair: PairIdx) -> f64 {
+        let def = self.registry.def(fid);
+        let va = self.table_a.value(pair.a, def.attr_a);
+        let vb = self.table_b.value(pair.b, def.attr_b);
+        match (va, vb) {
+            (Some(x), Some(y)) => def.measure.similarity_with(x, y, self.idf_for(def)),
+            _ => 0.0,
+        }
+    }
+
+    /// Human-readable name of a feature.
+    pub fn feature_name(&self, fid: FeatureId) -> String {
+        self.registry
+            .def(fid)
+            .display_name(self.table_a.schema(), self.table_b.schema())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::{Record, Schema};
+
+    fn ctx() -> EvalContext {
+        let schema = Schema::new(["title", "modelno"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["apple ipod nano", "MC037"]));
+        a.push(Record::new("a2", ["sony walkman", "NWZ-E384"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["apple ipod nano 16gb", "MC037"]));
+        b.try_push(Record::with_missing(
+            "b2",
+            vec![Some("bose headphones".into()), None],
+        ))
+        .unwrap();
+        EvalContext::from_tables(a, b)
+    }
+
+    #[test]
+    fn compute_simple_feature() {
+        let mut c = ctx();
+        let f = c.feature(Measure::Exact, "modelno", "modelno").unwrap();
+        assert_eq!(c.compute(f, PairIdx::new(0, 0)), 1.0);
+        assert_eq!(c.compute(f, PairIdx::new(1, 0)), 0.0);
+    }
+
+    #[test]
+    fn missing_value_scores_zero() {
+        let mut c = ctx();
+        let f = c.feature(Measure::Exact, "modelno", "modelno").unwrap();
+        assert_eq!(c.compute(f, PairIdx::new(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn unknown_attr_rejected() {
+        let mut c = ctx();
+        assert!(c.feature(Measure::Exact, "nope", "modelno").is_none());
+    }
+
+    #[test]
+    fn corpus_built_for_tfidf() {
+        let mut c = ctx();
+        let f = c
+            .feature(Measure::TfIdf(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        let def = *c.registry().def(f);
+        let idf = c.idf_for(&def).expect("idf table should be prepared");
+        // 2 titles in A + 2 in B = 4 documents.
+        assert_eq!(idf.n_docs(), 4);
+        let s = c.compute(f, PairIdx::new(0, 0));
+        assert!(s > 0.5 && s <= 1.0, "tfidf(a1,b1) = {s}");
+    }
+
+    #[test]
+    fn same_def_same_id() {
+        let mut c = ctx();
+        let f1 = c.feature(Measure::Jaro, "title", "title").unwrap();
+        let f2 = c.feature(Measure::Jaro, "title", "title").unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn feature_name_readable() {
+        let mut c = ctx();
+        let f = c.feature(Measure::Jaro, "title", "modelno").unwrap();
+        assert_eq!(c.feature_name(f), "jaro(title, modelno)");
+    }
+}

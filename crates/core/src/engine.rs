@@ -1,0 +1,533 @@
+//! The matching engines of §4: the rudimentary and precomputation baselines
+//! (Algorithms 1 and 2), early exit (Algorithm 3), and early exit with
+//! dynamic memoing (Algorithm 4).
+//!
+//! All engines produce identical verdicts — they differ only in how much
+//! feature computation they perform. The test-suite property "all engines
+//! agree" is the workspace's central correctness check.
+
+use crate::context::EvalContext;
+use crate::feature::FeatureId;
+use crate::function::MatchingFunction;
+use crate::memo::{DenseMemo, Memo};
+use em_types::CandidateSet;
+use std::time::{Duration, Instant};
+
+/// Work counters for one matching run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Similarity values computed from scratch.
+    pub feature_computations: u64,
+    /// Similarity values read from the memo.
+    pub memo_lookups: u64,
+    /// Threshold comparisons performed.
+    pub predicate_evals: u64,
+    /// Rule conjunctions entered.
+    pub rule_evals: u64,
+}
+
+impl EvalStats {
+    /// Adds another run's counters into this one.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.feature_computations += other.feature_computations;
+        self.memo_lookups += other.memo_lookups;
+        self.predicate_evals += other.predicate_evals;
+        self.rule_evals += other.rule_evals;
+    }
+}
+
+/// The result of running a matching function over a candidate set.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// `verdicts[i]` is true iff candidate pair `i` matched.
+    pub verdicts: Vec<bool>,
+    /// Work counters.
+    pub stats: EvalStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl MatchOutcome {
+    /// Number of matched pairs.
+    pub fn n_matches(&self) -> usize {
+        self.verdicts.iter().filter(|&&v| v).count()
+    }
+}
+
+/// Algorithm 1 — the rudimentary baseline.
+///
+/// Every predicate of every rule is evaluated for every pair, and every
+/// feature value is computed from scratch at each reference (predicates are
+/// opaque "black boxes").
+pub fn run_rudimentary(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+) -> MatchOutcome {
+    let start = Instant::now();
+    let mut stats = EvalStats::default();
+    let mut verdicts = vec![false; cands.len()];
+
+    for (i, pair) in cands.iter() {
+        let mut matched = false;
+        for rule in func.rules() {
+            stats.rule_evals += 1;
+            let mut rule_true = true;
+            for bp in &rule.preds {
+                let v = ctx.compute(bp.pred.feature, pair);
+                stats.feature_computations += 1;
+                stats.predicate_evals += 1;
+                if !bp.pred.eval(v) {
+                    rule_true = false;
+                    // NOTE: no break — Algorithm 1 evaluates every predicate.
+                }
+            }
+            if rule_true {
+                matched = true;
+                // NOTE: no break — Algorithm 1 evaluates every rule.
+            }
+        }
+        verdicts[i] = matched;
+    }
+
+    MatchOutcome {
+        verdicts,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Algorithm 2 — the precomputation baseline, optionally combined with
+/// early exit (the paper's Figure 3 variants "PPR + EE" / "FPR + EE").
+///
+/// `universe` is the feature set to precompute: the function's own features
+/// for *production precomputation*, or a superset (everything the analyst
+/// might use) for *full precomputation*. Returns the filled memo so callers
+/// can account for memory (§7.4) or reuse it.
+pub fn run_precompute(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    universe: &[FeatureId],
+    early_exit: bool,
+) -> (MatchOutcome, DenseMemo) {
+    let start = Instant::now();
+    let mut stats = EvalStats::default();
+    let n_features = ctx.registry().len();
+    let mut memo = DenseMemo::new(cands.len(), n_features);
+
+    // Phase 1: fill the memo for the whole universe.
+    for (i, pair) in cands.iter() {
+        for &f in universe {
+            let v = ctx.compute(f, pair);
+            stats.feature_computations += 1;
+            memo.put(i, f, v);
+        }
+    }
+
+    // Phase 2: match using lookups only.
+    let mut verdicts = vec![false; cands.len()];
+    for (i, pair) in cands.iter() {
+        let mut matched = false;
+        for rule in func.rules() {
+            stats.rule_evals += 1;
+            let mut rule_true = true;
+            for bp in &rule.preds {
+                let v = match memo.get(i, bp.pred.feature) {
+                    Some(v) => {
+                        stats.memo_lookups += 1;
+                        v
+                    }
+                    None => {
+                        // Feature missing from the universe (caller chose a
+                        // smaller universe than the function needs): compute
+                        // and memoize.
+                        let v = ctx.compute(bp.pred.feature, pair);
+                        stats.feature_computations += 1;
+                        memo.put(i, bp.pred.feature, v);
+                        v
+                    }
+                };
+                stats.predicate_evals += 1;
+                if !bp.pred.eval(v) {
+                    rule_true = false;
+                    if early_exit {
+                        break;
+                    }
+                }
+            }
+            if rule_true {
+                matched = true;
+                if early_exit {
+                    break;
+                }
+            }
+        }
+        verdicts[i] = matched;
+    }
+
+    (
+        MatchOutcome {
+            verdicts,
+            stats,
+            elapsed: start.elapsed(),
+        },
+        memo,
+    )
+}
+
+/// Algorithm 3 — early exit without memoing.
+///
+/// Predicate evaluation stops at the first false predicate of a rule; rule
+/// evaluation stops at the first true rule. Every referenced feature is
+/// still computed from scratch.
+pub fn run_early_exit(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+) -> MatchOutcome {
+    let start = Instant::now();
+    let mut stats = EvalStats::default();
+    let mut verdicts = vec![false; cands.len()];
+
+    for (i, pair) in cands.iter() {
+        'rules: for rule in func.rules() {
+            stats.rule_evals += 1;
+            let mut rule_true = true;
+            for bp in &rule.preds {
+                let v = ctx.compute(bp.pred.feature, pair);
+                stats.feature_computations += 1;
+                stats.predicate_evals += 1;
+                if !bp.pred.eval(v) {
+                    rule_true = false;
+                    break;
+                }
+            }
+            if rule_true {
+                verdicts[i] = true;
+                break 'rules;
+            }
+        }
+    }
+
+    MatchOutcome {
+        verdicts,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Evaluates one rule for one pair with early exit + memoing, in the rule's
+/// stored predicate order (optionally visiting already-memoized predicates
+/// first — the "check cache first" optimization of §5.4.3).
+///
+/// Shared by [`run_memo_with`] and the incremental algorithms.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+pub(crate) fn eval_rule_memoized<M: Memo>(
+    rule: &crate::rule::BoundRule,
+    pair_idx: usize,
+    pair: em_types::PairIdx,
+    ctx: &EvalContext,
+    memo: &mut M,
+    check_cache_first: bool,
+    stats: &mut EvalStats,
+    mut on_false: impl FnMut(crate::predicate::PredId),
+) -> bool {
+    stats.rule_evals += 1;
+
+    // Resolve evaluation order: cached predicates first when requested.
+    let positions: Vec<usize> = if check_cache_first {
+        let mut cached = Vec::new();
+        let mut uncached = Vec::new();
+        for (p, bp) in rule.preds.iter().enumerate() {
+            if memo.contains(pair_idx, bp.pred.feature) {
+                cached.push(p);
+            } else {
+                uncached.push(p);
+            }
+        }
+        cached.extend(uncached);
+        cached
+    } else {
+        (0..rule.preds.len()).collect()
+    };
+
+    for p in positions {
+        let bp = &rule.preds[p];
+        let v = match memo.get(pair_idx, bp.pred.feature) {
+            Some(v) => {
+                stats.memo_lookups += 1;
+                v
+            }
+            None => {
+                let v = ctx.compute(bp.pred.feature, pair);
+                stats.feature_computations += 1;
+                memo.put(pair_idx, bp.pred.feature, v);
+                v
+            }
+        };
+        stats.predicate_evals += 1;
+        if !bp.pred.eval(v) {
+            on_false(bp.id);
+            return false;
+        }
+    }
+    true
+}
+
+/// Algorithm 4 — early exit with dynamic memoing, writing into a
+/// caller-supplied memo (dense or sparse).
+pub fn run_memo_with<M: Memo>(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    memo: &mut M,
+    check_cache_first: bool,
+) -> MatchOutcome {
+    let start = Instant::now();
+    let mut stats = EvalStats::default();
+    let mut verdicts = vec![false; cands.len()];
+
+    for (i, pair) in cands.iter() {
+        for rule in func.rules() {
+            if eval_rule_memoized(rule, i, pair, ctx, memo, check_cache_first, &mut stats, |_| {}) {
+                verdicts[i] = true;
+                break;
+            }
+        }
+    }
+
+    MatchOutcome {
+        verdicts,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Algorithm 4 with a fresh [`DenseMemo`], returning it alongside the
+/// outcome.
+pub fn run_memo(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    check_cache_first: bool,
+) -> (MatchOutcome, DenseMemo) {
+    let mut memo = DenseMemo::new(cands.len(), ctx.registry().len());
+    let outcome = run_memo_with(func, ctx, cands, &mut memo, check_cache_first);
+    (outcome, memo)
+}
+
+/// Named engine strategy, for benches and experiments that iterate over
+/// engines uniformly.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Algorithm 1.
+    Rudimentary,
+    /// Algorithm 3.
+    EarlyExit,
+    /// Algorithm 2 (+ early exit) precomputing exactly the function's
+    /// features ("production precomputation").
+    PrecomputeProduction,
+    /// Algorithm 2 (+ early exit) precomputing the given feature universe
+    /// ("full precomputation").
+    PrecomputeFull(Vec<FeatureId>),
+    /// Algorithm 4.
+    MemoEarlyExit {
+        /// Apply the §5.4.3 check-cache-first runtime re-ordering.
+        check_cache_first: bool,
+    },
+}
+
+impl Strategy {
+    /// Short label used in experiment output (matches the paper's legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Rudimentary => "R",
+            Strategy::EarlyExit => "EE",
+            Strategy::PrecomputeProduction => "PPR+EE",
+            Strategy::PrecomputeFull(_) => "FPR+EE",
+            Strategy::MemoEarlyExit { .. } => "DM+EE",
+        }
+    }
+
+    /// Runs the strategy.
+    pub fn run(
+        &self,
+        func: &MatchingFunction,
+        ctx: &EvalContext,
+        cands: &CandidateSet,
+    ) -> MatchOutcome {
+        match self {
+            Strategy::Rudimentary => run_rudimentary(func, ctx, cands),
+            Strategy::EarlyExit => run_early_exit(func, ctx, cands),
+            Strategy::PrecomputeProduction => {
+                run_precompute(func, ctx, cands, &func.features(), true).0
+            }
+            Strategy::PrecomputeFull(universe) => {
+                run_precompute(func, ctx, cands, universe, true).0
+            }
+            Strategy::MemoEarlyExit { check_cache_first } => {
+                run_memo(func, ctx, cands, *check_cache_first).0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::rule::Rule;
+    use em_similarity::Measure;
+    use em_types::{Record, Schema, Table};
+
+    /// A small products-like fixture with known matches.
+    fn fixture() -> (EvalContext, CandidateSet, MatchingFunction) {
+        let schema = Schema::new(["title", "modelno"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["apple ipod nano 16gb", "MC037"]));
+        a.push(Record::new("a2", ["sony walkman mp3", "NWZ-E384"]));
+        a.push(Record::new("a3", ["bose quietcomfort 35", "QC35"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["apple ipod nano 16 gb silver", "MC037"]));
+        b.push(Record::new("b2", ["sony walkman nwz mp3 player", "NWZ-E384"]));
+        b.push(Record::new("b3", ["jbl flip 5 speaker", "FLIP5"]));
+
+        let mut ctx = EvalContext::from_tables(a, b);
+        let f_model = ctx.feature(Measure::Exact, "modelno", "modelno").unwrap();
+        let f_title = ctx
+            .feature(Measure::Jaccard(em_similarity::TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f_model, CmpOp::Ge, 1.0)
+                .pred(f_title, CmpOp::Ge, 0.2),
+        )
+        .unwrap();
+        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.5)).unwrap();
+
+        let cands = CandidateSet::cartesian(ctx.table_a(), ctx.table_b());
+        (ctx, cands, func)
+    }
+
+    #[test]
+    fn rudimentary_matches_expected_pairs() {
+        let (ctx, cands, func) = fixture();
+        let out = run_rudimentary(&func, &ctx, &cands);
+        // a1-b1 and a2-b2 should match (same modelno + overlapping titles).
+        assert!(out.verdicts[0], "a1b1 should match");
+        assert!(out.verdicts[4], "a2b2 should match");
+        assert_eq!(out.n_matches(), 2);
+    }
+
+    #[test]
+    fn all_engines_agree_on_fixture() {
+        let (ctx, cands, func) = fixture();
+        let reference = run_rudimentary(&func, &ctx, &cands);
+        let all_features: Vec<FeatureId> =
+            ctx.registry().iter().map(|(id, _)| id).collect();
+        let strategies = [
+            Strategy::EarlyExit,
+            Strategy::PrecomputeProduction,
+            Strategy::PrecomputeFull(all_features),
+            Strategy::MemoEarlyExit {
+                check_cache_first: false,
+            },
+            Strategy::MemoEarlyExit {
+                check_cache_first: true,
+            },
+        ];
+        for s in strategies {
+            let out = s.run(&func, &ctx, &cands);
+            assert_eq!(
+                out.verdicts, reference.verdicts,
+                "strategy {} disagrees with Algorithm 1",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_does_less_work() {
+        let (ctx, cands, func) = fixture();
+        let rud = run_rudimentary(&func, &ctx, &cands);
+        let ee = run_early_exit(&func, &ctx, &cands);
+        assert!(
+            ee.stats.feature_computations < rud.stats.feature_computations,
+            "EE {} vs R {}",
+            ee.stats.feature_computations,
+            rud.stats.feature_computations
+        );
+    }
+
+    #[test]
+    fn memo_computes_each_feature_at_most_once_per_pair() {
+        let (ctx, cands, func) = fixture();
+        let (out, memo) = run_memo(&func, &ctx, &cands, false);
+        // Computations can never exceed |pairs| × |distinct features|.
+        let bound = (cands.len() * func.features().len()) as u64;
+        assert!(out.stats.feature_computations <= bound);
+        assert_eq!(out.stats.feature_computations as usize, memo.stored());
+    }
+
+    #[test]
+    fn memo_beats_early_exit_on_shared_features() {
+        // Build a function whose first rule always computes the title
+        // feature, and whose second rule references it again: pairs failing
+        // rule 1 must hit the memo in rule 2.
+        let (mut ctx, cands, _) = fixture();
+        let f_title = ctx
+            .feature(Measure::Jaccard(em_similarity::TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        let f_model = ctx.feature(Measure::Exact, "modelno", "modelno").unwrap();
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f_title, CmpOp::Ge, 0.9)
+                .pred(f_model, CmpOp::Ge, 1.0),
+        )
+        .unwrap();
+        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.2)).unwrap();
+
+        let ee = run_early_exit(&func, &ctx, &cands);
+        let (dm, _) = run_memo(&func, &ctx, &cands, false);
+        assert_eq!(dm.verdicts, ee.verdicts);
+        assert!(dm.stats.feature_computations < ee.stats.feature_computations);
+        assert!(dm.stats.memo_lookups > 0);
+    }
+
+    #[test]
+    fn precompute_full_computes_whole_universe() {
+        let (ctx, cands, func) = fixture();
+        let universe: Vec<FeatureId> = ctx.registry().iter().map(|(id, _)| id).collect();
+        let (out, memo) = run_precompute(&func, &ctx, &cands, &universe, true);
+        assert_eq!(memo.stored(), cands.len() * universe.len());
+        assert_eq!(
+            out.stats.feature_computations,
+            (cands.len() * universe.len()) as u64
+        );
+    }
+
+    #[test]
+    fn empty_function_and_empty_candidates() {
+        let (ctx, cands, _) = fixture();
+        let empty_f = MatchingFunction::new();
+        let out = run_rudimentary(&empty_f, &ctx, &cands);
+        assert_eq!(out.n_matches(), 0);
+
+        let (_, _, func) = fixture();
+        let empty_c = CandidateSet::new();
+        let out = run_memo(&func, &ctx, &empty_c, false).0;
+        assert!(out.verdicts.is_empty());
+    }
+
+    #[test]
+    fn check_cache_first_preserves_verdicts() {
+        let (ctx, cands, func) = fixture();
+        let (plain, _) = run_memo(&func, &ctx, &cands, false);
+        let (ccf, _) = run_memo(&func, &ctx, &cands, true);
+        assert_eq!(plain.verdicts, ccf.verdicts);
+    }
+}

@@ -1,0 +1,199 @@
+//! Features: a similarity measure applied to one attribute of table `A` and
+//! one attribute of table `B`.
+//!
+//! Features are interned in a [`FeatureRegistry`] so the rest of the system
+//! can refer to them by dense [`FeatureId`]s — the memo is indexed by
+//! `(pair, FeatureId)`, and dynamic memoing (§4.3 of the paper) hinges on two
+//! predicates that use the same feature sharing the same id.
+
+use em_similarity::Measure;
+use em_types::{AttrId, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned [`FeatureDef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FeatureId(pub u32);
+
+impl FeatureId {
+    /// The id as a plain array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A feature definition: `measure(A.attr_a, B.attr_b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureDef {
+    /// The similarity measure.
+    pub measure: Measure,
+    /// Attribute of table `A`.
+    pub attr_a: AttrId,
+    /// Attribute of table `B`.
+    pub attr_b: AttrId,
+}
+
+impl FeatureDef {
+    /// Creates a feature definition.
+    pub fn new(measure: Measure, attr_a: AttrId, attr_b: AttrId) -> Self {
+        FeatureDef {
+            measure,
+            attr_a,
+            attr_b,
+        }
+    }
+
+    /// Human-readable name, e.g. `jaccard_ws(title, title)`.
+    pub fn display_name(&self, schema_a: &Schema, schema_b: &Schema) -> String {
+        let a = schema_a
+            .attr_name(self.attr_a)
+            .unwrap_or("<unknown>")
+            .to_string();
+        let b = schema_b
+            .attr_name(self.attr_b)
+            .unwrap_or("<unknown>")
+            .to_string();
+        format!("{}({a}, {b})", self.measure.name())
+    }
+}
+
+/// Interns [`FeatureDef`]s and hands out dense [`FeatureId`]s.
+///
+/// Interning is append-only: ids stay valid for the lifetime of the registry,
+/// which the memo and materialized state rely on across debugging iterations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeatureRegistry {
+    defs: Vec<FeatureDef>,
+    #[serde(skip)]
+    by_def: HashMap<FeatureDef, FeatureId>,
+}
+
+impl FeatureRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `def`, returning the existing id when already present.
+    pub fn intern(&mut self, def: FeatureDef) -> FeatureId {
+        if let Some(&id) = self.by_def.get(&def) {
+            return id;
+        }
+        let id = FeatureId(self.defs.len() as u32);
+        self.defs.push(def);
+        self.by_def.insert(def, id);
+        id
+    }
+
+    /// Looks up an id without interning.
+    pub fn lookup(&self, def: &FeatureDef) -> Option<FeatureId> {
+        self.by_def.get(def).copied()
+    }
+
+    /// The definition behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not issued by this registry.
+    #[inline]
+    pub fn def(&self, id: FeatureId) -> &FeatureDef {
+        &self.defs[id.index()]
+    }
+
+    /// Number of interned features.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True when no features have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterates over `(FeatureId, &FeatureDef)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &FeatureDef)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (FeatureId(i as u32), d))
+    }
+
+    /// Rebuilds the reverse index after deserialization (the hash map is not
+    /// serialized).
+    pub fn rebuild_index(&mut self) {
+        self.by_def = self
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (*d, FeatureId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_similarity::TokenScheme;
+
+    fn def(m: Measure) -> FeatureDef {
+        FeatureDef::new(m, AttrId(0), AttrId(0))
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut reg = FeatureRegistry::new();
+        let id1 = reg.intern(def(Measure::Jaro));
+        let id2 = reg.intern(def(Measure::Jaro));
+        assert_eq!(id1, id2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_defs_get_distinct_ids() {
+        let mut reg = FeatureRegistry::new();
+        let id1 = reg.intern(def(Measure::Jaro));
+        let id2 = reg.intern(def(Measure::JaroWinkler));
+        let id3 = reg.intern(FeatureDef::new(Measure::Jaro, AttrId(0), AttrId(1)));
+        assert_ne!(id1, id2);
+        assert_ne!(id1, id3);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn lookup_and_def_roundtrip() {
+        let mut reg = FeatureRegistry::new();
+        let d = def(Measure::Jaccard(TokenScheme::Whitespace));
+        let id = reg.intern(d);
+        assert_eq!(reg.lookup(&d), Some(id));
+        assert_eq!(reg.def(id), &d);
+        assert_eq!(reg.lookup(&def(Measure::Exact)), None);
+    }
+
+    #[test]
+    fn display_name() {
+        let schema = Schema::new(["title", "modelno"]);
+        let d = FeatureDef::new(Measure::Exact, AttrId(1), AttrId(0));
+        assert_eq!(d.display_name(&schema, &schema), "exact(modelno, title)");
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let mut reg = FeatureRegistry::new();
+        let d = def(Measure::Trigram);
+        let id = reg.intern(d);
+        let j = serde_json::to_string(&reg).unwrap();
+        let mut back: FeatureRegistry = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.lookup(&d), None);
+        back.rebuild_index();
+        assert_eq!(back.lookup(&d), Some(id));
+    }
+}

@@ -1,0 +1,612 @@
+//! Incremental matching (§6): apply a single rule-set edit by recomputing
+//! only the minimal delta, using the materialized [`MatchState`].
+//!
+//! The four fundamental changes and their affected pair sets:
+//!
+//! | change | algorithm | pairs re-examined |
+//! |---|---|---|
+//! | add / tighten a predicate of rule `r` | Alg. 7 | `M(r)` — pairs `r` fired for |
+//! | remove / relax predicate `p` of rule `r` | Alg. 8 | unmatched pairs in `U(p)` |
+//! | remove rule `r` | Alg. 9 | `M(r)` |
+//! | add rule `r` | Alg. 10 | all unmatched pairs |
+//!
+//! **Deviation from the paper, for correctness:** Algorithms 7 and 9 as
+//! printed re-evaluate only the rules *after* `r`, relying on the invariant
+//! that all rules before a pair's fired rule are false. That invariant can
+//! silently break after a relax edit (a rule *before* the fired one may
+//! have become true for an already-matched pair, which Algorithm 8 skips),
+//! or after a rule reordering. Our cascade therefore re-evaluates **all**
+//! rules in evaluation order. This is nearly free: every feature those
+//! earlier rules touch is already memoized, so the extra work is lookups,
+//! and the affected pair sets are small. Algorithms 8 and 10 keep their
+//! minimal form, which is airtight (see the per-function comments).
+
+use crate::context::EvalContext;
+use crate::engine::EvalStats;
+use crate::function::{EditError, MatchingFunction};
+use crate::predicate::{PredId, Predicate};
+use crate::rule::{Rule, RuleId};
+use crate::state::MatchState;
+use em_types::CandidateSet;
+use std::time::{Duration, Instant};
+
+/// What one incremental edit changed.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeReport {
+    /// Pairs that flipped unmatch → match.
+    pub newly_matched: Vec<usize>,
+    /// Pairs that flipped match → unmatch.
+    pub newly_unmatched: Vec<usize>,
+    /// Pairs the edit had to re-examine.
+    pub pairs_examined: usize,
+    /// Work counters for the delta evaluation.
+    pub stats: EvalStats,
+    /// Wall-clock time of the incremental update.
+    pub elapsed: Duration,
+}
+
+impl ChangeReport {
+    /// Total number of verdicts that changed.
+    pub fn n_changed(&self) -> usize {
+        self.newly_matched.len() + self.newly_unmatched.len()
+    }
+}
+
+/// Re-evaluates all rules for a pair that lost its fired rule, firing the
+/// first true one (the robust cascade described in the module docs).
+fn cascade(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    state: &mut MatchState,
+    i: usize,
+    check_cache_first: bool,
+    stats: &mut EvalStats,
+) {
+    let pair = cands.pair(i);
+    for rule in func.rules() {
+        if state.eval_rule_recording(rule, i, pair, ctx, check_cache_first, stats) {
+            state.fire(i, rule.id);
+            return;
+        }
+    }
+}
+
+/// Algorithm 10 — add a rule.
+///
+/// The new rule is appended at the end of the evaluation order, so only
+/// currently-unmatched pairs can change: every matched pair fires before
+/// reaching it. This is exact — unmatched pairs have all existing rules
+/// false, and those rules are untouched.
+pub fn add_rule(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    rule: Rule,
+    check_cache_first: bool,
+) -> Result<(RuleId, ChangeReport), EditError> {
+    let start = Instant::now();
+    let rid = func.add_rule(rule)?;
+    let bound = func
+        .rule(rid)
+        .expect("rule was just inserted")
+        .clone();
+
+    let mut report = ChangeReport::default();
+    let unmatched: Vec<usize> = (0..cands.len()).filter(|&i| !state.verdict(i)).collect();
+    for i in unmatched {
+        report.pairs_examined += 1;
+        let pair = cands.pair(i);
+        if state.eval_rule_recording(&bound, i, pair, ctx, check_cache_first, &mut report.stats) {
+            state.fire(i, rid);
+            report.newly_matched.push(i);
+        }
+    }
+    report.elapsed = start.elapsed();
+    Ok((rid, report))
+}
+
+/// Algorithm 9 — remove a rule.
+///
+/// Only the pairs `r` fired for can change; each is re-run through the
+/// remaining rules (robust cascade).
+pub fn remove_rule(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    rid: RuleId,
+    check_cache_first: bool,
+) -> Result<ChangeReport, EditError> {
+    let start = Instant::now();
+    let removed = func.remove_rule(rid)?;
+    let affected: Vec<usize> = state
+        .rule_bitmap(rid)
+        .map(|bm| bm.iter_ones().collect())
+        .unwrap_or_default();
+    let pred_ids: Vec<PredId> = removed.preds.iter().map(|bp| bp.id).collect();
+    state.drop_rule_state(rid, &pred_ids);
+
+    let mut report = ChangeReport::default();
+    for i in affected {
+        report.pairs_examined += 1;
+        // The pair still carries the stale fired pointer; clear it first.
+        state.unfire(i);
+        cascade(func, ctx, cands, state, i, check_cache_first, &mut report.stats);
+        if !state.verdict(i) {
+            report.newly_unmatched.push(i);
+        }
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+/// Shared core of "add a predicate" and "tighten a threshold" (Algorithm 7):
+/// re-evaluate the changed predicate for the pairs its rule fired for;
+/// pairs that now fail fall back to the cascade.
+fn restrict_rule(
+    func: &MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    rid: RuleId,
+    pid: PredId,
+    check_cache_first: bool,
+) -> ChangeReport {
+    let start = Instant::now();
+    let mut report = ChangeReport::default();
+    let (_, bp) = func
+        .find_predicate(pid)
+        .expect("predicate exists in the function");
+    let pred = bp.pred;
+
+    let affected: Vec<usize> = state
+        .rule_bitmap(rid)
+        .map(|bm| bm.iter_ones().collect())
+        .unwrap_or_default();
+
+    for i in affected {
+        report.pairs_examined += 1;
+        let pair = cands.pair(i);
+        let v = state.resolve_value(pred.feature, i, pair, ctx, &mut report.stats);
+        report.stats.predicate_evals += 1;
+        if pred.eval(v) {
+            continue; // still matched by this rule
+        }
+        state.record_pred_false(pid, i);
+        state.unfire(i);
+        cascade(func, ctx, cands, state, i, check_cache_first, &mut report.stats);
+        if !state.verdict(i) {
+            report.newly_unmatched.push(i);
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// Algorithm 7 — add a predicate to a rule.
+pub fn add_predicate(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    rid: RuleId,
+    pred: Predicate,
+    check_cache_first: bool,
+) -> Result<(PredId, ChangeReport), EditError> {
+    let pid = func.add_predicate(rid, pred)?;
+    let report = restrict_rule(func, state, ctx, cands, rid, pid, check_cache_first);
+    Ok((pid, report))
+}
+
+/// Shared core of "remove a predicate" and "relax a threshold"
+/// (Algorithm 8): the only pairs that can change are *unmatched* pairs for
+/// which the predicate evaluated false. Matched pairs stay matched (the
+/// edit only loosens one rule), and unmatched pairs not in `U(p)` have
+/// every rule false for reasons unaffected by `p`.
+///
+/// `re_eval_pred` is `Some(new predicate)` for relax (the predicate must be
+/// re-tested) and `None` for removal (every pair in `U(p)` proceeds to the
+/// rest of the rule).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+fn loosen_rule(
+    func: &MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    rid: RuleId,
+    pid: PredId,
+    re_eval_pred: Option<Predicate>,
+    check_cache_first: bool,
+) -> ChangeReport {
+    let start = Instant::now();
+    let mut report = ChangeReport::default();
+    let rule = func.rule(rid).expect("rule exists").clone();
+
+    let affected: Vec<usize> = state
+        .pred_bitmap(pid)
+        .map(|bm| bm.iter_ones().collect())
+        .unwrap_or_default();
+
+    for i in affected {
+        if state.verdict(i) {
+            continue; // already matched elsewhere; loosening cannot unmatch
+        }
+        report.pairs_examined += 1;
+        let pair = cands.pair(i);
+
+        if let Some(pred) = re_eval_pred {
+            let v = state.resolve_value(pred.feature, i, pair, ctx, &mut report.stats);
+            report.stats.predicate_evals += 1;
+            if !pred.eval(v) {
+                continue; // still false under the relaxed threshold
+            }
+            state.clear_pred_false(pid, i);
+        }
+
+        // The changed predicate passes (or is gone); test the whole rule.
+        if state.eval_rule_recording(&rule, i, pair, ctx, check_cache_first, &mut report.stats) {
+            state.fire(i, rid);
+            report.newly_matched.push(i);
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// Algorithm 8 — remove a predicate from a rule.
+pub fn remove_predicate(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    pid: PredId,
+    check_cache_first: bool,
+) -> Result<ChangeReport, EditError> {
+    let (rid, _) = func
+        .find_predicate(pid)
+        .map(|(r, bp)| (r, bp.pred))
+        .ok_or(EditError::UnknownPredicate(pid))?;
+    func.remove_predicate(pid)?;
+    let report = loosen_rule(func, state, ctx, cands, rid, pid, None, check_cache_first);
+    state.drop_pred_state(pid);
+    Ok(report)
+}
+
+/// Tighten or relax a predicate's threshold; dispatches to Algorithm 7 or 8
+/// by the direction of the change. A no-op change returns an empty report.
+pub fn set_threshold(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    pid: PredId,
+    new_threshold: f64,
+    check_cache_first: bool,
+) -> Result<ChangeReport, EditError> {
+    let (rid, bp) = func
+        .find_predicate(pid)
+        .ok_or(EditError::UnknownPredicate(pid))?;
+    let direction = bp.pred.change_direction(new_threshold);
+    func.set_threshold(pid, new_threshold)?;
+
+    match direction {
+        None => Ok(ChangeReport::default()),
+        Some(true) => Ok(restrict_rule(
+            func,
+            state,
+            ctx,
+            cands,
+            rid,
+            pid,
+            check_cache_first,
+        )),
+        Some(false) => {
+            let pred = func
+                .find_predicate(pid)
+                .expect("predicate still present")
+                .1
+                .pred;
+            Ok(loosen_rule(
+                func,
+                state,
+                ctx,
+                cands,
+                rid,
+                pid,
+                Some(pred),
+                check_cache_first,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::state::run_full;
+    use em_similarity::{Measure, TokenScheme};
+    use em_types::{Record, Schema, Table};
+
+    /// 4×4 fixture with two title-identical pairs and one modelno match.
+    struct Fix {
+        ctx: EvalContext,
+        cands: CandidateSet,
+        func: MatchingFunction,
+        state: MatchState,
+        f_title: crate::feature::FeatureId,
+        f_model: crate::feature::FeatureId,
+    }
+
+    fn fixture() -> Fix {
+        let schema = Schema::new(["title", "modelno"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["apple ipod nano", "MC037"]));
+        a.push(Record::new("a2", ["sony walkman player", "NWZ"]));
+        a.push(Record::new("a3", ["bose speaker mini", "BS1"]));
+        a.push(Record::new("a4", ["dell monitor hd", "DM27"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["apple ipod nano", "MC037"]));
+        b.push(Record::new("b2", ["sony walkman player", "NWZ9"]));
+        b.push(Record::new("b3", ["jbl flip speaker", "BS1"]));
+        b.push(Record::new("b4", ["lg monitor uhd", "LG27"]));
+
+        let mut ctx = EvalContext::from_tables(a, b);
+        let f_title = ctx
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        let f_model = ctx.feature(Measure::Exact, "modelno", "modelno").unwrap();
+
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.99)).unwrap();
+
+        let cands = CandidateSet::cartesian(ctx.table_a(), ctx.table_b());
+        let mut state = MatchState::new(cands.len(), ctx.registry().len());
+        run_full(&func, &ctx, &cands, &mut state, false);
+
+        Fix {
+            ctx,
+            cands,
+            func,
+            state,
+            f_title,
+            f_model,
+        }
+    }
+
+    /// Verifies incremental state agrees with a from-scratch run.
+    fn assert_consistent(fix: &Fix) {
+        let mut fresh = MatchState::new(fix.cands.len(), fix.ctx.registry().len());
+        run_full(&fix.func, &fix.ctx, &fix.cands, &mut fresh, false);
+        assert_eq!(
+            fix.state.verdicts(),
+            fresh.verdicts(),
+            "incremental verdicts diverge from scratch run"
+        );
+    }
+
+    #[test]
+    fn initial_state() {
+        let fix = fixture();
+        // a1b1 and a2b2 have identical titles.
+        assert_eq!(fix.state.n_matches(), 2);
+        assert!(fix.state.verdict(0));
+        assert!(fix.state.verdict(5));
+    }
+
+    #[test]
+    fn add_rule_matches_new_pairs_only() {
+        let mut fix = fixture();
+        let rule = Rule::new().pred(fix.f_model, CmpOp::Ge, 1.0);
+        let (rid, report) = add_rule(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            rule,
+            false,
+        )
+        .unwrap();
+        // a1b1 already matched via title; a3b3 (BS1 = BS1) is new.
+        assert_eq!(report.newly_matched, vec![10]); // pair (a3,b3) = 2*4+2
+        assert!(report.newly_unmatched.is_empty());
+        assert_eq!(fix.state.fired_rule(10), Some(rid));
+        // Only unmatched pairs examined: 16 − 2.
+        assert_eq!(report.pairs_examined, 14);
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn remove_rule_unmatches_or_rescues() {
+        let mut fix = fixture();
+        // Add the model rule, then remove the title rule: a1b1 must be
+        // rescued by the model rule; a2b2 (NWZ vs NWZ9) must unmatch.
+        let rule = Rule::new().pred(fix.f_model, CmpOp::Ge, 1.0);
+        add_rule(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, rule, false).unwrap();
+        let title_rule = fix.func.rules()[0].id;
+        let report = remove_rule(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            title_rule,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.pairs_examined, 2, "only M(r) re-examined");
+        assert_eq!(report.newly_unmatched, vec![5]);
+        assert!(fix.state.verdict(0), "a1b1 rescued by model rule");
+        assert!(fix.state.verdict(10));
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn add_predicate_restricts() {
+        let mut fix = fixture();
+        let rid = fix.func.rules()[0].id;
+        // Require model equality on the title rule: a2b2 now fails.
+        let (pid, report) = add_predicate(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            rid,
+            Predicate::at_least(fix.f_model, 1.0),
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.pairs_examined, 2, "only M(r) re-examined");
+        assert_eq!(report.newly_unmatched, vec![5]);
+        assert!(fix.state.verdict(0));
+        assert!(fix.state.pred_bitmap(pid).unwrap().get(5));
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn tighten_then_relax_roundtrip() {
+        let mut fix = fixture();
+        let pid = fix.func.rules()[0].preds[0].id;
+
+        // Tighten to an impossible threshold: both matches vanish.
+        let report = set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            1.01,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.newly_unmatched.len(), 2);
+        assert_eq!(fix.state.n_matches(), 0);
+        assert_consistent(&fix);
+
+        // Relax back to 0.99: both return.
+        let report = set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            0.99,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.newly_matched.len(), 2);
+        assert_eq!(fix.state.n_matches(), 2);
+        assert_consistent(&fix);
+
+        // Relaxing further matches overlapping-but-unequal titles too.
+        let report = set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            0.2,
+            false,
+        )
+        .unwrap();
+        assert!(!report.newly_matched.is_empty());
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn noop_threshold_change_is_free() {
+        let mut fix = fixture();
+        let pid = fix.func.rules()[0].preds[0].id;
+        let report = set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            0.99,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.pairs_examined, 0);
+        assert_eq!(report.n_changed(), 0);
+    }
+
+    #[test]
+    fn remove_predicate_loosens() {
+        let mut fix = fixture();
+        let rid = fix.func.rules()[0].id;
+        // Make the rule two-predicate, run full to settle state, then
+        // remove the added predicate: the lost match returns.
+        let (pid, _) = add_predicate(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            rid,
+            Predicate::at_least(fix.f_model, 1.0),
+            false,
+        )
+        .unwrap();
+        assert_eq!(fix.state.n_matches(), 1);
+        let report = remove_predicate(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.newly_matched, vec![5]);
+        assert_eq!(fix.state.n_matches(), 2);
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn relax_with_matched_pairs_in_up_is_safe() {
+        // Regression for the invariant discussion: a matched pair sits in
+        // U(p) of another rule; relaxing p must not corrupt later edits.
+        let mut fix = fixture();
+        // Rule 2: title >= 0.5 (fires for nothing new beyond rule 1 at .99
+        // except overlap pairs) — add and settle.
+        let rule = Rule::new().pred(fix.f_title, CmpOp::Ge, 0.5);
+        add_rule(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, rule, false).unwrap();
+        // Tighten rule 1 to impossible, relax it back, then remove rule 2;
+        // after each step incremental state must match a scratch run.
+        let pid = fix.func.rules()[0].preds[0].id;
+        set_threshold(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, pid, 1.01, false)
+            .unwrap();
+        assert_consistent(&fix);
+        set_threshold(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, pid, 0.9, false)
+            .unwrap();
+        assert_consistent(&fix);
+        let r2 = fix.func.rules()[1].id;
+        remove_rule(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, r2, false).unwrap();
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut fix = fixture();
+        assert!(remove_rule(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            RuleId(999),
+            false
+        )
+        .is_err());
+        assert!(set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            PredId(999),
+            0.5,
+            false
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! The feature-value memo: `(pair, feature) → similarity`.
+//!
+//! §4.3 ("dynamic memoing") stores each computed feature value so later
+//! references only pay a lookup. §7.4 discusses two layouts, both provided
+//! here:
+//!
+//! * [`DenseMemo`] — a `|C| × |F|` array (the paper's choice): O(1) access,
+//!   memory proportional to the full grid whether or not values are filled.
+//! * [`SparseMemo`] — a hash map holding only computed values: less memory
+//!   when lazy evaluation leaves most of the grid empty, pricier lookups.
+
+use crate::feature::FeatureId;
+use std::collections::HashMap;
+
+/// Storage interface for memoized feature values.
+///
+/// Implementations must treat `(pair, feature)` keys as write-once: the
+/// engines never overwrite an existing value (feature values are
+/// deterministic).
+pub trait Memo {
+    /// The memoized value, if present.
+    fn get(&self, pair: usize, feature: FeatureId) -> Option<f64>;
+    /// Stores a computed value.
+    fn put(&mut self, pair: usize, feature: FeatureId, value: f64);
+    /// True when a value is present (no value read).
+    fn contains(&self, pair: usize, feature: FeatureId) -> bool {
+        self.get(pair, feature).is_some()
+    }
+    /// Number of stored values.
+    fn stored(&self) -> usize;
+    /// Forgets everything.
+    fn reset(&mut self);
+    /// Approximate heap bytes used (§7.4 memory accounting).
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Dense `pairs × features` array memo with NaN as the "absent" sentinel.
+///
+/// Feature capacity grows on demand (the analyst may introduce new features
+/// mid-session); growth re-lays-out the array, which is rare and costs one
+/// pass over it.
+#[derive(Debug, Clone)]
+pub struct DenseMemo {
+    n_pairs: usize,
+    n_features: usize,
+    values: Vec<f64>,
+    stored: usize,
+}
+
+impl DenseMemo {
+    /// Creates a dense memo for `n_pairs` pairs and `n_features` features.
+    pub fn new(n_pairs: usize, n_features: usize) -> Self {
+        DenseMemo {
+            n_pairs,
+            n_features,
+            values: vec![f64::NAN; n_pairs * n_features],
+            stored: 0,
+        }
+    }
+
+    /// Ensures capacity for feature ids `0..n_features`.
+    pub fn ensure_features(&mut self, n_features: usize) {
+        if n_features <= self.n_features {
+            return;
+        }
+        let mut values = vec![f64::NAN; self.n_pairs * n_features];
+        for p in 0..self.n_pairs {
+            let old = &self.values[p * self.n_features..(p + 1) * self.n_features];
+            values[p * n_features..p * n_features + self.n_features].copy_from_slice(old);
+        }
+        self.values = values;
+        self.n_features = n_features;
+    }
+
+    /// Number of pair slots.
+    pub fn n_pairs(&self) -> usize {
+        self.n_pairs
+    }
+
+    /// Number of feature slots.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    #[inline]
+    fn idx(&self, pair: usize, feature: FeatureId) -> Option<usize> {
+        let f = feature.index();
+        if pair < self.n_pairs && f < self.n_features {
+            Some(pair * self.n_features + f)
+        } else {
+            None
+        }
+    }
+}
+
+impl Memo for DenseMemo {
+    #[inline]
+    fn get(&self, pair: usize, feature: FeatureId) -> Option<f64> {
+        let i = self.idx(pair, feature)?;
+        let v = self.values[i];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        if feature.index() >= self.n_features {
+            self.ensure_features(feature.index() + 1);
+        }
+        let i = self
+            .idx(pair, feature)
+            .expect("pair index out of range for memo");
+        if self.values[i].is_nan() {
+            self.stored += 1;
+        }
+        self.values[i] = value;
+    }
+
+    fn stored(&self) -> usize {
+        self.stored
+    }
+
+    fn reset(&mut self) {
+        self.values.fill(f64::NAN);
+        self.stored = 0;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Hash-map memo storing only computed values.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemo {
+    map: HashMap<(u32, u32), f64>,
+}
+
+impl SparseMemo {
+    /// An empty sparse memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Memo for SparseMemo {
+    #[inline]
+    fn get(&self, pair: usize, feature: FeatureId) -> Option<f64> {
+        self.map.get(&(pair as u32, feature.0)).copied()
+    }
+
+    #[inline]
+    fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        self.map.insert((pair as u32, feature.0), value);
+    }
+
+    fn stored(&self) -> usize {
+        self.map.len()
+    }
+
+    fn reset(&mut self) {
+        self.map.clear();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // Key + value + ~1 byte of control metadata per slot (hashbrown).
+        self.map.capacity() * (std::mem::size_of::<((u32, u32), f64)>() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(memo: &mut dyn Memo) {
+        assert_eq!(memo.get(0, FeatureId(0)), None);
+        memo.put(0, FeatureId(0), 0.5);
+        memo.put(3, FeatureId(1), 0.25);
+        assert_eq!(memo.get(0, FeatureId(0)), Some(0.5));
+        assert_eq!(memo.get(3, FeatureId(1)), Some(0.25));
+        assert_eq!(memo.get(3, FeatureId(0)), None);
+        assert!(memo.contains(0, FeatureId(0)));
+        assert_eq!(memo.stored(), 2);
+        memo.reset();
+        assert_eq!(memo.stored(), 0);
+        assert_eq!(memo.get(0, FeatureId(0)), None);
+    }
+
+    #[test]
+    fn dense_basicops() {
+        let mut m = DenseMemo::new(10, 4);
+        exercise(&mut m);
+    }
+
+    #[test]
+    fn sparse_basic_ops() {
+        let mut m = SparseMemo::new();
+        exercise(&mut m);
+    }
+
+    #[test]
+    fn dense_zero_value_is_present() {
+        // 0.0 is a legitimate similarity — must be distinguishable from absent.
+        let mut m = DenseMemo::new(2, 2);
+        m.put(1, FeatureId(1), 0.0);
+        assert_eq!(m.get(1, FeatureId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn dense_grows_features() {
+        let mut m = DenseMemo::new(4, 1);
+        m.put(2, FeatureId(0), 0.7);
+        m.put(2, FeatureId(5), 0.9); // triggers growth
+        assert_eq!(m.n_features(), 6);
+        assert_eq!(m.get(2, FeatureId(0)), Some(0.7), "old values survive growth");
+        assert_eq!(m.get(2, FeatureId(5)), Some(0.9));
+        assert_eq!(m.stored(), 2);
+    }
+
+    #[test]
+    fn dense_out_of_range_get_is_none() {
+        let m = DenseMemo::new(2, 2);
+        assert_eq!(m.get(99, FeatureId(0)), None);
+        assert_eq!(m.get(0, FeatureId(99)), None);
+    }
+
+    #[test]
+    fn overwrite_does_not_double_count() {
+        let mut m = DenseMemo::new(2, 2);
+        m.put(0, FeatureId(0), 0.5);
+        m.put(0, FeatureId(0), 0.5);
+        assert_eq!(m.stored(), 1);
+    }
+
+    #[test]
+    fn heap_bytes_scale() {
+        let dense = DenseMemo::new(1000, 10);
+        assert!(dense.heap_bytes() >= 1000 * 10 * 8);
+        let mut sparse = SparseMemo::new();
+        sparse.put(0, FeatureId(0), 1.0);
+        assert!(sparse.heap_bytes() > 0);
+        assert!(sparse.heap_bytes() < dense.heap_bytes());
+    }
+}

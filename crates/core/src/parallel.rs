@@ -1,0 +1,147 @@
+//! Parallel matching: an extension beyond the paper's single-threaded
+//! implementation.
+//!
+//! Candidate pairs are independent, so Algorithm 4 parallelizes by
+//! partitioning the candidate set across worker threads, each with its own
+//! chunk-local memo (the memo is keyed by pair, so chunks never share
+//! entries — no synchronization needed on the hot path).
+
+use crate::context::EvalContext;
+use crate::engine::{run_memo_with, EvalStats, MatchOutcome};
+use crate::function::MatchingFunction;
+use crate::memo::DenseMemo;
+use em_types::CandidateSet;
+use std::time::Instant;
+
+/// Algorithm 4 across `n_threads` workers.
+///
+/// Produces verdicts identical to [`crate::run_memo`]; only wall-clock time
+/// changes. `n_threads == 0` means "one per available CPU".
+pub fn run_memo_parallel(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    check_cache_first: bool,
+    n_threads: usize,
+) -> MatchOutcome {
+    let start = Instant::now();
+    let n_threads = if n_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        n_threads
+    };
+
+    if cands.is_empty() || n_threads == 1 {
+        let mut memo = DenseMemo::new(cands.len(), ctx.registry().len());
+        return run_memo_with(func, ctx, cands, &mut memo, check_cache_first);
+    }
+
+    let chunk_size = cands.len().div_ceil(n_threads);
+    let pairs = cands.as_slice();
+    let n_features = ctx.registry().len();
+
+    let mut results: Vec<Option<MatchOutcome>> = Vec::new();
+    results.resize_with(pairs.chunks(chunk_size).len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        for (slot, chunk) in results.iter_mut().zip(pairs.chunks(chunk_size)) {
+            scope.spawn(move |_| {
+                let local = CandidateSet::from_pairs(chunk.to_vec());
+                let mut memo = DenseMemo::new(local.len(), n_features);
+                *slot = Some(run_memo_with(func, ctx, &local, &mut memo, check_cache_first));
+            });
+        }
+    })
+    .expect("matching workers do not panic");
+
+    let mut verdicts = Vec::with_capacity(cands.len());
+    let mut stats = EvalStats::default();
+    for outcome in results.into_iter().flatten() {
+        verdicts.extend(outcome.verdicts);
+        stats.absorb(&outcome.stats);
+    }
+
+    MatchOutcome {
+        verdicts,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_memo;
+    use crate::predicate::CmpOp;
+    use crate::rule::Rule;
+    use em_similarity::{Measure, TokenScheme};
+    use em_types::{Record, Schema, Table};
+
+    fn fixture(n: usize) -> (EvalContext, CandidateSet, MatchingFunction) {
+        let schema = Schema::new(["name"]);
+        let mut a = Table::new("A", schema.clone());
+        let mut b = Table::new("B", schema);
+        for i in 0..n {
+            a.push(Record::new(format!("a{i}"), [format!("widget model {i}")]));
+            b.push(Record::new(
+                format!("b{i}"),
+                [format!("widget model {}", i % (n / 2 + 1))],
+            ));
+        }
+        let mut ctx = EvalContext::from_tables(a, b);
+        let f = ctx
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "name", "name")
+            .unwrap();
+        let g = ctx.feature(Measure::Levenshtein, "name", "name").unwrap();
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.99)).unwrap();
+        func.add_rule(
+            Rule::new()
+                .pred(g, CmpOp::Ge, 0.95)
+                .pred(f, CmpOp::Ge, 0.5),
+        )
+        .unwrap();
+        let cands = CandidateSet::cartesian(ctx.table_a(), ctx.table_b());
+        (ctx, cands, func)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (ctx, cands, func) = fixture(12);
+        let (serial, _) = run_memo(&func, &ctx, &cands, true);
+        for threads in [1, 2, 3, 8] {
+            let par = run_memo_parallel(&func, &ctx, &cands, true, threads);
+            assert_eq!(
+                par.verdicts, serial.verdicts,
+                "{threads}-thread run disagrees with serial"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let (ctx, cands, func) = fixture(6);
+        let (serial, _) = run_memo(&func, &ctx, &cands, false);
+        let par = run_memo_parallel(&func, &ctx, &cands, false, 0);
+        assert_eq!(par.verdicts, serial.verdicts);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let (ctx, _, func) = fixture(4);
+        let out = run_memo_parallel(&func, &ctx, &CandidateSet::new(), false, 4);
+        assert!(out.verdicts.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_pairs() {
+        let (ctx, cands, func) = fixture(4);
+        let small = cands.truncated(3);
+        let (serial, _) = run_memo(&func, &ctx, &small, false);
+        let par = run_memo_parallel(&func, &ctx, &small, false, 16);
+        assert_eq!(par.verdicts, serial.verdicts);
+        assert_eq!(par.verdicts.len(), 3);
+    }
+}

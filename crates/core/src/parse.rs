@@ -1,0 +1,384 @@
+//! A textual rule language and its parser, so rule sets can be written,
+//! versioned, and shared as plain text — the way the paper's analysts
+//! author them.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! function  :=  rule ( "OR" rule )*          -- newlines also separate rules
+//! rule      :=  predicate ( "AND" predicate )*
+//! predicate :=  measure "(" attr "," attr ")" op number
+//! op        :=  ">=" | ">" | "<=" | "<"
+//! measure   :=  exact | jaro | jaro_winkler | levenshtein | trigram
+//!            |  soundex | numeric_<scale> | cosine_S | jaccard_S | dice_S
+//!            |  overlap_S | monge_elkan_S | tfidf_S | soft_tfidf_S
+//! S         :=  ws | alnum | <q>gram        -- e.g. jaccard_3gram
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! jaro_winkler(modelno, modelno) >= 0.97 AND cosine_ws(title, title) >= 0.69
+//! OR jaccard_ws(title, title) >= 0.8
+//! ```
+
+use crate::context::EvalContext;
+use crate::function::MatchingFunction;
+use crate::predicate::CmpOp;
+use crate::rule::Rule;
+use em_similarity::{Measure, TokenScheme};
+use std::fmt;
+
+/// Errors raised by the rule-text parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A measure name was not recognized.
+    UnknownMeasure(String),
+    /// An attribute name does not exist in the table schema.
+    UnknownAttr(String),
+    /// The predicate text did not match the grammar.
+    Malformed(String),
+    /// A threshold did not parse as a number.
+    BadNumber(String),
+    /// The input contained no rules.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownMeasure(m) => write!(f, "unknown measure {m:?}"),
+            ParseError::UnknownAttr(a) => write!(f, "unknown attribute {a:?}"),
+            ParseError::Malformed(s) => write!(f, "malformed predicate {s:?}"),
+            ParseError::BadNumber(s) => write!(f, "bad threshold {s:?}"),
+            ParseError::Empty => write!(f, "no rules in input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a measure name as produced by [`Measure::name`].
+pub fn parse_measure(name: &str) -> Option<Measure> {
+    fn scheme(s: &str) -> Option<TokenScheme> {
+        match s {
+            "ws" => Some(TokenScheme::Whitespace),
+            "alnum" => Some(TokenScheme::Alnum),
+            _ => {
+                let q = s.strip_suffix("gram")?.parse::<u8>().ok()?;
+                (q >= 1).then_some(TokenScheme::QGram(q))
+            }
+        }
+    }
+
+    let name = name.trim().to_lowercase();
+    match name.as_str() {
+        "exact" => return Some(Measure::Exact),
+        "jaro" => return Some(Measure::Jaro),
+        "jaro_winkler" => return Some(Measure::JaroWinkler),
+        "levenshtein" => return Some(Measure::Levenshtein),
+        "trigram" => return Some(Measure::Trigram),
+        "soundex" => return Some(Measure::Soundex),
+        _ => {}
+    }
+    for (prefix, make) in [
+        ("cosine_", Measure::Cosine as fn(TokenScheme) -> Measure),
+        ("jaccard_", Measure::Jaccard),
+        ("dice_", Measure::Dice),
+        ("overlap_", Measure::Overlap),
+        ("monge_elkan_", Measure::MongeElkan),
+        ("tfidf_", Measure::TfIdf),
+    ] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            return scheme(rest).map(make);
+        }
+    }
+    if let Some(rest) = name.strip_prefix("numeric_") {
+        return rest.parse::<f64>().ok().map(|scale| Measure::NumericAbs { scale });
+    }
+    if let Some(rest) = name.strip_prefix("soft_tfidf_") {
+        // Either "soft_tfidf_ws" (default 0.9 gate) or "soft_tfidf_ws_0.90".
+        let (scheme_part, threshold) = match rest.rsplit_once('_') {
+            Some((s, t)) if t.parse::<f64>().is_ok() => (s, t.parse::<f64>().unwrap()),
+            _ => (rest, 0.9),
+        };
+        return scheme(scheme_part).map(|s| Measure::SoftTfIdf {
+            scheme: s,
+            threshold,
+        });
+    }
+    None
+}
+
+/// Splits on a keyword (`OR` / `AND`) at word boundaries, case-insensitively.
+fn split_keyword<'a>(text: &'a str, kw: &str) -> Vec<&'a str> {
+    let lower = text.to_lowercase();
+    let kw = kw.to_lowercase();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let bytes = lower.as_bytes();
+    let mut i = 0usize;
+    while i + kw.len() <= lower.len() {
+        let boundary_before = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+        let after = i + kw.len();
+        let boundary_after = after == lower.len() || !bytes[after].is_ascii_alphanumeric();
+        if boundary_before && boundary_after && lower[i..].starts_with(&kw) {
+            parts.push(&text[start..i]);
+            start = after;
+            i = after;
+        } else {
+            i += 1;
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_predicate(
+    text: &str,
+    ctx: &mut EvalContext,
+) -> Result<crate::predicate::Predicate, ParseError> {
+    let text = text.trim();
+    let open = text
+        .find('(')
+        .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
+    let close = text
+        .find(')')
+        .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
+    if close < open {
+        return Err(ParseError::Malformed(text.to_string()));
+    }
+
+    let measure_name = text[..open].trim();
+    let measure =
+        parse_measure(measure_name).ok_or_else(|| ParseError::UnknownMeasure(measure_name.to_string()))?;
+
+    let args: Vec<&str> = text[open + 1..close].split(',').map(str::trim).collect();
+    if args.len() != 2 {
+        return Err(ParseError::Malformed(text.to_string()));
+    }
+
+    let rest = text[close + 1..].trim();
+    let (op, num) = [">=", "<=", ">", "<"]
+        .iter()
+        .find_map(|sym| rest.strip_prefix(sym).map(|n| (*sym, n)))
+        .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
+    let op = CmpOp::parse(op).expect("symbol came from the known list");
+    let threshold: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| ParseError::BadNumber(num.trim().to_string()))?;
+
+    let feature = ctx
+        .feature(measure, args[0], args[1])
+        .ok_or_else(|| ParseError::UnknownAttr(format!("{} / {}", args[0], args[1])))?;
+    Ok(crate::predicate::Predicate::new(feature, op, threshold))
+}
+
+/// Parses one rule (a conjunction).
+pub fn parse_rule(text: &str, ctx: &mut EvalContext) -> Result<Rule, ParseError> {
+    let mut rule = Rule::new();
+    for pred_text in split_keyword(text, "and") {
+        if pred_text.trim().is_empty() {
+            return Err(ParseError::Malformed(text.to_string()));
+        }
+        let pred = parse_predicate(pred_text, ctx)?;
+        rule = Rule::with(
+            rule.predicates()
+                .iter()
+                .copied()
+                .chain(std::iter::once(pred)),
+        );
+    }
+    Ok(rule)
+}
+
+/// Parses a full matching function: rules separated by `OR` or newlines.
+pub fn parse_function(text: &str, ctx: &mut EvalContext) -> Result<MatchingFunction, ParseError> {
+    let mut func = MatchingFunction::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        for rule_text in split_keyword(line, "or") {
+            if rule_text.trim().is_empty() {
+                continue;
+            }
+            let rule = parse_rule(rule_text, ctx)?;
+            func.add_rule(rule).expect("parsed rules are non-empty");
+        }
+    }
+    if func.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok(func)
+}
+
+/// Renders a matching function back to parseable text (one rule per line).
+pub fn function_to_text(func: &MatchingFunction, ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    for rule in func.rules() {
+        let preds: Vec<String> = rule
+            .preds
+            .iter()
+            .map(|bp| {
+                format!(
+                    "{} {} {}",
+                    ctx.feature_name(bp.pred.feature),
+                    bp.pred.op,
+                    bp.pred.threshold
+                )
+            })
+            .collect();
+        out.push_str(&preds.join(" AND "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::{Record, Schema, Table};
+
+    fn ctx() -> EvalContext {
+        let schema = Schema::new(["title", "modelno"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["apple ipod", "MC037"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["apple ipod touch", "MC037"]));
+        EvalContext::from_tables(a, b)
+    }
+
+    #[test]
+    fn measure_names_roundtrip() {
+        for m in Measure::paper_menu() {
+            let parsed = parse_measure(&m.name());
+            assert_eq!(parsed, Some(m), "failed to roundtrip {}", m.name());
+        }
+    }
+
+    #[test]
+    fn parse_single_rule() {
+        let mut c = ctx();
+        let f = parse_function("exact(modelno, modelno) >= 1.0", &mut c).unwrap();
+        assert_eq!(f.n_rules(), 1);
+        assert_eq!(f.n_predicates(), 1);
+        let bp = &f.rules()[0].preds[0];
+        assert_eq!(bp.pred.op, CmpOp::Ge);
+        assert_eq!(bp.pred.threshold, 1.0);
+    }
+
+    #[test]
+    fn parse_conjunction_and_disjunction() {
+        let mut c = ctx();
+        let text = "jaro_winkler(modelno, modelno) >= 0.97 AND cosine_ws(title, title) >= 0.69 \
+                    OR jaccard_ws(title, title) < 0.4";
+        let f = parse_function(text, &mut c).unwrap();
+        assert_eq!(f.n_rules(), 2);
+        assert_eq!(f.rules()[0].preds.len(), 2);
+        assert_eq!(f.rules()[1].preds.len(), 1);
+        assert_eq!(f.rules()[1].preds[0].pred.op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn newlines_separate_rules_and_comments_skip() {
+        let mut c = ctx();
+        let text = "# products rules\nexact(modelno, modelno) >= 1\n\njaro(title, title) >= 0.9\n";
+        let f = parse_function(text, &mut c).unwrap();
+        assert_eq!(f.n_rules(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let mut c = ctx();
+        let f = parse_function(
+            "exact(modelno, modelno) >= 1 and jaro(title, title) >= 0.5 or trigram(title, title) >= 0.3",
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(f.n_rules(), 2);
+        assert_eq!(f.rules()[0].preds.len(), 2);
+    }
+
+    #[test]
+    fn keyword_inside_identifier_not_split() {
+        // "soundex" contains no AND/OR; but attribute names could — ensure
+        // word-boundary splitting: "android" must not split at "and".
+        let parts = split_keyword("android or ios", "or");
+        assert_eq!(parts, vec!["android ", " ios"]);
+        let parts = split_keyword("android", "and");
+        assert_eq!(parts, vec!["android"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut c = ctx();
+        assert!(matches!(
+            parse_function("frobnicate(title, title) >= 1", &mut c),
+            Err(ParseError::UnknownMeasure(_))
+        ));
+        assert!(matches!(
+            parse_function("exact(nope, title) >= 1", &mut c),
+            Err(ParseError::UnknownAttr(_))
+        ));
+        assert!(matches!(
+            parse_function("exact(title, title) >= banana", &mut c),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_function("exact(title title) >= 1", &mut c),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse_function("  \n# only a comment\n", &mut c), Err(ParseError::Empty)));
+    }
+
+    #[test]
+    fn numeric_measure_parses() {
+        assert_eq!(
+            parse_measure("numeric_10"),
+            Some(Measure::NumericAbs { scale: 10.0 })
+        );
+        assert_eq!(
+            parse_measure("numeric_2.5"),
+            Some(Measure::NumericAbs { scale: 2.5 })
+        );
+        assert_eq!(parse_measure("numeric_x"), None);
+    }
+
+    #[test]
+    fn soft_tfidf_with_and_without_threshold() {
+        assert_eq!(
+            parse_measure("soft_tfidf_ws"),
+            Some(Measure::SoftTfIdf {
+                scheme: TokenScheme::Whitespace,
+                threshold: 0.9
+            })
+        );
+        assert_eq!(
+            parse_measure("soft_tfidf_ws_0.85"),
+            Some(Measure::SoftTfIdf {
+                scheme: TokenScheme::Whitespace,
+                threshold: 0.85
+            })
+        );
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut c = ctx();
+        let text = "jaro_winkler(modelno, modelno) >= 0.97 AND cosine_ws(title, title) >= 0.69\n\
+                    jaccard_3gram(title, title) < 0.4\n";
+        let f = parse_function(text, &mut c).unwrap();
+        let rendered = function_to_text(&f, &c);
+        let f2 = parse_function(&rendered, &mut c).unwrap();
+        assert_eq!(f.n_rules(), f2.n_rules());
+        assert_eq!(f.n_predicates(), f2.n_predicates());
+        for (r1, r2) in f.rules().iter().zip(f2.rules()) {
+            for (p1, p2) in r1.preds.iter().zip(&r2.preds) {
+                assert_eq!(p1.pred, p2.pred);
+            }
+        }
+    }
+}

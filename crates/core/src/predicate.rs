@@ -1,0 +1,171 @@
+//! Predicates: `feature op threshold` comparisons, the atoms of rules.
+
+use crate::feature::FeatureId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator of a predicate.
+///
+/// The paper (§5.4) considers predicates of the form `A ≥ a` or `A ≤ a`;
+/// rules extracted from decision trees naturally also produce strict
+/// variants, so all four are supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `value >= threshold`
+    Ge,
+    /// `value > threshold`
+    Gt,
+    /// `value <= threshold`
+    Le,
+    /// `value < threshold`
+    Lt,
+}
+
+impl CmpOp {
+    /// The textual operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+        }
+    }
+
+    /// Whether raising the threshold makes the predicate *stricter*
+    /// (true for `>=`/`>`; for `<=`/`<` lowering it is stricter).
+    pub fn higher_threshold_is_stricter(self) -> bool {
+        matches!(self, CmpOp::Ge | CmpOp::Gt)
+    }
+
+    /// Parses an operator token.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            ">=" => Some(CmpOp::Ge),
+            ">" => Some(CmpOp::Gt),
+            "<=" => Some(CmpOp::Le),
+            "<" => Some(CmpOp::Lt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Stable identifier of a predicate within a [`crate::MatchingFunction`].
+///
+/// Assigned once when the predicate is inserted and never reused, so the
+/// materialized per-predicate bitmaps (§6.1) stay valid across edits that
+/// add or remove *other* predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PredId(pub u64);
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A predicate: compare a feature value against a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The feature whose value is compared.
+    pub feature: FeatureId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The threshold constant.
+    pub threshold: f64,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(feature: FeatureId, op: CmpOp, threshold: f64) -> Self {
+        Predicate {
+            feature,
+            op,
+            threshold,
+        }
+    }
+
+    /// Shorthand for `feature >= threshold`, the most common shape.
+    pub fn at_least(feature: FeatureId, threshold: f64) -> Self {
+        Self::new(feature, CmpOp::Ge, threshold)
+    }
+
+    /// Evaluates the predicate against a computed feature value.
+    #[inline]
+    pub fn eval(&self, value: f64) -> bool {
+        match self.op {
+            CmpOp::Ge => value >= self.threshold,
+            CmpOp::Gt => value > self.threshold,
+            CmpOp::Le => value <= self.threshold,
+            CmpOp::Lt => value < self.threshold,
+        }
+    }
+
+    /// Whether changing this predicate's threshold to `new` makes it
+    /// stricter (`Some(true)`), looser (`Some(false)`), or leaves it
+    /// unchanged (`None`).
+    pub fn change_direction(&self, new: f64) -> Option<bool> {
+        if new == self.threshold {
+            return None;
+        }
+        let raised = new > self.threshold;
+        Some(raised == self.op.higher_threshold_is_stricter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(op: CmpOp, t: f64) -> Predicate {
+        Predicate::new(FeatureId(0), op, t)
+    }
+
+    #[test]
+    fn eval_all_ops() {
+        assert!(p(CmpOp::Ge, 0.5).eval(0.5));
+        assert!(!p(CmpOp::Gt, 0.5).eval(0.5));
+        assert!(p(CmpOp::Gt, 0.5).eval(0.6));
+        assert!(p(CmpOp::Le, 0.5).eval(0.5));
+        assert!(!p(CmpOp::Lt, 0.5).eval(0.5));
+        assert!(p(CmpOp::Lt, 0.5).eval(0.4));
+    }
+
+    #[test]
+    fn strictness_direction() {
+        // >= : raising tightens.
+        assert_eq!(p(CmpOp::Ge, 0.5).change_direction(0.7), Some(true));
+        assert_eq!(p(CmpOp::Ge, 0.5).change_direction(0.3), Some(false));
+        // <= : lowering tightens.
+        assert_eq!(p(CmpOp::Le, 0.5).change_direction(0.3), Some(true));
+        assert_eq!(p(CmpOp::Le, 0.5).change_direction(0.7), Some(false));
+        // No change.
+        assert_eq!(p(CmpOp::Ge, 0.5).change_direction(0.5), None);
+    }
+
+    #[test]
+    fn op_parse_display_roundtrip() {
+        for op in [CmpOp::Ge, CmpOp::Gt, CmpOp::Le, CmpOp::Lt] {
+            assert_eq!(CmpOp::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(CmpOp::parse("=="), None);
+    }
+
+    #[test]
+    fn tighten_semantics_monotone() {
+        // A stricter predicate accepts a subset of values.
+        let loose = p(CmpOp::Ge, 0.3);
+        let strict = p(CmpOp::Ge, 0.7);
+        for v in [0.0, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            if strict.eval(v) {
+                assert!(loose.eval(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Matching-quality evaluation against a labeled sample (§3): precision,
+//! recall, F₁ — the numbers the analyst watches while debugging rules.
+
+use em_types::{CandidateSet, Label, LabeledPair};
+use std::collections::HashMap;
+
+/// Confusion-matrix summary of matching output vs. ground-truth labels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Labeled matches predicted as matches.
+    pub true_positives: usize,
+    /// Labeled non-matches predicted as matches.
+    pub false_positives: usize,
+    /// Labeled matches predicted as non-matches.
+    pub false_negatives: usize,
+    /// Labeled non-matches predicted as non-matches.
+    pub true_negatives: usize,
+    /// Labeled pairs not present in the candidate set (blocking losses —
+    /// counted separately so recall reflects the matcher, not the blocker).
+    pub unseen_labels: usize,
+}
+
+impl QualityReport {
+    /// Compares verdicts with labels. `verdicts[i]` corresponds to
+    /// `cands.pair(i)`.
+    pub fn evaluate(verdicts: &[bool], cands: &CandidateSet, labeled: &[LabeledPair]) -> Self {
+        let index: HashMap<_, _> = cands.iter().map(|(i, p)| (p, i)).collect();
+        let mut report = QualityReport::default();
+        for lp in labeled {
+            match index.get(&lp.pair) {
+                None => report.unseen_labels += 1,
+                Some(&i) => match (verdicts[i], lp.label) {
+                    (true, Label::Match) => report.true_positives += 1,
+                    (true, Label::NonMatch) => report.false_positives += 1,
+                    (false, Label::Match) => report.false_negatives += 1,
+                    (false, Label::NonMatch) => report.true_negatives += 1,
+                },
+            }
+        }
+        report
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there are no labeled matches.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F₁ — harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Number of labeled pairs that were actually evaluated.
+    pub fn n_evaluated(&self) -> usize {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::PairIdx;
+
+    fn labeled(a: u32, b: u32, label: Label) -> LabeledPair {
+        LabeledPair {
+            pair: PairIdx::new(a, b),
+            label,
+        }
+    }
+
+    #[test]
+    fn confusion_matrix() {
+        let cands = CandidateSet::from_pairs(vec![
+            PairIdx::new(0, 0), // predicted match, labeled match  -> TP
+            PairIdx::new(0, 1), // predicted match, labeled non    -> FP
+            PairIdx::new(1, 0), // predicted non, labeled match    -> FN
+            PairIdx::new(1, 1), // predicted non, labeled non      -> TN
+        ]);
+        let verdicts = vec![true, true, false, false];
+        let labels = vec![
+            labeled(0, 0, Label::Match),
+            labeled(0, 1, Label::NonMatch),
+            labeled(1, 0, Label::Match),
+            labeled(1, 1, Label::NonMatch),
+            labeled(9, 9, Label::Match), // not in candidates
+        ];
+        let q = QualityReport::evaluate(&verdicts, &cands, &labels);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, 1);
+        assert_eq!(q.true_negatives, 1);
+        assert_eq!(q.unseen_labels, 1);
+        assert_eq!(q.n_evaluated(), 4);
+        assert!((q.precision() - 0.5).abs() < 1e-12);
+        assert!((q.recall() - 0.5).abs() < 1e-12);
+        assert!((q.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let q = QualityReport::default();
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+
+        let all_wrong = QualityReport {
+            false_positives: 3,
+            false_negatives: 2,
+            ..Default::default()
+        };
+        assert_eq!(all_wrong.precision(), 0.0);
+        assert_eq!(all_wrong.recall(), 0.0);
+        assert_eq!(all_wrong.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_matcher() {
+        let cands = CandidateSet::from_pairs(vec![PairIdx::new(0, 0), PairIdx::new(0, 1)]);
+        let q = QualityReport::evaluate(
+            &[true, false],
+            &cands,
+            &[
+                labeled(0, 0, Label::Match),
+                labeled(0, 1, Label::NonMatch),
+            ],
+        );
+        assert_eq!(q.f1(), 1.0);
+    }
+}

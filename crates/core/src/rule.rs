@@ -1,0 +1,198 @@
+//! Rules: conjunctions of predicates, and their canonical feature grouping.
+
+use crate::feature::FeatureId;
+use crate::predicate::{CmpOp, PredId, Predicate};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a rule within a [`crate::MatchingFunction`].
+///
+/// Like [`PredId`], rule ids are never reused, so materialized per-rule
+/// bitmaps survive edits to other rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An *unbound* rule: a conjunction of predicates not yet inserted into a
+/// matching function (and therefore without [`PredId`]s).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    preds: Vec<Predicate>,
+}
+
+impl Rule {
+    /// An empty rule. An empty conjunction is vacuously true; matching
+    /// functions reject inserting one.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a rule from predicates.
+    pub fn with(preds: impl IntoIterator<Item = Predicate>) -> Self {
+        Rule {
+            preds: preds.into_iter().collect(),
+        }
+    }
+
+    /// Appends `feature op threshold` and returns `self` (builder style).
+    pub fn pred(mut self, feature: FeatureId, op: CmpOp, threshold: f64) -> Self {
+        self.preds.push(Predicate::new(feature, op, threshold));
+        self
+    }
+
+    /// The predicates in authoring order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the rule has no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// A predicate bound into a matching function: the predicate plus its
+/// stable id.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundPredicate {
+    /// Stable identity for materialized state.
+    pub id: PredId,
+    /// The predicate itself.
+    pub pred: Predicate,
+}
+
+/// A rule bound into a matching function.
+///
+/// `preds` is kept in the current *evaluation order*; the ordering module
+/// permutes it in place (per Lemma 3) without changing rule semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundRule {
+    /// Stable identity for materialized state.
+    pub id: RuleId,
+    /// Predicates in evaluation order.
+    pub preds: Vec<BoundPredicate>,
+}
+
+impl BoundRule {
+    /// The distinct features referenced by this rule, in first-appearance
+    /// order — `feature(r)` in the paper's notation.
+    pub fn features(&self) -> Vec<FeatureId> {
+        let mut out = Vec::new();
+        for bp in &self.preds {
+            if !out.contains(&bp.pred.feature) {
+                out.push(bp.pred.feature);
+            }
+        }
+        out
+    }
+
+    /// Groups predicate positions by feature, preserving first-appearance
+    /// order of features — the canonical form of Equation 5 in the paper.
+    ///
+    /// Returns `(feature, positions-of-its-predicates)` pairs.
+    pub fn feature_groups(&self) -> Vec<(FeatureId, Vec<usize>)> {
+        let mut groups: Vec<(FeatureId, Vec<usize>)> = Vec::new();
+        for (i, bp) in self.preds.iter().enumerate() {
+            match groups.iter_mut().find(|(f, _)| *f == bp.pred.feature) {
+                Some((_, positions)) => positions.push(i),
+                None => groups.push((bp.pred.feature, vec![i])),
+            }
+        }
+        groups
+    }
+
+    /// Position of the predicate with id `pid`, if present.
+    pub fn position_of(&self, pid: PredId) -> Option<usize> {
+        self.preds.iter().position(|bp| bp.id == pid)
+    }
+
+    /// Evaluates the rule given a resolver from feature to value.
+    ///
+    /// This is the *reference* (non-early-exit) semantics used by tests:
+    /// every predicate is evaluated and the results conjoined.
+    pub fn eval_reference(&self, mut value_of: impl FnMut(FeatureId) -> f64) -> bool {
+        self.preds.iter().all(|bp| bp.pred.eval(value_of(bp.pred.feature)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp(id: u64, f: u32, op: CmpOp, t: f64) -> BoundPredicate {
+        BoundPredicate {
+            id: PredId(id),
+            pred: Predicate::new(FeatureId(f), op, t),
+        }
+    }
+
+    #[test]
+    fn builder_collects_predicates() {
+        let r = Rule::new()
+            .pred(FeatureId(0), CmpOp::Ge, 0.7)
+            .pred(FeatureId(1), CmpOp::Lt, 0.3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.predicates()[1].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn features_dedup_in_order() {
+        let r = BoundRule {
+            id: RuleId(0),
+            preds: vec![
+                bp(0, 2, CmpOp::Ge, 0.5),
+                bp(1, 0, CmpOp::Ge, 0.5),
+                bp(2, 2, CmpOp::Le, 0.9),
+            ],
+        };
+        assert_eq!(r.features(), vec![FeatureId(2), FeatureId(0)]);
+    }
+
+    #[test]
+    fn feature_groups_collect_positions() {
+        let r = BoundRule {
+            id: RuleId(0),
+            preds: vec![
+                bp(0, 2, CmpOp::Ge, 0.5),
+                bp(1, 0, CmpOp::Ge, 0.5),
+                bp(2, 2, CmpOp::Le, 0.9),
+            ],
+        };
+        let groups = r.feature_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (FeatureId(2), vec![0, 2]));
+        assert_eq!(groups[1], (FeatureId(0), vec![1]));
+    }
+
+    #[test]
+    fn reference_eval_is_conjunction() {
+        let r = BoundRule {
+            id: RuleId(0),
+            preds: vec![bp(0, 0, CmpOp::Ge, 0.5), bp(1, 1, CmpOp::Lt, 0.2)],
+        };
+        let values = |f: FeatureId| if f == FeatureId(0) { 0.9 } else { 0.1 };
+        assert!(r.eval_reference(values));
+        let values = |f: FeatureId| if f == FeatureId(0) { 0.9 } else { 0.5 };
+        assert!(!r.eval_reference(values));
+    }
+
+    #[test]
+    fn position_of_finds_pred() {
+        let r = BoundRule {
+            id: RuleId(0),
+            preds: vec![bp(7, 0, CmpOp::Ge, 0.5), bp(9, 1, CmpOp::Ge, 0.5)],
+        };
+        assert_eq!(r.position_of(PredId(9)), Some(1));
+        assert_eq!(r.position_of(PredId(1)), None);
+    }
+}

@@ -1,0 +1,452 @@
+//! Logical simplification of matching functions.
+//!
+//! Rule sets accumulated over a debugging session — and especially rule
+//! sets extracted from random forests (§7.1) — contain redundancy:
+//! predicates implied by other predicates of the same rule, and whole
+//! rules subsumed by more permissive rules. Removing them is a pure
+//! semantic-preserving rewrite (verdicts cannot change) that makes the
+//! function cheaper to evaluate and easier for the analyst to read.
+//!
+//! Two rewrites are applied:
+//!
+//! 1. **Predicate dominance** (within a rule): of two predicates on the
+//!    same feature with the same direction, only the stricter binds —
+//!    `f ≥ 0.5 ∧ f ≥ 0.7` ⇒ `f ≥ 0.7`. Contradictory bounds
+//!    (`f ≥ 0.7 ∧ f < 0.5`) make the rule unsatisfiable; such rules are
+//!    dropped entirely (they can never fire). (Bounds with `f` outside
+//!    `[0, 1]` are kept as-is — they are the analyst's business.)
+//! 2. **Rule subsumption** (across rules): rule `s` is redundant when some
+//!    other rule `g` is *at most as strict*: every predicate of `g` is
+//!    implied by `s`'s predicates on the same feature. Whenever `s` fires,
+//!    `g` fires too, so removing `s` changes nothing.
+
+use crate::function::MatchingFunction;
+use crate::predicate::{CmpOp, PredId};
+use crate::rule::{BoundRule, RuleId};
+
+/// What [`simplify`] removed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimplifyReport {
+    /// Predicates dropped because a stricter same-feature bound exists.
+    pub dominated_predicates: Vec<PredId>,
+    /// Rules dropped because their bounds are contradictory (never fire).
+    pub unsatisfiable_rules: Vec<RuleId>,
+    /// Rules dropped because another rule is at most as strict.
+    pub subsumed_rules: Vec<(RuleId, RuleId)>, // (removed, kept-subsumer)
+}
+
+impl SimplifyReport {
+    /// True when nothing was removed.
+    pub fn is_noop(&self) -> bool {
+        self.dominated_predicates.is_empty()
+            && self.unsatisfiable_rules.is_empty()
+            && self.subsumed_rules.is_empty()
+    }
+
+    /// Total number of removed elements.
+    pub fn n_removed(&self) -> usize {
+        self.dominated_predicates.len()
+            + self.unsatisfiable_rules.len()
+            + self.subsumed_rules.len()
+    }
+}
+
+/// Normalized bounds of one rule: per feature, the tightest lower bound
+/// (`Ge`/`Gt`) and upper bound (`Le`/`Lt`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Interval {
+    lo: f64,
+    lo_strict: bool, // Gt vs Ge
+    hi: f64,
+    hi_strict: bool, // Lt vs Le
+}
+
+impl Interval {
+    fn unconstrained() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            lo_strict: false,
+            hi: f64::INFINITY,
+            hi_strict: false,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_strict || self.hi_strict))
+    }
+
+    /// Whether every value accepted by `self` is accepted by `other`
+    /// (i.e. `self ⊆ other`, so `other` is implied by `self`).
+    fn implies(&self, other: &Interval) -> bool {
+        let lo_ok = self.lo > other.lo
+            || (self.lo == other.lo && (self.lo_strict || !other.lo_strict));
+        let hi_ok = self.hi < other.hi
+            || (self.hi == other.hi && (self.hi_strict || !other.hi_strict));
+        lo_ok && hi_ok
+    }
+}
+
+fn rule_intervals(rule: &BoundRule) -> Vec<(crate::feature::FeatureId, Interval)> {
+    let mut out: Vec<(crate::feature::FeatureId, Interval)> = Vec::new();
+    for bp in &rule.preds {
+        let iv = out
+            .iter_mut()
+            .find(|(f, _)| *f == bp.pred.feature)
+            .map(|(_, iv)| iv);
+        let iv = match iv {
+            Some(iv) => iv,
+            None => {
+                out.push((bp.pred.feature, Interval::unconstrained()));
+                &mut out.last_mut().expect("just pushed").1
+            }
+        };
+        let t = bp.pred.threshold;
+        match bp.pred.op {
+            CmpOp::Ge if t > iv.lo || (t == iv.lo && !iv.lo_strict) => {
+                if t > iv.lo {
+                    iv.lo = t;
+                    iv.lo_strict = false;
+                }
+            }
+            CmpOp::Gt => {
+                if t > iv.lo || (t == iv.lo && !iv.lo_strict) {
+                    iv.lo = t;
+                    iv.lo_strict = true;
+                }
+            }
+            CmpOp::Le => {
+                if t < iv.hi {
+                    iv.hi = t;
+                    iv.hi_strict = false;
+                }
+            }
+            CmpOp::Lt => {
+                if t < iv.hi || (t == iv.hi && !iv.hi_strict) {
+                    iv.hi = t;
+                    iv.hi_strict = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Simplifies `func` in place, returning what was removed. Verdicts are
+/// guaranteed unchanged for every possible input (the rewrites are pure
+/// logical equivalences on the DNF).
+pub fn simplify(func: &mut MatchingFunction) -> SimplifyReport {
+    let mut report = SimplifyReport::default();
+
+    // Pass 1: drop dominated predicates / unsatisfiable rules.
+    let mut removed_preds: std::collections::HashSet<PredId> = std::collections::HashSet::new();
+    let rules: Vec<RuleId> = func.rules().iter().map(|r| r.id).collect();
+    for rid in &rules {
+        let rule = func.rule(*rid).expect("rule exists").clone();
+        let intervals = rule_intervals(&rule);
+
+        if intervals.iter().any(|(_, iv)| iv.is_empty()) {
+            func.remove_rule(*rid).expect("rule exists");
+            report.unsatisfiable_rules.push(*rid);
+            continue;
+        }
+
+        // A predicate is dominated when removing it leaves the rule's
+        // intervals unchanged (some other predicate imposes an equal or
+        // stricter same-direction bound on the same feature).
+        for bp in &rule.preds {
+            if removed_preds.contains(&bp.id) {
+                continue; // already dropped as a duplicate of an earlier one
+            }
+            let t = bp.pred.threshold;
+            let iv = intervals
+                .iter()
+                .find(|(f, _)| *f == bp.pred.feature)
+                .map(|(_, iv)| *iv)
+                .expect("feature has an interval");
+            let binding = match bp.pred.op {
+                CmpOp::Ge => iv.lo == t && !iv.lo_strict,
+                CmpOp::Gt => iv.lo == t && iv.lo_strict,
+                CmpOp::Le => iv.hi == t && !iv.hi_strict,
+                CmpOp::Lt => iv.hi == t && iv.hi_strict,
+            };
+            if !binding {
+                func.remove_predicate(bp.id).expect("predicate exists");
+                removed_preds.insert(bp.id);
+                report.dominated_predicates.push(bp.id);
+            } else {
+                // Multiple identical binding predicates: keep this (first)
+                // one, drop the rest.
+                let still_there = func.rule(*rid).expect("rule exists");
+                let duplicates: Vec<PredId> = still_there
+                    .preds
+                    .iter()
+                    .filter(|other| {
+                        other.id != bp.id
+                            && other.pred.feature == bp.pred.feature
+                            && other.pred.op == bp.pred.op
+                            && other.pred.threshold == t
+                    })
+                    .map(|other| other.id)
+                    .collect();
+                for dup in duplicates {
+                    if func.remove_predicate(dup).is_ok() {
+                        removed_preds.insert(dup);
+                        report.dominated_predicates.push(dup);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: drop subsumed rules. `s` is subsumed by `g` when g's every
+    // interval is implied by s's interval on that feature (features absent
+    // from g are unconstrained there, hence trivially implied).
+    let snapshot: Vec<(RuleId, Vec<(crate::feature::FeatureId, Interval)>)> = func
+        .rules()
+        .iter()
+        .map(|r| (r.id, rule_intervals(r)))
+        .collect();
+    let mut removed: Vec<RuleId> = Vec::new();
+    for (i, (sid, s_ivs)) in snapshot.iter().enumerate() {
+        for (j, (gid, g_ivs)) in snapshot.iter().enumerate() {
+            if i == j || removed.contains(gid) || removed.contains(sid) {
+                continue;
+            }
+            // Prefer keeping the earlier rule on mutual subsumption
+            // (identical rules): only remove `s` if g comes first, or g is
+            // strictly more permissive.
+            let g_implied_by_s = g_ivs.iter().all(|(gf, giv)| {
+                let siv = s_ivs
+                    .iter()
+                    .find(|(sf, _)| sf == gf)
+                    .map(|(_, iv)| *iv)
+                    .unwrap_or_else(Interval::unconstrained);
+                siv.implies(giv)
+            });
+            if !g_implied_by_s {
+                continue;
+            }
+            let s_implied_by_g = s_ivs.iter().all(|(sf, siv)| {
+                let giv = g_ivs
+                    .iter()
+                    .find(|(gf, _)| gf == sf)
+                    .map(|(_, iv)| *iv)
+                    .unwrap_or_else(Interval::unconstrained);
+                giv.implies(siv)
+            });
+            if s_implied_by_g && j > i {
+                continue; // identical rules: the later one will be removed
+                          // when the loop reaches (s=j, g=i).
+            }
+            removed.push(*sid);
+            report.subsumed_rules.push((*sid, *gid));
+            break;
+        }
+    }
+    for rid in removed {
+        func.remove_rule(rid).expect("rule exists");
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureId;
+    use crate::rule::Rule;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId(i)
+    }
+
+    /// Reference check: simplified and original functions agree on a grid
+    /// of feature values.
+    fn assert_equivalent(original: &MatchingFunction, simplified: &MatchingFunction) {
+        let features: Vec<FeatureId> = original.features();
+        let steps = 6usize;
+        let n = features.len().min(4);
+        let mut idx = vec![0usize; n];
+        loop {
+            let value_of = |fid: FeatureId| -> f64 {
+                features
+                    .iter()
+                    .position(|&g| g == fid)
+                    .map(|p| (idx.get(p).copied().unwrap_or(0) as f64) / (steps - 1) as f64)
+                    .unwrap_or(0.0)
+            };
+            assert_eq!(
+                original.eval_reference(value_of),
+                simplified.eval_reference(value_of),
+                "diverged at {idx:?}"
+            );
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                if k == n {
+                    return;
+                }
+                idx[k] += 1;
+                if idx[k] < steps {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_ge_predicates_merged() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(0), CmpOp::Ge, 0.7)
+                .pred(f(1), CmpOp::Ge, 0.3),
+        )
+        .unwrap();
+        let original = func.clone();
+        let report = simplify(&mut func);
+        assert_eq!(report.dominated_predicates.len(), 1);
+        assert_eq!(func.n_predicates(), 2);
+        assert_equivalent(&original, &func);
+        // The surviving f0 bound is the stricter one.
+        let survivor = func.rules()[0]
+            .preds
+            .iter()
+            .find(|bp| bp.pred.feature == f(0))
+            .unwrap();
+        assert_eq!(survivor.pred.threshold, 0.7);
+    }
+
+    #[test]
+    fn contradictory_rule_dropped() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.7)
+                .pred(f(0), CmpOp::Lt, 0.5),
+        )
+        .unwrap();
+        func.add_rule(Rule::new().pred(f(1), CmpOp::Ge, 0.9)).unwrap();
+        let original = func.clone();
+        let report = simplify(&mut func);
+        assert_eq!(report.unsatisfiable_rules.len(), 1);
+        assert_eq!(func.n_rules(), 1);
+        assert_equivalent(&original, &func);
+    }
+
+    #[test]
+    fn boundary_contradiction_ge_lt_same_threshold() {
+        // f ≥ 0.5 ∧ f < 0.5 is empty; f ≥ 0.5 ∧ f ≤ 0.5 is the point 0.5.
+        let mut empty = MatchingFunction::new();
+        empty
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5).pred(f(0), CmpOp::Lt, 0.5))
+            .unwrap();
+        assert_eq!(simplify(&mut empty).unsatisfiable_rules.len(), 1);
+
+        let mut point = MatchingFunction::new();
+        point
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5).pred(f(0), CmpOp::Le, 0.5))
+            .unwrap();
+        let report = simplify(&mut point);
+        assert!(report.unsatisfiable_rules.is_empty());
+        assert_eq!(point.n_rules(), 1);
+    }
+
+    #[test]
+    fn subsumed_rule_dropped() {
+        let mut func = MatchingFunction::new();
+        // Strict rule: f0 ≥ 0.8 ∧ f1 ≥ 0.5 — subsumed by loose f0 ≥ 0.6.
+        let strict = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.8).pred(f(1), CmpOp::Ge, 0.5))
+            .unwrap();
+        let loose = func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.6)).unwrap();
+        let original = func.clone();
+        let report = simplify(&mut func);
+        assert_eq!(report.subsumed_rules, vec![(strict, loose)]);
+        assert_eq!(func.n_rules(), 1);
+        assert_equivalent(&original, &func);
+    }
+
+    #[test]
+    fn identical_rules_keep_first() {
+        let mut func = MatchingFunction::new();
+        let first = func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5)).unwrap();
+        let second = func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5)).unwrap();
+        let report = simplify(&mut func);
+        assert_eq!(report.subsumed_rules, vec![(second, first)]);
+        assert_eq!(func.n_rules(), 1);
+        assert_eq!(func.rules()[0].id, first);
+    }
+
+    #[test]
+    fn duplicate_predicates_in_rule_deduped() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(1), CmpOp::Lt, 0.9),
+        )
+        .unwrap();
+        let original = func.clone();
+        let report = simplify(&mut func);
+        assert_eq!(report.dominated_predicates.len(), 1);
+        assert_equivalent(&original, &func);
+    }
+
+    #[test]
+    fn non_redundant_function_untouched() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.8)).unwrap();
+        func.add_rule(Rule::new().pred(f(1), CmpOp::Ge, 0.8)).unwrap();
+        func.add_rule(
+            Rule::new().pred(f(0), CmpOp::Ge, 0.4).pred(f(1), CmpOp::Ge, 0.4),
+        )
+        .unwrap();
+        let report = simplify(&mut func);
+        assert!(report.is_noop(), "{report:?}");
+        assert_eq!(func.n_rules(), 3);
+    }
+
+    #[test]
+    fn interval_with_both_bounds_not_subsumed_by_half_open() {
+        let mut func = MatchingFunction::new();
+        // Band rule: 0.3 ≤ f0 < 0.6 — NOT subsumed by f0 ≥ 0.3 ∧ f1 ≥ 0.5.
+        func.add_rule(
+            Rule::new().pred(f(0), CmpOp::Ge, 0.3).pred(f(0), CmpOp::Lt, 0.6),
+        )
+        .unwrap();
+        func.add_rule(
+            Rule::new().pred(f(0), CmpOp::Ge, 0.3).pred(f(1), CmpOp::Ge, 0.5),
+        )
+        .unwrap();
+        let report = simplify(&mut func);
+        // Second IS subsumed by the first? No: first requires f0 < 0.6.
+        assert!(report.subsumed_rules.is_empty(), "{report:?}");
+        assert_eq!(func.n_rules(), 2);
+    }
+
+    #[test]
+    fn forest_style_redundancy_collapses() {
+        // A pile of overlapping forest-ish rules collapses substantially
+        // while preserving semantics.
+        let mut func = MatchingFunction::new();
+        for t in [0.5, 0.6, 0.7, 0.8] {
+            func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, t)).unwrap();
+        }
+        for t in [0.5, 0.7] {
+            func.add_rule(
+                Rule::new().pred(f(0), CmpOp::Ge, t).pred(f(1), CmpOp::Ge, 0.5),
+            )
+            .unwrap();
+        }
+        let original = func.clone();
+        let report = simplify(&mut func);
+        assert_eq!(func.n_rules(), 1, "only f0 ≥ 0.5 should survive: {report:?}");
+        assert_equivalent(&original, &func);
+    }
+}

@@ -1,0 +1,113 @@
+//! Model-based property tests for the storage primitives: the bitmap and
+//! both memo layouts are driven with random operation sequences and
+//! checked against trivially correct std-collection models.
+
+use em_core::{Bitmap, DenseMemo, FeatureId, Memo, SparseMemo};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum BitOp {
+    Set(usize),
+    Clear(usize),
+    ClearAll,
+}
+
+fn arb_bit_ops(universe: usize) -> impl Strategy<Value = Vec<BitOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..universe).prop_map(BitOp::Set),
+            (0..universe).prop_map(BitOp::Clear),
+            Just(BitOp::ClearAll),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitmap_matches_hashset_model(ops in arb_bit_ops(200)) {
+        let mut bitmap = Bitmap::new(200);
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                BitOp::Set(i) => {
+                    bitmap.set(i);
+                    model.insert(i);
+                }
+                BitOp::Clear(i) => {
+                    bitmap.clear(i);
+                    model.remove(&i);
+                }
+                BitOp::ClearAll => {
+                    bitmap.clear_all();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(bitmap.count_ones(), model.len());
+        }
+        // Full state agreement.
+        for i in 0..200 {
+            prop_assert_eq!(bitmap.get(i), model.contains(&i), "bit {}", i);
+        }
+        let mut sorted: Vec<usize> = model.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(bitmap.iter_ones().collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn memos_match_hashmap_model(
+        ops in prop::collection::vec(((0usize..40), (0u32..6), (0u32..1000)), 0..80)
+    ) {
+        let mut dense = DenseMemo::new(40, 2); // deliberately under-sized: must grow
+        let mut sparse = SparseMemo::new();
+        let mut model: HashMap<(usize, u32), f64> = HashMap::new();
+
+        for (pair, feat, raw) in ops {
+            let value = raw as f64 / 1000.0;
+            let f = FeatureId(feat);
+            // Write-once discipline, like the engines.
+            if let std::collections::hash_map::Entry::Vacant(e) = model.entry((pair, feat)) {
+                dense.put(pair, f, value);
+                sparse.put(pair, f, value);
+                e.insert(value);
+            }
+            prop_assert_eq!(dense.stored(), model.len());
+            prop_assert_eq!(sparse.stored(), model.len());
+        }
+
+        for pair in 0..40usize {
+            for feat in 0..6u32 {
+                let expected = model.get(&(pair, feat)).copied();
+                prop_assert_eq!(dense.get(pair, FeatureId(feat)), expected);
+                prop_assert_eq!(sparse.get(pair, FeatureId(feat)), expected);
+            }
+        }
+
+        dense.reset();
+        sparse.reset();
+        prop_assert_eq!(dense.stored(), 0);
+        prop_assert_eq!(sparse.stored(), 0);
+    }
+
+    #[test]
+    fn dense_growth_preserves_all_values(
+        values in prop::collection::vec(((0usize..20), (0u32..12), (1u32..1000)), 1..40)
+    ) {
+        // Insert features in random id order so growth happens mid-stream.
+        let mut dense = DenseMemo::new(20, 1);
+        let mut model: HashMap<(usize, u32), f64> = HashMap::new();
+        for (pair, feat, raw) in values {
+            let v = raw as f64 / 1000.0;
+            if let std::collections::hash_map::Entry::Vacant(e) = model.entry((pair, feat)) {
+                dense.put(pair, FeatureId(feat), v);
+                e.insert(v);
+            }
+        }
+        for ((pair, feat), v) in model {
+            prop_assert_eq!(dense.get(pair, FeatureId(feat)), Some(v));
+        }
+    }
+}

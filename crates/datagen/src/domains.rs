@@ -1,0 +1,552 @@
+//! The six dataset domains of Table 2, as seeded generators.
+
+use crate::perturb::{PerturbConfig, Perturber};
+use crate::vocab::*;
+use em_types::{CandidateSet, Label, LabeledPair, Record, Schema, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A generated dataset: two tables plus ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Domain name (e.g. `"products"`).
+    pub name: String,
+    /// Table `A` (the smaller / catalog side in most domains).
+    pub table_a: Table,
+    /// Table `B`.
+    pub table_b: Table,
+    /// Ground-truth matches as `(a_id, b_id)` record-id pairs.
+    pub matches: Vec<(String, String)>,
+}
+
+impl Dataset {
+    /// Labels every candidate pair using the generator's ground truth —
+    /// the synthetic equivalent of the paper's manually labeled sample.
+    pub fn label_candidates(&self, cands: &CandidateSet) -> Vec<LabeledPair> {
+        let truth: HashSet<(u32, u32)> = self
+            .matches
+            .iter()
+            .filter_map(|(a, b)| {
+                Some((self.table_a.row_of(a)?, self.table_b.row_of(b)?))
+            })
+            .collect();
+        cands
+            .iter()
+            .map(|(_, p)| LabeledPair {
+                pair: p,
+                label: if truth.contains(&(p.a, p.b)) {
+                    Label::Match
+                } else {
+                    Label::NonMatch
+                },
+            })
+            .collect()
+    }
+
+    /// How many ground-truth matches survived blocking into `cands`.
+    pub fn recallable_matches(&self, cands: &CandidateSet) -> usize {
+        self.label_candidates(cands)
+            .iter()
+            .filter(|lp| lp.label == Label::Match)
+            .count()
+    }
+}
+
+/// Full generation knobs for [`Domain::generate_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Rows in table A.
+    pub n_a: usize,
+    /// Rows in table B.
+    pub n_b: usize,
+    /// Fraction of `min(n_a, n_b)` that become ground-truth matches.
+    pub match_rate: f64,
+    /// Dirtiness override; `None` uses the domain default (heavy for
+    /// marketplace product feeds, light for curated catalogs).
+    pub perturb: Option<PerturbConfig>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            n_a: 100,
+            n_b: 100,
+            match_rate: 0.6,
+            perturb: None,
+        }
+    }
+}
+
+/// The six domains of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Walmart/Amazon electronics (the paper's primary dataset).
+    Products,
+    /// Yelp/Foursquare restaurants.
+    Restaurants,
+    /// Amazon/Barnes & Noble books.
+    Books,
+    /// Walmart/Amazon breakfast products.
+    Breakfast,
+    /// Amazon/BestBuy movies.
+    Movies,
+    /// TheGamesDB/MobyGames video games.
+    VideoGames,
+}
+
+impl Domain {
+    /// All six domains, in Table 2 order.
+    pub fn all() -> [Domain; 6] {
+        [
+            Domain::Products,
+            Domain::Restaurants,
+            Domain::Books,
+            Domain::Breakfast,
+            Domain::Movies,
+            Domain::VideoGames,
+        ]
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Domain::Products => "products",
+            Domain::Restaurants => "restaurants",
+            Domain::Books => "books",
+            Domain::Breakfast => "breakfast",
+            Domain::Movies => "movies",
+            Domain::VideoGames => "video games",
+        }
+    }
+
+    /// Table sizes `(|A|, |B|)` from the paper's Table 2.
+    pub fn paper_sizes(&self) -> (usize, usize) {
+        match self {
+            Domain::Products => (2554, 22074),
+            Domain::Restaurants => (3279, 25376),
+            Domain::Books => (3099, 3560),
+            Domain::Breakfast => (3669, 4165),
+            Domain::Movies => (5526, 4373),
+            Domain::VideoGames => (3742, 6739),
+        }
+    }
+
+    /// The attribute used as a blocking key / title analogue.
+    pub fn title_attr(&self) -> &'static str {
+        match self {
+            Domain::Products | Domain::Breakfast | Domain::Books | Domain::Movies
+            | Domain::VideoGames => "title",
+            Domain::Restaurants => "name",
+        }
+    }
+
+    /// The most discriminating secondary attribute — the domain's analogue
+    /// of the products `modelno` (distinct entities with colliding titles
+    /// differ on it).
+    pub fn code_attr(&self) -> &'static str {
+        match self {
+            Domain::Products => "modelno",
+            Domain::Restaurants => "phone",
+            Domain::Books => "author",
+            Domain::Breakfast => "brand",
+            Domain::Movies => "director",
+            Domain::VideoGames => "platform",
+        }
+    }
+
+    fn schema(&self) -> Schema {
+        match self {
+            Domain::Products => Schema::new(["title", "modelno", "brand", "category", "price"]),
+            Domain::Restaurants => Schema::new(["name", "street", "city", "phone", "cuisine"]),
+            Domain::Books => Schema::new(["title", "author", "publisher", "isbn", "year"]),
+            Domain::Breakfast => Schema::new(["title", "brand", "flavor", "size"]),
+            Domain::Movies => Schema::new(["title", "director", "studio", "genre", "year"]),
+            Domain::VideoGames => Schema::new(["title", "platform", "publisher", "year"]),
+        }
+    }
+
+    fn perturb_config(&self) -> PerturbConfig {
+        match self {
+            Domain::Products | Domain::Breakfast => PerturbConfig::heavy(),
+            _ => PerturbConfig::light(),
+        }
+    }
+
+    /// Generates a dataset at `scale` × the paper's Table 2 sizes
+    /// (clamped so tables have at least 10 rows), deterministically from
+    /// `seed`, with the default 60 % match rate and domain-default
+    /// dirtiness.
+    pub fn generate(&self, seed: u64, scale: f64) -> Dataset {
+        let (pa, pb) = self.paper_sizes();
+        let n_a = ((pa as f64 * scale).round() as usize).max(10);
+        let n_b = ((pb as f64 * scale).round() as usize).max(10);
+        self.generate_sized(seed, n_a, n_b)
+    }
+
+    /// Generates with explicit table sizes and the default match rate /
+    /// dirtiness.
+    pub fn generate_sized(&self, seed: u64, n_a: usize, n_b: usize) -> Dataset {
+        self.generate_with(
+            seed,
+            &GenConfig {
+                n_a,
+                n_b,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Generates with full control over sizes, match rate, and dirtiness.
+    pub fn generate_with(&self, seed: u64, cfg: &GenConfig) -> Dataset {
+        let (n_a, n_b) = (cfg.n_a, cfg.n_b);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD474_6E00 ^ (*self as u64) << 32);
+        let schema = self.schema();
+        let perturb_cfg = cfg.perturb.unwrap_or_else(|| self.perturb_config());
+
+        // Table A: fresh entities.
+        let mut table_a = Table::new(format!("{}_a", self.name()), schema.clone());
+        let mut a_values = Vec::with_capacity(n_a);
+        for i in 0..n_a {
+            let values = self.entity(&mut rng);
+            table_a.push(Record::with_missing(format!("a{i}"), values.clone()));
+            a_values.push(values);
+        }
+
+        // Table B: `match_rate` of min(|A|, |B|) are perturbed copies of A
+        // records (the ground-truth matches); the rest are fresh
+        // distractors.
+        let n_matches =
+            (((n_a.min(n_b)) as f64 * cfg.match_rate.clamp(0.0, 1.0)).round() as usize).min(n_b);
+        let mut a_rows: Vec<usize> = (0..n_a).collect();
+        a_rows.shuffle(&mut rng);
+        a_rows.truncate(n_matches);
+
+        let mut b_records: Vec<(Option<usize>, Vec<Option<String>>)> =
+            Vec::with_capacity(n_b);
+        for &arow in &a_rows {
+            let values = self.perturb_entity(&mut rng, &perturb_cfg, &a_values[arow]);
+            b_records.push((Some(arow), values));
+        }
+        for _ in n_matches..n_b {
+            b_records.push((None, self.entity(&mut rng)));
+        }
+        b_records.shuffle(&mut rng);
+
+        let mut table_b = Table::new(format!("{}_b", self.name()), schema);
+        let mut matches = Vec::with_capacity(n_matches);
+        for (i, (src, values)) in b_records.into_iter().enumerate() {
+            let b_id = format!("b{i}");
+            table_b.push(Record::with_missing(b_id.clone(), values));
+            if let Some(arow) = src {
+                matches.push((format!("a{arow}"), b_id));
+            }
+        }
+
+        Dataset {
+            name: self.name().to_string(),
+            table_a,
+            table_b,
+            matches,
+        }
+    }
+
+    /// Draws one fresh entity's attribute values (schema order).
+    fn entity(&self, rng: &mut StdRng) -> Vec<Option<String>> {
+        fn pick<'a>(rng: &mut StdRng, v: &[&'a str]) -> &'a str {
+            v[rng.gen_range(0..v.len())]
+        }
+        match self {
+            Domain::Products => {
+                let brand = pick(rng, ELECTRONICS_BRANDS);
+                let product = pick(rng, ELECTRONICS_PRODUCTS);
+                let size = pick(rng, SIZES);
+                let color = pick(rng, COLORS);
+                let modelno = format!(
+                    "{}{}-{}",
+                    (b'A' + rng.gen_range(0..26u8)) as char,
+                    (b'A' + rng.gen_range(0..26u8)) as char,
+                    rng.gen_range(100..10_000)
+                );
+                let title = format!("{brand} {product} {modelno} {size} {color}");
+                let price = format!("{}.{:02}", rng.gen_range(15..1_500), rng.gen_range(0..100));
+                vec![
+                    Some(title),
+                    // ~10 % of products lack a model number (dirty feeds).
+                    if rng.gen_bool(0.1) { None } else { Some(modelno) },
+                    Some(brand.to_string()),
+                    Some("electronics".to_string()),
+                    Some(price),
+                ]
+            }
+            Domain::Restaurants => {
+                let name = format!(
+                    "{} {} {}",
+                    pick(rng, RESTAURANT_FIRST),
+                    pick(rng, RESTAURANT_SECOND),
+                    pick(rng, ["restaurant", "eatery", "bar", "kitchen", ""].as_slice())
+                )
+                .trim_end()
+                .to_string();
+                let street = format!("{} {}", rng.gen_range(1..9_999), pick(rng, STREETS));
+                let phone = format!(
+                    "{}-{}-{}",
+                    rng.gen_range(200..1_000),
+                    rng.gen_range(200..1_000),
+                    rng.gen_range(1_000..10_000)
+                );
+                vec![
+                    Some(name),
+                    Some(street),
+                    Some(pick(rng, CITIES).to_string()),
+                    if rng.gen_bool(0.15) { None } else { Some(phone) },
+                    Some(pick(rng, CUISINES).to_string()),
+                ]
+            }
+            Domain::Books => {
+                let pattern = pick(rng, BOOK_PATTERNS);
+                let title = pattern
+                    .replace("{a}", pick(rng, BOOK_SUBJECTS))
+                    .replace("{b}", pick(rng, BOOK_SUBJECTS));
+                let author = format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES));
+                let isbn = format!(
+                    "978-{}-{}-{}",
+                    rng.gen_range(0..10),
+                    rng.gen_range(10_000..100_000),
+                    rng.gen_range(100..1_000)
+                );
+                vec![
+                    Some(title),
+                    Some(author),
+                    Some(pick(rng, PUBLISHERS).to_string()),
+                    if rng.gen_bool(0.2) { None } else { Some(isbn) },
+                    Some(rng.gen_range(1950..2017).to_string()),
+                ]
+            }
+            Domain::Breakfast => {
+                let brand = pick(rng, BREAKFAST_BRANDS);
+                let item = pick(rng, BREAKFAST_ITEMS);
+                let flavor = pick(rng, FLAVORS);
+                let size = pick(rng, PACK_SIZES);
+                vec![
+                    Some(format!("{brand} {item} {flavor} {size}")),
+                    Some(brand.to_string()),
+                    Some(flavor.to_string()),
+                    Some(size.to_string()),
+                ]
+            }
+            Domain::Movies => {
+                let title = format!(
+                    "{} {} {}",
+                    pick(rng, MOVIE_ADJ),
+                    pick(rng, MOVIE_NOUN),
+                    pick(rng, MOVIE_SUFFIX)
+                )
+                .trim_end()
+                .to_string();
+                let director = format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES));
+                vec![
+                    Some(title),
+                    Some(director),
+                    Some(pick(rng, STUDIOS).to_string()),
+                    Some(pick(rng, GENRES).to_string()),
+                    Some(rng.gen_range(1960..2017).to_string()),
+                ]
+            }
+            Domain::VideoGames => {
+                let title = format!(
+                    "{} {} {}",
+                    pick(rng, GAME_ADJ),
+                    pick(rng, GAME_NOUN),
+                    rng.gen_range(1..8)
+                );
+                vec![
+                    Some(title),
+                    Some(pick(rng, PLATFORMS).to_string()),
+                    Some(pick(rng, GAME_PUBLISHERS).to_string()),
+                    Some(rng.gen_range(1995..2017).to_string()),
+                ]
+            }
+        }
+    }
+
+    /// Derives table-B values from a table-A entity: string fields get
+    /// domain-appropriate dirtiness; code fields (model numbers, phones,
+    /// ISBNs) get format changes; categorical/numeric fields mostly copy.
+    fn perturb_entity(
+        &self,
+        rng: &mut StdRng,
+        cfg: &PerturbConfig,
+        values: &[Option<String>],
+    ) -> Vec<Option<String>> {
+        // Column classes per domain, aligned with `schema()` order:
+        // 'T' = free text (full perturbation), 'C' = code (format changes),
+        // 'K' = categorical/numeric (copied, occasionally dropped).
+        let classes: &[u8] = match self {
+            Domain::Products => b"TCKKK",
+            Domain::Restaurants => b"TTKCK",
+            Domain::Books => b"TTKCK",
+            Domain::Breakfast => b"TKKK",
+            Domain::Movies => b"TTKKK",
+            Domain::VideoGames => b"TKKK",
+        };
+        values
+            .iter()
+            .zip(classes)
+            .map(|(v, class)| {
+                let Some(v) = v else {
+                    return None;
+                };
+                match class {
+                    b'T' => {
+                        let mut p = Perturber::new(rng);
+                        Some(p.perturb(v, cfg))
+                    }
+                    b'C' => {
+                        if rng.gen_bool(0.05) {
+                            None // source B lacks the code entirely
+                        } else if rng.gen_bool(0.5) {
+                            let mut p = Perturber::new(rng);
+                            Some(p.perturb_code(v))
+                        } else {
+                            Some(v.clone())
+                        }
+                    }
+                    _ => {
+                        if rng.gen_bool(0.05) {
+                            None
+                        } else {
+                            Some(v.clone())
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_types::PairIdx;
+
+    #[test]
+    fn all_domains_generate() {
+        for d in Domain::all() {
+            let ds = d.generate(1, 0.01);
+            assert!(ds.table_a.len() >= 10, "{} A too small", d.name());
+            assert!(ds.table_b.len() >= 10, "{} B too small", d.name());
+            assert!(!ds.matches.is_empty(), "{} has no ground truth", d.name());
+            assert_eq!(ds.table_a.schema(), ds.table_b.schema());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d1 = Domain::Products.generate(7, 0.02);
+        let d2 = Domain::Products.generate(7, 0.02);
+        assert_eq!(d1.matches, d2.matches);
+        for (r1, r2) in d1.table_b.iter().zip(d2.table_b.iter()) {
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d1 = Domain::Products.generate(1, 0.02);
+        let d2 = Domain::Products.generate(2, 0.02);
+        let same = d1
+            .table_a
+            .iter()
+            .zip(d2.table_a.iter())
+            .filter(|(a, b)| a.values() == b.values())
+            .count();
+        assert!(same < d1.table_a.len() / 2);
+    }
+
+    #[test]
+    fn scale_controls_sizes() {
+        let ds = Domain::Books.generate(1, 0.1);
+        let (pa, pb) = Domain::Books.paper_sizes();
+        assert_eq!(ds.table_a.len(), (pa as f64 * 0.1).round() as usize);
+        assert_eq!(ds.table_b.len(), (pb as f64 * 0.1).round() as usize);
+    }
+
+    #[test]
+    fn ground_truth_ids_exist_in_tables() {
+        let ds = Domain::Movies.generate(3, 0.02);
+        for (a, b) in &ds.matches {
+            assert!(ds.table_a.row_of(a).is_some(), "{a} missing");
+            assert!(ds.table_b.row_of(b).is_some(), "{b} missing");
+        }
+        // ~60 % of min table size.
+        let expected = (ds.table_a.len().min(ds.table_b.len()) as f64 * 0.6).round() as usize;
+        assert_eq!(ds.matches.len(), expected);
+    }
+
+    #[test]
+    fn matched_records_stay_similar() {
+        // A matched pair should share most whitespace tokens in the title —
+        // otherwise no rule set could find it and the datasets would be
+        // useless for the paper's experiments.
+        let ds = Domain::Products.generate(5, 0.02);
+        let title = ds.table_a.schema().attr_id("title").unwrap();
+        let mut similar = 0usize;
+        for (a, b) in &ds.matches {
+            let ra = ds.table_a.row_of(a).unwrap();
+            let rb = ds.table_b.row_of(b).unwrap();
+            let (Some(ta), Some(tb)) = (ds.table_a.value(ra, title), ds.table_b.value(rb, title))
+            else {
+                continue;
+            };
+            let sa: HashSet<String> = ta.to_lowercase().split_whitespace().map(String::from).collect();
+            let sb: HashSet<String> = tb.to_lowercase().split_whitespace().map(String::from).collect();
+            if sa.intersection(&sb).count() >= 2 {
+                similar += 1;
+            }
+        }
+        assert!(
+            similar as f64 >= ds.matches.len() as f64 * 0.8,
+            "{similar}/{} matched pairs share ≥2 title tokens",
+            ds.matches.len()
+        );
+    }
+
+    #[test]
+    fn label_candidates_agrees_with_ground_truth() {
+        let ds = Domain::Books.generate(4, 0.01);
+        let cands = CandidateSet::cartesian(&ds.table_a, &ds.table_b);
+        let labels = ds.label_candidates(&cands);
+        assert_eq!(labels.len(), cands.len());
+        let n_match = labels.iter().filter(|l| l.label == Label::Match).count();
+        assert_eq!(n_match, ds.matches.len());
+        assert_eq!(ds.recallable_matches(&cands), ds.matches.len());
+    }
+
+    #[test]
+    fn gen_config_controls_match_rate() {
+        use crate::perturb::PerturbConfig;
+        for rate in [0.0, 0.25, 1.0] {
+            let ds = Domain::Books.generate_with(
+                9,
+                &GenConfig {
+                    n_a: 40,
+                    n_b: 60,
+                    match_rate: rate,
+                    perturb: Some(PerturbConfig::light()),
+                },
+            );
+            assert_eq!(ds.matches.len(), (40.0 * rate).round() as usize);
+            assert_eq!(ds.table_a.len(), 40);
+            assert_eq!(ds.table_b.len(), 60);
+        }
+    }
+
+    #[test]
+    fn truncated_candidates_lose_matches() {
+        let ds = Domain::Books.generate(4, 0.01);
+        let cands = CandidateSet::from_pairs(vec![PairIdx::new(0, 0)]);
+        assert!(ds.recallable_matches(&cands) <= 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! String perturbation: the "dirtiness" connecting two descriptions of the
+//! same real-world entity across data sources.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Probabilities of each perturbation applied when deriving a table-B value
+/// from a table-A value. All independent; several can fire on one value.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// One random character edit (swap / delete / duplicate / substitute).
+    pub typo: f64,
+    /// Drop one token (e.g. a product title losing its color).
+    pub drop_token: f64,
+    /// Abbreviate one token to its first 1–4 characters.
+    pub abbreviate: f64,
+    /// Swap two adjacent tokens.
+    pub swap_tokens: f64,
+    /// Re-case the whole string (upper / lower / title).
+    pub recase: f64,
+    /// Replace separators (`-` ↔ space, remove spaces in codes).
+    pub reformat: f64,
+    /// Append a marketing suffix ("new", "oem", "(renewed)").
+    pub append_noise: f64,
+}
+
+impl PerturbConfig {
+    /// Light dirtiness: mostly formatting, occasional typo. Typical of
+    /// well-curated sources (books, movies).
+    pub fn light() -> Self {
+        PerturbConfig {
+            typo: 0.10,
+            drop_token: 0.10,
+            abbreviate: 0.05,
+            swap_tokens: 0.05,
+            recase: 0.30,
+            reformat: 0.20,
+            append_noise: 0.05,
+        }
+    }
+
+    /// Heavy dirtiness: typical of marketplace product feeds.
+    pub fn heavy() -> Self {
+        PerturbConfig {
+            typo: 0.25,
+            drop_token: 0.30,
+            abbreviate: 0.15,
+            swap_tokens: 0.20,
+            recase: 0.40,
+            reformat: 0.35,
+            append_noise: 0.25,
+        }
+    }
+}
+
+/// Applies [`PerturbConfig`]-driven perturbations using a caller-owned RNG.
+pub struct Perturber<'a> {
+    rng: &'a mut StdRng,
+}
+
+impl<'a> Perturber<'a> {
+    /// Wraps an RNG.
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        Perturber { rng }
+    }
+
+    /// Derives a "same entity, different source" variant of `s`.
+    pub fn perturb(&mut self, s: &str, cfg: &PerturbConfig) -> String {
+        let mut out = s.to_string();
+        if self.rng.gen_bool(cfg.reformat) {
+            out = self.reformat(&out);
+        }
+        if self.rng.gen_bool(cfg.drop_token) {
+            out = self.drop_token(&out);
+        }
+        if self.rng.gen_bool(cfg.abbreviate) {
+            out = self.abbreviate(&out);
+        }
+        if self.rng.gen_bool(cfg.swap_tokens) {
+            out = self.swap_tokens(&out);
+        }
+        if self.rng.gen_bool(cfg.typo) {
+            out = self.typo(&out);
+        }
+        if self.rng.gen_bool(cfg.append_noise) {
+            let suffix = ["new", "oem", "(renewed)", "bulk", "2-pack"];
+            out = format!("{out} {}", suffix[self.rng.gen_range(0..suffix.len())]);
+        }
+        if self.rng.gen_bool(cfg.recase) {
+            out = self.recase(&out);
+        }
+        out
+    }
+
+    /// One random character-level edit.
+    pub fn typo(&mut self, s: &str) -> String {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < 2 {
+            return s.to_string();
+        }
+        let mut chars = chars;
+        let i = self.rng.gen_range(0..chars.len() - 1);
+        match self.rng.gen_range(0..4u8) {
+            0 => chars.swap(i, i + 1),
+            1 => {
+                chars.remove(i);
+            }
+            2 => {
+                let c = chars[i];
+                chars.insert(i, c);
+            }
+            _ => {
+                let sub = (b'a' + self.rng.gen_range(0..26u8)) as char;
+                chars[i] = sub;
+            }
+        }
+        chars.into_iter().collect()
+    }
+
+    fn drop_token(&mut self, s: &str) -> String {
+        let tokens: Vec<&str> = s.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return s.to_string();
+        }
+        let drop = self.rng.gen_range(0..tokens.len());
+        tokens
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != drop)
+            .map(|(_, t)| *t)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn abbreviate(&mut self, s: &str) -> String {
+        let tokens: Vec<&str> = s.split_whitespace().collect();
+        if tokens.is_empty() {
+            return s.to_string();
+        }
+        let idx = self.rng.gen_range(0..tokens.len());
+        tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if i == idx && t.chars().count() > 3 {
+                    let keep = self.rng.gen_range(1..=3usize);
+                    let mut abbr: String = t.chars().take(keep).collect();
+                    abbr.push('.');
+                    abbr
+                } else {
+                    (*t).to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn swap_tokens(&mut self, s: &str) -> String {
+        let mut tokens: Vec<&str> = s.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return s.to_string();
+        }
+        let i = self.rng.gen_range(0..tokens.len() - 1);
+        tokens.swap(i, i + 1);
+        tokens.join(" ")
+    }
+
+    fn recase(&mut self, s: &str) -> String {
+        match self.rng.gen_range(0..3u8) {
+            0 => s.to_uppercase(),
+            1 => s.to_lowercase(),
+            _ => s
+                .split_whitespace()
+                .map(|t| {
+                    let mut c = t.chars();
+                    match c.next() {
+                        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                        None => String::new(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+        }
+    }
+
+    fn reformat(&mut self, s: &str) -> String {
+        match self.rng.gen_range(0..3u8) {
+            0 => s.replace('-', " "),
+            1 => s.replace('-', ""),
+            _ => s.replace(' ', "-"),
+        }
+    }
+
+    /// Perturbs a numeric/code string (phone, ISBN, model number): changes
+    /// separators or one digit.
+    pub fn perturb_code(&mut self, s: &str) -> String {
+        match self.rng.gen_range(0..3u8) {
+            0 => s.replace('-', " "),
+            1 => s.replace('-', ""),
+            _ => {
+                // Flip one digit.
+                let mut chars: Vec<char> = s.chars().collect();
+                let digit_positions: Vec<usize> = chars
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_ascii_digit())
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&i) =
+                    digit_positions.get(self.rng.gen_range(0..digit_positions.len().max(1)))
+                {
+                    chars[i] = (b'0' + self.rng.gen_range(0..10u8)) as char;
+                }
+                chars.into_iter().collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn typo_changes_at_most_slightly() {
+        let mut r = rng();
+        let mut p = Perturber::new(&mut r);
+        for _ in 0..100 {
+            let out = p.typo("television");
+            let diff = (out.chars().count() as i64 - 10).abs();
+            assert!(diff <= 1, "length changed too much: {out:?}");
+        }
+    }
+
+    #[test]
+    fn typo_on_tiny_string_is_identity() {
+        let mut r = rng();
+        let mut p = Perturber::new(&mut r);
+        assert_eq!(p.typo("a"), "a");
+        assert_eq!(p.typo(""), "");
+    }
+
+    #[test]
+    fn perturb_is_deterministic_per_seed() {
+        let run = || {
+            let mut r = StdRng::seed_from_u64(99);
+            let mut p = Perturber::new(&mut r);
+            (0..20)
+                .map(|_| p.perturb("apple ipod nano 16gb silver", &PerturbConfig::heavy()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn heavy_config_produces_variation() {
+        let mut r = rng();
+        let mut p = Perturber::new(&mut r);
+        let original = "apple ipod nano 16gb silver";
+        let changed = (0..50)
+            .filter(|_| p.perturb(original, &PerturbConfig::heavy()) != original)
+            .count();
+        assert!(changed > 30, "only {changed}/50 perturbed");
+    }
+
+    #[test]
+    fn perturbed_strings_stay_similar() {
+        // The point of perturbation is that matching records remain
+        // *similar* — verify whitespace-token overlap usually survives.
+        let mut r = rng();
+        let mut p = Perturber::new(&mut r);
+        let original = "sony bravia 55 inch led tv";
+        let orig_tokens: std::collections::HashSet<String> = original
+            .split_whitespace()
+            .map(|t| t.to_lowercase())
+            .collect();
+        let mut overlaps = 0usize;
+        for _ in 0..50 {
+            let out = p.perturb(original, &PerturbConfig::light()).to_lowercase();
+            let toks: std::collections::HashSet<String> =
+                out.split_whitespace().map(str::to_string).collect();
+            if toks.intersection(&orig_tokens).count() >= 3 {
+                overlaps += 1;
+            }
+        }
+        assert!(overlaps >= 40, "only {overlaps}/50 kept ≥3 tokens");
+    }
+
+    #[test]
+    fn perturb_code_keeps_length_reasonable() {
+        let mut r = rng();
+        let mut p = Perturber::new(&mut r);
+        for _ in 0..50 {
+            let out = p.perturb_code("206-453-1978");
+            assert!(out.chars().filter(|c| c.is_ascii_digit()).count() == 10);
+        }
+    }
+}

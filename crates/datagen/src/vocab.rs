@@ -1,0 +1,161 @@
+//! Domain vocabularies the generators draw from.
+//!
+//! Word lists are intentionally sized so that the *combinatorial space* of
+//! generated records is far larger than the table sizes of Table 2 —
+//! accidental duplicate entities are then statistically negligible.
+
+pub const ELECTRONICS_BRANDS: &[&str] = &[
+    "apple", "sony", "samsung", "lg", "panasonic", "toshiba", "dell", "hp", "lenovo", "asus",
+    "acer", "canon", "nikon", "bose", "jbl", "logitech", "philips", "sharp", "vizio", "sandisk",
+    "kingston", "seagate", "garmin", "tomtom", "motorola", "nokia", "belkin", "netgear",
+    "linksys", "epson",
+];
+
+pub const ELECTRONICS_PRODUCTS: &[&str] = &[
+    "laptop", "tablet", "smartphone", "headphones", "speaker", "monitor", "keyboard", "mouse",
+    "router", "camera", "camcorder", "printer", "scanner", "projector", "television",
+    "soundbar", "earbuds", "charger", "adapter", "hard drive", "flash drive", "memory card",
+    "docking station", "webcam", "microphone", "media player", "receiver", "turntable",
+    "game console", "smartwatch",
+];
+
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "gray", "blue", "red", "green", "gold", "pink", "purple",
+];
+
+pub const SIZES: &[&str] = &[
+    "8gb", "16gb", "32gb", "64gb", "128gb", "256gb", "512gb", "1tb", "2tb", "13 inch",
+    "15 inch", "17 inch", "24 inch", "27 inch", "32 inch", "43 inch", "55 inch", "65 inch",
+];
+
+pub const RESTAURANT_FIRST: &[&str] = &[
+    "golden", "royal", "little", "blue", "green", "red", "happy", "lucky", "grand", "old",
+    "new", "big", "silver", "sunny", "cozy", "rustic", "urban", "coastal", "mountain",
+    "village",
+];
+
+pub const RESTAURANT_SECOND: &[&str] = &[
+    "dragon", "garden", "palace", "kitchen", "table", "bistro", "grill", "diner", "tavern",
+    "cafe", "house", "corner", "spoon", "fork", "plate", "oven", "hearth", "lantern",
+    "terrace", "courtyard",
+];
+
+pub const CUISINES: &[&str] = &[
+    "italian", "chinese", "mexican", "thai", "indian", "japanese", "french", "greek",
+    "korean", "vietnamese", "american", "spanish", "turkish", "lebanese", "ethiopian",
+];
+
+pub const CITIES: &[&str] = &[
+    "madison", "milwaukee", "chicago", "minneapolis", "detroit", "cleveland", "columbus",
+    "indianapolis", "st louis", "kansas city", "omaha", "des moines", "green bay",
+    "rockford", "peoria",
+];
+
+pub const STREETS: &[&str] = &[
+    "main st", "state st", "park ave", "oak dr", "maple ln", "washington blvd", "lake rd",
+    "hill ct", "river way", "sunset ave", "elm st", "cedar rd", "pine dr", "college ave",
+    "market st",
+];
+
+pub const BOOK_SUBJECTS: &[&str] = &[
+    "shadow", "garden", "river", "winter", "summer", "secret", "memory", "journey", "island",
+    "letter", "daughter", "history", "night", "light", "silence", "storm", "mirror", "clock",
+    "bridge", "forest", "harbor", "mountain", "crown", "empire", "song",
+];
+
+pub const BOOK_PATTERNS: &[&str] = &[
+    "the {a} of the {b}",
+    "a {a} in the {b}",
+    "{a} and {b}",
+    "the last {a}",
+    "the {a}'s {b}",
+    "beyond the {a}",
+    "chronicles of the {a}",
+    "the {a} keeper",
+];
+
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "charles", "karen", "anna", "peter", "laura", "mark", "julia",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white",
+    "harris",
+];
+
+pub const PUBLISHERS: &[&str] = &[
+    "penguin", "random house", "harpercollins", "simon schuster", "macmillan", "hachette",
+    "scholastic", "wiley", "oxford press", "cambridge press",
+];
+
+pub const BREAKFAST_BRANDS: &[&str] = &[
+    "kellogg", "general mills", "post", "quaker", "nature valley", "kashi", "bear naked",
+    "annies", "bobs red mill", "cascadian farm", "great value", "market pantry",
+];
+
+pub const BREAKFAST_ITEMS: &[&str] = &[
+    "granola", "oatmeal", "corn flakes", "muesli", "pancake mix", "waffle mix", "cereal bars",
+    "instant oats", "bran flakes", "rice cereal", "protein granola", "fruit loops",
+    "honey puffs", "wheat squares", "breakfast biscuits",
+];
+
+pub const FLAVORS: &[&str] = &[
+    "honey almond", "maple brown sugar", "cinnamon", "vanilla", "chocolate", "strawberry",
+    "blueberry", "apple cinnamon", "peanut butter", "original", "mixed berry", "banana nut",
+];
+
+pub const PACK_SIZES: &[&str] = &[
+    "12 oz", "16 oz", "18 oz", "24 oz", "32 oz", "6 pack", "8 count", "12 count", "family size",
+    "single serve",
+];
+
+pub const MOVIE_ADJ: &[&str] = &[
+    "dark", "silent", "broken", "hidden", "final", "lost", "eternal", "savage", "golden",
+    "crimson", "frozen", "burning", "distant", "fallen", "rising", "forgotten", "restless",
+    "midnight", "scarlet", "hollow", "wicked", "ancient", "electric", "velvet", "iron",
+];
+
+pub const MOVIE_NOUN: &[&str] = &[
+    "horizon", "empire", "legacy", "protocol", "paradox", "reckoning", "awakening", "frontier",
+    "sanctuary", "vendetta", "odyssey", "requiem", "genesis", "exodus", "eclipse", "covenant",
+    "labyrinth", "crusade", "descent", "tempest", "prophecy", "gambit", "enigma", "serenade",
+];
+
+pub const MOVIE_SUFFIX: &[&str] = &[
+    "", "returns", "rising", "origins", "part two", "the beginning", "redemption", "forever",
+    "reloaded", "unleashed",
+];
+
+pub const GENRES: &[&str] = &[
+    "action", "drama", "comedy", "thriller", "horror", "sci-fi", "romance", "documentary",
+    "animation", "western",
+];
+
+pub const STUDIOS: &[&str] = &[
+    "warner bros", "universal", "paramount", "columbia", "disney", "mgm", "lionsgate",
+    "focus features", "a24", "miramax",
+];
+
+pub const GAME_ADJ: &[&str] = &[
+    "super", "mega", "ultra", "final", "epic", "mighty", "turbo", "cosmic", "shadow",
+    "crystal", "iron", "neon", "pixel", "retro", "hyper",
+];
+
+pub const GAME_NOUN: &[&str] = &[
+    "quest", "racer", "fighter", "legends", "warriors", "kingdom", "dungeon", "galaxy",
+    "tactics", "arena", "saga", "chronicles", "rampage", "uprising", "odyssey",
+];
+
+pub const PLATFORMS: &[&str] = &[
+    "pc", "playstation 4", "playstation 5", "xbox one", "xbox series x", "nintendo switch",
+    "wii u", "playstation 3", "xbox 360", "nintendo 3ds",
+];
+
+pub const GAME_PUBLISHERS: &[&str] = &[
+    "nintendo", "sony interactive", "microsoft studios", "electronic arts", "ubisoft",
+    "activision", "square enix", "capcom", "sega", "bandai namco", "bethesda", "konami",
+];

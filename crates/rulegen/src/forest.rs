@@ -1,0 +1,163 @@
+//! A bagged random forest over decision trees.
+
+use crate::fvector::FeatureMatrix;
+use crate::tree::{DecisionTree, FeaturePicker, TreeConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Forest-training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees. The paper's 255 products rules came from a forest
+    /// whose positive paths numbered 255; more trees ⇒ more rules.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Features considered per split: `0` means `ceil(sqrt(F))`.
+    pub features_per_split: usize,
+    /// RNG seed (bootstrap + feature subsampling).
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 32,
+            tree: TreeConfig::default(),
+            features_per_split: 0,
+            seed: 0xF0DE57,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+struct Subsample<'a> {
+    rng: &'a mut StdRng,
+    k: usize,
+}
+
+impl FeaturePicker for Subsample<'_> {
+    fn pick(&mut self, all: &[usize]) -> Vec<usize> {
+        if self.k >= all.len() {
+            return all.to_vec();
+        }
+        let mut cols = all.to_vec();
+        cols.shuffle(self.rng);
+        cols.truncate(self.k);
+        cols
+    }
+}
+
+impl RandomForest {
+    /// Trains `cfg.n_trees` trees on bootstrap samples of `matrix`.
+    pub fn train(matrix: &FeatureMatrix, cfg: &ForestConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let k = if cfg.features_per_split == 0 {
+            (matrix.n_features() as f64).sqrt().ceil() as usize
+        } else {
+            cfg.features_per_split
+        }
+        .max(1);
+
+        let n = matrix.len();
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let rows: Vec<usize> = if n == 0 {
+                    Vec::new()
+                } else {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                };
+                let mut picker = Subsample { rng: &mut rng, k };
+                DecisionTree::train_with(matrix, &rows, &cfg.tree, &mut picker)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Majority-vote prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        let votes = self.trees.iter().filter(|t| t.predict(x)).count();
+        2 * votes > self.trees.len()
+    }
+
+    /// The trees (used by rule extraction).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_separable(seed: u64) -> FeatureMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..200 {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let truth = x0 >= 0.5;
+            // 5 % label noise.
+            let label = if rng.gen_bool(0.05) { !truth } else { truth };
+            rows.push(vec![x0, x1]);
+            labels.push(label);
+        }
+        FeatureMatrix::from_raw(rows, labels)
+    }
+
+    #[test]
+    fn forest_beats_chance_on_noisy_data() {
+        let m = noisy_separable(1);
+        let f = RandomForest::train(&m, &ForestConfig::default());
+        let correct = (0..100)
+            .filter(|&i| {
+                let x = i as f64 / 100.0;
+                f.predict(&[x, 0.5]) == (x >= 0.5)
+            })
+            .count();
+        assert!(correct >= 90, "only {correct}/100 correct");
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let m = noisy_separable(2);
+        let cfg = ForestConfig {
+            n_trees: 5,
+            seed: 77,
+            ..Default::default()
+        };
+        let f1 = RandomForest::train(&m, &cfg);
+        let f2 = RandomForest::train(&m, &cfg);
+        for i in 0..50 {
+            let x = [i as f64 / 50.0, 0.3];
+            assert_eq!(f1.predict(&x), f2.predict(&x));
+        }
+    }
+
+    #[test]
+    fn tree_count_respected() {
+        let m = noisy_separable(3);
+        let f = RandomForest::train(
+            &m,
+            &ForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(f.trees().len(), 7);
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let m = FeatureMatrix::from_raw(vec![], vec![]);
+        let f = RandomForest::train(&m, &ForestConfig::default());
+        assert!(!f.predict(&[0.5]));
+    }
+}

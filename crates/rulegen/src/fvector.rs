@@ -1,0 +1,130 @@
+//! Feature-vector computation for labeled pairs.
+
+use em_core::{EvalContext, FeatureId};
+use em_types::{CandidateSet, Label, LabeledPair};
+use std::collections::HashMap;
+
+/// A dense matrix of feature values for labeled candidate pairs, plus the
+/// binary labels — the training set for trees and forests.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    /// `rows[i][j]` = value of feature `j` for labeled pair `i`.
+    rows: Vec<Vec<f64>>,
+    /// `labels[i]` = true iff pair `i` is a ground-truth match.
+    labels: Vec<bool>,
+}
+
+impl FeatureMatrix {
+    /// Computes feature values for every labeled pair that appears in the
+    /// candidate set (labels outside it are skipped — they were lost to
+    /// blocking and carry no feature values).
+    pub fn compute(
+        ctx: &EvalContext,
+        cands: &CandidateSet,
+        labeled: &[LabeledPair],
+        features: &[FeatureId],
+    ) -> Self {
+        let index: HashMap<_, _> = cands.iter().map(|(i, p)| (p, i)).collect();
+        let mut rows = Vec::with_capacity(labeled.len());
+        let mut labels = Vec::with_capacity(labeled.len());
+        for lp in labeled {
+            if !index.contains_key(&lp.pair) {
+                continue;
+            }
+            rows.push(
+                features
+                    .iter()
+                    .map(|&f| ctx.compute(f, lp.pair))
+                    .collect(),
+            );
+            labels.push(lp.label == Label::Match);
+        }
+        FeatureMatrix { rows, labels }
+    }
+
+    /// Builds a matrix from raw values — used by unit tests and by callers
+    /// with precomputed features.
+    pub fn from_raw(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        FeatureMatrix { rows, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns (0 when empty).
+    pub fn n_features(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Number of positive samples.
+    pub fn n_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_similarity::Measure;
+    use em_types::{PairIdx, Record, Schema, Table};
+
+    #[test]
+    fn compute_collects_values_and_labels() {
+        let schema = Schema::new(["name"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["x"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["x"]));
+        b.push(Record::new("b2", ["y"]));
+        let mut ctx = EvalContext::from_tables(a, b);
+        let f = ctx.feature(Measure::Exact, "name", "name").unwrap();
+
+        let cands = CandidateSet::from_pairs(vec![PairIdx::new(0, 0), PairIdx::new(0, 1)]);
+        let labeled = vec![
+            LabeledPair {
+                pair: PairIdx::new(0, 0),
+                label: Label::Match,
+            },
+            LabeledPair {
+                pair: PairIdx::new(0, 1),
+                label: Label::NonMatch,
+            },
+            LabeledPair {
+                pair: PairIdx::new(9, 9), // lost to blocking
+                label: Label::Match,
+            },
+        ];
+        let m = FeatureMatrix::compute(&ctx, &cands, &labeled, &[f]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.n_features(), 1);
+        assert_eq!(m.row(0), &[1.0]);
+        assert_eq!(m.row(1), &[0.0]);
+        assert!(m.label(0));
+        assert!(!m.label(1));
+        assert_eq!(m.n_positive(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn raw_mismatch_panics() {
+        FeatureMatrix::from_raw(vec![vec![1.0]], vec![]);
+    }
+}

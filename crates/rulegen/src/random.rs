@@ -1,0 +1,141 @@
+//! Random rule generation for controlled ordering experiments.
+//!
+//! The ordering experiments (Figure 3C) need rule sets whose size and
+//! feature-sharing structure can be dialed precisely; random rules over a
+//! feature menu provide that, complementing forest-extracted rules.
+
+use em_core::{CmpOp, FeatureId, Rule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_rules`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomRuleConfig {
+    /// Number of rules to generate.
+    pub n_rules: usize,
+    /// Predicates per rule: uniform in `min_preds..=max_preds`.
+    pub min_preds: usize,
+    /// Upper bound on predicates per rule.
+    pub max_preds: usize,
+    /// Probability a predicate uses `≥` (vs `<`). The paper's forest rules
+    /// mix both; 0.7 reproduces a similar mix.
+    pub ge_probability: f64,
+    /// Threshold range for `≥` predicates — high thresholds make rules
+    /// selective, matching real EM rule sets.
+    pub ge_threshold: (f64, f64),
+    /// Threshold range for `<` predicates.
+    pub lt_threshold: (f64, f64),
+}
+
+impl Default for RandomRuleConfig {
+    fn default() -> Self {
+        RandomRuleConfig {
+            n_rules: 10,
+            min_preds: 2,
+            max_preds: 5,
+            ge_probability: 0.7,
+            ge_threshold: (0.5, 0.95),
+            lt_threshold: (0.2, 0.6),
+        }
+    }
+}
+
+/// Generates `cfg.n_rules` random CNF rules over `features`,
+/// deterministically from `seed`. Within one rule, features are drawn
+/// without replacement (the paper's canonical form allows at most two
+/// predicates per feature; we keep one for simplicity of analysis).
+pub fn random_rules(features: &[FeatureId], cfg: &RandomRuleConfig, seed: u64) -> Vec<Rule> {
+    assert!(!features.is_empty(), "need at least one feature");
+    assert!(cfg.min_preds >= 1 && cfg.min_preds <= cfg.max_preds);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cfg.n_rules)
+        .map(|_| {
+            let k = rng
+                .gen_range(cfg.min_preds..=cfg.max_preds)
+                .min(features.len());
+            // Sample k distinct features.
+            let mut pool: Vec<FeatureId> = features.to_vec();
+            let mut rule = Rule::new();
+            for _ in 0..k {
+                let idx = rng.gen_range(0..pool.len());
+                let f = pool.swap_remove(idx);
+                let (op, (lo, hi)) = if rng.gen_bool(cfg.ge_probability) {
+                    (CmpOp::Ge, cfg.ge_threshold)
+                } else {
+                    (CmpOp::Lt, cfg.lt_threshold)
+                };
+                let t = rng.gen_range(lo..hi);
+                rule = rule.pred(f, op, (t * 100.0).round() / 100.0);
+            }
+            rule
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(n: u32) -> Vec<FeatureId> {
+        (0..n).map(FeatureId).collect()
+    }
+
+    #[test]
+    fn respects_counts_and_bounds() {
+        let cfg = RandomRuleConfig {
+            n_rules: 25,
+            min_preds: 2,
+            max_preds: 4,
+            ..Default::default()
+        };
+        let rules = random_rules(&features(10), &cfg, 1);
+        assert_eq!(rules.len(), 25);
+        for r in &rules {
+            assert!((2..=4).contains(&r.len()));
+            for p in r.predicates() {
+                match p.op {
+                    CmpOp::Ge => assert!((0.5..0.95).contains(&p.threshold)),
+                    CmpOp::Lt => assert!((0.2..0.6).contains(&p.threshold)),
+                    _ => panic!("unexpected op"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn features_distinct_within_rule() {
+        let rules = random_rules(&features(8), &RandomRuleConfig::default(), 2);
+        for r in &rules {
+            let mut fs: Vec<_> = r.predicates().iter().map(|p| p.feature).collect();
+            fs.sort();
+            fs.dedup();
+            assert_eq!(fs.len(), r.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomRuleConfig::default();
+        assert_eq!(
+            random_rules(&features(6), &cfg, 7),
+            random_rules(&features(6), &cfg, 7)
+        );
+        assert_ne!(
+            random_rules(&features(6), &cfg, 7),
+            random_rules(&features(6), &cfg, 8)
+        );
+    }
+
+    #[test]
+    fn pred_count_clamped_to_feature_count() {
+        let cfg = RandomRuleConfig {
+            min_preds: 5,
+            max_preds: 9,
+            ..Default::default()
+        };
+        let rules = random_rules(&features(3), &cfg, 1);
+        for r in &rules {
+            assert!(r.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! A CART decision tree over similarity feature vectors.
+
+use crate::fvector::FeatureMatrix;
+
+/// Tree-training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0). The paper's five-predicate
+    /// rules (Figure 4) correspond to depth-5 trees.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 5,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// A tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Terminal node.
+    Leaf {
+        /// Majority class.
+        label: bool,
+        /// Fraction of samples agreeing with the majority class.
+        purity: f64,
+        /// Number of training samples in the leaf.
+        support: usize,
+    },
+    /// Internal split: `feature < threshold` goes left, `>=` goes right.
+    Split {
+        /// Column index into the feature matrix.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `value < threshold`.
+        left: Box<Node>,
+        /// Subtree for `value >= threshold`.
+        right: Box<Node>,
+    },
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+impl DecisionTree {
+    /// Trains on all rows of `matrix` using every feature at every split.
+    pub fn train(matrix: &FeatureMatrix, cfg: &TreeConfig) -> Self {
+        let rows: Vec<usize> = (0..matrix.len()).collect();
+        let all_features: Vec<usize> = (0..matrix.n_features()).collect();
+        DecisionTree {
+            root: build(matrix, &rows, &all_features, cfg, 0, &mut NoSubsample),
+        }
+    }
+
+    /// Trains on the given row subset, drawing the candidate feature set
+    /// for each split from `feature_picker` — the hook the random forest
+    /// uses for per-split feature subsampling.
+    pub(crate) fn train_with(
+        matrix: &FeatureMatrix,
+        rows: &[usize],
+        cfg: &TreeConfig,
+        feature_picker: &mut dyn FeaturePicker,
+    ) -> Self {
+        let all_features: Vec<usize> = (0..matrix.n_features()).collect();
+        DecisionTree {
+            root: build(matrix, rows, &all_features, cfg, 0, feature_picker),
+        }
+    }
+
+    /// Predicts the class of one feature vector.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] < *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// The root node (used by rule extraction).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+/// Supplies the candidate feature columns for one split.
+pub(crate) trait FeaturePicker {
+    /// Returns the columns to consider (a subset of `all`).
+    fn pick(&mut self, all: &[usize]) -> Vec<usize>;
+}
+
+struct NoSubsample;
+
+impl FeaturePicker for NoSubsample {
+    fn pick(&mut self, all: &[usize]) -> Vec<usize> {
+        all.to_vec()
+    }
+}
+
+fn gini(n_pos: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = n_pos as f64 / n as f64;
+    2.0 * p * (1.0 - p)
+}
+
+fn make_leaf(matrix: &FeatureMatrix, rows: &[usize]) -> Node {
+    let n_pos = rows.iter().filter(|&&r| matrix.label(r)).count();
+    let n = rows.len().max(1);
+    let label = 2 * n_pos >= rows.len() && n_pos > 0;
+    let agree = if label { n_pos } else { rows.len() - n_pos };
+    Node::Leaf {
+        label,
+        purity: agree as f64 / n as f64,
+        support: rows.len(),
+    }
+}
+
+fn build(
+    matrix: &FeatureMatrix,
+    rows: &[usize],
+    all_features: &[usize],
+    cfg: &TreeConfig,
+    depth: usize,
+    picker: &mut dyn FeaturePicker,
+) -> Node {
+    let n_pos = rows.iter().filter(|&&r| matrix.label(r)).count();
+    let pure = n_pos == 0 || n_pos == rows.len();
+    if depth >= cfg.max_depth || rows.len() < cfg.min_samples_split || pure {
+        return make_leaf(matrix, rows);
+    }
+
+    // Find the best (feature, threshold) by Gini gain over the candidate
+    // feature subset.
+    let parent_gini = gini(n_pos, rows.len());
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+
+    for &f in &picker.pick(all_features) {
+        // Sort the rows' values on feature f; candidate thresholds are
+        // midpoints between adjacent distinct values.
+        let mut vals: Vec<(f64, bool)> = rows
+            .iter()
+            .map(|&r| (matrix.row(r)[f], matrix.label(r)))
+            .collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("feature values are finite"));
+
+        let total_pos = n_pos;
+        let mut left_n = 0usize;
+        let mut left_pos = 0usize;
+        for w in 0..vals.len() - 1 {
+            left_n += 1;
+            if vals[w].1 {
+                left_pos += 1;
+            }
+            if vals[w].0 == vals[w + 1].0 {
+                continue; // not a distinct boundary
+            }
+            let right_n = vals.len() - left_n;
+            if left_n < cfg.min_samples_leaf || right_n < cfg.min_samples_leaf {
+                continue;
+            }
+            let threshold = (vals[w].0 + vals[w + 1].0) / 2.0;
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / vals.len() as f64;
+            if best.is_none_or(|(_, _, b)| weighted < b) {
+                best = Some((f, threshold, weighted));
+            }
+        }
+    }
+
+    let Some((feature, threshold, weighted)) = best else {
+        return make_leaf(matrix, rows);
+    };
+    if weighted >= parent_gini {
+        return make_leaf(matrix, rows); // no gain
+    }
+
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+        .iter()
+        .partition(|&&r| matrix.row(r)[feature] < threshold);
+
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(matrix, &left_rows, all_features, cfg, depth + 1, picker)),
+        right: Box::new(build(matrix, &right_rows, all_features, cfg, depth + 1, picker)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable 1-D data: positive iff x ≥ 0.5.
+    fn separable() -> FeatureMatrix {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let labels: Vec<bool> = (0..20).map(|i| i as f64 / 20.0 >= 0.5).collect();
+        FeatureMatrix::from_raw(rows, labels)
+    }
+
+    #[test]
+    fn learns_separable_threshold() {
+        let m = separable();
+        let t = DecisionTree::train(&m, &TreeConfig::default());
+        for i in 0..20 {
+            assert_eq!(t.predict(&[i as f64 / 20.0]), i as f64 / 20.0 >= 0.5);
+        }
+        assert_eq!(t.depth(), 1, "one split suffices");
+        if let Node::Split { threshold, .. } = t.root() {
+            assert!((*threshold - 0.475).abs() < 0.05, "threshold = {threshold}");
+        } else {
+            panic!("expected a split at the root");
+        }
+    }
+
+    #[test]
+    fn learns_conjunction() {
+        // Positive iff x0 ≥ 0.5 AND x1 ≥ 0.5: needs depth 2.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (x0, x1) = (i as f64 / 10.0, j as f64 / 10.0);
+                rows.push(vec![x0, x1]);
+                labels.push(x0 >= 0.5 && x1 >= 0.5);
+            }
+        }
+        let m = FeatureMatrix::from_raw(rows, labels);
+        let t = DecisionTree::train(&m, &TreeConfig::default());
+        assert!(t.predict(&[0.9, 0.9]));
+        assert!(!t.predict(&[0.9, 0.1]));
+        assert!(!t.predict(&[0.1, 0.9]));
+        assert!(!t.predict(&[0.1, 0.1]));
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let m = FeatureMatrix::from_raw(vec![vec![0.1], vec![0.9]], vec![true, true]);
+        let t = DecisionTree::train(&m, &TreeConfig::default());
+        assert_eq!(t.depth(), 0);
+        assert!(t.predict(&[0.5]));
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        // Noisy labels force deep trees; the cap must hold.
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let m = FeatureMatrix::from_raw(rows, labels);
+        let t = DecisionTree::train(
+            &m,
+            &TreeConfig {
+                max_depth: 3,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+            },
+        );
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn empty_matrix_gives_negative_leaf() {
+        let m = FeatureMatrix::from_raw(vec![], vec![]);
+        let t = DecisionTree::train(&m, &TreeConfig::default());
+        assert!(!t.predict(&[0.0]));
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let m = separable();
+        let t = DecisionTree::train(
+            &m,
+            &TreeConfig {
+                max_depth: 8,
+                min_samples_split: 2,
+                min_samples_leaf: 5,
+            },
+        );
+        fn check(n: &Node) {
+            match n {
+                Node::Leaf { support, .. } => assert!(*support >= 5),
+                Node::Split { left, right, .. } => {
+                    check(left);
+                    check(right);
+                }
+            }
+        }
+        check(t.root());
+    }
+}

@@ -1,0 +1,204 @@
+//! Character-level edit measures: Levenshtein, Jaro, Jaro-Winkler.
+//!
+//! All operate on the normalized form (lowercased, whitespace-collapsed) of
+//! their inputs, so `"IPod"` vs `"ipod"` scores 1.0.
+
+use crate::tokenize::normalize;
+
+/// Raw Levenshtein edit distance between the normalized forms of `a` and `b`.
+///
+/// Two-row dynamic program, O(|a|·|b|) time, O(min(|a|,|b|)) space.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    // Iterate over the longer string, keep the DP row for the shorter one.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max(|a|, |b|)`.
+///
+/// Both strings empty ⇒ 1.0 (they are identical).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_chars(&a, &b) as f64 / max_len as f64
+}
+
+/// Jaro similarity between the normalized forms of `a` and `b`.
+///
+/// Both empty ⇒ 1.0; exactly one empty ⇒ 0.0.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    jaro_chars(&a, &b)
+}
+
+fn jaro_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+
+    if matches == 0 {
+        return 0.0;
+    }
+
+    // Count transpositions: matched characters out of relative order.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        if a_matched[i] {
+            while !b_matched[j] {
+                j += 1;
+            }
+            if ca != b[j] {
+                transpositions += 1;
+            }
+            j += 1;
+        }
+    }
+    let m = matches as f64;
+    let t = (transpositions / 2) as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// common-prefix length capped at 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+
+    let an: Vec<char> = normalize(a).chars().collect();
+    let bn: Vec<char> = normalize(b).chars().collect();
+    let j = jaro_chars(&an, &bn);
+    let prefix = an
+        .iter()
+        .zip(bn.iter())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", ""), 0);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_case_insensitive() {
+        assert_eq!(levenshtein_distance("ABC", "abc"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_range() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_textbook_values() {
+        // Classic examples from the record-linkage literature.
+        let s = jaro("martha", "marhta");
+        assert!((s - 0.944444).abs() < 1e-4, "martha/marhta = {s}");
+        let s = jaro("dixon", "dicksonx");
+        assert!((s - 0.766667).abs() < 1e-4, "dixon/dicksonx = {s}");
+        let s = jaro("dwayne", "duane");
+        assert!((s - 0.822222).abs() < 1e-4, "dwayne/duane = {s}");
+    }
+
+    #[test]
+    fn jaro_edges() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_textbook_values() {
+        let s = jaro_winkler("martha", "marhta");
+        assert!((s - 0.961111).abs() < 1e-4, "martha/marhta = {s}");
+        let s = jaro_winkler("dixon", "dicksonx");
+        assert!((s - 0.813333).abs() < 1e-4, "dixon/dicksonx = {s}");
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro() {
+        let pairs = [("prefix", "prefixx"), ("apple", "applesauce"), ("ab", "ba")];
+        for (a, b) in pairs {
+            assert!(jaro_winkler(a, b) >= jaro(a, b) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaro_symmetric() {
+        let pairs = [("martha", "marhta"), ("abcdef", "fedcba"), ("x", "xyz")];
+        for (a, b) in pairs {
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein_distance("café", "cafe"), 1);
+        assert!(jaro("東京都", "東京") > 0.8);
+    }
+}

@@ -1,0 +1,103 @@
+//! Numeric similarity for attributes like price or year that are stored as
+//! strings but compared as magnitudes.
+
+/// Extracts the first decimal number embedded in `s` (`"$1,299.99"` →
+/// `1299.99`, `"(2004)"` → `2004.0`). Returns `None` when no digits exist.
+pub fn extract_number(s: &str) -> Option<f64> {
+    let mut buf = String::new();
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    for c in s.chars() {
+        match c {
+            '0'..='9' => {
+                buf.push(c);
+                seen_digit = true;
+            }
+            '.' if seen_digit && !seen_dot => {
+                buf.push(c);
+                seen_dot = true;
+            }
+            ',' if seen_digit => {} // thousands separator
+            '-' if !seen_digit && buf.is_empty() => buf.push(c),
+            _ if seen_digit => break, // number ended
+            _ => {
+                buf.clear(); // stray '-' without digits
+            }
+        }
+    }
+    if seen_digit {
+        buf.trim_end_matches('.').parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Scaled absolute-difference similarity: `max(0, 1 − |a − b| / scale)`.
+///
+/// When either side has no parsable number, falls back to trimmed string
+/// equality (1.0 / 0.0).
+pub fn numeric_similarity(a: &str, b: &str, scale: f64) -> f64 {
+    match (extract_number(a), extract_number(b)) {
+        (Some(x), Some(y)) => {
+            let scale = scale.max(f64::MIN_POSITIVE);
+            (1.0 - (x - y).abs() / scale).clamp(0.0, 1.0)
+        }
+        _ => {
+            if a.trim() == b.trim() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction() {
+        assert_eq!(extract_number("1995"), Some(1995.0));
+        assert_eq!(extract_number("$1,299.99"), Some(1299.99));
+        assert_eq!(extract_number("(2004) dvd"), Some(2004.0));
+        assert_eq!(extract_number("-3.5 stars"), Some(-3.5));
+        assert_eq!(extract_number("no digits"), None);
+        assert_eq!(extract_number(""), None);
+        assert_eq!(extract_number("v1.2.3"), Some(1.2), "stops at second dot");
+    }
+
+    #[test]
+    fn similarity_scales_linearly() {
+        assert_eq!(numeric_similarity("100", "100", 10.0), 1.0);
+        assert!((numeric_similarity("100", "105", 10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(numeric_similarity("100", "120", 10.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            numeric_similarity("90", "100", 20.0),
+            numeric_similarity("100", "90", 20.0)
+        );
+    }
+
+    #[test]
+    fn non_numeric_falls_back_to_equality() {
+        assert_eq!(numeric_similarity("n/a", "n/a", 10.0), 1.0);
+        assert_eq!(numeric_similarity("n/a", "tbd", 10.0), 0.0);
+        assert_eq!(numeric_similarity("100", "n/a", 10.0), 0.0);
+    }
+
+    #[test]
+    fn zero_scale_degrades_to_equality_like() {
+        // scale clamped to a positive epsilon: equal numbers still score 1.
+        assert_eq!(numeric_similarity("5", "5", 0.0), 1.0);
+        assert_eq!(numeric_similarity("5", "6", 0.0), 0.0);
+    }
+
+    #[test]
+    fn formatting_ignored() {
+        assert_eq!(numeric_similarity("$129.99", "129.99 usd", 1.0), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Phonetic matching: the classic American Soundex code.
+
+/// Computes the 4-character Soundex code of `s`.
+///
+/// Non-ASCII-alphabetic characters are skipped. Returns `None` when the
+/// string contains no ASCII letters (e.g. a purely numeric model number),
+/// in which case callers should fall back to a non-phonetic comparison.
+pub fn soundex_code(s: &str) -> Option<String> {
+    // Digit class per letter a..z; 0 = vowel/ignored, 7 = h/w separator rule.
+    const CLASS: [u8; 26] = [
+        0, 1, 2, 3, 0, 1, 2, 7, 0, 2, 2, 4, 5, // a..m
+        5, 0, 1, 2, 6, 2, 3, 0, 1, 7, 2, 0, 2, // n..z
+    ];
+
+    let mut letters = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase());
+
+    let first = letters.next()?;
+    let mut code = String::with_capacity(4);
+    code.push(first.to_ascii_uppercase());
+
+    let mut last_class = CLASS[(first as u8 - b'a') as usize];
+    for c in letters {
+        let class = CLASS[(c as u8 - b'a') as usize];
+        match class {
+            0 => last_class = 0,          // vowels reset the run
+            7 => {}                       // h/w: transparent, run continues
+            d if d != last_class => {
+                code.push((b'0' + d) as char);
+                if code.len() == 4 {
+                    break;
+                }
+                last_class = d;
+            }
+            _ => {}
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Soundex similarity: 1.0 iff the codes of the two strings agree.
+///
+/// Strings without any ASCII letters compare by trimmed equality instead
+/// (phonetics are meaningless for e.g. numeric model numbers).
+pub fn soundex_similarity(a: &str, b: &str) -> f64 {
+    match (soundex_code(a), soundex_code(b)) {
+        (Some(ca), Some(cb))
+            if ca == cb => {
+                1.0
+            }
+        (None, None)
+            if a.trim() == b.trim() => {
+                1.0
+            }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        // Canonical examples from Knuth / the US census definition.
+        assert_eq!(soundex_code("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex_code("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex_code("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex_code("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex_code("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex_code("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex_code("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn short_names_padded() {
+        assert_eq!(soundex_code("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex_code("Wu").as_deref(), Some("W000"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex_code("SMITH"), soundex_code("smith"));
+    }
+
+    #[test]
+    fn no_letters_returns_none() {
+        assert_eq!(soundex_code("12345"), None);
+        assert_eq!(soundex_code(""), None);
+        assert_eq!(soundex_code("---"), None);
+    }
+
+    #[test]
+    fn similarity_matches_codes() {
+        assert_eq!(soundex_similarity("Robert", "Rupert"), 1.0);
+        assert_eq!(soundex_similarity("Robert", "Smith"), 0.0);
+    }
+
+    #[test]
+    fn numeric_fallback_is_equality() {
+        assert_eq!(soundex_similarity("12345", "12345"), 1.0);
+        assert_eq!(soundex_similarity("12345", "12346"), 0.0);
+        assert_eq!(soundex_similarity("12345", "abcde"), 0.0);
+    }
+
+    #[test]
+    fn hw_transparency() {
+        // Ashcraft: the 'h' between 's'(2) and 'c'(2) does NOT split the run.
+        assert_eq!(soundex_code("Ashcraft").as_deref(), Some("A261"));
+    }
+
+    #[test]
+    fn mixed_content_skips_nonletters() {
+        assert_eq!(soundex_code("R2D2-obert"), soundex_code("Rdobert"));
+    }
+}

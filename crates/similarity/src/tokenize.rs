@@ -1,0 +1,158 @@
+//! Tokenization and normalization primitives shared by the set-based,
+//! corpus-weighted, and hybrid measures.
+
+use serde::{Deserialize, Serialize};
+
+/// How a string is split into tokens before a set/bag similarity is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenScheme {
+    /// Split on Unicode whitespace; tokens are lowercased.
+    Whitespace,
+    /// Split on any non-alphanumeric character; tokens are lowercased.
+    Alnum,
+    /// Padded character q-grams of the lowercased string (q ≥ 1).
+    QGram(u8),
+}
+
+impl TokenScheme {
+    /// Tokenizes `s` according to this scheme.
+    pub fn tokenize(&self, s: &str) -> Vec<String> {
+        match *self {
+            TokenScheme::Whitespace => tokens_ws(s),
+            TokenScheme::Alnum => tokens_alnum(s),
+            TokenScheme::QGram(q) => qgrams(s, q.max(1) as usize),
+        }
+    }
+}
+
+/// Lowercases and collapses internal whitespace runs to single spaces.
+///
+/// This is the canonical normalization applied before character-level
+/// measures so that case and formatting differences do not dominate.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true; // swallow leading whitespace
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Whitespace tokens of the lowercased string.
+pub fn tokens_ws(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|t| t.to_lowercase()).collect()
+}
+
+/// Maximal alphanumeric runs of the lowercased string.
+///
+/// `"WH-1000XM4"` → `["wh", "1000xm4"]`.
+pub fn tokens_alnum(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Padded character q-grams of the lowercased, whitespace-normalized string.
+///
+/// The string is padded with `q - 1` leading `#` and trailing `$` characters
+/// (the standard convention) so that prefixes and suffixes are represented;
+/// an empty string yields no q-grams.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let norm = normalize(s);
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    let mut padded: Vec<char> = Vec::with_capacity(norm.chars().count() + 2 * (q - 1));
+    padded.extend(std::iter::repeat_n('#', q - 1));
+    padded.extend(norm.chars());
+    padded.extend(std::iter::repeat_n('$', q - 1));
+    if padded.len() < q {
+        return vec![padded.into_iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_and_lowercases() {
+        assert_eq!(normalize("  Apple   iPod  "), "apple ipod");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("ÜBER"), "über");
+        assert_eq!(normalize("a\tb\nc"), "a b c");
+    }
+
+    #[test]
+    fn ws_tokens() {
+        assert_eq!(tokens_ws("Apple iPod Nano"), vec!["apple", "ipod", "nano"]);
+        assert!(tokens_ws("   ").is_empty());
+    }
+
+    #[test]
+    fn alnum_tokens() {
+        assert_eq!(tokens_alnum("WH-1000XM4"), vec!["wh", "1000xm4"]);
+        assert_eq!(tokens_alnum("a.b,c"), vec!["a", "b", "c"]);
+        assert!(tokens_alnum("--!!").is_empty());
+    }
+
+    #[test]
+    fn trigram_padding() {
+        let g = qgrams("ab", 3);
+        assert_eq!(g, vec!["##a", "#ab", "ab$", "b$$"]);
+    }
+
+    #[test]
+    fn qgram_1_is_chars() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn qgrams_empty() {
+        assert!(qgrams("", 3).is_empty());
+        assert!(qgrams("   ", 3).is_empty());
+    }
+
+    #[test]
+    fn qgram_count_formula() {
+        // A string of n chars with q-1 padding on both sides yields
+        // n + q - 1 q-grams.
+        let n = "television".chars().count();
+        assert_eq!(qgrams("television", 3).len(), n + 2);
+    }
+
+    #[test]
+    fn scheme_dispatch() {
+        assert_eq!(
+            TokenScheme::Whitespace.tokenize("A b"),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        assert_eq!(TokenScheme::QGram(2).tokenize("ab"), vec!["#a", "ab", "b$"]);
+    }
+}

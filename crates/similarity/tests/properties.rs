@@ -1,0 +1,143 @@
+//! Property tests for every similarity measure: range, symmetry, identity,
+//! and per-measure laws — over arbitrary (including adversarial) strings.
+
+use em_similarity::{
+    jaccard, jaro, jaro_winkler, levenshtein_distance, levenshtein_similarity, qgrams, IdfTable,
+    Measure, TokenScheme,
+};
+use proptest::prelude::*;
+
+/// Strings mixing realistic tokens, unicode, and junk.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,12}( [a-z]{1,8}){0,4}",
+        "[A-Za-z0-9 .,\\-]{0,30}",
+        Just(String::new()),
+        Just("   ".to_string()),
+        "\\PC{0,12}", // arbitrary printable unicode
+    ]
+}
+
+fn all_measures() -> Vec<Measure> {
+    let mut m = Measure::paper_menu();
+    m.push(Measure::NumericAbs { scale: 10.0 });
+    m.push(Measure::Overlap(TokenScheme::Whitespace));
+    m.push(Measure::Jaccard(TokenScheme::Alnum));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scores_are_in_unit_interval(a in arb_string(), b in arb_string()) {
+        for m in all_measures() {
+            let s = m.similarity_with(&a, &b, None);
+            prop_assert!((0.0..=1.0).contains(&s), "{m}({a:?},{b:?}) = {s}");
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn all_measures_symmetric(a in arb_string(), b in arb_string()) {
+        for m in all_measures() {
+            let s1 = m.similarity_with(&a, &b, None);
+            let s2 = m.similarity_with(&b, &a, None);
+            prop_assert!((s1 - s2).abs() < 1e-9, "{m} asymmetric on ({a:?},{b:?}): {s1} vs {s2}");
+        }
+    }
+
+    #[test]
+    fn identity_scores_one(a in arb_string()) {
+        for m in all_measures() {
+            let s = m.similarity_with(&a, &a, None);
+            prop_assert!((s - 1.0).abs() < 1e-9, "{m}({a:?},{a:?}) = {s}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in arb_string(), b in arb_string(), c in arb_string()) {
+        let dab = levenshtein_distance(&a, &b);
+        let dbc = levenshtein_distance(&b, &c);
+        let dac = levenshtein_distance(&a, &c);
+        // Triangle inequality (edit distance is a true metric on the
+        // normalized forms).
+        prop_assert!(dac <= dab + dbc, "triangle violated: {dac} > {dab} + {dbc}");
+        // Identity of indiscernibles on normalized forms.
+        if dab == 0 {
+            prop_assert_eq!(levenshtein_similarity(&a, &b), 1.0);
+        }
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_length(a in arb_string(), b in arb_string()) {
+        let d = levenshtein_distance(&a, &b);
+        let la = em_similarity::normalize(&a).chars().count();
+        let lb = em_similarity::normalize(&b).chars().count();
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in arb_string(), b in arb_string()) {
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn jaccard_monotone_under_union(tokens in prop::collection::vec("[a-z]{1,6}", 1..8)) {
+        // jaccard(A, A∪B) ≥ jaccard(A, B): adding A's own tokens to the
+        // other side never hurts.
+        let a: Vec<String> = tokens.clone();
+        let b: Vec<String> = vec!["zzz".to_string()];
+        let mut union = a.clone();
+        union.extend(b.clone());
+        prop_assert!(jaccard(&a, &union) >= jaccard(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn qgram_count_matches_formula(s in "[a-z ]{1,20}", q in 1usize..5) {
+        let norm = em_similarity::normalize(&s);
+        let grams = qgrams(&s, q);
+        if norm.is_empty() {
+            prop_assert!(grams.is_empty());
+        } else {
+            let n = norm.chars().count();
+            prop_assert_eq!(grams.len(), n + q - 1);
+            // Every gram has exactly q chars.
+            for g in &grams {
+                prop_assert_eq!(g.chars().count(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn idf_weights_positive_and_monotone(docs in prop::collection::vec("[a-z]{1,5}( [a-z]{1,5}){0,3}", 1..10)) {
+        let idf = IdfTable::build(docs.iter().map(String::as_str), TokenScheme::Whitespace);
+        // All weights positive; a token in every document weighs no more
+        // than a token in one document.
+        let all_docs_token = docs
+            .iter()
+            .map(|d| d.split_whitespace().next().unwrap_or(""))
+            .next()
+            .unwrap_or("")
+            .to_string();
+        if !all_docs_token.is_empty() {
+            prop_assert!(idf.weight(&all_docs_token) > 0.0);
+            prop_assert!(idf.weight("never-seen-token-xyz") >= idf.weight(&all_docs_token));
+        }
+    }
+
+    #[test]
+    fn tfidf_self_similarity_is_one(s in "[a-z]{1,6}( [a-z]{1,6}){0,4}") {
+        let idf = IdfTable::build([s.as_str()], TokenScheme::Whitespace);
+        let m = Measure::TfIdf(TokenScheme::Whitespace);
+        let v = m.similarity_with(&s, &s, Some(&idf));
+        prop_assert!((v - 1.0).abs() < 1e-9, "{s:?}: {v}");
+    }
+
+    #[test]
+    fn exact_iff_trim_equal(a in arb_string(), b in arb_string()) {
+        let s = Measure::Exact.similarity(&a, &b);
+        prop_assert_eq!(s == 1.0, a.trim() == b.trim());
+    }
+}

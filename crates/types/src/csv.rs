@@ -1,0 +1,315 @@
+//! Minimal RFC-4180-style CSV reader/writer for loading EM tables.
+//!
+//! Implemented from scratch (no external dependency) because the workspace
+//! only needs plain quoted-field CSV: the first column is the record id, the
+//! remaining columns map onto schema attributes, and an empty unquoted field
+//! is treated as a missing value.
+
+use crate::{Record, Schema, Table, TableError};
+use std::fmt;
+
+/// Errors raised while parsing CSV content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header line.
+    MissingHeader,
+    /// A data row had a different number of fields than the header.
+    RaggedRow { line: usize, expected: usize, got: usize },
+    /// A quoted field was never closed.
+    UnterminatedQuote { line: usize },
+    /// The parsed rows violated table constraints (duplicate id, …).
+    Table(TableError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "csv input has no header line"),
+            CsvError::RaggedRow { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Table(e) => write!(f, "table constraint violated: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> Self {
+        CsvError::Table(e)
+    }
+}
+
+/// Splits one logical CSV record starting at `pos` in `input`.
+///
+/// Returns the parsed fields and the byte offset just past the record's
+/// terminating newline (or end of input). Handles quoted fields containing
+/// commas, escaped quotes (`""`), and embedded newlines.
+fn parse_record(
+    input: &str,
+    mut pos: usize,
+    line: usize,
+) -> Result<(Vec<Option<String>>, usize), CsvError> {
+    let bytes = input.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut was_quoted = false;
+
+    loop {
+        if pos >= bytes.len() {
+            if quoted {
+                return Err(CsvError::UnterminatedQuote { line });
+            }
+            push_field(&mut fields, &mut field, was_quoted);
+            return Ok((fields, pos));
+        }
+        let c = bytes[pos];
+        if quoted {
+            match c {
+                b'"' => {
+                    if bytes.get(pos + 1) == Some(&b'"') {
+                        field.push('"');
+                        pos += 2;
+                    } else {
+                        quoted = false;
+                        pos += 1;
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+        } else {
+            match c {
+                b',' => {
+                    push_field(&mut fields, &mut field, was_quoted);
+                    was_quoted = false;
+                    pos += 1;
+                }
+                b'"' if field.is_empty() => {
+                    quoted = true;
+                    was_quoted = true;
+                    pos += 1;
+                }
+                b'\r' if bytes.get(pos + 1) == Some(&b'\n') => {
+                    push_field(&mut fields, &mut field, was_quoted);
+                    return Ok((fields, pos + 2));
+                }
+                b'\n' => {
+                    push_field(&mut fields, &mut field, was_quoted);
+                    return Ok((fields, pos + 1));
+                }
+                _ => {
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+/// An empty *unquoted* field means "missing"; a quoted empty field (`""`)
+/// means "present but empty string".
+fn push_field(fields: &mut Vec<Option<String>>, field: &mut String, was_quoted: bool) {
+    let value = std::mem::take(field);
+    if value.is_empty() && !was_quoted {
+        fields.push(None);
+    } else {
+        fields.push(Some(value));
+    }
+}
+
+/// Parses CSV text into a [`Table`].
+///
+/// The first header column names the id column (its name is ignored); the
+/// remaining header columns become the schema. Each data row's first field is
+/// the record id.
+pub fn parse_csv(name: &str, input: &str) -> Result<Table, CsvError> {
+    let mut pos = 0usize;
+    let mut line = 1usize;
+
+    // Skip a UTF-8 BOM if present.
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+
+    if input.is_empty() {
+        return Err(CsvError::MissingHeader);
+    }
+
+    let (header, next) = parse_record(input, pos, line)?;
+    pos = next;
+    line += 1;
+    if header.is_empty() || header.iter().all(Option::is_none) {
+        return Err(CsvError::MissingHeader);
+    }
+    let attr_names: Vec<String> = header
+        .iter()
+        .skip(1)
+        .enumerate()
+        .map(|(i, h)| h.clone().unwrap_or_else(|| format!("attr{i}")))
+        .collect();
+    let schema = Schema::new(attr_names);
+    let ncols = header.len();
+    let mut table = Table::new(name, schema);
+
+    while pos < input.len() {
+        let (fields, next) = parse_record(input, pos, line)?;
+        pos = next;
+        // Skip completely blank trailing lines.
+        if fields.len() == 1 && fields[0].is_none() {
+            line += 1;
+            continue;
+        }
+        if fields.len() != ncols {
+            return Err(CsvError::RaggedRow {
+                line,
+                expected: ncols,
+                got: fields.len(),
+            });
+        }
+        let mut it = fields.into_iter();
+        let id = it.next().flatten().unwrap_or_else(|| format!("row{line}"));
+        table.try_push(Record::with_missing(id, it))?;
+        line += 1;
+    }
+
+    Ok(table)
+}
+
+/// Serializes a [`Table`] back to CSV, quoting where needed.
+pub fn write_csv(table: &Table) -> String {
+    fn quote(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else if s.is_empty() {
+            // Preserve "present but empty" as a quoted empty field.
+            "\"\"".to_string()
+        } else {
+            s.to_string()
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("id");
+    for name in table.schema().names() {
+        out.push(',');
+        out.push_str(&quote(name));
+    }
+    out.push('\n');
+    for rec in table.iter() {
+        out.push_str(&quote(rec.id()));
+        for v in rec.values() {
+            out.push(',');
+            if let Some(s) = v { out.push_str(&quote(s)) }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrId;
+
+    #[test]
+    fn simple_parse() {
+        let t = parse_csv("A", "id,name,phone\na1,John,206\na2,Bob,414\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().names(), &["name", "phone"]);
+        assert_eq!(t.value(0, AttrId(0)), Some("John"));
+        assert_eq!(t.value(1, AttrId(1)), Some("414"));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let t = parse_csv("A", "id,name\na1,\"Smith, John\"\na2,\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some("Smith, John"));
+        assert_eq!(t.value(1, AttrId(0)), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = parse_csv("A", "id,name\na1,\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn empty_unquoted_field_is_missing() {
+        let t = parse_csv("A", "id,name,phone\na1,,206\n").unwrap();
+        assert_eq!(t.value(0, AttrId(0)), None);
+        assert_eq!(t.value(0, AttrId(1)), Some("206"));
+    }
+
+    #[test]
+    fn quoted_empty_field_is_present() {
+        let t = parse_csv("A", "id,name\na1,\"\"\n").unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some(""));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = parse_csv("A", "id,name\na1,x,extra\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = parse_csv("A", "id,name\na1,\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_csv("A", "id,name\r\na1,x\r\na2,y\r\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(1, AttrId(0)), Some("y"));
+    }
+
+    #[test]
+    fn bom_is_stripped() {
+        let t = parse_csv("A", "\u{feff}id,name\na1,x\n").unwrap();
+        assert_eq!(t.schema().names(), &["name"]);
+    }
+
+    #[test]
+    fn unicode_content() {
+        let t = parse_csv("A", "id,name\na1,Müller Café 東京\n").unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some("Müller Café 東京"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "id,name,phone\na1,\"Smith, John\",206\na2,,\"\"\n";
+        let t = parse_csv("A", src).unwrap();
+        let csv = write_csv(&t);
+        let t2 = parse_csv("A", &csv).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (r1, r2) in t.iter().zip(t2.iter()) {
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_csv("A", "").unwrap_err(), CsvError::MissingHeader);
+    }
+}

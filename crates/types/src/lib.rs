@@ -1,0 +1,41 @@
+//! # em-types
+//!
+//! Shared data model for the `rulem` entity-matching workspace: schemas,
+//! records, tables, candidate pairs, and labeled samples.
+//!
+//! The entity-matching (EM) workflow of the EDBT 2017 paper takes two tables
+//! `A` and `B`, produces a set of *candidate pairs* via blocking, and then
+//! evaluates a boolean matching function over each candidate pair. This crate
+//! holds the pieces of that pipeline that every other crate needs to agree
+//! on; it deliberately has no knowledge of similarity functions, rules, or
+//! engines.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use em_types::{Schema, Table, Record, CandidateSet};
+//!
+//! let schema = Schema::new(["name", "phone"]);
+//! let mut a = Table::new("A", schema.clone());
+//! a.push(Record::new("a1", ["John Smith", "206-453-1978"]));
+//! a.push(Record::new("a2", ["Bob Lee", "414-555-0101"]));
+//!
+//! let mut b = Table::new("B", schema);
+//! b.push(Record::new("b1", ["John Smith", "453 1978"]));
+//!
+//! // Candidate pairs are (row-in-A, row-in-B) index pairs.
+//! let cands = CandidateSet::cartesian(&a, &b);
+//! assert_eq!(cands.len(), 2);
+//! ```
+
+mod csv;
+mod pairs;
+mod record;
+mod schema;
+mod table;
+
+pub use csv::{parse_csv, write_csv, CsvError};
+pub use pairs::{CandidateSet, Label, LabeledPair, PairIdx};
+pub use record::Record;
+pub use schema::{AttrId, Schema};
+pub use table::{Table, TableError};

@@ -1,0 +1,198 @@
+//! Candidate pairs: the output of blocking and input of matching.
+
+use crate::Table;
+use serde::{Deserialize, Serialize};
+
+/// A candidate pair: row indices into table `A` and table `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PairIdx {
+    /// Row in table `A`.
+    pub a: u32,
+    /// Row in table `B`.
+    pub b: u32,
+}
+
+impl PairIdx {
+    /// Constructs a pair from two row indices.
+    #[inline]
+    pub fn new(a: u32, b: u32) -> Self {
+        PairIdx { a, b }
+    }
+}
+
+/// Manual label attached to a candidate pair when evaluating matcher quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The two records refer to the same real-world entity.
+    Match,
+    /// The two records refer to different entities.
+    NonMatch,
+}
+
+/// A candidate pair together with its ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledPair {
+    /// The pair of row indices.
+    pub pair: PairIdx,
+    /// The ground-truth label.
+    pub label: Label,
+}
+
+/// The ordered set of candidate pairs surviving blocking.
+///
+/// Pairs are kept in a dense `Vec` so the matching engines can address the
+/// memo by pair position (`0..len`). The position of a pair within the set is
+/// its *pair index*, used pervasively downstream.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateSet {
+    pairs: Vec<PairIdx>,
+}
+
+impl CandidateSet {
+    /// Creates an empty candidate set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing list of pairs.
+    pub fn from_pairs(pairs: Vec<PairIdx>) -> Self {
+        CandidateSet { pairs }
+    }
+
+    /// The full cross product `|A| × |B|` — only sensible for small tables
+    /// or as the no-blocking baseline.
+    pub fn cartesian(a: &Table, b: &Table) -> Self {
+        let mut pairs = Vec::with_capacity(a.len() * b.len());
+        for ia in 0..a.len() as u32 {
+            for ib in 0..b.len() as u32 {
+                pairs.push(PairIdx::new(ia, ib));
+            }
+        }
+        CandidateSet { pairs }
+    }
+
+    /// Appends a pair.
+    #[inline]
+    pub fn push(&mut self, pair: PairIdx) {
+        self.pairs.push(pair);
+    }
+
+    /// Number of candidate pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no candidate pairs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pair at position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    #[inline]
+    pub fn pair(&self, idx: usize) -> PairIdx {
+        self.pairs[idx]
+    }
+
+    /// All pairs as a slice, in pair-index order.
+    #[inline]
+    pub fn as_slice(&self) -> &[PairIdx] {
+        &self.pairs
+    }
+
+    /// Iterates over `(pair_index, PairIdx)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, PairIdx)> + '_ {
+        self.pairs.iter().copied().enumerate()
+    }
+
+    /// Returns a new set containing only the first `n` pairs (used by the
+    /// Figure 5B scaling experiment).
+    pub fn truncated(&self, n: usize) -> Self {
+        CandidateSet {
+            pairs: self.pairs[..n.min(self.pairs.len())].to_vec(),
+        }
+    }
+
+    /// Removes duplicate pairs, preserving first occurrence order.
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::HashSet::with_capacity(self.pairs.len());
+        self.pairs.retain(|p| seen.insert(*p));
+    }
+}
+
+impl FromIterator<PairIdx> for CandidateSet {
+    fn from_iter<T: IntoIterator<Item = PairIdx>>(iter: T) -> Self {
+        CandidateSet {
+            pairs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Record, Schema};
+
+    fn tiny_tables() -> (Table, Table) {
+        let schema = Schema::new(["name"]);
+        let mut a = Table::new("A", schema.clone());
+        a.push(Record::new("a1", ["x"]));
+        a.push(Record::new("a2", ["y"]));
+        let mut b = Table::new("B", schema);
+        b.push(Record::new("b1", ["x"]));
+        b.push(Record::new("b2", ["y"]));
+        b.push(Record::new("b3", ["z"]));
+        (a, b)
+    }
+
+    #[test]
+    fn cartesian_size_and_order() {
+        let (a, b) = tiny_tables();
+        let c = CandidateSet::cartesian(&a, &b);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.pair(0), PairIdx::new(0, 0));
+        assert_eq!(c.pair(5), PairIdx::new(1, 2));
+    }
+
+    #[test]
+    fn truncated_clamps() {
+        let (a, b) = tiny_tables();
+        let c = CandidateSet::cartesian(&a, &b);
+        assert_eq!(c.truncated(2).len(), 2);
+        assert_eq!(c.truncated(100).len(), 6);
+        assert_eq!(c.truncated(0).len(), 0);
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        let mut c = CandidateSet::from_pairs(vec![
+            PairIdx::new(0, 1),
+            PairIdx::new(0, 0),
+            PairIdx::new(0, 1),
+        ]);
+        c.dedup();
+        assert_eq!(
+            c.as_slice(),
+            &[PairIdx::new(0, 1), PairIdx::new(0, 0)]
+        );
+    }
+
+    #[test]
+    fn empty_cartesian() {
+        let schema = Schema::new(["name"]);
+        let a = Table::new("A", schema.clone());
+        let b = Table::new("B", schema);
+        assert!(CandidateSet::cartesian(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: CandidateSet = (0..3u32).map(|i| PairIdx::new(i, i)).collect();
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Individual records: an external id plus one value per schema attribute.
+
+use serde::{Deserialize, Serialize};
+
+/// A single record (row) of a [`crate::Table`].
+///
+/// Values are stored positionally and must line up with the owning table's
+/// [`crate::Schema`]. A value of `None` means the attribute is missing for
+/// this record — common in crawled EM data (e.g. a product without a
+/// `modelno`). Similarity predicates over a missing value conventionally
+/// evaluate to similarity `0.0`, which downstream crates implement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    id: String,
+    values: Vec<Option<String>>,
+}
+
+impl Record {
+    /// Creates a record with all attributes present.
+    pub fn new<I, S>(id: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Record {
+            id: id.into(),
+            values: values.into_iter().map(|v| Some(v.into())).collect(),
+        }
+    }
+
+    /// Creates a record where some attributes may be missing.
+    pub fn with_missing<I>(id: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<String>>,
+    {
+        Record {
+            id: id.into(),
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// The record's external identifier (unique within its table).
+    #[inline]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The value of attribute `idx`, or `None` if missing / out of range.
+    #[inline]
+    pub fn value(&self, idx: usize) -> Option<&str> {
+        self.values.get(idx).and_then(|v| v.as_deref())
+    }
+
+    /// Number of attribute slots carried by this record.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All values, positionally.
+    pub fn values(&self) -> &[Option<String>] {
+        &self.values
+    }
+
+    /// Replaces the value of attribute `idx`. Extends with `None` slots if
+    /// `idx` is beyond the current arity.
+    pub fn set_value(&mut self, idx: usize, value: Option<String>) {
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, None);
+        }
+        self.values[idx] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_all_present() {
+        let r = Record::new("a1", ["John", "206-453-1978"]);
+        assert_eq!(r.id(), "a1");
+        assert_eq!(r.value(0), Some("John"));
+        assert_eq!(r.value(1), Some("206-453-1978"));
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn missing_values() {
+        let r = Record::with_missing("a2", vec![Some("Bob".to_string()), None]);
+        assert_eq!(r.value(0), Some("Bob"));
+        assert_eq!(r.value(1), None);
+        assert_eq!(r.value(99), None);
+    }
+
+    #[test]
+    fn set_value_extends() {
+        let mut r = Record::new("x", ["a"]);
+        r.set_value(2, Some("c".into()));
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.value(1), None);
+        assert_eq!(r.value(2), Some("c"));
+        r.set_value(0, None);
+        assert_eq!(r.value(0), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Table schemas: ordered, named attributes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an attribute within a [`Schema`].
+///
+/// Attribute ids are small and dense, so downstream crates use them to index
+/// flat arrays (e.g. per-attribute token caches) instead of hashing names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute's position in the schema as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// An ordered list of attribute names shared by all records of a [`crate::Table`].
+///
+/// The `id` column of a record is *not* part of the schema; it is stored
+/// separately on [`crate::Record`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names, preserving order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name or there are more than
+    /// `u16::MAX` attributes — both indicate programmer error at
+    /// construction time, not recoverable runtime conditions.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        assert!(
+            attrs.len() <= u16::MAX as usize,
+            "schema supports at most {} attributes",
+            u16::MAX
+        );
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute name {a:?} in schema"
+            );
+        }
+        Schema { attrs }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Looks up the id of an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// The name of an attribute, if `id` is in range.
+    pub fn attr_name(&self, id: AttrId) -> Option<&str> {
+        self.attrs.get(id.index()).map(String::as_str)
+    }
+
+    /// Iterates over `(AttrId, name)` in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u16), a.as_str()))
+    }
+
+    /// All attribute names in schema order.
+    pub fn names(&self) -> &[String] {
+        &self.attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip() {
+        let s = Schema::new(["title", "modelno", "price"]);
+        assert_eq!(s.len(), 3);
+        let id = s.attr_id("modelno").unwrap();
+        assert_eq!(id, AttrId(1));
+        assert_eq!(s.attr_name(id), Some("modelno"));
+    }
+
+    #[test]
+    fn missing_attr_is_none() {
+        let s = Schema::new(["title"]);
+        assert_eq!(s.attr_id("nope"), None);
+        assert_eq!(s.attr_name(AttrId(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        let _ = Schema::new(["a", "b", "a"]);
+    }
+
+    #[test]
+    fn iter_order_matches_ids() {
+        let s = Schema::new(["x", "y"]);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![(AttrId(0), "x"), (AttrId(1), "y")]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(Vec::<String>::new());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Schema::new(["a", "b"]);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

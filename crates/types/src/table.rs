@@ -1,0 +1,220 @@
+//! Tables: a named collection of records sharing a schema.
+
+use crate::{AttrId, Record, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised when building or mutating a [`Table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A record's arity does not match the table schema.
+    ArityMismatch {
+        record_id: String,
+        expected: usize,
+        got: usize,
+    },
+    /// Two records share the same external id.
+    DuplicateId(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch {
+                record_id,
+                expected,
+                got,
+            } => write!(
+                f,
+                "record {record_id:?} has {got} values but schema has {expected} attributes"
+            ),
+            TableError::DuplicateId(id) => write!(f, "duplicate record id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A named table of [`Record`]s with a shared [`Schema`].
+///
+/// Records are addressed by dense `u32` row indices; blocking and matching
+/// operate on row indices, never on external ids, so the hot path is pure
+/// array indexing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    records: Vec<Record>,
+    #[serde(skip)]
+    id_index: HashMap<String, u32>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+            id_index: HashMap::new(),
+        }
+    }
+
+    /// Appends a record, checking arity and id uniqueness.
+    pub fn try_push(&mut self, record: Record) -> Result<u32, TableError> {
+        if record.arity() != self.schema.len() {
+            return Err(TableError::ArityMismatch {
+                record_id: record.id().to_string(),
+                expected: self.schema.len(),
+                got: record.arity(),
+            });
+        }
+        if self.id_index.contains_key(record.id()) {
+            return Err(TableError::DuplicateId(record.id().to_string()));
+        }
+        let row = self.records.len() as u32;
+        self.id_index.insert(record.id().to_string(), row);
+        self.records.push(record);
+        Ok(row)
+    }
+
+    /// Appends a record, panicking on schema violations.
+    ///
+    /// Convenient for generators and tests where the input is trusted.
+    pub fn push(&mut self, record: Record) -> u32 {
+        self.try_push(record).expect("record violates table schema")
+    }
+
+    /// The table's name (e.g. `"walmart"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the table holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record at row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range; rows come from blocking output and
+    /// are trusted dense indices.
+    #[inline]
+    pub fn record(&self, row: u32) -> &Record {
+        &self.records[row as usize]
+    }
+
+    /// The record at row `row`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, row: u32) -> Option<&Record> {
+        self.records.get(row as usize)
+    }
+
+    /// The value of attribute `attr` for row `row` (`None` when missing).
+    #[inline]
+    pub fn value(&self, row: u32, attr: AttrId) -> Option<&str> {
+        self.records[row as usize].value(attr.index())
+    }
+
+    /// Finds a row index by external record id.
+    pub fn row_of(&self, id: &str) -> Option<u32> {
+        self.id_index.get(id).copied()
+    }
+
+    /// Iterates over all records in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Rebuilds the id index; needed after deserializing, since the index is
+    /// not serialized.
+    pub fn rebuild_index(&mut self) {
+        self.id_index = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id().to_string(), i as u32))
+            .collect();
+    }
+
+    /// All non-missing values of one attribute, in row order. Used to build
+    /// corpus statistics (e.g. IDF tables).
+    pub fn column(&self, attr: AttrId) -> impl Iterator<Item = &str> {
+        self.records
+            .iter()
+            .filter_map(move |r| r.value(attr.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("A", Schema::new(["name", "phone"]));
+        t.push(Record::new("a1", ["John", "206-453-1978"]));
+        t.push(Record::new("a2", ["Bob", "414-555-0101"]));
+        t
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row_of("a2"), Some(1));
+        assert_eq!(t.value(1, AttrId(0)), Some("Bob"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = sample();
+        let err = t.try_push(Record::new("a3", ["only-one"])).unwrap_err();
+        assert!(matches!(err, TableError::ArityMismatch { .. }));
+        assert_eq!(t.len(), 2, "failed push must not modify the table");
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut t = sample();
+        let err = t.try_push(Record::new("a1", ["X", "Y"])).unwrap_err();
+        assert_eq!(err, TableError::DuplicateId("a1".to_string()));
+    }
+
+    #[test]
+    fn column_skips_missing() {
+        let mut t = Table::new("A", Schema::new(["name"]));
+        t.push(Record::new("a1", ["x"]));
+        t.try_push(Record::with_missing("a2", vec![None])).unwrap();
+        t.push(Record::new("a3", ["z"]));
+        let col: Vec<_> = t.column(AttrId(0)).collect();
+        assert_eq!(col, vec!["x", "z"]);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let t = sample();
+        let j = serde_json::to_string(&t).unwrap();
+        let mut back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.row_of("a1"), None, "index must not be serialized");
+        back.rebuild_index();
+        assert_eq!(back.row_of("a1"), Some(0));
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the CSV codec: arbitrary tables (including hostile
+//! content — commas, quotes, newlines, unicode, missing values) must
+//! round-trip bit-for-bit through `write_csv` / `parse_csv`.
+
+use em_types::{parse_csv, write_csv, Record, Schema, Table};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        2 => Just(None),
+        4 => "[a-zA-Z0-9 ]{0,12}".prop_map(Some),
+        2 => "[,\"\\n\\r;|]{1,6}".prop_map(Some),           // quoting stress
+        1 => "\\PC{0,8}".prop_map(Some),                    // unicode
+        1 => Just(Some(String::new())),                     // present-but-empty
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    let n_attrs = 1usize..5;
+    n_attrs.prop_flat_map(|na| {
+        let rows = prop::collection::vec(prop::collection::vec(arb_value(), na..=na), 0..12);
+        rows.prop_map(move |rows| {
+            let schema = Schema::new((0..na).map(|i| format!("attr{i}")));
+            let mut t = Table::new("T", schema);
+            for (i, values) in rows.into_iter().enumerate() {
+                t.try_push(Record::with_missing(format!("row{i}"), values))
+                    .expect("generated rows fit the schema");
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn csv_roundtrip_is_identity(table in arb_table()) {
+        let csv = write_csv(&table);
+        let back = parse_csv(table.name(), &csv).unwrap_or_else(|e| {
+            panic!("parse failed: {e}\n--- csv ---\n{csv}")
+        });
+        prop_assert_eq!(back.len(), table.len());
+        prop_assert_eq!(back.schema(), table.schema());
+        for (orig, parsed) in table.iter().zip(back.iter()) {
+            prop_assert_eq!(orig, parsed, "--- csv ---\n{}", csv);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_junk(input in "\\PC{0,200}") {
+        // Arbitrary text: parse may fail, but must not panic.
+        let _ = parse_csv("junk", &input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_junk(
+        input in "[a-z,\"\\n\\r]{0,200}"
+    ) {
+        let _ = parse_csv("junk", &input);
+    }
+}

@@ -1,0 +1,59 @@
+//! End-to-end CSV workflow: write two product feeds to disk, load them
+//! back, block, debug rules, and persist the final rule set — the shape of
+//! a real deployment around the library.
+//!
+//! Run with: `cargo run --release --example csv_workflow`
+
+use rulem::blocking::{Blocker, OverlapBlocker};
+use rulem::core::{DebugSession, SessionConfig};
+use rulem::datagen::Domain;
+use rulem::similarity::TokenScheme;
+use rulem::types::{parse_csv, write_csv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("rulem_csv_workflow");
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Produce two CSV feeds (in reality these come from crawlers).
+    let ds = Domain::Products.generate(7, 0.02);
+    let path_a = dir.join("walmart.csv");
+    let path_b = dir.join("amazon.csv");
+    std::fs::write(&path_a, write_csv(&ds.table_a))?;
+    std::fs::write(&path_b, write_csv(&ds.table_b))?;
+    println!("wrote {} and {}", path_a.display(), path_b.display());
+
+    // 2. Load them back — the library's own CSV parser.
+    let a = parse_csv("walmart", &std::fs::read_to_string(&path_a)?)?;
+    let b = parse_csv("amazon", &std::fs::read_to_string(&path_b)?)?;
+    println!("loaded {} + {} records", a.len(), b.len());
+
+    // 3. Block on title-token overlap.
+    let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 2).block(&a, &b)?;
+    println!("{} candidate pairs after blocking", cands.len());
+
+    // 4. Debug rules (text form, as an analyst would type them).
+    let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+    session.add_rule_text("jaccard_ws(title, title) >= 0.55 AND exact(brand, brand) >= 1")?;
+    session.add_rule_text("jaro_winkler(modelno, modelno) >= 0.93 AND trigram(title, title) >= 0.3")?;
+    session.add_rule_text("numeric_50(price, price) >= 0.9 AND jaccard_ws(title, title) >= 0.45")?;
+    println!("{} matches with 3 rules", session.n_matches());
+
+    // 5. Persist the rule set for the next session / teammate.
+    let rules_path = dir.join("rules.txt");
+    std::fs::write(&rules_path, session.function_text())?;
+    println!("saved rules to {}:\n{}", rules_path.display(), session.function_text());
+
+    // 6. A fresh session reloads and reproduces the exact same matches.
+    let a2 = parse_csv("walmart", &std::fs::read_to_string(&path_a)?)?;
+    let b2 = parse_csv("amazon", &std::fs::read_to_string(&path_b)?)?;
+    let cands2 = OverlapBlocker::new("title", TokenScheme::Whitespace, 2).block(&a2, &b2)?;
+    let mut session2 = DebugSession::new(a2, b2, cands2, SessionConfig::default());
+    for line in std::fs::read_to_string(&rules_path)?.lines() {
+        if !line.trim().is_empty() {
+            session2.add_rule_text(line)?;
+        }
+    }
+    assert_eq!(session2.matches(), session.matches());
+    println!("reloaded session reproduces all {} matches ✓", session2.n_matches());
+    Ok(())
+}

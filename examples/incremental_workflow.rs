@@ -1,0 +1,107 @@
+//! Incremental matching at scale (§6): shows the latency gap between
+//! re-running matching after every edit and applying the minimal delta —
+//! the difference between a batch tool and an interactive debugger.
+//!
+//! Run with: `cargo run --release --example incremental_workflow`
+
+use rulem::blocking::{Blocker, OverlapBlocker};
+use rulem::core::{CmpOp, DebugSession, Predicate, Rule, SessionConfig};
+use rulem::datagen::Domain;
+use rulem::similarity::{Measure, TokenScheme};
+use std::time::Instant;
+
+fn main() {
+    let ds = Domain::Products.generate(99, 0.1);
+    let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 2)
+        .block(&ds.table_a, &ds.table_b)
+        .unwrap();
+    println!(
+        "products at 10% of paper scale: {} × {} records, {} candidate pairs\n",
+        ds.table_a.len(),
+        ds.table_b.len(),
+        cands.len()
+    );
+
+    let mut session = DebugSession::new(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        cands,
+        SessionConfig::default(),
+    );
+    let title = session
+        .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+        .unwrap();
+    let trigram = session.feature(Measure::Trigram, "title", "title").unwrap();
+    let model = session
+        .feature(Measure::JaroWinkler, "modelno", "modelno")
+        .unwrap();
+    let brand = session.feature(Measure::Exact, "brand", "brand").unwrap();
+
+    // The first rule pays the cold-memo price.
+    let t0 = Instant::now();
+    let (r1, _) = session
+        .add_rule(Rule::new().pred(title, CmpOp::Ge, 0.5))
+        .unwrap();
+    println!("cold:  add rule #1                    {:>12?}", t0.elapsed());
+
+    // Subsequent edits ride the memo; every one should be interactive.
+    type Edit = Box<dyn FnOnce(&mut DebugSession)>;
+    let edits: Vec<(&str, Edit)> = vec![
+        (
+            "add rule #2 (modelno + trigram)",
+            Box::new(move |s: &mut DebugSession| {
+                s.add_rule(
+                    Rule::new()
+                        .pred(model, CmpOp::Ge, 0.92)
+                        .pred(trigram, CmpOp::Ge, 0.3),
+                )
+                .unwrap();
+            }),
+        ),
+        (
+            "tighten rule #1 with brand check",
+            Box::new(move |s: &mut DebugSession| {
+                s.add_predicate(r1, Predicate::at_least(brand, 1.0)).unwrap();
+            }),
+        ),
+        (
+            "tighten title threshold to 0.6",
+            Box::new(move |s: &mut DebugSession| {
+                let pid = s.function().rule(r1).unwrap().preds[0].id;
+                s.set_threshold(pid, 0.6).unwrap();
+            }),
+        ),
+        (
+            "relax title threshold to 0.45",
+            Box::new(move |s: &mut DebugSession| {
+                let pid = s.function().rule(r1).unwrap().preds[0].id;
+                s.set_threshold(pid, 0.45).unwrap();
+            }),
+        ),
+        (
+            "undo the relax",
+            Box::new(move |s: &mut DebugSession| {
+                s.undo().unwrap();
+            }),
+        ),
+    ];
+
+    for (what, edit) in edits {
+        let t = Instant::now();
+        edit(&mut session);
+        println!("warm:  {:<36} {:>12?}", what, t.elapsed());
+    }
+
+    // Compare with the batch alternative: full re-run, even with the memo.
+    let t = Instant::now();
+    session.run_full();
+    println!("\nbatch: full re-run (memo warm)        {:>12?}", t.elapsed());
+
+    let m = session.memory_report();
+    println!(
+        "\nmaterialized state: {:.2} MB memo + {:.2} MB bitmaps for {} matches",
+        m.memo_bytes as f64 / 1048576.0,
+        m.bitmap_bytes as f64 / 1048576.0,
+        session.n_matches()
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: match two tiny tables interactively.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Mirrors the paper's running example (Figure 2): two person tables, a
+//! matching function that evolves from B1 to B2, and verdict explanations
+//! along the way.
+
+use rulem::core::{CmpOp, DebugSession, Memo, Predicate, Rule, SessionConfig};
+use rulem::similarity::{Measure, TokenScheme};
+use rulem::types::{CandidateSet, Record, Schema, Table};
+
+fn main() {
+    // Tables A and B from the paper's Figure 2 (expanded slightly).
+    let schema = Schema::new(["name", "phone", "zip", "street"]);
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", ["John Smith", "206-453-1978", "53703", "State St"]));
+    a.push(Record::new("a2", ["Bob Lee", "414-555-0101", "53202", "Water St"]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", ["John Smith", "453 1978", "53703", "State Street"]));
+    b.push(Record::new("b2", ["John Smyth", "608-555-0102", "53711", "Park Ave"]));
+
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+
+    // Features are similarity functions over attribute pairs.
+    let name_jw = session.feature(Measure::JaroWinkler, "name", "name").unwrap();
+    let name_jac = session
+        .feature(Measure::Jaccard(TokenScheme::QGram(3)), "name", "name")
+        .unwrap();
+    let zip_eq = session.feature(Measure::Exact, "zip", "zip").unwrap();
+    let street_sim = session.feature(Measure::Levenshtein, "street", "street").unwrap();
+
+    // Iteration 1: the analyst writes B1 = (name strict) ∨ (name loose).
+    let (r1, report) = session
+        .add_rule(Rule::new().pred(name_jw, CmpOp::Ge, 0.95))
+        .unwrap();
+    println!(
+        "added rule {r1}: {} new matches in {:?}",
+        report.newly_matched.len(),
+        report.elapsed
+    );
+    let (_r2, report) = session
+        .add_rule(Rule::new().pred(name_jac, CmpOp::Ge, 0.7))
+        .unwrap();
+    println!("added fallback rule: {} new matches", report.newly_matched.len());
+
+    // Inspect: why did pair 1 (a1 vs b2, "John Smyth") match?
+    println!("\n{}", session.explain(1));
+
+    // Iteration 2: too loose — B2 tightens rule 1 with zip + street checks.
+    let (_pid, report) = session
+        .add_predicate(r1, Predicate::at_least(zip_eq, 1.0))
+        .unwrap();
+    println!(
+        "tightened rule {r1} with zip check: {} pairs unmatched in {:?}",
+        report.newly_unmatched.len(),
+        report.elapsed
+    );
+    session
+        .add_predicate(r1, Predicate::at_least(street_sim, 0.5))
+        .unwrap();
+
+    println!("\nfinal matching function:\n{}", session.function_text());
+    println!("matches: {:?}", session.matches());
+    println!(
+        "memo: {} values, {} bytes materialized",
+        session.state().memo.stored(),
+        session.memory_report().total_bytes()
+    );
+    println!("\nedit history:");
+    for e in session.history() {
+        println!(
+            "  {} -> {} verdicts changed, {} pairs examined, {:?}",
+            e.description, e.n_changed, e.pairs_examined, e.elapsed
+        );
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation section.
+#
+# Usage:
+#   ./run_experiments.sh            # default SCALE=0.1 of paper dataset sizes
+#   SCALE=1.0 ./run_experiments.sh  # full-size tables (slow)
+#
+# Output: one Markdown file per experiment under results/.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -p em-bench --bins
+mkdir -p results
+
+for exp in table2 table3 fig3a fig3c fig5a fig5b fig5c fig6 memory ablation sample domains; do
+    echo "=== exp_${exp} ==="
+    ./target/release/exp_${exp} | tee "results/exp_${exp}.md"
+done
+
+echo
+echo "All experiments complete; results under results/."

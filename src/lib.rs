@@ -1,0 +1,48 @@
+//! # rulem — interactive debugging of rule-based entity matching
+//!
+//! A from-scratch Rust implementation of *Towards Interactive Debugging of
+//! Rule-based Entity Matching* (Panahi, Wu, Doan, Naughton — EDBT 2017),
+//! plus every substrate it needs: string similarity functions, blocking,
+//! synthetic dataset generation, and random-forest rule learning.
+//!
+//! This crate is the umbrella facade: it re-exports the workspace crates
+//! under stable paths. Use the pieces directly:
+//!
+//! * [`core`] (`em-core`) — matching functions, the §4 engines (early
+//!   exit + dynamic memoing), the §4.4 cost model, §5 ordering, §6
+//!   incremental matching, and the [`core::DebugSession`] interactive
+//!   loop;
+//! * [`similarity`] (`em-similarity`) — Jaccard, Jaro-Winkler, TF-IDF,
+//!   Soft TF-IDF, and friends;
+//! * [`blocking`] (`em-blocking`) — candidate-pair generation;
+//! * [`datagen`] (`em-datagen`) — the six Table 2 dataset generators;
+//! * [`rulegen`] (`em-rulegen`) — decision-tree / random-forest rule
+//!   learning;
+//! * [`types`] (`em-types`) — tables, records, candidate pairs.
+//!
+//! ## Example
+//!
+//! ```
+//! use rulem::core::{DebugSession, SessionConfig, Rule, CmpOp};
+//! use rulem::similarity::Measure;
+//! use rulem::types::{CandidateSet, Record, Schema, Table};
+//!
+//! let schema = Schema::new(["name", "phone"]);
+//! let mut a = Table::new("A", schema.clone());
+//! a.push(Record::new("a1", ["Matthew Richardson", "206-453-1978"]));
+//! let mut b = Table::new("B", schema);
+//! b.push(Record::new("b1", ["Matt W. Richardson", "453 1978"]));
+//!
+//! let cands = CandidateSet::cartesian(&a, &b);
+//! let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+//! let f = session.feature(Measure::JaroWinkler, "name", "name").unwrap();
+//! let (_, report) = session.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.8)).unwrap();
+//! assert_eq!(report.newly_matched.len(), 1);
+//! ```
+
+pub use em_blocking as blocking;
+pub use em_core as core;
+pub use em_datagen as datagen;
+pub use em_rulegen as rulegen;
+pub use em_similarity as similarity;
+pub use em_types as types;

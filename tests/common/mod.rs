@@ -1,0 +1,106 @@
+//! Shared builders for the integration tests: seed-driven random
+//! workloads exercising the full string-similarity pipeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rulem::core::{CmpOp, EvalContext, FeatureId, MatchingFunction, Rule};
+use rulem::similarity::{Measure, TokenScheme};
+use rulem::types::{CandidateSet, Record, Schema, Table};
+
+/// Phrase vocabulary with deliberate overlaps, typos, and near-duplicates.
+const PHRASES: &[&str] = &[
+    "apple ipod nano",
+    "apple ipod touch",
+    "aple ipod nano",
+    "sony walkman",
+    "sony walkman mp3",
+    "bose soundlink",
+    "garden hose",
+    "john smith",
+    "jon smith",
+    "",
+];
+
+const CODES: &[&str] = &["MC037", "MC037LL", "NWZ-E384", "QC35", "12345", ""];
+
+/// A random workload: two tables, a context with a feature menu, a
+/// candidate set, and a random matching function — all from one seed.
+///
+/// (Allow dead code: each integration-test binary uses a different subset
+/// of these fields and helpers.)
+#[allow(dead_code)]
+pub struct RandomWorkload {
+    pub ctx: EvalContext,
+    pub cands: CandidateSet,
+    pub func: MatchingFunction,
+    pub features: Vec<FeatureId>,
+}
+
+pub fn random_workload(seed: u64) -> RandomWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new(["title", "code"]);
+
+    let make_table = |name: &str, n: usize, rng: &mut StdRng| {
+        let mut t = Table::new(name, schema.clone());
+        for i in 0..n {
+            let title = PHRASES[rng.gen_range(0..PHRASES.len())];
+            let code = CODES[rng.gen_range(0..CODES.len())];
+            let values = vec![
+                if title.is_empty() { None } else { Some(title.to_string()) },
+                if code.is_empty() { None } else { Some(code.to_string()) },
+            ];
+            t.push(Record::with_missing(format!("{name}{i}"), values));
+        }
+        t
+    };
+
+    let n_a = rng.gen_range(2..8);
+    let n_b = rng.gen_range(2..8);
+    let a = make_table("a", n_a, &mut rng);
+    let b = make_table("b", n_b, &mut rng);
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut ctx = EvalContext::from_tables(a, b);
+
+    let features = vec![
+        ctx.feature(Measure::Exact, "code", "code").unwrap(),
+        ctx.feature(Measure::JaroWinkler, "title", "title").unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Levenshtein, "code", "code").unwrap(),
+        ctx.feature(Measure::Trigram, "title", "title").unwrap(),
+    ];
+
+    let mut func = MatchingFunction::new();
+    let n_rules = rng.gen_range(1..6);
+    for _ in 0..n_rules {
+        let n_preds = rng.gen_range(1..4);
+        let mut rule = Rule::new();
+        for _ in 0..n_preds {
+            let f = features[rng.gen_range(0..features.len())];
+            let op = match rng.gen_range(0..4u8) {
+                0 => CmpOp::Ge,
+                1 => CmpOp::Gt,
+                2 => CmpOp::Le,
+                _ => CmpOp::Lt,
+            };
+            let t = (rng.gen_range(0..=10) as f64) / 10.0;
+            rule = rule.pred(f, op, t);
+        }
+        func.add_rule(rule).unwrap();
+    }
+
+    RandomWorkload {
+        ctx,
+        cands,
+        func,
+        features,
+    }
+}
+
+/// Reference verdicts: evaluate every rule and predicate directly.
+#[allow(dead_code)]
+pub fn reference_verdicts(w: &RandomWorkload) -> Vec<bool> {
+    w.cands
+        .iter()
+        .map(|(_, pair)| w.func.eval_reference(|f| w.ctx.compute(f, pair)))
+        .collect()
+}

@@ -1,0 +1,203 @@
+//! Failure injection and degenerate inputs: empty tables, all-missing
+//! attributes, single-record tables, extreme thresholds, and enormous
+//! strings must all flow through the full pipeline without panics and
+//! with sensible verdicts.
+
+use rulem::blocking::{Blocker, CartesianBlocker, OverlapBlocker};
+use rulem::core::{
+    run_memo, run_rudimentary, CmpOp, DebugSession, EvalContext, MatchingFunction, Rule,
+    SessionConfig,
+};
+use rulem::similarity::{Measure, TokenScheme};
+use rulem::types::{CandidateSet, Record, Schema, Table};
+
+fn empty_table(name: &str) -> Table {
+    Table::new(name, Schema::new(["title"]))
+}
+
+#[test]
+fn empty_tables_everywhere() {
+    let a = empty_table("A");
+    let b = empty_table("B");
+    let cands = CartesianBlocker.block(&a, &b).unwrap();
+    assert!(cands.is_empty());
+
+    let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+    let f = session.feature(Measure::Exact, "title", "title").unwrap();
+    let (_, report) = session
+        .add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0))
+        .unwrap();
+    assert_eq!(report.pairs_examined, 0);
+    assert_eq!(session.n_matches(), 0);
+    session.run_full();
+    let stats = session.estimate_stats();
+    assert!(stats.lookup_cost() > 0.0);
+    session.optimize(rulem::core::OrderingAlgo::GreedyReduction);
+}
+
+#[test]
+fn one_sided_empty_table() {
+    let mut a = Table::new("A", Schema::new(["title"]));
+    a.push(Record::new("a1", ["thing"]));
+    let b = empty_table("B");
+    let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 1)
+        .block(&a, &b)
+        .unwrap();
+    assert!(cands.is_empty());
+}
+
+#[test]
+fn all_values_missing() {
+    let schema = Schema::new(["title", "code"]);
+    let mut a = Table::new("A", schema.clone());
+    let mut b = Table::new("B", schema);
+    for i in 0..4 {
+        a.try_push(Record::with_missing(format!("a{i}"), vec![None, None]))
+            .unwrap();
+        b.try_push(Record::with_missing(format!("b{i}"), vec![None, None]))
+            .unwrap();
+    }
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut ctx = EvalContext::from_tables(a, b);
+    let f = ctx
+        .feature(Measure::soft_tfidf(TokenScheme::Whitespace), "title", "title")
+        .unwrap();
+    let mut func = MatchingFunction::new();
+    func.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.1)).unwrap();
+    // Missing values score 0.0 → nothing matches, nothing panics.
+    let out = run_rudimentary(&func, &ctx, &cands);
+    assert_eq!(out.n_matches(), 0);
+    let (out2, _) = run_memo(&func, &ctx, &cands, true);
+    assert_eq!(out2.verdicts, out.verdicts);
+}
+
+#[test]
+fn thresholds_beyond_unit_interval() {
+    let schema = Schema::new(["title"]);
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", ["same"]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", ["same"]));
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut ctx = EvalContext::from_tables(a, b);
+    let f = ctx.feature(Measure::Levenshtein, "title", "title").unwrap();
+
+    // threshold > 1: matches nothing; threshold ≤ 0 with >=: matches all.
+    let mut impossible = MatchingFunction::new();
+    impossible
+        .add_rule(Rule::new().pred(f, CmpOp::Ge, 1.5))
+        .unwrap();
+    assert_eq!(run_rudimentary(&impossible, &ctx, &cands).n_matches(), 0);
+
+    let mut universal = MatchingFunction::new();
+    universal
+        .add_rule(Rule::new().pred(f, CmpOp::Ge, -1.0))
+        .unwrap();
+    assert_eq!(run_rudimentary(&universal, &ctx, &cands).n_matches(), 1);
+}
+
+#[test]
+fn enormous_strings_do_not_blow_up() {
+    let schema = Schema::new(["title"]);
+    let long_a = "lorem ipsum dolor sit amet ".repeat(200); // ~5.4 kB
+    let mut long_b = long_a.clone();
+    long_b.push_str("extra");
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", [long_a]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", [long_b]));
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut ctx = EvalContext::from_tables(a, b);
+
+    for m in [
+        Measure::Levenshtein,
+        Measure::Jaro,
+        Measure::Trigram,
+        Measure::Jaccard(TokenScheme::Whitespace),
+        Measure::TfIdf(TokenScheme::Whitespace),
+    ] {
+        let f = ctx.feature(m, "title", "title").unwrap();
+        let v = ctx.compute(f, cands.pair(0));
+        assert!((0.0..=1.0).contains(&v), "{m:?} gave {v}");
+        assert!(v > 0.7, "{m:?} should consider near-identical texts similar, got {v}");
+    }
+}
+
+#[test]
+fn duplicate_records_in_one_table() {
+    // Same entity crawled twice on side B: both copies must match.
+    let schema = Schema::new(["title"]);
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", ["apple ipod"]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", ["apple ipod"]));
+    b.push(Record::new("b2", ["apple ipod"]));
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+    let f = session.feature(Measure::Exact, "title", "title").unwrap();
+    session.add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0)).unwrap();
+    assert_eq!(session.n_matches(), 2);
+}
+
+#[test]
+fn single_pair_workload() {
+    let schema = Schema::new(["title"]);
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", ["x"]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", ["x"]));
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+    let f = session.feature(Measure::Exact, "title", "title").unwrap();
+    let (rid, _) = session.add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0)).unwrap();
+    assert_eq!(session.n_matches(), 1);
+    session.remove_rule(rid).unwrap();
+    assert_eq!(session.n_matches(), 0);
+    session.undo().unwrap();
+    assert_eq!(session.n_matches(), 1);
+}
+
+#[test]
+fn unicode_heavy_data() {
+    let schema = Schema::new(["title"]);
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", ["Čokoláda 日本語 emoji 🦀 test"]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", ["čokoláda 日本語 emoji 🦀 test"]));
+    b.push(Record::new("b2", ["بيانات عربية تماما"]));
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut ctx = EvalContext::from_tables(a, b);
+    for m in Measure::paper_menu() {
+        let f = ctx.feature(m, "title", "title").unwrap();
+        for (i, _) in cands.iter() {
+            let v = ctx.compute(f, cands.pair(i));
+            assert!((0.0..=1.0).contains(&v) && v.is_finite());
+        }
+    }
+}
+
+#[test]
+fn many_rules_one_pair_stress() {
+    // 500 rules over a single pair — exercises rule-order bookkeeping at a
+    // degenerate extreme.
+    let schema = Schema::new(["title"]);
+    let mut a = Table::new("A", schema.clone());
+    a.push(Record::new("a1", ["only pair"]));
+    let mut b = Table::new("B", schema);
+    b.push(Record::new("b1", ["only pair"]));
+    let cands = CandidateSet::cartesian(&a, &b);
+    let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
+    let f = session.feature(Measure::Levenshtein, "title", "title").unwrap();
+    for i in 0..500 {
+        let t = 1.001 + (i as f64 / 1000.0); // similarity can never exceed 1.0
+        session.add_rule(Rule::new().pred(f, CmpOp::Ge, t)).unwrap();
+    }
+    assert_eq!(session.n_matches(), 0);
+    session
+        .add_rule(Rule::new().pred(f, CmpOp::Ge, 0.9))
+        .unwrap();
+    assert_eq!(session.n_matches(), 1);
+    // The memo means 501 rules still computed the feature exactly once.
+    use rulem::core::Memo;
+    assert_eq!(session.state().memo.stored(), 1);
+}

@@ -1,0 +1,87 @@
+//! The workspace's central correctness property: every engine of §4 —
+//! rudimentary, precompute (both universes), early exit, dynamic memoing
+//! (with and without check-cache-first), parallel — produces identical
+//! verdicts, equal to direct reference evaluation of the DNF.
+
+mod common;
+
+use common::{random_workload, reference_verdicts};
+use proptest::prelude::*;
+use rulem::core::{
+    run_early_exit, run_memo, run_memo_parallel, run_memo_with, run_precompute, run_rudimentary,
+    SparseMemo, Strategy,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_engines_agree_with_reference(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let expected = reference_verdicts(&w);
+
+        let rud = run_rudimentary(&w.func, &w.ctx, &w.cands);
+        prop_assert_eq!(&rud.verdicts, &expected, "rudimentary");
+
+        let ee = run_early_exit(&w.func, &w.ctx, &w.cands);
+        prop_assert_eq!(&ee.verdicts, &expected, "early exit");
+
+        let (ppr, _) = run_precompute(&w.func, &w.ctx, &w.cands, &w.func.features(), true);
+        prop_assert_eq!(&ppr.verdicts, &expected, "production precompute");
+
+        let (fpr, _) = run_precompute(&w.func, &w.ctx, &w.cands, &w.features, true);
+        prop_assert_eq!(&fpr.verdicts, &expected, "full precompute");
+
+        let (dm, _) = run_memo(&w.func, &w.ctx, &w.cands, false);
+        prop_assert_eq!(&dm.verdicts, &expected, "memo");
+
+        let (ccf, _) = run_memo(&w.func, &w.ctx, &w.cands, true);
+        prop_assert_eq!(&ccf.verdicts, &expected, "memo + check-cache-first");
+
+        let mut sparse = SparseMemo::new();
+        let sp = run_memo_with(&w.func, &w.ctx, &w.cands, &mut sparse, true);
+        prop_assert_eq!(&sp.verdicts, &expected, "sparse memo");
+
+        let par = run_memo_parallel(&w.func, &w.ctx, &w.cands, true, 3);
+        prop_assert_eq!(&par.verdicts, &expected, "parallel");
+    }
+
+    #[test]
+    fn work_hierarchy_holds(seed in 0u64..10_000) {
+        // Early exit never computes more than rudimentary; memoing never
+        // computes more than early exit.
+        let w = random_workload(seed);
+        let rud = run_rudimentary(&w.func, &w.ctx, &w.cands);
+        let ee = run_early_exit(&w.func, &w.ctx, &w.cands);
+        let (dm, _) = run_memo(&w.func, &w.ctx, &w.cands, false);
+        prop_assert!(ee.stats.feature_computations <= rud.stats.feature_computations);
+        prop_assert!(dm.stats.feature_computations <= ee.stats.feature_computations);
+    }
+
+    #[test]
+    fn memo_computes_each_cell_at_most_once(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let (dm, memo) = run_memo(&w.func, &w.ctx, &w.cands, true);
+        use rulem::core::Memo;
+        prop_assert_eq!(dm.stats.feature_computations as usize, memo.stored());
+        let bound = w.cands.len() * w.func.features().len();
+        prop_assert!(memo.stored() <= bound);
+    }
+}
+
+#[test]
+fn strategy_labels_are_distinct() {
+    let labels: std::collections::HashSet<&str> = [
+        Strategy::Rudimentary.label(),
+        Strategy::EarlyExit.label(),
+        Strategy::PrecomputeProduction.label(),
+        Strategy::PrecomputeFull(vec![]).label(),
+        Strategy::MemoEarlyExit {
+            check_cache_first: true,
+        }
+        .label(),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(labels.len(), 5);
+}

@@ -1,0 +1,154 @@
+//! Incremental matching (§6) must be *exactly* equivalent to re-running
+//! matching from scratch, for arbitrary edit sequences — including the
+//! paper-breaking interleavings (relax after tighten, edits after
+//! reordering) the robust cascade exists for.
+
+mod common;
+
+use common::{random_workload, RandomWorkload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rulem::core::{
+    run_full, CmpOp, MatchState, MatchingFunction, OrderingAlgo, Rule,
+};
+
+/// Applies one random edit to `(func, state)` and returns its description.
+fn random_edit(
+    w: &RandomWorkload,
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    rng: &mut StdRng,
+) -> String {
+    // Pick an edit type; fall through to add-rule when the precondition of
+    // the drawn edit isn't met (e.g. removing from an empty function).
+    let choice = rng.gen_range(0..6u8);
+    match choice {
+        // Add a rule.
+        0 => {
+            let f = w.features[rng.gen_range(0..w.features.len())];
+            let rule = Rule::new().pred(f, CmpOp::Ge, rng.gen_range(0..=10) as f64 / 10.0);
+            rulem::core::add_rule(func, state, &w.ctx, &w.cands, rule, true).unwrap();
+            "add_rule".into()
+        }
+        // Remove a rule.
+        1 if !func.is_empty() => {
+            let rid = func.rules()[rng.gen_range(0..func.n_rules())].id;
+            rulem::core::remove_rule(func, state, &w.ctx, &w.cands, rid, true).unwrap();
+            "remove_rule".into()
+        }
+        // Add a predicate.
+        2 if !func.is_empty() => {
+            let rid = func.rules()[rng.gen_range(0..func.n_rules())].id;
+            let f = w.features[rng.gen_range(0..w.features.len())];
+            let pred = rulem::core::Predicate::new(
+                f,
+                if rng.gen_bool(0.5) { CmpOp::Ge } else { CmpOp::Lt },
+                rng.gen_range(0..=10) as f64 / 10.0,
+            );
+            rulem::core::add_predicate(func, state, &w.ctx, &w.cands, rid, pred, true).unwrap();
+            "add_predicate".into()
+        }
+        // Remove a predicate (from a rule with ≥ 2 predicates).
+        3 => {
+            let candidate = func
+                .rules()
+                .iter()
+                .find(|r| r.preds.len() >= 2)
+                .map(|r| r.preds[rng.gen_range(0..r.preds.len())].id);
+            if let Some(pid) = candidate {
+                rulem::core::remove_predicate(func, state, &w.ctx, &w.cands, pid, true).unwrap();
+                "remove_predicate".into()
+            } else {
+                "skip".into()
+            }
+        }
+        // Change a threshold (tighten or relax).
+        4 if !func.is_empty() => {
+            let rule = &func.rules()[rng.gen_range(0..func.n_rules())];
+            let pid = rule.preds[rng.gen_range(0..rule.preds.len())].id;
+            let new = rng.gen_range(0..=10) as f64 / 10.0;
+            rulem::core::set_threshold(func, state, &w.ctx, &w.cands, pid, new, true).unwrap();
+            "set_threshold".into()
+        }
+        // Re-order rules + predicates, then re-run (what a session does).
+        5 if !func.is_empty() => {
+            let stats = rulem::core::FunctionStats::estimate(func, &w.ctx, &w.cands, 1.0, 7);
+            let algo = if rng.gen_bool(0.5) {
+                OrderingAlgo::GreedyReduction
+            } else {
+                OrderingAlgo::Random(rng.gen())
+            };
+            rulem::core::optimize(func, &stats, algo);
+            run_full(func, &w.ctx, &w.cands, state, true);
+            "reorder".into()
+        }
+        _ => "skip".into(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn edit_sequences_match_scratch_runs(seed in 0u64..10_000, n_edits in 1usize..12) {
+        let w = random_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
+
+        let mut func = w.func.clone();
+        let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
+        run_full(&func, &w.ctx, &w.cands, &mut state, true);
+
+        let mut trace = Vec::new();
+        for _ in 0..n_edits {
+            trace.push(random_edit(&w, &mut func, &mut state, &mut rng));
+
+            // After every edit, the incremental state must equal a from-
+            // scratch run of the current function.
+            let mut fresh = MatchState::new(w.cands.len(), w.ctx.registry().len());
+            run_full(&func, &w.ctx, &w.cands, &mut fresh, true);
+            prop_assert_eq!(
+                state.verdicts(),
+                fresh.verdicts(),
+                "diverged after edits {:?}",
+                trace
+            );
+        }
+    }
+
+    #[test]
+    fn fired_rule_is_always_a_true_rule(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
+        run_full(&w.func, &w.ctx, &w.cands, &mut state, true);
+        for (i, pair) in w.cands.iter() {
+            if let Some(rid) = state.fired_rule(i) {
+                let rule = w.func.rule(rid).expect("fired rule exists");
+                prop_assert!(
+                    rule.eval_reference(|f| w.ctx.compute(f, pair)),
+                    "fired rule {rid} is not actually true for pair {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pred_false_bitmap_is_sound(seed in 0u64..10_000) {
+        // Every bit in U(p) must correspond to a pair where p is false.
+        let w = random_workload(seed);
+        let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
+        run_full(&w.func, &w.ctx, &w.cands, &mut state, true);
+        for (_, bp) in w.func.predicates() {
+            if let Some(bm) = state.pred_bitmap(bp.id) {
+                for i in bm.iter_ones() {
+                    let v = w.ctx.compute(bp.pred.feature, w.cands.pair(i));
+                    prop_assert!(
+                        !bp.pred.eval(v),
+                        "U({}) claims pair {i} fails but value {v} passes",
+                        bp.id
+                    );
+                }
+            }
+        }
+    }
+}

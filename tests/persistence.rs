@@ -1,0 +1,74 @@
+//! Persistence round-trips: matching functions as JSON and as rule text,
+//! tables as CSV — the artifacts an analyst saves between sessions.
+
+mod common;
+
+use common::random_workload;
+use proptest::prelude::*;
+use rulem::core::{parse, EvalContext, MatchingFunction};
+use rulem::datagen::Domain;
+use rulem::types::{parse_csv, write_csv};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn function_json_roundtrip(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let json = serde_json::to_string(&w.func).unwrap();
+        let back: MatchingFunction = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.n_rules(), w.func.n_rules());
+        prop_assert_eq!(back.n_predicates(), w.func.n_predicates());
+        // Verdicts identical through the round trip.
+        for (_, pair) in w.cands.iter() {
+            prop_assert_eq!(
+                back.eval_reference(|f| w.ctx.compute(f, pair)),
+                w.func.eval_reference(|f| w.ctx.compute(f, pair))
+            );
+        }
+    }
+
+    #[test]
+    fn function_text_roundtrip(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let text = parse::function_to_text(&w.func, &w.ctx);
+        // Re-parse against a fresh context over the same tables.
+        let mut ctx2 = EvalContext::new(
+            std::sync::Arc::new(w.ctx.table_a().clone()),
+            std::sync::Arc::new(w.ctx.table_b().clone()),
+        );
+        let back = parse::parse_function(&text, &mut ctx2).unwrap();
+        prop_assert_eq!(back.n_rules(), w.func.n_rules());
+        for (_, pair) in w.cands.iter() {
+            prop_assert_eq!(
+                back.eval_reference(|f| ctx2.compute(f, pair)),
+                w.func.eval_reference(|f| w.ctx.compute(f, pair)),
+                "text round-trip changed verdict for {:?}\n{}",
+                pair,
+                text
+            );
+        }
+    }
+}
+
+#[test]
+fn dataset_csv_roundtrip() {
+    let ds = Domain::Books.generate(3, 0.005);
+    let csv = write_csv(&ds.table_a);
+    let back = parse_csv(ds.table_a.name(), &csv).unwrap();
+    assert_eq!(back.len(), ds.table_a.len());
+    assert_eq!(back.schema(), ds.table_a.schema());
+    for (r1, r2) in ds.table_a.iter().zip(back.iter()) {
+        assert_eq!(r1, r2);
+    }
+}
+
+#[test]
+fn table_json_roundtrip() {
+    let ds = Domain::Movies.generate(5, 0.005);
+    let json = serde_json::to_string(&ds.table_b).unwrap();
+    let mut back: rulem::types::Table = serde_json::from_str(&json).unwrap();
+    back.rebuild_index();
+    assert_eq!(back.len(), ds.table_b.len());
+    assert_eq!(back.row_of("b0"), ds.table_b.row_of("b0"));
+}

@@ -1,0 +1,160 @@
+//! End-to-end pipeline tests spanning every crate: generate data, block,
+//! learn rules, debug interactively, and verify quality — for all six
+//! Table 2 domains.
+
+use rulem::blocking::{Blocker, CartesianBlocker, OverlapBlocker};
+use rulem::core::{DebugSession, EvalContext, MatchingFunction, OrderingAlgo, SessionConfig};
+use rulem::datagen::Domain;
+use rulem::rulegen::{learn_rules, ExtractConfig, ForestConfig};
+use rulem::similarity::{Measure, TokenScheme};
+use rulem::types::Label;
+
+#[test]
+fn all_domains_full_pipeline() {
+    for domain in Domain::all() {
+        let ds = domain.generate(17, 0.01);
+        let title = domain.title_attr();
+        let cands = OverlapBlocker::new(title, TokenScheme::Whitespace, 1)
+            .block(&ds.table_a, &ds.table_b)
+            .unwrap();
+        assert!(!cands.is_empty(), "{}: blocking emptied candidates", domain.name());
+
+        // Blocking keeps a usable share of the ground truth.
+        let kept = ds.recallable_matches(&cands);
+        assert!(
+            kept * 2 >= ds.matches.len(),
+            "{}: blocking kept only {kept}/{} matches",
+            domain.name(),
+            ds.matches.len()
+        );
+
+        let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
+        let code = domain.code_attr();
+        let features = vec![
+            ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), title, title).unwrap(),
+            ctx.feature(Measure::Trigram, title, title).unwrap(),
+            ctx.feature(Measure::JaroWinkler, title, title).unwrap(),
+            ctx.feature(Measure::Levenshtein, code, code).unwrap(),
+            ctx.feature(Measure::Exact, code, code).unwrap(),
+        ];
+        let labeled = ds.label_candidates(&cands);
+        let rules = learn_rules(
+            &ctx,
+            &cands,
+            &labeled,
+            &features,
+            &ForestConfig {
+                n_trees: 12,
+                seed: 3,
+                ..Default::default()
+            },
+            &ExtractConfig {
+                min_purity: 0.85,
+                min_support: 2,
+                max_rules: 30,
+            },
+        );
+        assert!(!rules.is_empty(), "{}: no rules learned", domain.name());
+
+        let mut func = MatchingFunction::new();
+        for r in rules {
+            func.add_rule(r).unwrap();
+        }
+        let (out, _) = rulem::core::run_memo(&func, &ctx, &cands, true);
+        let q = rulem::core::QualityReport::evaluate(&out.verdicts, &cands, &labeled);
+        assert!(
+            q.f1() > 0.5,
+            "{}: learned rules F1 = {:.3}",
+            domain.name(),
+            q.f1()
+        );
+    }
+}
+
+#[test]
+fn session_debugging_improves_quality() {
+    // The Figure 1 loop: each refinement must move F1 in the expected
+    // direction on the products dataset.
+    let ds = Domain::Products.generate(23, 0.02);
+    let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 2)
+        .block(&ds.table_a, &ds.table_b)
+        .unwrap();
+    let labeled = ds.label_candidates(&cands);
+    let mut session = DebugSession::new(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        cands,
+        SessionConfig::default(),
+    );
+    let title = session
+        .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+        .unwrap();
+
+    // Very loose rule: recall high, precision poor.
+    let (r1, _) = session
+        .add_rule(rulem::core::Rule::new().pred(title, rulem::core::CmpOp::Ge, 0.15))
+        .unwrap();
+    let loose = session.quality(&labeled);
+    assert!(loose.recall() > 0.8, "loose recall {:.3}", loose.recall());
+
+    // Tighten: precision must improve (recall may drop).
+    let pid = session.function().rule(r1).unwrap().preds[0].id;
+    session.set_threshold(pid, 0.6).unwrap();
+    let tight = session.quality(&labeled);
+    assert!(
+        tight.precision() >= loose.precision(),
+        "tightening lowered precision: {:.3} -> {:.3}",
+        loose.precision(),
+        tight.precision()
+    );
+
+    // Incremental state still equals a scratch run.
+    let verdicts: Vec<bool> = session.state().verdicts().to_vec();
+    session.run_full();
+    assert_eq!(session.state().verdicts(), verdicts.as_slice());
+}
+
+#[test]
+fn ordering_on_learned_rules_preserves_output() {
+    let ds = Domain::Breakfast.generate(29, 0.01);
+    let cands = CartesianBlocker.block(&ds.table_a, &ds.table_b).unwrap();
+    let labeled = ds.label_candidates(&cands);
+    let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
+    let features = vec![
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Exact, "brand", "brand").unwrap(),
+        ctx.feature(Measure::Levenshtein, "size", "size").unwrap(),
+    ];
+    let rules = learn_rules(
+        &ctx,
+        &cands,
+        &labeled,
+        &features,
+        &ForestConfig {
+            n_trees: 8,
+            seed: 1,
+            ..Default::default()
+        },
+        &ExtractConfig::default(),
+    );
+    let mut func = MatchingFunction::new();
+    for r in rules {
+        func.add_rule(r).unwrap();
+    }
+    let (before, _) = rulem::core::run_memo(&func, &ctx, &cands, true);
+
+    let stats = rulem::core::FunctionStats::estimate(&func, &ctx, &cands, 0.05, 1);
+    rulem::core::optimize(&mut func, &stats, OrderingAlgo::GreedyReduction);
+    let (after, _) = rulem::core::run_memo(&func, &ctx, &cands, true);
+    assert_eq!(before.verdicts, after.verdicts);
+}
+
+#[test]
+fn labels_cover_candidates() {
+    let ds = Domain::VideoGames.generate(31, 0.01);
+    let cands = CartesianBlocker.block(&ds.table_a, &ds.table_b).unwrap();
+    let labeled = ds.label_candidates(&cands);
+    assert_eq!(labeled.len(), cands.len());
+    let matches = labeled.iter().filter(|l| l.label == Label::Match).count();
+    assert_eq!(matches, ds.matches.len());
+}

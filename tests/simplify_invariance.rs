@@ -1,0 +1,43 @@
+//! Simplification (`em_core::simplify`) is a pure logical rewrite: for any
+//! matching function and any data, verdicts must be bit-identical before
+//! and after, and the function can only shrink.
+
+mod common;
+
+use common::{random_workload, reference_verdicts};
+use proptest::prelude::*;
+use rulem::core::{run_memo, simplify};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simplify_preserves_verdicts(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let expected = reference_verdicts(&w);
+
+        let mut func = w.func.clone();
+        let report = simplify(&mut func);
+
+        // Only shrinks.
+        prop_assert!(func.n_rules() <= w.func.n_rules());
+        prop_assert!(func.n_predicates() <= w.func.n_predicates());
+        prop_assert_eq!(
+            w.func.n_rules() - func.n_rules(),
+            report.unsatisfiable_rules.len() + report.subsumed_rules.len()
+        );
+
+        // Verdicts identical (empty function matches nothing — also fine).
+        let (out, _) = run_memo(&func, &w.ctx, &w.cands, true);
+        prop_assert_eq!(&out.verdicts, &expected, "report: {:?}", report);
+    }
+
+    #[test]
+    fn simplify_is_idempotent(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let mut func = w.func.clone();
+        simplify(&mut func);
+        let second = simplify(&mut func);
+        prop_assert!(second.is_noop(), "second pass removed more: {:?}", second);
+    }
+}
