@@ -21,14 +21,10 @@ fn bench_blockers(c: &mut Criterion) {
         b.iter(|| blocker.block(&ds.table_a, &ds.table_b).unwrap())
     });
     for k in [1usize, 2, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("overlap(title)", k),
-            &k,
-            |b, &k| {
-                let blocker = OverlapBlocker::new("title", TokenScheme::Whitespace, k);
-                b.iter(|| blocker.block(&ds.table_a, &ds.table_b).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("overlap(title)", k), &k, |b, &k| {
+            let blocker = OverlapBlocker::new("title", TokenScheme::Whitespace, k);
+            b.iter(|| blocker.block(&ds.table_a, &ds.table_b).unwrap())
+        });
     }
     group.bench_function("overlap_qgram3(title, k=6)", |b| {
         let blocker = OverlapBlocker::new("title", TokenScheme::QGram(3), 6);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_bench::Workload;
-use em_core::Strategy;
+use em_core::{Executor, Strategy};
 
 fn bench_engines(c: &mut Criterion) {
     // Small fixed workload so a full criterion run stays fast.
@@ -33,7 +33,7 @@ fn bench_engines(c: &mut Criterion) {
             other => other.label().to_string(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
-            b.iter(|| s.run(&func, &w.ctx, &w.cands))
+            b.iter(|| s.run(&func, &w.ctx, &w.cands, &Executor::serial()))
         });
     }
     group.finish();
@@ -43,16 +43,16 @@ fn bench_parallel(c: &mut Criterion) {
     let w = Workload::products(0.02, 40);
     let func = w.function_with_rules(20, 1);
 
+    // One executor per thread count, built outside the timed loop: the
+    // pool's threads are persistent, so this measures steady-state batch
+    // dispatch (what a session experiences), not thread spawning.
     let mut group = c.benchmark_group("parallel_memo");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| em_core::run_memo_parallel(&func, &w.ctx, &w.cands, true, threads))
-            },
-        );
+        let exec = Executor::with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &exec, |b, exec| {
+            b.iter(|| em_core::run_memo(&func, &w.ctx, &w.cands, true, exec))
+        });
     }
     group.finish();
 }

@@ -4,14 +4,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use em_bench::Workload;
-use em_core::{run_full, MatchState, MatchingFunction, Rule};
+use em_core::{run_full, Executor, MatchState, MatchingFunction, Rule};
 
-fn setup(w: &Workload, n_rules: usize) -> (MatchingFunction, MatchState) {
+fn setup(w: &Workload, n_rules: usize, exec: &Executor) -> (MatchingFunction, MatchState) {
     let func = w.function_with_rules(n_rules, 1);
     let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
-    run_full(&func, &w.ctx, &w.cands, &mut state, true);
+    run_full(&func, &w.ctx, &w.cands, &mut state, true, exec);
     (func, state)
 }
+
+/// Thread counts swept by every incremental benchmark: the edits are the
+/// latency-critical path of the interactive loop, so scaling is reported
+/// per worker count rather than only serially.
+const THREADS: [usize; 3] = [1, 2, 4];
 
 fn bench_add_rule(c: &mut Criterion) {
     let w = Workload::products(0.02, 60);
@@ -20,28 +25,39 @@ fn bench_add_rule(c: &mut Criterion) {
     let mut group = c.benchmark_group("add_rule_40rules");
     group.sample_size(10);
 
-    group.bench_function("fully_incremental", |b| {
-        b.iter_batched(
-            || setup(&w, 40),
-            |(mut func, mut state)| {
-                em_core::add_rule(&mut func, &mut state, &w.ctx, &w.cands, extra.clone(), true)
+    for threads in THREADS {
+        let exec = Executor::with_threads(threads);
+        group.bench_function(format!("fully_incremental/{}", exec.label()), |b| {
+            b.iter_batched(
+                || setup(&w, 40, &exec),
+                |(mut func, mut state)| {
+                    em_core::add_rule(
+                        &mut func,
+                        &mut state,
+                        &w.ctx,
+                        &w.cands,
+                        extra.clone(),
+                        true,
+                        &exec,
+                    )
                     .unwrap()
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
 
-    group.bench_function("rerun_with_memo", |b| {
-        b.iter_batched(
-            || {
-                let (mut func, state) = setup(&w, 40);
-                func.add_rule(extra.clone()).unwrap();
-                (func, state)
-            },
-            |(func, mut state)| run_full(&func, &w.ctx, &w.cands, &mut state, true),
-            criterion::BatchSize::LargeInput,
-        )
-    });
+        group.bench_function(format!("rerun_with_memo/{}", exec.label()), |b| {
+            b.iter_batched(
+                || {
+                    let (mut func, state) = setup(&w, 40, &exec);
+                    func.add_rule(extra.clone()).unwrap();
+                    (func, state)
+                },
+                |(func, mut state)| run_full(&func, &w.ctx, &w.cands, &mut state, true, &exec),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
     group.finish();
 }
 
@@ -52,26 +68,31 @@ fn bench_threshold_edits(c: &mut Criterion) {
     group.sample_size(10);
 
     for (name, delta) in [("tighten", 0.05f64), ("relax", -0.05f64)] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || setup(&w, 40),
-                |(mut func, mut state)| {
-                    let (pid, pred) = {
-                        let bp = &func.rules()[0].preds[0];
-                        (bp.id, bp.pred)
-                    };
-                    let dir = if pred.op.higher_threshold_is_stricter() {
-                        delta
-                    } else {
-                        -delta
-                    };
-                    let new = (pred.threshold + dir).clamp(0.0, 1.0);
-                    em_core::set_threshold(&mut func, &mut state, &w.ctx, &w.cands, pid, new, true)
+        for threads in THREADS {
+            let exec = Executor::with_threads(threads);
+            group.bench_function(format!("{name}/{}", exec.label()), |b| {
+                b.iter_batched(
+                    || setup(&w, 40, &exec),
+                    |(mut func, mut state)| {
+                        let (pid, pred) = {
+                            let bp = &func.rules()[0].preds[0];
+                            (bp.id, bp.pred)
+                        };
+                        let dir = if pred.op.higher_threshold_is_stricter() {
+                            delta
+                        } else {
+                            -delta
+                        };
+                        let new = (pred.threshold + dir).clamp(0.0, 1.0);
+                        em_core::set_threshold(
+                            &mut func, &mut state, &w.ctx, &w.cands, pid, new, true, &exec,
+                        )
                         .unwrap()
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
     }
     group.finish();
 }
@@ -81,16 +102,20 @@ fn bench_remove_rule(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("remove_rule_40rules");
     group.sample_size(10);
-    group.bench_function("fully_incremental", |b| {
-        b.iter_batched(
-            || setup(&w, 40),
-            |(mut func, mut state)| {
-                let rid = func.rules()[0].id;
-                em_core::remove_rule(&mut func, &mut state, &w.ctx, &w.cands, rid, true).unwrap()
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
+    for threads in THREADS {
+        let exec = Executor::with_threads(threads);
+        group.bench_function(format!("fully_incremental/{}", exec.label()), |b| {
+            b.iter_batched(
+                || setup(&w, 40, &exec),
+                |(mut func, mut state)| {
+                    let rid = func.rules()[0].id;
+                    em_core::remove_rule(&mut func, &mut state, &w.ctx, &w.cands, rid, true, &exec)
+                        .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
     group.finish();
 }
 
@@ -100,31 +125,48 @@ fn bench_session_loop(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("debug_session");
     group.sample_size(10);
-    group.bench_function("five_edit_loop", |b| {
-        b.iter_batched(
-            || setup(&w, 20),
-            |(mut func, mut state)| {
-                let extra: Rule = w.rule_pool[30].clone();
-                let (rid, _) =
-                    em_core::add_rule(&mut func, &mut state, &w.ctx, &w.cands, extra, true)
-                        .unwrap();
-                let pid = func.rule(rid).unwrap().preds[0].id;
-                let t = func.find_predicate(pid).unwrap().1.pred.threshold;
-                em_core::set_threshold(&mut func, &mut state, &w.ctx, &w.cands, pid, (t + 0.1).min(1.0), true)
+    for threads in THREADS {
+        let exec = Executor::with_threads(threads);
+        group.bench_function(format!("five_edit_loop/{}", exec.label()), |b| {
+            b.iter_batched(
+                || setup(&w, 20, &exec),
+                |(mut func, mut state)| {
+                    let extra: Rule = w.rule_pool[30].clone();
+                    let (rid, _) = em_core::add_rule(
+                        &mut func, &mut state, &w.ctx, &w.cands, extra, true, &exec,
+                    )
                     .unwrap();
-                em_core::set_threshold(&mut func, &mut state, &w.ctx, &w.cands, pid, t, true)
+                    let pid = func.rule(rid).unwrap().preds[0].id;
+                    let t = func.find_predicate(pid).unwrap().1.pred.threshold;
+                    em_core::set_threshold(
+                        &mut func,
+                        &mut state,
+                        &w.ctx,
+                        &w.cands,
+                        pid,
+                        (t + 0.1).min(1.0),
+                        true,
+                        &exec,
+                    )
                     .unwrap();
-                let pred = w.rule_pool[31].predicates()[0];
-                let (pid2, _) = em_core::add_predicate(
-                    &mut func, &mut state, &w.ctx, &w.cands, rid, pred, true,
-                )
-                .unwrap();
-                em_core::remove_predicate(&mut func, &mut state, &w.ctx, &w.cands, pid2, true)
+                    em_core::set_threshold(
+                        &mut func, &mut state, &w.ctx, &w.cands, pid, t, true, &exec,
+                    )
                     .unwrap();
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
+                    let pred = w.rule_pool[31].predicates()[0];
+                    let (pid2, _) = em_core::add_predicate(
+                        &mut func, &mut state, &w.ctx, &w.cands, rid, pred, true, &exec,
+                    )
+                    .unwrap();
+                    em_core::remove_predicate(
+                        &mut func, &mut state, &w.ctx, &w.cands, pid2, true, &exec,
+                    )
+                    .unwrap();
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
     group.finish();
 }
 

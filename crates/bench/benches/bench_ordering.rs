@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_bench::Workload;
+use em_core::Executor;
 use em_core::{optimize, order_rules, run_memo, FunctionStats, OrderingAlgo};
 
 fn bench_ordering_computation(c: &mut Criterion) {
@@ -17,9 +18,11 @@ fn bench_ordering_computation(c: &mut Criterion) {
         OrderingAlgo::GreedyCost,
         OrderingAlgo::GreedyReduction,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| order_rules(&func, &stats, algo))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| b.iter(|| order_rules(&func, &stats, algo)),
+        );
     }
     group.finish();
 }
@@ -38,9 +41,11 @@ fn bench_ordered_matching(c: &mut Criterion) {
     ] {
         let mut func = base.clone();
         optimize(&mut func, &stats, algo);
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &func, |b, func| {
-            b.iter(|| run_memo(func, &w.ctx, &w.cands, true))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &func,
+            |b, func| b.iter(|| run_memo(func, &w.ctx, &w.cands, true, &Executor::serial())),
+        );
     }
     group.finish();
 }

@@ -6,16 +6,26 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use em_blocking::{Blocker, OverlapBlocker};
 use em_core::EvalContext;
 use em_datagen::Domain;
-use em_rulegen::{extract_rules, DecisionTree, ExtractConfig, FeatureMatrix, ForestConfig, RandomForest, TreeConfig};
+use em_rulegen::{
+    extract_rules, DecisionTree, ExtractConfig, FeatureMatrix, ForestConfig, RandomForest,
+    TreeConfig,
+};
 use em_similarity::{Measure, TokenScheme};
 
-fn setup() -> (EvalContext, em_types::CandidateSet, Vec<em_core::FeatureId>, Vec<em_types::LabeledPair>) {
+fn setup() -> (
+    EvalContext,
+    em_types::CandidateSet,
+    Vec<em_core::FeatureId>,
+    Vec<em_types::LabeledPair>,
+) {
     let ds = Domain::Products.generate(3, 0.02);
     let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
     let features = vec![
-        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap(),
         ctx.feature(Measure::Trigram, "title", "title").unwrap(),
-        ctx.feature(Measure::JaroWinkler, "modelno", "modelno").unwrap(),
+        ctx.feature(Measure::JaroWinkler, "modelno", "modelno")
+            .unwrap(),
         ctx.feature(Measure::Exact, "brand", "brand").unwrap(),
     ];
     let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 1)
@@ -40,18 +50,14 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         b.iter(|| DecisionTree::train(&matrix, &TreeConfig::default()))
     });
     for n_trees in [8usize, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("forest", n_trees),
-            &n_trees,
-            |b, &n| {
-                let cfg = ForestConfig {
-                    n_trees: n,
-                    seed: 1,
-                    ..Default::default()
-                };
-                b.iter(|| RandomForest::train(&matrix, &cfg))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("forest", n_trees), &n_trees, |b, &n| {
+            let cfg = ForestConfig {
+                n_trees: n,
+                seed: 1,
+                ..Default::default()
+            };
+            b.iter(|| RandomForest::train(&matrix, &cfg))
+        });
     }
 
     let forest = RandomForest::train(

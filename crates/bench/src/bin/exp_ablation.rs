@@ -10,9 +10,10 @@
 //!    Algorithms 5/6 and the branch-and-bound optimum on 8-rule subsets.
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{
-    cost_memo, optimal_rule_order, optimize_predicate_orders, order_rules, run_memo,
-    run_memo_with, FunctionStats, OrderingAlgo, SparseMemo,
+    cost_memo, optimal_rule_order, optimize_predicate_orders, order_rules, run_memo, run_memo_with,
+    FunctionStats, OrderingAlgo, SparseMemo,
 };
 
 fn main() {
@@ -26,7 +27,7 @@ fn main() {
     // 1. check-cache-first.
     header(&["check-cache-first", "DM+EE (ms)", "computations", "lookups"]);
     for ccf in [false, true] {
-        let (out, _) = run_memo(&func, &w.ctx, &w.cands, ccf);
+        let (out, _) = run_memo(&func, &w.ctx, &w.cands, ccf, &Executor::serial());
         row(&[
             ccf.to_string(),
             ms(out.elapsed),
@@ -40,7 +41,7 @@ fn main() {
     header(&["predicate order", "DM+EE (ms)", "computations"]);
     let stats = FunctionStats::estimate(&func, &w.ctx, &w.cands, 0.01, SEED);
     {
-        let (out, _) = run_memo(&func, &w.ctx, &w.cands, false);
+        let (out, _) = run_memo(&func, &w.ctx, &w.cands, false, &Executor::serial());
         row(&[
             "authored (extraction) order".to_string(),
             ms(out.elapsed),
@@ -48,7 +49,7 @@ fn main() {
         ]);
         let mut tuned = func.clone();
         optimize_predicate_orders(&mut tuned, &stats);
-        let (out, _) = run_memo(&tuned, &w.ctx, &w.cands, false);
+        let (out, _) = run_memo(&tuned, &w.ctx, &w.cands, false, &Executor::serial());
         row(&[
             "Lemma 3 order".to_string(),
             ms(out.elapsed),
@@ -79,7 +80,15 @@ fn main() {
 
     // 4. Greedy vs exact ordering in the cost model (8-rule subsets).
     println!();
-    header(&["8-rule subset", "random C₄", "Alg.5 C₄", "Alg.6 C₄", "exact C₄", "Alg.5 gap", "Alg.6 gap"]);
+    header(&[
+        "8-rule subset",
+        "random C₄",
+        "Alg.5 C₄",
+        "Alg.6 C₄",
+        "exact C₄",
+        "Alg.5 gap",
+        "Alg.6 gap",
+    ]);
     for rep in 0..5u64 {
         let mut sub = w.function_with_rules(8, SEED ^ (100 + rep));
         let stats = FunctionStats::estimate(&sub, &w.ctx, &w.cands, 0.01, SEED ^ rep);

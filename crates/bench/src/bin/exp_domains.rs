@@ -4,6 +4,7 @@
 //! domains to substantiate the claim the paper leaves as text.
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{run_early_exit, run_memo, MatchState, MatchingFunction};
 use em_datagen::Domain;
 
@@ -24,16 +25,30 @@ fn main() {
         let w = Workload::for_domain(domain, scale(), N_RULES + 8);
         let func = w.function_with_rules(N_RULES, SEED);
 
-        let ee = run_early_exit(&func, &w.ctx, &w.cands);
-        let (dm, _) = run_memo(&func, &w.ctx, &w.cands, true);
-        assert_eq!(ee.verdicts, dm.verdicts, "{}: engines disagree", domain.name());
+        let ee = run_early_exit(&func, &w.ctx, &w.cands, &Executor::serial());
+        let (dm, _) = run_memo(&func, &w.ctx, &w.cands, true, &Executor::serial());
+        assert_eq!(
+            ee.verdicts,
+            dm.verdicts,
+            "{}: engines disagree",
+            domain.name()
+        );
 
         // Incremental: settle state on N_RULES rules, then add one more.
         let mut inc_func = MatchingFunction::new();
         let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
         for rule in func.rules() {
             let r = em_core::Rule::with(rule.preds.iter().map(|bp| bp.pred));
-            em_core::add_rule(&mut inc_func, &mut state, &w.ctx, &w.cands, r, true).unwrap();
+            em_core::add_rule(
+                &mut inc_func,
+                &mut state,
+                &w.ctx,
+                &w.cands,
+                r,
+                true,
+                &Executor::serial(),
+            )
+            .unwrap();
         }
         let extra = em_core::Rule::with(
             w.function_with_rules(N_RULES + 1, SEED)
@@ -44,8 +59,16 @@ fn main() {
                 .iter()
                 .map(|bp| bp.pred),
         );
-        let (_, report) =
-            em_core::add_rule(&mut inc_func, &mut state, &w.ctx, &w.cands, extra, true).unwrap();
+        let (_, report) = em_core::add_rule(
+            &mut inc_func,
+            &mut state,
+            &w.ctx,
+            &w.cands,
+            extra,
+            true,
+            &Executor::serial(),
+        )
+        .unwrap();
 
         row(&[
             domain.name().to_string(),

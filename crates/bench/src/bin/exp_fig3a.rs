@@ -13,6 +13,7 @@
 //! there); the other strategies cover the full sweep.
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::Strategy;
 
 const RULE_COUNTS: &[usize] = &[5, 10, 20, 40, 80, 160, 240];
@@ -25,7 +26,14 @@ fn main() {
         "## Figure 3A/3B — engines vs #rules ({} candidate pairs, mean of {REPS} rule draws)\n",
         w.cands.len()
     );
-    header(&["#rules", "R (ms)", "EE (ms)", "PPR+EE (ms)", "FPR+EE (ms)", "DM+EE (ms)"]);
+    header(&[
+        "#rules",
+        "R (ms)",
+        "EE (ms)",
+        "PPR+EE (ms)",
+        "FPR+EE (ms)",
+        "DM+EE (ms)",
+    ]);
 
     for &n in RULE_COUNTS {
         let mut cells = vec![n.to_string()];
@@ -49,7 +57,7 @@ fn main() {
             let mut total = std::time::Duration::ZERO;
             for rep in 0..REPS {
                 let func = w.function_with_rules(n, SEED ^ rep);
-                let out = strategy.run(&func, &w.ctx, &w.cands);
+                let out = strategy.run(&func, &w.ctx, &w.cands, &Executor::serial());
                 total += out.elapsed;
             }
             cells.push(ms(total / REPS as u32));

@@ -6,6 +6,7 @@
 //! (most features end up computed regardless of order).
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{optimize, run_memo, FunctionStats, OrderingAlgo};
 
 const RULE_COUNTS: &[usize] = &[5, 10, 20, 40, 80, 160, 240];
@@ -31,7 +32,7 @@ fn main() {
                 let mut func = w.function_with_rules(n, SEED ^ rep);
                 let stats = FunctionStats::estimate(&func, &w.ctx, &w.cands, 0.01, SEED ^ rep);
                 optimize(&mut func, &stats, algo);
-                let (out, _) = run_memo(&func, &w.ctx, &w.cands, true);
+                let (out, _) = run_memo(&func, &w.ctx, &w.cands, true, &Executor::serial());
                 total += out.elapsed;
             }
             cells.push(ms(total / REPS as u32));

@@ -7,6 +7,7 @@
 //! curves track each other for both orderings.
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{cost_memo, optimize, run_memo, FunctionStats, OrderingAlgo};
 use std::time::Duration;
 
@@ -33,7 +34,7 @@ fn main() {
             let stats = FunctionStats::estimate(&func, &w.ctx, &w.cands, 0.01, SEED);
             optimize(&mut func, &stats, algo);
 
-            let (out, _) = run_memo(&func, &w.ctx, &w.cands, false);
+            let (out, _) = run_memo(&func, &w.ctx, &w.cands, false, &Executor::serial());
             let predicted_ns = cost_memo(&func, &stats) * w.cands.len() as f64;
             let predicted = Duration::from_nanos(predicted_ns as u64);
 

@@ -6,6 +6,7 @@
 
 use em_bench::{header, ms, row, scale, Workload};
 use em_core::run_memo;
+use em_core::Executor;
 
 const FRACTIONS: &[f64] = &[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
 
@@ -21,7 +22,7 @@ fn main() {
     for &frac in FRACTIONS {
         let n = ((w.cands.len() as f64) * frac).round() as usize;
         let subset = w.cands.truncated(n);
-        let (out, _) = run_memo(&func, &w.ctx, &subset, true);
+        let (out, _) = run_memo(&func, &w.ctx, &subset, true, &Executor::serial());
         let per_k = out.elapsed.as_secs_f64() * 1e3 / (n.max(1) as f64 / 1e3);
         row(&[n.to_string(), ms(out.elapsed), format!("{per_k:.3}")]);
     }

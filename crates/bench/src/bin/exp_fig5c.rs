@@ -15,6 +15,7 @@
 //! forces fresh feature computations.
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{run_full, MatchState, MatchingFunction};
 use std::time::Instant;
 
@@ -27,7 +28,11 @@ fn main() {
         "## Figure 5C — add-rule incremental ({} candidate pairs, k = 1..{MAX_RULES})\n",
         w.cands.len()
     );
-    header(&["k (rules before add)", "precompute variation (ms)", "fully incremental (ms)"]);
+    header(&[
+        "k (rules before add)",
+        "precompute variation (ms)",
+        "fully incremental (ms)",
+    ]);
 
     // Fully incremental state.
     let mut inc_func = MatchingFunction::new();
@@ -43,7 +48,14 @@ fn main() {
         // Precompute variation: add the rule, then re-run everything.
         pre_func.add_rule(rule.clone()).expect("non-empty rule");
         let start = Instant::now();
-        run_full(&pre_func, &w.ctx, &w.cands, &mut pre_state, true);
+        run_full(
+            &pre_func,
+            &w.ctx,
+            &w.cands,
+            &mut pre_state,
+            true,
+            &Executor::serial(),
+        );
         let pre_elapsed = start.elapsed();
 
         // Fully incremental: Algorithm 10.
@@ -54,6 +66,7 @@ fn main() {
             &w.cands,
             rule,
             true,
+            &Executor::serial(),
         )
         .expect("non-empty rule");
 

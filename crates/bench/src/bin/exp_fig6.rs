@@ -13,6 +13,7 @@
 //! compute fresh feature values for previously-skipped pairs.
 
 use em_bench::{header, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{run_full, MatchState, MatchingFunction, PredId, RuleId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,7 +33,14 @@ impl Bench {
         let w = Workload::products(scale(), 255);
         let func = w.function_with_rules(240, SEED);
         let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
-        run_full(&func, &w.ctx, &w.cands, &mut state, true);
+        run_full(
+            &func,
+            &w.ctx,
+            &w.cands,
+            &mut state,
+            true,
+            &Executor::serial(),
+        );
         Bench {
             w,
             func,
@@ -88,8 +96,16 @@ fn main() {
     for _ in 0..TRIALS {
         let pid = b.random_removable_pred();
         let (rid, bp) = b.func.find_predicate(pid).map(|(r, bp)| (r, *bp)).unwrap();
-        em_core::remove_predicate(&mut b.func, &mut b.state, &b.w.ctx, &b.w.cands, pid, true)
-            .unwrap();
+        em_core::remove_predicate(
+            &mut b.func,
+            &mut b.state,
+            &b.w.ctx,
+            &b.w.cands,
+            pid,
+            true,
+            &Executor::serial(),
+        )
+        .unwrap();
         let (_, report) = em_core::add_predicate(
             &mut b.func,
             &mut b.state,
@@ -98,6 +114,7 @@ fn main() {
             rid,
             bp.pred,
             true,
+            &Executor::serial(),
         )
         .unwrap();
         lat.push(report.elapsed);
@@ -110,12 +127,28 @@ fn main() {
     for _ in 0..TRIALS {
         let pid = b.random_removable_pred();
         let (rid, bp) = b.func.find_predicate(pid).map(|(r, bp)| (r, *bp)).unwrap();
-        let report =
-            em_core::remove_predicate(&mut b.func, &mut b.state, &b.w.ctx, &b.w.cands, pid, true)
-                .unwrap();
+        let report = em_core::remove_predicate(
+            &mut b.func,
+            &mut b.state,
+            &b.w.ctx,
+            &b.w.cands,
+            pid,
+            true,
+            &Executor::serial(),
+        )
+        .unwrap();
         lat.push(report.elapsed);
-        em_core::add_predicate(&mut b.func, &mut b.state, &b.w.ctx, &b.w.cands, rid, bp.pred, true)
-            .unwrap();
+        em_core::add_predicate(
+            &mut b.func,
+            &mut b.state,
+            &b.w.ctx,
+            &b.w.cands,
+            rid,
+            bp.pred,
+            true,
+            &Executor::serial(),
+        )
+        .unwrap();
     }
     let (mean, max) = summarize(&lat);
     row(&["remove predicate".into(), mean, max]);
@@ -143,6 +176,7 @@ fn main() {
                 pid,
                 new,
                 true,
+                &Executor::serial(),
             )
             .unwrap();
             lat.push(report.elapsed);
@@ -155,12 +189,18 @@ fn main() {
                 pid,
                 pred.threshold,
                 true,
+                &Executor::serial(),
             )
             .unwrap();
         }
         let (mean, max) = summarize(&lat);
         row(&[
-            if tighten { "tighten threshold" } else { "relax threshold" }.into(),
+            if tighten {
+                "tighten threshold"
+            } else {
+                "relax threshold"
+            }
+            .into(),
             mean,
             max,
         ]);
@@ -171,9 +211,16 @@ fn main() {
     for _ in 0..TRIALS {
         let rid = b.random_rule();
         let rule = b.func.rule(rid).unwrap().clone();
-        let report =
-            em_core::remove_rule(&mut b.func, &mut b.state, &b.w.ctx, &b.w.cands, rid, true)
-                .unwrap();
+        let report = em_core::remove_rule(
+            &mut b.func,
+            &mut b.state,
+            &b.w.ctx,
+            &b.w.cands,
+            rid,
+            true,
+            &Executor::serial(),
+        )
+        .unwrap();
         lat.push(report.elapsed);
         em_core::add_rule(
             &mut b.func,
@@ -182,6 +229,7 @@ fn main() {
             &b.w.cands,
             em_core::Rule::with(rule.preds.iter().map(|bp| bp.pred)),
             true,
+            &Executor::serial(),
         )
         .unwrap();
     }
@@ -193,7 +241,16 @@ fn main() {
     for _ in 0..TRIALS {
         let rid = b.random_rule();
         let rule = b.func.rule(rid).unwrap().clone();
-        em_core::remove_rule(&mut b.func, &mut b.state, &b.w.ctx, &b.w.cands, rid, true).unwrap();
+        em_core::remove_rule(
+            &mut b.func,
+            &mut b.state,
+            &b.w.ctx,
+            &b.w.cands,
+            rid,
+            true,
+            &Executor::serial(),
+        )
+        .unwrap();
         let (_, report) = em_core::add_rule(
             &mut b.func,
             &mut b.state,
@@ -201,6 +258,7 @@ fn main() {
             &b.w.cands,
             em_core::Rule::with(rule.preds.iter().map(|bp| bp.pred)),
             true,
+            &Executor::serial(),
         )
         .unwrap();
         lat.push(report.elapsed);
@@ -210,7 +268,14 @@ fn main() {
 
     // Sanity: state still agrees with a from-scratch run after ~600 edits.
     let mut fresh = MatchState::new(b.w.cands.len(), b.w.ctx.registry().len());
-    run_full(&b.func, &b.w.ctx, &b.w.cands, &mut fresh, true);
+    run_full(
+        &b.func,
+        &b.w.ctx,
+        &b.w.cands,
+        &mut fresh,
+        true,
+        &Executor::serial(),
+    );
     assert_eq!(b.state.verdicts(), fresh.verdicts());
     println!("\n(state consistency after all edits verified)");
 }

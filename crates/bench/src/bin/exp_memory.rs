@@ -8,13 +8,21 @@
 //! evaluation leaves most of the grid empty.
 
 use em_bench::{header, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{run_full, MatchState, Memo, SparseMemo};
 
 fn main() {
     let w = Workload::products(scale(), 255);
     let func = w.function_with_rules(240, SEED);
     let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
-    run_full(&func, &w.ctx, &w.cands, &mut state, true);
+    run_full(
+        &func,
+        &w.ctx,
+        &w.cands,
+        &mut state,
+        true,
+        &Executor::serial(),
+    );
 
     let report = state.memory_report();
     let mb = |bytes: usize| format!("{:.2}", bytes as f64 / (1024.0 * 1024.0));
@@ -27,7 +35,10 @@ fn main() {
         func.n_predicates()
     );
     header(&["Component", "MB"]);
-    row(&["dense memo (|C| × |F| f64 array)".into(), mb(report.memo_bytes)]);
+    row(&[
+        "dense memo (|C| × |F| f64 array)".into(),
+        mb(report.memo_bytes),
+    ]);
     row(&[
         format!(
             "bitmaps ({} rule + {} predicate)",
@@ -51,11 +62,7 @@ fn main() {
     header(&["Memo variant", "values stored", "MB"]);
     row(&[
         "dense".into(),
-        format!(
-            "{} / {}",
-            filled,
-            w.cands.len() * w.ctx.registry().len()
-        ),
+        format!("{} / {}", filled, w.cands.len() * w.ctx.registry().len()),
         mb(state.memo.heap_bytes()),
     ]);
     row(&[

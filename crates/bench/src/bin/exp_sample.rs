@@ -9,6 +9,7 @@
 //! runtime under the sampled order.
 
 use em_bench::{header, ms, row, scale, Workload, SEED};
+use em_core::Executor;
 use em_core::{optimize, run_memo, FunctionStats, OrderingAlgo, RuleId};
 
 const FRACTIONS: &[f64] = &[0.001, 0.005, 0.01, 0.05, 0.1];
@@ -67,7 +68,7 @@ fn main() {
         let sampled_order: Vec<RuleId> = tuned.rules().iter().map(|r| r.id).collect();
         let agreement = order_agreement(&sampled_order, &full_order);
 
-        let (out, _) = run_memo(&tuned, &w.ctx, &w.cands, true);
+        let (out, _) = run_memo(&tuned, &w.ctx, &w.cands, true, &Executor::serial());
         row(&[
             format!("{:.1}%", frac * 100.0),
             ((w.cands.len() as f64 * frac).ceil() as usize).to_string(),

@@ -67,8 +67,7 @@ impl Workload {
     /// Builds a workload for any domain.
     pub fn for_domain(domain: Domain, scale: f64, pool_size: usize) -> Self {
         let dataset = domain.generate(SEED, scale);
-        let mut ctx =
-            EvalContext::from_tables(dataset.table_a.clone(), dataset.table_b.clone());
+        let mut ctx = EvalContext::from_tables(dataset.table_a.clone(), dataset.table_b.clone());
         let features = feature_menu_extended(&mut ctx, domain);
         // Overlap ≥ 2 keeps the candidate-to-cross-product ratio in the
         // same regime as the paper's Table 2 (≈ 0.5 % for products).
@@ -204,7 +203,10 @@ pub fn feature_menu_extended(ctx: &mut EvalContext, domain: Domain) -> Vec<Featu
         .cloned()
         .collect();
     for attr in other_attrs {
-        menu.push(ctx.feature(Measure::Exact, &attr, &attr).expect("attr exists"));
+        menu.push(
+            ctx.feature(Measure::Exact, &attr, &attr)
+                .expect("attr exists"),
+        );
         menu.push(
             ctx.feature(Measure::Levenshtein, &attr, &attr)
                 .expect("attr exists"),
@@ -240,7 +242,10 @@ pub fn row(cells: &[String]) {
 /// Prints a markdown table header (with separator line).
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]
@@ -250,7 +255,11 @@ mod tests {
     #[test]
     fn products_workload_builds() {
         let w = Workload::products(0.01, 20);
-        assert!(w.features.len() >= 25, "extended menu: {}", w.features.len());
+        assert!(
+            w.features.len() >= 25,
+            "extended menu: {}",
+            w.features.len()
+        );
         assert_eq!(w.rule_pool.len(), 20);
         assert!(!w.cands.is_empty());
         assert_eq!(w.labeled.len(), w.cands.len());
@@ -272,10 +281,7 @@ mod tests {
             let mut ctx = EvalContext::from_tables(ds.table_a, ds.table_b);
             let menu = feature_menu(&mut ctx, d);
             assert_eq!(menu.len(), 13, "{}", d.name());
-            let mut ctx2 = EvalContext::from_tables(
-                ctx.table_a().clone(),
-                ctx.table_b().clone(),
-            );
+            let mut ctx2 = EvalContext::from_tables(ctx.table_a().clone(), ctx.table_b().clone());
             let ext = feature_menu_extended(&mut ctx2, d);
             assert!(ext.len() > 13, "{} extended = {}", d.name(), ext.len());
         }

@@ -111,7 +111,9 @@ mod tests {
     #[test]
     fn joins_on_equal_category() {
         let (a, b) = tables();
-        let cands = AttrEquivalenceBlocker::new("category").block(&a, &b).unwrap();
+        let cands = AttrEquivalenceBlocker::new("category")
+            .block(&a, &b)
+            .unwrap();
         assert_eq!(cands.len(), 2);
         assert!(cands.as_slice().contains(&PairIdx::new(0, 0)));
         assert!(cands.as_slice().contains(&PairIdx::new(1, 1)));
@@ -130,14 +132,21 @@ mod tests {
     #[test]
     fn missing_values_blocked_out() {
         let (a, b) = tables();
-        let cands = AttrEquivalenceBlocker::new("category").block(&a, &b).unwrap();
-        assert!(!cands.as_slice().iter().any(|p| p.a == 2), "a3 has no category");
+        let cands = AttrEquivalenceBlocker::new("category")
+            .block(&a, &b)
+            .unwrap();
+        assert!(
+            !cands.as_slice().iter().any(|p| p.a == 2),
+            "a3 has no category"
+        );
     }
 
     #[test]
     fn unknown_attr_is_error() {
         let (a, b) = tables();
-        let err = AttrEquivalenceBlocker::new("nope").block(&a, &b).unwrap_err();
+        let err = AttrEquivalenceBlocker::new("nope")
+            .block(&a, &b)
+            .unwrap_err();
         assert_eq!(
             err,
             BlockingError::UnknownAttr {
@@ -150,7 +159,9 @@ mod tests {
     #[test]
     fn subset_of_cartesian_and_dedup_free() {
         let (a, b) = tables();
-        let cands = AttrEquivalenceBlocker::new("category").block(&a, &b).unwrap();
+        let cands = AttrEquivalenceBlocker::new("category")
+            .block(&a, &b)
+            .unwrap();
         let mut seen = std::collections::HashSet::new();
         for p in cands.as_slice() {
             assert!(seen.insert(*p), "duplicate pair {p:?}");

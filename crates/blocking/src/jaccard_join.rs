@@ -139,7 +139,10 @@ impl Blocker for JaccardJoinBlocker {
                 // Exact verification (both sides are distinct-token sets).
                 let set_a: std::collections::HashSet<&str> =
                     toks_a.iter().map(String::as_str).collect();
-                let inter = toks_b.iter().filter(|tk| set_a.contains(tk.as_str())).count();
+                let inter = toks_b
+                    .iter()
+                    .filter(|tk| set_a.contains(tk.as_str()))
+                    .count();
                 let union = toks_a.len() + toks_b.len() - inter;
                 if inter as f64 >= t * union as f64 {
                     out.push(PairIdx::new(arow, brow as u32));
@@ -225,8 +228,9 @@ mod tests {
             let mut t = Table::new(name, schema.clone());
             for i in 0..n {
                 let k = rng.gen_range(1..5);
-                let title: Vec<&str> =
-                    (0..k).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect();
+                let title: Vec<&str> = (0..k)
+                    .map(|_| vocab[rng.gen_range(0..vocab.len())])
+                    .collect();
                 t.push(Record::new(format!("{name}{i}"), [title.join(" ")]));
             }
             t
@@ -275,8 +279,10 @@ mod tests {
     #[test]
     fn unknown_attr_is_error() {
         let (a, b) = tables();
-        assert!(JaccardJoinBlocker::new("nope", TokenScheme::Whitespace, 0.5)
-            .block(&a, &b)
-            .is_err());
+        assert!(
+            JaccardJoinBlocker::new("nope", TokenScheme::Whitespace, 0.5)
+                .block(&a, &b)
+                .is_err()
+        );
     }
 }

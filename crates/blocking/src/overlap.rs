@@ -138,7 +138,9 @@ mod tests {
         let (a, b) = tables();
         let scheme = TokenScheme::Whitespace;
         for k in 1..=3usize {
-            let fast = OverlapBlocker::new("title", scheme, k).block(&a, &b).unwrap();
+            let fast = OverlapBlocker::new("title", scheme, k)
+                .block(&a, &b)
+                .unwrap();
             let mut brute = Vec::new();
             for (ia, ra) in a.iter().enumerate() {
                 for (ib, rb) in b.iter().enumerate() {

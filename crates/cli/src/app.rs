@@ -26,7 +26,7 @@ impl App {
     }
 
     /// Builds a demo app over a synthetic dataset.
-    pub fn demo(domain: em_datagen::Domain, scale: f64, seed: u64) -> Self {
+    pub fn demo(domain: em_datagen::Domain, scale: f64, seed: u64, config: SessionConfig) -> Self {
         use em_blocking::Blocker;
         let ds = domain.generate(seed, scale);
         let cands = em_blocking::OverlapBlocker::new(
@@ -37,12 +37,7 @@ impl App {
         .block(&ds.table_a, &ds.table_b)
         .expect("title attribute exists");
         let labels = ds.label_candidates(&cands);
-        let session = DebugSession::new(
-            ds.table_a.clone(),
-            ds.table_b.clone(),
-            cands,
-            SessionConfig::default(),
-        );
+        let session = DebugSession::new(ds.table_a.clone(), ds.table_b.clone(), cands, config);
         App::new(session, labels)
     }
 
@@ -279,12 +274,7 @@ impl App {
                 let _ = write!(out, "\nmemo lookup δ: {:.0} ns", stats.lookup_cost());
                 let _ = write!(out, "\npredicate selectivities:");
                 for (rid, bp) in self.session.function().predicates() {
-                    let _ = write!(
-                        out,
-                        "\n  {rid}/{} sel = {:.4}",
-                        bp.id,
-                        stats.sel(bp.id)
-                    );
+                    let _ = write!(out, "\n  {rid}/{} sel = {:.4}", bp.id, stats.sel(bp.id));
                 }
                 Ok(out)
             }
@@ -352,8 +342,8 @@ impl App {
             }
             Command::Export(path) => {
                 let snapshot = self.session.snapshot();
-                let json = serde_json::to_string_pretty(&snapshot)
-                    .map_err(|e| format!("export: {e}"))?;
+                let json =
+                    serde_json::to_string_pretty(&snapshot).map_err(|e| format!("export: {e}"))?;
                 std::fs::write(&path, json).map_err(|e| format!("export {path}: {e}"))?;
                 Ok(format!(
                     "exported {} rules to {path}",
@@ -377,8 +367,13 @@ impl App {
                     std::fs::read_to_string(&path).map_err(|e| format!("load {path}: {e}"))?;
                 // Replace: remove existing rules, then add the loaded ones
                 // (each applied incrementally, reusing the memo).
-                let existing: Vec<_> =
-                    self.session.function().rules().iter().map(|r| r.id).collect();
+                let existing: Vec<_> = self
+                    .session
+                    .function()
+                    .rules()
+                    .iter()
+                    .map(|r| r.id)
+                    .collect();
                 for rid in existing {
                     self.session.remove_rule(rid).map_err(|e| e.to_string())?;
                 }
@@ -403,7 +398,9 @@ impl App {
     fn parse_predicate(&mut self, text: &str) -> Result<em_core::Predicate, String> {
         // A predicate is a one-predicate rule in the rule language; the
         // session interns the feature and grows the memo.
-        self.session.parse_predicate(text).map_err(|e| e.to_string())
+        self.session
+            .parse_predicate(text)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -414,7 +411,7 @@ mod tests {
     use em_datagen::Domain;
 
     fn demo_app() -> App {
-        App::demo(Domain::Products, 0.01, 7)
+        App::demo(Domain::Products, 0.01, 7, SessionConfig::default())
     }
 
     fn exec(app: &mut App, line: &str) -> Result<String, String> {
@@ -428,7 +425,9 @@ mod tests {
         assert!(exec(&mut app, "rules").unwrap().contains("(no rules)"));
         let out = exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
         assert!(out.contains("added rule r0"), "{out}");
-        assert!(exec(&mut app, "rules").unwrap().contains("jaccard_ws(title, title)"));
+        assert!(exec(&mut app, "rules")
+            .unwrap()
+            .contains("jaccard_ws(title, title)"));
         assert!(exec(&mut app, "quality").unwrap().contains("F1"));
         let out = exec(&mut app, "set p0 0.8").unwrap();
         assert!(out.contains("set p0"), "{out}");
@@ -447,13 +446,17 @@ mod tests {
         exec(&mut app, "add jaccard_ws(title, title) >= 0.95").unwrap(); // subsumed by the 0.6 rule
         let out = exec(&mut app, "simplify").unwrap();
         assert!(out.contains("1 subsumed"), "{out}");
-        assert!(exec(&mut app, "simplify").unwrap().contains("already minimal"));
+        assert!(exec(&mut app, "simplify")
+            .unwrap()
+            .contains("already minimal"));
         let out = exec(&mut app, "misses f0 4").unwrap();
         assert!(out.contains("unmatched pairs by"), "{out}");
         assert!(exec(&mut app, "misses f99").is_err());
         let out = exec(&mut app, "explain 0").unwrap();
         assert!(out.contains("rule r1"), "{out}");
-        assert!(exec(&mut app, "optimize alg6").unwrap().contains("reordered"));
+        assert!(exec(&mut app, "optimize alg6")
+            .unwrap()
+            .contains("reordered"));
         assert!(!app.should_quit());
         exec(&mut app, "quit").unwrap();
         assert!(app.should_quit());
@@ -479,7 +482,11 @@ mod tests {
 
         let mut app = demo_app();
         exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
-        exec(&mut app, "add exact(modelno, modelno) >= 1 AND jaro(title, title) >= 0.4").unwrap();
+        exec(
+            &mut app,
+            "add exact(modelno, modelno) >= 1 AND jaro(title, title) >= 0.4",
+        )
+        .unwrap();
         let matches_before = app.session().n_matches();
         exec(&mut app, &format!("save {path_str}")).unwrap();
 

@@ -219,7 +219,10 @@ mod tests {
             Some(Command::AddRule("exact(a, b) >= 1".into()))
         );
         assert_eq!(parse("rules").unwrap(), Some(Command::ListRules));
-        assert_eq!(parse("rm r3").unwrap(), Some(Command::RemoveRule(RuleId(3))));
+        assert_eq!(
+            parse("rm r3").unwrap(),
+            Some(Command::RemoveRule(RuleId(3)))
+        );
         assert_eq!(
             parse("addpred r1 jaro(x, y) >= 0.5").unwrap(),
             Some(Command::AddPredicate(RuleId(1), "jaro(x, y) >= 0.5".into()))
@@ -259,8 +262,14 @@ mod tests {
         assert_eq!(parse("memory").unwrap(), Some(Command::MemoryReport));
         assert_eq!(parse("history").unwrap(), Some(Command::History));
         assert_eq!(parse("features").unwrap(), Some(Command::Features));
-        assert_eq!(parse("save rules.txt").unwrap(), Some(Command::Save("rules.txt".into())));
-        assert_eq!(parse("load rules.txt").unwrap(), Some(Command::Load("rules.txt".into())));
+        assert_eq!(
+            parse("save rules.txt").unwrap(),
+            Some(Command::Save("rules.txt".into()))
+        );
+        assert_eq!(
+            parse("load rules.txt").unwrap(),
+            Some(Command::Load("rules.txt".into()))
+        );
         assert_eq!(
             parse("export snap.json").unwrap(),
             Some(Command::Export("snap.json".into()))
@@ -288,7 +297,9 @@ mod tests {
         assert!(parse("set p1 abc").unwrap_err().contains("bad threshold"));
         assert!(parse("add").unwrap_err().contains("missing"));
         assert!(parse("explain x").unwrap_err().contains("bad pair index"));
-        assert!(parse("optimize alg7").unwrap_err().contains("unknown algorithm"));
+        assert!(parse("optimize alg7")
+            .unwrap_err()
+            .contains("unknown algorithm"));
     }
 
     #[test]

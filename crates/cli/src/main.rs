@@ -8,9 +8,9 @@ use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
 usage:
-  rulem --demo <domain> [--scale <f>] [--seed <n>]
+  rulem --demo <domain> [--scale <f>] [--seed <n>] [--threads <n>]
       domains: products | restaurants | books | breakfast | movies | videogames
-  rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>]
+  rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>] [--threads <n>]
       CSV files: first column is the record id, header row names attributes;
       blocking is token overlap on <attr> (default min-overlap 2), or an
       exact attribute-equivalence join with ':eq'.
@@ -18,7 +18,10 @@ usage:
 examples:
   rulem --demo products --scale 0.05
   rulem walmart.csv amazon.csv --block title:2
-  rulem yelp.csv foursquare.csv --block city:eq";
+  rulem yelp.csv foursquare.csv --block city:eq --threads 4
+
+--threads 1 runs serially (default); --threads 0 uses all cores;
+--threads n runs matching and incremental edits on an n-worker pool.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +47,15 @@ fn build_app(args: &[String]) -> Result<App, String> {
             .map(String::as_str)
     };
 
+    let n_threads: usize = get_flag("--threads")
+        .map(|s| s.parse().map_err(|_| format!("bad --threads {s:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let config = SessionConfig {
+        n_threads,
+        ..SessionConfig::default()
+    };
+
     if let Some(domain_name) = get_flag("--demo") {
         let domain = match domain_name.to_lowercase().as_str() {
             "products" => Domain::Products,
@@ -62,7 +74,7 @@ fn build_app(args: &[String]) -> Result<App, String> {
             .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
             .transpose()?
             .unwrap_or(42);
-        return Ok(App::demo(domain, scale, seed));
+        return Ok(App::demo(domain, scale, seed, config));
     }
 
     // CSV mode. Positional arguments are whatever is neither a flag nor
@@ -106,7 +118,7 @@ fn build_app(args: &[String]) -> Result<App, String> {
             .map_err(|e| e.to_string())?
     };
 
-    let session = DebugSession::new(a, b, cands, SessionConfig::default());
+    let session = DebugSession::new(a, b, cands, config);
     Ok(App::new(session, Vec::new()))
 }
 

@@ -72,8 +72,15 @@ impl EvalContext {
 
     /// Interns a feature by attribute ids, preparing corpus statistics if
     /// the measure needs them.
-    pub fn feature_by_ids(&mut self, measure: Measure, attr_a: AttrId, attr_b: AttrId) -> FeatureId {
-        let id = self.registry.intern(FeatureDef::new(measure, attr_a, attr_b));
+    pub fn feature_by_ids(
+        &mut self,
+        measure: Measure,
+        attr_a: AttrId,
+        attr_b: AttrId,
+    ) -> FeatureId {
+        let id = self
+            .registry
+            .intern(FeatureDef::new(measure, attr_a, attr_b));
         if let Some(scheme) = measure.corpus_scheme() {
             self.ensure_corpus(scheme, attr_a, attr_b);
         }

@@ -210,17 +210,17 @@ mod tests {
     /// δ = 10.
     fn fixture() -> (MatchingFunction, FunctionStats) {
         let mut func = MatchingFunction::new();
-        func.add_rule(
-            Rule::new()
-                .pred(FeatureId(0), CmpOp::Ge, 0.5)
-                .pred(FeatureId(1), CmpOp::Ge, 0.5),
-        )
+        func.add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.5).pred(
+            FeatureId(1),
+            CmpOp::Ge,
+            0.5,
+        ))
         .unwrap();
-        func.add_rule(
-            Rule::new()
-                .pred(FeatureId(1), CmpOp::Ge, 0.5)
-                .pred(FeatureId(2), CmpOp::Ge, 0.5),
-        )
+        func.add_rule(Rule::new().pred(FeatureId(1), CmpOp::Ge, 0.5).pred(
+            FeatureId(2),
+            CmpOp::Ge,
+            0.5,
+        ))
         .unwrap();
         let stats = FunctionStats::synthetic(
             [
@@ -317,11 +317,11 @@ mod tests {
     fn repeated_feature_in_rule_costs_lookup() {
         // r: f0 ≥ .3 ∧ f0 ≤ .9 (same feature twice) — second is a lookup.
         let mut func = MatchingFunction::new();
-        func.add_rule(
-            Rule::new()
-                .pred(FeatureId(0), CmpOp::Ge, 0.3)
-                .pred(FeatureId(0), CmpOp::Le, 0.9),
-        )
+        func.add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.3).pred(
+            FeatureId(0),
+            CmpOp::Le,
+            0.9,
+        ))
         .unwrap();
         let stats = FunctionStats::synthetic(
             [(FeatureId(0), 100.0)],

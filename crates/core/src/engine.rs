@@ -5,16 +5,25 @@
 //! All engines produce identical verdicts — they differ only in how much
 //! feature computation they perform. The test-suite property "all engines
 //! agree" is the workspace's central correctness check.
+//!
+//! Every engine takes an [`Executor`] and partitions the candidate set into
+//! contiguous pair shards (candidate pairs are independent, so this is
+//! embarrassingly parallel). Serial execution is the one-shard special case
+//! of the same code path, which is what makes "parallel ≡ serial" hold by
+//! construction rather than by testing alone.
 
 use crate::context::EvalContext;
+use crate::executor::{partition, run_sharded, split_mut, Executor};
 use crate::feature::FeatureId;
 use crate::function::MatchingFunction;
-use crate::memo::{DenseMemo, Memo};
+use crate::memo::{DenseMemo, Memo, MemoShard};
 use em_types::CandidateSet;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Work counters for one matching run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvalStats {
     /// Similarity values computed from scratch.
     pub feature_computations: u64,
@@ -63,32 +72,48 @@ pub fn run_rudimentary(
     func: &MatchingFunction,
     ctx: &EvalContext,
     cands: &CandidateSet,
+    exec: &Executor,
 ) -> MatchOutcome {
     let start = Instant::now();
-    let mut stats = EvalStats::default();
     let mut verdicts = vec![false; cands.len()];
+    let ranges = partition(cands.len(), exec.n_workers());
+    let pairs = cands.as_slice();
 
-    for (i, pair) in cands.iter() {
-        let mut matched = false;
-        for rule in func.rules() {
-            stats.rule_evals += 1;
-            let mut rule_true = true;
-            for bp in &rule.preds {
-                let v = ctx.compute(bp.pred.feature, pair);
-                stats.feature_computations += 1;
-                stats.predicate_evals += 1;
-                if !bp.pred.eval(v) {
-                    rule_true = false;
-                    // NOTE: no break — Algorithm 1 evaluates every predicate.
+    let shards: Vec<(Range<usize>, &mut [bool], EvalStats)> = ranges
+        .iter()
+        .cloned()
+        .zip(split_mut(&mut verdicts, &ranges))
+        .map(|(range, verdicts)| (range, verdicts, EvalStats::default()))
+        .collect();
+    let shards = run_sharded(exec, shards, |_, (range, verdicts, stats)| {
+        for (k, &pair) in pairs[range.clone()].iter().enumerate() {
+            let mut matched = false;
+            for rule in func.rules() {
+                stats.rule_evals += 1;
+                let mut rule_true = true;
+                for bp in &rule.preds {
+                    let v = ctx.compute(bp.pred.feature, pair);
+                    stats.feature_computations += 1;
+                    stats.predicate_evals += 1;
+                    if !bp.pred.eval(v) {
+                        rule_true = false;
+                        // NOTE: no break — Algorithm 1 evaluates every predicate.
+                    }
+                }
+                if rule_true {
+                    matched = true;
+                    // NOTE: no break — Algorithm 1 evaluates every rule.
                 }
             }
-            if rule_true {
-                matched = true;
-                // NOTE: no break — Algorithm 1 evaluates every rule.
-            }
+            verdicts[k] = matched;
         }
-        verdicts[i] = matched;
+    });
+
+    let mut stats = EvalStats::default();
+    for (_, _, s) in &shards {
+        stats.absorb(s);
     }
+    drop(shards);
 
     MatchOutcome {
         verdicts,
@@ -110,61 +135,95 @@ pub fn run_precompute(
     cands: &CandidateSet,
     universe: &[FeatureId],
     early_exit: bool,
+    exec: &Executor,
 ) -> (MatchOutcome, DenseMemo) {
     let start = Instant::now();
-    let mut stats = EvalStats::default();
     let n_features = ctx.registry().len();
     let mut memo = DenseMemo::new(cands.len(), n_features);
-
-    // Phase 1: fill the memo for the whole universe.
-    for (i, pair) in cands.iter() {
-        for &f in universe {
-            let v = ctx.compute(f, pair);
-            stats.feature_computations += 1;
-            memo.put(i, f, v);
-        }
-    }
-
-    // Phase 2: match using lookups only.
     let mut verdicts = vec![false; cands.len()];
-    for (i, pair) in cands.iter() {
-        let mut matched = false;
-        for rule in func.rules() {
-            stats.rule_evals += 1;
-            let mut rule_true = true;
-            for bp in &rule.preds {
-                let v = match memo.get(i, bp.pred.feature) {
-                    Some(v) => {
-                        stats.memo_lookups += 1;
-                        v
+    let ranges = partition(cands.len(), exec.n_workers());
+    let pairs = cands.as_slice();
+
+    struct Shard<'a> {
+        range: Range<usize>,
+        memo: MemoShard<'a>,
+        verdicts: &'a mut [bool],
+        stats: EvalStats,
+    }
+    let shards: Vec<Shard<'_>> = ranges
+        .iter()
+        .cloned()
+        .zip(memo.shard_views(&ranges))
+        .zip(split_mut(&mut verdicts, &ranges))
+        .map(|((range, memo), verdicts)| Shard {
+            range,
+            memo,
+            verdicts,
+            stats: EvalStats::default(),
+        })
+        .collect();
+
+    let shards = run_sharded(exec, shards, |_, shard| {
+        // Phase 1: fill the memo for the whole universe.
+        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
+            let i = shard.range.start + k;
+            for &f in universe {
+                let v = ctx.compute(f, pair);
+                shard.stats.feature_computations += 1;
+                shard.memo.put(i, f, v);
+            }
+        }
+
+        // Phase 2: match using lookups only.
+        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
+            let i = shard.range.start + k;
+            let mut matched = false;
+            for rule in func.rules() {
+                shard.stats.rule_evals += 1;
+                let mut rule_true = true;
+                for bp in &rule.preds {
+                    let v = match shard.memo.get(i, bp.pred.feature) {
+                        Some(v) => {
+                            shard.stats.memo_lookups += 1;
+                            v
+                        }
+                        None => {
+                            // Feature missing from the universe (caller chose a
+                            // smaller universe than the function needs): compute
+                            // and memoize.
+                            let v = ctx.compute(bp.pred.feature, pair);
+                            shard.stats.feature_computations += 1;
+                            shard.memo.put(i, bp.pred.feature, v);
+                            v
+                        }
+                    };
+                    shard.stats.predicate_evals += 1;
+                    if !bp.pred.eval(v) {
+                        rule_true = false;
+                        if early_exit {
+                            break;
+                        }
                     }
-                    None => {
-                        // Feature missing from the universe (caller chose a
-                        // smaller universe than the function needs): compute
-                        // and memoize.
-                        let v = ctx.compute(bp.pred.feature, pair);
-                        stats.feature_computations += 1;
-                        memo.put(i, bp.pred.feature, v);
-                        v
-                    }
-                };
-                stats.predicate_evals += 1;
-                if !bp.pred.eval(v) {
-                    rule_true = false;
+                }
+                if rule_true {
+                    matched = true;
                     if early_exit {
                         break;
                     }
                 }
             }
-            if rule_true {
-                matched = true;
-                if early_exit {
-                    break;
-                }
-            }
+            shard.verdicts[k] = matched;
         }
-        verdicts[i] = matched;
+    });
+
+    let mut stats = EvalStats::default();
+    let mut new_stored = 0;
+    for shard in &shards {
+        stats.absorb(&shard.stats);
+        new_stored += shard.memo.new_stored();
     }
+    drop(shards);
+    memo.add_stored(new_stored);
 
     (
         MatchOutcome {
@@ -185,30 +244,46 @@ pub fn run_early_exit(
     func: &MatchingFunction,
     ctx: &EvalContext,
     cands: &CandidateSet,
+    exec: &Executor,
 ) -> MatchOutcome {
     let start = Instant::now();
-    let mut stats = EvalStats::default();
     let mut verdicts = vec![false; cands.len()];
+    let ranges = partition(cands.len(), exec.n_workers());
+    let pairs = cands.as_slice();
 
-    for (i, pair) in cands.iter() {
-        'rules: for rule in func.rules() {
-            stats.rule_evals += 1;
-            let mut rule_true = true;
-            for bp in &rule.preds {
-                let v = ctx.compute(bp.pred.feature, pair);
-                stats.feature_computations += 1;
-                stats.predicate_evals += 1;
-                if !bp.pred.eval(v) {
-                    rule_true = false;
-                    break;
+    let shards: Vec<(Range<usize>, &mut [bool], EvalStats)> = ranges
+        .iter()
+        .cloned()
+        .zip(split_mut(&mut verdicts, &ranges))
+        .map(|(range, verdicts)| (range, verdicts, EvalStats::default()))
+        .collect();
+    let shards = run_sharded(exec, shards, |_, (range, verdicts, stats)| {
+        for (k, &pair) in pairs[range.clone()].iter().enumerate() {
+            'rules: for rule in func.rules() {
+                stats.rule_evals += 1;
+                let mut rule_true = true;
+                for bp in &rule.preds {
+                    let v = ctx.compute(bp.pred.feature, pair);
+                    stats.feature_computations += 1;
+                    stats.predicate_evals += 1;
+                    if !bp.pred.eval(v) {
+                        rule_true = false;
+                        break;
+                    }
+                }
+                if rule_true {
+                    verdicts[k] = true;
+                    break 'rules;
                 }
             }
-            if rule_true {
-                verdicts[i] = true;
-                break 'rules;
-            }
         }
+    });
+
+    let mut stats = EvalStats::default();
+    for (_, _, s) in &shards {
+        stats.absorb(s);
     }
+    drop(shards);
 
     MatchOutcome {
         verdicts,
@@ -276,7 +351,9 @@ pub(crate) fn eval_rule_memoized<M: Memo>(
 }
 
 /// Algorithm 4 — early exit with dynamic memoing, writing into a
-/// caller-supplied memo (dense or sparse).
+/// caller-supplied memo (dense or sparse). Serial: this is the single-shard
+/// workhorse the parallel entry points fan out over (a generic [`Memo`]
+/// cannot be split into thread-disjoint views).
 pub fn run_memo_with<M: Memo>(
     func: &MatchingFunction,
     ctx: &EvalContext,
@@ -290,7 +367,16 @@ pub fn run_memo_with<M: Memo>(
 
     for (i, pair) in cands.iter() {
         for rule in func.rules() {
-            if eval_rule_memoized(rule, i, pair, ctx, memo, check_cache_first, &mut stats, |_| {}) {
+            if eval_rule_memoized(
+                rule,
+                i,
+                pair,
+                ctx,
+                memo,
+                check_cache_first,
+                &mut stats,
+                |_| {},
+            ) {
                 verdicts[i] = true;
                 break;
             }
@@ -304,16 +390,102 @@ pub fn run_memo_with<M: Memo>(
     }
 }
 
+/// Algorithm 4 writing into a caller-supplied [`DenseMemo`], pair-parallel
+/// under `exec`. Worker shards write **directly into `memo`** through
+/// disjoint views, so everything a parallel run computes is retained for
+/// later reuse (unlike the old chunk-local-copy scheme, which discarded
+/// worker memos).
+///
+/// # Panics
+///
+/// Panics when `memo` does not have exactly one pair slot per candidate.
+pub fn run_memo_into(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    memo: &mut DenseMemo,
+    check_cache_first: bool,
+    exec: &Executor,
+) -> MatchOutcome {
+    let start = Instant::now();
+    assert_eq!(
+        memo.n_pairs(),
+        cands.len(),
+        "memo and candidate set must cover the same pairs"
+    );
+    memo.ensure_features(ctx.registry().len());
+    let mut verdicts = vec![false; cands.len()];
+    let ranges = partition(cands.len(), exec.n_workers());
+    let pairs = cands.as_slice();
+
+    struct Shard<'a> {
+        range: Range<usize>,
+        memo: MemoShard<'a>,
+        verdicts: &'a mut [bool],
+        stats: EvalStats,
+    }
+    let shards: Vec<Shard<'_>> = ranges
+        .iter()
+        .cloned()
+        .zip(memo.shard_views(&ranges))
+        .zip(split_mut(&mut verdicts, &ranges))
+        .map(|((range, memo), verdicts)| Shard {
+            range,
+            memo,
+            verdicts,
+            stats: EvalStats::default(),
+        })
+        .collect();
+
+    let shards = run_sharded(exec, shards, |_, shard| {
+        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
+            let i = shard.range.start + k;
+            for rule in func.rules() {
+                if eval_rule_memoized(
+                    rule,
+                    i,
+                    pair,
+                    ctx,
+                    &mut shard.memo,
+                    check_cache_first,
+                    &mut shard.stats,
+                    |_| {},
+                ) {
+                    shard.verdicts[k] = true;
+                    break;
+                }
+            }
+        }
+    });
+
+    let mut stats = EvalStats::default();
+    let mut new_stored = 0;
+    for shard in &shards {
+        stats.absorb(&shard.stats);
+        new_stored += shard.memo.new_stored();
+    }
+    drop(shards);
+    memo.add_stored(new_stored);
+
+    MatchOutcome {
+        verdicts,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
 /// Algorithm 4 with a fresh [`DenseMemo`], returning it alongside the
-/// outcome.
+/// outcome. Pair-parallel under `exec`; the returned memo holds everything
+/// any worker computed.
 pub fn run_memo(
     func: &MatchingFunction,
     ctx: &EvalContext,
     cands: &CandidateSet,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> (MatchOutcome, DenseMemo) {
     let mut memo = DenseMemo::new(cands.len(), ctx.registry().len());
-    let outcome = run_memo_with(func, ctx, cands, &mut memo, check_cache_first);
+    let outcome = run_memo_into(func, ctx, cands, &mut memo, check_cache_first, exec);
     (outcome, memo)
 }
 
@@ -350,24 +522,25 @@ impl Strategy {
         }
     }
 
-    /// Runs the strategy.
+    /// Runs the strategy under the given executor.
     pub fn run(
         &self,
         func: &MatchingFunction,
         ctx: &EvalContext,
         cands: &CandidateSet,
+        exec: &Executor,
     ) -> MatchOutcome {
         match self {
-            Strategy::Rudimentary => run_rudimentary(func, ctx, cands),
-            Strategy::EarlyExit => run_early_exit(func, ctx, cands),
+            Strategy::Rudimentary => run_rudimentary(func, ctx, cands, exec),
+            Strategy::EarlyExit => run_early_exit(func, ctx, cands, exec),
             Strategy::PrecomputeProduction => {
-                run_precompute(func, ctx, cands, &func.features(), true).0
+                run_precompute(func, ctx, cands, &func.features(), true, exec).0
             }
             Strategy::PrecomputeFull(universe) => {
-                run_precompute(func, ctx, cands, universe, true).0
+                run_precompute(func, ctx, cands, universe, true, exec).0
             }
             Strategy::MemoEarlyExit { check_cache_first } => {
-                run_memo(func, ctx, cands, *check_cache_first).0
+                run_memo(func, ctx, cands, *check_cache_first, exec).0
             }
         }
     }
@@ -390,13 +563,20 @@ mod tests {
         a.push(Record::new("a3", ["bose quietcomfort 35", "QC35"]));
         let mut b = Table::new("B", schema);
         b.push(Record::new("b1", ["apple ipod nano 16 gb silver", "MC037"]));
-        b.push(Record::new("b2", ["sony walkman nwz mp3 player", "NWZ-E384"]));
+        b.push(Record::new(
+            "b2",
+            ["sony walkman nwz mp3 player", "NWZ-E384"],
+        ));
         b.push(Record::new("b3", ["jbl flip 5 speaker", "FLIP5"]));
 
         let mut ctx = EvalContext::from_tables(a, b);
         let f_model = ctx.feature(Measure::Exact, "modelno", "modelno").unwrap();
         let f_title = ctx
-            .feature(Measure::Jaccard(em_similarity::TokenScheme::Whitespace), "title", "title")
+            .feature(
+                Measure::Jaccard(em_similarity::TokenScheme::Whitespace),
+                "title",
+                "title",
+            )
             .unwrap();
 
         let mut func = MatchingFunction::new();
@@ -406,7 +586,8 @@ mod tests {
                 .pred(f_title, CmpOp::Ge, 0.2),
         )
         .unwrap();
-        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.5)).unwrap();
+        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.5))
+            .unwrap();
 
         let cands = CandidateSet::cartesian(ctx.table_a(), ctx.table_b());
         (ctx, cands, func)
@@ -415,7 +596,7 @@ mod tests {
     #[test]
     fn rudimentary_matches_expected_pairs() {
         let (ctx, cands, func) = fixture();
-        let out = run_rudimentary(&func, &ctx, &cands);
+        let out = run_rudimentary(&func, &ctx, &cands, &Executor::serial());
         // a1-b1 and a2-b2 should match (same modelno + overlapping titles).
         assert!(out.verdicts[0], "a1b1 should match");
         assert!(out.verdicts[4], "a2b2 should match");
@@ -425,9 +606,8 @@ mod tests {
     #[test]
     fn all_engines_agree_on_fixture() {
         let (ctx, cands, func) = fixture();
-        let reference = run_rudimentary(&func, &ctx, &cands);
-        let all_features: Vec<FeatureId> =
-            ctx.registry().iter().map(|(id, _)| id).collect();
+        let reference = run_rudimentary(&func, &ctx, &cands, &Executor::serial());
+        let all_features: Vec<FeatureId> = ctx.registry().iter().map(|(id, _)| id).collect();
         let strategies = [
             Strategy::EarlyExit,
             Strategy::PrecomputeProduction,
@@ -440,9 +620,10 @@ mod tests {
             },
         ];
         for s in strategies {
-            let out = s.run(&func, &ctx, &cands);
+            let out = s.run(&func, &ctx, &cands, &Executor::serial());
             assert_eq!(
-                out.verdicts, reference.verdicts,
+                out.verdicts,
+                reference.verdicts,
                 "strategy {} disagrees with Algorithm 1",
                 s.label()
             );
@@ -452,8 +633,8 @@ mod tests {
     #[test]
     fn early_exit_does_less_work() {
         let (ctx, cands, func) = fixture();
-        let rud = run_rudimentary(&func, &ctx, &cands);
-        let ee = run_early_exit(&func, &ctx, &cands);
+        let rud = run_rudimentary(&func, &ctx, &cands, &Executor::serial());
+        let ee = run_early_exit(&func, &ctx, &cands, &Executor::serial());
         assert!(
             ee.stats.feature_computations < rud.stats.feature_computations,
             "EE {} vs R {}",
@@ -465,7 +646,7 @@ mod tests {
     #[test]
     fn memo_computes_each_feature_at_most_once_per_pair() {
         let (ctx, cands, func) = fixture();
-        let (out, memo) = run_memo(&func, &ctx, &cands, false);
+        let (out, memo) = run_memo(&func, &ctx, &cands, false, &Executor::serial());
         // Computations can never exceed |pairs| × |distinct features|.
         let bound = (cands.len() * func.features().len()) as u64;
         assert!(out.stats.feature_computations <= bound);
@@ -479,7 +660,11 @@ mod tests {
         // rule 1 must hit the memo in rule 2.
         let (mut ctx, cands, _) = fixture();
         let f_title = ctx
-            .feature(Measure::Jaccard(em_similarity::TokenScheme::Whitespace), "title", "title")
+            .feature(
+                Measure::Jaccard(em_similarity::TokenScheme::Whitespace),
+                "title",
+                "title",
+            )
             .unwrap();
         let f_model = ctx.feature(Measure::Exact, "modelno", "modelno").unwrap();
         let mut func = MatchingFunction::new();
@@ -489,10 +674,11 @@ mod tests {
                 .pred(f_model, CmpOp::Ge, 1.0),
         )
         .unwrap();
-        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.2)).unwrap();
+        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.2))
+            .unwrap();
 
-        let ee = run_early_exit(&func, &ctx, &cands);
-        let (dm, _) = run_memo(&func, &ctx, &cands, false);
+        let ee = run_early_exit(&func, &ctx, &cands, &Executor::serial());
+        let (dm, _) = run_memo(&func, &ctx, &cands, false, &Executor::serial());
         assert_eq!(dm.verdicts, ee.verdicts);
         assert!(dm.stats.feature_computations < ee.stats.feature_computations);
         assert!(dm.stats.memo_lookups > 0);
@@ -502,7 +688,7 @@ mod tests {
     fn precompute_full_computes_whole_universe() {
         let (ctx, cands, func) = fixture();
         let universe: Vec<FeatureId> = ctx.registry().iter().map(|(id, _)| id).collect();
-        let (out, memo) = run_precompute(&func, &ctx, &cands, &universe, true);
+        let (out, memo) = run_precompute(&func, &ctx, &cands, &universe, true, &Executor::serial());
         assert_eq!(memo.stored(), cands.len() * universe.len());
         assert_eq!(
             out.stats.feature_computations,
@@ -514,20 +700,20 @@ mod tests {
     fn empty_function_and_empty_candidates() {
         let (ctx, cands, _) = fixture();
         let empty_f = MatchingFunction::new();
-        let out = run_rudimentary(&empty_f, &ctx, &cands);
+        let out = run_rudimentary(&empty_f, &ctx, &cands, &Executor::serial());
         assert_eq!(out.n_matches(), 0);
 
         let (_, _, func) = fixture();
         let empty_c = CandidateSet::new();
-        let out = run_memo(&func, &ctx, &empty_c, false).0;
+        let out = run_memo(&func, &ctx, &empty_c, false, &Executor::serial()).0;
         assert!(out.verdicts.is_empty());
     }
 
     #[test]
     fn check_cache_first_preserves_verdicts() {
         let (ctx, cands, func) = fixture();
-        let (plain, _) = run_memo(&func, &ctx, &cands, false);
-        let (ccf, _) = run_memo(&func, &ctx, &cands, true);
+        let (plain, _) = run_memo(&func, &ctx, &cands, false, &Executor::serial());
+        let (ccf, _) = run_memo(&func, &ctx, &cands, true, &Executor::serial());
         assert_eq!(plain.verdicts, ccf.verdicts);
     }
 }

@@ -119,7 +119,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_instance(seed: u64, n_rules: usize, n_features: u32) -> (MatchingFunction, FunctionStats) {
+    fn random_instance(
+        seed: u64,
+        n_rules: usize,
+        n_features: u32,
+    ) -> (MatchingFunction, FunctionStats) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut func = MatchingFunction::new();
         for _ in 0..n_rules {
@@ -249,11 +253,7 @@ mod tests {
         let rid = func
             .add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.5))
             .unwrap();
-        let stats = FunctionStats::synthetic(
-            [(FeatureId(0), 100.0)],
-            [(PredId(0), 0.5)],
-            5.0,
-        );
+        let stats = FunctionStats::synthetic([(FeatureId(0), 100.0)], [(PredId(0), 0.5)], 5.0);
         let e = optimal_rule_order(&func, &stats).unwrap();
         assert_eq!(e.order, vec![rid]);
         assert!((e.cost - 100.0).abs() < 1e-9);

@@ -78,9 +78,7 @@ impl MatchingFunction {
 
     /// Removes a rule, returning it.
     pub fn remove_rule(&mut self, id: RuleId) -> Result<BoundRule, EditError> {
-        let pos = self
-            .rule_position(id)
-            .ok_or(EditError::UnknownRule(id))?;
+        let pos = self.rule_position(id).ok_or(EditError::UnknownRule(id))?;
         Ok(self.rules.remove(pos))
     }
 
@@ -215,7 +213,11 @@ impl MatchingFunction {
 
     /// Reorders the predicates of one rule. `order` must be a permutation
     /// of that rule's predicate ids.
-    pub fn set_predicate_order(&mut self, rule_id: RuleId, order: &[PredId]) -> Result<(), EditError> {
+    pub fn set_predicate_order(
+        &mut self,
+        rule_id: RuleId,
+        order: &[PredId],
+    ) -> Result<(), EditError> {
         let rule = self
             .rules
             .iter_mut()
@@ -256,18 +258,18 @@ mod tests {
     fn two_rule_function() -> (MatchingFunction, RuleId, RuleId) {
         let mut f = MatchingFunction::new();
         let r1 = f
-            .add_rule(
-                Rule::new()
-                    .pred(FeatureId(0), CmpOp::Ge, 0.9)
-                    .pred(FeatureId(1), CmpOp::Ge, 0.7),
-            )
+            .add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.9).pred(
+                FeatureId(1),
+                CmpOp::Ge,
+                0.7,
+            ))
             .unwrap();
         let r2 = f
-            .add_rule(
-                Rule::new()
-                    .pred(FeatureId(2), CmpOp::Ge, 0.95)
-                    .pred(FeatureId(1), CmpOp::Ge, 0.7),
-            )
+            .add_rule(Rule::new().pred(FeatureId(2), CmpOp::Ge, 0.95).pred(
+                FeatureId(1),
+                CmpOp::Ge,
+                0.7,
+            ))
             .unwrap();
         (f, r1, r2)
     }
@@ -295,14 +297,18 @@ mod tests {
         assert!(f.rule(r2).is_some());
         assert_eq!(f.n_rules(), 1);
         // A new rule never reuses the removed id.
-        let r3 = f.add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.1)).unwrap();
+        let r3 = f
+            .add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.1))
+            .unwrap();
         assert_ne!(r3, r1);
     }
 
     #[test]
     fn last_predicate_cannot_be_removed() {
         let mut f = MatchingFunction::new();
-        let r = f.add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.5)).unwrap();
+        let r = f
+            .add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, 0.5))
+            .unwrap();
         let pid = f.rule(r).unwrap().preds[0].id;
         assert_eq!(f.remove_predicate(pid), Err(EditError::EmptyRule));
     }
@@ -319,10 +325,7 @@ mod tests {
     #[test]
     fn features_dedup_across_rules() {
         let (f, _, _) = two_rule_function();
-        assert_eq!(
-            f.features(),
-            vec![FeatureId(0), FeatureId(1), FeatureId(2)]
-        );
+        assert_eq!(f.features(), vec![FeatureId(0), FeatureId(1), FeatureId(2)]);
     }
 
     #[test]

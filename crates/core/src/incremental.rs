@@ -21,14 +21,39 @@
 //! and the affected pair sets are small. Algorithms 8 and 10 keep their
 //! minimal form, which is airtight (see the per-function comments).
 
+//!
+//! **Parallel deltas:** every algorithm's affected-pair loop touches only
+//! that pair's memo row, verdict, and bitmap bits, so given the *pre-edit*
+//! state the pairs are independent. The loops below therefore run under an
+//! [`Executor`]: workers evaluate disjoint slices of the affected list
+//! against copy-on-write memo overlays and emit event logs, which are
+//! folded into the [`MatchState`] serially in ascending pair order. Serial
+//! execution is the one-shard case of the same path, so reports and state
+//! are identical for every thread count.
+
 use crate::context::EvalContext;
-use crate::engine::EvalStats;
+use crate::engine::{eval_rule_memoized, EvalStats};
+use crate::executor::{partition, run_sharded, Executor};
+use crate::feature::FeatureId;
 use crate::function::{EditError, MatchingFunction};
+use crate::memo::{Memo, OverlayMemo};
 use crate::predicate::{PredId, Predicate};
 use crate::rule::{Rule, RuleId};
 use crate::state::MatchState;
-use em_types::CandidateSet;
+use em_types::{CandidateSet, PairIdx};
+use std::ops::Range;
 use std::time::{Duration, Instant};
+
+/// Work done by one worker during a parallel (or serial) delta evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerStats {
+    /// Shard index (0 for serial execution).
+    pub worker: usize,
+    /// Affected pairs this worker re-examined.
+    pub pairs_examined: usize,
+    /// This worker's share of the evaluation counters.
+    pub stats: EvalStats,
+}
 
 /// What one incremental edit changed.
 #[derive(Debug, Clone, Default)]
@@ -39,8 +64,10 @@ pub struct ChangeReport {
     pub newly_unmatched: Vec<usize>,
     /// Pairs the edit had to re-examine.
     pub pairs_examined: usize,
-    /// Work counters for the delta evaluation.
+    /// Work counters for the delta evaluation (sum over workers).
     pub stats: EvalStats,
+    /// Per-worker breakdown of the delta evaluation.
+    pub worker_stats: Vec<WorkerStats>,
     /// Wall-clock time of the incremental update.
     pub elapsed: Duration,
 }
@@ -52,22 +79,165 @@ impl ChangeReport {
     }
 }
 
-/// Re-evaluates all rules for a pair that lost its fired rule, firing the
-/// first true one (the robust cascade described in the module docs).
-fn cascade(
+/// One state mutation observed while evaluating a delta against the
+/// pre-edit snapshot; replayed onto the [`MatchState`] after all workers
+/// finish.
+#[derive(Debug, Clone, Copy)]
+enum DeltaEvent {
+    /// Pair `i` now matches via rule `r`.
+    Fire { i: usize, r: RuleId },
+    /// Pair `i` lost its fired rule.
+    Unfire { i: usize },
+    /// Predicate `p` evaluated false for pair `i` (joins `U(p)`).
+    PredFalse { p: PredId, i: usize },
+    /// Predicate `p` no longer fails pair `i` (leaves `U(p)`).
+    PredClear { p: PredId, i: usize },
+    /// Report pair `i` as newly matched.
+    Matched { i: usize },
+    /// Report pair `i` as newly unmatched.
+    Unmatched { i: usize },
+}
+
+/// One worker's scratch space for a delta evaluation.
+struct DeltaShard<'a> {
+    memo: OverlayMemo<'a>,
+    stats: EvalStats,
+    pairs_examined: usize,
+    events: Vec<DeltaEvent>,
+}
+
+/// Everything the workers produced, ready to replay onto the state.
+#[derive(Default)]
+struct DeltaParts {
+    memo_entries: Vec<(usize, FeatureId, f64)>,
+    events: Vec<DeltaEvent>,
+    worker_stats: Vec<WorkerStats>,
+    stats: EvalStats,
+    pairs_examined: usize,
+}
+
+/// Runs `process` over every affected pair, partitioned across the
+/// executor's workers. Each worker sees the pre-edit `state` read-only plus
+/// its own memo overlay; the shards' event logs come back concatenated in
+/// ascending pair order (the affected list is ascending and shards are
+/// contiguous slices of it), so replaying them reproduces the serial
+/// execution exactly.
+fn eval_delta(
+    state: &MatchState,
+    exec: &Executor,
+    affected: &[usize],
+    process: impl Fn(&mut DeltaShard<'_>, usize) + Sync,
+) -> DeltaParts {
+    let ranges = partition(affected.len(), exec.n_workers());
+    let shards: Vec<(Range<usize>, DeltaShard<'_>)> = ranges
+        .into_iter()
+        .map(|range| {
+            (
+                range,
+                DeltaShard {
+                    memo: OverlayMemo::new(&state.memo),
+                    stats: EvalStats::default(),
+                    pairs_examined: 0,
+                    events: Vec::new(),
+                },
+            )
+        })
+        .collect();
+
+    let shards = run_sharded(exec, shards, |_, (range, shard)| {
+        for &i in &affected[range.clone()] {
+            process(shard, i);
+        }
+    });
+
+    let mut parts = DeltaParts::default();
+    for (worker, (_, shard)) in shards.into_iter().enumerate() {
+        parts.stats.absorb(&shard.stats);
+        parts.pairs_examined += shard.pairs_examined;
+        parts.worker_stats.push(WorkerStats {
+            worker,
+            pairs_examined: shard.pairs_examined,
+            stats: shard.stats,
+        });
+        parts.memo_entries.extend(shard.memo.into_local());
+        parts.events.extend(shard.events);
+    }
+    parts
+}
+
+/// Replays the workers' output onto the state and fills the report.
+fn apply_delta(state: &mut MatchState, parts: DeltaParts, report: &mut ChangeReport) {
+    for (i, f, v) in parts.memo_entries {
+        state.memo.put(i, f, v);
+    }
+    for event in parts.events {
+        match event {
+            DeltaEvent::Fire { i, r } => state.fire(i, r),
+            DeltaEvent::Unfire { i } => {
+                state.unfire(i);
+            }
+            DeltaEvent::PredFalse { p, i } => state.record_pred_false(p, i),
+            DeltaEvent::PredClear { p, i } => state.clear_pred_false(p, i),
+            DeltaEvent::Matched { i } => report.newly_matched.push(i),
+            DeltaEvent::Unmatched { i } => report.newly_unmatched.push(i),
+        }
+    }
+    report.pairs_examined = parts.pairs_examined;
+    report.stats = parts.stats;
+    report.worker_stats = parts.worker_stats;
+}
+
+/// Re-evaluates all rules for a pair that lost its fired rule, recording
+/// the first true one (the robust cascade described in the module docs) —
+/// the overlay/event flavour used inside delta workers.
+fn cascade_delta(
     func: &MatchingFunction,
     ctx: &EvalContext,
     cands: &CandidateSet,
-    state: &mut MatchState,
+    shard: &mut DeltaShard<'_>,
     i: usize,
     check_cache_first: bool,
-    stats: &mut EvalStats,
-) {
+) -> Option<RuleId> {
     let pair = cands.pair(i);
     for rule in func.rules() {
-        if state.eval_rule_recording(rule, i, pair, ctx, check_cache_first, stats) {
-            state.fire(i, rule.id);
-            return;
+        let events = &mut shard.events;
+        if eval_rule_memoized(
+            rule,
+            i,
+            pair,
+            ctx,
+            &mut shard.memo,
+            check_cache_first,
+            &mut shard.stats,
+            |p| events.push(DeltaEvent::PredFalse { p, i }),
+        ) {
+            return Some(rule.id);
+        }
+    }
+    None
+}
+
+/// The value of feature `f` for pair `i` against a worker's overlay: a
+/// lookup when memoized (base or overlay), otherwise computed and written
+/// to the overlay.
+fn resolve_overlay(
+    f: FeatureId,
+    i: usize,
+    pair: PairIdx,
+    ctx: &EvalContext,
+    memo: &mut OverlayMemo<'_>,
+    stats: &mut EvalStats,
+) -> f64 {
+    match memo.get(i, f) {
+        Some(v) => {
+            stats.memo_lookups += 1;
+            v
+        }
+        None => {
+            let v = ctx.compute(f, pair);
+            stats.feature_computations += 1;
+            memo.put(i, f, v);
+            v
         }
     }
 }
@@ -85,24 +255,33 @@ pub fn add_rule(
     cands: &CandidateSet,
     rule: Rule,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> Result<(RuleId, ChangeReport), EditError> {
     let start = Instant::now();
     let rid = func.add_rule(rule)?;
-    let bound = func
-        .rule(rid)
-        .expect("rule was just inserted")
-        .clone();
+    let bound = func.rule(rid).expect("rule was just inserted").clone();
 
     let mut report = ChangeReport::default();
     let unmatched: Vec<usize> = (0..cands.len()).filter(|&i| !state.verdict(i)).collect();
-    for i in unmatched {
-        report.pairs_examined += 1;
+    let parts = eval_delta(state, exec, &unmatched, |shard, i| {
+        shard.pairs_examined += 1;
         let pair = cands.pair(i);
-        if state.eval_rule_recording(&bound, i, pair, ctx, check_cache_first, &mut report.stats) {
-            state.fire(i, rid);
-            report.newly_matched.push(i);
+        let events = &mut shard.events;
+        if eval_rule_memoized(
+            &bound,
+            i,
+            pair,
+            ctx,
+            &mut shard.memo,
+            check_cache_first,
+            &mut shard.stats,
+            |p| events.push(DeltaEvent::PredFalse { p, i }),
+        ) {
+            shard.events.push(DeltaEvent::Fire { i, r: rid });
+            shard.events.push(DeltaEvent::Matched { i });
         }
-    }
+    });
+    apply_delta(state, parts, &mut report);
     report.elapsed = start.elapsed();
     Ok((rid, report))
 }
@@ -118,6 +297,7 @@ pub fn remove_rule(
     cands: &CandidateSet,
     rid: RuleId,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> Result<ChangeReport, EditError> {
     let start = Instant::now();
     let removed = func.remove_rule(rid)?;
@@ -129,15 +309,16 @@ pub fn remove_rule(
     state.drop_rule_state(rid, &pred_ids);
 
     let mut report = ChangeReport::default();
-    for i in affected {
-        report.pairs_examined += 1;
+    let parts = eval_delta(state, exec, &affected, |shard, i| {
+        shard.pairs_examined += 1;
         // The pair still carries the stale fired pointer; clear it first.
-        state.unfire(i);
-        cascade(func, ctx, cands, state, i, check_cache_first, &mut report.stats);
-        if !state.verdict(i) {
-            report.newly_unmatched.push(i);
+        shard.events.push(DeltaEvent::Unfire { i });
+        match cascade_delta(func, ctx, cands, shard, i, check_cache_first) {
+            Some(r) => shard.events.push(DeltaEvent::Fire { i, r }),
+            None => shard.events.push(DeltaEvent::Unmatched { i }),
         }
-    }
+    });
+    apply_delta(state, parts, &mut report);
     report.elapsed = start.elapsed();
     Ok(report)
 }
@@ -145,6 +326,7 @@ pub fn remove_rule(
 /// Shared core of "add a predicate" and "tighten a threshold" (Algorithm 7):
 /// re-evaluate the changed predicate for the pairs its rule fired for;
 /// pairs that now fail fall back to the cascade.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
 fn restrict_rule(
     func: &MatchingFunction,
     state: &mut MatchState,
@@ -153,6 +335,7 @@ fn restrict_rule(
     rid: RuleId,
     pid: PredId,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> ChangeReport {
     let start = Instant::now();
     let mut report = ChangeReport::default();
@@ -166,26 +349,35 @@ fn restrict_rule(
         .map(|bm| bm.iter_ones().collect())
         .unwrap_or_default();
 
-    for i in affected {
-        report.pairs_examined += 1;
+    let parts = eval_delta(state, exec, &affected, |shard, i| {
+        shard.pairs_examined += 1;
         let pair = cands.pair(i);
-        let v = state.resolve_value(pred.feature, i, pair, ctx, &mut report.stats);
-        report.stats.predicate_evals += 1;
+        let v = resolve_overlay(
+            pred.feature,
+            i,
+            pair,
+            ctx,
+            &mut shard.memo,
+            &mut shard.stats,
+        );
+        shard.stats.predicate_evals += 1;
         if pred.eval(v) {
-            continue; // still matched by this rule
+            return; // still matched by this rule
         }
-        state.record_pred_false(pid, i);
-        state.unfire(i);
-        cascade(func, ctx, cands, state, i, check_cache_first, &mut report.stats);
-        if !state.verdict(i) {
-            report.newly_unmatched.push(i);
+        shard.events.push(DeltaEvent::PredFalse { p: pid, i });
+        shard.events.push(DeltaEvent::Unfire { i });
+        match cascade_delta(func, ctx, cands, shard, i, check_cache_first) {
+            Some(r) => shard.events.push(DeltaEvent::Fire { i, r }),
+            None => shard.events.push(DeltaEvent::Unmatched { i }),
         }
-    }
+    });
+    apply_delta(state, parts, &mut report);
     report.elapsed = start.elapsed();
     report
 }
 
 /// Algorithm 7 — add a predicate to a rule.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
 pub fn add_predicate(
     func: &mut MatchingFunction,
     state: &mut MatchState,
@@ -194,9 +386,10 @@ pub fn add_predicate(
     rid: RuleId,
     pred: Predicate,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> Result<(PredId, ChangeReport), EditError> {
     let pid = func.add_predicate(rid, pred)?;
-    let report = restrict_rule(func, state, ctx, cands, rid, pid, check_cache_first);
+    let report = restrict_rule(func, state, ctx, cands, rid, pid, check_cache_first, exec);
     Ok((pid, report))
 }
 
@@ -219,6 +412,7 @@ fn loosen_rule(
     pid: PredId,
     re_eval_pred: Option<Predicate>,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> ChangeReport {
     let start = Instant::now();
     let mut report = ChangeReport::default();
@@ -229,28 +423,46 @@ fn loosen_rule(
         .map(|bm| bm.iter_ones().collect())
         .unwrap_or_default();
 
-    for i in affected {
+    let parts = eval_delta(state, exec, &affected, |shard, i| {
         if state.verdict(i) {
-            continue; // already matched elsewhere; loosening cannot unmatch
+            return; // already matched elsewhere; loosening cannot unmatch
         }
-        report.pairs_examined += 1;
+        shard.pairs_examined += 1;
         let pair = cands.pair(i);
 
         if let Some(pred) = re_eval_pred {
-            let v = state.resolve_value(pred.feature, i, pair, ctx, &mut report.stats);
-            report.stats.predicate_evals += 1;
+            let v = resolve_overlay(
+                pred.feature,
+                i,
+                pair,
+                ctx,
+                &mut shard.memo,
+                &mut shard.stats,
+            );
+            shard.stats.predicate_evals += 1;
             if !pred.eval(v) {
-                continue; // still false under the relaxed threshold
+                return; // still false under the relaxed threshold
             }
-            state.clear_pred_false(pid, i);
+            shard.events.push(DeltaEvent::PredClear { p: pid, i });
         }
 
         // The changed predicate passes (or is gone); test the whole rule.
-        if state.eval_rule_recording(&rule, i, pair, ctx, check_cache_first, &mut report.stats) {
-            state.fire(i, rid);
-            report.newly_matched.push(i);
+        let events = &mut shard.events;
+        if eval_rule_memoized(
+            &rule,
+            i,
+            pair,
+            ctx,
+            &mut shard.memo,
+            check_cache_first,
+            &mut shard.stats,
+            |p| events.push(DeltaEvent::PredFalse { p, i }),
+        ) {
+            shard.events.push(DeltaEvent::Fire { i, r: rid });
+            shard.events.push(DeltaEvent::Matched { i });
         }
-    }
+    });
+    apply_delta(state, parts, &mut report);
     report.elapsed = start.elapsed();
     report
 }
@@ -263,19 +475,31 @@ pub fn remove_predicate(
     cands: &CandidateSet,
     pid: PredId,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> Result<ChangeReport, EditError> {
     let (rid, _) = func
         .find_predicate(pid)
         .map(|(r, bp)| (r, bp.pred))
         .ok_or(EditError::UnknownPredicate(pid))?;
     func.remove_predicate(pid)?;
-    let report = loosen_rule(func, state, ctx, cands, rid, pid, None, check_cache_first);
+    let report = loosen_rule(
+        func,
+        state,
+        ctx,
+        cands,
+        rid,
+        pid,
+        None,
+        check_cache_first,
+        exec,
+    );
     state.drop_pred_state(pid);
     Ok(report)
 }
 
 /// Tighten or relax a predicate's threshold; dispatches to Algorithm 7 or 8
 /// by the direction of the change. A no-op change returns an empty report.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
 pub fn set_threshold(
     func: &mut MatchingFunction,
     state: &mut MatchState,
@@ -284,6 +508,7 @@ pub fn set_threshold(
     pid: PredId,
     new_threshold: f64,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> Result<ChangeReport, EditError> {
     let (rid, bp) = func
         .find_predicate(pid)
@@ -301,6 +526,7 @@ pub fn set_threshold(
             rid,
             pid,
             check_cache_first,
+            exec,
         )),
         Some(false) => {
             let pred = func
@@ -317,6 +543,7 @@ pub fn set_threshold(
                 pid,
                 Some(pred),
                 check_cache_first,
+                exec,
             ))
         }
     }
@@ -360,11 +587,12 @@ mod tests {
         let f_model = ctx.feature(Measure::Exact, "modelno", "modelno").unwrap();
 
         let mut func = MatchingFunction::new();
-        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.99)).unwrap();
+        func.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.99))
+            .unwrap();
 
         let cands = CandidateSet::cartesian(ctx.table_a(), ctx.table_b());
         let mut state = MatchState::new(cands.len(), ctx.registry().len());
-        run_full(&func, &ctx, &cands, &mut state, false);
+        run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
 
         Fix {
             ctx,
@@ -379,7 +607,14 @@ mod tests {
     /// Verifies incremental state agrees with a from-scratch run.
     fn assert_consistent(fix: &Fix) {
         let mut fresh = MatchState::new(fix.cands.len(), fix.ctx.registry().len());
-        run_full(&fix.func, &fix.ctx, &fix.cands, &mut fresh, false);
+        run_full(
+            &fix.func,
+            &fix.ctx,
+            &fix.cands,
+            &mut fresh,
+            false,
+            &Executor::serial(),
+        );
         assert_eq!(
             fix.state.verdicts(),
             fresh.verdicts(),
@@ -407,6 +642,7 @@ mod tests {
             &fix.cands,
             rule,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         // a1b1 already matched via title; a3b3 (BS1 = BS1) is new.
@@ -424,7 +660,16 @@ mod tests {
         // Add the model rule, then remove the title rule: a1b1 must be
         // rescued by the model rule; a2b2 (NWZ vs NWZ9) must unmatch.
         let rule = Rule::new().pred(fix.f_model, CmpOp::Ge, 1.0);
-        add_rule(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, rule, false).unwrap();
+        add_rule(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            rule,
+            false,
+            &Executor::serial(),
+        )
+        .unwrap();
         let title_rule = fix.func.rules()[0].id;
         let report = remove_rule(
             &mut fix.func,
@@ -433,6 +678,7 @@ mod tests {
             &fix.cands,
             title_rule,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(report.pairs_examined, 2, "only M(r) re-examined");
@@ -455,6 +701,7 @@ mod tests {
             rid,
             Predicate::at_least(fix.f_model, 1.0),
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(report.pairs_examined, 2, "only M(r) re-examined");
@@ -478,6 +725,7 @@ mod tests {
             pid,
             1.01,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(report.newly_unmatched.len(), 2);
@@ -493,6 +741,7 @@ mod tests {
             pid,
             0.99,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(report.newly_matched.len(), 2);
@@ -508,6 +757,7 @@ mod tests {
             pid,
             0.2,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert!(!report.newly_matched.is_empty());
@@ -526,6 +776,7 @@ mod tests {
             pid,
             0.99,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(report.pairs_examined, 0);
@@ -546,6 +797,7 @@ mod tests {
             rid,
             Predicate::at_least(fix.f_model, 1.0),
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(fix.state.n_matches(), 1);
@@ -556,6 +808,7 @@ mod tests {
             &fix.cands,
             pid,
             false,
+            &Executor::serial(),
         )
         .unwrap();
         assert_eq!(report.newly_matched, vec![5]);
@@ -571,18 +824,54 @@ mod tests {
         // Rule 2: title >= 0.5 (fires for nothing new beyond rule 1 at .99
         // except overlap pairs) — add and settle.
         let rule = Rule::new().pred(fix.f_title, CmpOp::Ge, 0.5);
-        add_rule(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, rule, false).unwrap();
+        add_rule(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            rule,
+            false,
+            &Executor::serial(),
+        )
+        .unwrap();
         // Tighten rule 1 to impossible, relax it back, then remove rule 2;
         // after each step incremental state must match a scratch run.
         let pid = fix.func.rules()[0].preds[0].id;
-        set_threshold(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, pid, 1.01, false)
-            .unwrap();
+        set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            1.01,
+            false,
+            &Executor::serial(),
+        )
+        .unwrap();
         assert_consistent(&fix);
-        set_threshold(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, pid, 0.9, false)
-            .unwrap();
+        set_threshold(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            0.9,
+            false,
+            &Executor::serial(),
+        )
+        .unwrap();
         assert_consistent(&fix);
         let r2 = fix.func.rules()[1].id;
-        remove_rule(&mut fix.func, &mut fix.state, &fix.ctx, &fix.cands, r2, false).unwrap();
+        remove_rule(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            r2,
+            false,
+            &Executor::serial(),
+        )
+        .unwrap();
         assert_consistent(&fix);
     }
 
@@ -595,7 +884,8 @@ mod tests {
             &fix.ctx,
             &fix.cands,
             RuleId(999),
-            false
+            false,
+            &Executor::serial()
         )
         .is_err());
         assert!(set_threshold(
@@ -605,7 +895,8 @@ mod tests {
             &fix.cands,
             PredId(999),
             0.5,
-            false
+            false,
+            &Executor::serial()
         )
         .is_err());
     }

@@ -17,6 +17,9 @@
 //!   ([`ordering`]);
 //! * **incremental matching** of §6 with materialized state
 //!   ([`incremental`], [`state`]);
+//! * a pluggable [`Executor`] (serial or persistent worker pool) that
+//!   every engine, full run, and incremental edit threads through, so the
+//!   whole interactive loop runs data-parallel ([`executor`]);
 //! * a [`DebugSession`] tying it all together into the interactive
 //!   debugging loop the paper motivates.
 //!
@@ -49,13 +52,13 @@ pub mod context;
 pub mod costmodel;
 pub mod engine;
 pub mod exact;
+pub mod executor;
 pub mod explain;
 pub mod feature;
 pub mod function;
 pub mod incremental;
 pub mod memo;
 pub mod ordering;
-pub mod parallel;
 pub mod parse;
 pub mod predicate;
 pub mod quality;
@@ -67,26 +70,27 @@ pub mod stats;
 
 pub use bitmap::Bitmap;
 pub use context::EvalContext;
-pub use costmodel::{
-    cost_early_exit, cost_memo, cost_precompute, cost_rudimentary, MemoState,
-};
-pub use exact::{optimal_rule_order, ExactOrder, MAX_EXACT_RULES};
+pub use costmodel::{cost_early_exit, cost_memo, cost_precompute, cost_rudimentary, MemoState};
 pub use engine::{
     run_early_exit, run_memo, run_memo_with, run_precompute, run_rudimentary, EvalStats,
     MatchOutcome, Strategy,
 };
+pub use exact::{optimal_rule_order, ExactOrder, MAX_EXACT_RULES};
+#[allow(deprecated)]
+pub use executor::run_memo_parallel;
+pub use executor::{partition, run_sharded, split_mut, Executor};
 pub use explain::{Explanation, PredicateTrace, RuleTrace};
 pub use feature::{FeatureDef, FeatureId, FeatureRegistry};
 pub use function::{EditError, MatchingFunction};
 pub use incremental::{
     add_predicate, add_rule, remove_predicate, remove_rule, set_threshold, ChangeReport,
+    WorkerStats,
 };
-pub use memo::{DenseMemo, Memo, SparseMemo};
+pub use memo::{DenseMemo, Memo, MemoShard, OverlayMemo, SparseMemo};
 pub use ordering::{
-    optimize, optimize_predicate_orders, order_predicates, order_rules,
-    order_rules_sample_greedy, OrderingAlgo,
+    optimize, optimize_predicate_orders, order_predicates, order_rules, order_rules_sample_greedy,
+    OrderingAlgo,
 };
-pub use parallel::run_memo_parallel;
 pub use parse::{parse_function, parse_measure, ParseError};
 pub use predicate::{CmpOp, PredId, Predicate};
 pub use quality::QualityReport;

@@ -82,6 +82,49 @@ impl DenseMemo {
         self.n_features
     }
 
+    /// Splits the memo into disjoint mutable views over contiguous pair
+    /// ranges (as produced by [`crate::executor::partition`]), so parallel
+    /// engines can write feature values **directly into this memo** from
+    /// worker threads — the values computed by a parallel run are retained,
+    /// not discarded with chunk-local copies.
+    ///
+    /// Shard views cannot grow the feature axis; call
+    /// [`DenseMemo::ensure_features`] for the full feature registry first.
+    /// After the shards are done, fold their [`MemoShard::new_stored`]
+    /// counts back via [`DenseMemo::add_stored`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ranges are not ascending, disjoint, and within
+    /// `0..n_pairs` (the contract of `partition`).
+    pub fn shard_views(&mut self, ranges: &[std::ops::Range<usize>]) -> Vec<MemoShard<'_>> {
+        let mut shards = Vec::with_capacity(ranges.len());
+        let mut rest = &mut self.values[..];
+        let mut consumed = 0usize; // pairs already split off
+        for r in ranges {
+            assert!(
+                r.start == consumed && r.end <= self.n_pairs,
+                "shard ranges must tile the pair axis in order"
+            );
+            let (head, tail) = rest.split_at_mut((r.end - r.start) * self.n_features);
+            rest = tail;
+            consumed = r.end;
+            shards.push(MemoShard {
+                values: head,
+                n_features: self.n_features,
+                start: r.start,
+                stored: 0,
+            });
+        }
+        shards
+    }
+
+    /// Accounts for values stored through shard views (see
+    /// [`DenseMemo::shard_views`]).
+    pub(crate) fn add_stored(&mut self, n: usize) {
+        self.stored += n;
+    }
+
     #[inline]
     fn idx(&self, pair: usize, feature: FeatureId) -> Option<usize> {
         let f = feature.index();
@@ -131,6 +174,147 @@ impl Memo for DenseMemo {
 
     fn heap_bytes(&self) -> usize {
         self.values.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// A mutable view over one contiguous pair range of a [`DenseMemo`],
+/// addressed by **global** pair index.
+///
+/// Implements [`Memo`], so the engines run unchanged over a shard — serial
+/// execution is simply the one-shard special case, which is what guarantees
+/// parallel runs produce byte-identical results.
+#[derive(Debug)]
+pub struct MemoShard<'a> {
+    values: &'a mut [f64],
+    n_features: usize,
+    /// Global pair index of the shard's first pair.
+    start: usize,
+    /// Values newly stored through this view.
+    stored: usize,
+}
+
+impl MemoShard<'_> {
+    /// Global pair range covered by this shard.
+    pub fn pair_range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.values.len() / self.n_features.max(1)
+    }
+
+    /// Number of values newly stored through this view.
+    pub fn new_stored(&self) -> usize {
+        self.stored
+    }
+
+    #[inline]
+    fn idx(&self, pair: usize, feature: FeatureId) -> Option<usize> {
+        let f = feature.index();
+        let local = pair.checked_sub(self.start)?;
+        let i = local * self.n_features + f;
+        if f < self.n_features && i < self.values.len() {
+            Some(i)
+        } else {
+            None
+        }
+    }
+}
+
+impl Memo for MemoShard<'_> {
+    #[inline]
+    fn get(&self, pair: usize, feature: FeatureId) -> Option<f64> {
+        let i = self.idx(pair, feature)?;
+        let v = self.values[i];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        let i = self
+            .idx(pair, feature)
+            .expect("pair/feature out of range for memo shard (grow the memo before sharding)");
+        if self.values[i].is_nan() {
+            self.stored += 1;
+        }
+        self.values[i] = value;
+    }
+
+    fn stored(&self) -> usize {
+        self.stored
+    }
+
+    fn reset(&mut self) {
+        // A shard only owns its window; resetting the backing memo's global
+        // `stored` count is the owner's job, so a view cannot soundly reset.
+        unreachable!("reset a DenseMemo, not a shard view");
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0 // borrowed storage is accounted by the owning DenseMemo
+    }
+}
+
+/// A copy-on-write view over a shared [`DenseMemo`]: reads fall through to
+/// the base, writes land in a small local overlay.
+///
+/// This is how the incremental algorithms parallelize: each worker gets an
+/// overlay over the *pre-edit* memo, evaluates its slice of the affected
+/// pairs (each pair only ever touches its own memo row, so overlays never
+/// conflict), and the owner folds the overlays back into the base memo
+/// serially afterwards via [`OverlayMemo::into_local`].
+#[derive(Debug)]
+pub struct OverlayMemo<'a> {
+    base: &'a DenseMemo,
+    local: HashMap<(u32, u32), f64>,
+}
+
+impl<'a> OverlayMemo<'a> {
+    /// An empty overlay over `base`.
+    pub fn new(base: &'a DenseMemo) -> Self {
+        OverlayMemo {
+            base,
+            local: HashMap::new(),
+        }
+    }
+
+    /// Consumes the overlay, yielding the locally-written values as
+    /// `(pair, feature, value)` triples for merging into the base memo.
+    pub fn into_local(self) -> Vec<(usize, FeatureId, f64)> {
+        self.local
+            .into_iter()
+            .map(|((p, f), v)| (p as usize, FeatureId(f), v))
+            .collect()
+    }
+}
+
+impl Memo for OverlayMemo<'_> {
+    #[inline]
+    fn get(&self, pair: usize, feature: FeatureId) -> Option<f64> {
+        self.local
+            .get(&(pair as u32, feature.0))
+            .copied()
+            .or_else(|| self.base.get(pair, feature))
+    }
+
+    #[inline]
+    fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        self.local.insert((pair as u32, feature.0), value);
+    }
+
+    fn stored(&self) -> usize {
+        self.base.stored() + self.local.len()
+    }
+
+    fn reset(&mut self) {
+        // The overlay cannot clear the shared base; only its own writes.
+        self.local.clear();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.local.capacity() * (std::mem::size_of::<((u32, u32), f64)>() + 1)
     }
 }
 
@@ -217,7 +401,11 @@ mod tests {
         m.put(2, FeatureId(0), 0.7);
         m.put(2, FeatureId(5), 0.9); // triggers growth
         assert_eq!(m.n_features(), 6);
-        assert_eq!(m.get(2, FeatureId(0)), Some(0.7), "old values survive growth");
+        assert_eq!(
+            m.get(2, FeatureId(0)),
+            Some(0.7),
+            "old values survive growth"
+        );
         assert_eq!(m.get(2, FeatureId(5)), Some(0.9));
         assert_eq!(m.stored(), 2);
     }
@@ -235,6 +423,62 @@ mod tests {
         m.put(0, FeatureId(0), 0.5);
         m.put(0, FeatureId(0), 0.5);
         assert_eq!(m.stored(), 1);
+    }
+
+    #[test]
+    fn shard_views_translate_global_indices() {
+        let mut m = DenseMemo::new(10, 3);
+        m.put(0, FeatureId(0), 0.1);
+        m.put(7, FeatureId(2), 0.7);
+        let ranges = vec![0..4, 4..10];
+        let mut shards = m.shard_views(&ranges);
+        assert_eq!(shards[0].pair_range(), 0..4);
+        assert_eq!(shards[1].pair_range(), 4..10);
+        // Pre-existing values are visible through the views.
+        assert_eq!(shards[0].get(0, FeatureId(0)), Some(0.1));
+        assert_eq!(shards[1].get(7, FeatureId(2)), Some(0.7));
+        // Out-of-shard pairs are invisible rather than aliased.
+        assert_eq!(shards[0].get(7, FeatureId(2)), None);
+        assert_eq!(shards[1].get(0, FeatureId(0)), None);
+        // Writes land at the right global slot and count as new.
+        shards[1].put(9, FeatureId(1), 0.9);
+        shards[1].put(7, FeatureId(2), 0.7); // overwrite: not new
+        assert_eq!(shards[1].new_stored(), 1);
+        let new: usize = shards.iter().map(|s| s.new_stored()).sum();
+        drop(shards);
+        m.add_stored(new);
+        assert_eq!(m.get(9, FeatureId(1)), Some(0.9));
+        assert_eq!(m.stored(), 3);
+    }
+
+    #[test]
+    fn overlay_reads_through_and_collects_writes() {
+        let mut base = DenseMemo::new(4, 2);
+        base.put(1, FeatureId(0), 0.5);
+        let mut overlay = OverlayMemo::new(&base);
+        assert_eq!(overlay.get(1, FeatureId(0)), Some(0.5), "base visible");
+        assert_eq!(overlay.get(2, FeatureId(1)), None);
+        overlay.put(2, FeatureId(1), 0.25);
+        assert_eq!(
+            overlay.get(2, FeatureId(1)),
+            Some(0.25),
+            "own write visible"
+        );
+        assert_eq!(overlay.stored(), 2);
+        let mut entries = overlay.into_local();
+        entries.sort_by_key(|&(p, f, _)| (p, f.0));
+        assert_eq!(entries, vec![(2, FeatureId(1), 0.25)]);
+        for (p, f, v) in entries {
+            base.put(p, f, v);
+        }
+        assert_eq!(base.get(2, FeatureId(1)), Some(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the pair axis")]
+    fn shard_views_reject_gaps() {
+        let mut m = DenseMemo::new(10, 2);
+        let _ = m.shard_views(&[0..4, 5..10]);
     }
 
     #[test]

@@ -89,17 +89,9 @@ pub fn order_predicates(rule: &BoundRule, stats: &FunctionStats) -> Vec<PredId> 
         }
         (sel - 1.0) / cost
     };
-    groups.sort_by(|a, b| {
-        rank(a)
-            .partial_cmp(&rank(b))
-            .expect("ranks are finite")
-    });
+    groups.sort_by(|a, b| rank(a).partial_cmp(&rank(b)).expect("ranks are finite"));
 
-    groups
-        .into_iter()
-        .flatten()
-        .map(|bp| bp.id)
-        .collect()
+    groups.into_iter().flatten().map(|bp| bp.id).collect()
 }
 
 /// Applies [`order_predicates`] to every rule of `func` in place.
@@ -235,7 +227,14 @@ pub fn order_rules_sample_greedy(
         let pair = cands.pair(ci);
         for (ri, rule) in func.rules().iter().enumerate() {
             let ok = crate::engine::eval_rule_memoized(
-                rule, si, pair, ctx, &mut memo, false, &mut scratch, |_| {},
+                rule,
+                si,
+                pair,
+                ctx,
+                &mut memo,
+                false,
+                &mut scratch,
+                |_| {},
             );
             matched_by[ri].push(ok);
         }
@@ -263,9 +262,7 @@ pub fn order_rules_sample_greedy(
                         rule_cost_memo(&func.rules()[ri], stats, &state).max(f64::MIN_POSITIVE);
                     (gain / cost, -cost)
                 };
-                score(a)
-                    .partial_cmp(&score(b))
-                    .expect("scores are finite")
+                score(a).partial_cmp(&score(b)).expect("scores are finite")
             })
             .expect("remaining is non-empty");
         remaining.swap_remove(pos);
@@ -319,11 +316,7 @@ mod tests {
                 (FeatureId(1), 1_000.0),
                 (FeatureId(2), 60.0),
             ],
-            [
-                (PredId(0), 0.1),
-                (PredId(1), 0.5),
-                (PredId(2), 0.9),
-            ],
+            [(PredId(0), 0.1), (PredId(1), 0.5), (PredId(2), 0.9)],
             5.0,
         )
     }
@@ -406,7 +399,11 @@ mod tests {
         // The f1 group must stay contiguous with the lower-selectivity
         // member (p2, sel .3) first.
         let pos = |pid: PredId| order.iter().position(|&p| p == pid).unwrap();
-        assert_eq!(pos(PredId(2)) + 1, pos(PredId(0)), "f1 group contiguous, p2 first");
+        assert_eq!(
+            pos(PredId(2)) + 1,
+            pos(PredId(0)),
+            "f1 group contiguous, p2 first"
+        );
         // f0's group is cheap and selective → first overall.
         assert_eq!(order[0], PredId(1));
     }
@@ -549,8 +546,7 @@ mod tests {
             [(PredId(0), 0.5), (PredId(1), 0.5)],
             5.0,
         );
-        let order =
-            order_rules_sample_greedy(&func, &ctx, &cands, &stats, 0.5, 1);
+        let order = order_rules_sample_greedy(&func, &ctx, &cands, &stats, 0.5, 1);
         assert_eq!(order, vec![loose, strict]);
     }
 
@@ -581,10 +577,17 @@ mod tests {
         let mut func = MatchingFunction::new();
         func.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.9)).unwrap();
         func.add_rule(Rule::new().pred(g, CmpOp::Ge, 0.95)).unwrap();
-        func.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.3).pred(g, CmpOp::Ge, 0.3)).unwrap();
+        func.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.3).pred(g, CmpOp::Ge, 0.3))
+            .unwrap();
         let stats = FunctionStats::estimate(&func, &ctx, &cands, 1.0, 3);
 
-        let (before, _) = crate::engine::run_memo(&func, &ctx, &cands, false);
+        let (before, _) = crate::engine::run_memo(
+            &func,
+            &ctx,
+            &cands,
+            false,
+            &crate::executor::Executor::serial(),
+        );
         let order = order_rules_sample_greedy(&func, &ctx, &cands, &stats, 1.0, 9);
         let mut sorted = order.clone();
         sorted.sort();
@@ -593,7 +596,13 @@ mod tests {
 
         let mut reordered = func.clone();
         reordered.set_rule_order(&order).unwrap();
-        let (after, _) = crate::engine::run_memo(&reordered, &ctx, &cands, false);
+        let (after, _) = crate::engine::run_memo(
+            &reordered,
+            &ctx,
+            &cands,
+            false,
+            &crate::executor::Executor::serial(),
+        );
         assert_eq!(before.verdicts, after.verdicts);
     }
 
@@ -626,11 +635,11 @@ mod tests {
         // order (they should generally decrease it).
         let mut func = MatchingFunction::new();
         for i in 0..8u32 {
-            func.add_rule(
-                Rule::new()
-                    .pred(FeatureId(i % 4), CmpOp::Ge, 0.5)
-                    .pred(FeatureId((i + 1) % 4), CmpOp::Ge, 0.3),
-            )
+            func.add_rule(Rule::new().pred(FeatureId(i % 4), CmpOp::Ge, 0.5).pred(
+                FeatureId((i + 1) % 4),
+                CmpOp::Ge,
+                0.3,
+            ))
             .unwrap();
         }
         let mut stats = FunctionStats::synthetic([], [], 5.0);

@@ -94,7 +94,10 @@ pub fn parse_measure(name: &str) -> Option<Measure> {
         }
     }
     if let Some(rest) = name.strip_prefix("numeric_") {
-        return rest.parse::<f64>().ok().map(|scale| Measure::NumericAbs { scale });
+        return rest
+            .parse::<f64>()
+            .ok()
+            .map(|scale| Measure::NumericAbs { scale });
     }
     if let Some(rest) = name.strip_prefix("soft_tfidf_") {
         // Either "soft_tfidf_ws" (default 0.9 gate) or "soft_tfidf_ws_0.90".
@@ -150,8 +153,8 @@ fn parse_predicate(
     }
 
     let measure_name = text[..open].trim();
-    let measure =
-        parse_measure(measure_name).ok_or_else(|| ParseError::UnknownMeasure(measure_name.to_string()))?;
+    let measure = parse_measure(measure_name)
+        .ok_or_else(|| ParseError::UnknownMeasure(measure_name.to_string()))?;
 
     let args: Vec<&str> = text[open + 1..close].split(',').map(str::trim).collect();
     if args.len() != 2 {
@@ -331,7 +334,10 @@ mod tests {
             parse_function("exact(title title) >= 1", &mut c),
             Err(ParseError::Malformed(_))
         ));
-        assert!(matches!(parse_function("  \n# only a comment\n", &mut c), Err(ParseError::Empty)));
+        assert!(matches!(
+            parse_function("  \n# only a comment\n", &mut c),
+            Err(ParseError::Empty)
+        ));
     }
 
     #[test]

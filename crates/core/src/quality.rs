@@ -140,10 +140,7 @@ mod tests {
         let q = QualityReport::evaluate(
             &[true, false],
             &cands,
-            &[
-                labeled(0, 0, Label::Match),
-                labeled(0, 1, Label::NonMatch),
-            ],
+            &[labeled(0, 0, Label::Match), labeled(0, 1, Label::NonMatch)],
         );
         assert_eq!(q.f1(), 1.0);
     }

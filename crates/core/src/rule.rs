@@ -121,7 +121,9 @@ impl BoundRule {
     /// This is the *reference* (non-early-exit) semantics used by tests:
     /// every predicate is evaluated and the results conjoined.
     pub fn eval_reference(&self, mut value_of: impl FnMut(FeatureId) -> f64) -> bool {
-        self.preds.iter().all(|bp| bp.pred.eval(value_of(bp.pred.feature)))
+        self.preds
+            .iter()
+            .all(|bp| bp.pred.eval(value_of(bp.pred.feature)))
     }
 }
 

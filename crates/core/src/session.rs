@@ -8,10 +8,11 @@
 
 use crate::context::EvalContext;
 use crate::engine::EvalStats;
+use crate::executor::Executor;
 use crate::explain::{explain, Explanation};
 use crate::feature::FeatureId;
 use crate::function::{EditError, MatchingFunction};
-use crate::incremental::{self, ChangeReport};
+use crate::incremental::{self, ChangeReport, WorkerStats};
 use crate::ordering::{self, OrderingAlgo};
 use crate::parse::{self, ParseError};
 use crate::predicate::{PredId, Predicate};
@@ -34,6 +35,10 @@ pub struct SessionConfig {
     pub sample_fraction: f64,
     /// Seed for sampling and random orders — sessions are reproducible.
     pub seed: u64,
+    /// Worker threads for matching runs and incremental edits: `1` =
+    /// serial, `0` = one per available CPU, `n` = a pool of `n`. Results
+    /// are identical for every setting; only latency changes.
+    pub n_threads: usize,
 }
 
 impl Default for SessionConfig {
@@ -42,6 +47,7 @@ impl Default for SessionConfig {
             check_cache_first: true,
             sample_fraction: DEFAULT_SAMPLE_FRACTION,
             seed: 0x5eed,
+            n_threads: 1,
         }
     }
 }
@@ -55,6 +61,9 @@ pub struct EditRecord {
     pub n_changed: usize,
     /// Pairs the edit re-examined.
     pub pairs_examined: usize,
+    /// Per-worker work counters for the edit's delta evaluation (one entry
+    /// per shard; a single entry under serial execution).
+    pub worker_stats: Vec<WorkerStats>,
     /// Wall-clock latency the analyst experienced.
     pub elapsed: Duration,
 }
@@ -97,6 +106,7 @@ pub struct DebugSession {
     func: MatchingFunction,
     state: MatchState,
     config: SessionConfig,
+    exec: Executor,
     history: Vec<EditRecord>,
     undo_stack: Vec<UndoOp>,
 }
@@ -115,15 +125,23 @@ impl DebugSession {
     /// already interned).
     pub fn with_context(ctx: EvalContext, cands: CandidateSet, config: SessionConfig) -> Self {
         let state = MatchState::new(cands.len(), ctx.registry().len());
+        let exec = Executor::with_threads(config.n_threads);
         DebugSession {
             ctx,
             cands,
             func: MatchingFunction::new(),
             state,
             config,
+            exec,
             history: Vec::new(),
             undo_stack: Vec::new(),
         }
+    }
+
+    /// The executor running this session's matching work (shared worker
+    /// pool across all edits).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Interns a feature by attribute names; `None` if either attribute is
@@ -143,6 +161,7 @@ impl DebugSession {
             &self.cands,
             rule,
             self.config.check_cache_first,
+            &self.exec,
         )?;
         self.undo_stack.push(UndoOp::RemoveRule(rid));
         self.log(format!("add rule {rid}"), &report);
@@ -181,6 +200,7 @@ impl DebugSession {
             &self.cands,
             rid,
             self.config.check_cache_first,
+            &self.exec,
         )?;
         let rule = snapshot.expect("remove succeeded, so the rule existed");
         self.undo_stack.push(UndoOp::ReAddRule {
@@ -207,6 +227,7 @@ impl DebugSession {
             rid,
             pred,
             self.config.check_cache_first,
+            &self.exec,
         )?;
         self.undo_stack.push(UndoOp::RemovePredicate(pid));
         self.log(format!("add predicate {pid} to {rid}"), &report);
@@ -230,6 +251,7 @@ impl DebugSession {
             &self.cands,
             pid,
             self.config.check_cache_first,
+            &self.exec,
         )?;
         let (rule, pred, position) = snapshot.expect("removal succeeded, so it existed");
         self.undo_stack.push(UndoOp::ReAddPredicate {
@@ -243,7 +265,11 @@ impl DebugSession {
     }
 
     /// Tightens or relaxes a predicate threshold (Alg. 7 / Alg. 8).
-    pub fn set_threshold(&mut self, pid: PredId, threshold: f64) -> Result<ChangeReport, EditError> {
+    pub fn set_threshold(
+        &mut self,
+        pid: PredId,
+        threshold: f64,
+    ) -> Result<ChangeReport, EditError> {
         let old = self
             .func
             .find_predicate(pid)
@@ -256,6 +282,7 @@ impl DebugSession {
             pid,
             threshold,
             self.config.check_cache_first,
+            &self.exec,
         )?;
         self.undo_stack.push(UndoOp::RestoreThreshold {
             pred: pid,
@@ -285,6 +312,7 @@ impl DebugSession {
                     &self.cands,
                     rid,
                     ccf,
+                    &self.exec,
                 )?;
                 self.log(format!("undo: remove rule {rid}"), &report);
                 report
@@ -302,6 +330,7 @@ impl DebugSession {
                     &self.cands,
                     Rule::with(preds),
                     ccf,
+                    &self.exec,
                 )?;
                 // Restore the rule's old evaluation position.
                 let mut order: Vec<RuleId> = self
@@ -339,6 +368,7 @@ impl DebugSession {
                     &self.cands,
                     pid,
                     ccf,
+                    &self.exec,
                 )?;
                 self.log(format!("undo: remove predicate {pid}"), &report);
                 report
@@ -357,6 +387,7 @@ impl DebugSession {
                     rule,
                     pred,
                     ccf,
+                    &self.exec,
                 )?;
                 let mut order: Vec<PredId> = self
                     .func
@@ -384,6 +415,7 @@ impl DebugSession {
                     pred,
                     threshold,
                     ccf,
+                    &self.exec,
                 )?;
                 self.log(format!("undo: restore {pred} to {threshold}"), &report);
                 report
@@ -424,6 +456,7 @@ impl DebugSession {
                 ),
                 n_changed: 0,
                 pairs_examined: 0,
+                worker_stats: Vec::new(),
                 elapsed: Duration::ZERO,
             });
         }
@@ -459,6 +492,7 @@ impl DebugSession {
             &self.cands,
             &mut self.state,
             self.config.check_cache_first,
+            &self.exec,
         )
     }
 
@@ -576,6 +610,7 @@ impl DebugSession {
             description,
             n_changed: report.n_changed(),
             pairs_examined: report.pairs_examined,
+            worker_stats: report.worker_stats.clone(),
             elapsed: report.elapsed,
         });
     }
@@ -660,6 +695,7 @@ impl DebugSession {
             description: format!("restore snapshot ({} rules)", self.func.n_rules()),
             n_changed: 0,
             pairs_examined: self.cands.len(),
+            worker_stats: Vec::new(),
             elapsed: Duration::ZERO,
         });
         Ok(stats)
@@ -746,9 +782,7 @@ mod tests {
     #[test]
     fn add_rule_from_text() {
         let mut s = session();
-        let (_, report) = s
-            .add_rule_text("exact(modelno, modelno) >= 1.0")
-            .unwrap();
+        let (_, report) = s.add_rule_text("exact(modelno, modelno) >= 1.0").unwrap();
         assert_eq!(report.newly_matched, vec![0]);
         assert!(s.function_text().contains("exact(modelno, modelno)"));
     }
@@ -795,7 +829,11 @@ mod tests {
             OrderingAlgo::GreedyReduction,
         ] {
             s.optimize(algo);
-            assert_eq!(s.state().verdicts(), before.as_slice(), "{algo:?} changed verdicts");
+            assert_eq!(
+                s.state().verdicts(),
+                before.as_slice(),
+                "{algo:?} changed verdicts"
+            );
         }
     }
 
@@ -806,7 +844,9 @@ mod tests {
             .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
             .unwrap();
         s.add_rule_text("exact(modelno, modelno) >= 1.0").unwrap();
-        let (rid2, _) = s.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.2)).unwrap();
+        let (rid2, _) = s
+            .add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.2))
+            .unwrap();
         s.optimize(OrderingAlgo::GreedyReduction);
         // Incremental edit after reordering.
         s.remove_rule(rid2).unwrap();
@@ -883,12 +923,8 @@ mod tests {
         // dominated predicate.
         s.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.5)).unwrap();
         s.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.9)).unwrap();
-        s.add_rule(
-            Rule::new()
-                .pred(f, CmpOp::Ge, 0.3)
-                .pred(f, CmpOp::Ge, 0.5),
-        )
-        .unwrap();
+        s.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.3).pred(f, CmpOp::Ge, 0.5))
+            .unwrap();
         let before: Vec<bool> = s.state().verdicts().to_vec();
 
         let report = s.simplify();
@@ -927,15 +963,20 @@ mod tests {
         let f_model = s.feature(Measure::Exact, "modelno", "modelno").unwrap();
 
         // Baseline: one rule.
-        let (rid, _) = s.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.9)).unwrap();
+        let (rid, _) = s
+            .add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.9))
+            .unwrap();
         let baseline: Vec<bool> = s.state().verdicts().to_vec();
         let baseline_text = s.function_text();
 
         // Apply a pile of edits, then undo them all.
-        let (pid2, _) = s.add_predicate(rid, Predicate::at_least(f_model, 1.0)).unwrap();
+        let (pid2, _) = s
+            .add_predicate(rid, Predicate::at_least(f_model, 1.0))
+            .unwrap();
         let tpid = s.function().rule(rid).unwrap().preds[0].id;
         s.set_threshold(tpid, 0.5).unwrap();
-        s.add_rule(Rule::new().pred(f_model, CmpOp::Ge, 1.0)).unwrap();
+        s.add_rule(Rule::new().pred(f_model, CmpOp::Ge, 1.0))
+            .unwrap();
         s.remove_predicate(pid2).unwrap();
         s.remove_rule(rid).unwrap();
 
@@ -965,7 +1006,9 @@ mod tests {
         let f_title = s
             .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
             .unwrap();
-        let (rid, _) = s.add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.9)).unwrap();
+        let (rid, _) = s
+            .add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.9))
+            .unwrap();
         let pid = s.function().rule(rid).unwrap().preds[0].id;
 
         // Edit the threshold, then remove the whole rule; undoing the
@@ -974,7 +1017,9 @@ mod tests {
         s.set_threshold(pid, 0.2).unwrap();
         s.remove_rule(rid).unwrap();
         s.undo().unwrap().expect("re-add rule");
-        s.undo().unwrap().expect("restore threshold on remapped pred");
+        s.undo()
+            .unwrap()
+            .expect("restore threshold on remapped pred");
         let rule = &s.function().rules()[0];
         assert_eq!(rule.preds[0].pred.threshold, 0.9);
         // State consistent.

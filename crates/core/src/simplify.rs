@@ -45,9 +45,7 @@ impl SimplifyReport {
 
     /// Total number of removed elements.
     pub fn n_removed(&self) -> usize {
-        self.dominated_predicates.len()
-            + self.unsatisfiable_rules.len()
-            + self.subsumed_rules.len()
+        self.dominated_predicates.len() + self.unsatisfiable_rules.len() + self.subsumed_rules.len()
     }
 }
 
@@ -78,10 +76,10 @@ impl Interval {
     /// Whether every value accepted by `self` is accepted by `other`
     /// (i.e. `self ⊆ other`, so `other` is implied by `self`).
     fn implies(&self, other: &Interval) -> bool {
-        let lo_ok = self.lo > other.lo
-            || (self.lo == other.lo && (self.lo_strict || !other.lo_strict));
-        let hi_ok = self.hi < other.hi
-            || (self.hi == other.hi && (self.hi_strict || !other.hi_strict));
+        let lo_ok =
+            self.lo > other.lo || (self.lo == other.lo && (self.lo_strict || !other.lo_strict));
+        let hi_ok =
+            self.hi < other.hi || (self.hi == other.hi && (self.hi_strict || !other.hi_strict));
         lo_ok && hi_ok
     }
 }
@@ -102,29 +100,21 @@ fn rule_intervals(rule: &BoundRule) -> Vec<(crate::feature::FeatureId, Interval)
         };
         let t = bp.pred.threshold;
         match bp.pred.op {
-            CmpOp::Ge if t > iv.lo || (t == iv.lo && !iv.lo_strict) => {
-                if t > iv.lo {
-                    iv.lo = t;
-                    iv.lo_strict = false;
-                }
+            CmpOp::Ge if t > iv.lo => {
+                iv.lo = t;
+                iv.lo_strict = false;
             }
-            CmpOp::Gt => {
-                if t > iv.lo || (t == iv.lo && !iv.lo_strict) {
-                    iv.lo = t;
-                    iv.lo_strict = true;
-                }
+            CmpOp::Gt if t > iv.lo || (t == iv.lo && !iv.lo_strict) => {
+                iv.lo = t;
+                iv.lo_strict = true;
             }
-            CmpOp::Le => {
-                if t < iv.hi {
-                    iv.hi = t;
-                    iv.hi_strict = false;
-                }
+            CmpOp::Le if t < iv.hi => {
+                iv.hi = t;
+                iv.hi_strict = false;
             }
-            CmpOp::Lt => {
-                if t < iv.hi || (t == iv.hi && !iv.hi_strict) {
-                    iv.hi = t;
-                    iv.hi_strict = true;
-                }
+            CmpOp::Lt if t < iv.hi || (t == iv.hi && !iv.hi_strict) => {
+                iv.hi = t;
+                iv.hi_strict = true;
             }
             _ => {}
         }
@@ -330,7 +320,8 @@ mod tests {
                 .pred(f(0), CmpOp::Lt, 0.5),
         )
         .unwrap();
-        func.add_rule(Rule::new().pred(f(1), CmpOp::Ge, 0.9)).unwrap();
+        func.add_rule(Rule::new().pred(f(1), CmpOp::Ge, 0.9))
+            .unwrap();
         let original = func.clone();
         let report = simplify(&mut func);
         assert_eq!(report.unsatisfiable_rules.len(), 1);
@@ -343,13 +334,21 @@ mod tests {
         // f ≥ 0.5 ∧ f < 0.5 is empty; f ≥ 0.5 ∧ f ≤ 0.5 is the point 0.5.
         let mut empty = MatchingFunction::new();
         empty
-            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5).pred(f(0), CmpOp::Lt, 0.5))
+            .add_rule(
+                Rule::new()
+                    .pred(f(0), CmpOp::Ge, 0.5)
+                    .pred(f(0), CmpOp::Lt, 0.5),
+            )
             .unwrap();
         assert_eq!(simplify(&mut empty).unsatisfiable_rules.len(), 1);
 
         let mut point = MatchingFunction::new();
         point
-            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5).pred(f(0), CmpOp::Le, 0.5))
+            .add_rule(
+                Rule::new()
+                    .pred(f(0), CmpOp::Ge, 0.5)
+                    .pred(f(0), CmpOp::Le, 0.5),
+            )
             .unwrap();
         let report = simplify(&mut point);
         assert!(report.unsatisfiable_rules.is_empty());
@@ -361,9 +360,15 @@ mod tests {
         let mut func = MatchingFunction::new();
         // Strict rule: f0 ≥ 0.8 ∧ f1 ≥ 0.5 — subsumed by loose f0 ≥ 0.6.
         let strict = func
-            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.8).pred(f(1), CmpOp::Ge, 0.5))
+            .add_rule(
+                Rule::new()
+                    .pred(f(0), CmpOp::Ge, 0.8)
+                    .pred(f(1), CmpOp::Ge, 0.5),
+            )
             .unwrap();
-        let loose = func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.6)).unwrap();
+        let loose = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.6))
+            .unwrap();
         let original = func.clone();
         let report = simplify(&mut func);
         assert_eq!(report.subsumed_rules, vec![(strict, loose)]);
@@ -374,8 +379,12 @@ mod tests {
     #[test]
     fn identical_rules_keep_first() {
         let mut func = MatchingFunction::new();
-        let first = func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5)).unwrap();
-        let second = func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5)).unwrap();
+        let first = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
+        let second = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
         let report = simplify(&mut func);
         assert_eq!(report.subsumed_rules, vec![(second, first)]);
         assert_eq!(func.n_rules(), 1);
@@ -401,10 +410,14 @@ mod tests {
     #[test]
     fn non_redundant_function_untouched() {
         let mut func = MatchingFunction::new();
-        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.8)).unwrap();
-        func.add_rule(Rule::new().pred(f(1), CmpOp::Ge, 0.8)).unwrap();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.8))
+            .unwrap();
+        func.add_rule(Rule::new().pred(f(1), CmpOp::Ge, 0.8))
+            .unwrap();
         func.add_rule(
-            Rule::new().pred(f(0), CmpOp::Ge, 0.4).pred(f(1), CmpOp::Ge, 0.4),
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.4)
+                .pred(f(1), CmpOp::Ge, 0.4),
         )
         .unwrap();
         let report = simplify(&mut func);
@@ -417,11 +430,15 @@ mod tests {
         let mut func = MatchingFunction::new();
         // Band rule: 0.3 ≤ f0 < 0.6 — NOT subsumed by f0 ≥ 0.3 ∧ f1 ≥ 0.5.
         func.add_rule(
-            Rule::new().pred(f(0), CmpOp::Ge, 0.3).pred(f(0), CmpOp::Lt, 0.6),
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.3)
+                .pred(f(0), CmpOp::Lt, 0.6),
         )
         .unwrap();
         func.add_rule(
-            Rule::new().pred(f(0), CmpOp::Ge, 0.3).pred(f(1), CmpOp::Ge, 0.5),
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.3)
+                .pred(f(1), CmpOp::Ge, 0.5),
         )
         .unwrap();
         let report = simplify(&mut func);
@@ -440,13 +457,19 @@ mod tests {
         }
         for t in [0.5, 0.7] {
             func.add_rule(
-                Rule::new().pred(f(0), CmpOp::Ge, t).pred(f(1), CmpOp::Ge, 0.5),
+                Rule::new()
+                    .pred(f(0), CmpOp::Ge, t)
+                    .pred(f(1), CmpOp::Ge, 0.5),
             )
             .unwrap();
         }
         let original = func.clone();
         let report = simplify(&mut func);
-        assert_eq!(func.n_rules(), 1, "only f0 ≥ 0.5 should survive: {report:?}");
+        assert_eq!(
+            func.n_rules(),
+            1,
+            "only f0 ≥ 0.5 should survive: {report:?}"
+        );
         assert_equivalent(&original, &func);
     }
 }

@@ -15,12 +15,14 @@
 use crate::bitmap::Bitmap;
 use crate::context::EvalContext;
 use crate::engine::{eval_rule_memoized, EvalStats};
+use crate::executor::{partition, run_sharded, split_mut, Executor};
 use crate::function::MatchingFunction;
-use crate::memo::{DenseMemo, Memo};
+use crate::memo::{DenseMemo, Memo, MemoShard};
 use crate::predicate::PredId;
 use crate::rule::RuleId;
 use em_types::CandidateSet;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Memory accounting for the §7.4 experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,61 +181,6 @@ impl MatchState {
         }
     }
 
-    /// Evaluates `rule` for pair `i` with early exit + memoing, recording
-    /// false-predicate bits. The workhorse shared by [`run_full`] and the
-    /// incremental algorithms.
-    pub(crate) fn eval_rule_recording(
-        &mut self,
-        rule: &crate::rule::BoundRule,
-        i: usize,
-        pair: em_types::PairIdx,
-        ctx: &EvalContext,
-        check_cache_first: bool,
-        stats: &mut EvalStats,
-    ) -> bool {
-        let pred_false = &mut self.pred_false;
-        let n_pairs = self.n_pairs;
-        eval_rule_memoized(
-            rule,
-            i,
-            pair,
-            ctx,
-            &mut self.memo,
-            check_cache_first,
-            stats,
-            |pid| {
-                pred_false
-                    .entry(pid)
-                    .or_insert_with(|| Bitmap::new(n_pairs))
-                    .set(i);
-            },
-        )
-    }
-
-    /// The value of feature `f` for pair `i`: a memo lookup when present,
-    /// otherwise computed and memoized.
-    pub(crate) fn resolve_value(
-        &mut self,
-        f: crate::feature::FeatureId,
-        i: usize,
-        pair: em_types::PairIdx,
-        ctx: &EvalContext,
-        stats: &mut EvalStats,
-    ) -> f64 {
-        match self.memo.get(i, f) {
-            Some(v) => {
-                stats.memo_lookups += 1;
-                v
-            }
-            None => {
-                let v = ctx.compute(f, pair);
-                stats.feature_computations += 1;
-                self.memo.put(i, f, v);
-                v
-            }
-        }
-    }
-
     /// Memory footprint of the materialization (§7.4).
     pub fn memory_report(&self) -> MemoryReport {
         let bitmap_bytes: usize = self
@@ -256,12 +203,20 @@ impl MatchState {
 /// both bitmap families). The memo is reused as-is: values computed in
 /// previous runs keep saving work, which is exactly the paper's
 /// "materialize between iterations" behaviour.
+///
+/// Pair-parallel under `exec`: each worker writes feature values straight
+/// into its disjoint window of `state.memo` (parallel work is *retained*
+/// in the materialization) and records fired-rule / false-predicate events
+/// that are folded into the bitmaps serially afterwards. Serial execution
+/// is the one-shard case of the same path, so verdicts, `M(r)`, and `U(p)`
+/// are identical for every thread count.
 pub fn run_full(
     func: &MatchingFunction,
     ctx: &EvalContext,
     cands: &CandidateSet,
     state: &mut MatchState,
     check_cache_first: bool,
+    exec: &Executor,
 ) -> EvalStats {
     assert_eq!(
         state.n_pairs(),
@@ -269,15 +224,77 @@ pub fn run_full(
         "state and candidate set must cover the same pairs"
     );
     state.reset_assignments();
-    let mut stats = EvalStats::default();
+    // Shard views cannot grow the feature axis, so size it upfront.
+    state.memo.ensure_features(ctx.registry().len());
+    let ranges = partition(cands.len(), exec.n_workers());
+    let pairs = cands.as_slice();
 
-    for (i, pair) in cands.iter() {
-        for rule in func.rules() {
-            if state.eval_rule_recording(rule, i, pair, ctx, check_cache_first, &mut stats) {
-                state.fire(i, rule.id);
-                break;
+    struct Shard<'a> {
+        range: Range<usize>,
+        memo: MemoShard<'a>,
+        verdicts: &'a mut [bool],
+        fired: &'a mut [Option<RuleId>],
+        pred_false: Vec<(PredId, usize)>,
+        stats: EvalStats,
+    }
+    let shards: Vec<Shard<'_>> = ranges
+        .iter()
+        .cloned()
+        .zip(state.memo.shard_views(&ranges))
+        .zip(split_mut(&mut state.verdicts, &ranges))
+        .zip(split_mut(&mut state.fired, &ranges))
+        .map(|(((range, memo), verdicts), fired)| Shard {
+            range,
+            memo,
+            verdicts,
+            fired,
+            pred_false: Vec::new(),
+            stats: EvalStats::default(),
+        })
+        .collect();
+
+    let shards = run_sharded(exec, shards, |_, shard| {
+        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
+            let i = shard.range.start + k;
+            for rule in func.rules() {
+                let pred_false = &mut shard.pred_false;
+                if eval_rule_memoized(
+                    rule,
+                    i,
+                    pair,
+                    ctx,
+                    &mut shard.memo,
+                    check_cache_first,
+                    &mut shard.stats,
+                    |pid| pred_false.push((pid, i)),
+                ) {
+                    shard.verdicts[k] = true;
+                    shard.fired[k] = Some(rule.id);
+                    break;
+                }
             }
         }
+    });
+
+    let mut stats = EvalStats::default();
+    let mut new_stored = 0;
+    let mut pred_events = Vec::with_capacity(shards.len());
+    for shard in shards {
+        stats.absorb(&shard.stats);
+        new_stored += shard.memo.new_stored();
+        pred_events.push(shard.pred_false);
+    }
+    state.memo.add_stored(new_stored);
+
+    // Fold the per-shard events into the materialized bitmaps (bitmaps are
+    // sets, so application order is immaterial).
+    for i in 0..state.n_pairs {
+        if let Some(r) = state.fired[i] {
+            state.rule_bitmap_mut(r).set(i);
+        }
+    }
+    for (p, i) in pred_events.into_iter().flatten() {
+        state.record_pred_false(p, i);
     }
     stats
 }
@@ -317,7 +334,7 @@ mod tests {
     fn run_full_populates_state() {
         let (ctx, cands, func) = fixture();
         let mut state = MatchState::new(cands.len(), ctx.registry().len());
-        let stats = run_full(&func, &ctx, &cands, &mut state, false);
+        let stats = run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
 
         assert_eq!(state.n_matches(), 1);
         assert!(state.verdict(0), "a1b1 matches");
@@ -337,8 +354,8 @@ mod tests {
     fn rerun_reuses_memo() {
         let (ctx, cands, func) = fixture();
         let mut state = MatchState::new(cands.len(), ctx.registry().len());
-        run_full(&func, &ctx, &cands, &mut state, false);
-        let second = run_full(&func, &ctx, &cands, &mut state, false);
+        run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
+        let second = run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
         assert_eq!(second.feature_computations, 0, "everything memoized");
         assert_eq!(second.memo_lookups, 4);
         assert_eq!(state.n_matches(), 1);
@@ -361,7 +378,7 @@ mod tests {
     fn memory_report_counts_everything() {
         let (ctx, cands, func) = fixture();
         let mut state = MatchState::new(cands.len(), ctx.registry().len());
-        run_full(&func, &ctx, &cands, &mut state, false);
+        run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
         let report = state.memory_report();
         assert!(report.memo_bytes >= cands.len() * 8);
         assert_eq!(report.n_rule_bitmaps, 1);
@@ -377,7 +394,7 @@ mod tests {
     fn reset_assignments_keeps_memo() {
         let (ctx, cands, func) = fixture();
         let mut state = MatchState::new(cands.len(), ctx.registry().len());
-        run_full(&func, &ctx, &cands, &mut state, false);
+        run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
         let stored = state.memo.stored();
         state.reset_assignments();
         assert_eq!(state.n_matches(), 0);
@@ -389,6 +406,6 @@ mod tests {
     fn size_mismatch_panics() {
         let (ctx, cands, func) = fixture();
         let mut state = MatchState::new(cands.len() + 1, 1);
-        run_full(&func, &ctx, &cands, &mut state, false);
+        run_full(&func, &ctx, &cands, &mut state, false, &Executor::serial());
     }
 }

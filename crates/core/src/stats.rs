@@ -13,10 +13,10 @@ use crate::function::MatchingFunction;
 use crate::memo::{DenseMemo, Memo};
 use crate::predicate::PredId;
 use crate::rule::BoundRule;
+use em_types::CandidateSet;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use em_types::CandidateSet;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -240,11 +240,7 @@ mod tests {
 
     #[test]
     fn synthetic_accessors() {
-        let stats = FunctionStats::synthetic(
-            [(FeatureId(0), 500.0)],
-            [(PredId(0), 0.25)],
-            10.0,
-        );
+        let stats = FunctionStats::synthetic([(FeatureId(0), 500.0)], [(PredId(0), 0.25)], 10.0);
         assert_eq!(stats.cost(FeatureId(0)), 500.0);
         assert_eq!(stats.sel(PredId(0)), 0.25);
         assert_eq!(stats.lookup_cost(), 10.0);
@@ -262,11 +258,7 @@ mod tests {
 
     #[test]
     fn rule_sel_is_product() {
-        let stats = FunctionStats::synthetic(
-            [],
-            [(PredId(0), 0.5), (PredId(1), 0.4)],
-            1.0,
-        );
+        let stats = FunctionStats::synthetic([], [(PredId(0), 0.5), (PredId(1), 0.4)], 1.0);
         let rule = BoundRule {
             id: crate::rule::RuleId(0),
             preds: vec![

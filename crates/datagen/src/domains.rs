@@ -28,9 +28,7 @@ impl Dataset {
         let truth: HashSet<(u32, u32)> = self
             .matches
             .iter()
-            .filter_map(|(a, b)| {
-                Some((self.table_a.row_of(a)?, self.table_b.row_of(b)?))
-            })
+            .filter_map(|(a, b)| Some((self.table_a.row_of(a)?, self.table_b.row_of(b)?)))
             .collect();
         cands
             .iter()
@@ -136,7 +134,10 @@ impl Domain {
     /// The attribute used as a blocking key / title analogue.
     pub fn title_attr(&self) -> &'static str {
         match self {
-            Domain::Products | Domain::Breakfast | Domain::Books | Domain::Movies
+            Domain::Products
+            | Domain::Breakfast
+            | Domain::Books
+            | Domain::Movies
             | Domain::VideoGames => "title",
             Domain::Restaurants => "name",
         }
@@ -223,8 +224,7 @@ impl Domain {
         a_rows.shuffle(&mut rng);
         a_rows.truncate(n_matches);
 
-        let mut b_records: Vec<(Option<usize>, Vec<Option<String>>)> =
-            Vec::with_capacity(n_b);
+        let mut b_records: Vec<(Option<usize>, Vec<Option<String>>)> = Vec::with_capacity(n_b);
         for &arow in &a_rows {
             let values = self.perturb_entity(&mut rng, &perturb_cfg, &a_values[arow]);
             b_records.push((Some(arow), values));
@@ -274,7 +274,11 @@ impl Domain {
                 vec![
                     Some(title),
                     // ~10 % of products lack a model number (dirty feeds).
-                    if rng.gen_bool(0.1) { None } else { Some(modelno) },
+                    if rng.gen_bool(0.1) {
+                        None
+                    } else {
+                        Some(modelno)
+                    },
                     Some(brand.to_string()),
                     Some("electronics".to_string()),
                     Some(price),
@@ -285,7 +289,10 @@ impl Domain {
                     "{} {} {}",
                     pick(rng, RESTAURANT_FIRST),
                     pick(rng, RESTAURANT_SECOND),
-                    pick(rng, ["restaurant", "eatery", "bar", "kitchen", ""].as_slice())
+                    pick(
+                        rng,
+                        ["restaurant", "eatery", "bar", "kitchen", ""].as_slice()
+                    )
                 )
                 .trim_end()
                 .to_string();
@@ -300,7 +307,11 @@ impl Domain {
                     Some(name),
                     Some(street),
                     Some(pick(rng, CITIES).to_string()),
-                    if rng.gen_bool(0.15) { None } else { Some(phone) },
+                    if rng.gen_bool(0.15) {
+                        None
+                    } else {
+                        Some(phone)
+                    },
                     Some(pick(rng, CUISINES).to_string()),
                 ]
             }
@@ -500,8 +511,16 @@ mod tests {
             else {
                 continue;
             };
-            let sa: HashSet<String> = ta.to_lowercase().split_whitespace().map(String::from).collect();
-            let sb: HashSet<String> = tb.to_lowercase().split_whitespace().map(String::from).collect();
+            let sa: HashSet<String> = ta
+                .to_lowercase()
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+            let sb: HashSet<String> = tb
+                .to_lowercase()
+                .split_whitespace()
+                .map(String::from)
+                .collect();
             if sa.intersection(&sb).count() >= 2 {
                 similar += 1;
             }

@@ -227,7 +227,10 @@ mod tests {
             .flat_map(|r| r.predicates().iter().map(|p| p.op))
             .collect();
         assert!(ops.contains(&CmpOp::Ge), "expected ≥ predicates");
-        assert!(ops.contains(&CmpOp::Lt), "expected < predicates (Figure 4 shape)");
+        assert!(
+            ops.contains(&CmpOp::Lt),
+            "expected < predicates (Figure 4 shape)"
+        );
     }
 
     #[test]
@@ -250,7 +253,9 @@ mod tests {
             // Per feature at most one ≥ and one < predicate after merging.
             let mut seen = std::collections::HashMap::new();
             for p in r.predicates() {
-                let entry = seen.entry((p.feature, matches!(p.op, CmpOp::Ge))).or_insert(0);
+                let entry = seen
+                    .entry((p.feature, matches!(p.op, CmpOp::Ge)))
+                    .or_insert(0);
                 *entry += 1;
                 assert_eq!(*entry, 1, "unmerged duplicate bound in {r:?}");
             }

@@ -31,12 +31,7 @@ impl FeatureMatrix {
             if !index.contains_key(&lp.pair) {
                 continue;
             }
-            rows.push(
-                features
-                    .iter()
-                    .map(|&f| ctx.compute(f, lp.pair))
-                    .collect(),
-            );
+            rows.push(features.iter().map(|&f| ctx.compute(f, lp.pair)).collect());
             labels.push(lp.label == Label::Match);
         }
         FeatureMatrix { rows, labels }

@@ -50,7 +50,7 @@ pub fn learn_rules(
 mod tests {
     use super::*;
     use em_blocking::{Blocker, OverlapBlocker};
-    use em_core::{run_memo, MatchingFunction, QualityReport};
+    use em_core::{run_memo, Executor, MatchingFunction, QualityReport};
     use em_datagen::Domain;
     use em_similarity::{Measure, TokenScheme};
 
@@ -64,7 +64,8 @@ mod tests {
             ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
                 .unwrap(),
             ctx.feature(Measure::Trigram, "title", "title").unwrap(),
-            ctx.feature(Measure::JaroWinkler, "modelno", "modelno").unwrap(),
+            ctx.feature(Measure::JaroWinkler, "modelno", "modelno")
+                .unwrap(),
             ctx.feature(Measure::Exact, "brand", "brand").unwrap(),
         ];
         let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 1)
@@ -90,7 +91,7 @@ mod tests {
         for r in rules {
             func.add_rule(r).unwrap();
         }
-        let (out, _) = run_memo(&func, &ctx, &cands, false);
+        let (out, _) = run_memo(&func, &ctx, &cands, false, &Executor::serial());
         let q = QualityReport::evaluate(&out.verdicts, &cands, &labeled);
         assert!(
             q.f1() > 0.75,

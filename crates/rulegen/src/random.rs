@@ -64,8 +64,13 @@ pub fn random_rules(features: &[FeatureId], cfg: &RandomRuleConfig, seed: u64) -
                 } else {
                     (CmpOp::Lt, cfg.lt_threshold)
                 };
-                let t = rng.gen_range(lo..hi);
-                rule = rule.pred(f, op, (t * 100.0).round() / 100.0);
+                // Draw at hundredth granularity directly: rounding a
+                // continuous draw could push values just under `hi` out of
+                // the configured half-open range.
+                let lo_c = (lo * 100.0).round() as u32;
+                let hi_c = (hi * 100.0).round() as u32;
+                let t = rng.gen_range(lo_c..hi_c) as f64 / 100.0;
+                rule = rule.pred(f, op, t);
             }
             rule
         })

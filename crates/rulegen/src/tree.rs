@@ -92,7 +92,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] < *threshold { left } else { right };
+                    node = if x[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -217,8 +221,22 @@ fn build(
     Node::Split {
         feature,
         threshold,
-        left: Box::new(build(matrix, &left_rows, all_features, cfg, depth + 1, picker)),
-        right: Box::new(build(matrix, &right_rows, all_features, cfg, depth + 1, picker)),
+        left: Box::new(build(
+            matrix,
+            &left_rows,
+            all_features,
+            cfg,
+            depth + 1,
+            picker,
+        )),
+        right: Box::new(build(
+            matrix,
+            &right_rows,
+            all_features,
+            cfg,
+            depth + 1,
+            picker,
+        )),
     }
 }
 

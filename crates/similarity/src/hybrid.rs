@@ -23,11 +23,7 @@ pub fn monge_elkan(a: &[String], b: &[String]) -> f64 {
 fn directed_monge_elkan(a: &[String], b: &[String]) -> f64 {
     let total: f64 = a
         .iter()
-        .map(|t| {
-            b.iter()
-                .map(|u| jaro_winkler(t, u))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|t| b.iter().map(|u| jaro_winkler(t, u)).fold(0.0f64, f64::max))
         .sum();
     total / a.len() as f64
 }
@@ -126,10 +122,7 @@ mod tests {
 
     #[test]
     fn soft_tfidf_equals_one_on_identical() {
-        let idf = IdfTable::build(
-            ["apple ipod nano", "sony walkman"],
-            TokenScheme::Whitespace,
-        );
+        let idf = IdfTable::build(["apple ipod nano", "sony walkman"], TokenScheme::Whitespace);
         let a = toks(&["apple", "ipod", "nano"]);
         assert!((soft_tfidf(&a, &a, Some(&idf), 0.9) - 1.0).abs() < 1e-9);
     }

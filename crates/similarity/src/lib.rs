@@ -192,7 +192,10 @@ impl Measure {
             Measure::NumericAbs { scale } => format!("numeric_{scale}"),
             Measure::MongeElkan(s) => format!("monge_elkan_{}", scheme(s)),
             Measure::TfIdf(s) => format!("tfidf_{}", scheme(s)),
-            Measure::SoftTfIdf { scheme: s, threshold } => {
+            Measure::SoftTfIdf {
+                scheme: s,
+                threshold,
+            } => {
                 format!("soft_tfidf_{}_{threshold:.2}", scheme(s))
             }
         }

@@ -25,8 +25,8 @@ pub fn soundex_code(s: &str) -> Option<String> {
     for c in letters {
         let class = CLASS[(c as u8 - b'a') as usize];
         match class {
-            0 => last_class = 0,          // vowels reset the run
-            7 => {}                       // h/w: transparent, run continues
+            0 => last_class = 0, // vowels reset the run
+            7 => {}              // h/w: transparent, run continues
             d if d != last_class => {
                 code.push((b'0' + d) as char);
                 if code.len() == 4 {
@@ -49,14 +49,8 @@ pub fn soundex_code(s: &str) -> Option<String> {
 /// (phonetics are meaningless for e.g. numeric model numbers).
 pub fn soundex_similarity(a: &str, b: &str) -> f64 {
     match (soundex_code(a), soundex_code(b)) {
-        (Some(ca), Some(cb))
-            if ca == cb => {
-                1.0
-            }
-        (None, None)
-            if a.trim() == b.trim() => {
-                1.0
-            }
+        (Some(ca), Some(cb)) if ca == cb => 1.0,
+        (None, None) if a.trim() == b.trim() => 1.0,
         _ => 0.0,
     }
 }

@@ -11,7 +11,11 @@ fn intersection_sizes(a: &[String], b: &[String]) -> (usize, usize, usize) {
     let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
     let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
     // Iterate the smaller set for the intersection count.
-    let (small, big) = if sa.len() <= sb.len() { (&sa, &sb) } else { (&sb, &sa) };
+    let (small, big) = if sa.len() <= sb.len() {
+        (&sa, &sb)
+    } else {
+        (&sb, &sa)
+    };
     let inter = small.iter().filter(|t| big.contains(*t)).count();
     (inter, sa.len(), sb.len())
 }

@@ -98,7 +98,11 @@ pub fn tfidf_cosine(a: &[String], b: &[String], idf: Option<&IdfTable>) -> f64 {
     }
     let va = weight_vector(a, idf);
     let vb = weight_vector(b, idf);
-    let (small, big) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
+    let (small, big) = if va.len() <= vb.len() {
+        (&va, &vb)
+    } else {
+        (&vb, &va)
+    };
     let dot: f64 = small
         .iter()
         .filter_map(|(t, w)| big.get(t).map(|w2| w * w2))

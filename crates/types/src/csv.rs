@@ -14,7 +14,11 @@ pub enum CsvError {
     /// The input had no header line.
     MissingHeader,
     /// A data row had a different number of fields than the header.
-    RaggedRow { line: usize, expected: usize, got: usize },
+    RaggedRow {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// A quoted field was never closed.
     UnterminatedQuote { line: usize },
     /// The parsed rows violated table constraints (duplicate id, …).
@@ -25,7 +29,11 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "csv input has no header line"),
-            CsvError::RaggedRow { line, expected, got } => {
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {got}")
             }
             CsvError::UnterminatedQuote { line } => {
@@ -218,7 +226,9 @@ pub fn write_csv(table: &Table) -> String {
         out.push_str(&quote(rec.id()));
         for v in rec.values() {
             out.push(',');
-            if let Some(s) = v { out.push_str(&quote(s)) }
+            if let Some(s) = v {
+                out.push_str(&quote(s))
+            }
         }
         out.push('\n');
     }

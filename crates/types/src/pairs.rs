@@ -176,10 +176,7 @@ mod tests {
             PairIdx::new(0, 1),
         ]);
         c.dedup();
-        assert_eq!(
-            c.as_slice(),
-            &[PairIdx::new(0, 1), PairIdx::new(0, 0)]
-        );
+        assert_eq!(c.as_slice(), &[PairIdx::new(0, 1), PairIdx::new(0, 0)]);
     }
 
     #[test]

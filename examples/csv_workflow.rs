@@ -34,14 +34,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Debug rules (text form, as an analyst would type them).
     let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
     session.add_rule_text("jaccard_ws(title, title) >= 0.55 AND exact(brand, brand) >= 1")?;
-    session.add_rule_text("jaro_winkler(modelno, modelno) >= 0.93 AND trigram(title, title) >= 0.3")?;
-    session.add_rule_text("numeric_50(price, price) >= 0.9 AND jaccard_ws(title, title) >= 0.45")?;
+    session
+        .add_rule_text("jaro_winkler(modelno, modelno) >= 0.93 AND trigram(title, title) >= 0.3")?;
+    session
+        .add_rule_text("numeric_50(price, price) >= 0.9 AND jaccard_ws(title, title) >= 0.45")?;
     println!("{} matches with 3 rules", session.n_matches());
 
     // 5. Persist the rule set for the next session / teammate.
     let rules_path = dir.join("rules.txt");
     std::fs::write(&rules_path, session.function_text())?;
-    println!("saved rules to {}:\n{}", rules_path.display(), session.function_text());
+    println!(
+        "saved rules to {}:\n{}",
+        rules_path.display(),
+        session.function_text()
+    );
 
     // 6. A fresh session reloads and reproduces the exact same matches.
     let a2 = parse_csv("walmart", &std::fs::read_to_string(&path_a)?)?;
@@ -54,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     assert_eq!(session2.matches(), session.matches());
-    println!("reloaded session reproduces all {} matches ✓", session2.n_matches());
+    println!(
+        "reloaded session reproduces all {} matches ✓",
+        session2.n_matches()
+    );
     Ok(())
 }

@@ -42,7 +42,10 @@ fn main() {
     let (r1, _) = session
         .add_rule(Rule::new().pred(title, CmpOp::Ge, 0.5))
         .unwrap();
-    println!("cold:  add rule #1                    {:>12?}", t0.elapsed());
+    println!(
+        "cold:  add rule #1                    {:>12?}",
+        t0.elapsed()
+    );
 
     // Subsequent edits ride the memo; every one should be interactive.
     type Edit = Box<dyn FnOnce(&mut DebugSession)>;
@@ -61,7 +64,8 @@ fn main() {
         (
             "tighten rule #1 with brand check",
             Box::new(move |s: &mut DebugSession| {
-                s.add_predicate(r1, Predicate::at_least(brand, 1.0)).unwrap();
+                s.add_predicate(r1, Predicate::at_least(brand, 1.0))
+                    .unwrap();
             }),
         ),
         (
@@ -95,7 +99,10 @@ fn main() {
     // Compare with the batch alternative: full re-run, even with the memo.
     let t = Instant::now();
     session.run_full();
-    println!("\nbatch: full re-run (memo warm)        {:>12?}", t.elapsed());
+    println!(
+        "\nbatch: full re-run (memo warm)        {:>12?}",
+        t.elapsed()
+    );
 
     let m = session.memory_report();
     println!(

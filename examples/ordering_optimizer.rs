@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example ordering_optimizer`
 
 use rulem::blocking::{Blocker, OverlapBlocker};
+use rulem::core::Executor;
 use rulem::core::{
     cost_memo, optimize, run_memo, EvalContext, FunctionStats, MatchingFunction, OrderingAlgo,
 };
@@ -20,11 +21,19 @@ fn main() {
     // the regime where ordering + memoing matter.
     let features = vec![
         ctx.feature(Measure::Exact, "modelno", "modelno").unwrap(),
-        ctx.feature(Measure::JaroWinkler, "modelno", "modelno").unwrap(),
-        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::JaroWinkler, "modelno", "modelno")
+            .unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap(),
         ctx.feature(Measure::Trigram, "title", "title").unwrap(),
-        ctx.feature(Measure::TfIdf(TokenScheme::Whitespace), "title", "title").unwrap(),
-        ctx.feature(Measure::soft_tfidf(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::TfIdf(TokenScheme::Whitespace), "title", "title")
+            .unwrap(),
+        ctx.feature(
+            Measure::soft_tfidf(TokenScheme::Whitespace),
+            "title",
+            "title",
+        )
+        .unwrap(),
     ];
     let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 2)
         .block(&ds.table_a, &ds.table_b)
@@ -72,7 +81,7 @@ fn main() {
         let mut func = base.clone();
         optimize(&mut func, &stats, algo);
         let predicted_ms = cost_memo(&func, &stats) * cands.len() as f64 / 1e6;
-        let (out, _) = run_memo(&func, &ctx, &cands, true);
+        let (out, _) = run_memo(&func, &ctx, &cands, true, &Executor::serial());
         println!(
             "{:<22} {:>12.3} {:>16.3} {:>12}",
             algo.label(),

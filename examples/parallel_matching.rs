@@ -1,10 +1,15 @@
 //! Parallel matching (an extension beyond the paper): candidate pairs are
-//! independent, so Algorithm 4 scales across cores with chunk-local memos.
+//! independent, so both Algorithm 4 full runs and the §6 incremental edits
+//! scale across cores. One [`Executor`] worker pool is built up front and
+//! reused for every run — full matching shards the memo, incremental edits
+//! partition the affected pairs.
 //!
 //! Run with: `cargo run --release --example parallel_matching`
 
 use rulem::blocking::{Blocker, OverlapBlocker};
-use rulem::core::{run_memo, run_memo_parallel, EvalContext, MatchingFunction};
+use rulem::core::{
+    run_memo, CmpOp, DebugSession, EvalContext, Executor, MatchingFunction, Rule, SessionConfig,
+};
 use rulem::datagen::Domain;
 use rulem::rulegen::{random_rules, RandomRuleConfig};
 use rulem::similarity::{Measure, TokenScheme};
@@ -13,11 +18,17 @@ fn main() {
     let ds = Domain::VideoGames.generate(21, 0.1);
     let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
     let features = vec![
-        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap(),
         ctx.feature(Measure::Trigram, "title", "title").unwrap(),
         ctx.feature(Measure::Levenshtein, "title", "title").unwrap(),
         ctx.feature(Measure::Exact, "platform", "platform").unwrap(),
-        ctx.feature(Measure::soft_tfidf(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(
+            Measure::soft_tfidf(TokenScheme::Whitespace),
+            "title",
+            "title",
+        )
+        .unwrap(),
     ];
     let cands = OverlapBlocker::new("title", TokenScheme::Whitespace, 1)
         .block(&ds.table_a, &ds.table_b)
@@ -41,7 +52,8 @@ fn main() {
         func.n_rules()
     );
 
-    let (serial, _) = run_memo(&func, &ctx, &cands, true);
+    // ----- full runs: serial vs. pooled executors ------------------------
+    let (serial, _) = run_memo(&func, &ctx, &cands, true, &Executor::serial());
     println!(
         "serial DM+EE:          {:>9.3} ms ({} matches)",
         serial.elapsed.as_secs_f64() * 1e3,
@@ -49,7 +61,8 @@ fn main() {
     );
 
     for threads in [2, 4, 8] {
-        let par = run_memo_parallel(&func, &ctx, &cands, true, threads);
+        let exec = Executor::pool(threads);
+        let (par, _) = run_memo(&func, &ctx, &cands, true, &exec);
         assert_eq!(par.verdicts, serial.verdicts, "parallel must agree");
         println!(
             "parallel ({threads} threads):  {:>9.3} ms (speedup {:.2}x)",
@@ -57,5 +70,49 @@ fn main() {
             serial.elapsed.as_secs_f64() / par.elapsed.as_secs_f64()
         );
     }
-    println!("\n(all runs produced identical verdicts)");
+    println!("\n(all full runs produced identical verdicts)\n");
+
+    // ----- incremental edits: the same pool accelerates the debug loop ---
+    // `SessionConfig::n_threads` threads one executor through every edit;
+    // the per-worker stats in each `EditRecord` show how the delta work was
+    // split across the pool.
+    for threads in [1usize, 4] {
+        let mut session = DebugSession::with_context(
+            ctx.clone(),
+            cands.clone(),
+            SessionConfig {
+                n_threads: threads,
+                ..SessionConfig::default()
+            },
+        );
+        let f = session
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        let g = session.feature(Measure::Trigram, "title", "title").unwrap();
+
+        let (_, r1) = session
+            .add_rule(Rule::new().pred(f, CmpOp::Ge, 0.8))
+            .unwrap();
+        let (rid, r2) = session
+            .add_rule(Rule::new().pred(g, CmpOp::Ge, 0.6).pred(f, CmpOp::Ge, 0.3))
+            .unwrap();
+        let pid = session.function().rule(rid).unwrap().preds[0].id;
+        let r3 = session.set_threshold(pid, 0.75).unwrap();
+
+        println!(
+            "session ({}): add_rule {:.3} ms, add_rule {:.3} ms, set_threshold {:.3} ms",
+            session.executor().label(),
+            r1.elapsed.as_secs_f64() * 1e3,
+            r2.elapsed.as_secs_f64() * 1e3,
+            r3.elapsed.as_secs_f64() * 1e3,
+        );
+        if let Some(last) = session.history().last() {
+            let split: Vec<String> = last
+                .worker_stats
+                .iter()
+                .map(|w| format!("w{}={}", w.worker, w.pairs_examined))
+                .collect();
+            println!("  last edit examined pairs per worker: {}", split.join(" "));
+        }
+    }
 }

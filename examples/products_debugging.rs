@@ -21,7 +21,10 @@ fn main() {
         ds.table_a.len(),
         ds.table_b.len(),
         cands.len(),
-        labeled.iter().filter(|l| l.label == rulem::types::Label::Match).count()
+        labeled
+            .iter()
+            .filter(|l| l.label == rulem::types::Label::Match)
+            .count()
     );
 
     let mut session = DebugSession::new(
@@ -113,7 +116,10 @@ fn main() {
             .find(|(_, p)| *p == lp.pair)
             .map(|(i, _)| i)
             .unwrap();
-        println!("\nwhy is this labeled match still missed?\n{}", session.explain(idx));
+        println!(
+            "\nwhy is this labeled match still missed?\n{}",
+            session.explain(idx)
+        );
     }
 
     println!("\nfinal rules:\n{}", session.function_text());

@@ -14,22 +14,38 @@ fn main() {
     // Tables A and B from the paper's Figure 2 (expanded slightly).
     let schema = Schema::new(["name", "phone", "zip", "street"]);
     let mut a = Table::new("A", schema.clone());
-    a.push(Record::new("a1", ["John Smith", "206-453-1978", "53703", "State St"]));
-    a.push(Record::new("a2", ["Bob Lee", "414-555-0101", "53202", "Water St"]));
+    a.push(Record::new(
+        "a1",
+        ["John Smith", "206-453-1978", "53703", "State St"],
+    ));
+    a.push(Record::new(
+        "a2",
+        ["Bob Lee", "414-555-0101", "53202", "Water St"],
+    ));
     let mut b = Table::new("B", schema);
-    b.push(Record::new("b1", ["John Smith", "453 1978", "53703", "State Street"]));
-    b.push(Record::new("b2", ["John Smyth", "608-555-0102", "53711", "Park Ave"]));
+    b.push(Record::new(
+        "b1",
+        ["John Smith", "453 1978", "53703", "State Street"],
+    ));
+    b.push(Record::new(
+        "b2",
+        ["John Smyth", "608-555-0102", "53711", "Park Ave"],
+    ));
 
     let cands = CandidateSet::cartesian(&a, &b);
     let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
 
     // Features are similarity functions over attribute pairs.
-    let name_jw = session.feature(Measure::JaroWinkler, "name", "name").unwrap();
+    let name_jw = session
+        .feature(Measure::JaroWinkler, "name", "name")
+        .unwrap();
     let name_jac = session
         .feature(Measure::Jaccard(TokenScheme::QGram(3)), "name", "name")
         .unwrap();
     let zip_eq = session.feature(Measure::Exact, "zip", "zip").unwrap();
-    let street_sim = session.feature(Measure::Levenshtein, "street", "street").unwrap();
+    let street_sim = session
+        .feature(Measure::Levenshtein, "street", "street")
+        .unwrap();
 
     // Iteration 1: the analyst writes B1 = (name strict) ∨ (name loose).
     let (r1, report) = session
@@ -43,7 +59,10 @@ fn main() {
     let (_r2, report) = session
         .add_rule(Rule::new().pred(name_jac, CmpOp::Ge, 0.7))
         .unwrap();
-    println!("added fallback rule: {} new matches", report.newly_matched.len());
+    println!(
+        "added fallback rule: {} new matches",
+        report.newly_matched.len()
+    );
 
     // Inspect: why did pair 1 (a1 vs b2, "John Smyth") match?
     println!("\n{}", session.explain(1));

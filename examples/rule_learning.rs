@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example rule_learning`
 
 use rulem::blocking::{Blocker, OverlapBlocker};
+use rulem::core::Executor;
 use rulem::core::{run_memo, EvalContext, MatchingFunction, QualityReport};
 use rulem::datagen::Domain;
 use rulem::rulegen::{learn_rules, ExtractConfig, ForestConfig};
@@ -15,12 +16,14 @@ fn main() {
     let ds = Domain::Restaurants.generate(13, 0.02);
     let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
     let features = vec![
-        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "name", "name").unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "name", "name")
+            .unwrap(),
         ctx.feature(Measure::JaroWinkler, "name", "name").unwrap(),
         ctx.feature(Measure::Trigram, "name", "name").unwrap(),
         ctx.feature(Measure::Levenshtein, "phone", "phone").unwrap(),
         ctx.feature(Measure::Exact, "city", "city").unwrap(),
-        ctx.feature(Measure::Levenshtein, "street", "street").unwrap(),
+        ctx.feature(Measure::Levenshtein, "street", "street")
+            .unwrap(),
     ];
 
     let cands = OverlapBlocker::new("name", TokenScheme::Whitespace, 1)
@@ -53,7 +56,10 @@ fn main() {
             max_rules: 40,
         },
     );
-    println!("\nforest extracted {} rules; the top 5 by support:", rules.len());
+    println!(
+        "\nforest extracted {} rules; the top 5 by support:",
+        rules.len()
+    );
 
     let mut func = MatchingFunction::new();
     for rule in rules {
@@ -75,7 +81,7 @@ fn main() {
         println!("  {}", preds.join(" AND "));
     }
 
-    let (out, _) = run_memo(&func, &ctx, &cands, true);
+    let (out, _) = run_memo(&func, &ctx, &cands, true, &Executor::serial());
     let q = QualityReport::evaluate(&out.verdicts, &cands, &labeled);
     println!(
         "\nmatching with learned rules: P={:.3} R={:.3} F1={:.3} in {:?}",

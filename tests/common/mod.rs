@@ -46,8 +46,16 @@ pub fn random_workload(seed: u64) -> RandomWorkload {
             let title = PHRASES[rng.gen_range(0..PHRASES.len())];
             let code = CODES[rng.gen_range(0..CODES.len())];
             let values = vec![
-                if title.is_empty() { None } else { Some(title.to_string()) },
-                if code.is_empty() { None } else { Some(code.to_string()) },
+                if title.is_empty() {
+                    None
+                } else {
+                    Some(title.to_string())
+                },
+                if code.is_empty() {
+                    None
+                } else {
+                    Some(code.to_string())
+                },
             ];
             t.push(Record::with_missing(format!("{name}{i}"), values));
         }
@@ -64,7 +72,8 @@ pub fn random_workload(seed: u64) -> RandomWorkload {
     let features = vec![
         ctx.feature(Measure::Exact, "code", "code").unwrap(),
         ctx.feature(Measure::JaroWinkler, "title", "title").unwrap(),
-        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap(),
         ctx.feature(Measure::Levenshtein, "code", "code").unwrap(),
         ctx.feature(Measure::Trigram, "title", "title").unwrap(),
     ];

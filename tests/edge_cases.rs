@@ -4,6 +4,7 @@
 //! with sensible verdicts.
 
 use rulem::blocking::{Blocker, CartesianBlocker, OverlapBlocker};
+use rulem::core::Executor;
 use rulem::core::{
     run_memo, run_rudimentary, CmpOp, DebugSession, EvalContext, MatchingFunction, Rule,
     SessionConfig,
@@ -60,14 +61,18 @@ fn all_values_missing() {
     let cands = CandidateSet::cartesian(&a, &b);
     let mut ctx = EvalContext::from_tables(a, b);
     let f = ctx
-        .feature(Measure::soft_tfidf(TokenScheme::Whitespace), "title", "title")
+        .feature(
+            Measure::soft_tfidf(TokenScheme::Whitespace),
+            "title",
+            "title",
+        )
         .unwrap();
     let mut func = MatchingFunction::new();
     func.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.1)).unwrap();
     // Missing values score 0.0 → nothing matches, nothing panics.
-    let out = run_rudimentary(&func, &ctx, &cands);
+    let out = run_rudimentary(&func, &ctx, &cands, &Executor::serial());
     assert_eq!(out.n_matches(), 0);
-    let (out2, _) = run_memo(&func, &ctx, &cands, true);
+    let (out2, _) = run_memo(&func, &ctx, &cands, true, &Executor::serial());
     assert_eq!(out2.verdicts, out.verdicts);
 }
 
@@ -87,13 +92,19 @@ fn thresholds_beyond_unit_interval() {
     impossible
         .add_rule(Rule::new().pred(f, CmpOp::Ge, 1.5))
         .unwrap();
-    assert_eq!(run_rudimentary(&impossible, &ctx, &cands).n_matches(), 0);
+    assert_eq!(
+        run_rudimentary(&impossible, &ctx, &cands, &Executor::serial()).n_matches(),
+        0
+    );
 
     let mut universal = MatchingFunction::new();
     universal
         .add_rule(Rule::new().pred(f, CmpOp::Ge, -1.0))
         .unwrap();
-    assert_eq!(run_rudimentary(&universal, &ctx, &cands).n_matches(), 1);
+    assert_eq!(
+        run_rudimentary(&universal, &ctx, &cands, &Executor::serial()).n_matches(),
+        1
+    );
 }
 
 #[test]
@@ -119,7 +130,10 @@ fn enormous_strings_do_not_blow_up() {
         let f = ctx.feature(m, "title", "title").unwrap();
         let v = ctx.compute(f, cands.pair(0));
         assert!((0.0..=1.0).contains(&v), "{m:?} gave {v}");
-        assert!(v > 0.7, "{m:?} should consider near-identical texts similar, got {v}");
+        assert!(
+            v > 0.7,
+            "{m:?} should consider near-identical texts similar, got {v}"
+        );
     }
 }
 
@@ -135,7 +149,9 @@ fn duplicate_records_in_one_table() {
     let cands = CandidateSet::cartesian(&a, &b);
     let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
     let f = session.feature(Measure::Exact, "title", "title").unwrap();
-    session.add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0)).unwrap();
+    session
+        .add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0))
+        .unwrap();
     assert_eq!(session.n_matches(), 2);
 }
 
@@ -149,7 +165,9 @@ fn single_pair_workload() {
     let cands = CandidateSet::cartesian(&a, &b);
     let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
     let f = session.feature(Measure::Exact, "title", "title").unwrap();
-    let (rid, _) = session.add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0)).unwrap();
+    let (rid, _) = session
+        .add_rule(Rule::new().pred(f, CmpOp::Ge, 1.0))
+        .unwrap();
     assert_eq!(session.n_matches(), 1);
     session.remove_rule(rid).unwrap();
     assert_eq!(session.n_matches(), 0);
@@ -187,7 +205,9 @@ fn many_rules_one_pair_stress() {
     b.push(Record::new("b1", ["only pair"]));
     let cands = CandidateSet::cartesian(&a, &b);
     let mut session = DebugSession::new(a, b, cands, SessionConfig::default());
-    let f = session.feature(Measure::Levenshtein, "title", "title").unwrap();
+    let f = session
+        .feature(Measure::Levenshtein, "title", "title")
+        .unwrap();
     for i in 0..500 {
         let t = 1.001 + (i as f64 / 1000.0); // similarity can never exceed 1.0
         session.add_rule(Rule::new().pred(f, CmpOp::Ge, t)).unwrap();

@@ -7,9 +7,9 @@ mod common;
 
 use common::{random_workload, reference_verdicts};
 use proptest::prelude::*;
+use rulem::core::Executor;
 use rulem::core::{
-    run_early_exit, run_memo, run_memo_parallel, run_memo_with, run_precompute, run_rudimentary,
-    SparseMemo, Strategy,
+    run_early_exit, run_memo, run_memo_with, run_precompute, run_rudimentary, SparseMemo, Strategy,
 };
 
 proptest! {
@@ -20,29 +20,29 @@ proptest! {
         let w = random_workload(seed);
         let expected = reference_verdicts(&w);
 
-        let rud = run_rudimentary(&w.func, &w.ctx, &w.cands);
+        let rud = run_rudimentary(&w.func, &w.ctx, &w.cands, &Executor::serial());
         prop_assert_eq!(&rud.verdicts, &expected, "rudimentary");
 
-        let ee = run_early_exit(&w.func, &w.ctx, &w.cands);
+        let ee = run_early_exit(&w.func, &w.ctx, &w.cands, &Executor::serial());
         prop_assert_eq!(&ee.verdicts, &expected, "early exit");
 
-        let (ppr, _) = run_precompute(&w.func, &w.ctx, &w.cands, &w.func.features(), true);
+        let (ppr, _) = run_precompute(&w.func, &w.ctx, &w.cands, &w.func.features(), true, &Executor::serial());
         prop_assert_eq!(&ppr.verdicts, &expected, "production precompute");
 
-        let (fpr, _) = run_precompute(&w.func, &w.ctx, &w.cands, &w.features, true);
+        let (fpr, _) = run_precompute(&w.func, &w.ctx, &w.cands, &w.features, true, &Executor::serial());
         prop_assert_eq!(&fpr.verdicts, &expected, "full precompute");
 
-        let (dm, _) = run_memo(&w.func, &w.ctx, &w.cands, false);
+        let (dm, _) = run_memo(&w.func, &w.ctx, &w.cands, false, &Executor::serial());
         prop_assert_eq!(&dm.verdicts, &expected, "memo");
 
-        let (ccf, _) = run_memo(&w.func, &w.ctx, &w.cands, true);
+        let (ccf, _) = run_memo(&w.func, &w.ctx, &w.cands, true, &Executor::serial());
         prop_assert_eq!(&ccf.verdicts, &expected, "memo + check-cache-first");
 
         let mut sparse = SparseMemo::new();
         let sp = run_memo_with(&w.func, &w.ctx, &w.cands, &mut sparse, true);
         prop_assert_eq!(&sp.verdicts, &expected, "sparse memo");
 
-        let par = run_memo_parallel(&w.func, &w.ctx, &w.cands, true, 3);
+        let (par, _) = run_memo(&w.func, &w.ctx, &w.cands, true, &Executor::pool(3));
         prop_assert_eq!(&par.verdicts, &expected, "parallel");
     }
 
@@ -51,9 +51,9 @@ proptest! {
         // Early exit never computes more than rudimentary; memoing never
         // computes more than early exit.
         let w = random_workload(seed);
-        let rud = run_rudimentary(&w.func, &w.ctx, &w.cands);
-        let ee = run_early_exit(&w.func, &w.ctx, &w.cands);
-        let (dm, _) = run_memo(&w.func, &w.ctx, &w.cands, false);
+        let rud = run_rudimentary(&w.func, &w.ctx, &w.cands, &Executor::serial());
+        let ee = run_early_exit(&w.func, &w.ctx, &w.cands, &Executor::serial());
+        let (dm, _) = run_memo(&w.func, &w.ctx, &w.cands, false, &Executor::serial());
         prop_assert!(ee.stats.feature_computations <= rud.stats.feature_computations);
         prop_assert!(dm.stats.feature_computations <= ee.stats.feature_computations);
     }
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn memo_computes_each_cell_at_most_once(seed in 0u64..10_000) {
         let w = random_workload(seed);
-        let (dm, memo) = run_memo(&w.func, &w.ctx, &w.cands, true);
+        let (dm, memo) = run_memo(&w.func, &w.ctx, &w.cands, true, &Executor::serial());
         use rulem::core::Memo;
         prop_assert_eq!(dm.stats.feature_computations as usize, memo.stored());
         let bound = w.cands.len() * w.func.features().len();

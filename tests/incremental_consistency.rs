@@ -9,9 +9,7 @@ use common::{random_workload, RandomWorkload};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rulem::core::{
-    run_full, CmpOp, MatchState, MatchingFunction, OrderingAlgo, Rule,
-};
+use rulem::core::{run_full, CmpOp, Executor, MatchState, MatchingFunction, OrderingAlgo, Rule};
 
 /// Applies one random edit to `(func, state)` and returns its description.
 fn random_edit(
@@ -19,6 +17,7 @@ fn random_edit(
     func: &mut MatchingFunction,
     state: &mut MatchState,
     rng: &mut StdRng,
+    exec: &Executor,
 ) -> String {
     // Pick an edit type; fall through to add-rule when the precondition of
     // the drawn edit isn't met (e.g. removing from an empty function).
@@ -28,13 +27,13 @@ fn random_edit(
         0 => {
             let f = w.features[rng.gen_range(0..w.features.len())];
             let rule = Rule::new().pred(f, CmpOp::Ge, rng.gen_range(0..=10) as f64 / 10.0);
-            rulem::core::add_rule(func, state, &w.ctx, &w.cands, rule, true).unwrap();
+            rulem::core::add_rule(func, state, &w.ctx, &w.cands, rule, true, exec).unwrap();
             "add_rule".into()
         }
         // Remove a rule.
         1 if !func.is_empty() => {
             let rid = func.rules()[rng.gen_range(0..func.n_rules())].id;
-            rulem::core::remove_rule(func, state, &w.ctx, &w.cands, rid, true).unwrap();
+            rulem::core::remove_rule(func, state, &w.ctx, &w.cands, rid, true, exec).unwrap();
             "remove_rule".into()
         }
         // Add a predicate.
@@ -43,10 +42,15 @@ fn random_edit(
             let f = w.features[rng.gen_range(0..w.features.len())];
             let pred = rulem::core::Predicate::new(
                 f,
-                if rng.gen_bool(0.5) { CmpOp::Ge } else { CmpOp::Lt },
+                if rng.gen_bool(0.5) {
+                    CmpOp::Ge
+                } else {
+                    CmpOp::Lt
+                },
                 rng.gen_range(0..=10) as f64 / 10.0,
             );
-            rulem::core::add_predicate(func, state, &w.ctx, &w.cands, rid, pred, true).unwrap();
+            rulem::core::add_predicate(func, state, &w.ctx, &w.cands, rid, pred, true, exec)
+                .unwrap();
             "add_predicate".into()
         }
         // Remove a predicate (from a rule with ≥ 2 predicates).
@@ -57,7 +61,8 @@ fn random_edit(
                 .find(|r| r.preds.len() >= 2)
                 .map(|r| r.preds[rng.gen_range(0..r.preds.len())].id);
             if let Some(pid) = candidate {
-                rulem::core::remove_predicate(func, state, &w.ctx, &w.cands, pid, true).unwrap();
+                rulem::core::remove_predicate(func, state, &w.ctx, &w.cands, pid, true, exec)
+                    .unwrap();
                 "remove_predicate".into()
             } else {
                 "skip".into()
@@ -68,19 +73,32 @@ fn random_edit(
             let rule = &func.rules()[rng.gen_range(0..func.n_rules())];
             let pid = rule.preds[rng.gen_range(0..rule.preds.len())].id;
             let new = rng.gen_range(0..=10) as f64 / 10.0;
-            rulem::core::set_threshold(func, state, &w.ctx, &w.cands, pid, new, true).unwrap();
+            rulem::core::set_threshold(func, state, &w.ctx, &w.cands, pid, new, true, exec)
+                .unwrap();
             "set_threshold".into()
         }
         // Re-order rules + predicates, then re-run (what a session does).
+        // Synthetic stats instead of `FunctionStats::estimate`: estimate
+        // wall-clocks feature costs, so two lockstep sessions would order
+        // predicates differently and spuriously diverge.
         5 if !func.is_empty() => {
-            let stats = rulem::core::FunctionStats::estimate(func, &w.ctx, &w.cands, 1.0, 7);
+            let costs: Vec<_> = w
+                .features
+                .iter()
+                .map(|&f| (f, rng.gen_range(1..1000) as f64))
+                .collect();
+            let sels: Vec<_> = func
+                .predicates()
+                .map(|(_, bp)| (bp.id, rng.gen_range(0..=10) as f64 / 10.0))
+                .collect();
+            let stats = rulem::core::FunctionStats::synthetic(costs, sels, 1.0);
             let algo = if rng.gen_bool(0.5) {
                 OrderingAlgo::GreedyReduction
             } else {
                 OrderingAlgo::Random(rng.gen())
             };
             rulem::core::optimize(func, &stats, algo);
-            run_full(func, &w.ctx, &w.cands, state, true);
+            run_full(func, &w.ctx, &w.cands, state, true, exec);
             "reorder".into()
         }
         _ => "skip".into(),
@@ -97,16 +115,16 @@ proptest! {
 
         let mut func = w.func.clone();
         let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
-        run_full(&func, &w.ctx, &w.cands, &mut state, true);
+        run_full(&func, &w.ctx, &w.cands, &mut state, true, &Executor::serial());
 
         let mut trace = Vec::new();
         for _ in 0..n_edits {
-            trace.push(random_edit(&w, &mut func, &mut state, &mut rng));
+            trace.push(random_edit(&w, &mut func, &mut state, &mut rng, &Executor::serial()));
 
             // After every edit, the incremental state must equal a from-
             // scratch run of the current function.
             let mut fresh = MatchState::new(w.cands.len(), w.ctx.registry().len());
-            run_full(&func, &w.ctx, &w.cands, &mut fresh, true);
+            run_full(&func, &w.ctx, &w.cands, &mut fresh, true, &Executor::serial());
             prop_assert_eq!(
                 state.verdicts(),
                 fresh.verdicts(),
@@ -120,7 +138,7 @@ proptest! {
     fn fired_rule_is_always_a_true_rule(seed in 0u64..10_000) {
         let w = random_workload(seed);
         let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
-        run_full(&w.func, &w.ctx, &w.cands, &mut state, true);
+        run_full(&w.func, &w.ctx, &w.cands, &mut state, true, &Executor::serial());
         for (i, pair) in w.cands.iter() {
             if let Some(rid) = state.fired_rule(i) {
                 let rule = w.func.rule(rid).expect("fired rule exists");
@@ -137,7 +155,7 @@ proptest! {
         // Every bit in U(p) must correspond to a pair where p is false.
         let w = random_workload(seed);
         let mut state = MatchState::new(w.cands.len(), w.ctx.registry().len());
-        run_full(&w.func, &w.ctx, &w.cands, &mut state, true);
+        run_full(&w.func, &w.ctx, &w.cands, &mut state, true, &Executor::serial());
         for (_, bp) in w.func.predicates() {
             if let Some(bm) = state.pred_bitmap(bp.id) {
                 for i in bm.iter_ones() {
@@ -149,6 +167,98 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_full_run_matches_serial(seed in 0u64..10_000) {
+        // A pooled full run must rebuild exactly the serial state: same
+        // verdicts, same fired rules, same M(r) and U(p) bitmaps — the
+        // chunk-local memos are merged, not discarded.
+        let w = random_workload(seed);
+        let mut serial = MatchState::new(w.cands.len(), w.ctx.registry().len());
+        run_full(&w.func, &w.ctx, &w.cands, &mut serial, true, &Executor::serial());
+        for threads in [2usize, 4, 9] {
+            let exec = Executor::pool(threads);
+            let mut par = MatchState::new(w.cands.len(), w.ctx.registry().len());
+            run_full(&w.func, &w.ctx, &w.cands, &mut par, true, &exec);
+            prop_assert_eq!(par.verdicts(), serial.verdicts(), "{threads} threads: verdicts");
+            for i in 0..w.cands.len() {
+                prop_assert_eq!(par.fired_rule(i), serial.fired_rule(i), "{} threads: fired rule for pair {}", threads, i);
+            }
+            for rule in w.func.rules() {
+                let a: Vec<usize> = serial.rule_bitmap(rule.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                let b: Vec<usize> = par.rule_bitmap(rule.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                prop_assert_eq!(a, b, "{} threads: M({}) differs", threads, rule.id);
+            }
+            for (_, bp) in w.func.predicates() {
+                let a: Vec<usize> = serial.pred_bitmap(bp.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                let b: Vec<usize> = par.pred_bitmap(bp.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                prop_assert_eq!(a, b, "{} threads: U({}) differs", threads, bp.id);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edit_sequences_match_serial_incremental(
+        seed in 0u64..10_000,
+        n_edits in 1usize..8,
+        threads in prop::sample::select(vec![2usize, 4, 9]),
+    ) {
+        // The same random edit sequence applied through a worker pool must
+        // leave a state *identical* to applying it serially — verdicts,
+        // fired rules, and both bitmap families — and both must agree with
+        // a from-scratch run on verdicts (the paper's §6 guarantee; fired
+        // rules may differ from scratch because Alg 9 skips matched pairs).
+        let w = random_workload(seed);
+        let pool = Executor::with_threads(threads);
+        let serial = Executor::serial();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
+
+        let mut func_s = w.func.clone();
+        let mut state_s = MatchState::new(w.cands.len(), w.ctx.registry().len());
+        run_full(&func_s, &w.ctx, &w.cands, &mut state_s, true, &serial);
+        let mut func_p = w.func.clone();
+        let mut state_p = MatchState::new(w.cands.len(), w.ctx.registry().len());
+        run_full(&func_p, &w.ctx, &w.cands, &mut state_p, true, &pool);
+
+        let mut trace = Vec::new();
+        for _ in 0..n_edits {
+            // Clone the RNG so both sessions draw the identical edit.
+            let mut rng_p = rng.clone();
+            trace.push(random_edit(&w, &mut func_s, &mut state_s, &mut rng, &serial));
+            random_edit(&w, &mut func_p, &mut state_p, &mut rng_p, &pool);
+
+            prop_assert_eq!(
+                state_p.verdicts(),
+                state_s.verdicts(),
+                "{} threads diverged from serial after edits {:?}",
+                threads,
+                trace
+            );
+            for i in 0..w.cands.len() {
+                prop_assert_eq!(state_p.fired_rule(i), state_s.fired_rule(i), "{} threads: fired rule for pair {} after {:?}", threads, i, trace);
+            }
+            for rule in func_s.rules() {
+                let a: Vec<usize> = state_s.rule_bitmap(rule.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                let b: Vec<usize> = state_p.rule_bitmap(rule.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                prop_assert_eq!(a, b, "{} threads: M({}) differs after {:?}", threads, rule.id, trace);
+            }
+            for (_, bp) in func_s.predicates() {
+                let a: Vec<usize> = state_s.pred_bitmap(bp.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                let b: Vec<usize> = state_p.pred_bitmap(bp.id).map(|b| b.iter_ones().collect()).unwrap_or_default();
+                prop_assert_eq!(a, b, "{} threads: U({}) differs after {:?}", threads, bp.id, trace);
+            }
+
+            // Both must still match a serial from-scratch run on verdicts.
+            let mut fresh = MatchState::new(w.cands.len(), w.ctx.registry().len());
+            run_full(&func_s, &w.ctx, &w.cands, &mut fresh, true, &serial);
+            prop_assert_eq!(
+                state_s.verdicts(),
+                fresh.verdicts(),
+                "serial incremental diverged from scratch after {:?}",
+                trace
+            );
         }
     }
 }

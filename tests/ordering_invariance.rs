@@ -6,6 +6,7 @@ mod common;
 
 use common::{random_workload, reference_verdicts};
 use proptest::prelude::*;
+use rulem::core::Executor;
 use rulem::core::{
     cost_early_exit, cost_memo, cost_rudimentary, optimize, run_memo, FunctionStats, OrderingAlgo,
 };
@@ -27,7 +28,7 @@ proptest! {
         ] {
             let mut func = w.func.clone();
             optimize(&mut func, &stats, algo);
-            let (out, _) = run_memo(&func, &w.ctx, &w.cands, true);
+            let (out, _) = run_memo(&func, &w.ctx, &w.cands, true, &Executor::serial());
             prop_assert_eq!(&out.verdicts, &expected, "{:?} changed verdicts", algo);
             // Structure preserved.
             prop_assert_eq!(func.n_rules(), w.func.n_rules());

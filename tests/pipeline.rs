@@ -3,6 +3,7 @@
 //! Table 2 domains.
 
 use rulem::blocking::{Blocker, CartesianBlocker, OverlapBlocker};
+use rulem::core::Executor;
 use rulem::core::{DebugSession, EvalContext, MatchingFunction, OrderingAlgo, SessionConfig};
 use rulem::datagen::Domain;
 use rulem::rulegen::{learn_rules, ExtractConfig, ForestConfig};
@@ -17,7 +18,11 @@ fn all_domains_full_pipeline() {
         let cands = OverlapBlocker::new(title, TokenScheme::Whitespace, 1)
             .block(&ds.table_a, &ds.table_b)
             .unwrap();
-        assert!(!cands.is_empty(), "{}: blocking emptied candidates", domain.name());
+        assert!(
+            !cands.is_empty(),
+            "{}: blocking emptied candidates",
+            domain.name()
+        );
 
         // Blocking keeps a usable share of the ground truth.
         let kept = ds.recallable_matches(&cands);
@@ -31,7 +36,8 @@ fn all_domains_full_pipeline() {
         let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
         let code = domain.code_attr();
         let features = vec![
-            ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), title, title).unwrap(),
+            ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), title, title)
+                .unwrap(),
             ctx.feature(Measure::Trigram, title, title).unwrap(),
             ctx.feature(Measure::JaroWinkler, title, title).unwrap(),
             ctx.feature(Measure::Levenshtein, code, code).unwrap(),
@@ -60,7 +66,7 @@ fn all_domains_full_pipeline() {
         for r in rules {
             func.add_rule(r).unwrap();
         }
-        let (out, _) = rulem::core::run_memo(&func, &ctx, &cands, true);
+        let (out, _) = rulem::core::run_memo(&func, &ctx, &cands, true, &Executor::serial());
         let q = rulem::core::QualityReport::evaluate(&out.verdicts, &cands, &labeled);
         assert!(
             q.f1() > 0.5,
@@ -121,7 +127,8 @@ fn ordering_on_learned_rules_preserves_output() {
     let labeled = ds.label_candidates(&cands);
     let mut ctx = EvalContext::from_tables(ds.table_a.clone(), ds.table_b.clone());
     let features = vec![
-        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title").unwrap(),
+        ctx.feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap(),
         ctx.feature(Measure::Exact, "brand", "brand").unwrap(),
         ctx.feature(Measure::Levenshtein, "size", "size").unwrap(),
     ];
@@ -141,11 +148,11 @@ fn ordering_on_learned_rules_preserves_output() {
     for r in rules {
         func.add_rule(r).unwrap();
     }
-    let (before, _) = rulem::core::run_memo(&func, &ctx, &cands, true);
+    let (before, _) = rulem::core::run_memo(&func, &ctx, &cands, true, &Executor::serial());
 
     let stats = rulem::core::FunctionStats::estimate(&func, &ctx, &cands, 0.05, 1);
     rulem::core::optimize(&mut func, &stats, OrderingAlgo::GreedyReduction);
-    let (after, _) = rulem::core::run_memo(&func, &ctx, &cands, true);
+    let (after, _) = rulem::core::run_memo(&func, &ctx, &cands, true, &Executor::serial());
     assert_eq!(before.verdicts, after.verdicts);
 }
 

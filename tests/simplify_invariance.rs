@@ -6,6 +6,7 @@ mod common;
 
 use common::{random_workload, reference_verdicts};
 use proptest::prelude::*;
+use rulem::core::Executor;
 use rulem::core::{run_memo, simplify};
 
 proptest! {
@@ -28,7 +29,7 @@ proptest! {
         );
 
         // Verdicts identical (empty function matches nothing — also fine).
-        let (out, _) = run_memo(&func, &w.ctx, &w.cands, true);
+        let (out, _) = run_memo(&func, &w.ctx, &w.cands, true, &Executor::serial());
         prop_assert_eq!(&out.verdicts, &expected, "report: {:?}", report);
     }
 

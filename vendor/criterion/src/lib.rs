@@ -1,0 +1,213 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the macro/type surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `iter` /
+//! `iter_batched`, `BenchmarkId`, `black_box`) but measures with a plain
+//! wall-clock mean instead of criterion's statistical machinery. Under
+//! `cargo test` (which passes `--test` to harness-less bench binaries) every
+//! routine runs exactly once as a smoke test.
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; only carried for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench targets with `--test`;
+        // `cargo bench` passes `--bench`. Any other flags (filters) are
+        // ignored by this stand-in.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Standalone benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(self.test_mode, self.sample_size, &id.to_string(), |b| f(b));
+    }
+
+    /// Runs pending config; kept for criterion API parity.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget; accepted and ignored (the stand-in's
+    /// budget is iteration-count based).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.test_mode, self.sample_size, &label, |b| f(b));
+    }
+
+    /// Benchmarks a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.test_mode, self.sample_size, &label, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(test_mode: bool, sample_size: usize, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        test_mode,
+        sample_size,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("bench-test {label}: ok");
+    } else if bencher.iters > 0 {
+        let mean = bencher.total / bencher.iters as u32;
+        println!("bench {label}: mean {mean:?} over {} iters", bencher.iters);
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` (once in test mode, `sample_size` times after one
+    /// warm-up otherwise).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

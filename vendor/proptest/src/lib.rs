@@ -1,0 +1,747 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace uses —
+//! `proptest!` / `prop_assert!` / `prop_oneof!`, range and regex-string
+//! strategies, `prop_map` / `prop_flat_map`, tuples, and
+//! `prop::collection::vec` — as a deterministic seeded sampler. There is
+//! **no shrinking**: a failing case reports its case number and message and
+//! panics immediately. Each test's RNG is seeded from the test name, so
+//! failures reproduce across runs.
+
+// Vendored stand-in: keep lints quiet so `clippy -D warnings` gates only
+// first-party code style.
+#![allow(clippy::all)]
+
+pub mod strategy {
+    use super::string::Pattern;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values (no shrinking in this stand-in).
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strat: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { strat: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strat: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.strat.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        strat: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.strat.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Type-erased strategy, used by `prop_oneof!` to mix heterogeneous
+    /// strategies over one value type.
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> BoxedStrategy<V> {
+        pub fn new<S: Strategy<Value = V> + 'static>(strat: S) -> Self {
+            BoxedStrategy(Box::new(strat))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut StdRng) -> V {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Weighted choice among strategies (`prop_oneof!` backing type).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof!: zero total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let mut r = rng.gen_range(0..self.total);
+            for (w, strat) in &self.arms {
+                if r < *w {
+                    return strat.sample(rng);
+                }
+                r -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String literals act as regex-subset strategies, like real proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            // Tiny patterns; re-parsing per sample keeps Strategy object-safe.
+            Pattern::parse(self)
+                .unwrap_or_else(|e| panic!("bad string strategy {self:?}: {e}"))
+                .sample(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A 0),
+        (A 0, B 1),
+        (A 0, B 1, C 2),
+        (A 0, B 1, C 2, D 3),
+        (A 0, B 1, C 2, D 3, E 4)
+    );
+}
+
+pub mod string {
+    //! Regex-subset sampler backing string-literal strategies.
+    //!
+    //! Supported syntax (what the workspace's patterns use): literal chars,
+    //! escapes `\n \r \t \\ \- \" \.`, `\PC` (printable non-control char),
+    //! char classes `[...]` with ranges and escapes, groups `(...)`, and
+    //! quantifiers `{n}` / `{m,n}` / `?` / `*` / `+` (the open-ended ones
+    //! capped at 8 repeats).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    enum Node {
+        Lit(char),
+        /// Inclusive char ranges; single chars are degenerate ranges.
+        Class(Vec<(char, char)>),
+        /// `\PC` — an arbitrary printable character.
+        AnyPrintable,
+        Group(Vec<(Node, (u32, u32))>),
+    }
+
+    /// A parsed pattern: a sequence of quantified nodes.
+    pub struct Pattern(Vec<(Node, (u32, u32))>);
+
+    impl Pattern {
+        pub fn parse(src: &str) -> Result<Self, String> {
+            let mut chars = src.chars().peekable();
+            let seq = parse_seq(&mut chars, false)?;
+            if chars.peek().is_some() {
+                return Err("unbalanced `)`".to_string());
+            }
+            Ok(Pattern(seq))
+        }
+
+        pub fn sample(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            sample_seq(&self.0, rng, &mut out);
+            out
+        }
+    }
+
+    fn parse_seq(
+        chars: &mut Peekable<Chars<'_>>,
+        in_group: bool,
+    ) -> Result<Vec<(Node, (u32, u32))>, String> {
+        let mut seq = Vec::new();
+        loop {
+            let Some(&c) = chars.peek() else {
+                if in_group {
+                    return Err("unterminated group".to_string());
+                }
+                return Ok(seq);
+            };
+            if c == ')' {
+                if in_group {
+                    chars.next();
+                }
+                return Ok(seq);
+            }
+            chars.next();
+            let node = match c {
+                '(' => Node::Group(parse_seq(chars, true)?),
+                '[' => Node::Class(parse_class(chars)?),
+                '\\' => parse_escape(chars)?,
+                c => Node::Lit(c),
+            };
+            let quant = parse_quant(chars)?;
+            seq.push((node, quant));
+        }
+    }
+
+    fn parse_escape(chars: &mut Peekable<Chars<'_>>) -> Result<Node, String> {
+        match chars.next() {
+            Some('n') => Ok(Node::Lit('\n')),
+            Some('r') => Ok(Node::Lit('\r')),
+            Some('t') => Ok(Node::Lit('\t')),
+            Some('P') => match chars.next() {
+                Some('C') => Ok(Node::AnyPrintable),
+                other => Err(format!("unsupported \\P class {other:?}")),
+            },
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err("dangling backslash".to_string()),
+        }
+    }
+
+    fn class_char(chars: &mut Peekable<Chars<'_>>) -> Result<char, String> {
+        match chars.next() {
+            Some('\\') => match chars.next() {
+                Some('n') => Ok('\n'),
+                Some('r') => Ok('\r'),
+                Some('t') => Ok('\t'),
+                Some(c) => Ok(c),
+                None => Err("dangling backslash in class".to_string()),
+            },
+            Some(c) => Ok(c),
+            None => Err("unterminated char class".to_string()),
+        }
+    }
+
+    fn parse_class(chars: &mut Peekable<Chars<'_>>) -> Result<Vec<(char, char)>, String> {
+        let mut ranges = Vec::new();
+        loop {
+            match chars.peek() {
+                Some(']') => {
+                    chars.next();
+                    if ranges.is_empty() {
+                        return Err("empty char class".to_string());
+                    }
+                    return Ok(ranges);
+                }
+                Some(_) => {
+                    let lo = class_char(chars)?;
+                    // `a-z` range unless the dash closes the class.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek() != Some(&']') {
+                            chars.next();
+                            let hi = class_char(chars)?;
+                            if hi < lo {
+                                return Err(format!("inverted range {lo:?}-{hi:?}"));
+                            }
+                            ranges.push((lo, hi));
+                            continue;
+                        }
+                    }
+                    ranges.push((lo, lo));
+                }
+                None => return Err("unterminated char class".to_string()),
+            }
+        }
+    }
+
+    fn parse_quant(chars: &mut Peekable<Chars<'_>>) -> Result<(u32, u32), String> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (m, n) = match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse().map_err(|_| "bad quantifier")?,
+                                n.trim().parse().map_err(|_| "bad quantifier")?,
+                            ),
+                            None => {
+                                let k: u32 = body.trim().parse().map_err(|_| "bad quantifier")?;
+                                (k, k)
+                            }
+                        };
+                        if n < m {
+                            return Err(format!("inverted quantifier {{{m},{n}}}"));
+                        }
+                        return Ok((m, n));
+                    }
+                    body.push(c);
+                }
+                Err("unterminated quantifier".to_string())
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    /// Non-ASCII printable chars mixed into `\PC` samples.
+    const UNICODE_PALETTE: &[char] = &[
+        'é', 'ü', 'ñ', 'ß', 'λ', 'Ж', '中', '日', '–', '“', '”', '√', '°', '😀',
+    ];
+
+    fn sample_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick bounded by total")
+            }
+            Node::AnyPrintable => {
+                if rng.gen_bool(0.85) {
+                    out.push(char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("ascii"));
+                } else {
+                    out.push(UNICODE_PALETTE[rng.gen_range(0..UNICODE_PALETTE.len())]);
+                }
+            }
+            Node::Group(seq) => sample_seq(seq, rng, out),
+        }
+    }
+
+    fn sample_seq(seq: &[(Node, (u32, u32))], rng: &mut StdRng, out: &mut String) {
+        for (node, (min, max)) in seq {
+            let reps = rng.gen_range(*min..=*max);
+            for _ in 0..reps {
+                sample_node(node, rng, out);
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// `prop::collection::vec(element, size)` strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration (only `cases` is meaningful here).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property (carried by `prop_assert!` early returns).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property: samples `config.cases` inputs from `strat`
+    /// (seeded by the test name, so runs are reproducible) and panics on the
+    /// first failing case. No shrinking.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strat: S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        for case in 0..config.cases {
+            let value = strat.sample(&mut rng);
+            if let Err(e) = body(value) {
+                panic!("property `{name}` failed at case {case}: {e}");
+            }
+        }
+    }
+}
+
+/// Uniform choice from a fixed set of values (`prop::sample::select`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + std::fmt::Debug> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Samples uniformly from `options`. Panics on an empty vector.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select: empty options");
+        Select { options }
+    }
+}
+
+/// `prop::` namespace mirror (`prop::collection::vec` in tests).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors real proptest's surface syntax:
+/// an optional `#![proptest_config(...)]` header followed by `#[test]`
+/// functions whose arguments are drawn from strategies with `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(
+                &config,
+                stringify!($name),
+                ($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the current case (no panic
+/// unwinding through the runner) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n{}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice among strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::BoxedStrategy::new($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::BoxedStrategy::new($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = "[a-z]{1,4}( [a-z]{1,3}){0,2}".sample(&mut rng);
+            assert!(!s.is_empty());
+            for tok in s.split(' ') {
+                assert!(tok.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+            let p = "\\PC{0,8}".sample(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+            assert!(p.chars().count() <= 8);
+            let q = "[,\"\\n\\r;|]{1,6}".sample(&mut rng);
+            assert!(q.chars().all(|c| ",\"\n\r;|".contains(c)), "{q:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_collections(v in prop::collection::vec(prop_oneof![
+            2 => (0usize..10).prop_map(Some),
+            1 => Just(None),
+        ], 0..6)) {
+            prop_assert!(v.len() < 6);
+            for item in v {
+                if let Some(x) = item {
+                    prop_assert!(x < 10);
+                }
+            }
+        }
+    }
+}

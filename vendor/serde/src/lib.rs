@@ -1,0 +1,308 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unavailable in this build environment, so
+//! this crate provides the subset the workspace uses: `Serialize` /
+//! `Deserialize` traits (routed through an owned JSON-like [`Value`] tree
+//! rather than serde's zero-copy visitor machinery) plus `#[derive]` macros
+//! re-exported from the sibling `serde_derive` crate.
+//!
+//! The wire format is defined by the sibling `serde_json` stand-in; the two
+//! crates only promise to round-trip with *each other*, which is all the
+//! workspace's persistence layer needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An owned JSON-like value tree — the intermediate representation every
+/// `Serialize` / `Deserialize` implementation goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (always an `f64`; every integer the workspace serializes
+    /// fits losslessly).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, when this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in object entries (helper used by derived code).
+pub fn obj_get<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y" constructor.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// Missing-field constructor.
+    pub fn missing(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// Unknown enum variant constructor.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` of {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_num().ok_or_else(|| DeError::expected("number", stringify!($t)))?;
+                if n.fract() != 0.0 {
+                    return Err(DeError::expected("integer", stringify!($t)));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_num().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_num()
+            .ok_or_else(|| DeError::expected("number", "f32"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(DeError::expected("3-element array", "tuple")),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort entries by the serialized key.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = match k.to_value() {
+                    Value::Str(s) => s,
+                    other => format!("{other:?}"),
+                };
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

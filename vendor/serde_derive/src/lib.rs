@@ -1,0 +1,455 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! vendored serde stand-in.
+//!
+//! The real `serde_derive` leans on `syn`/`quote`, which are unavailable
+//! offline, so this macro parses the item's token stream by hand. It
+//! supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize transparently, wider ones as arrays),
+//! * enums with unit, tuple, and struct variants
+//!   (externally tagged, like real serde's default representation).
+//!
+//! Generic types are not supported — the workspace derives only on
+//! concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct/variant with this many unnamed fields.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when an attribute token group is `serde(skip)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner))) => {
+            name.to_string() == "serde"
+                && inner
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes, returning whether any was
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            if attr_is_serde_skip(&g) {
+                skip = true;
+            }
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn take_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variants). Types are skipped token-wise; only names and skip markers
+/// matter to the generated code.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        let skip = take_attrs(&mut toks);
+        take_vis(&mut toks);
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+        // Skip `: Type` until a top-level comma (generics keep the stream
+        // flat only via angle brackets, so track their depth).
+        let mut angle: i32 = 0;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the unnamed fields of a tuple struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut count = 0;
+    let mut angle: i32 = 0;
+    let mut saw_tokens = false;
+    take_attrs(&mut toks);
+    take_vis(&mut toks);
+    for t in toks {
+        saw_tokens = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        take_attrs(&mut toks);
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                toks.next();
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                toks.next();
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        // Consume the trailing comma (and any `= discriminant`, unused here).
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    take_attrs(&mut toks);
+    take_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde derive: unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn ser_named(target: &str, fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from("{ let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        code.push_str(&format!(
+            "obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value({1}{0})));\n",
+            f.name, access_prefix
+        ));
+    }
+    code.push_str(&format!("{target}(::serde::Value::Obj(obj)) }}\n"));
+    code
+}
+
+fn de_named(ty_label: &str, ctor: &str, fields: &[Field], src: &str) -> String {
+    let mut code = format!(
+        "{{ let obj = {src}.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{ty_label}\"))?;\n"
+    );
+    code.push_str(&format!("Ok({ctor} {{\n"));
+    for f in fields {
+        if f.skip {
+            code.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            code.push_str(&format!(
+                "{0}: match ::serde::obj_get(obj, \"{0}\") {{\n\
+                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 None => return Err(::serde::DeError::missing(\"{0}\", \"{ty_label}\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    code.push_str("}) }\n");
+    code
+}
+
+fn derive_impl(input: TokenStream, want_ser: bool) -> TokenStream {
+    let item = parse_item(input);
+    let mut code = String::new();
+    match &item {
+        Item::Struct { name, shape } => match shape {
+            Shape::Named(fields) => {
+                if want_ser {
+                    code.push_str(&format!(
+                        "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {}\n\
+                         }}\n",
+                        ser_named("", fields, "&self.")
+                            .replace("(::serde::Value::Obj(obj))", "::serde::Value::Obj(obj)")
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {}\n\
+                         }}\n",
+                        de_named(name, name, fields, "v")
+                    ));
+                }
+            }
+            Shape::Tuple(1) => {
+                if want_ser {
+                    code.push_str(&format!(
+                        "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+                         }}\n"
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                         }} }}\n"
+                    ));
+                }
+            }
+            Shape::Tuple(n) => {
+                if want_ser {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    code.push_str(&format!(
+                        "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Arr(vec![{}]) }}\n\
+                         }}\n",
+                        elems.join(", ")
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("e{i}")).collect();
+                    let reads: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(e{i})?"))
+                        .collect();
+                    code.push_str(&format!(
+                        "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_arr() {{\n\
+                         Some([{binds}]) => Ok({name}({reads})),\n\
+                         _ => Err(::serde::DeError::expected(\"{n}-element array\", \"{name}\")),\n\
+                         }} }} }}\n",
+                        binds = binds.join(", "),
+                        reads = reads.join(", "),
+                    ));
+                }
+            }
+            Shape::Unit => {
+                if want_ser {
+                    code.push_str(&format!(
+                        "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+                         }}\n"
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ Ok({name}) }}\n\
+                         }}\n"
+                    ));
+                }
+            }
+        },
+        Item::Enum { name, variants } => {
+            if want_ser {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        )),
+                        Shape::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Value::Arr(vec![{}]))]),\n",
+                                binds.join(", "),
+                                elems.join(", ")
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let body = ser_named(
+                                "",
+                                fields,
+                                "",
+                            )
+                            .replace("(::serde::Value::Obj(obj))", "::serde::Value::Obj(obj)");
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {} }} => {{ let inner = {body}; ::serde::Value::Obj(vec![(\"{vn}\".to_string(), inner)]) }},\n",
+                                binds.join(", ")
+                            ));
+                        }
+                    }
+                }
+                code.push_str(&format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                     }}\n"
+                ));
+            } else {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}),\n"
+                        )),
+                        Shape::Tuple(1) => keyed_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("e{i}")).collect();
+                            let reads: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(e{i})?"))
+                                .collect();
+                            keyed_arms.push_str(&format!(
+                                "\"{vn}\" => match payload.as_arr() {{\n\
+                                 Some([{binds}]) => return Ok({name}::{vn}({reads})),\n\
+                                 _ => return Err(::serde::DeError::expected(\"{n}-element array\", \"{name}::{vn}\")),\n\
+                                 }},\n",
+                                binds = binds.join(", "),
+                                reads = reads.join(", "),
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let body = de_named(
+                                &format!("{name}::{vn}"),
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "payload",
+                            );
+                            keyed_arms.push_str(&format!(
+                                "\"{vn}\" => return (|| -> ::std::result::Result<Self, ::serde::DeError> {body})(),\n"
+                            ));
+                        }
+                    }
+                }
+                code.push_str(&format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     if let Some(s) = v.as_str() {{\n\
+                     match s {{ {unit_arms} other => return Err(::serde::DeError::unknown_variant(other, \"{name}\")) }}\n\
+                     }}\n\
+                     if let Some([(tag, payload)]) = v.as_obj() {{\n\
+                     let _ = payload;\n\
+                     match tag.as_str() {{ {keyed_arms} other => return Err(::serde::DeError::unknown_variant(other, \"{name}\")) }}\n\
+                     }}\n\
+                     Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\"))\n\
+                     }} }}\n"
+                ));
+            }
+        }
+    }
+    code.parse().expect("serde derive generated invalid Rust")
+}
+
+/// Derives `serde::Serialize` (vendored stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_impl(input, true)
+}
+
+/// Derives `serde::Deserialize` (vendored stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_impl(input, false)
+}
