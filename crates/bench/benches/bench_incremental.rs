@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use em_bench::Workload;
-use em_core::{run_full, Executor, MatchState, MatchingFunction, Rule};
+use em_core::{run_full, CancelToken, EvalBudget, Executor, MatchState, MatchingFunction, Rule};
+use std::time::Duration;
 
 fn setup(w: &Workload, n_rules: usize, exec: &Executor) -> (MatchingFunction, MatchState) {
     let func = w.function_with_rules(n_rules, 1);
@@ -170,11 +171,69 @@ fn bench_session_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_budget_overhead(c: &mut Criterion) {
+    // The robustness layer polls the cancel token every pair and the
+    // wall clock every 16 pairs; this measures what an armed-but-never-
+    // tripping budget costs on the interactive hot path, against the
+    // unlimited default.
+    let w = Workload::products(0.02, 60);
+    let extra = w.rule_pool[59].clone();
+
+    let mut group = c.benchmark_group("budget_overhead_40rules");
+    group.sample_size(10);
+    for threads in THREADS {
+        let exec = Executor::with_threads(threads);
+        group.bench_function(format!("unlimited/{}", exec.label()), |b| {
+            b.iter_batched(
+                || setup(&w, 40, &exec),
+                |(mut func, mut state)| {
+                    em_core::add_rule(
+                        &mut func,
+                        &mut state,
+                        &w.ctx,
+                        &w.cands,
+                        extra.clone(),
+                        true,
+                        &exec,
+                    )
+                    .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(format!("armed_budget/{}", exec.label()), |b| {
+            b.iter_batched(
+                || setup(&w, 40, &exec),
+                |(mut func, mut state)| {
+                    let budget = EvalBudget::unlimited()
+                        .with_token(CancelToken::new())
+                        .with_deadline(Duration::from_secs(3600));
+                    em_core::add_rule_budgeted(
+                        &mut func,
+                        &mut state,
+                        &w.ctx,
+                        &w.cands,
+                        extra.clone(),
+                        true,
+                        &exec,
+                        &budget,
+                    )
+                    .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_add_rule,
     bench_threshold_edits,
     bench_remove_rule,
-    bench_session_loop
+    bench_session_loop,
+    bench_budget_overhead
 );
 criterion_main!(benches);

@@ -51,6 +51,11 @@ impl App {
         &self.session
     }
 
+    /// Write access to the session (deadline changes, fault injection).
+    pub fn session_mut(&mut self) -> &mut DebugSession {
+        &mut self.session
+    }
+
     /// Executes one command, returning its printable output.
     pub fn execute(&mut self, cmd: Command) -> Result<String, String> {
         match cmd {
@@ -65,11 +70,12 @@ impl App {
                     .add_rule_text(&text)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
-                    "added rule {rid}: +{} / -{} verdicts, {} pairs examined, {:?}",
+                    "added rule {rid}: +{} / -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_matched.len(),
                     report.newly_unmatched.len(),
                     report.pairs_examined,
-                    report.elapsed
+                    report.elapsed,
+                    report_suffix(&report)
                 ))
             }
             Command::ListRules => {
@@ -105,10 +111,11 @@ impl App {
             Command::RemoveRule(rid) => {
                 let report = self.session.remove_rule(rid).map_err(|e| e.to_string())?;
                 Ok(format!(
-                    "removed {rid}: +{} / -{} verdicts in {:?}",
+                    "removed {rid}: +{} / -{} verdicts in {:?}{}",
                     report.newly_matched.len(),
                     report.newly_unmatched.len(),
-                    report.elapsed
+                    report.elapsed,
+                    report_suffix(&report)
                 ))
             }
             Command::AddPredicate(rid, text) => {
@@ -118,10 +125,11 @@ impl App {
                     .add_predicate(rid, pred)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
-                    "added {pid} to {rid}: -{} verdicts, {} pairs examined, {:?}",
+                    "added {pid} to {rid}: -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_unmatched.len(),
                     report.pairs_examined,
-                    report.elapsed
+                    report.elapsed,
+                    report_suffix(&report)
                 ))
             }
             Command::RemovePredicate(pid) => {
@@ -130,9 +138,10 @@ impl App {
                     .remove_predicate(pid)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
-                    "removed {pid}: +{} verdicts in {:?}",
+                    "removed {pid}: +{} verdicts in {:?}{}",
                     report.newly_matched.len(),
-                    report.elapsed
+                    report.elapsed,
+                    report_suffix(&report)
                 ))
             }
             Command::SetThreshold(pid, threshold) => {
@@ -141,25 +150,38 @@ impl App {
                     .set_threshold(pid, threshold)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
-                    "set {pid} to {threshold}: +{} / -{} verdicts, {} pairs examined, {:?}",
+                    "set {pid} to {threshold}: +{} / -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_matched.len(),
                     report.newly_unmatched.len(),
                     report.pairs_examined,
-                    report.elapsed
+                    report.elapsed,
+                    report_suffix(&report)
                 ))
             }
             Command::Undo => match self.session.undo().map_err(|e| e.to_string())? {
                 None => Ok("nothing to undo".to_string()),
                 Some(report) => Ok(format!(
-                    "undone: +{} / -{} verdicts in {:?} ({} edits remain undoable)",
+                    "undone: +{} / -{} verdicts in {:?} ({} edits remain undoable){}",
                     report.newly_matched.len(),
                     report.newly_unmatched.len(),
                     report.elapsed,
-                    self.session.undo_depth()
+                    self.session.undo_depth(),
+                    report_suffix(&report)
+                )),
+            },
+            Command::Resume => match self.session.resume().map_err(|e| e.to_string())? {
+                None => Ok("nothing to resume".to_string()),
+                Some(report) => Ok(format!(
+                    "resumed: +{} / -{} verdicts, {} pairs examined, {:?}{}",
+                    report.newly_matched.len(),
+                    report.newly_unmatched.len(),
+                    report.pairs_examined,
+                    report.elapsed,
+                    report_suffix(&report)
                 )),
             },
             Command::Simplify => {
-                let report = self.session.simplify();
+                let report = self.session.simplify().map_err(|e| e.to_string())?;
                 if report.is_noop() {
                     Ok("already minimal".to_string())
                 } else {
@@ -175,13 +197,22 @@ impl App {
             Command::Run => {
                 let start = std::time::Instant::now();
                 let stats = self.session.run_full();
-                Ok(format!(
+                let mut out = format!(
                     "full run in {:?}: {} matches, {} computations, {} lookups",
                     start.elapsed(),
                     self.session.n_matches(),
                     stats.feature_computations,
                     stats.memo_lookups
-                ))
+                );
+                if !self.session.quarantined().is_empty() {
+                    let _ = write!(
+                        out,
+                        "\nquarantined {} pair(s): {}",
+                        self.session.quarantined().len(),
+                        preview(self.session.quarantined())
+                    );
+                }
+                Ok(out)
             }
             Command::Matches(limit) => {
                 let matches = self.session.matches();
@@ -280,7 +311,7 @@ impl App {
             }
             Command::Optimize(algo) => {
                 let start = std::time::Instant::now();
-                self.session.optimize(algo);
+                self.session.optimize(algo).map_err(|e| e.to_string())?;
                 Ok(format!(
                     "reordered with {} and re-ran in {:?} ({} matches unchanged-correct)",
                     algo.label(),
@@ -404,6 +435,43 @@ impl App {
     }
 }
 
+/// Extra report lines for an interrupted or fault-isolated edit; empty
+/// when the edit completed cleanly.
+fn report_suffix(report: &em_core::ChangeReport) -> String {
+    use em_core::{Completion, StopReason};
+    let mut out = String::new();
+    if let Completion::Partial { remaining, reason } = &report.completion {
+        let why = match reason {
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+        };
+        let _ = write!(
+            out,
+            "\npartial ({why}): {} pairs pending — `resume` to continue",
+            remaining.len()
+        );
+    }
+    if !report.quarantined.is_empty() {
+        let _ = write!(
+            out,
+            "\nquarantined {} pair(s): {}",
+            report.quarantined.len(),
+            preview(&report.quarantined)
+        );
+    }
+    out
+}
+
+/// Formats up to eight pair indices, eliding the rest.
+fn preview(pairs: &[usize]) -> String {
+    let shown: Vec<String> = pairs.iter().take(8).map(|i| format!("#{i}")).collect();
+    if pairs.len() > 8 {
+        format!("{} … and {} more", shown.join(" "), pairs.len() - 8)
+    } else {
+        shown.join(" ")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +528,31 @@ mod tests {
         assert!(!app.should_quit());
         exec(&mut app, "quit").unwrap();
         assert!(app.should_quit());
+    }
+
+    #[test]
+    fn partial_edit_reports_and_resumes() {
+        let config = SessionConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..SessionConfig::default()
+        };
+        let mut app = App::demo(Domain::Products, 0.01, 7, config);
+        let out = exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        assert!(out.contains("partial (deadline)"), "{out}");
+        assert!(out.contains("`resume` to continue"), "{out}");
+        // Other edits are refused while the add is half-applied.
+        let err = exec(&mut app, "set p0 0.8").unwrap_err();
+        assert!(err.contains("resume"), "{err}");
+        // Lift the deadline; resume finishes the edit.
+        app.session_mut().set_deadline(None);
+        let out = exec(&mut app, "resume").unwrap();
+        assert!(out.contains("resumed"), "{out}");
+        assert!(!out.contains("partial"), "{out}");
+        assert!(exec(&mut app, "resume")
+            .unwrap()
+            .contains("nothing to resume"));
+        // The rule is now fully applied and editable again.
+        assert!(exec(&mut app, "set p0 0.8").is_ok());
     }
 
     #[test]

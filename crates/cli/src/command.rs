@@ -24,6 +24,8 @@ pub enum Command {
     SetThreshold(PredId, f64),
     /// `undo` — revert the most recent edit.
     Undo,
+    /// `resume` — finish a partially-applied edit (deadline/cancel).
+    Resume,
     /// `simplify` — drop dominated predicates and subsumed rules.
     Simplify,
     /// `run` — re-run matching from scratch (memo retained).
@@ -99,9 +101,13 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
                 .trim()
                 .parse()
                 .map_err(|_| format!("set: bad threshold {:?}", thr.trim()))?;
+            if !threshold.is_finite() {
+                return Err(format!("set: threshold must be finite, got {threshold}"));
+            }
             Command::SetThreshold(parse_pred_id(pid)?, threshold)
         }
         "undo" => Command::Undo,
+        "resume" => Command::Resume,
         "simplify" => Command::Simplify,
         "run" => Command::Run,
         "matches" => {
@@ -190,6 +196,7 @@ commands:
   rmpred p<k>           remove predicate p<k>
   set p<k> <threshold>  tighten/relax predicate p<k>
   undo                  revert the most recent edit
+  resume                finish an edit interrupted by the deadline or Ctrl-C
   simplify              drop dominated predicates and subsumed rules
   run                   re-run matching from scratch (memo retained)
   matches [n]           show up to n matched pairs (default 10)
@@ -237,6 +244,7 @@ mod tests {
         );
         assert_eq!(parse("run").unwrap(), Some(Command::Run));
         assert_eq!(parse("undo").unwrap(), Some(Command::Undo));
+        assert_eq!(parse("resume").unwrap(), Some(Command::Resume));
         assert_eq!(parse("simplify").unwrap(), Some(Command::Simplify));
         assert_eq!(parse("matches").unwrap(), Some(Command::Matches(10)));
         assert_eq!(parse("matches 25").unwrap(), Some(Command::Matches(25)));
@@ -295,6 +303,8 @@ mod tests {
         assert!(parse("rm 3").unwrap_err().contains("rule id"));
         assert!(parse("set p1").unwrap_err().contains("threshold"));
         assert!(parse("set p1 abc").unwrap_err().contains("bad threshold"));
+        assert!(parse("set p1 nan").unwrap_err().contains("finite"));
+        assert!(parse("set p1 inf").unwrap_err().contains("finite"));
         assert!(parse("add").unwrap_err().contains("missing"));
         assert!(parse("explain x").unwrap_err().contains("bad pair index"));
         assert!(parse("optimize alg7")

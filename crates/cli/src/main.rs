@@ -8,9 +8,9 @@ use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
 usage:
-  rulem --demo <domain> [--scale <f>] [--seed <n>] [--threads <n>]
+  rulem --demo <domain> [--scale <f>] [--seed <n>] [--threads <n>] [--deadline-ms <n>]
       domains: products | restaurants | books | breakfast | movies | videogames
-  rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>] [--threads <n>]
+  rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>] [--threads <n>] [--deadline-ms <n>]
       CSV files: first column is the record id, header row names attributes;
       blocking is token overlap on <attr> (default min-overlap 2), or an
       exact attribute-equivalence join with ':eq'.
@@ -18,10 +18,14 @@ usage:
 examples:
   rulem --demo products --scale 0.05
   rulem walmart.csv amazon.csv --block title:2
-  rulem yelp.csv foursquare.csv --block city:eq --threads 4
+  rulem yelp.csv foursquare.csv --block city:eq --threads 4 --deadline-ms 200
 
 --threads 1 runs serially (default); --threads 0 uses all cores;
---threads n runs matching and incremental edits on an n-worker pool.";
+--threads n runs matching and incremental edits on an n-worker pool.
+
+--deadline-ms n bounds each edit's wall clock: an edit that exceeds it
+stops early and reports a partial result; `resume` finishes it. Ctrl-C
+cancels the edit in flight the same way (the session survives).";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,8 +55,16 @@ fn build_app(args: &[String]) -> Result<App, String> {
         .map(|s| s.parse().map_err(|_| format!("bad --threads {s:?}")))
         .transpose()?
         .unwrap_or(1);
+    let deadline = get_flag("--deadline-ms")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("bad --deadline-ms {s:?}"))
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis);
     let config = SessionConfig {
         n_threads,
+        deadline,
         ..SessionConfig::default()
     };
 
@@ -122,7 +134,35 @@ fn build_app(args: &[String]) -> Result<App, String> {
     Ok(App::new(session, Vec::new()))
 }
 
+/// Routes SIGINT to the session's cancel token: Ctrl-C stops the edit in
+/// flight at its next budget check instead of killing the process. At the
+/// prompt the token is armed but harmless — the next edit clears it.
+#[cfg(unix)]
+fn install_sigint_handler(token: em_core::CancelToken) {
+    use std::sync::OnceLock;
+    static TOKEN: OnceLock<em_core::CancelToken> = OnceLock::new();
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only an atomic store — async-signal-safe.
+        if let Some(t) = TOKEN.get() {
+            t.cancel();
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    if TOKEN.set(token).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler(_token: em_core::CancelToken) {}
+
 fn run_repl(mut app: App) {
+    install_sigint_handler(app.session().cancel_token());
     println!("rulem — interactive entity-matching debugger");
     println!(
         "{} × {} records, {} candidate pairs. Type `help`.",

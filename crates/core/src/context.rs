@@ -26,6 +26,9 @@ pub struct EvalContext {
     table_b: Arc<Table>,
     registry: FeatureRegistry,
     idf: HashMap<CorpusKey, Arc<IdfTable>>,
+    /// Test-only fault injection plan (see [`crate::fault`]).
+    #[cfg(feature = "fault-inject")]
+    fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl EvalContext {
@@ -36,7 +39,16 @@ impl EvalContext {
             table_b,
             registry: FeatureRegistry::new(),
             idf: HashMap::new(),
+            #[cfg(feature = "fault-inject")]
+            fault: None,
         }
+    }
+
+    /// Installs a [`crate::fault::FaultPlan`] that intercepts every feature
+    /// computation (test harness only).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_fault_plan(&mut self, plan: Arc<crate::fault::FaultPlan>) {
+        self.fault = Some(plan);
     }
 
     /// Convenience constructor taking owned tables.
@@ -111,8 +123,27 @@ impl EvalContext {
     /// Computes the value of feature `fid` for candidate pair `pair`.
     ///
     /// Missing attribute values score 0.0 by convention (§3: predicates over
-    /// missing data cannot support a match).
+    /// missing data cannot support a match). A measure producing NaN is
+    /// normalized to 0.0 here, so every engine — early-exit, exact, memoized
+    /// or not — sees the identical, total value for the pair.
     pub fn compute(&self, fid: FeatureId, pair: PairIdx) -> f64 {
+        let v = self.compute_raw(fid, pair);
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    /// The un-normalized similarity (may be NaN from a degenerate measure or
+    /// an injected fault).
+    fn compute_raw(&self, fid: FeatureId, pair: PairIdx) -> f64 {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.fault {
+            if let Some(v) = plan.on_compute(pair) {
+                return v;
+            }
+        }
         let def = self.registry.def(fid);
         let va = self.table_a.value(pair.a, def.attr_a);
         let vb = self.table_b.value(pair.b, def.attr_b);
@@ -122,11 +153,13 @@ impl EvalContext {
         }
     }
 
-    /// Human-readable name of a feature.
+    /// Human-readable name of a feature. Unknown ids render as `f<id>?`
+    /// rather than panicking (ids can outlive registry snapshots).
     pub fn feature_name(&self, fid: FeatureId) -> String {
-        self.registry
-            .def(fid)
-            .display_name(self.table_a.schema(), self.table_b.schema())
+        match self.registry.try_def(fid) {
+            Some(def) => def.display_name(self.table_a.schema(), self.table_b.schema()),
+            None => format!("f{}?", fid.0),
+        }
     }
 }
 

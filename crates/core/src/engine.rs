@@ -12,12 +12,14 @@
 //! of the same code path, which is what makes "parallel ≡ serial" hold by
 //! construction rather than by testing alone.
 
+use crate::budget::{Completion, EvalBudget};
 use crate::context::EvalContext;
 use crate::executor::{partition, run_sharded, split_mut, Executor};
 use crate::feature::FeatureId;
 use crate::function::MatchingFunction;
 use crate::memo::{DenseMemo, Memo, MemoShard};
-use em_types::CandidateSet;
+use crate::robust::{drive_pairs, fold_outcomes, DriveOutcome, PairList, PairSink};
+use em_types::{CandidateSet, PairIdx};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -48,12 +50,18 @@ impl EvalStats {
 /// The result of running a matching function over a candidate set.
 #[derive(Debug, Clone)]
 pub struct MatchOutcome {
-    /// `verdicts[i]` is true iff candidate pair `i` matched.
+    /// `verdicts[i]` is true iff candidate pair `i` matched. For pairs the
+    /// run did not evaluate (quarantined, or unreached under a tripped
+    /// budget) the slot keeps its initial `false`.
     pub verdicts: Vec<bool>,
     /// Work counters.
     pub stats: EvalStats,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Whether every pair was evaluated, or which remain for a resume.
+    pub completion: Completion,
+    /// Pairs whose evaluation panicked and were quarantined, ascending.
+    pub quarantined: Vec<usize>,
 }
 
 impl MatchOutcome {
@@ -74,27 +82,41 @@ pub fn run_rudimentary(
     cands: &CandidateSet,
     exec: &Executor,
 ) -> MatchOutcome {
+    run_rudimentary_budgeted(func, ctx, cands, exec, &EvalBudget::unlimited())
+}
+
+/// [`run_rudimentary`] under an [`EvalBudget`].
+pub fn run_rudimentary_budgeted(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> MatchOutcome {
     let start = Instant::now();
     let mut verdicts = vec![false; cands.len()];
     let ranges = partition(cands.len(), exec.n_workers());
     let pairs = cands.as_slice();
 
-    let shards: Vec<(Range<usize>, &mut [bool], EvalStats)> = ranges
-        .iter()
-        .cloned()
-        .zip(split_mut(&mut verdicts, &ranges))
-        .map(|(range, verdicts)| (range, verdicts, EvalStats::default()))
-        .collect();
-    let shards = run_sharded(exec, shards, |_, (range, verdicts, stats)| {
-        for (k, &pair) in pairs[range.clone()].iter().enumerate() {
+    struct Sink<'a> {
+        func: &'a MatchingFunction,
+        ctx: &'a EvalContext,
+        pairs: &'a [PairIdx],
+        base: usize,
+        verdicts: &'a mut [bool],
+        stats: &'a mut EvalStats,
+    }
+    impl PairSink for Sink<'_> {
+        fn process(&mut self, i: usize) {
+            let pair = self.pairs[i];
             let mut matched = false;
-            for rule in func.rules() {
-                stats.rule_evals += 1;
+            for rule in self.func.rules() {
+                self.stats.rule_evals += 1;
                 let mut rule_true = true;
                 for bp in &rule.preds {
-                    let v = ctx.compute(bp.pred.feature, pair);
-                    stats.feature_computations += 1;
-                    stats.predicate_evals += 1;
+                    let v = self.ctx.compute(bp.pred.feature, pair);
+                    self.stats.feature_computations += 1;
+                    self.stats.predicate_evals += 1;
                     if !bp.pred.eval(v) {
                         rule_true = false;
                         // NOTE: no break — Algorithm 1 evaluates every predicate.
@@ -105,20 +127,50 @@ pub fn run_rudimentary(
                     // NOTE: no break — Algorithm 1 evaluates every rule.
                 }
             }
-            verdicts[k] = matched;
+            self.verdicts[i - self.base] = matched;
         }
+    }
+
+    let shards: Vec<(Range<usize>, &mut [bool], EvalStats, DriveOutcome)> = ranges
+        .iter()
+        .cloned()
+        .zip(split_mut(&mut verdicts, &ranges))
+        .map(|(range, verdicts)| {
+            (
+                range,
+                verdicts,
+                EvalStats::default(),
+                DriveOutcome::default(),
+            )
+        })
+        .collect();
+    let shards = run_sharded(exec, shards, |_, (range, verdicts, stats, drive)| {
+        let mut checker = budget.checker();
+        let mut sink = Sink {
+            func,
+            ctx,
+            pairs,
+            base: range.start,
+            verdicts,
+            stats,
+        };
+        *drive = drive_pairs(&PairList::Range(range.clone()), &mut checker, &mut sink);
     });
 
     let mut stats = EvalStats::default();
-    for (_, _, s) in &shards {
-        stats.absorb(s);
+    let mut drives = Vec::with_capacity(shards.len());
+    for (_, _, s, d) in shards {
+        stats.absorb(&s);
+        drives.push(d);
     }
-    drop(shards);
+    let (completion, quarantined, _) = fold_outcomes(drives);
 
     MatchOutcome {
         verdicts,
         stats,
         elapsed: start.elapsed(),
+        completion,
+        quarantined,
     }
 }
 
@@ -137,6 +189,32 @@ pub fn run_precompute(
     early_exit: bool,
     exec: &Executor,
 ) -> (MatchOutcome, DenseMemo) {
+    run_precompute_budgeted(
+        func,
+        ctx,
+        cands,
+        universe,
+        early_exit,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`run_precompute`] under an [`EvalBudget`].
+///
+/// Precomputation is fused per pair (fill the pair's universe row, then
+/// match the pair) so the budget and panic isolation see a single pass; the
+/// work performed is identical to the two-phase formulation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_precompute_budgeted(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    universe: &[FeatureId],
+    early_exit: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> (MatchOutcome, DenseMemo) {
     let start = Instant::now();
     let n_features = ctx.registry().len();
     let mut memo = DenseMemo::new(cands.len(), n_features);
@@ -149,6 +227,7 @@ pub fn run_precompute(
         memo: MemoShard<'a>,
         verdicts: &'a mut [bool],
         stats: EvalStats,
+        drive: DriveOutcome,
     }
     let shards: Vec<Shard<'_>> = ranges
         .iter()
@@ -160,76 +239,106 @@ pub fn run_precompute(
             memo,
             verdicts,
             stats: EvalStats::default(),
+            drive: DriveOutcome::default(),
         })
         .collect();
 
-    let shards = run_sharded(exec, shards, |_, shard| {
-        // Phase 1: fill the memo for the whole universe.
-        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
-            let i = shard.range.start + k;
-            for &f in universe {
-                let v = ctx.compute(f, pair);
-                shard.stats.feature_computations += 1;
-                shard.memo.put(i, f, v);
+    struct Sink<'a, 'b> {
+        func: &'b MatchingFunction,
+        ctx: &'b EvalContext,
+        pairs: &'b [PairIdx],
+        universe: &'b [FeatureId],
+        early_exit: bool,
+        base: usize,
+        memo: &'b mut MemoShard<'a>,
+        verdicts: &'b mut [bool],
+        stats: &'b mut EvalStats,
+    }
+    impl PairSink for Sink<'_, '_> {
+        fn process(&mut self, i: usize) {
+            let pair = self.pairs[i];
+            // Fill the memo for the whole universe (Algorithm 2 phase 1,
+            // restricted to this pair).
+            for &f in self.universe {
+                let v = self.ctx.compute(f, pair);
+                self.stats.feature_computations += 1;
+                self.memo.put(i, f, v);
             }
-        }
-
-        // Phase 2: match using lookups only.
-        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
-            let i = shard.range.start + k;
+            // Match using lookups (phase 2 for this pair).
             let mut matched = false;
-            for rule in func.rules() {
-                shard.stats.rule_evals += 1;
+            for rule in self.func.rules() {
+                self.stats.rule_evals += 1;
                 let mut rule_true = true;
                 for bp in &rule.preds {
-                    let v = match shard.memo.get(i, bp.pred.feature) {
+                    let v = match self.memo.get(i, bp.pred.feature) {
                         Some(v) => {
-                            shard.stats.memo_lookups += 1;
+                            self.stats.memo_lookups += 1;
                             v
                         }
                         None => {
                             // Feature missing from the universe (caller chose a
                             // smaller universe than the function needs): compute
                             // and memoize.
-                            let v = ctx.compute(bp.pred.feature, pair);
-                            shard.stats.feature_computations += 1;
-                            shard.memo.put(i, bp.pred.feature, v);
+                            let v = self.ctx.compute(bp.pred.feature, pair);
+                            self.stats.feature_computations += 1;
+                            self.memo.put(i, bp.pred.feature, v);
                             v
                         }
                     };
-                    shard.stats.predicate_evals += 1;
+                    self.stats.predicate_evals += 1;
                     if !bp.pred.eval(v) {
                         rule_true = false;
-                        if early_exit {
+                        if self.early_exit {
                             break;
                         }
                     }
                 }
                 if rule_true {
                     matched = true;
-                    if early_exit {
+                    if self.early_exit {
                         break;
                     }
                 }
             }
-            shard.verdicts[k] = matched;
+            self.verdicts[i - self.base] = matched;
         }
+    }
+
+    let shards = run_sharded(exec, shards, |_, shard| {
+        let mut checker = budget.checker();
+        let range = shard.range.clone();
+        let mut sink = Sink {
+            func,
+            ctx,
+            pairs,
+            universe,
+            early_exit,
+            base: range.start,
+            memo: &mut shard.memo,
+            verdicts: &mut *shard.verdicts,
+            stats: &mut shard.stats,
+        };
+        shard.drive = drive_pairs(&PairList::Range(range), &mut checker, &mut sink);
     });
 
     let mut stats = EvalStats::default();
     let mut new_stored = 0;
-    for shard in &shards {
+    let mut drives = Vec::with_capacity(shards.len());
+    for shard in shards {
         stats.absorb(&shard.stats);
         new_stored += shard.memo.new_stored();
+        drives.push(shard.drive);
     }
-    drop(shards);
     memo.add_stored(new_stored);
+    let (completion, quarantined, _) = fold_outcomes(drives);
 
     (
         MatchOutcome {
             verdicts,
             stats,
             elapsed: start.elapsed(),
+            completion,
+            quarantined,
         },
         memo,
     )
@@ -246,49 +355,93 @@ pub fn run_early_exit(
     cands: &CandidateSet,
     exec: &Executor,
 ) -> MatchOutcome {
+    run_early_exit_budgeted(func, ctx, cands, exec, &EvalBudget::unlimited())
+}
+
+/// [`run_early_exit`] under an [`EvalBudget`].
+pub fn run_early_exit_budgeted(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> MatchOutcome {
     let start = Instant::now();
     let mut verdicts = vec![false; cands.len()];
     let ranges = partition(cands.len(), exec.n_workers());
     let pairs = cands.as_slice();
 
-    let shards: Vec<(Range<usize>, &mut [bool], EvalStats)> = ranges
-        .iter()
-        .cloned()
-        .zip(split_mut(&mut verdicts, &ranges))
-        .map(|(range, verdicts)| (range, verdicts, EvalStats::default()))
-        .collect();
-    let shards = run_sharded(exec, shards, |_, (range, verdicts, stats)| {
-        for (k, &pair) in pairs[range.clone()].iter().enumerate() {
-            'rules: for rule in func.rules() {
-                stats.rule_evals += 1;
+    struct Sink<'a> {
+        func: &'a MatchingFunction,
+        ctx: &'a EvalContext,
+        pairs: &'a [PairIdx],
+        base: usize,
+        verdicts: &'a mut [bool],
+        stats: &'a mut EvalStats,
+    }
+    impl PairSink for Sink<'_> {
+        fn process(&mut self, i: usize) {
+            let pair = self.pairs[i];
+            'rules: for rule in self.func.rules() {
+                self.stats.rule_evals += 1;
                 let mut rule_true = true;
                 for bp in &rule.preds {
-                    let v = ctx.compute(bp.pred.feature, pair);
-                    stats.feature_computations += 1;
-                    stats.predicate_evals += 1;
+                    let v = self.ctx.compute(bp.pred.feature, pair);
+                    self.stats.feature_computations += 1;
+                    self.stats.predicate_evals += 1;
                     if !bp.pred.eval(v) {
                         rule_true = false;
                         break;
                     }
                 }
                 if rule_true {
-                    verdicts[k] = true;
+                    self.verdicts[i - self.base] = true;
                     break 'rules;
                 }
             }
         }
+    }
+
+    let shards: Vec<(Range<usize>, &mut [bool], EvalStats, DriveOutcome)> = ranges
+        .iter()
+        .cloned()
+        .zip(split_mut(&mut verdicts, &ranges))
+        .map(|(range, verdicts)| {
+            (
+                range,
+                verdicts,
+                EvalStats::default(),
+                DriveOutcome::default(),
+            )
+        })
+        .collect();
+    let shards = run_sharded(exec, shards, |_, (range, verdicts, stats, drive)| {
+        let mut checker = budget.checker();
+        let mut sink = Sink {
+            func,
+            ctx,
+            pairs,
+            base: range.start,
+            verdicts,
+            stats,
+        };
+        *drive = drive_pairs(&PairList::Range(range.clone()), &mut checker, &mut sink);
     });
 
     let mut stats = EvalStats::default();
-    for (_, _, s) in &shards {
-        stats.absorb(s);
+    let mut drives = Vec::with_capacity(shards.len());
+    for (_, _, s, d) in shards {
+        stats.absorb(&s);
+        drives.push(d);
     }
-    drop(shards);
+    let (completion, quarantined, _) = fold_outcomes(drives);
 
     MatchOutcome {
         verdicts,
         stats,
         elapsed: start.elapsed(),
+        completion,
+        quarantined,
     }
 }
 
@@ -361,32 +514,78 @@ pub fn run_memo_with<M: Memo>(
     memo: &mut M,
     check_cache_first: bool,
 ) -> MatchOutcome {
+    run_memo_with_budgeted(
+        func,
+        ctx,
+        cands,
+        memo,
+        check_cache_first,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`run_memo_with`] under an [`EvalBudget`]. Serial like its parent.
+pub fn run_memo_with_budgeted<M: Memo>(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    memo: &mut M,
+    check_cache_first: bool,
+    budget: &EvalBudget,
+) -> MatchOutcome {
     let start = Instant::now();
     let mut stats = EvalStats::default();
     let mut verdicts = vec![false; cands.len()];
 
-    for (i, pair) in cands.iter() {
-        for rule in func.rules() {
-            if eval_rule_memoized(
-                rule,
-                i,
-                pair,
-                ctx,
-                memo,
-                check_cache_first,
-                &mut stats,
-                |_| {},
-            ) {
-                verdicts[i] = true;
-                break;
+    struct Sink<'a, M> {
+        func: &'a MatchingFunction,
+        ctx: &'a EvalContext,
+        pairs: &'a [PairIdx],
+        check_cache_first: bool,
+        memo: &'a mut M,
+        verdicts: &'a mut [bool],
+        stats: &'a mut EvalStats,
+    }
+    impl<M: Memo> PairSink for Sink<'_, M> {
+        fn process(&mut self, i: usize) {
+            let pair = self.pairs[i];
+            for rule in self.func.rules() {
+                if eval_rule_memoized(
+                    rule,
+                    i,
+                    pair,
+                    self.ctx,
+                    &mut *self.memo,
+                    self.check_cache_first,
+                    &mut *self.stats,
+                    |_| {},
+                ) {
+                    self.verdicts[i] = true;
+                    break;
+                }
             }
         }
     }
+
+    let mut checker = budget.checker();
+    let mut sink = Sink {
+        func,
+        ctx,
+        pairs: cands.as_slice(),
+        check_cache_first,
+        memo,
+        verdicts: &mut verdicts,
+        stats: &mut stats,
+    };
+    let drive = drive_pairs(&PairList::Range(0..cands.len()), &mut checker, &mut sink);
+    let (completion, quarantined, _) = fold_outcomes([drive]);
 
     MatchOutcome {
         verdicts,
         stats,
         elapsed: start.elapsed(),
+        completion,
+        quarantined,
     }
 }
 
@@ -407,6 +606,32 @@ pub fn run_memo_into(
     check_cache_first: bool,
     exec: &Executor,
 ) -> MatchOutcome {
+    run_memo_into_budgeted(
+        func,
+        ctx,
+        cands,
+        memo,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`run_memo_into`] under an [`EvalBudget`].
+///
+/// # Panics
+///
+/// Panics when `memo` does not have exactly one pair slot per candidate.
+#[allow(clippy::too_many_arguments)]
+pub fn run_memo_into_budgeted(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    memo: &mut DenseMemo,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> MatchOutcome {
     let start = Instant::now();
     assert_eq!(
         memo.n_pairs(),
@@ -423,6 +648,7 @@ pub fn run_memo_into(
         memo: MemoShard<'a>,
         verdicts: &'a mut [bool],
         stats: EvalStats,
+        drive: DriveOutcome,
     }
     let shards: Vec<Shard<'_>> = ranges
         .iter()
@@ -434,43 +660,74 @@ pub fn run_memo_into(
             memo,
             verdicts,
             stats: EvalStats::default(),
+            drive: DriveOutcome::default(),
         })
         .collect();
 
-    let shards = run_sharded(exec, shards, |_, shard| {
-        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
-            let i = shard.range.start + k;
-            for rule in func.rules() {
+    struct Sink<'a, 'b> {
+        func: &'b MatchingFunction,
+        ctx: &'b EvalContext,
+        pairs: &'b [PairIdx],
+        check_cache_first: bool,
+        base: usize,
+        memo: &'b mut MemoShard<'a>,
+        verdicts: &'b mut [bool],
+        stats: &'b mut EvalStats,
+    }
+    impl PairSink for Sink<'_, '_> {
+        fn process(&mut self, i: usize) {
+            let pair = self.pairs[i];
+            for rule in self.func.rules() {
                 if eval_rule_memoized(
                     rule,
                     i,
                     pair,
-                    ctx,
-                    &mut shard.memo,
-                    check_cache_first,
-                    &mut shard.stats,
+                    self.ctx,
+                    &mut *self.memo,
+                    self.check_cache_first,
+                    &mut *self.stats,
                     |_| {},
                 ) {
-                    shard.verdicts[k] = true;
+                    self.verdicts[i - self.base] = true;
                     break;
                 }
             }
         }
+    }
+
+    let shards = run_sharded(exec, shards, |_, shard| {
+        let mut checker = budget.checker();
+        let range = shard.range.clone();
+        let mut sink = Sink {
+            func,
+            ctx,
+            pairs,
+            check_cache_first,
+            base: range.start,
+            memo: &mut shard.memo,
+            verdicts: &mut *shard.verdicts,
+            stats: &mut shard.stats,
+        };
+        shard.drive = drive_pairs(&PairList::Range(range), &mut checker, &mut sink);
     });
 
     let mut stats = EvalStats::default();
     let mut new_stored = 0;
-    for shard in &shards {
+    let mut drives = Vec::with_capacity(shards.len());
+    for shard in shards {
         stats.absorb(&shard.stats);
         new_stored += shard.memo.new_stored();
+        drives.push(shard.drive);
     }
-    drop(shards);
     memo.add_stored(new_stored);
+    let (completion, quarantined, _) = fold_outcomes(drives);
 
     MatchOutcome {
         verdicts,
         stats,
         elapsed: start.elapsed(),
+        completion,
+        quarantined,
     }
 }
 
@@ -484,8 +741,28 @@ pub fn run_memo(
     check_cache_first: bool,
     exec: &Executor,
 ) -> (MatchOutcome, DenseMemo) {
+    run_memo_budgeted(
+        func,
+        ctx,
+        cands,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`run_memo`] under an [`EvalBudget`].
+pub fn run_memo_budgeted(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> (MatchOutcome, DenseMemo) {
     let mut memo = DenseMemo::new(cands.len(), ctx.registry().len());
-    let outcome = run_memo_into(func, ctx, cands, &mut memo, check_cache_first, exec);
+    let outcome =
+        run_memo_into_budgeted(func, ctx, cands, &mut memo, check_cache_first, exec, budget);
     (outcome, memo)
 }
 
@@ -707,6 +984,30 @@ mod tests {
         let empty_c = CandidateSet::new();
         let out = run_memo(&func, &ctx, &empty_c, false, &Executor::serial()).0;
         assert!(out.verdicts.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_budget_yields_fully_partial_outcome() {
+        let (ctx, cands, func) = fixture();
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let budget = EvalBudget::unlimited().with_token(token);
+        let out = run_memo_budgeted(&func, &ctx, &cands, false, &Executor::serial(), &budget).0;
+        assert!(!out.completion.is_complete());
+        assert_eq!(
+            out.completion.remaining(),
+            (0..cands.len()).collect::<Vec<_>>()
+        );
+        assert_eq!(out.n_matches(), 0, "nothing evaluated, nothing matched");
+        assert_eq!(out.stats, EvalStats::default());
+    }
+
+    #[test]
+    fn unlimited_budgeted_runs_are_complete() {
+        let (ctx, cands, func) = fixture();
+        let out = run_rudimentary(&func, &ctx, &cands, &Executor::serial());
+        assert!(out.completion.is_complete());
+        assert!(out.quarantined.is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// How pair-parallel stages execute.
@@ -172,12 +172,15 @@ pub fn run_sharded<S: Send>(
 ) -> Vec<S> {
     let slots: Vec<Mutex<S>> = shards.into_iter().map(Mutex::new).collect();
     exec.run_jobs(slots.len(), &|i| {
-        let mut shard = slots[i].lock().expect("shard lock");
+        // Each slot is locked by exactly one job; a poisoned lock only
+        // means a previous panicking batch died inside this shard, and the
+        // shard data is still the best available result.
+        let mut shard = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
         job(i, &mut shard);
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("shard lock"))
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect()
 }
 
@@ -267,6 +270,7 @@ impl WorkerPool {
         if n_jobs == 0 {
             return;
         }
+        self.respawn_dead_workers();
         // Erase the borrow's lifetime; `run` blocks until the batch drains,
         // so no worker touches the pointer after the borrow ends.
         let ptr = JobPtr(unsafe {
@@ -275,7 +279,11 @@ impl WorkerPool {
             )
         });
         {
-            let mut st = self.shared.state.lock().expect("pool state");
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if st.job.is_some() {
                 // Busy (nested or concurrent submission): run inline instead
                 // of deadlocking on our own workers.
@@ -293,9 +301,17 @@ impl WorkerPool {
         }
         self.shared.work_cv.notify_all();
 
-        let mut st = self.shared.state.lock().expect("pool state");
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while st.completed < st.n_jobs {
-            st = self.shared.done_cv.wait(st).expect("pool state");
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
         let panic = st.panic.take();
@@ -304,16 +320,40 @@ impl WorkerPool {
             resume_unwind(payload);
         }
     }
+
+    /// Replaces workers that died outside the per-job `catch_unwind` (e.g.
+    /// a panic raised while dropping a panic payload), so a wounded pool
+    /// regains its full capacity instead of silently shrinking — or, with
+    /// every worker dead, deadlocking the next submission.
+    fn respawn_dead_workers(&self) {
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for (w, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() {
+                let shared = Arc::clone(&self.shared);
+                let fresh = std::thread::Builder::new()
+                    .name(format!("rulem-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread");
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join();
+            }
+        }
+    }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state");
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             st.shutdown = true;
         }
         self.work_cv_broadcast();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("worker handles"));
+        let workers =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
         for handle in workers {
             let _ = handle.join();
         }
@@ -329,7 +369,7 @@ impl WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let (job, index) = {
-            let mut st = shared.state.lock().expect("pool state");
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if st.shutdown {
                     return;
@@ -341,13 +381,16 @@ fn worker_loop(shared: &PoolShared) {
                         break (job, i);
                     }
                 }
-                st = shared.work_cv.wait(st).expect("pool state");
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
 
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index) }));
 
-        let mut st = shared.state.lock().expect("pool state");
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Err(payload) = result {
             if st.panic.is_none() {
                 st.panic = Some(payload);

@@ -63,6 +63,10 @@ pub struct Explanation {
     pub fired: Option<RuleId>,
     /// Per-rule traces in evaluation order.
     pub rules: Vec<RuleTrace>,
+    /// True when the session quarantined this pair after its evaluation
+    /// panicked during matching — the trace above was recomputed and may
+    /// panic-free only by luck; treat the pair's verdict with suspicion.
+    pub quarantined: bool,
 }
 
 /// Traces the evaluation of `func` on `pair`, computing every feature.
@@ -73,7 +77,15 @@ pub fn explain(func: &MatchingFunction, ctx: &EvalContext, pair: PairIdx) -> Exp
         let mut predicates = Vec::with_capacity(rule.preds.len());
         let mut satisfied = true;
         for bp in &rule.preds {
-            let value = ctx.compute(bp.pred.feature, pair);
+            // Explaining must survive what matching survived: a feature
+            // that panics on this pair traces as NaN / failed instead of
+            // unwinding through the debugger.
+            let value = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.compute(bp.pred.feature, pair)
+            }))
+            .unwrap_or(f64::NAN);
+            // Comparisons with NaN are all false, so a panicked feature
+            // can never satisfy a predicate.
             let passed = bp.pred.eval(value);
             satisfied &= passed;
             predicates.push(PredicateTrace {
@@ -100,6 +112,7 @@ pub fn explain(func: &MatchingFunction, ctx: &EvalContext, pair: PairIdx) -> Exp
         matched: fired.is_some(),
         fired,
         rules,
+        quarantined: false,
     }
 }
 
@@ -112,6 +125,12 @@ impl fmt::Display for Explanation {
             self.pair.b,
             if self.matched { "MATCH" } else { "NO MATCH" }
         )?;
+        if self.quarantined {
+            writeln!(
+                f,
+                "  QUARANTINED: evaluation panicked on this pair; verdict withheld"
+            )?;
+        }
         for rt in &self.rules {
             writeln!(
                 f,

@@ -1,0 +1,126 @@
+//! Fault-injection harness (compiled only with the `fault-inject` feature).
+//!
+//! A [`FaultPlan`] intercepts every feature computation of an
+//! [`crate::EvalContext`] and can panic on chosen pairs, return NaN, delay
+//! each evaluation, or fire a [`CancelToken`] when a chosen pair is reached.
+//! The integration-test suite drives the robustness layer (budgets,
+//! quarantine, resume) with these injected faults; nothing in this module
+//! ships in a default build.
+
+use crate::budget::CancelToken;
+use em_types::PairIdx;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A recipe of faults to inject into feature computation.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    panic_pairs: Vec<PairIdx>,
+    nan_pairs: Vec<PairIdx>,
+    slow: Option<Duration>,
+    cancel_on_pair: Option<(PairIdx, CancelToken)>,
+    evals: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan that panics whenever `pair`'s features are computed.
+    pub fn panic_on_pair(pair: PairIdx) -> Self {
+        Self::new().with_panic_pair(pair)
+    }
+
+    /// A plan that returns NaN whenever `pair`'s features are computed.
+    pub fn nan_on_pair(pair: PairIdx) -> Self {
+        Self::new().with_nan_pair(pair)
+    }
+
+    /// Adds a pair whose feature computations panic.
+    pub fn with_panic_pair(mut self, pair: PairIdx) -> Self {
+        self.panic_pairs.push(pair);
+        self
+    }
+
+    /// Adds a pair whose feature computations return NaN.
+    pub fn with_nan_pair(mut self, pair: PairIdx) -> Self {
+        self.nan_pairs.push(pair);
+        self
+    }
+
+    /// Sleeps `d` on every feature computation (slow-feature simulation).
+    pub fn with_slow(mut self, d: Duration) -> Self {
+        self.slow = Some(d);
+        self
+    }
+
+    /// Fires `token` when `pair`'s features are first computed
+    /// (cancel-at-pair-k simulation).
+    pub fn with_cancel_on_pair(mut self, pair: PairIdx, token: CancelToken) -> Self {
+        self.cancel_on_pair = Some((pair, token));
+        self
+    }
+
+    /// Total feature computations observed by this plan.
+    pub fn evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// The interception hook called by `EvalContext::compute` for every
+    /// feature computation. Returns `Some(value)` to override the real
+    /// similarity, `None` to fall through.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an `"injected fault"` payload, which
+    /// [`crate::install_quiet_panic_hook`] silences) when `pair` is on the
+    /// plan's panic list.
+    pub fn on_compute(&self, pair: PairIdx) -> Option<f64> {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        if let Some((at, token)) = &self.cancel_on_pair {
+            if *at == pair {
+                token.cancel();
+            }
+        }
+        if let Some(d) = self.slow {
+            std::thread::sleep(d);
+        }
+        if self.panic_pairs.contains(&pair) {
+            panic!("injected fault: panic on pair (a{}, b{})", pair.a, pair.b);
+        }
+        if self.nan_pairs.contains(&pair) {
+            return Some(f64::NAN);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_overrides_fire_in_order() {
+        let plan = FaultPlan::new()
+            .with_nan_pair(PairIdx::new(1, 2))
+            .with_panic_pair(PairIdx::new(3, 4));
+        assert_eq!(plan.on_compute(PairIdx::new(0, 0)), None);
+        assert!(plan.on_compute(PairIdx::new(1, 2)).unwrap().is_nan());
+        crate::robust::install_quiet_panic_hook();
+        let r = std::panic::catch_unwind(|| plan.on_compute(PairIdx::new(3, 4)));
+        assert!(r.is_err(), "panic pair must panic");
+        assert_eq!(plan.evals(), 3);
+    }
+
+    #[test]
+    fn cancel_pair_fires_token() {
+        let token = CancelToken::new();
+        let plan = FaultPlan::new().with_cancel_on_pair(PairIdx::new(5, 5), token.clone());
+        plan.on_compute(PairIdx::new(0, 0));
+        assert!(!token.is_cancelled());
+        plan.on_compute(PairIdx::new(5, 5));
+        assert!(token.is_cancelled());
+    }
+}

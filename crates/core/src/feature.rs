@@ -108,6 +108,12 @@ impl FeatureRegistry {
         &self.defs[id.index()]
     }
 
+    /// The definition behind `id`, or `None` for a foreign id.
+    #[inline]
+    pub fn try_def(&self, id: FeatureId) -> Option<&FeatureDef> {
+        self.defs.get(id.index())
+    }
+
     /// Number of interned features.
     #[inline]
     pub fn len(&self) -> usize {
@@ -175,6 +181,8 @@ mod tests {
         let id = reg.intern(d);
         assert_eq!(reg.lookup(&d), Some(id));
         assert_eq!(reg.def(id), &d);
+        assert_eq!(reg.try_def(id), Some(&d));
+        assert_eq!(reg.try_def(FeatureId(99)), None);
         assert_eq!(reg.lookup(&def(Measure::Exact)), None);
     }
 

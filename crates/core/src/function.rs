@@ -19,6 +19,10 @@ pub enum EditError {
     EmptyRule,
     /// A rule-order permutation did not contain exactly the current rules.
     InvalidOrder,
+    /// A previous edit stopped early (deadline or cancellation) and is only
+    /// partially applied; it must be resumed (or the state rebuilt with a
+    /// full run) before further edits.
+    PendingResume,
 }
 
 impl fmt::Display for EditError {
@@ -31,6 +35,10 @@ impl fmt::Display for EditError {
                 "operation would leave an empty rule (which matches everything); remove the rule instead"
             ),
             EditError::InvalidOrder => write!(f, "order must be a permutation of the current rules"),
+            EditError::PendingResume => write!(
+                f,
+                "a previous edit is partially applied; resume it (or re-run matching) first"
+            ),
         }
     }
 }

@@ -31,6 +31,7 @@
 //! execution is the one-shard case of the same path, so reports and state
 //! are identical for every thread count.
 
+use crate::budget::{Completion, EvalBudget};
 use crate::context::EvalContext;
 use crate::engine::{eval_rule_memoized, EvalStats};
 use crate::executor::{partition, run_sharded, Executor};
@@ -38,6 +39,7 @@ use crate::feature::FeatureId;
 use crate::function::{EditError, MatchingFunction};
 use crate::memo::{Memo, OverlayMemo};
 use crate::predicate::{PredId, Predicate};
+use crate::robust::{drive_pairs, fold_outcomes, DriveOutcome, PairList, PairSink};
 use crate::rule::{Rule, RuleId};
 use crate::state::MatchState;
 use em_types::{CandidateSet, PairIdx};
@@ -70,6 +72,12 @@ pub struct ChangeReport {
     pub worker_stats: Vec<WorkerStats>,
     /// Wall-clock time of the incremental update.
     pub elapsed: Duration,
+    /// Whether every affected pair was re-examined, or which remain for a
+    /// resume (when a budget tripped mid-edit).
+    pub completion: Completion,
+    /// Affected pairs whose re-evaluation panicked and were quarantined,
+    /// ascending. Their verdicts are left as they were before the edit.
+    pub quarantined: Vec<usize>,
 }
 
 impl ChangeReport {
@@ -102,7 +110,6 @@ enum DeltaEvent {
 struct DeltaShard<'a> {
     memo: OverlayMemo<'a>,
     stats: EvalStats,
-    pairs_examined: usize,
     events: Vec<DeltaEvent>,
 }
 
@@ -114,6 +121,7 @@ struct DeltaParts {
     worker_stats: Vec<WorkerStats>,
     stats: EvalStats,
     pairs_examined: usize,
+    drives: Vec<DriveOutcome>,
 }
 
 /// Runs `process` over every affected pair, partitioned across the
@@ -122,14 +130,19 @@ struct DeltaParts {
 /// ascending pair order (the affected list is ascending and shards are
 /// contiguous slices of it), so replaying them reproduces the serial
 /// execution exactly.
+///
+/// Every shard runs through the robust driver: panicking pairs are
+/// quarantined (their events rolled back) and the budget is polled between
+/// pairs, with untouched pairs reported for a resume.
 fn eval_delta(
     state: &MatchState,
     exec: &Executor,
     affected: &[usize],
+    budget: &EvalBudget,
     process: impl Fn(&mut DeltaShard<'_>, usize) + Sync,
 ) -> DeltaParts {
     let ranges = partition(affected.len(), exec.n_workers());
-    let shards: Vec<(Range<usize>, DeltaShard<'_>)> = ranges
+    let shards: Vec<(Range<usize>, DeltaShard<'_>, DriveOutcome)> = ranges
         .into_iter()
         .map(|range| {
             (
@@ -137,30 +150,57 @@ fn eval_delta(
                 DeltaShard {
                     memo: OverlayMemo::new(&state.memo),
                     stats: EvalStats::default(),
-                    pairs_examined: 0,
                     events: Vec::new(),
                 },
+                DriveOutcome::default(),
             )
         })
         .collect();
 
-    let shards = run_sharded(exec, shards, |_, (range, shard)| {
-        for &i in &affected[range.clone()] {
-            process(shard, i);
+    struct Sink<'a, 'b, F> {
+        shard: &'b mut DeltaShard<'a>,
+        process: &'b F,
+    }
+    impl<F: Fn(&mut DeltaShard<'_>, usize)> PairSink for Sink<'_, '_, F> {
+        fn process(&mut self, i: usize) {
+            (self.process)(&mut *self.shard, i);
         }
+        // The event log is append-only, so truncating to the pre-chunk mark
+        // undoes a panicked chunk exactly (overlay memo writes are
+        // idempotent and may stay).
+        fn mark(&mut self) -> usize {
+            self.shard.events.len()
+        }
+        fn rollback(&mut self, mark: usize) {
+            self.shard.events.truncate(mark);
+        }
+    }
+
+    let shards = run_sharded(exec, shards, |_, (range, shard, drive)| {
+        let mut checker = budget.checker();
+        let mut sink = Sink {
+            shard,
+            process: &process,
+        };
+        *drive = drive_pairs(
+            &PairList::Slice(&affected[range.clone()]),
+            &mut checker,
+            &mut sink,
+        );
     });
 
     let mut parts = DeltaParts::default();
-    for (worker, (_, shard)) in shards.into_iter().enumerate() {
+    for (worker, (_, shard, drive)) in shards.into_iter().enumerate() {
         parts.stats.absorb(&shard.stats);
-        parts.pairs_examined += shard.pairs_examined;
+        parts.pairs_examined += drive.pairs_examined;
         parts.worker_stats.push(WorkerStats {
             worker,
-            pairs_examined: shard.pairs_examined,
+            pairs_examined: drive.pairs_examined,
             stats: shard.stats,
         });
         parts.memo_entries.extend(shard.memo.into_local());
         parts.events.extend(shard.events);
+        parts.drives.push(drive);
     }
     parts
 }
@@ -185,6 +225,9 @@ fn apply_delta(state: &mut MatchState, parts: DeltaParts, report: &mut ChangeRep
     report.pairs_examined = parts.pairs_examined;
     report.stats = parts.stats;
     report.worker_stats = parts.worker_stats;
+    let (completion, quarantined, _) = fold_outcomes(parts.drives);
+    report.completion = completion;
+    report.quarantined = quarantined;
 }
 
 /// Re-evaluates all rules for a pair that lost its fired rule, recording
@@ -242,6 +285,209 @@ fn resolve_overlay(
     }
 }
 
+/// The kind of delta an edit started — everything needed to re-run the same
+/// per-pair evaluation over a stored remaining list via [`resume_delta`]
+/// after a budget tripped mid-edit.
+#[derive(Debug, Clone)]
+pub enum PendingDelta {
+    /// Algorithm 10: evaluate a newly added rule over unmatched pairs.
+    AddRule {
+        /// The added rule.
+        rid: RuleId,
+    },
+    /// Algorithm 9's per-pair body: unfire, then re-run all rules
+    /// (used by rule removal — the rule is already gone from the function).
+    Cascade,
+    /// Algorithm 7: re-test a tightened/added predicate over `M(r)`,
+    /// cascading pairs that now fail.
+    Restrict {
+        /// The restricted rule.
+        rid: RuleId,
+        /// The added/tightened predicate.
+        pid: PredId,
+    },
+    /// Algorithm 8: re-test a removed/relaxed predicate's rule over the
+    /// unmatched pairs of `U(p)`.
+    Loosen {
+        /// The loosened rule.
+        rid: RuleId,
+        /// The removed/relaxed predicate.
+        pid: PredId,
+        /// `Some(new predicate)` for relax (re-test first), `None` for
+        /// removal.
+        re_eval: Option<Predicate>,
+    },
+}
+
+/// Runs one delta kind over an explicit affected-pair list and applies the
+/// result. Shared by the edit entry points (full affected list) and
+/// [`resume_delta`] (the remaining list of a partial edit).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+fn run_kind(
+    kind: &PendingDelta,
+    affected: &[usize],
+    func: &MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> Result<ChangeReport, EditError> {
+    let start = Instant::now();
+    let mut report = ChangeReport::default();
+    let parts = match kind {
+        PendingDelta::AddRule { rid } => {
+            let rid = *rid;
+            let bound = func.rule(rid).ok_or(EditError::UnknownRule(rid))?.clone();
+            eval_delta(state, exec, affected, budget, |shard, i| {
+                let pair = cands.pair(i);
+                let events = &mut shard.events;
+                if eval_rule_memoized(
+                    &bound,
+                    i,
+                    pair,
+                    ctx,
+                    &mut shard.memo,
+                    check_cache_first,
+                    &mut shard.stats,
+                    |p| events.push(DeltaEvent::PredFalse { p, i }),
+                ) {
+                    shard.events.push(DeltaEvent::Fire { i, r: rid });
+                    shard.events.push(DeltaEvent::Matched { i });
+                }
+            })
+        }
+        PendingDelta::Cascade => eval_delta(state, exec, affected, budget, |shard, i| {
+            // The pair still carries the stale fired pointer; clear it first.
+            shard.events.push(DeltaEvent::Unfire { i });
+            match cascade_delta(func, ctx, cands, shard, i, check_cache_first) {
+                Some(r) => shard.events.push(DeltaEvent::Fire { i, r }),
+                None => shard.events.push(DeltaEvent::Unmatched { i }),
+            }
+        }),
+        PendingDelta::Restrict { pid, .. } => {
+            let pid = *pid;
+            let (_, bp) = func
+                .find_predicate(pid)
+                .ok_or(EditError::UnknownPredicate(pid))?;
+            let pred = bp.pred;
+            eval_delta(state, exec, affected, budget, |shard, i| {
+                let pair = cands.pair(i);
+                let v = resolve_overlay(
+                    pred.feature,
+                    i,
+                    pair,
+                    ctx,
+                    &mut shard.memo,
+                    &mut shard.stats,
+                );
+                shard.stats.predicate_evals += 1;
+                if pred.eval(v) {
+                    return; // still matched by this rule
+                }
+                shard.events.push(DeltaEvent::PredFalse { p: pid, i });
+                shard.events.push(DeltaEvent::Unfire { i });
+                match cascade_delta(func, ctx, cands, shard, i, check_cache_first) {
+                    Some(r) => shard.events.push(DeltaEvent::Fire { i, r }),
+                    None => shard.events.push(DeltaEvent::Unmatched { i }),
+                }
+            })
+        }
+        PendingDelta::Loosen { rid, pid, re_eval } => {
+            let (rid, pid, re_eval) = (*rid, *pid, *re_eval);
+            let rule = func.rule(rid).ok_or(EditError::UnknownRule(rid))?.clone();
+            eval_delta(state, exec, affected, budget, |shard, i| {
+                if state.verdict(i) {
+                    return; // already matched elsewhere; loosening cannot unmatch
+                }
+                let pair = cands.pair(i);
+
+                if let Some(pred) = re_eval {
+                    let v = resolve_overlay(
+                        pred.feature,
+                        i,
+                        pair,
+                        ctx,
+                        &mut shard.memo,
+                        &mut shard.stats,
+                    );
+                    shard.stats.predicate_evals += 1;
+                    if !pred.eval(v) {
+                        return; // still false under the relaxed threshold
+                    }
+                    shard.events.push(DeltaEvent::PredClear { p: pid, i });
+                }
+
+                // The changed predicate passes (or is gone); test the whole rule.
+                let events = &mut shard.events;
+                if eval_rule_memoized(
+                    &rule,
+                    i,
+                    pair,
+                    ctx,
+                    &mut shard.memo,
+                    check_cache_first,
+                    &mut shard.stats,
+                    |p| events.push(DeltaEvent::PredFalse { p, i }),
+                ) {
+                    shard.events.push(DeltaEvent::Fire { i, r: rid });
+                    shard.events.push(DeltaEvent::Matched { i });
+                }
+            })
+        }
+    };
+    apply_delta(state, parts, &mut report);
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+/// Finishes (or further advances) a partially-applied edit: re-runs the
+/// edit's [`PendingDelta`] over the stored `remaining` pair list. The
+/// matching function must not have been edited since the partial edit —
+/// callers (the session) are responsible for blocking interleaved edits.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+pub fn resume_delta(
+    func: &MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    kind: &PendingDelta,
+    remaining: &[usize],
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> Result<ChangeReport, EditError> {
+    run_kind(
+        kind,
+        remaining,
+        func,
+        state,
+        ctx,
+        cands,
+        check_cache_first,
+        exec,
+        budget,
+    )
+}
+
+/// `M(r)` as an ascending affected-pair list.
+fn rule_affected(state: &MatchState, rid: RuleId) -> Vec<usize> {
+    state
+        .rule_bitmap(rid)
+        .map(|bm| bm.iter_ones().collect())
+        .unwrap_or_default()
+}
+
+/// The unmatched pairs of `U(p)`, ascending — the only pairs a loosen edit
+/// can change (matched pairs stay matched when a rule is loosened).
+fn loosen_affected(state: &MatchState, pid: PredId) -> Vec<usize> {
+    state
+        .pred_bitmap(pid)
+        .map(|bm| bm.iter_ones().filter(|&i| !state.verdict(i)).collect())
+        .unwrap_or_default()
+}
+
 /// Algorithm 10 — add a rule.
 ///
 /// The new rule is appended at the end of the evaluation order, so only
@@ -257,32 +503,43 @@ pub fn add_rule(
     check_cache_first: bool,
     exec: &Executor,
 ) -> Result<(RuleId, ChangeReport), EditError> {
-    let start = Instant::now();
-    let rid = func.add_rule(rule)?;
-    let bound = func.rule(rid).expect("rule was just inserted").clone();
+    add_rule_budgeted(
+        func,
+        state,
+        ctx,
+        cands,
+        rule,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+}
 
-    let mut report = ChangeReport::default();
+/// [`add_rule`] under an [`EvalBudget`].
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+pub fn add_rule_budgeted(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    rule: Rule,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> Result<(RuleId, ChangeReport), EditError> {
+    let rid = func.add_rule(rule)?;
     let unmatched: Vec<usize> = (0..cands.len()).filter(|&i| !state.verdict(i)).collect();
-    let parts = eval_delta(state, exec, &unmatched, |shard, i| {
-        shard.pairs_examined += 1;
-        let pair = cands.pair(i);
-        let events = &mut shard.events;
-        if eval_rule_memoized(
-            &bound,
-            i,
-            pair,
-            ctx,
-            &mut shard.memo,
-            check_cache_first,
-            &mut shard.stats,
-            |p| events.push(DeltaEvent::PredFalse { p, i }),
-        ) {
-            shard.events.push(DeltaEvent::Fire { i, r: rid });
-            shard.events.push(DeltaEvent::Matched { i });
-        }
-    });
-    apply_delta(state, parts, &mut report);
-    report.elapsed = start.elapsed();
+    let report = run_kind(
+        &PendingDelta::AddRule { rid },
+        &unmatched,
+        func,
+        state,
+        ctx,
+        cands,
+        check_cache_first,
+        exec,
+        budget,
+    )?;
     Ok((rid, report))
 }
 
@@ -299,81 +556,47 @@ pub fn remove_rule(
     check_cache_first: bool,
     exec: &Executor,
 ) -> Result<ChangeReport, EditError> {
-    let start = Instant::now();
-    let removed = func.remove_rule(rid)?;
-    let affected: Vec<usize> = state
-        .rule_bitmap(rid)
-        .map(|bm| bm.iter_ones().collect())
-        .unwrap_or_default();
-    let pred_ids: Vec<PredId> = removed.preds.iter().map(|bp| bp.id).collect();
-    state.drop_rule_state(rid, &pred_ids);
-
-    let mut report = ChangeReport::default();
-    let parts = eval_delta(state, exec, &affected, |shard, i| {
-        shard.pairs_examined += 1;
-        // The pair still carries the stale fired pointer; clear it first.
-        shard.events.push(DeltaEvent::Unfire { i });
-        match cascade_delta(func, ctx, cands, shard, i, check_cache_first) {
-            Some(r) => shard.events.push(DeltaEvent::Fire { i, r }),
-            None => shard.events.push(DeltaEvent::Unmatched { i }),
-        }
-    });
-    apply_delta(state, parts, &mut report);
-    report.elapsed = start.elapsed();
-    Ok(report)
+    remove_rule_budgeted(
+        func,
+        state,
+        ctx,
+        cands,
+        rid,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
 }
 
-/// Shared core of "add a predicate" and "tighten a threshold" (Algorithm 7):
-/// re-evaluate the changed predicate for the pairs its rule fired for;
-/// pairs that now fail fall back to the cascade.
+/// [`remove_rule`] under an [`EvalBudget`]. Under a tripped budget the
+/// unprocessed pairs keep their stale verdict (and fired pointer) until the
+/// resume completes, so the caller must block further edits until then.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
-fn restrict_rule(
-    func: &MatchingFunction,
+pub fn remove_rule_budgeted(
+    func: &mut MatchingFunction,
     state: &mut MatchState,
     ctx: &EvalContext,
     cands: &CandidateSet,
     rid: RuleId,
-    pid: PredId,
     check_cache_first: bool,
     exec: &Executor,
-) -> ChangeReport {
-    let start = Instant::now();
-    let mut report = ChangeReport::default();
-    let (_, bp) = func
-        .find_predicate(pid)
-        .expect("predicate exists in the function");
-    let pred = bp.pred;
-
-    let affected: Vec<usize> = state
-        .rule_bitmap(rid)
-        .map(|bm| bm.iter_ones().collect())
-        .unwrap_or_default();
-
-    let parts = eval_delta(state, exec, &affected, |shard, i| {
-        shard.pairs_examined += 1;
-        let pair = cands.pair(i);
-        let v = resolve_overlay(
-            pred.feature,
-            i,
-            pair,
-            ctx,
-            &mut shard.memo,
-            &mut shard.stats,
-        );
-        shard.stats.predicate_evals += 1;
-        if pred.eval(v) {
-            return; // still matched by this rule
-        }
-        shard.events.push(DeltaEvent::PredFalse { p: pid, i });
-        shard.events.push(DeltaEvent::Unfire { i });
-        match cascade_delta(func, ctx, cands, shard, i, check_cache_first) {
-            Some(r) => shard.events.push(DeltaEvent::Fire { i, r }),
-            None => shard.events.push(DeltaEvent::Unmatched { i }),
-        }
-    });
-    apply_delta(state, parts, &mut report);
-    report.elapsed = start.elapsed();
-    report
+    budget: &EvalBudget,
+) -> Result<ChangeReport, EditError> {
+    let removed = func.remove_rule(rid)?;
+    let affected = rule_affected(state, rid);
+    let pred_ids: Vec<PredId> = removed.preds.iter().map(|bp| bp.id).collect();
+    state.drop_rule_state(rid, &pred_ids);
+    run_kind(
+        &PendingDelta::Cascade,
+        &affected,
+        func,
+        state,
+        ctx,
+        cands,
+        check_cache_first,
+        exec,
+        budget,
+    )
 }
 
 /// Algorithm 7 — add a predicate to a rule.
@@ -388,83 +611,46 @@ pub fn add_predicate(
     check_cache_first: bool,
     exec: &Executor,
 ) -> Result<(PredId, ChangeReport), EditError> {
-    let pid = func.add_predicate(rid, pred)?;
-    let report = restrict_rule(func, state, ctx, cands, rid, pid, check_cache_first, exec);
-    Ok((pid, report))
+    add_predicate_budgeted(
+        func,
+        state,
+        ctx,
+        cands,
+        rid,
+        pred,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
 }
 
-/// Shared core of "remove a predicate" and "relax a threshold"
-/// (Algorithm 8): the only pairs that can change are *unmatched* pairs for
-/// which the predicate evaluated false. Matched pairs stay matched (the
-/// edit only loosens one rule), and unmatched pairs not in `U(p)` have
-/// every rule false for reasons unaffected by `p`.
-///
-/// `re_eval_pred` is `Some(new predicate)` for relax (the predicate must be
-/// re-tested) and `None` for removal (every pair in `U(p)` proceeds to the
-/// rest of the rule).
+/// [`add_predicate`] under an [`EvalBudget`].
 #[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
-fn loosen_rule(
-    func: &MatchingFunction,
+pub fn add_predicate_budgeted(
+    func: &mut MatchingFunction,
     state: &mut MatchState,
     ctx: &EvalContext,
     cands: &CandidateSet,
     rid: RuleId,
-    pid: PredId,
-    re_eval_pred: Option<Predicate>,
+    pred: Predicate,
     check_cache_first: bool,
     exec: &Executor,
-) -> ChangeReport {
-    let start = Instant::now();
-    let mut report = ChangeReport::default();
-    let rule = func.rule(rid).expect("rule exists").clone();
-
-    let affected: Vec<usize> = state
-        .pred_bitmap(pid)
-        .map(|bm| bm.iter_ones().collect())
-        .unwrap_or_default();
-
-    let parts = eval_delta(state, exec, &affected, |shard, i| {
-        if state.verdict(i) {
-            return; // already matched elsewhere; loosening cannot unmatch
-        }
-        shard.pairs_examined += 1;
-        let pair = cands.pair(i);
-
-        if let Some(pred) = re_eval_pred {
-            let v = resolve_overlay(
-                pred.feature,
-                i,
-                pair,
-                ctx,
-                &mut shard.memo,
-                &mut shard.stats,
-            );
-            shard.stats.predicate_evals += 1;
-            if !pred.eval(v) {
-                return; // still false under the relaxed threshold
-            }
-            shard.events.push(DeltaEvent::PredClear { p: pid, i });
-        }
-
-        // The changed predicate passes (or is gone); test the whole rule.
-        let events = &mut shard.events;
-        if eval_rule_memoized(
-            &rule,
-            i,
-            pair,
-            ctx,
-            &mut shard.memo,
-            check_cache_first,
-            &mut shard.stats,
-            |p| events.push(DeltaEvent::PredFalse { p, i }),
-        ) {
-            shard.events.push(DeltaEvent::Fire { i, r: rid });
-            shard.events.push(DeltaEvent::Matched { i });
-        }
-    });
-    apply_delta(state, parts, &mut report);
-    report.elapsed = start.elapsed();
-    report
+    budget: &EvalBudget,
+) -> Result<(PredId, ChangeReport), EditError> {
+    let pid = func.add_predicate(rid, pred)?;
+    let affected = rule_affected(state, rid);
+    let report = run_kind(
+        &PendingDelta::Restrict { rid, pid },
+        &affected,
+        func,
+        state,
+        ctx,
+        cands,
+        check_cache_first,
+        exec,
+        budget,
+    )?;
+    Ok((pid, report))
 }
 
 /// Algorithm 8 — remove a predicate from a rule.
@@ -477,22 +663,51 @@ pub fn remove_predicate(
     check_cache_first: bool,
     exec: &Executor,
 ) -> Result<ChangeReport, EditError> {
+    remove_predicate_budgeted(
+        func,
+        state,
+        ctx,
+        cands,
+        pid,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`remove_predicate`] under an [`EvalBudget`].
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+pub fn remove_predicate_budgeted(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    pid: PredId,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> Result<ChangeReport, EditError> {
     let (rid, _) = func
         .find_predicate(pid)
         .map(|(r, bp)| (r, bp.pred))
         .ok_or(EditError::UnknownPredicate(pid))?;
     func.remove_predicate(pid)?;
-    let report = loosen_rule(
+    let affected = loosen_affected(state, pid);
+    let report = run_kind(
+        &PendingDelta::Loosen {
+            rid,
+            pid,
+            re_eval: None,
+        },
+        &affected,
         func,
         state,
         ctx,
         cands,
-        rid,
-        pid,
-        None,
         check_cache_first,
         exec,
-    );
+        budget,
+    )?;
     state.drop_pred_state(pid);
     Ok(report)
 }
@@ -510,43 +725,73 @@ pub fn set_threshold(
     check_cache_first: bool,
     exec: &Executor,
 ) -> Result<ChangeReport, EditError> {
+    set_threshold_budgeted(
+        func,
+        state,
+        ctx,
+        cands,
+        pid,
+        new_threshold,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`set_threshold`] under an [`EvalBudget`]. Also returns the
+/// [`PendingDelta`] that was run (`None` for a no-op change) so callers can
+/// store it for [`resume_delta`] without re-deriving the direction.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's algorithm signature
+pub fn set_threshold_budgeted(
+    func: &mut MatchingFunction,
+    state: &mut MatchState,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    pid: PredId,
+    new_threshold: f64,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> Result<(ChangeReport, Option<PendingDelta>), EditError> {
     let (rid, bp) = func
         .find_predicate(pid)
         .ok_or(EditError::UnknownPredicate(pid))?;
     let direction = bp.pred.change_direction(new_threshold);
     func.set_threshold(pid, new_threshold)?;
 
-    match direction {
-        None => Ok(ChangeReport::default()),
-        Some(true) => Ok(restrict_rule(
-            func,
-            state,
-            ctx,
-            cands,
-            rid,
-            pid,
-            check_cache_first,
-            exec,
-        )),
+    let kind = match direction {
+        None => return Ok((ChangeReport::default(), None)),
+        Some(true) => PendingDelta::Restrict { rid, pid },
         Some(false) => {
             let pred = func
                 .find_predicate(pid)
-                .expect("predicate still present")
+                .ok_or(EditError::UnknownPredicate(pid))?
                 .1
                 .pred;
-            Ok(loosen_rule(
-                func,
-                state,
-                ctx,
-                cands,
+            PendingDelta::Loosen {
                 rid,
                 pid,
-                Some(pred),
-                check_cache_first,
-                exec,
-            ))
+                re_eval: Some(pred),
+            }
         }
-    }
+    };
+    let affected = match &kind {
+        PendingDelta::Restrict { .. } => rule_affected(state, rid),
+        _ => loosen_affected(state, pid),
+    };
+    let report = run_kind(
+        &kind,
+        &affected,
+        func,
+        state,
+        ctx,
+        cands,
+        check_cache_first,
+        exec,
+        budget,
+    )?;
+    Ok((report, Some(kind)))
 }
 
 #[cfg(test)]
@@ -873,6 +1118,84 @@ mod tests {
         )
         .unwrap();
         assert_consistent(&fix);
+    }
+
+    #[test]
+    fn pre_cancelled_edit_is_fully_partial_and_resumable() {
+        let mut fix = fixture();
+        let token = crate::budget::CancelToken::default();
+        token.cancel();
+        let budget = EvalBudget::unlimited().with_token(token.clone());
+
+        let rule = Rule::new().pred(fix.f_model, CmpOp::Ge, 1.0);
+        let (rid, report) = add_rule_budgeted(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            rule,
+            false,
+            &Executor::serial(),
+            &budget,
+        )
+        .unwrap();
+
+        // Nothing ran: the rule is in the function, the state is untouched,
+        // and every affected pair is reported back for the resume.
+        assert_eq!(report.pairs_examined, 0);
+        assert!(report.newly_matched.is_empty());
+        assert_eq!(fix.state.n_matches(), 2);
+        let Completion::Partial { remaining, reason } = &report.completion else {
+            panic!("expected a partial completion");
+        };
+        assert_eq!(*reason, crate::budget::StopReason::Cancelled);
+        assert_eq!(remaining.len(), 14, "all unmatched pairs still pending");
+
+        // Resuming with a fresh budget finishes the edit exactly.
+        token.clear();
+        let report = resume_delta(
+            &fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            &PendingDelta::AddRule { rid },
+            remaining,
+            false,
+            &Executor::serial(),
+            &EvalBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(report.completion.is_complete());
+        assert_eq!(report.newly_matched, vec![10]);
+        assert_eq!(report.pairs_examined, 14);
+        assert_consistent(&fix);
+    }
+
+    #[test]
+    fn partial_report_remaining_plus_examined_covers_affected() {
+        // A deadline that expires immediately: the driver stops on its
+        // first check, so remaining + examined always equals the affected
+        // set regardless of where it trips.
+        let mut fix = fixture();
+        let budget = EvalBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let pid = fix.func.rules()[0].preds[0].id;
+        let (report, kind) = set_threshold_budgeted(
+            &mut fix.func,
+            &mut fix.state,
+            &fix.ctx,
+            &fix.cands,
+            pid,
+            1.01,
+            false,
+            &Executor::serial(),
+            &budget,
+        )
+        .unwrap();
+        assert!(matches!(kind, Some(PendingDelta::Restrict { .. })));
+        let Completion::Partial { remaining, .. } = &report.completion else {
+            panic!("expected a partial completion");
+        };
+        assert_eq!(report.pairs_examined + remaining.len(), 2, "M(r) covered");
     }
 
     #[test]

@@ -48,12 +48,15 @@
 //! ```
 
 pub mod bitmap;
+pub mod budget;
 pub mod context;
 pub mod costmodel;
 pub mod engine;
 pub mod exact;
 pub mod executor;
 pub mod explain;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod feature;
 pub mod function;
 pub mod incremental;
@@ -62,6 +65,7 @@ pub mod ordering;
 pub mod parse;
 pub mod predicate;
 pub mod quality;
+mod robust;
 pub mod rule;
 pub mod session;
 pub mod simplify;
@@ -69,22 +73,27 @@ pub mod state;
 pub mod stats;
 
 pub use bitmap::Bitmap;
+pub use budget::{CancelToken, Completion, EvalBudget, StopReason};
 pub use context::EvalContext;
 pub use costmodel::{cost_early_exit, cost_memo, cost_precompute, cost_rudimentary, MemoState};
 pub use engine::{
-    run_early_exit, run_memo, run_memo_with, run_precompute, run_rudimentary, EvalStats,
-    MatchOutcome, Strategy,
+    run_early_exit, run_early_exit_budgeted, run_memo, run_memo_budgeted, run_memo_with,
+    run_memo_with_budgeted, run_precompute, run_precompute_budgeted, run_rudimentary,
+    run_rudimentary_budgeted, EvalStats, MatchOutcome, Strategy,
 };
 pub use exact::{optimal_rule_order, ExactOrder, MAX_EXACT_RULES};
 #[allow(deprecated)]
 pub use executor::run_memo_parallel;
 pub use executor::{partition, run_sharded, split_mut, Executor};
 pub use explain::{Explanation, PredicateTrace, RuleTrace};
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use feature::{FeatureDef, FeatureId, FeatureRegistry};
 pub use function::{EditError, MatchingFunction};
 pub use incremental::{
-    add_predicate, add_rule, remove_predicate, remove_rule, set_threshold, ChangeReport,
-    WorkerStats,
+    add_predicate, add_predicate_budgeted, add_rule, add_rule_budgeted, remove_predicate,
+    remove_predicate_budgeted, remove_rule, remove_rule_budgeted, resume_delta, set_threshold,
+    set_threshold_budgeted, ChangeReport, PendingDelta, WorkerStats,
 };
 pub use memo::{DenseMemo, Memo, MemoShard, OverlayMemo, SparseMemo};
 pub use ordering::{
@@ -94,8 +103,9 @@ pub use ordering::{
 pub use parse::{parse_function, parse_measure, ParseError};
 pub use predicate::{CmpOp, PredId, Predicate};
 pub use quality::QualityReport;
+pub use robust::install_quiet_panic_hook;
 pub use rule::{BoundPredicate, BoundRule, Rule, RuleId};
-pub use session::{DebugSession, SessionConfig, SessionSnapshot};
+pub use session::{DebugSession, PendingWork, SessionConfig, SessionSnapshot};
 pub use simplify::{simplify, SimplifyReport};
-pub use state::{run_full, MatchState, MemoryReport};
+pub use state::{run_full, run_full_budgeted, FullRunOutcome, MatchState, MemoryReport};
 pub use stats::{FunctionStats, DEFAULT_SAMPLE_FRACTION};

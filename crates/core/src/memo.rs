@@ -150,7 +150,10 @@ impl Memo for DenseMemo {
 
     #[inline]
     fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        // NaN is the "absent" sentinel; storing it would silently drop the
+        // value. Defensively normalize to 0.0 (the context already does —
+        // this keeps the memo total even for values that bypass it).
+        let value = if value.is_nan() { 0.0 } else { value };
         if feature.index() >= self.n_features {
             self.ensure_features(feature.index() + 1);
         }
@@ -231,7 +234,7 @@ impl Memo for MemoShard<'_> {
 
     #[inline]
     fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        let value = if value.is_nan() { 0.0 } else { value }; // NaN = absent sentinel
         let i = self
             .idx(pair, feature)
             .expect("pair/feature out of range for memo shard (grow the memo before sharding)");
@@ -300,7 +303,7 @@ impl Memo for OverlayMemo<'_> {
 
     #[inline]
     fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        let value = if value.is_nan() { 0.0 } else { value }; // keep totality with DenseMemo
         self.local.insert((pair as u32, feature.0), value);
     }
 
@@ -339,7 +342,7 @@ impl Memo for SparseMemo {
 
     #[inline]
     fn put(&mut self, pair: usize, feature: FeatureId, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN feature values are not storable");
+        let value = if value.is_nan() { 0.0 } else { value }; // keep totality with DenseMemo
         self.map.insert((pair as u32, feature.0), value);
     }
 
@@ -479,6 +482,23 @@ mod tests {
     fn shard_views_reject_gaps() {
         let mut m = DenseMemo::new(10, 2);
         let _ = m.shard_views(&[0..4, 5..10]);
+    }
+
+    #[test]
+    fn nan_puts_are_normalized_to_zero() {
+        // NaN doubles as the absent sentinel, so a NaN put must land as 0.0
+        // (present) rather than silently vanishing.
+        let mut dense = DenseMemo::new(2, 2);
+        dense.put(0, FeatureId(0), f64::NAN);
+        assert_eq!(dense.get(0, FeatureId(0)), Some(0.0));
+        assert_eq!(dense.stored(), 1);
+        let mut sparse = SparseMemo::new();
+        sparse.put(0, FeatureId(0), f64::NAN);
+        assert_eq!(sparse.get(0, FeatureId(0)), Some(0.0));
+        let base = DenseMemo::new(2, 2);
+        let mut overlay = OverlayMemo::new(&base);
+        overlay.put(1, FeatureId(1), f64::NAN);
+        assert_eq!(overlay.get(1, FeatureId(1)), Some(0.0));
     }
 
     #[test]

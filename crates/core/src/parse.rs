@@ -97,13 +97,17 @@ pub fn parse_measure(name: &str) -> Option<Measure> {
         return rest
             .parse::<f64>()
             .ok()
+            .filter(|scale| scale.is_finite())
             .map(|scale| Measure::NumericAbs { scale });
     }
     if let Some(rest) = name.strip_prefix("soft_tfidf_") {
         // Either "soft_tfidf_ws" (default 0.9 gate) or "soft_tfidf_ws_0.90".
         let (scheme_part, threshold) = match rest.rsplit_once('_') {
-            Some((s, t)) if t.parse::<f64>().is_ok() => (s, t.parse::<f64>().unwrap()),
-            _ => (rest, 0.9),
+            Some((s, t)) => match t.parse::<f64>() {
+                Ok(v) if v.is_finite() => (s, v),
+                _ => (rest, 0.9),
+            },
+            None => (rest, 0.9),
         };
         return scheme(scheme_part).map(|s| Measure::SoftTfIdf {
             scheme: s,
@@ -166,11 +170,17 @@ fn parse_predicate(
         .iter()
         .find_map(|sym| rest.strip_prefix(sym).map(|n| (*sym, n)))
         .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
-    let op = CmpOp::parse(op).expect("symbol came from the known list");
+    let op = CmpOp::parse(op).ok_or_else(|| ParseError::Malformed(text.to_string()))?;
     let threshold: f64 = num
         .trim()
         .parse()
         .map_err(|_| ParseError::BadNumber(num.trim().to_string()))?;
+    // `"nan"` and `"inf"` parse as f64; a non-finite threshold would make
+    // every comparison vacuous (or NaN-poison downstream ordering), so
+    // reject it here at the one gate all rule text passes through.
+    if !threshold.is_finite() {
+        return Err(ParseError::BadNumber(num.trim().to_string()));
+    }
 
     let feature = ctx
         .feature(measure, args[0], args[1])
@@ -209,7 +219,8 @@ pub fn parse_function(text: &str, ctx: &mut EvalContext) -> Result<MatchingFunct
                 continue;
             }
             let rule = parse_rule(rule_text, ctx)?;
-            func.add_rule(rule).expect("parsed rules are non-empty");
+            func.add_rule(rule)
+                .map_err(|e| ParseError::Malformed(e.to_string()))?;
         }
     }
     if func.is_empty() {
@@ -338,6 +349,28 @@ mod tests {
             parse_function("  \n# only a comment\n", &mut c),
             Err(ParseError::Empty)
         ));
+    }
+
+    #[test]
+    fn non_finite_thresholds_rejected() {
+        let mut c = ctx();
+        for text in [
+            "exact(title, title) >= nan",
+            "exact(title, title) >= NaN",
+            "exact(title, title) >= inf",
+            "exact(title, title) < -inf",
+            "exact(title, title) >= infinity",
+        ] {
+            assert!(
+                matches!(parse_function(text, &mut c), Err(ParseError::BadNumber(_))),
+                "{text:?} must be rejected"
+            );
+        }
+        assert_eq!(parse_measure("numeric_inf"), None);
+        assert_eq!(parse_measure("numeric_nan"), None);
+        // A non-finite soft-tfidf gate falls back to "whole tail is the
+        // scheme", which is not a scheme either → unknown measure.
+        assert_eq!(parse_measure("soft_tfidf_ws_inf"), None);
     }
 
     #[test]

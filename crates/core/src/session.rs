@@ -6,19 +6,20 @@
 //! [`ChangeReport`], so a front-end (or an experiment harness) can show
 //! the analyst exactly what changed and how fast.
 
+use crate::budget::{CancelToken, Completion, EvalBudget};
 use crate::context::EvalContext;
 use crate::engine::EvalStats;
 use crate::executor::Executor;
 use crate::explain::{explain, Explanation};
 use crate::feature::FeatureId;
 use crate::function::{EditError, MatchingFunction};
-use crate::incremental::{self, ChangeReport, WorkerStats};
+use crate::incremental::{self, ChangeReport, PendingDelta, WorkerStats};
 use crate::ordering::{self, OrderingAlgo};
 use crate::parse::{self, ParseError};
 use crate::predicate::{PredId, Predicate};
 use crate::quality::QualityReport;
 use crate::rule::{Rule, RuleId};
-use crate::state::{run_full, MatchState, MemoryReport};
+use crate::state::{run_full_budgeted, MatchState, MemoryReport};
 use crate::stats::{FunctionStats, DEFAULT_SAMPLE_FRACTION};
 use em_similarity::Measure;
 use em_types::{CandidateSet, LabeledPair, Table};
@@ -39,6 +40,10 @@ pub struct SessionConfig {
     /// serial, `0` = one per available CPU, `n` = a pool of `n`. Results
     /// are identical for every setting; only latency changes.
     pub n_threads: usize,
+    /// Wall-clock budget per edit. An edit that exceeds it returns a
+    /// partial [`ChangeReport`]; call [`DebugSession::resume`] to finish
+    /// it. `None` (the default) means edits run to completion.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -48,6 +53,7 @@ impl Default for SessionConfig {
             sample_fraction: DEFAULT_SAMPLE_FRACTION,
             seed: 0x5eed,
             n_threads: 1,
+            deadline: None,
         }
     }
 }
@@ -99,6 +105,28 @@ enum UndoOp {
     RestoreThreshold { pred: PredId, threshold: f64 },
 }
 
+/// A partially-applied edit: the delta kind plus the pairs it has not yet
+/// re-examined. Held by the session until [`DebugSession::resume`] finishes
+/// it (or [`DebugSession::run_full`] supersedes it).
+#[derive(Debug, Clone)]
+pub struct PendingWork {
+    kind: PendingDelta,
+    remaining: Vec<usize>,
+    description: String,
+}
+
+impl PendingWork {
+    /// Pairs the edit still has to re-examine.
+    pub fn remaining(&self) -> &[usize] {
+        &self.remaining
+    }
+
+    /// Human-readable description of the interrupted edit.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
 /// An interactive rule-debugging session over two tables.
 pub struct DebugSession {
     ctx: EvalContext,
@@ -109,6 +137,11 @@ pub struct DebugSession {
     exec: Executor,
     history: Vec<EditRecord>,
     undo_stack: Vec<UndoOp>,
+    cancel: CancelToken,
+    /// Pairs whose evaluation panicked, sorted ascending. Their verdicts
+    /// are whatever the last successful evaluation left behind.
+    quarantined: Vec<usize>,
+    pending: Option<PendingWork>,
 }
 
 impl DebugSession {
@@ -135,7 +168,110 @@ impl DebugSession {
             exec,
             history: Vec::new(),
             undo_stack: Vec::new(),
+            cancel: CancelToken::default(),
+            quarantined: Vec::new(),
+            pending: None,
         }
+    }
+
+    /// A clone of the session's cancel token. Cancelling it (e.g. from a
+    /// Ctrl-C handler) stops the edit in flight at the next budget check,
+    /// yielding a partial report.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Changes the per-edit wall-clock budget (see
+    /// [`SessionConfig::deadline`]).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.config.deadline = deadline;
+    }
+
+    /// Pairs quarantined by panic isolation, sorted ascending.
+    pub fn quarantined(&self) -> &[usize] {
+        &self.quarantined
+    }
+
+    /// The partially-applied edit awaiting [`DebugSession::resume`], if any.
+    pub fn pending_resume(&self) -> Option<&PendingWork> {
+        self.pending.as_ref()
+    }
+
+    /// Errors out while a partial edit awaits [`DebugSession::resume`]:
+    /// interleaving another edit would evaluate against half-updated state.
+    fn ensure_idle(&self) -> Result<(), EditError> {
+        if self.pending.is_some() {
+            Err(EditError::PendingResume)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The budget for an operation starting now: the configured deadline
+    /// (anchored at this call) plus the session's cancel token, cleared of
+    /// any cancellation aimed at a previous operation.
+    fn begin_budget(&self) -> EvalBudget {
+        self.cancel.clear();
+        let mut budget = EvalBudget::unlimited().with_token(self.cancel.clone());
+        if let Some(d) = self.config.deadline {
+            budget = budget.with_deadline(d);
+        }
+        budget
+    }
+
+    fn merge_quarantine(&mut self, new: &[usize]) {
+        if new.is_empty() {
+            return;
+        }
+        self.quarantined.extend_from_slice(new);
+        self.quarantined.sort_unstable();
+        self.quarantined.dedup();
+    }
+
+    /// Folds an edit's report into session state: quarantined pairs are
+    /// recorded, a partial completion parks the edit for
+    /// [`DebugSession::resume`], and the edit is logged.
+    fn absorb(&mut self, description: String, report: &ChangeReport, kind: Option<PendingDelta>) {
+        self.merge_quarantine(&report.quarantined);
+        if let (Completion::Partial { remaining, .. }, Some(kind)) = (&report.completion, kind) {
+            self.pending = Some(PendingWork {
+                kind,
+                remaining: remaining.clone(),
+                description: description.clone(),
+            });
+        }
+        self.log(description, report);
+    }
+
+    /// Finishes (or further advances) a partial edit over its remaining
+    /// pairs, under a fresh budget. Returns `None` when nothing is pending;
+    /// the report may again be partial if the budget trips again.
+    pub fn resume(&mut self) -> Result<Option<ChangeReport>, EditError> {
+        let Some(work) = self.pending.take() else {
+            return Ok(None);
+        };
+        let budget = self.begin_budget();
+        let report = incremental::resume_delta(
+            &self.func,
+            &mut self.state,
+            &self.ctx,
+            &self.cands,
+            &work.kind,
+            &work.remaining,
+            self.config.check_cache_first,
+            &self.exec,
+            &budget,
+        )?;
+        self.merge_quarantine(&report.quarantined);
+        if let Completion::Partial { remaining, .. } = &report.completion {
+            self.pending = Some(PendingWork {
+                kind: work.kind,
+                remaining: remaining.clone(),
+                description: work.description.clone(),
+            });
+        }
+        self.log(format!("resume: {}", work.description), &report);
+        Ok(Some(report))
     }
 
     /// The executor running this session's matching work (shared worker
@@ -154,7 +290,9 @@ impl DebugSession {
 
     /// Adds a rule and incrementally updates the match state (Alg. 10).
     pub fn add_rule(&mut self, rule: Rule) -> Result<(RuleId, ChangeReport), EditError> {
-        let (rid, report) = incremental::add_rule(
+        self.ensure_idle()?;
+        let budget = self.begin_budget();
+        let (rid, report) = incremental::add_rule_budgeted(
             &mut self.func,
             &mut self.state,
             &self.ctx,
@@ -162,9 +300,14 @@ impl DebugSession {
             rule,
             self.config.check_cache_first,
             &self.exec,
+            &budget,
         )?;
         self.undo_stack.push(UndoOp::RemoveRule(rid));
-        self.log(format!("add rule {rid}"), &report);
+        self.absorb(
+            format!("add rule {rid}"),
+            &report,
+            Some(PendingDelta::AddRule { rid }),
+        );
         Ok((rid, report))
     }
 
@@ -191,9 +334,18 @@ impl DebugSession {
 
     /// Removes a rule (Alg. 9).
     pub fn remove_rule(&mut self, rid: RuleId) -> Result<ChangeReport, EditError> {
-        let snapshot = self.func.rule(rid).cloned();
-        let position = self.func.rule_position(rid);
-        let report = incremental::remove_rule(
+        self.ensure_idle()?;
+        let rule = self
+            .func
+            .rule(rid)
+            .cloned()
+            .ok_or(EditError::UnknownRule(rid))?;
+        let position = self
+            .func
+            .rule_position(rid)
+            .ok_or(EditError::UnknownRule(rid))?;
+        let budget = self.begin_budget();
+        let report = incremental::remove_rule_budgeted(
             &mut self.func,
             &mut self.state,
             &self.ctx,
@@ -201,15 +353,19 @@ impl DebugSession {
             rid,
             self.config.check_cache_first,
             &self.exec,
+            &budget,
         )?;
-        let rule = snapshot.expect("remove succeeded, so the rule existed");
         self.undo_stack.push(UndoOp::ReAddRule {
             old_id: rid,
             preds: rule.preds.iter().map(|bp| bp.pred).collect(),
             old_pred_ids: rule.preds.iter().map(|bp| bp.id).collect(),
-            position: position.expect("rule existed"),
+            position,
         });
-        self.log(format!("remove rule {rid}"), &report);
+        self.absorb(
+            format!("remove rule {rid}"),
+            &report,
+            Some(PendingDelta::Cascade),
+        );
         Ok(report)
     }
 
@@ -219,7 +375,9 @@ impl DebugSession {
         rid: RuleId,
         pred: Predicate,
     ) -> Result<(PredId, ChangeReport), EditError> {
-        let (pid, report) = incremental::add_predicate(
+        self.ensure_idle()?;
+        let budget = self.begin_budget();
+        let (pid, report) = incremental::add_predicate_budgeted(
             &mut self.func,
             &mut self.state,
             &self.ctx,
@@ -228,23 +386,32 @@ impl DebugSession {
             pred,
             self.config.check_cache_first,
             &self.exec,
+            &budget,
         )?;
         self.undo_stack.push(UndoOp::RemovePredicate(pid));
-        self.log(format!("add predicate {pid} to {rid}"), &report);
+        self.absorb(
+            format!("add predicate {pid} to {rid}"),
+            &report,
+            Some(PendingDelta::Restrict { rid, pid }),
+        );
         Ok((pid, report))
     }
 
     /// Removes a predicate (Alg. 8).
     pub fn remove_predicate(&mut self, pid: PredId) -> Result<ChangeReport, EditError> {
-        let snapshot = self.func.find_predicate(pid).map(|(rid, bp)| {
-            let position = self
-                .func
-                .rule(rid)
-                .and_then(|r| r.position_of(pid))
-                .expect("predicate belongs to its rule");
-            (rid, bp.pred, position)
-        });
-        let report = incremental::remove_predicate(
+        self.ensure_idle()?;
+        let (rule, pred) = self
+            .func
+            .find_predicate(pid)
+            .map(|(rid, bp)| (rid, bp.pred))
+            .ok_or(EditError::UnknownPredicate(pid))?;
+        let position = self
+            .func
+            .rule(rule)
+            .and_then(|r| r.position_of(pid))
+            .ok_or(EditError::UnknownPredicate(pid))?;
+        let budget = self.begin_budget();
+        let report = incremental::remove_predicate_budgeted(
             &mut self.func,
             &mut self.state,
             &self.ctx,
@@ -252,15 +419,23 @@ impl DebugSession {
             pid,
             self.config.check_cache_first,
             &self.exec,
+            &budget,
         )?;
-        let (rule, pred, position) = snapshot.expect("removal succeeded, so it existed");
         self.undo_stack.push(UndoOp::ReAddPredicate {
             old_id: pid,
             rule,
             pred,
             position,
         });
-        self.log(format!("remove predicate {pid}"), &report);
+        self.absorb(
+            format!("remove predicate {pid}"),
+            &report,
+            Some(PendingDelta::Loosen {
+                rid: rule,
+                pid,
+                re_eval: None,
+            }),
+        );
         Ok(report)
     }
 
@@ -270,11 +445,14 @@ impl DebugSession {
         pid: PredId,
         threshold: f64,
     ) -> Result<ChangeReport, EditError> {
+        self.ensure_idle()?;
         let old = self
             .func
             .find_predicate(pid)
-            .map(|(_, bp)| bp.pred.threshold);
-        let report = incremental::set_threshold(
+            .map(|(_, bp)| bp.pred.threshold)
+            .ok_or(EditError::UnknownPredicate(pid))?;
+        let budget = self.begin_budget();
+        let (report, kind) = incremental::set_threshold_budgeted(
             &mut self.func,
             &mut self.state,
             &self.ctx,
@@ -283,12 +461,13 @@ impl DebugSession {
             threshold,
             self.config.check_cache_first,
             &self.exec,
+            &budget,
         )?;
         self.undo_stack.push(UndoOp::RestoreThreshold {
             pred: pid,
-            threshold: old.expect("edit succeeded, so the predicate existed"),
+            threshold: old,
         });
-        self.log(format!("set {pid} threshold to {threshold}"), &report);
+        self.absorb(format!("set {pid} threshold to {threshold}"), &report, kind);
         Ok(report)
     }
 
@@ -299,13 +478,15 @@ impl DebugSession {
     /// Re-adding a removed rule or predicate mints fresh stable ids; older
     /// undo entries are remapped so deeper undo chains stay valid.
     pub fn undo(&mut self) -> Result<Option<ChangeReport>, EditError> {
+        self.ensure_idle()?;
         let Some(op) = self.undo_stack.pop() else {
             return Ok(None);
         };
         let ccf = self.config.check_cache_first;
+        let budget = self.begin_budget();
         let report = match op {
             UndoOp::RemoveRule(rid) => {
-                let report = incremental::remove_rule(
+                let report = incremental::remove_rule_budgeted(
                     &mut self.func,
                     &mut self.state,
                     &self.ctx,
@@ -313,8 +494,13 @@ impl DebugSession {
                     rid,
                     ccf,
                     &self.exec,
+                    &budget,
                 )?;
-                self.log(format!("undo: remove rule {rid}"), &report);
+                self.absorb(
+                    format!("undo: remove rule {rid}"),
+                    &report,
+                    Some(PendingDelta::Cascade),
+                );
                 report
             }
             UndoOp::ReAddRule {
@@ -323,7 +509,7 @@ impl DebugSession {
                 old_pred_ids,
                 position,
             } => {
-                let (new_id, report) = incremental::add_rule(
+                let (new_id, report) = incremental::add_rule_budgeted(
                     &mut self.func,
                     &mut self.state,
                     &self.ctx,
@@ -331,6 +517,7 @@ impl DebugSession {
                     Rule::with(preds),
                     ccf,
                     &self.exec,
+                    &budget,
                 )?;
                 // Restore the rule's old evaluation position.
                 let mut order: Vec<RuleId> = self
@@ -341,15 +528,13 @@ impl DebugSession {
                     .filter(|&r| r != new_id)
                     .collect();
                 order.insert(position.min(order.len()), new_id);
-                self.func
-                    .set_rule_order(&order)
-                    .expect("order is a permutation");
+                self.func.set_rule_order(&order)?;
                 // Remap older entries to the fresh ids.
                 self.remap_rule(old_id, new_id);
                 let new_pred_ids: Vec<PredId> = self
                     .func
                     .rule(new_id)
-                    .expect("just re-added")
+                    .ok_or(EditError::UnknownRule(new_id))?
                     .preds
                     .iter()
                     .map(|bp| bp.id)
@@ -357,11 +542,20 @@ impl DebugSession {
                 for (old, new) in old_pred_ids.into_iter().zip(new_pred_ids) {
                     self.remap_pred(old, new);
                 }
-                self.log(format!("undo: re-add rule as {new_id}"), &report);
+                self.absorb(
+                    format!("undo: re-add rule as {new_id}"),
+                    &report,
+                    Some(PendingDelta::AddRule { rid: new_id }),
+                );
                 report
             }
             UndoOp::RemovePredicate(pid) => {
-                let report = incremental::remove_predicate(
+                let rid = self
+                    .func
+                    .find_predicate(pid)
+                    .map(|(r, _)| r)
+                    .ok_or(EditError::UnknownPredicate(pid))?;
+                let report = incremental::remove_predicate_budgeted(
                     &mut self.func,
                     &mut self.state,
                     &self.ctx,
@@ -369,8 +563,17 @@ impl DebugSession {
                     pid,
                     ccf,
                     &self.exec,
+                    &budget,
                 )?;
-                self.log(format!("undo: remove predicate {pid}"), &report);
+                self.absorb(
+                    format!("undo: remove predicate {pid}"),
+                    &report,
+                    Some(PendingDelta::Loosen {
+                        rid,
+                        pid,
+                        re_eval: None,
+                    }),
+                );
                 report
             }
             UndoOp::ReAddPredicate {
@@ -379,7 +582,7 @@ impl DebugSession {
                 pred,
                 position,
             } => {
-                let (new_id, report) = incremental::add_predicate(
+                let (new_id, report) = incremental::add_predicate_budgeted(
                     &mut self.func,
                     &mut self.state,
                     &self.ctx,
@@ -388,26 +591,32 @@ impl DebugSession {
                     pred,
                     ccf,
                     &self.exec,
+                    &budget,
                 )?;
                 let mut order: Vec<PredId> = self
                     .func
                     .rule(rule)
-                    .expect("rule exists")
+                    .ok_or(EditError::UnknownRule(rule))?
                     .preds
                     .iter()
                     .map(|bp| bp.id)
                     .filter(|&p| p != new_id)
                     .collect();
                 order.insert(position.min(order.len()), new_id);
-                self.func
-                    .set_predicate_order(rule, &order)
-                    .expect("order is a permutation");
+                self.func.set_predicate_order(rule, &order)?;
                 self.remap_pred(old_id, new_id);
-                self.log(format!("undo: re-add predicate as {new_id}"), &report);
+                self.absorb(
+                    format!("undo: re-add predicate as {new_id}"),
+                    &report,
+                    Some(PendingDelta::Restrict {
+                        rid: rule,
+                        pid: new_id,
+                    }),
+                );
                 report
             }
             UndoOp::RestoreThreshold { pred, threshold } => {
-                let report = incremental::set_threshold(
+                let (report, kind) = incremental::set_threshold_budgeted(
                     &mut self.func,
                     &mut self.state,
                     &self.ctx,
@@ -416,8 +625,13 @@ impl DebugSession {
                     threshold,
                     ccf,
                     &self.exec,
+                    &budget,
                 )?;
-                self.log(format!("undo: restore {pred} to {threshold}"), &report);
+                self.absorb(
+                    format!("undo: restore {pred} to {threshold}"),
+                    &report,
+                    kind,
+                );
                 report
             }
         };
@@ -436,7 +650,8 @@ impl DebugSession {
     /// memo is warm).
     ///
     /// Clears the undo stack: removed ids no longer exist to restore.
-    pub fn simplify(&mut self) -> crate::simplify::SimplifyReport {
+    pub fn simplify(&mut self) -> Result<crate::simplify::SimplifyReport, EditError> {
+        self.ensure_idle()?;
         let report = crate::simplify::simplify(&mut self.func);
         if !report.is_noop() {
             self.undo_stack.clear();
@@ -460,7 +675,7 @@ impl DebugSession {
                 elapsed: Duration::ZERO,
             });
         }
-        report
+        Ok(report)
     }
 
     fn remap_rule(&mut self, old: RuleId, new: RuleId) {
@@ -484,16 +699,25 @@ impl DebugSession {
     }
 
     /// Re-runs matching from scratch (keeping the memo — values stay valid
-    /// across edits). Used after reordering or for validation.
+    /// across edits). Used after reordering, for validation, and as the
+    /// recovery path for a partial edit the analyst abandons: it always
+    /// runs to completion, discards any pending resume, and rebuilds the
+    /// quarantine list from what this run observed.
     pub fn run_full(&mut self) -> EvalStats {
-        run_full(
+        let outcome = run_full_budgeted(
             &self.func,
             &self.ctx,
             &self.cands,
             &mut self.state,
             self.config.check_cache_first,
             &self.exec,
-        )
+            &EvalBudget::unlimited(),
+        );
+        self.pending = None;
+        self.quarantined = outcome.quarantined;
+        self.quarantined.sort_unstable();
+        self.quarantined.dedup();
+        outcome.stats
     }
 
     /// Estimates feature costs and predicate selectivities on a sample
@@ -513,10 +737,11 @@ impl DebugSession {
     /// so the materialized state reflects the new order. Returns the
     /// statistics of the re-run (dominated by memo lookups, since values
     /// persist).
-    pub fn optimize(&mut self, algo: OrderingAlgo) -> EvalStats {
+    pub fn optimize(&mut self, algo: OrderingAlgo) -> Result<EvalStats, EditError> {
+        self.ensure_idle()?;
         let stats = self.estimate_stats();
         ordering::optimize(&mut self.func, &stats, algo);
-        self.run_full()
+        Ok(self.run_full())
     }
 
     /// The current matching function.
@@ -555,8 +780,13 @@ impl DebugSession {
     }
 
     /// Full evaluation trace of one pair — the analyst's "why?" button.
+    /// Flags pairs whose evaluation was quarantined by panic isolation, so
+    /// the analyst knows the trace was recomputed for a pair matching
+    /// skipped.
     pub fn explain(&self, pair_index: usize) -> Explanation {
-        explain(&self.func, &self.ctx, self.cands.pair(pair_index))
+        let mut e = explain(&self.func, &self.ctx, self.cands.pair(pair_index));
+        e.quarantined = self.quarantined.binary_search(&pair_index).is_ok();
+        e
     }
 
     /// The `k` unmatched pairs with the highest value of feature `f` — the
@@ -573,14 +803,20 @@ impl DebugSession {
             let v = match self.state.memo.get(i, f) {
                 Some(v) => v,
                 None => {
-                    let v = self.ctx.compute(f, self.cands.pair(i));
+                    // A pair whose feature panics (it would be quarantined
+                    // during matching) is simply left out of the ranking.
+                    let Ok(v) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.ctx.compute(f, self.cands.pair(i))
+                    })) else {
+                        continue;
+                    };
                     self.state.memo.put(i, f, v);
                     v
                 }
             };
             scored.push((i, v));
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("similarities are finite"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(k);
         scored
     }
@@ -603,6 +839,13 @@ impl DebugSession {
     /// The edit history (most recent last).
     pub fn history(&self) -> &[EditRecord] {
         &self.history
+    }
+
+    /// Installs a fault plan on the evaluation context: subsequent feature
+    /// computations consult it first. Test-harness only.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(&mut self, plan: Arc<crate::fault::FaultPlan>) {
+        self.ctx.set_fault_plan(plan);
     }
 
     fn log(&mut self, description: String, report: &ChangeReport) {
@@ -651,6 +894,7 @@ impl DebugSession {
     /// Fails when a snapshot feature references an attribute that does not
     /// exist in this session's schemas.
     pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<EvalStats, SessionError> {
+        self.ensure_idle().map_err(SessionError::Edit)?;
         // Validate + remap features.
         let mut id_map: std::collections::HashMap<crate::feature::FeatureId, FeatureId> =
             std::collections::HashMap::new();
@@ -686,7 +930,7 @@ impl DebugSession {
                 preds.push(pred);
             }
             func.add_rule(Rule::with(preds))
-                .expect("snapshot rules are non-empty");
+                .map_err(SessionError::Edit)?;
         }
         self.func = func;
         self.undo_stack.clear();
@@ -828,7 +1072,7 @@ mod tests {
             OrderingAlgo::GreedyCost,
             OrderingAlgo::GreedyReduction,
         ] {
-            s.optimize(algo);
+            s.optimize(algo).unwrap();
             assert_eq!(
                 s.state().verdicts(),
                 before.as_slice(),
@@ -847,7 +1091,7 @@ mod tests {
         let (rid2, _) = s
             .add_rule(Rule::new().pred(f_title, CmpOp::Ge, 0.2))
             .unwrap();
-        s.optimize(OrderingAlgo::GreedyReduction);
+        s.optimize(OrderingAlgo::GreedyReduction).unwrap();
         // Incremental edit after reordering.
         s.remove_rule(rid2).unwrap();
         let incremental: Vec<bool> = s.state().verdicts().to_vec();
@@ -927,7 +1171,7 @@ mod tests {
             .unwrap();
         let before: Vec<bool> = s.state().verdicts().to_vec();
 
-        let report = s.simplify();
+        let report = s.simplify().unwrap();
         assert!(!report.is_noop());
         assert_eq!(s.function().n_rules(), 1, "one loose rule survives");
         assert_eq!(s.state().verdicts(), before.as_slice());
@@ -1026,6 +1270,90 @@ mod tests {
         let verdicts: Vec<bool> = s.state().verdicts().to_vec();
         s.run_full();
         assert_eq!(s.state().verdicts(), verdicts.as_slice());
+    }
+
+    #[test]
+    fn zero_deadline_parks_edit_and_resume_completes_it() {
+        let mut s = session();
+        let f = s
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+
+        // An expired deadline stops the edit before any pair is examined.
+        s.set_deadline(Some(Duration::ZERO));
+        let (rid, report) = s.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.5)).unwrap();
+        assert!(!report.completion.is_complete());
+        assert_eq!(report.pairs_examined, 0);
+        assert_eq!(s.n_matches(), 0, "no pair was evaluated yet");
+        let pending = s.pending_resume().expect("edit parked");
+        assert_eq!(pending.remaining().len(), s.candidates().len());
+
+        // Further edits are rejected until the resume.
+        assert!(matches!(
+            s.set_threshold(s.function().rule(rid).unwrap().preds[0].id, 0.4),
+            Err(EditError::PendingResume)
+        ));
+        assert!(matches!(s.undo(), Err(EditError::PendingResume)));
+        assert!(matches!(
+            s.optimize(OrderingAlgo::ByRank),
+            Err(EditError::PendingResume)
+        ));
+
+        // Lifting the deadline and resuming finishes the edit exactly.
+        s.set_deadline(None);
+        let report = s.resume().unwrap().expect("work was pending");
+        assert!(report.completion.is_complete());
+        assert!(s.pending_resume().is_none());
+        let incremental: Vec<bool> = s.state().verdicts().to_vec();
+        s.run_full();
+        assert_eq!(s.state().verdicts(), incremental.as_slice());
+    }
+
+    #[test]
+    fn run_full_discards_pending_work() {
+        let mut s = session();
+        let f = s
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        s.set_deadline(Some(Duration::ZERO));
+        s.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.5)).unwrap();
+        assert!(s.pending_resume().is_some());
+
+        // Abandon the partial edit via a full re-run: state is rebuilt
+        // (the rule *was* added to the function) and edits unblock.
+        s.set_deadline(None);
+        s.run_full();
+        assert!(s.pending_resume().is_none());
+        let expected: Vec<bool> = s.state().verdicts().to_vec();
+        assert!(expected.iter().any(|&v| v), "rule matches after full run");
+        s.set_threshold(s.function().rules()[0].preds[0].id, 0.4)
+            .unwrap();
+        s.undo().unwrap().expect("undoable");
+        assert_eq!(s.state().verdicts(), expected.as_slice());
+    }
+
+    #[test]
+    fn resume_with_nothing_pending_is_a_noop() {
+        let mut s = session();
+        assert!(s.resume().unwrap().is_none());
+        assert!(s.quarantined().is_empty());
+        assert!(!s.explain(0).quarantined);
+    }
+
+    #[test]
+    fn stale_cancellation_is_cleared_by_next_edit() {
+        let mut s = session();
+        let f = s
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        s.add_rule(Rule::new().pred(f, CmpOp::Ge, 0.99)).unwrap();
+
+        // A cancellation raced in before the edit: begin_budget clears it,
+        // so the edit runs to completion.
+        s.cancel_token().cancel();
+        let report = s.remove_rule(s.function().rules()[0].id).unwrap();
+        assert!(report.completion.is_complete());
+        assert!(s.pending_resume().is_none());
     }
 
     #[test]

@@ -13,14 +13,16 @@
 //! inverse of `M(r)` — because the incremental algorithms need it in O(1).
 
 use crate::bitmap::Bitmap;
+use crate::budget::{Completion, EvalBudget};
 use crate::context::EvalContext;
 use crate::engine::{eval_rule_memoized, EvalStats};
 use crate::executor::{partition, run_sharded, split_mut, Executor};
 use crate::function::MatchingFunction;
 use crate::memo::{DenseMemo, Memo, MemoShard};
 use crate::predicate::PredId;
+use crate::robust::{drive_pairs, fold_outcomes, DriveOutcome, PairList, PairSink};
 use crate::rule::RuleId;
-use em_types::CandidateSet;
+use em_types::{CandidateSet, PairIdx};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -218,6 +220,44 @@ pub fn run_full(
     check_cache_first: bool,
     exec: &Executor,
 ) -> EvalStats {
+    run_full_budgeted(
+        func,
+        ctx,
+        cands,
+        state,
+        check_cache_first,
+        exec,
+        &EvalBudget::unlimited(),
+    )
+    .stats
+}
+
+/// What a (possibly budget-bounded) full run accomplished.
+#[derive(Debug, Clone)]
+pub struct FullRunOutcome {
+    /// Work counters for the evaluated pairs.
+    pub stats: EvalStats,
+    /// Whether every pair was evaluated, or which remain for a resume.
+    pub completion: Completion,
+    /// Pairs whose evaluation panicked and were quarantined, ascending.
+    pub quarantined: Vec<usize>,
+}
+
+/// [`run_full`] under an [`EvalBudget`].
+///
+/// Assignments are reset up front, so under a tripped budget the pairs in
+/// `completion.remaining()` (and any quarantined pairs) are left unmatched
+/// rather than keeping stale verdicts; re-running (or resuming via the
+/// session) completes them.
+pub fn run_full_budgeted(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    cands: &CandidateSet,
+    state: &mut MatchState,
+    check_cache_first: bool,
+    exec: &Executor,
+    budget: &EvalBudget,
+) -> FullRunOutcome {
     assert_eq!(
         state.n_pairs(),
         cands.len(),
@@ -236,6 +276,7 @@ pub fn run_full(
         fired: &'a mut [Option<RuleId>],
         pred_false: Vec<(PredId, usize)>,
         stats: EvalStats,
+        drive: DriveOutcome,
     }
     let shards: Vec<Shard<'_>> = ranges
         .iter()
@@ -250,39 +291,80 @@ pub fn run_full(
             fired,
             pred_false: Vec::new(),
             stats: EvalStats::default(),
+            drive: DriveOutcome::default(),
         })
         .collect();
 
-    let shards = run_sharded(exec, shards, |_, shard| {
-        for (k, &pair) in pairs[shard.range.clone()].iter().enumerate() {
-            let i = shard.range.start + k;
-            for rule in func.rules() {
-                let pred_false = &mut shard.pred_false;
+    struct Sink<'a, 'b> {
+        func: &'b MatchingFunction,
+        ctx: &'b EvalContext,
+        pairs: &'b [PairIdx],
+        check_cache_first: bool,
+        base: usize,
+        memo: &'b mut MemoShard<'a>,
+        verdicts: &'b mut [bool],
+        fired: &'b mut [Option<RuleId>],
+        pred_false: &'b mut Vec<(PredId, usize)>,
+        stats: &'b mut EvalStats,
+    }
+    impl PairSink for Sink<'_, '_> {
+        fn process(&mut self, i: usize) {
+            let pair = self.pairs[i];
+            for rule in self.func.rules() {
+                let pred_false = &mut *self.pred_false;
                 if eval_rule_memoized(
                     rule,
                     i,
                     pair,
-                    ctx,
-                    &mut shard.memo,
-                    check_cache_first,
-                    &mut shard.stats,
+                    self.ctx,
+                    &mut *self.memo,
+                    self.check_cache_first,
+                    &mut *self.stats,
                     |pid| pred_false.push((pid, i)),
                 ) {
-                    shard.verdicts[k] = true;
-                    shard.fired[k] = Some(rule.id);
+                    self.verdicts[i - self.base] = true;
+                    self.fired[i - self.base] = Some(rule.id);
                     break;
                 }
             }
         }
+        // The pred-false event log is append-only: truncating back to the
+        // pre-chunk mark makes post-panic bisection re-runs idempotent.
+        fn mark(&mut self) -> usize {
+            self.pred_false.len()
+        }
+        fn rollback(&mut self, mark: usize) {
+            self.pred_false.truncate(mark);
+        }
+    }
+
+    let shards = run_sharded(exec, shards, |_, shard| {
+        let mut checker = budget.checker();
+        let range = shard.range.clone();
+        let mut sink = Sink {
+            func,
+            ctx,
+            pairs,
+            check_cache_first,
+            base: range.start,
+            memo: &mut shard.memo,
+            verdicts: &mut *shard.verdicts,
+            fired: &mut *shard.fired,
+            pred_false: &mut shard.pred_false,
+            stats: &mut shard.stats,
+        };
+        shard.drive = drive_pairs(&PairList::Range(range), &mut checker, &mut sink);
     });
 
     let mut stats = EvalStats::default();
     let mut new_stored = 0;
     let mut pred_events = Vec::with_capacity(shards.len());
+    let mut drives = Vec::with_capacity(shards.len());
     for shard in shards {
         stats.absorb(&shard.stats);
         new_stored += shard.memo.new_stored();
         pred_events.push(shard.pred_false);
+        drives.push(shard.drive);
     }
     state.memo.add_stored(new_stored);
 
@@ -296,7 +378,12 @@ pub fn run_full(
     for (p, i) in pred_events.into_iter().flatten() {
         state.record_pred_false(p, i);
     }
-    stats
+    let (completion, quarantined, _) = fold_outcomes(drives);
+    FullRunOutcome {
+        stats,
+        completion,
+        quarantined,
+    }
 }
 
 #[cfg(test)]

@@ -80,7 +80,14 @@ impl FunctionStats {
             let mut vals = Vec::with_capacity(indices.len());
             let start = Instant::now();
             for &i in &indices {
-                vals.push(ctx.compute(f, cands.pair(i)));
+                // A panicking feature must not abort statistics estimation —
+                // estimation is advisory. Score the pair 0.0 and move on;
+                // matching itself quarantines such pairs.
+                let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ctx.compute(f, cands.pair(i))
+                }))
+                .unwrap_or(0.0);
+                vals.push(v);
             }
             let per_eval = start.elapsed().as_nanos() as f64 / indices.len() as f64;
             stats.feature_cost.insert(f, per_eval.max(1.0));

@@ -1,0 +1,266 @@
+//! Fault-injection integration suite (runs only with `--features
+//! fault-inject`): drives the robustness layer — budgets, cancellation,
+//! panic quarantine, resume — with injected faults and checks that an
+//! interrupted or fault-ridden session always converges to the exact
+//! verdicts of an undisturbed serial run.
+
+#![cfg(feature = "fault-inject")]
+
+use em_core::{
+    install_quiet_panic_hook, Bitmap, Completion, DebugSession, FaultPlan, PredId, RuleId,
+    SessionConfig, StopReason,
+};
+use em_types::{CandidateSet, Record, Schema, Table};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const RULE: &str = "jaccard_ws(name, name) >= 0.6";
+
+/// An `n × n` synthetic dataset whose diagonal pairs match `RULE`
+/// (identical names, Jaccard 1.0) and whose off-diagonal pairs do not
+/// (two of four tokens shared, Jaccard 0.5).
+fn session(n: usize, n_threads: usize, deadline: Option<Duration>) -> DebugSession {
+    let schema = Schema::new(["name"]);
+    let mut a = Table::new("A", schema.clone());
+    let mut b = Table::new("B", schema);
+    for i in 0..n {
+        a.push(Record::new(format!("a{i}"), [format!("widget number {i}")]));
+        b.push(Record::new(format!("b{i}"), [format!("widget number {i}")]));
+    }
+    let cands = CandidateSet::cartesian(&a, &b);
+    let config = SessionConfig {
+        n_threads,
+        deadline,
+        ..SessionConfig::default()
+    };
+    DebugSession::new(a, b, cands, config)
+}
+
+/// The verdicts of an undisturbed serial evaluation of `RULE`.
+fn reference_matches(n: usize) -> Vec<usize> {
+    reference_session(n).matches()
+}
+
+fn reference_session(n: usize) -> DebugSession {
+    let mut s = session(n, 1, None);
+    s.add_rule_text(RULE).unwrap();
+    s
+}
+
+fn bits(bm: Option<&Bitmap>) -> Vec<usize> {
+    bm.map(|b| b.iter_ones().collect()).unwrap_or_default()
+}
+
+#[test]
+fn panics_unwind_in_this_profile() {
+    // The whole isolation design rests on panic=unwind; a profile built
+    // with panic=abort would take down the process instead.
+    install_quiet_panic_hook();
+    assert!(std::panic::catch_unwind(|| panic!("injected fault: probe")).is_err());
+}
+
+#[test]
+fn poisoned_pair_is_quarantined_not_fatal_at_4_threads() {
+    install_quiet_panic_hook();
+    let n = 100; // 10 000 candidate pairs
+    let poisoned = 4_242; // off-diagonal: (a42, b42 + …) — unmatched anyway
+
+    let mut s = session(n, 4, None);
+    let pair = s.candidates().pair(poisoned);
+    s.inject_faults(Arc::new(FaultPlan::panic_on_pair(pair)));
+
+    let (_, report) = s.add_rule_text(RULE).unwrap();
+    assert!(report.completion.is_complete());
+    assert_eq!(report.quarantined, vec![poisoned]);
+    assert_eq!(s.quarantined(), &[poisoned]);
+
+    // Every other verdict equals the fault-free run's.
+    let expected: Vec<usize> = reference_matches(n)
+        .into_iter()
+        .filter(|&i| i != poisoned)
+        .collect();
+    let got: Vec<usize> = s.matches().into_iter().filter(|&i| i != poisoned).collect();
+    assert_eq!(got, expected);
+
+    // The quarantine is visible in the pair's explanation.
+    assert!(s.explain(poisoned).quarantined);
+    assert!(!s.explain(0).quarantined);
+}
+
+#[test]
+fn poisoned_diagonal_pair_loses_its_match_until_the_fault_clears() {
+    install_quiet_panic_hook();
+    let n = 20;
+    let poisoned = 3 * n + 3; // diagonal pair (a3, b3): matches when healthy
+
+    let mut s = session(n, 2, None);
+    let pair = s.candidates().pair(poisoned);
+    s.inject_faults(Arc::new(FaultPlan::panic_on_pair(pair)));
+    s.add_rule_text(RULE).unwrap();
+    assert_eq!(s.quarantined(), &[poisoned]);
+    assert!(!s.matches().contains(&poisoned));
+
+    // Clearing the fault and re-running from scratch re-examines the pair
+    // and empties the quarantine list.
+    s.inject_faults(Arc::new(FaultPlan::new()));
+    s.run_full();
+    assert!(s.quarantined().is_empty());
+    assert_eq!(s.matches(), reference_matches(n));
+}
+
+#[test]
+fn deadline_on_slow_features_yields_partial_then_resume_completes() {
+    let n = 100; // 10 000 pairs × 1 ms/eval ≈ 10 s serial — far over budget
+    let deadline = Duration::from_millis(50);
+    let mut s = session(n, 1, Some(deadline));
+    s.inject_faults(Arc::new(
+        FaultPlan::new().with_slow(Duration::from_millis(1)),
+    ));
+
+    let start = std::time::Instant::now();
+    let (_, report) = s.add_rule_text(RULE).unwrap();
+    let elapsed = start.elapsed();
+
+    let Completion::Partial { remaining, reason } = &report.completion else {
+        panic!("a 10 s workload must trip a 50 ms deadline");
+    };
+    assert_eq!(*reason, StopReason::Deadline);
+    assert_eq!(remaining.len() + report.pairs_examined, n * n);
+    assert!(s.pending_resume().is_some());
+    // Acceptance bound is 2× the deadline; the check cadence (every 16
+    // pairs at 1 ms each) fits well inside it. Allow generous scheduler
+    // slack on loaded CI while still proving we stopped ~100× early.
+    assert!(elapsed < Duration::from_millis(500), "took {elapsed:?}");
+
+    // Lift the deadline and the slowdown; resume completes to the exact
+    // serial result.
+    s.set_deadline(None);
+    s.inject_faults(Arc::new(FaultPlan::new()));
+    let resumed = s.resume().unwrap().expect("work was pending");
+    assert!(resumed.completion.is_complete());
+    assert!(s.pending_resume().is_none());
+    assert_eq!(s.matches(), reference_matches(n));
+}
+
+#[test]
+fn cancel_at_pair_k_parks_the_edit_and_resume_finishes_it() {
+    let n = 30;
+    let cancel_at = 500;
+    let mut s = session(n, 1, None);
+    let pair = s.candidates().pair(cancel_at);
+    s.inject_faults(Arc::new(
+        FaultPlan::new().with_cancel_on_pair(pair, s.cancel_token()),
+    ));
+
+    let (_, report) = s.add_rule_text(RULE).unwrap();
+    let Completion::Partial { reason, .. } = &report.completion else {
+        panic!("cancellation at pair {cancel_at} must leave the edit partial");
+    };
+    assert_eq!(*reason, StopReason::Cancelled);
+
+    // begin_budget clears the stale token, and the cancel pair only fires
+    // once per computation — but it recurs on resume, so drop the plan.
+    s.inject_faults(Arc::new(FaultPlan::new()));
+    while s.pending_resume().is_some() {
+        s.resume().unwrap();
+    }
+    assert_eq!(s.matches(), reference_matches(n));
+}
+
+#[test]
+fn nan_features_score_zero_and_never_match() {
+    let n = 20;
+    let target = 7 * n + 7; // diagonal pair: would match with a real score
+    let mut s = session(n, 2, None);
+    let pair = s.candidates().pair(target);
+    s.inject_faults(Arc::new(FaultPlan::nan_on_pair(pair)));
+
+    s.add_rule_text(RULE).unwrap();
+    // NaN normalizes to 0.0: the pair is cleanly unmatched, not
+    // quarantined, and every other verdict is untouched.
+    assert!(s.quarantined().is_empty());
+    assert!(!s.matches().contains(&target));
+    let expected: Vec<usize> = reference_matches(n)
+        .into_iter()
+        .filter(|&i| i != target)
+        .collect();
+    assert_eq!(s.matches(), expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cancelling at a random pair and resuming converges to the serial
+    /// fault-free verdicts at every thread count.
+    #[test]
+    fn cancel_then_resume_converges(k in 0usize..144, t in 0usize..3) {
+        let n = 12; // 144 candidate pairs
+        let n_threads = [1, 2, 4][t];
+        let mut s = session(n, n_threads, None);
+        let pair = s.candidates().pair(k);
+        s.inject_faults(Arc::new(
+            FaultPlan::new().with_cancel_on_pair(pair, s.cancel_token()),
+        ));
+        s.add_rule_text(RULE).unwrap();
+        s.inject_faults(Arc::new(FaultPlan::new()));
+        let mut rounds = 0;
+        while s.pending_resume().is_some() {
+            s.resume().unwrap();
+            rounds += 1;
+            prop_assert!(rounds <= 1 + n * n, "resume failed to make progress");
+        }
+        prop_assert!(s.quarantined().is_empty());
+        // Verdicts AND the materialized M(r)/U(p) bitmaps converge to the
+        // uninterrupted serial run's.
+        let reference = reference_session(n);
+        prop_assert_eq!(s.matches(), reference.matches());
+        prop_assert_eq!(
+            bits(s.state().rule_bitmap(RuleId(0))),
+            bits(reference.state().rule_bitmap(RuleId(0)))
+        );
+        prop_assert_eq!(
+            bits(s.state().pred_bitmap(PredId(0))),
+            bits(reference.state().pred_bitmap(PredId(0)))
+        );
+    }
+
+    /// Poisoning random pairs quarantines exactly those pairs and leaves
+    /// every other verdict identical to the serial fault-free run, at
+    /// every thread count.
+    #[test]
+    fn quarantine_converges_to_serial_verdicts(
+        raw_ks in prop::collection::vec(0usize..144, 1..4),
+        t in 0usize..3,
+    ) {
+        install_quiet_panic_hook();
+        let ks: std::collections::BTreeSet<usize> = raw_ks.into_iter().collect();
+        let n = 12;
+        let n_threads = [1, 2, 4][t];
+        let mut s = session(n, n_threads, None);
+        let mut plan = FaultPlan::new();
+        for &k in &ks {
+            plan = plan.with_panic_pair(s.candidates().pair(k));
+        }
+        s.inject_faults(Arc::new(plan));
+        let (_, report) = s.add_rule_text(RULE).unwrap();
+        prop_assert!(report.completion.is_complete());
+        let expected_quarantine: Vec<usize> = ks.iter().copied().collect();
+        prop_assert_eq!(s.quarantined(), expected_quarantine.as_slice());
+        let reference = reference_session(n);
+        let skip = |v: Vec<usize>| -> Vec<usize> {
+            v.into_iter().filter(|i| !ks.contains(i)).collect()
+        };
+        prop_assert_eq!(skip(s.matches()), skip(reference.matches()));
+        // Away from the quarantined pairs, the materialized bitmaps agree
+        // with the serial fault-free run too.
+        prop_assert_eq!(
+            skip(bits(s.state().rule_bitmap(RuleId(0)))),
+            skip(bits(reference.state().rule_bitmap(RuleId(0))))
+        );
+        prop_assert_eq!(
+            skip(bits(s.state().pred_bitmap(PredId(0)))),
+            skip(bits(reference.state().pred_bitmap(PredId(0))))
+        );
+    }
+}

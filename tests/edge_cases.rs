@@ -33,7 +33,9 @@ fn empty_tables_everywhere() {
     session.run_full();
     let stats = session.estimate_stats();
     assert!(stats.lookup_cost() > 0.0);
-    session.optimize(rulem::core::OrderingAlgo::GreedyReduction);
+    session
+        .optimize(rulem::core::OrderingAlgo::GreedyReduction)
+        .unwrap();
 }
 
 #[test]
