@@ -1,0 +1,152 @@
+//! Criterion benchmarks for the durable session store: snapshot
+//! write/read throughput, the write-ahead journal's per-edit overhead,
+//! and recovery (snapshot + journal replay) against rebuilding the same
+//! session from scratch — the claim that recovery rides the incremental
+//! engine instead of re-running matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_blocking::Blocker;
+use em_core::{DebugSession, SessionConfig, SessionStore};
+use em_datagen::Domain;
+use std::path::PathBuf;
+
+const RULES: &[&str] = &[
+    "exact(modelno, modelno) >= 1.0",
+    "jaccard_ws(title, title) >= 0.6",
+    "jaro_winkler(title, title) >= 0.92 AND jaccard_ws(title, title) >= 0.3",
+    "trigram(title, title) >= 0.5",
+    "levenshtein(modelno, modelno) >= 0.8",
+    "jaro(title, title) >= 0.85 AND exact(modelno, modelno) >= 1.0",
+];
+
+fn fresh_session() -> DebugSession {
+    let ds = Domain::Products.generate(7, 0.02);
+    let cands =
+        em_blocking::OverlapBlocker::new("title", em_similarity::TokenScheme::Whitespace, 2)
+            .block(&ds.table_a, &ds.table_b)
+            .unwrap();
+    DebugSession::new(ds.table_a, ds.table_b, cands, SessionConfig::default())
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rulem_bench_persist")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Snapshot write cost: folding a warm session (memo + bitmaps for the
+/// full rule set) into a fresh on-disk generation.
+fn bench_snapshot_save(c: &mut Criterion) {
+    let dir = bench_dir("save");
+    let mut store = SessionStore::create(&dir, fresh_session()).unwrap();
+    for text in RULES {
+        store.add_rule_text(text).unwrap();
+    }
+    let n_pairs = store.session().candidates().len();
+
+    let mut group = c.benchmark_group("persist_snapshot");
+    group.sample_size(10);
+    group.bench_function(format!("save/{n_pairs}_pairs"), |b| {
+        b.iter(|| store.save().unwrap())
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The write-ahead journal's per-edit tax: the same edit cycle against an
+/// ephemeral store and a durable one (append + fsync per record).
+fn bench_journal_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_journal");
+    group.sample_size(10);
+
+    let mut ephemeral = SessionStore::ephemeral(fresh_session());
+    for text in &RULES[..4] {
+        ephemeral.add_rule_text(text).unwrap();
+    }
+    group.bench_function("edit_cycle/ephemeral", |b| {
+        b.iter(|| {
+            let (rid, _) = ephemeral.add_rule_text(RULES[4]).unwrap();
+            ephemeral.remove_rule(rid).unwrap()
+        })
+    });
+
+    let dir = bench_dir("journal");
+    let mut durable = SessionStore::create(&dir, fresh_session()).unwrap();
+    for text in &RULES[..4] {
+        durable.add_rule_text(text).unwrap();
+    }
+    group.bench_function("edit_cycle/journaled", |b| {
+        b.iter(|| {
+            let (rid, _) = durable.add_rule_text(RULES[4]).unwrap();
+            durable.remove_rule(rid).unwrap()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery cost, two extremes: a warm snapshot with an empty journal
+/// (pure decode + install), and a snapshotless store replaying every
+/// edit through the incremental engine — both against rebuilding the
+/// session from scratch with a full evaluation per rule.
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist_recovery");
+    group.sample_size(10);
+
+    // Store A: everything folded into the snapshot.
+    let snap_dir = bench_dir("recover-snapshot");
+    let mut store = SessionStore::create(&snap_dir, fresh_session()).unwrap();
+    for text in RULES {
+        store.add_rule_text(text).unwrap();
+    }
+    store.save().unwrap();
+    drop(store);
+
+    // Store B: every edit still in the journal (crash before first save).
+    let journal_dir = bench_dir("recover-journal");
+    let mut store = SessionStore::create(&journal_dir, fresh_session()).unwrap();
+    for text in RULES {
+        store.add_rule_text(text).unwrap();
+    }
+    drop(store);
+
+    group.bench_function("open/warm_snapshot", |b| {
+        b.iter_batched(
+            fresh_session,
+            |s| SessionStore::open(&snap_dir, s).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("open/journal_replay", |b| {
+        b.iter_batched(
+            fresh_session,
+            |s| SessionStore::open(&journal_dir, s).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("rebuild_from_scratch", |b| {
+        b.iter_batched(
+            fresh_session,
+            |mut s| {
+                for text in RULES {
+                    s.add_rule_text(text).unwrap();
+                }
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_save,
+    bench_journal_overhead,
+    bench_recovery
+);
+criterion_main!(benches);

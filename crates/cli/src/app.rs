@@ -1,32 +1,43 @@
-//! The REPL application: owns a [`DebugSession`] and executes parsed
-//! commands, returning their output as strings (stdout-free, so the whole
-//! app is unit-testable).
+//! The REPL application: owns a [`SessionStore`] (a [`DebugSession`] with
+//! an optional durable home) and executes parsed commands, returning their
+//! output as strings (stdout-free, so the whole app is unit-testable).
 
 use crate::command::{Command, HELP};
-use em_core::{DebugSession, Memo, SessionConfig};
+use em_core::{DebugSession, Memo, SessionConfig, SessionStore};
 use em_types::LabeledPair;
 use std::fmt::Write as _;
 
 /// The interactive application state.
 pub struct App {
-    session: DebugSession,
+    store: SessionStore,
     labels: Vec<LabeledPair>,
     quit: bool,
 }
 
 impl App {
-    /// Wraps a prepared session; `labels` may be empty (then `quality`
-    /// reports it has nothing to compare against).
+    /// Wraps a prepared session with no durable store; `labels` may be
+    /// empty (then `quality` reports it has nothing to compare against).
     pub fn new(session: DebugSession, labels: Vec<LabeledPair>) -> Self {
+        Self::with_store(SessionStore::ephemeral(session), labels)
+    }
+
+    /// Wraps a session already bound to (or recovered from) a store.
+    pub fn with_store(store: SessionStore, labels: Vec<LabeledPair>) -> Self {
         App {
-            session,
+            store,
             labels,
             quit: false,
         }
     }
 
-    /// Builds a demo app over a synthetic dataset.
-    pub fn demo(domain: em_datagen::Domain, scale: f64, seed: u64, config: SessionConfig) -> Self {
+    /// Builds the demo dataset: a fresh session plus its labels, for the
+    /// caller to wrap (possibly binding a store first).
+    pub fn demo_parts(
+        domain: em_datagen::Domain,
+        scale: f64,
+        seed: u64,
+        config: SessionConfig,
+    ) -> Result<(DebugSession, Vec<LabeledPair>), String> {
         use em_blocking::Blocker;
         let ds = domain.generate(seed, scale);
         let cands = em_blocking::OverlapBlocker::new(
@@ -35,10 +46,21 @@ impl App {
             2,
         )
         .block(&ds.table_a, &ds.table_b)
-        .expect("title attribute exists");
+        .map_err(|e| format!("demo blocking: {e}"))?;
         let labels = ds.label_candidates(&cands);
         let session = DebugSession::new(ds.table_a.clone(), ds.table_b.clone(), cands, config);
-        App::new(session, labels)
+        Ok((session, labels))
+    }
+
+    /// Builds a demo app over a synthetic dataset.
+    pub fn demo(
+        domain: em_datagen::Domain,
+        scale: f64,
+        seed: u64,
+        config: SessionConfig,
+    ) -> Result<Self, String> {
+        let (session, labels) = Self::demo_parts(domain, scale, seed, config)?;
+        Ok(App::new(session, labels))
     }
 
     /// Whether a `quit` command has been executed.
@@ -48,12 +70,32 @@ impl App {
 
     /// Read access to the session (for the banner and tests).
     pub fn session(&self) -> &DebugSession {
-        &self.session
+        self.store.session()
     }
 
     /// Write access to the session (deadline changes, fault injection).
+    /// Edits made here bypass the store's journal; commands go through
+    /// [`App::execute`].
     pub fn session_mut(&mut self) -> &mut DebugSession {
-        &mut self.session
+        self.store.session_mut()
+    }
+
+    /// The store (for tests and the banner).
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// A fresh session over the same tables, candidates, and config —
+    /// what `open` needs to recover a store into.
+    fn fresh_session(&self) -> DebugSession {
+        let session = self.store.session();
+        let ctx = session.context();
+        DebugSession::new(
+            ctx.table_a().clone(),
+            ctx.table_b().clone(),
+            session.candidates().clone(),
+            session.config().clone(),
+        )
     }
 
     /// Executes one command, returning its printable output.
@@ -62,13 +104,18 @@ impl App {
             Command::Help => Ok(HELP.to_string()),
             Command::Quit => {
                 self.quit = true;
-                Ok("bye".to_string())
+                // Best-effort compaction on the way out: losing it costs
+                // only replay time, not durability.
+                match self.store.store_dir().map(|d| d.display().to_string()) {
+                    Some(dir) => match self.store.save() {
+                        Ok(epoch) => Ok(format!("saved {dir} (epoch {epoch}); bye")),
+                        Err(e) => Ok(format!("warning: final save failed: {e}; bye")),
+                    },
+                    None => Ok("bye".to_string()),
+                }
             }
             Command::AddRule(text) => {
-                let (rid, report) = self
-                    .session
-                    .add_rule_text(&text)
-                    .map_err(|e| e.to_string())?;
+                let (rid, report) = self.store.add_rule_text(&text).map_err(|e| e.to_string())?;
                 Ok(format!(
                     "added rule {rid}: +{} / -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_matched.len(),
@@ -79,11 +126,11 @@ impl App {
                 ))
             }
             Command::ListRules => {
-                if self.session.function().is_empty() {
+                if self.session().function().is_empty() {
                     return Ok("(no rules)".to_string());
                 }
                 let mut out = String::new();
-                for rule in self.session.function().rules() {
+                for rule in self.session().function().rules() {
                     let preds: Vec<String> = rule
                         .preds
                         .iter()
@@ -91,7 +138,7 @@ impl App {
                             format!(
                                 "[{}] {} {} {}",
                                 bp.id,
-                                self.session.context().feature_name(bp.pred.feature),
+                                self.session().context().feature_name(bp.pred.feature),
                                 bp.pred.op,
                                 bp.pred.threshold
                             )
@@ -102,14 +149,14 @@ impl App {
                 let _ = write!(
                     out,
                     "{} rules / {} predicates, {} matches",
-                    self.session.function().n_rules(),
-                    self.session.function().n_predicates(),
-                    self.session.n_matches()
+                    self.session().function().n_rules(),
+                    self.session().function().n_predicates(),
+                    self.session().n_matches()
                 );
                 Ok(out)
             }
             Command::RemoveRule(rid) => {
-                let report = self.session.remove_rule(rid).map_err(|e| e.to_string())?;
+                let report = self.store.remove_rule(rid).map_err(|e| e.to_string())?;
                 Ok(format!(
                     "removed {rid}: +{} / -{} verdicts in {:?}{}",
                     report.newly_matched.len(),
@@ -121,7 +168,7 @@ impl App {
             Command::AddPredicate(rid, text) => {
                 let pred = self.parse_predicate(&text)?;
                 let (pid, report) = self
-                    .session
+                    .store
                     .add_predicate(rid, pred)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
@@ -134,7 +181,7 @@ impl App {
             }
             Command::RemovePredicate(pid) => {
                 let report = self
-                    .session
+                    .store
                     .remove_predicate(pid)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
@@ -146,7 +193,7 @@ impl App {
             }
             Command::SetThreshold(pid, threshold) => {
                 let report = self
-                    .session
+                    .store
                     .set_threshold(pid, threshold)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
@@ -158,18 +205,18 @@ impl App {
                     report_suffix(&report)
                 ))
             }
-            Command::Undo => match self.session.undo().map_err(|e| e.to_string())? {
+            Command::Undo => match self.store.undo().map_err(|e| e.to_string())? {
                 None => Ok("nothing to undo".to_string()),
                 Some(report) => Ok(format!(
                     "undone: +{} / -{} verdicts in {:?} ({} edits remain undoable){}",
                     report.newly_matched.len(),
                     report.newly_unmatched.len(),
                     report.elapsed,
-                    self.session.undo_depth(),
+                    self.session().undo_depth(),
                     report_suffix(&report)
                 )),
             },
-            Command::Resume => match self.session.resume().map_err(|e| e.to_string())? {
+            Command::Resume => match self.store.resume().map_err(|e| e.to_string())? {
                 None => Ok("nothing to resume".to_string()),
                 Some(report) => Ok(format!(
                     "resumed: +{} / -{} verdicts, {} pairs examined, {:?}{}",
@@ -181,7 +228,7 @@ impl App {
                 )),
             },
             Command::Simplify => {
-                let report = self.session.simplify().map_err(|e| e.to_string())?;
+                let report = self.store.simplify().map_err(|e| e.to_string())?;
                 if report.is_noop() {
                     Ok("already minimal".to_string())
                 } else {
@@ -190,39 +237,39 @@ impl App {
                         report.dominated_predicates.len(),
                         report.unsatisfiable_rules.len(),
                         report.subsumed_rules.len(),
-                        self.session.function().n_rules()
+                        self.session().function().n_rules()
                     ))
                 }
             }
             Command::Run => {
                 let start = std::time::Instant::now();
-                let stats = self.session.run_full();
+                let stats = self.store.run_full().map_err(|e| e.to_string())?;
                 let mut out = format!(
                     "full run in {:?}: {} matches, {} computations, {} lookups",
                     start.elapsed(),
-                    self.session.n_matches(),
+                    self.session().n_matches(),
                     stats.feature_computations,
                     stats.memo_lookups
                 );
-                if !self.session.quarantined().is_empty() {
+                if !self.session().quarantined().is_empty() {
                     let _ = write!(
                         out,
                         "\nquarantined {} pair(s): {}",
-                        self.session.quarantined().len(),
-                        preview(self.session.quarantined())
+                        self.session().quarantined().len(),
+                        preview(self.session().quarantined())
                     );
                 }
                 Ok(out)
             }
             Command::Matches(limit) => {
-                let matches = self.session.matches();
+                let matches = self.session().matches();
                 let mut out = format!("{} matches", matches.len());
                 for &i in matches.iter().take(limit) {
-                    let pair = self.session.candidates().pair(i);
-                    let a = self.session.context().table_a().record(pair.a);
-                    let b = self.session.context().table_b().record(pair.b);
+                    let pair = self.session().candidates().pair(i);
+                    let a = self.session().context().table_a().record(pair.a);
+                    let b = self.session().context().table_b().record(pair.b);
                     let fired = self
-                        .session
+                        .session()
                         .state()
                         .fired_rule(i)
                         .map(|r| r.to_string())
@@ -242,25 +289,25 @@ impl App {
                 Ok(out)
             }
             Command::Explain(i) => {
-                if i >= self.session.candidates().len() {
+                if i >= self.session().candidates().len() {
                     return Err(format!(
                         "pair index {i} out of range (0..{})",
-                        self.session.candidates().len()
+                        self.session().candidates().len()
                     ));
                 }
-                Ok(self.session.explain(i).to_string())
+                Ok(self.session().explain(i).to_string())
             }
             Command::NearMisses(fid, n) => {
-                if fid.index() >= self.session.context().registry().len() {
+                if fid.index() >= self.session().context().registry().len() {
                     return Err(format!("unknown feature {fid}; see `features`"));
                 }
-                let misses = self.session.near_misses(fid, n);
-                let name = self.session.context().feature_name(fid);
+                let misses = self.session_mut().near_misses(fid, n);
+                let name = self.session().context().feature_name(fid);
                 let mut out = format!("top {} unmatched pairs by {name}:", misses.len());
                 for (i, v) in misses {
-                    let pair = self.session.candidates().pair(i);
-                    let a = self.session.context().table_a().record(pair.a);
-                    let b = self.session.context().table_b().record(pair.b);
+                    let pair = self.session().candidates().pair(i);
+                    let a = self.session().context().table_a().record(pair.a);
+                    let b = self.session().context().table_b().record(pair.b);
                     let _ = write!(
                         out,
                         "\n  #{i} {v:.4}  {} ({:?}) ~ {} ({:?})",
@@ -276,7 +323,7 @@ impl App {
                 if self.labels.is_empty() {
                     return Ok("no labels loaded".to_string());
                 }
-                let q = self.session.quality(&self.labels);
+                let q = self.session().quality(&self.labels);
                 Ok(format!(
                     "P = {:.3}  R = {:.3}  F1 = {:.3}  (tp {} fp {} fn {} tn {})",
                     q.precision(),
@@ -289,43 +336,43 @@ impl App {
                 ))
             }
             Command::Stats => {
-                if self.session.function().is_empty() {
+                if self.session().function().is_empty() {
                     return Ok("(no rules — nothing to estimate)".to_string());
                 }
-                let stats = self.session.estimate_stats();
+                let stats = self.session().estimate_stats();
                 let mut out = String::from("feature costs (ns/eval):");
-                for f in self.session.function().features() {
+                for f in self.session().function().features() {
                     let _ = write!(
                         out,
                         "\n  {:<40} {:>12.0}",
-                        self.session.context().feature_name(f),
+                        self.session().context().feature_name(f),
                         stats.cost(f)
                     );
                 }
                 let _ = write!(out, "\nmemo lookup δ: {:.0} ns", stats.lookup_cost());
                 let _ = write!(out, "\npredicate selectivities:");
-                for (rid, bp) in self.session.function().predicates() {
+                for (rid, bp) in self.session().function().predicates() {
                     let _ = write!(out, "\n  {rid}/{} sel = {:.4}", bp.id, stats.sel(bp.id));
                 }
                 Ok(out)
             }
             Command::Optimize(algo) => {
                 let start = std::time::Instant::now();
-                self.session.optimize(algo).map_err(|e| e.to_string())?;
+                self.store.optimize(algo).map_err(|e| e.to_string())?;
                 Ok(format!(
                     "reordered with {} and re-ran in {:?} ({} matches unchanged-correct)",
                     algo.label(),
                     start.elapsed(),
-                    self.session.n_matches()
+                    self.session().n_matches()
                 ))
             }
             Command::MemoryReport => {
-                let m = self.session.memory_report();
+                let m = self.session().memory_report();
                 let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
                 Ok(format!(
                     "memo: {:.2} MB ({} values) | bitmaps: {:.2} MB ({} rule + {} predicate) | total {:.2} MB",
                     mb(m.memo_bytes),
-                    self.session.state().memo.stored(),
+                    self.session().state().memo.stored(),
                     mb(m.bitmap_bytes),
                     m.n_rule_bitmaps,
                     m.n_pred_bitmaps,
@@ -333,11 +380,11 @@ impl App {
                 ))
             }
             Command::History => {
-                if self.session.history().is_empty() {
+                if self.session().history().is_empty() {
                     return Ok("(no edits yet)".to_string());
                 }
                 let mut out = String::new();
-                for (i, e) in self.session.history().iter().enumerate() {
+                for (i, e) in self.session().history().iter().enumerate() {
                     let _ = writeln!(
                         out,
                         "{:>3}. {:<40} {:>5} changed {:>7} examined {:>12?}",
@@ -352,33 +399,53 @@ impl App {
                 Ok(out)
             }
             Command::Features => {
-                let reg = self.session.context().registry();
+                let reg = self.session().context().registry();
                 if reg.is_empty() {
                     return Ok("(no features interned)".to_string());
                 }
                 let mut out = String::new();
                 for (fid, _) in reg.iter() {
-                    let _ = writeln!(out, "{fid}: {}", self.session.context().feature_name(fid));
+                    let _ = writeln!(out, "{fid}: {}", self.session().context().feature_name(fid));
                 }
                 out.pop();
                 Ok(out)
             }
-            Command::Save(path) => {
-                let text = self.session.function_text();
+            Command::Save(None) => {
+                let epoch = self.store.save().map_err(|e| e.to_string())?;
+                let dir = self
+                    .store
+                    .store_dir()
+                    .map(|d| d.display().to_string())
+                    .unwrap_or_default();
+                Ok(format!("saved snapshot epoch {epoch} to {dir}"))
+            }
+            Command::Save(Some(path)) => {
+                let text = self.session().function_text();
                 std::fs::write(&path, &text).map_err(|e| format!("save {path}: {e}"))?;
                 Ok(format!(
                     "saved {} rules to {path}",
-                    self.session.function().n_rules()
+                    self.session().function().n_rules()
+                ))
+            }
+            Command::Open(dir) => {
+                let fresh = self.fresh_session();
+                let (store, report) = SessionStore::open(std::path::Path::new(&dir), fresh)
+                    .map_err(|e| e.to_string())?;
+                self.store = store;
+                Ok(format!(
+                    "{report}\n{} rules, {} matches",
+                    self.session().function().n_rules(),
+                    self.session().n_matches()
                 ))
             }
             Command::Export(path) => {
-                let snapshot = self.session.snapshot();
+                let snapshot = self.session().snapshot();
                 let json =
                     serde_json::to_string_pretty(&snapshot).map_err(|e| format!("export: {e}"))?;
                 std::fs::write(&path, json).map_err(|e| format!("export {path}: {e}"))?;
                 Ok(format!(
                     "exported {} rules to {path}",
-                    self.session.function().n_rules()
+                    self.session().function().n_rules()
                 ))
             }
             Command::Import(path) => {
@@ -386,11 +453,11 @@ impl App {
                     std::fs::read_to_string(&path).map_err(|e| format!("import {path}: {e}"))?;
                 let snapshot: em_core::SessionSnapshot =
                     serde_json::from_str(&json).map_err(|e| format!("import {path}: {e}"))?;
-                self.session.restore(&snapshot).map_err(|e| e.to_string())?;
+                self.store.restore(&snapshot).map_err(|e| e.to_string())?;
                 Ok(format!(
                     "imported {} rules from {path}: {} matches",
-                    self.session.function().n_rules(),
-                    self.session.n_matches()
+                    self.session().function().n_rules(),
+                    self.session().n_matches()
                 ))
             }
             Command::Load(path) => {
@@ -399,28 +466,28 @@ impl App {
                 // Replace: remove existing rules, then add the loaded ones
                 // (each applied incrementally, reusing the memo).
                 let existing: Vec<_> = self
-                    .session
+                    .session()
                     .function()
                     .rules()
                     .iter()
                     .map(|r| r.id)
                     .collect();
                 for rid in existing {
-                    self.session.remove_rule(rid).map_err(|e| e.to_string())?;
+                    self.store.remove_rule(rid).map_err(|e| e.to_string())?;
                 }
                 let mut added = 0;
                 for line in text.lines() {
                     if line.trim().is_empty() || line.trim_start().starts_with('#') {
                         continue;
                     }
-                    self.session
+                    self.store
                         .add_rule_text(line)
                         .map_err(|e| format!("line {:?}: {e}", line))?;
                     added += 1;
                 }
                 Ok(format!(
                     "loaded {added} rules from {path}: {} matches",
-                    self.session.n_matches()
+                    self.session().n_matches()
                 ))
             }
         }
@@ -428,10 +495,9 @@ impl App {
 
     fn parse_predicate(&mut self, text: &str) -> Result<em_core::Predicate, String> {
         // A predicate is a one-predicate rule in the rule language; the
-        // session interns the feature and grows the memo.
-        self.session
-            .parse_predicate(text)
-            .map_err(|e| e.to_string())
+        // session interns the feature and grows the memo (the interning is
+        // journaled with the edit that uses it).
+        self.store.parse_predicate(text).map_err(|e| e.to_string())
     }
 }
 
@@ -479,7 +545,7 @@ mod tests {
     use em_datagen::Domain;
 
     fn demo_app() -> App {
-        App::demo(Domain::Products, 0.01, 7, SessionConfig::default())
+        App::demo(Domain::Products, 0.01, 7, SessionConfig::default()).unwrap()
     }
 
     fn exec(app: &mut App, line: &str) -> Result<String, String> {
@@ -536,7 +602,7 @@ mod tests {
             deadline: Some(std::time::Duration::ZERO),
             ..SessionConfig::default()
         };
-        let mut app = App::demo(Domain::Products, 0.01, 7, config);
+        let mut app = App::demo(Domain::Products, 0.01, 7, config).unwrap();
         let out = exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
         assert!(out.contains("partial (deadline)"), "{out}");
         assert!(out.contains("`resume` to continue"), "{out}");

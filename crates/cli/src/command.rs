@@ -48,14 +48,17 @@ pub enum Command {
     History,
     /// `features` — list interned features.
     Features,
+    /// `save` — fold the journal into a fresh store snapshot;
     /// `save <path>` — write the rule set as text.
-    Save(String),
+    Save(Option<String>),
     /// `load <path>` — replace the rule set from a text file.
     Load(String),
     /// `export <path>` — write a JSON session snapshot.
     Export(String),
     /// `import <path>` — restore a JSON session snapshot.
     Import(String),
+    /// `open <dir>` — open (recover) a durable session store.
+    Open(String),
     /// `quit` / `exit`
     Quit,
 }
@@ -152,10 +155,11 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         "memory" => Command::MemoryReport,
         "history" => Command::History,
         "features" => Command::Features,
-        "save" => Command::Save(require_arg("path")?.to_string()),
+        "save" => Command::Save((!rest.is_empty()).then(|| rest.to_string())),
         "load" => Command::Load(require_arg("path")?.to_string()),
         "export" => Command::Export(require_arg("path")?.to_string()),
         "import" => Command::Import(require_arg("path")?.to_string()),
+        "open" => Command::Open(require_arg("store directory")?.to_string()),
         "quit" | "exit" | "q" => Command::Quit,
         other => return Err(format!("unknown command {other:?}; try `help`")),
     };
@@ -208,10 +212,12 @@ commands:
   memory                materialization memory footprint
   history               edit log with latencies
   features              list interned features
+  save                  fold the edit journal into a fresh store snapshot
   save <path>           save the rule set as text
   load <path>           load a rule set from a text file
   export <path>         write a JSON session snapshot
   import <path>         restore a JSON session snapshot
+  open <dir>            open (recover) a durable session store
   quit                  exit";
 
 #[cfg(test)]
@@ -272,7 +278,12 @@ mod tests {
         assert_eq!(parse("features").unwrap(), Some(Command::Features));
         assert_eq!(
             parse("save rules.txt").unwrap(),
-            Some(Command::Save("rules.txt".into()))
+            Some(Command::Save(Some("rules.txt".into())))
+        );
+        assert_eq!(parse("save").unwrap(), Some(Command::Save(None)));
+        assert_eq!(
+            parse("open sessions/demo").unwrap(),
+            Some(Command::Open("sessions/demo".into()))
         );
         assert_eq!(
             parse("load rules.txt").unwrap(),
@@ -306,6 +317,7 @@ mod tests {
         assert!(parse("set p1 nan").unwrap_err().contains("finite"));
         assert!(parse("set p1 inf").unwrap_err().contains("finite"));
         assert!(parse("add").unwrap_err().contains("missing"));
+        assert!(parse("open").unwrap_err().contains("store directory"));
         assert!(parse("explain x").unwrap_err().contains("bad pair index"));
         assert!(parse("optimize alg7")
             .unwrap_err()

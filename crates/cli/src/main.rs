@@ -2,7 +2,7 @@
 
 use em_blocking::Blocker;
 use em_cli::{parse, App};
-use em_core::{DebugSession, SessionConfig};
+use em_core::{DebugSession, SessionConfig, SessionStore};
 use em_datagen::Domain;
 use std::io::{BufRead, Write};
 
@@ -11,6 +11,7 @@ usage:
   rulem --demo <domain> [--scale <f>] [--seed <n>] [--threads <n>] [--deadline-ms <n>]
       domains: products | restaurants | books | breakfast | movies | videogames
   rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>] [--threads <n>] [--deadline-ms <n>]
+      either mode also accepts --store <dir>
       CSV files: first column is the record id, header row names attributes;
       blocking is token overlap on <attr> (default min-overlap 2), or an
       exact attribute-equivalence join with ':eq'.
@@ -25,7 +26,12 @@ examples:
 
 --deadline-ms n bounds each edit's wall clock: an edit that exceeds it
 stops early and reports a partial result; `resume` finishes it. Ctrl-C
-cancels the edit in flight the same way (the session survives).";
+cancels the edit in flight the same way (the session survives).
+
+--store <dir> makes the session durable: every edit is journaled before
+it applies, `save` folds the journal into a fresh snapshot, and starting
+with the same --store recovers the session (snapshot + journal replay),
+printing a recovery report.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,7 +92,8 @@ fn build_app(args: &[String]) -> Result<App, String> {
             .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
             .transpose()?
             .unwrap_or(42);
-        return Ok(App::demo(domain, scale, seed, config));
+        let (session, labels) = App::demo_parts(domain, scale, seed, config)?;
+        return finish_app(session, labels, get_flag("--store"));
     }
 
     // CSV mode. Positional arguments are whatever is neither a flag nor
@@ -131,7 +138,27 @@ fn build_app(args: &[String]) -> Result<App, String> {
     };
 
     let session = DebugSession::new(a, b, cands, config);
-    Ok(App::new(session, Vec::new()))
+    finish_app(session, Vec::new(), get_flag("--store"))
+}
+
+/// Binds the session to its durable store (if `--store` was given),
+/// recovering any previous state, and wraps it into the app. A recovery
+/// report goes to stdout so scripted runs can check it.
+fn finish_app(
+    session: DebugSession,
+    labels: Vec<em_types::LabeledPair>,
+    store_dir: Option<&str>,
+) -> Result<App, String> {
+    let Some(dir) = store_dir else {
+        return Ok(App::new(session, labels));
+    };
+    let (store, report) = SessionStore::attach(std::path::Path::new(dir), session)
+        .map_err(|e| format!("--store {dir}: {e}"))?;
+    match report {
+        Some(report) => println!("{report}"),
+        None => println!("created session store at {dir}"),
+    }
+    Ok(App::with_store(store, labels))
 }
 
 /// Routes SIGINT to the session's cancel token: Ctrl-C stops the edit in

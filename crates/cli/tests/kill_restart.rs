@@ -1,0 +1,101 @@
+//! Kill-the-process durability harness: drive the real `rulem` binary
+//! against a `--store` directory, SIGKILL it mid-session (no flush, no
+//! destructor), restart it on the same store, and check the session came
+//! back — the end-to-end proof behind the fault-injection unit tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn spawn_repl(store: &std::path::Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_rulem"))
+        .args([
+            "--demo", "products", "--scale", "0.01", "--seed", "7", "--store",
+        ])
+        .arg(store)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rulem")
+}
+
+/// Reads stdout lines until one contains `needle` (the REPL prompt is
+/// not newline-terminated, so match on line fragments), with a timeout
+/// so a hung child fails the test instead of wedging it.
+fn wait_for(out: &mut impl BufRead, needle: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut seen = String::new();
+    let mut line = String::new();
+    while Instant::now() < deadline {
+        line.clear();
+        match out.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                seen.push_str(&line);
+                if line.contains(needle) {
+                    return seen;
+                }
+            }
+            Err(e) => panic!("reading child stdout: {e}\nseen so far:\n{seen}"),
+        }
+    }
+    panic!("child never printed {needle:?}; output so far:\n{seen}");
+}
+
+#[test]
+fn sigkill_mid_session_recovers_on_restart() {
+    let store = std::env::temp_dir()
+        .join("rulem_kill_restart")
+        .join(format!("store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // Session 1: two edits, then SIGKILL — no save, no clean shutdown.
+    let mut child = spawn_repl(&store);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    writeln!(stdin, "add jaccard_ws(title, title) >= 0.6").unwrap();
+    wait_for(&mut stdout, "added rule r0");
+    writeln!(stdin, "add exact(modelno, modelno) >= 1.0").unwrap();
+    wait_for(&mut stdout, "added rule r1");
+    child.kill().expect("SIGKILL the repl");
+    child.wait().unwrap();
+
+    // Session 2: same store. Startup must print a recovery report, both
+    // rules must be back, and the journal must keep extending.
+    let mut child = spawn_repl(&store);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let banner = wait_for(&mut stdout, "journal record(s)");
+    assert!(
+        banner.contains("recovered from snapshot epoch"),
+        "startup must report recovery, got:\n{banner}"
+    );
+    writeln!(stdin, "rules").unwrap();
+    let rules = wait_for(&mut stdout, "r1:");
+    assert!(rules.contains("r0:"), "rule r0 survived the kill:\n{rules}");
+    writeln!(stdin, "history").unwrap();
+    wait_for(&mut stdout, "add rule r1");
+
+    // A post-recovery edit lands in the journal...
+    writeln!(stdin, "add trigram(title, title) >= 0.5").unwrap();
+    wait_for(&mut stdout, "added rule r2");
+    child.kill().expect("SIGKILL again");
+    child.wait().unwrap();
+
+    // ...and survives a second kill.
+    let mut child = spawn_repl(&store);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    wait_for(&mut stdout, "journal record(s)");
+    writeln!(stdin, "rules").unwrap();
+    wait_for(&mut stdout, "r2:");
+    writeln!(stdin, "quit").unwrap();
+    // Clean quit folds the journal into a snapshot.
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("saved"), "quit should save: {rest}");
+    assert!(child.wait().unwrap().success());
+
+    let _ = std::fs::remove_dir_all(&store);
+}

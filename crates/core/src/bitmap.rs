@@ -84,6 +84,20 @@ impl Bitmap {
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
     }
+
+    /// The packed words, for stable binary serialization.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from serialized words. `None` when the word count
+    /// does not cover `len` bits exactly (corrupt input).
+    pub(crate) fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        Some(Bitmap { words, len })
+    }
 }
 
 #[cfg(test)]

@@ -184,27 +184,6 @@ pub fn run_sharded<S: Send>(
         .collect()
 }
 
-/// Pre-executor parallel entry point, kept as a thin shim.
-#[deprecated(
-    note = "use engine::run_memo(func, ctx, cands, check_cache_first, &Executor::pool(n_threads))"
-)]
-pub fn run_memo_parallel(
-    func: &crate::function::MatchingFunction,
-    ctx: &crate::context::EvalContext,
-    cands: &em_types::CandidateSet,
-    check_cache_first: bool,
-    n_threads: usize,
-) -> crate::engine::MatchOutcome {
-    crate::engine::run_memo(
-        func,
-        ctx,
-        cands,
-        check_cache_first,
-        &Executor::pool(n_threads),
-    )
-    .0
-}
-
 /// A set of persistent worker threads executing index-addressed batches.
 struct WorkerPool {
     n_threads: usize,
@@ -581,14 +560,5 @@ mod tests {
         let (par, _) = run_memo(&func, &ctx, &small, false, &Executor::pool(16));
         assert_eq!(par.verdicts, serial.verdicts);
         assert_eq!(par.verdicts.len(), 3);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_works() {
-        let (ctx, cands, func) = fixture(6);
-        let (serial, _) = run_memo(&func, &ctx, &cands, false, &Executor::serial());
-        let par = run_memo_parallel(&func, &ctx, &cands, false, 0);
-        assert_eq!(par.verdicts, serial.verdicts);
     }
 }

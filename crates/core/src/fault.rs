@@ -9,7 +9,7 @@
 
 use crate::budget::CancelToken;
 use em_types::PairIdx;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A recipe of faults to inject into feature computation.
@@ -97,6 +97,157 @@ impl FaultPlan {
     }
 }
 
+/// Which fault, if any, a journal append should suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// Append normally.
+    None,
+    /// Write only the first `keep` bytes of the frame, then "crash": the
+    /// classic torn write a power cut leaves behind.
+    Torn {
+        /// Bytes of the frame that reach the disk.
+        keep: usize,
+    },
+    /// Write — and fsync — the full frame, then "crash" before the
+    /// in-memory delta applies. Recovery must replay this record.
+    CrashAfterAppend,
+}
+
+/// Which fault, if any, a snapshot write should suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// Write normally.
+    None,
+    /// Flip one byte of the image before it is written: silent media
+    /// corruption the CRC layer must catch on the next open.
+    FlipByte(usize),
+    /// Write only the first `keep` bytes of the temp file, then "crash"
+    /// before the rename: the atomic-write protocol must leave the
+    /// previous snapshot untouched.
+    ShortWrite(usize),
+}
+
+/// One-shot I/O faults for the durable session store.
+///
+/// Each arm is a countdown: `with_torn_append(2, ..)` fires on the third
+/// append from now, then disarms. Counters are atomics so a plan can be
+/// shared with the store through an `Arc` and inspected afterwards.
+#[derive(Debug)]
+pub struct IoFaultPlan {
+    /// Appends until a torn write (`-1` = disarmed).
+    torn_append: AtomicI64,
+    torn_keep: AtomicU64,
+    /// Appends until a crash-after-append (`-1` = disarmed).
+    crash_after_append: AtomicI64,
+    /// Byte offset to flip in the next snapshot image (`-1` = disarmed).
+    flip_snapshot_byte: AtomicI64,
+    /// Bytes of the next snapshot temp file to keep (`-1` = disarmed).
+    short_snapshot: AtomicI64,
+    /// Faults actually fired, for test assertions.
+    fired: AtomicU64,
+}
+
+impl Default for IoFaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoFaultPlan {
+    /// A plan injecting nothing.
+    pub fn new() -> Self {
+        IoFaultPlan {
+            torn_append: AtomicI64::new(-1),
+            torn_keep: AtomicU64::new(0),
+            crash_after_append: AtomicI64::new(-1),
+            flip_snapshot_byte: AtomicI64::new(-1),
+            short_snapshot: AtomicI64::new(-1),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Tears the `nth` journal append from now (0 = the next one),
+    /// leaving only `keep` bytes of the frame on disk.
+    pub fn with_torn_append(self, nth: u64, keep: usize) -> Self {
+        self.torn_append.store(nth as i64, Ordering::SeqCst);
+        self.torn_keep.store(keep as u64, Ordering::SeqCst);
+        self
+    }
+
+    /// Crashes after the `nth` journal append from now durably lands but
+    /// before the in-memory delta applies.
+    pub fn with_crash_after_append(self, nth: u64) -> Self {
+        self.crash_after_append.store(nth as i64, Ordering::SeqCst);
+        self
+    }
+
+    /// Flips the byte at `offset` in the next snapshot image.
+    pub fn with_snapshot_bit_flip(self, offset: usize) -> Self {
+        self.flip_snapshot_byte
+            .store(offset as i64, Ordering::SeqCst);
+        self
+    }
+
+    /// Short-writes the next snapshot: only `keep` bytes of the temp file
+    /// land, and the rename never happens.
+    pub fn with_short_snapshot_write(self, keep: usize) -> Self {
+        self.short_snapshot.store(keep as i64, Ordering::SeqCst);
+        self
+    }
+
+    /// Faults fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Decrements a countdown; true exactly once, when it hits zero.
+    fn countdown(cell: &AtomicI64) -> bool {
+        loop {
+            let v = cell.load(Ordering::SeqCst);
+            if v < 0 {
+                return false;
+            }
+            let (next, fire) = if v == 0 { (-1, true) } else { (v - 1, false) };
+            if cell
+                .compare_exchange(v, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return fire;
+            }
+        }
+    }
+
+    /// Consulted by the store before each journal append.
+    pub fn on_append(&self) -> AppendFault {
+        if Self::countdown(&self.torn_append) {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            return AppendFault::Torn {
+                keep: self.torn_keep.load(Ordering::SeqCst) as usize,
+            };
+        }
+        if Self::countdown(&self.crash_after_append) {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            return AppendFault::CrashAfterAppend;
+        }
+        AppendFault::None
+    }
+
+    /// Consulted by the store before each snapshot write.
+    pub fn on_snapshot_write(&self) -> SnapshotFault {
+        let flip = self.flip_snapshot_byte.swap(-1, Ordering::SeqCst);
+        if flip >= 0 {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            return SnapshotFault::FlipByte(flip as usize);
+        }
+        let keep = self.short_snapshot.swap(-1, Ordering::SeqCst);
+        if keep >= 0 {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            return SnapshotFault::ShortWrite(keep as usize);
+        }
+        SnapshotFault::None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +263,19 @@ mod tests {
         let r = std::panic::catch_unwind(|| plan.on_compute(PairIdx::new(3, 4)));
         assert!(r.is_err(), "panic pair must panic");
         assert_eq!(plan.evals(), 3);
+    }
+
+    #[test]
+    fn io_plan_countdowns_fire_once() {
+        let plan = IoFaultPlan::new().with_torn_append(1, 12);
+        assert_eq!(plan.on_append(), AppendFault::None);
+        assert_eq!(plan.on_append(), AppendFault::Torn { keep: 12 });
+        assert_eq!(plan.on_append(), AppendFault::None);
+        assert_eq!(plan.faults_fired(), 1);
+
+        let plan = IoFaultPlan::new().with_snapshot_bit_flip(40);
+        assert_eq!(plan.on_snapshot_write(), SnapshotFault::FlipByte(40));
+        assert_eq!(plan.on_snapshot_write(), SnapshotFault::None);
     }
 
     #[test]

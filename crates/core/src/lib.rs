@@ -63,6 +63,7 @@ pub mod incremental;
 pub mod memo;
 pub mod ordering;
 pub mod parse;
+pub mod persist;
 pub mod predicate;
 pub mod quality;
 mod robust;
@@ -82,12 +83,10 @@ pub use engine::{
     run_rudimentary_budgeted, EvalStats, MatchOutcome, Strategy,
 };
 pub use exact::{optimal_rule_order, ExactOrder, MAX_EXACT_RULES};
-#[allow(deprecated)]
-pub use executor::run_memo_parallel;
 pub use executor::{partition, run_sharded, split_mut, Executor};
 pub use explain::{Explanation, PredicateTrace, RuleTrace};
 #[cfg(feature = "fault-inject")]
-pub use fault::FaultPlan;
+pub use fault::{AppendFault, FaultPlan, IoFaultPlan, SnapshotFault};
 pub use feature::{FeatureDef, FeatureId, FeatureRegistry};
 pub use function::{EditError, MatchingFunction};
 pub use incremental::{
@@ -101,11 +100,12 @@ pub use ordering::{
     OrderingAlgo,
 };
 pub use parse::{parse_function, parse_measure, ParseError};
+pub use persist::{store_exists, JournalRecord, PersistError, RecoveryReport, SessionStore};
 pub use predicate::{CmpOp, PredId, Predicate};
 pub use quality::QualityReport;
 pub use robust::install_quiet_panic_hook;
 pub use rule::{BoundPredicate, BoundRule, Rule, RuleId};
-pub use session::{DebugSession, PendingWork, SessionConfig, SessionSnapshot};
+pub use session::{DebugSession, PendingWork, SessionConfig, SessionError, SessionSnapshot};
 pub use simplify::{simplify, SimplifyReport};
 pub use state::{run_full, run_full_budgeted, FullRunOutcome, MatchState, MemoryReport};
 pub use stats::{FunctionStats, DEFAULT_SAMPLE_FRACTION};

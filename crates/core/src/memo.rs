@@ -125,6 +125,31 @@ impl DenseMemo {
         self.stored += n;
     }
 
+    /// The raw value grid (row-major `pairs × features`, NaN = absent),
+    /// for stable binary serialization.
+    pub(crate) fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a memo from serialized parts. `None` when the grid does
+    /// not have `n_pairs × n_features` cells (corrupt input).
+    pub(crate) fn from_raw(
+        n_pairs: usize,
+        n_features: usize,
+        values: Vec<f64>,
+        stored: usize,
+    ) -> Option<Self> {
+        if values.len() != n_pairs.checked_mul(n_features)? || stored > values.len() {
+            return None;
+        }
+        Some(DenseMemo {
+            n_pairs,
+            n_features,
+            values,
+            stored,
+        })
+    }
+
     #[inline]
     fn idx(&self, pair: usize, feature: FeatureId) -> Option<usize> {
         let f = feature.index();

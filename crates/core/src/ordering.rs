@@ -28,7 +28,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Rule-ordering strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable so an `optimize` step can be recorded in the durable edit
+/// journal and replayed during recovery (the optimization is deterministic
+/// given the session's sampling seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum OrderingAlgo {
     /// Shuffle rules uniformly at random (the paper's baseline ordering).
     Random(u64),

@@ -1,0 +1,333 @@
+//! On-disk primitives shared by the snapshot and journal formats: a
+//! table-driven CRC32, little-endian scalar codecs, length-prefixed
+//! checksummed frames, and the atomic-write protocol (temp file → `fsync`
+//! → rename → directory `fsync`).
+//!
+//! Both file formats are built from the same frame shape:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! A reader accepts a frame only when the full payload is present *and*
+//! its checksum matches — a torn tail (partial write at crash) and a
+//! bit-flipped body are both detected the same way.
+
+use super::PersistError;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Frames larger than this are rejected as corrupt rather than allocated:
+/// a flipped bit in a length prefix must not turn into a multi-GB
+/// allocation.
+pub(crate) const MAX_FRAME_LEN: u32 = 1 << 30;
+
+// ---- CRC32 ----------------------------------------------------------------
+
+/// The standard CRC-32 (IEEE 802.3) lookup table, polynomial `0xEDB88320`.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- little-endian scalar codec -------------------------------------------
+
+/// Appends little-endian scalars to a byte buffer.
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        // Bit-exact: NaN sentinels in the memo survive the round trip.
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads little-endian scalars off a byte slice, tracking position.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// What is being decoded, for error messages.
+    what: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'static str) -> Self {
+        ByteReader { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                PersistError::Corrupt(format!("{}: truncated at byte {}", self.what, self.pos))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` count that must be small enough to pre-allocate.
+    pub(crate) fn count(&mut self, max: usize) -> Result<usize, PersistError> {
+        let n = self.u64()?;
+        if n > max as u64 {
+            return Err(PersistError::Corrupt(format!(
+                "{}: implausible count {n} (max {max})",
+                self.what
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// True when every byte has been consumed.
+    pub(crate) fn done(&self) -> Result<(), PersistError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt(format!(
+                "{}: {} trailing bytes",
+                self.what,
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---- frames ---------------------------------------------------------------
+
+/// Renders one `[len][crc][payload]` frame.
+pub(crate) fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of decoding the next frame from an in-memory buffer.
+pub(crate) enum FrameRead<'a> {
+    /// A complete, checksum-valid frame and the offset just past it.
+    Ok { payload: &'a [u8], next: usize },
+    /// The buffer ends here (a clean end of file).
+    Eof,
+    /// The bytes from this offset are torn or corrupt; everything before
+    /// is valid.
+    Corrupt(String),
+}
+
+/// Decodes the frame starting at `offset`.
+pub(crate) fn read_frame(buf: &[u8], offset: usize) -> FrameRead<'_> {
+    if offset == buf.len() {
+        return FrameRead::Eof;
+    }
+    let Some(header) = buf.get(offset..offset + 8) else {
+        return FrameRead::Corrupt(format!(
+            "torn frame header at byte {offset} ({} of 8 bytes)",
+            buf.len() - offset
+        ));
+    };
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return FrameRead::Corrupt(format!("implausible frame length {len} at byte {offset}"));
+    }
+    let body_start = offset + 8;
+    let Some(payload) = buf.get(body_start..body_start + len as usize) else {
+        return FrameRead::Corrupt(format!(
+            "torn frame payload at byte {offset} ({} of {len} bytes)",
+            buf.len() - body_start
+        ));
+    };
+    if crc32(payload) != crc {
+        return FrameRead::Corrupt(format!("checksum mismatch in frame at byte {offset}"));
+    }
+    FrameRead::Ok {
+        payload,
+        next: body_start + len as usize,
+    }
+}
+
+// ---- atomic writes --------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: the full content lands in a
+/// sibling temp file which is fsynced, renamed over `path`, and the
+/// directory is fsynced so the rename itself is durable. A crash at any
+/// point leaves either the old file or the new one, never a mixture.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| PersistError::Corrupt(format!("{}: no parent directory", path.display())))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp).map_err(PersistError::Io)?;
+        f.write_all(bytes).map_err(PersistError::Io)?;
+        f.sync_all().map_err(PersistError::Io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(PersistError::Io)?;
+    sync_dir(dir)
+}
+
+/// Fsyncs a directory so a completed rename/create within it is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    // Some platforms refuse to open directories for writing; opening
+    // read-only is sufficient for fsync on unix, and on platforms where
+    // directory fsync is unsupported the error is ignored (the rename is
+    // still atomic).
+    match File::open(dir) {
+        Ok(d) => {
+            let _ = d.sync_all();
+            Ok(())
+        }
+        Err(e) => Err(PersistError::Io(e)),
+    }
+}
+
+/// Reads a whole file, mapping "not found" to `Ok(None)`.
+pub(crate) fn read_file_opt(path: &Path) -> Result<Option<Vec<u8>>, PersistError> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf).map_err(PersistError::Io)?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption_detection() {
+        let mut buf = encode_frame(b"hello");
+        buf.extend_from_slice(&encode_frame(b""));
+        let FrameRead::Ok { payload, next } = read_frame(&buf, 0) else {
+            panic!("first frame must decode");
+        };
+        assert_eq!(payload, b"hello");
+        let FrameRead::Ok { payload, next } = read_frame(&buf, next) else {
+            panic!("empty frame must decode");
+        };
+        assert_eq!(payload, b"");
+        assert!(matches!(read_frame(&buf, next), FrameRead::Eof));
+
+        // A flipped payload bit is caught by the checksum.
+        let mut flipped = encode_frame(b"hello");
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(read_frame(&flipped, 0), FrameRead::Corrupt(_)));
+
+        // A torn tail (short write) is caught by the length prefix.
+        let torn = &encode_frame(b"hello")[..7];
+        assert!(matches!(read_frame(torn, 0), FrameRead::Corrupt(_)));
+        let torn = &encode_frame(b"hello")[..10];
+        assert!(matches!(read_frame(torn, 0), FrameRead::Corrupt(_)));
+    }
+
+    #[test]
+    fn byte_reader_rejects_truncation_and_trailing() {
+        let mut w = ByteWriter::new();
+        w.u32(7);
+        w.u64(u64::MAX);
+        w.f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(r.f64().unwrap().is_nan());
+        r.done().unwrap();
+
+        let mut short = ByteReader::new(&bytes[..10], "test");
+        short.u32().unwrap();
+        assert!(short.u64().is_err());
+        let mut trailing = ByteReader::new(&bytes, "test");
+        trailing.u32().unwrap();
+        assert!(trailing.done().is_err());
+        let mut counted = ByteReader::new(&bytes, "test");
+        counted.u32().unwrap();
+        assert!(counted.count(3).is_err(), "u64::MAX is not a sane count");
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = std::env::temp_dir().join("rulem_frame_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
+    }
+}

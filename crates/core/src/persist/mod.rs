@@ -1,0 +1,83 @@
+//! Durable session store: checksummed snapshots + a write-ahead edit
+//! journal with crash recovery through the incremental engine.
+//!
+//! The paper's whole premise is that a debugging session accumulates
+//! expensive derived state — the feature memo `H`, per-rule fired sets
+//! `M(r)`, per-predicate failed sets `U(p)` (§6) — so that edits cost a
+//! small delta instead of a full re-run. This module makes that state
+//! survive a process crash:
+//!
+//! * [`snapshot`] — a versioned, CRC32-checksummed binary image of the
+//!   full [`crate::MatchState`] plus the matching function, feature
+//!   interning table, history, undo stack, and quarantine set, written
+//!   atomically (temp file → `fsync` → rename → directory `fsync`);
+//! * [`journal`] — an append-only write-ahead log of edits, each a
+//!   length-prefixed checksummed frame appended (and fsynced) *before*
+//!   the in-memory delta is applied, truncated cleanly at the first torn
+//!   or corrupt frame on open;
+//! * [`store`] — the [`SessionStore`] tying both together: journaled edit
+//!   wrappers, an autosave/compaction policy, and recovery that loads the
+//!   latest valid snapshot and replays the journal suffix through the
+//!   incremental Algorithms 7–10 (not a full re-run), reusing the
+//!   `*_budgeted` machinery so recovery itself is deadline-aware and
+//!   resumable.
+//!
+//! A store directory holds up to two *generations* of files,
+//! `snapshot-<epoch>.bin` / `journal-<epoch>.bin`: saving folds the
+//! journal into a fresh snapshot at the next epoch and prunes everything
+//! older than the previous generation, so a corrupt latest snapshot can
+//! still fall back one generation and replay forward.
+
+pub mod frame;
+pub mod journal;
+pub mod snapshot;
+pub mod store;
+
+pub use frame::crc32;
+pub use store::{store_exists, JournalRecord, RecoveryReport, SessionStore};
+
+use std::fmt;
+
+/// Errors from the durable session store.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file exists but its content is torn, checksum-invalid, or
+    /// structurally impossible.
+    Corrupt(String),
+    /// A frame's payload failed to encode or decode.
+    Codec(String),
+    /// A journaled edit could not be re-applied during recovery.
+    Replay(String),
+    /// The operation does not fit the store's current state (e.g. opening
+    /// a store over a non-fresh session, or saving without a store).
+    InvalidState(String),
+    /// An injected I/O fault fired (test harness only): the store must be
+    /// treated as crashed and reopened.
+    #[cfg(feature = "fault-inject")]
+    InjectedFault(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            PersistError::Codec(m) => write!(f, "codec error: {m}"),
+            PersistError::Replay(m) => write!(f, "replay error: {m}"),
+            PersistError::InvalidState(m) => write!(f, "{m}"),
+            #[cfg(feature = "fault-inject")]
+            PersistError::InjectedFault(m) => write!(f, "injected fault: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The snapshot format: one file holding everything a debugging session
+//! needs to resume — the matching function (with its id counters), the
+//! feature interning table, the full [`MatchState`] (memo `H`, verdicts,
+//! `M(r)`, `U(p)`), the edit history, the undo stack, and the quarantine
+//! set.
+//!
+//! ```text
+//! [magic "RMSN"] [version: u32] [epoch: u64]
+//! [frame: META  — JSON SnapshotMeta]
+//! [frame: STATE — binary MatchState]
+//! ```
+//!
+//! META carries the small, schema-ful part as JSON (readable with a hex
+//! editor when debugging the store itself); STATE carries the bulk arrays
+//! as raw little-endian scalars — the memo grid alone is `pairs ×
+//! features` f64s, which would bloat 3–4× as JSON. Both frames are
+//! independently checksummed by the [`super::frame`] layer. `f64`s are
+//! stored as raw bits, so the memo's NaN "absent" sentinel and every
+//! threshold survive bit-exactly.
+//!
+//! Bitmaps are serialized sorted by id, so a snapshot's bytes are a pure
+//! function of the session's logical state — the property the
+//! byte-for-byte recovery-convergence tests (1/2/4 threads) rely on.
+
+use super::frame::{encode_frame, read_frame, ByteReader, ByteWriter, FrameRead};
+use super::PersistError;
+use crate::bitmap::Bitmap;
+use crate::feature::FeatureDef;
+use crate::function::MatchingFunction;
+use crate::incremental::WorkerStats;
+use crate::memo::{DenseMemo, Memo};
+use crate::predicate::PredId;
+use crate::rule::RuleId;
+use crate::session::{DebugSession, EditRecord, UndoOp};
+use crate::state::MatchState;
+use std::collections::HashMap;
+use std::time::Duration;
+
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 4] = b"RMSN";
+pub(crate) const JOURNAL_MAGIC: &[u8; 4] = b"RMJL";
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+/// Fixed-size file header shared by snapshots and journals.
+pub(crate) fn encode_header(magic: &[u8; 4], epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out
+}
+
+/// Validates a file header; returns the epoch and the offset of the first
+/// frame.
+pub(crate) fn decode_header(
+    bytes: &[u8],
+    magic: &[u8; 4],
+    what: &str,
+) -> Result<(u64, usize), PersistError> {
+    if bytes.len() < 16 {
+        return Err(PersistError::Corrupt(format!(
+            "{what}: truncated header ({} of 16 bytes)",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..4] != magic {
+        return Err(PersistError::Corrupt(format!("{what}: bad magic")));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "{what}: unsupported format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    Ok((epoch, 16))
+}
+
+/// One [`EditRecord`] in serializable form. The vendored serde has no
+/// `Duration` support, so latency travels as nanoseconds.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct HistoryEntry {
+    description: String,
+    n_changed: usize,
+    pairs_examined: usize,
+    worker_stats: Vec<WorkerStats>,
+    elapsed_nanos: u64,
+}
+
+impl HistoryEntry {
+    fn of(rec: &EditRecord) -> Self {
+        HistoryEntry {
+            description: rec.description.clone(),
+            n_changed: rec.n_changed,
+            pairs_examined: rec.pairs_examined,
+            worker_stats: rec.worker_stats.clone(),
+            elapsed_nanos: u64::try_from(rec.elapsed.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    fn into_record(self) -> EditRecord {
+        EditRecord {
+            description: self.description,
+            n_changed: self.n_changed,
+            pairs_examined: self.pairs_examined,
+            worker_stats: self.worker_stats,
+            elapsed: Duration::from_nanos(self.elapsed_nanos),
+        }
+    }
+}
+
+/// The JSON (META) half of a snapshot.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct SnapshotMeta {
+    /// The matching function, including its `next_rule`/`next_pred`
+    /// counters — replay must mint the same ids the live session did.
+    pub(crate) function: MatchingFunction,
+    /// Feature definitions in interning order; re-interning them in order
+    /// reproduces the same dense [`crate::FeatureId`]s.
+    pub(crate) features: Vec<FeatureDef>,
+    pub(crate) history: Vec<HistoryEntry>,
+    pub(crate) undo: Vec<UndoOp>,
+    pub(crate) quarantined: Vec<usize>,
+}
+
+/// A fully decoded snapshot, ready to install into a fresh session.
+pub(crate) struct DecodedSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) function: MatchingFunction,
+    pub(crate) features: Vec<FeatureDef>,
+    pub(crate) history: Vec<EditRecord>,
+    pub(crate) undo: Vec<UndoOp>,
+    pub(crate) quarantined: Vec<usize>,
+    pub(crate) state: MatchState,
+}
+
+/// Renders a session's full durable image as snapshot-file bytes.
+pub(crate) fn encode_snapshot(session: &DebugSession, epoch: u64) -> Result<Vec<u8>, PersistError> {
+    let meta = SnapshotMeta {
+        function: session.function().clone(),
+        features: session
+            .context()
+            .registry()
+            .iter()
+            .map(|(_, d)| *d)
+            .collect(),
+        history: session.history().iter().map(HistoryEntry::of).collect(),
+        undo: session.undo_ops().to_vec(),
+        quarantined: session.quarantined().to_vec(),
+    };
+    let meta_json =
+        serde_json::to_string(&meta).map_err(|e| PersistError::Codec(format!("meta: {e}")))?;
+    let state_bin = encode_state(session.state());
+
+    let mut out = encode_header(SNAPSHOT_MAGIC, epoch);
+    out.extend_from_slice(&encode_frame(meta_json.as_bytes()));
+    out.extend_from_slice(&encode_frame(&state_bin));
+    Ok(out)
+}
+
+/// Parses and validates snapshot-file bytes.
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<DecodedSnapshot, PersistError> {
+    let (epoch, mut offset) = decode_header(bytes, SNAPSHOT_MAGIC, "snapshot")?;
+
+    let meta_payload = match read_frame(bytes, offset) {
+        FrameRead::Ok { payload, next } => {
+            offset = next;
+            payload
+        }
+        FrameRead::Eof => return Err(PersistError::Corrupt("snapshot: missing META frame".into())),
+        FrameRead::Corrupt(m) => return Err(PersistError::Corrupt(format!("snapshot META: {m}"))),
+    };
+    let meta_str = std::str::from_utf8(meta_payload)
+        .map_err(|_| PersistError::Corrupt("snapshot META: not UTF-8".into()))?;
+    let meta: SnapshotMeta =
+        serde_json::from_str(meta_str).map_err(|e| PersistError::Codec(format!("meta: {e}")))?;
+
+    let state_payload = match read_frame(bytes, offset) {
+        FrameRead::Ok { payload, next } => {
+            offset = next;
+            payload
+        }
+        FrameRead::Eof => {
+            return Err(PersistError::Corrupt(
+                "snapshot: missing STATE frame".into(),
+            ))
+        }
+        FrameRead::Corrupt(m) => return Err(PersistError::Corrupt(format!("snapshot STATE: {m}"))),
+    };
+    match read_frame(bytes, offset) {
+        FrameRead::Eof => {}
+        _ => return Err(PersistError::Corrupt("snapshot: trailing data".into())),
+    }
+    let state = decode_state(state_payload, meta.features.len())?;
+
+    Ok(DecodedSnapshot {
+        epoch,
+        function: meta.function,
+        features: meta.features,
+        history: meta
+            .history
+            .into_iter()
+            .map(HistoryEntry::into_record)
+            .collect(),
+        undo: meta.undo,
+        quarantined: meta.quarantined,
+        state,
+    })
+}
+
+// ---- STATE binary codec ---------------------------------------------------
+
+/// Serializes the bulk state arrays. Bitmap maps are written sorted by id
+/// so the output is deterministic.
+pub(crate) fn encode_state(state: &MatchState) -> Vec<u8> {
+    let n_pairs = state.n_pairs();
+    let mut w = ByteWriter::new();
+    w.u64(n_pairs as u64);
+
+    // Memo grid.
+    let memo = &state.memo;
+    w.u64(memo.n_pairs() as u64);
+    w.u64(memo.n_features() as u64);
+    w.u64(memo.stored() as u64);
+    for &v in memo.raw_values() {
+        w.f64(v);
+    }
+
+    // Verdicts, bit-packed.
+    let mut word = 0u64;
+    for (i, &v) in state.verdicts().iter().enumerate() {
+        if v {
+            word |= 1 << (i % 64);
+        }
+        if i % 64 == 63 {
+            w.u64(word);
+            word = 0;
+        }
+    }
+    if !n_pairs.is_multiple_of(64) {
+        w.u64(word);
+    }
+
+    // Fired-rule assignments; u32::MAX encodes "no rule fired".
+    for f in state.fired_slice() {
+        w.u32(f.map_or(u32::MAX, |r| r.0));
+    }
+
+    // M(r) bitmaps, sorted by rule id.
+    let mut rules: Vec<_> = state.rule_fired_map().iter().collect();
+    rules.sort_by_key(|(rid, _)| rid.0);
+    w.u64(rules.len() as u64);
+    for (rid, bm) in rules {
+        w.u32(rid.0);
+        write_bitmap(&mut w, bm);
+    }
+
+    // U(p) bitmaps, sorted by predicate id.
+    let mut preds: Vec<_> = state.pred_false_map().iter().collect();
+    preds.sort_by_key(|(pid, _)| pid.0);
+    w.u64(preds.len() as u64);
+    for (pid, bm) in preds {
+        w.u64(pid.0);
+        write_bitmap(&mut w, bm);
+    }
+
+    w.into_bytes()
+}
+
+fn write_bitmap(w: &mut ByteWriter, bm: &Bitmap) {
+    w.u64(bm.len() as u64);
+    for &word in bm.words() {
+        w.u64(word);
+    }
+}
+
+fn read_bitmap(r: &mut ByteReader<'_>, budget: usize) -> Result<Bitmap, PersistError> {
+    let len = r.count(budget.saturating_mul(64))?;
+    let n_words = len.div_ceil(64);
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(r.u64()?);
+    }
+    Bitmap::from_words(words, len)
+        .ok_or_else(|| PersistError::Corrupt("state: bitmap word count mismatch".into()))
+}
+
+/// Deserializes the STATE frame. `n_features` comes from META so the memo
+/// grid width can be cross-checked against the feature table.
+pub(crate) fn decode_state(payload: &[u8], n_features: usize) -> Result<MatchState, PersistError> {
+    let budget = payload.len();
+    let mut r = ByteReader::new(payload, "state");
+    let n_pairs = r.count(budget)?;
+
+    // Memo grid. Its feature capacity may exceed the interned feature
+    // count (capacity grows geometrically), never the reverse.
+    let memo_pairs = r.count(budget)?;
+    let memo_features = r.count(budget)?;
+    let stored = r.count(budget)?;
+    if memo_pairs != n_pairs || memo_features < n_features {
+        return Err(PersistError::Corrupt(format!(
+            "state: memo is {memo_pairs}×{memo_features} for {n_pairs} pairs / {n_features} features"
+        )));
+    }
+    let cells = memo_pairs
+        .checked_mul(memo_features)
+        .filter(|&c| c <= budget / 8)
+        .ok_or_else(|| PersistError::Corrupt("state: implausible memo size".into()))?;
+    let mut values = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        values.push(r.f64()?);
+    }
+    let memo = DenseMemo::from_raw(memo_pairs, memo_features, values, stored)
+        .ok_or_else(|| PersistError::Corrupt("state: memo shape mismatch".into()))?;
+
+    // Verdicts.
+    let mut verdicts = Vec::with_capacity(n_pairs);
+    let mut word = 0u64;
+    for i in 0..n_pairs {
+        if i % 64 == 0 {
+            word = r.u64()?;
+        }
+        verdicts.push(word & (1 << (i % 64)) != 0);
+    }
+
+    // Fired-rule assignments.
+    let mut fired = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let raw = r.u32()?;
+        fired.push((raw != u32::MAX).then_some(RuleId(raw)));
+    }
+
+    // M(r).
+    let n_rules = r.count(budget)?;
+    let mut rule_fired = HashMap::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let rid = RuleId(r.u32()?);
+        let bm = read_bitmap(&mut r, budget)?;
+        if bm.len() != n_pairs {
+            return Err(PersistError::Corrupt(format!(
+                "state: M({rid}) covers {} of {n_pairs} pairs",
+                bm.len()
+            )));
+        }
+        rule_fired.insert(rid, bm);
+    }
+
+    // U(p).
+    let n_preds = r.count(budget)?;
+    let mut pred_false = HashMap::with_capacity(n_preds);
+    for _ in 0..n_preds {
+        let pid = PredId(r.u64()?);
+        let bm = read_bitmap(&mut r, budget)?;
+        if bm.len() != n_pairs {
+            return Err(PersistError::Corrupt(format!(
+                "state: U({pid}) covers {} of {n_pairs} pairs",
+                bm.len()
+            )));
+        }
+        pred_false.insert(pid, bm);
+    }
+
+    r.done()?;
+    Ok(MatchState::from_parts(
+        n_pairs, memo, verdicts, fired, rule_fired, pred_false,
+    ))
+}

@@ -1,0 +1,822 @@
+//! [`SessionStore`]: a [`DebugSession`] with a durable home directory.
+//!
+//! Every edit goes through a write-ahead discipline:
+//!
+//! 1. any newly interned features are journaled (`InternFeature`);
+//! 2. the edit itself is appended to the journal and fsynced;
+//! 3. only then does the in-memory delta apply.
+//!
+//! A crash therefore loses at most an edit the caller was never told
+//! succeeded. [`SessionStore::save`] compacts: it writes a fresh snapshot
+//! at the next epoch, starts an empty journal there, and prunes everything
+//! older than the previous generation — so recovery can fall back one full
+//! generation if the newest snapshot is corrupt.
+//!
+//! [`SessionStore::open`] recovers: it installs the newest valid snapshot
+//! *without re-running matching* — memo `H`, `M(r)`, `U(p)` come back as
+//! bytes — then replays the journal suffix through the session's own edit
+//! methods, i.e. through the incremental Algorithms 7–10. Replaying an
+//! edit re-mints the same rule/predicate ids the live session minted,
+//! because the snapshot carries the function's id counters and features
+//! re-intern in their original order.
+
+use super::frame::{atomic_write, read_file_opt};
+use super::journal::Journal;
+use super::snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot};
+use super::PersistError;
+use crate::engine::EvalStats;
+use crate::feature::{FeatureDef, FeatureRegistry};
+use crate::incremental::ChangeReport;
+use crate::ordering::OrderingAlgo;
+use crate::predicate::{PredId, Predicate};
+use crate::rule::{Rule, RuleId};
+use crate::session::{DebugSession, SessionError, SessionSnapshot};
+use crate::simplify::SimplifyReport;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-inject")]
+use crate::fault::{AppendFault, IoFaultPlan, SnapshotFault};
+#[cfg(feature = "fault-inject")]
+use std::sync::Arc;
+
+/// Journal records autosave tolerates before folding them into a fresh
+/// snapshot. Every record replays in delta time, so this bounds recovery
+/// work, not durability.
+const DEFAULT_AUTOSAVE_EVERY: usize = 64;
+
+/// One durable edit, as appended to the write-ahead journal (JSON, one
+/// checksummed frame per record).
+///
+/// Records carry *intents*, not outcomes: replaying them through the
+/// session's edit methods reproduces the outcomes — including id minting
+/// and deterministic failures — because the session is deterministic for a
+/// given starting state and config.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum JournalRecord {
+    /// A feature definition was interned (always journaled before any edit
+    /// that could reference it).
+    InternFeature {
+        /// The definition, by attribute ids.
+        def: FeatureDef,
+    },
+    /// `add_rule` — predicates in authoring order.
+    AddRule {
+        /// The unbound predicates.
+        preds: Vec<Predicate>,
+    },
+    /// `remove_rule`.
+    RemoveRule {
+        /// The rule removed.
+        rid: RuleId,
+    },
+    /// `add_predicate`.
+    AddPredicate {
+        /// The rule extended.
+        rid: RuleId,
+        /// The predicate appended.
+        pred: Predicate,
+    },
+    /// `remove_predicate`.
+    RemovePredicate {
+        /// The predicate removed.
+        pid: PredId,
+    },
+    /// `set_threshold`.
+    SetThreshold {
+        /// The predicate adjusted.
+        pid: PredId,
+        /// The new threshold.
+        threshold: f64,
+    },
+    /// `undo`.
+    Undo,
+    /// `resume` of a budget-parked edit.
+    Resume,
+    /// `run_full` — a from-scratch matching run.
+    RunFull,
+    /// `simplify` of the matching function.
+    Simplify,
+    /// `optimize` under an ordering algorithm (deterministic given the
+    /// session's seed and sample fraction).
+    Optimize {
+        /// The ordering algorithm applied.
+        algo: OrderingAlgo,
+    },
+    /// `restore` of a [`SessionSnapshot`] (the JSON rule-set export).
+    Restore {
+        /// The snapshot restored.
+        snapshot: SessionSnapshot,
+    },
+}
+
+/// What [`SessionStore::open`] did to get the session back.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot that was installed; `None` when no valid
+    /// snapshot existed and the session was rebuilt from journals alone.
+    pub snapshot_epoch: Option<u64>,
+    /// Newer snapshots that were skipped as corrupt before one loaded.
+    pub snapshots_skipped: usize,
+    /// Journal records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Replayed records that failed exactly as they failed live (a journal
+    /// records the attempt before its outcome is known).
+    pub records_failed: usize,
+    /// Present when a torn/corrupt journal tail was found and truncated;
+    /// describes what was dropped.
+    pub journal_truncated: Option<String>,
+    /// Wall-clock recovery time.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.snapshot_epoch {
+            Some(e) => write!(f, "recovered from snapshot epoch {e}")?,
+            None => write!(f, "recovered with no usable snapshot")?,
+        }
+        write!(
+            f,
+            " + {} journal record(s) in {:.1?}",
+            self.records_replayed, self.elapsed
+        )?;
+        if self.snapshots_skipped > 0 {
+            write!(
+                f,
+                "; skipped {} corrupt snapshot(s)",
+                self.snapshots_skipped
+            )?;
+        }
+        if let Some(t) = &self.journal_truncated {
+            write!(f, "; truncated journal tail ({t})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The on-disk half of a store: paths, the open journal, and bookkeeping.
+#[derive(Debug)]
+struct Backend {
+    dir: PathBuf,
+    journal: Journal,
+    /// Current generation: the epoch of the newest snapshot.
+    epoch: u64,
+    records_since_save: usize,
+    autosave_every: Option<usize>,
+    /// Features `[0, n)` of the registry are covered by the snapshot or
+    /// already journaled; anything beyond must be journaled before the
+    /// next edit record.
+    journaled_features: usize,
+    #[cfg(feature = "fault-inject")]
+    io_faults: Option<Arc<IoFaultPlan>>,
+}
+
+/// A debugging session bound to a durable store directory (or to nothing,
+/// for an ephemeral session behind the same API).
+pub struct SessionStore {
+    session: DebugSession,
+    backend: Option<Backend>,
+}
+
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snapshot-{epoch:016x}.bin"))
+}
+
+fn journal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("journal-{epoch:016x}.bin"))
+}
+
+/// Epochs present in `dir` for the given file kind, ascending. A missing
+/// directory is an empty store, not an error.
+fn list_epochs(dir: &Path, prefix: &str) -> Result<Vec<u64>, PersistError> {
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(PersistError::Io)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(hex) = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(".bin"))
+        {
+            if let Ok(epoch) = u64::from_str_radix(hex, 16) {
+                out.push(epoch);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// True when `dir` already holds store files.
+pub fn store_exists(dir: &Path) -> Result<bool, PersistError> {
+    Ok(!list_epochs(dir, "snapshot-")?.is_empty() || !list_epochs(dir, "journal-")?.is_empty())
+}
+
+impl SessionStore {
+    // ---- constructors -----------------------------------------------------
+
+    /// Wraps a session with no durable home: every wrapper is a plain
+    /// pass-through, so callers can hold a `SessionStore` unconditionally.
+    pub fn ephemeral(session: DebugSession) -> Self {
+        SessionStore {
+            session,
+            backend: None,
+        }
+    }
+
+    /// Creates a new store at `dir` (made if missing, which must not
+    /// already hold one), snapshotting the session's current state as
+    /// epoch 0.
+    pub fn create(dir: &Path, session: DebugSession) -> Result<Self, PersistError> {
+        std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        if store_exists(dir)? {
+            return Err(PersistError::InvalidState(format!(
+                "{} already holds a session store; open it instead",
+                dir.display()
+            )));
+        }
+        let bytes = encode_snapshot(&session, 0)?;
+        atomic_write(&snapshot_path(dir, 0), &bytes)?;
+        let journal = Journal::create(&journal_path(dir, 0), 0)?;
+        let journaled_features = session.context().registry().len();
+        Ok(SessionStore {
+            session,
+            backend: Some(Backend {
+                dir: dir.to_path_buf(),
+                journal,
+                epoch: 0,
+                records_since_save: 0,
+                autosave_every: Some(DEFAULT_AUTOSAVE_EVERY),
+                journaled_features,
+                #[cfg(feature = "fault-inject")]
+                io_faults: None,
+            }),
+        })
+    }
+
+    /// Recovers the store at `dir` into `session`, which must be *fresh*
+    /// (no rules, features, or history) and built over the same candidate
+    /// set the store was created with.
+    ///
+    /// Recovery installs the newest valid snapshot wholesale — falling
+    /// back a generation when the newest is corrupt — and replays the
+    /// journal suffix through the incremental engine. The journal is
+    /// truncated at the first torn or corrupt frame.
+    pub fn open(dir: &Path, session: DebugSession) -> Result<(Self, RecoveryReport), PersistError> {
+        let t0 = Instant::now();
+        if !session.function().is_empty()
+            || !session.history().is_empty()
+            || !session.context().registry().is_empty()
+        {
+            return Err(PersistError::InvalidState(
+                "a store must be opened with a fresh session (no rules, features, or history)"
+                    .into(),
+            ));
+        }
+        let snapshots = list_epochs(dir, "snapshot-")?;
+        let journals = list_epochs(dir, "journal-")?;
+        if snapshots.is_empty() && journals.is_empty() {
+            return Err(PersistError::InvalidState(format!(
+                "no session store in {}",
+                dir.display()
+            )));
+        }
+
+        let mut session = session;
+        let mut snapshot_epoch = None;
+        let mut snapshots_skipped = 0usize;
+        for &epoch in snapshots.iter().rev() {
+            let Some(bytes) = read_file_opt(&snapshot_path(dir, epoch))? else {
+                continue;
+            };
+            match decode_snapshot(&bytes) {
+                Ok(dec) if dec.epoch == epoch => {
+                    install_snapshot(&mut session, dec)?;
+                    snapshot_epoch = Some(epoch);
+                    break;
+                }
+                // A wrong embedded epoch means the file was renamed or
+                // spliced; treat it like any other corruption and fall
+                // back a generation.
+                Ok(_) => snapshots_skipped += 1,
+                Err(PersistError::Io(e)) => return Err(PersistError::Io(e)),
+                Err(_) => snapshots_skipped += 1,
+            }
+        }
+
+        // Replay the journal suffix. The session's deadline is lifted for
+        // the duration: replay must terminate even under a budget that
+        // would park every edit.
+        let saved_deadline = session.config().deadline;
+        session.set_deadline(None);
+        let mut records_replayed = 0usize;
+        let mut records_failed = 0usize;
+        let mut journal_truncated = None;
+        let mut last_journal: Option<Journal> = None;
+        let relevant: Vec<u64> = journals
+            .iter()
+            .copied()
+            .filter(|&e| snapshot_epoch.is_none_or(|s| e >= s))
+            .collect();
+        for (i, &epoch) in relevant.iter().enumerate() {
+            let scan = Journal::open_existing(&journal_path(dir, epoch))?;
+            for payload in &scan.payloads {
+                let record = decode_record(payload)?;
+                if apply_record(&mut session, &record).is_err() {
+                    records_failed += 1;
+                }
+                settle(&mut session)?;
+                records_replayed += 1;
+            }
+            let truncated_here = scan.truncated.is_some();
+            if let Some(t) = scan.truncated {
+                journal_truncated = Some(t);
+            }
+            last_journal = Some(scan.journal);
+            if truncated_here {
+                // Records after a torn frame — including whole later
+                // journals — describe a history that can no longer be
+                // reached; drop them so the next open is clean.
+                for &later in &relevant[i + 1..] {
+                    let _ = std::fs::remove_file(journal_path(dir, later));
+                }
+                break;
+            }
+        }
+        session.set_deadline(saved_deadline);
+
+        let base = snapshot_epoch.unwrap_or(0);
+        let (journal, epoch) = match last_journal {
+            Some(j) => {
+                let e = j.epoch().max(base);
+                (j, e)
+            }
+            None => (Journal::create(&journal_path(dir, base), base)?, base),
+        };
+        let journaled_features = session.context().registry().len();
+        let store = SessionStore {
+            session,
+            backend: Some(Backend {
+                dir: dir.to_path_buf(),
+                journal,
+                epoch,
+                records_since_save: 0,
+                autosave_every: Some(DEFAULT_AUTOSAVE_EVERY),
+                journaled_features,
+                #[cfg(feature = "fault-inject")]
+                io_faults: None,
+            }),
+        };
+        let report = RecoveryReport {
+            snapshot_epoch,
+            snapshots_skipped,
+            records_replayed,
+            records_failed,
+            journal_truncated,
+            elapsed: t0.elapsed(),
+        };
+        Ok((store, report))
+    }
+
+    /// Opens the store at `dir` if one exists, creating it otherwise.
+    pub fn attach(
+        dir: &Path,
+        session: DebugSession,
+    ) -> Result<(Self, Option<RecoveryReport>), PersistError> {
+        if store_exists(dir)? {
+            let (store, report) = Self::open(dir, session)?;
+            Ok((store, Some(report)))
+        } else {
+            Ok((Self::create(dir, session)?, None))
+        }
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    /// The wrapped session (read-only view).
+    pub fn session(&self) -> &DebugSession {
+        &self.session
+    }
+
+    /// Mutable access for *non-edit* operations (deadline changes,
+    /// near-miss queries, fault plans). Edits made directly here bypass
+    /// the journal and will not survive a crash — use the wrappers.
+    pub fn session_mut(&mut self) -> &mut DebugSession {
+        &mut self.session
+    }
+
+    /// Unwraps the session, abandoning the store handle (files remain).
+    pub fn into_session(self) -> DebugSession {
+        self.session
+    }
+
+    /// The store directory, if this store is durable.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.backend.as_ref().map(|b| b.dir.as_path())
+    }
+
+    /// Current snapshot generation, if durable.
+    pub fn epoch(&self) -> Option<u64> {
+        self.backend.as_ref().map(|b| b.epoch)
+    }
+
+    /// Journal records appended since the last snapshot.
+    pub fn records_since_save(&self) -> usize {
+        self.backend.as_ref().map_or(0, |b| b.records_since_save)
+    }
+
+    /// Sets (or disables) autosave: after `n` journal records, the next
+    /// edit folds them into a fresh snapshot.
+    pub fn set_autosave_every(&mut self, n: Option<usize>) {
+        if let Some(b) = &mut self.backend {
+            b.autosave_every = n;
+        }
+    }
+
+    /// Arms one-shot I/O faults (journal tear, crash-after-append,
+    /// snapshot bit-flip / short write) on this store.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_io_faults(&mut self, plan: Arc<IoFaultPlan>) {
+        if let Some(b) = &mut self.backend {
+            b.io_faults = Some(plan);
+        }
+    }
+
+    // ---- compaction -------------------------------------------------------
+
+    /// Folds the journal into a fresh snapshot at the next epoch and
+    /// prunes everything older than the previous generation. Returns the
+    /// new epoch.
+    pub fn save(&mut self) -> Result<u64, PersistError> {
+        let Some(b) = self.backend.as_mut() else {
+            return Err(PersistError::InvalidState(
+                "session has no store attached (run with --store <dir>)".into(),
+            ));
+        };
+        let new_epoch = b.epoch + 1;
+        #[allow(unused_mut)]
+        let mut bytes = encode_snapshot(&self.session, new_epoch)?;
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &b.io_faults {
+            match plan.on_snapshot_write() {
+                SnapshotFault::None => {}
+                SnapshotFault::FlipByte(offset) => {
+                    // Silent media corruption: the write itself succeeds.
+                    if let Some(byte) = bytes.get_mut(offset) {
+                        *byte ^= 0x01;
+                    }
+                }
+                SnapshotFault::ShortWrite(keep) => {
+                    let tmp = snapshot_path(&b.dir, new_epoch).with_extension("tmp");
+                    let keep = keep.min(bytes.len());
+                    std::fs::write(&tmp, &bytes[..keep]).map_err(PersistError::Io)?;
+                    return Err(PersistError::InjectedFault(
+                        "short write of snapshot temp file",
+                    ));
+                }
+            }
+        }
+        atomic_write(&snapshot_path(&b.dir, new_epoch), &bytes)?;
+        b.journal = Journal::create(&journal_path(&b.dir, new_epoch), new_epoch)?;
+        let prune_below = b.epoch;
+        b.epoch = new_epoch;
+        b.records_since_save = 0;
+        b.journaled_features = self.session.context().registry().len();
+        // Keep two generations: the new snapshot and its predecessor (with
+        // that predecessor's journal), so one corrupt file never strands
+        // the session.
+        for epoch in list_epochs(&b.dir, "snapshot-")? {
+            if epoch < prune_below {
+                let _ = std::fs::remove_file(snapshot_path(&b.dir, epoch));
+            }
+        }
+        for epoch in list_epochs(&b.dir, "journal-")? {
+            if epoch < prune_below {
+                let _ = std::fs::remove_file(journal_path(&b.dir, epoch));
+            }
+        }
+        Ok(new_epoch)
+    }
+
+    // ---- write-ahead edit wrappers ----------------------------------------
+
+    /// Journals any features interned since the last record, then the
+    /// record itself — fsynced — before the caller applies the edit.
+    fn pre_edit(&mut self, record: &JournalRecord) -> Result<(), SessionError> {
+        if let Some(b) = self.backend.as_mut() {
+            b.sync_features(self.session.context().registry())
+                .map_err(SessionError::Persist)?;
+            b.append_record(record).map_err(SessionError::Persist)?;
+        }
+        Ok(())
+    }
+
+    /// Autosave check, run after an edit applied.
+    fn post_edit(&mut self) -> Result<(), SessionError> {
+        let due = self
+            .backend
+            .as_ref()
+            .is_some_and(|b| b.autosave_every.is_some_and(|n| b.records_since_save >= n));
+        if due {
+            self.save().map_err(SessionError::Persist)?;
+        }
+        Ok(())
+    }
+
+    /// `DebugSession::add_rule`, write-ahead journaled.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(RuleId, ChangeReport), SessionError> {
+        self.pre_edit(&JournalRecord::AddRule {
+            preds: rule.predicates().to_vec(),
+        })?;
+        let out = self.session.add_rule(rule).map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::add_rule_text`, write-ahead journaled.
+    pub fn add_rule_text(&mut self, text: &str) -> Result<(RuleId, ChangeReport), SessionError> {
+        let rule = self.session.parse_rule_text(text)?;
+        self.add_rule(rule)
+    }
+
+    /// `DebugSession::parse_predicate` (interns features; the interning is
+    /// journaled with the next edit).
+    pub fn parse_predicate(&mut self, text: &str) -> Result<Predicate, SessionError> {
+        self.session.parse_predicate(text)
+    }
+
+    /// `DebugSession::remove_rule`, write-ahead journaled.
+    pub fn remove_rule(&mut self, rid: RuleId) -> Result<ChangeReport, SessionError> {
+        self.pre_edit(&JournalRecord::RemoveRule { rid })?;
+        let out = self.session.remove_rule(rid).map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::add_predicate`, write-ahead journaled.
+    pub fn add_predicate(
+        &mut self,
+        rid: RuleId,
+        pred: Predicate,
+    ) -> Result<(PredId, ChangeReport), SessionError> {
+        self.pre_edit(&JournalRecord::AddPredicate { rid, pred })?;
+        let out = self
+            .session
+            .add_predicate(rid, pred)
+            .map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::remove_predicate`, write-ahead journaled.
+    pub fn remove_predicate(&mut self, pid: PredId) -> Result<ChangeReport, SessionError> {
+        self.pre_edit(&JournalRecord::RemovePredicate { pid })?;
+        let out = self
+            .session
+            .remove_predicate(pid)
+            .map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::set_threshold`, write-ahead journaled.
+    pub fn set_threshold(
+        &mut self,
+        pid: PredId,
+        threshold: f64,
+    ) -> Result<ChangeReport, SessionError> {
+        self.pre_edit(&JournalRecord::SetThreshold { pid, threshold })?;
+        let out = self
+            .session
+            .set_threshold(pid, threshold)
+            .map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::undo`, write-ahead journaled.
+    pub fn undo(&mut self) -> Result<Option<ChangeReport>, SessionError> {
+        self.pre_edit(&JournalRecord::Undo)?;
+        let out = self.session.undo().map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::resume`, write-ahead journaled.
+    pub fn resume(&mut self) -> Result<Option<ChangeReport>, SessionError> {
+        self.pre_edit(&JournalRecord::Resume)?;
+        let out = self.session.resume().map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::run_full`, write-ahead journaled.
+    pub fn run_full(&mut self) -> Result<EvalStats, SessionError> {
+        self.pre_edit(&JournalRecord::RunFull)?;
+        let out = self.session.run_full();
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::simplify`, write-ahead journaled.
+    pub fn simplify(&mut self) -> Result<SimplifyReport, SessionError> {
+        self.pre_edit(&JournalRecord::Simplify)?;
+        let out = self.session.simplify().map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::optimize`, write-ahead journaled.
+    pub fn optimize(&mut self, algo: OrderingAlgo) -> Result<EvalStats, SessionError> {
+        self.pre_edit(&JournalRecord::Optimize { algo })?;
+        let out = self.session.optimize(algo).map_err(SessionError::Edit)?;
+        self.post_edit()?;
+        Ok(out)
+    }
+
+    /// `DebugSession::restore`, write-ahead journaled; on success the
+    /// journal is immediately compacted into a snapshot (a restore
+    /// replaces the whole rule set, so the old journal is dead weight).
+    pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<EvalStats, SessionError> {
+        self.pre_edit(&JournalRecord::Restore {
+            snapshot: snapshot.clone(),
+        })?;
+        let out = self.session.restore(snapshot)?;
+        if self.backend.is_some() {
+            self.save().map_err(SessionError::Persist)?;
+        }
+        Ok(out)
+    }
+}
+
+impl Backend {
+    /// Journals `InternFeature` records for registry entries not yet
+    /// covered by the snapshot or journal.
+    fn sync_features(&mut self, registry: &FeatureRegistry) -> Result<(), PersistError> {
+        let defs: Vec<FeatureDef> = registry
+            .iter()
+            .skip(self.journaled_features)
+            .map(|(_, def)| *def)
+            .collect();
+        for def in defs {
+            self.append_record(&JournalRecord::InternFeature { def })?;
+            self.journaled_features += 1;
+        }
+        Ok(())
+    }
+
+    /// Encodes, appends, and fsyncs one record — consulting the I/O fault
+    /// plan first, so tests can tear exactly this write or crash right
+    /// after it.
+    fn append_record(&mut self, record: &JournalRecord) -> Result<(), PersistError> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| PersistError::Codec(format!("journal record: {e}")))?;
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.io_faults {
+            match plan.on_append() {
+                AppendFault::None => {}
+                AppendFault::Torn { keep } => {
+                    let frame = super::frame::encode_frame(json.as_bytes());
+                    let keep = keep.min(frame.len());
+                    self.journal.write_raw(&frame[..keep])?;
+                    return Err(PersistError::InjectedFault("torn journal append"));
+                }
+                AppendFault::CrashAfterAppend => {
+                    self.journal.append(json.as_bytes())?;
+                    return Err(PersistError::InjectedFault(
+                        "crash between journal append and delta apply",
+                    ));
+                }
+            }
+        }
+        self.journal.append(json.as_bytes())?;
+        self.records_since_save += 1;
+        Ok(())
+    }
+}
+
+// ---- recovery helpers -----------------------------------------------------
+
+fn decode_record(payload: &[u8]) -> Result<JournalRecord, PersistError> {
+    let s = std::str::from_utf8(payload)
+        .map_err(|_| PersistError::Corrupt("journal record: not UTF-8".into()))?;
+    serde_json::from_str(s).map_err(|e| PersistError::Codec(format!("journal record: {e}")))
+}
+
+/// Installs a decoded snapshot into a fresh session: features re-intern in
+/// their original order (reproducing the same dense ids), then function,
+/// state, history, undo stack, and quarantine land wholesale — no
+/// matching re-run.
+fn install_snapshot(session: &mut DebugSession, dec: DecodedSnapshot) -> Result<(), PersistError> {
+    if dec.state.n_pairs() != session.candidates().len() {
+        return Err(PersistError::InvalidState(format!(
+            "store covers {} candidate pairs; this session has {}",
+            dec.state.n_pairs(),
+            session.candidates().len()
+        )));
+    }
+    for def in &dec.features {
+        check_feature(session, def)?;
+        session.intern_def(*def);
+    }
+    session.set_restored(
+        dec.function,
+        dec.state,
+        dec.history,
+        dec.undo,
+        dec.quarantined,
+    );
+    Ok(())
+}
+
+/// Rejects a feature definition whose attributes fall outside this
+/// session's schemas before it can reach the interner.
+fn check_feature(session: &DebugSession, def: &FeatureDef) -> Result<(), PersistError> {
+    let ctx = session.context();
+    if def.attr_a.index() >= ctx.table_a().schema().len()
+        || def.attr_b.index() >= ctx.table_b().schema().len()
+    {
+        return Err(PersistError::InvalidState(
+            "store references attributes outside this session's schemas".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Replays one journal record through the session's own edit methods —
+/// the incremental Algorithms 7–10 — so recovery costs delta time, not a
+/// full re-run. An `Err` is an edit that failed during replay; since the
+/// record was journaled *before* its live outcome, a deterministic
+/// failure replays as the same failure and is not an inconsistency.
+fn apply_record(session: &mut DebugSession, record: &JournalRecord) -> Result<(), String> {
+    match record {
+        JournalRecord::InternFeature { def } => {
+            check_feature(session, def).map_err(|e| e.to_string())?;
+            session.intern_def(*def);
+            Ok(())
+        }
+        JournalRecord::AddRule { preds } => session
+            .add_rule(Rule::with(preds.iter().copied()))
+            .map(drop)
+            .map_err(|e| e.to_string()),
+        JournalRecord::RemoveRule { rid } => session
+            .remove_rule(*rid)
+            .map(drop)
+            .map_err(|e| e.to_string()),
+        JournalRecord::AddPredicate { rid, pred } => session
+            .add_predicate(*rid, *pred)
+            .map(drop)
+            .map_err(|e| e.to_string()),
+        JournalRecord::RemovePredicate { pid } => session
+            .remove_predicate(*pid)
+            .map(drop)
+            .map_err(|e| e.to_string()),
+        JournalRecord::SetThreshold { pid, threshold } => session
+            .set_threshold(*pid, *threshold)
+            .map(drop)
+            .map_err(|e| e.to_string()),
+        JournalRecord::Undo => session.undo().map(drop).map_err(|e| e.to_string()),
+        JournalRecord::Resume => session.resume().map(drop).map_err(|e| e.to_string()),
+        JournalRecord::RunFull => {
+            session.run_full();
+            Ok(())
+        }
+        JournalRecord::Simplify => session.simplify().map(drop).map_err(|e| e.to_string()),
+        JournalRecord::Optimize { algo } => {
+            session.optimize(*algo).map(drop).map_err(|e| e.to_string())
+        }
+        JournalRecord::Restore { snapshot } => session
+            .restore(snapshot)
+            .map(drop)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Drives any budget-parked remainder to completion so the next record
+/// replays over settled state. The deadline is lifted during replay, so
+/// each pass completes; the loop guards against a pathological plan all
+/// the same.
+fn settle(session: &mut DebugSession) -> Result<(), PersistError> {
+    let mut last_remaining = usize::MAX;
+    while let Some(pending) = session.pending_resume() {
+        let remaining = pending.remaining().len();
+        if remaining >= last_remaining {
+            return Err(PersistError::Replay(
+                "replay made no progress resuming a parked edit".into(),
+            ));
+        }
+        last_remaining = remaining;
+        session
+            .resume()
+            .map_err(|e| PersistError::Replay(format!("resuming a parked edit: {e}")))?;
+    }
+    Ok(())
+}

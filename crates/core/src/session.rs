@@ -79,8 +79,11 @@ pub struct EditRecord {
 /// Re-adding a removed rule or predicate necessarily mints a *new* stable
 /// id; older undo entries referencing the removed id are remapped when
 /// that happens, preserving referential integrity of the whole stack.
-#[derive(Debug, Clone)]
-enum UndoOp {
+///
+/// Serializable so the durable session store can snapshot the undo stack:
+/// a recovered session can still undo edits made before the crash.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) enum UndoOp {
     /// Inverse of "add rule".
     RemoveRule(RuleId),
     /// Inverse of "remove rule": re-insert the predicates at the old
@@ -313,9 +316,18 @@ impl DebugSession {
 
     /// Parses a rule from text (see [`crate::parse`]) and adds it.
     pub fn add_rule_text(&mut self, text: &str) -> Result<(RuleId, ChangeReport), SessionError> {
+        let rule = self.parse_rule_text(text)?;
+        self.add_rule(rule).map_err(SessionError::Edit)
+    }
+
+    /// Parses a rule written in the rule language *without* applying it,
+    /// interning any new features it references (and growing the memo).
+    /// The durable store uses this split so it can journal the parsed edit
+    /// before the in-memory delta is applied.
+    pub fn parse_rule_text(&mut self, text: &str) -> Result<Rule, SessionError> {
         let rule = parse::parse_rule(text, &mut self.ctx).map_err(SessionError::Parse)?;
         self.state.memo.ensure_features(self.ctx.registry().len());
-        self.add_rule(rule).map_err(SessionError::Edit)
+        Ok(rule)
     }
 
     /// Parses a single predicate written in the rule language (e.g.
@@ -857,6 +869,44 @@ impl DebugSession {
             elapsed: report.elapsed,
         });
     }
+
+    // ---- durable-store hooks (crate::persist) -----------------------------
+
+    /// Interns a feature definition by its attribute ids, growing the memo.
+    /// Idempotent: re-interning an existing definition returns its id.
+    pub(crate) fn intern_def(&mut self, def: crate::feature::FeatureDef) -> FeatureId {
+        let id = self.ctx.feature_by_ids(def.measure, def.attr_a, def.attr_b);
+        self.state.memo.ensure_features(self.ctx.registry().len());
+        id
+    }
+
+    /// The undo stack, oldest first, for snapshotting.
+    pub(crate) fn undo_ops(&self) -> &[UndoOp] {
+        &self.undo_stack
+    }
+
+    /// Installs recovered state wholesale — function, materialization,
+    /// history, undo stack, and quarantine — without re-running matching.
+    /// The persist layer guarantees the parts are mutually consistent (they
+    /// were captured together) and sized for this session's candidates.
+    pub(crate) fn set_restored(
+        &mut self,
+        func: MatchingFunction,
+        state: MatchState,
+        history: Vec<EditRecord>,
+        undo_stack: Vec<UndoOp>,
+        quarantined: Vec<usize>,
+    ) {
+        self.func = func;
+        self.state = state;
+        self.state.memo.ensure_features(self.ctx.registry().len());
+        self.history = history;
+        self.undo_stack = undo_stack;
+        self.quarantined = quarantined;
+        self.quarantined.sort_unstable();
+        self.quarantined.dedup();
+        self.pending = None;
+    }
 }
 
 /// A serializable snapshot of a session's matching function, including the
@@ -865,15 +915,21 @@ impl DebugSession {
 /// compatible) tables.
 ///
 /// The memo and bitmaps are deliberately *not* serialized: they are caches,
-/// rebuilt by one matching run after [`DebugSession::restore`].
+/// rebuilt by one matching run after [`DebugSession::restore`]. (The binary
+/// store in [`crate::persist`] is the durable counterpart that *does*
+/// carry them.) Quarantined pairs are carried: a restored session must not
+/// silently forget which pairs were poisoned.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SessionSnapshot {
     function: MatchingFunction,
     features: Vec<(crate::feature::FeatureId, crate::feature::FeatureDef)>,
+    /// Pair indices quarantined by panic isolation at capture time.
+    quarantined: Vec<usize>,
 }
 
 impl DebugSession {
-    /// Captures the current matching function and its feature definitions.
+    /// Captures the current matching function, its feature definitions,
+    /// and the quarantined-pair set.
     pub fn snapshot(&self) -> SessionSnapshot {
         SessionSnapshot {
             function: self.func.clone(),
@@ -883,6 +939,7 @@ impl DebugSession {
                 .iter()
                 .map(|(id, def)| (id, *def))
                 .collect(),
+            quarantined: self.quarantined.clone(),
         }
     }
 
@@ -891,8 +948,11 @@ impl DebugSession {
     /// snapshots survive sessions whose contexts interned features in a
     /// different order) and re-running matching.
     ///
-    /// Fails when a snapshot feature references an attribute that does not
-    /// exist in this session's schemas.
+    /// Fails with [`SessionError::Edit`] (`PendingResume`) while a partial
+    /// edit is parked — restoring over half-updated state would silently
+    /// discard the pending work — and with [`SessionError::Parse`] when a
+    /// snapshot feature references an attribute that does not exist in this
+    /// session's schemas.
     pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<EvalStats, SessionError> {
         self.ensure_idle().map_err(SessionError::Edit)?;
         // Validate + remap features.
@@ -935,6 +995,17 @@ impl DebugSession {
         self.func = func;
         self.undo_stack.clear();
         let stats = self.run_full();
+        // Carry the snapshot's quarantine forward: run_full rebuilds the
+        // list from what *this* run observed, but pairs poisoned at capture
+        // time stay suspect (their verdicts may rest on stale evaluations).
+        self.merge_quarantine(
+            &snapshot
+                .quarantined
+                .iter()
+                .copied()
+                .filter(|&i| i < self.cands.len())
+                .collect::<Vec<_>>(),
+        );
         self.history.push(EditRecord {
             description: format!("restore snapshot ({} rules)", self.func.n_rules()),
             n_changed: 0,
@@ -953,6 +1024,8 @@ pub enum SessionError {
     Parse(ParseError),
     /// The edit was structurally invalid.
     Edit(EditError),
+    /// The durable session store failed (I/O, corruption, or replay).
+    Persist(crate::persist::PersistError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -960,6 +1033,7 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::Parse(e) => write!(f, "parse error: {e}"),
             SessionError::Edit(e) => write!(f, "edit error: {e}"),
+            SessionError::Persist(e) => write!(f, "store error: {e}"),
         }
     }
 }

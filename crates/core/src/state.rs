@@ -169,6 +169,44 @@ impl MatchState {
         self.pred_false.remove(&p);
     }
 
+    /// The per-rule fired map, for stable serialization.
+    pub(crate) fn rule_fired_map(&self) -> &HashMap<RuleId, Bitmap> {
+        &self.rule_fired
+    }
+
+    /// The per-predicate false map, for stable serialization.
+    pub(crate) fn pred_false_map(&self) -> &HashMap<PredId, Bitmap> {
+        &self.pred_false
+    }
+
+    /// The fired-rule-per-pair vector, for stable serialization.
+    pub(crate) fn fired_slice(&self) -> &[Option<RuleId>] {
+        &self.fired
+    }
+
+    /// Reassembles a state from deserialized parts. The caller (the
+    /// persist layer) has already validated that all vectors cover
+    /// `n_pairs` and that the memo grid is consistent.
+    pub(crate) fn from_parts(
+        n_pairs: usize,
+        memo: DenseMemo,
+        verdicts: Vec<bool>,
+        fired: Vec<Option<RuleId>>,
+        rule_fired: HashMap<RuleId, Bitmap>,
+        pred_false: HashMap<PredId, Bitmap>,
+    ) -> Self {
+        debug_assert_eq!(verdicts.len(), n_pairs);
+        debug_assert_eq!(fired.len(), n_pairs);
+        MatchState {
+            n_pairs,
+            memo,
+            verdicts,
+            fired,
+            rule_fired,
+            pred_false,
+        }
+    }
+
     /// Clears verdicts and bitmaps but *keeps the memo* — used when the
     /// matching function is re-run from scratch within the same session
     /// (e.g. after a rule reordering), where feature values remain valid.

@@ -1,0 +1,184 @@
+//! I/O fault injection for the durable session store (runs only with
+//! `--features fault-inject`): torn journal appends, crashes between
+//! append and apply, silent snapshot bit flips, and short snapshot
+//! writes — after every injected fault, reopening the store must yield a
+//! consistent session that lost at most the one unacknowledged edit.
+
+#![cfg(feature = "fault-inject")]
+
+use em_core::{DebugSession, IoFaultPlan, PersistError, SessionConfig, SessionError, SessionStore};
+use em_types::{CandidateSet, Record, Schema, Table};
+use std::sync::Arc;
+
+// Rule texts that reuse one feature, so arming a fault before an edit
+// targets the edit's own record (not a preceding InternFeature record).
+const RULE_A: &str = "jaccard_ws(name, name) >= 0.6";
+const RULE_B: &str = "jaccard_ws(name, name) >= 0.95";
+const RULE_C: &str = "jaccard_ws(name, name) >= 0.3";
+
+fn session(n: usize) -> DebugSession {
+    let schema = Schema::new(["name"]);
+    let mut a = Table::new("A", schema.clone());
+    let mut b = Table::new("B", schema);
+    for i in 0..n {
+        a.push(Record::new(format!("a{i}"), [format!("widget number {i}")]));
+        b.push(Record::new(format!("b{i}"), [format!("widget number {i}")]));
+    }
+    let cands = CandidateSet::cartesian(&a, &b);
+    DebugSession::new(a, b, cands, SessionConfig::default())
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rulem_io_fault_tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_injected(err: SessionError) {
+    match err {
+        SessionError::Persist(PersistError::InjectedFault(_)) => {}
+        other => panic!("expected injected fault, got {other}"),
+    }
+}
+
+/// A torn append (crash mid-write of the frame) loses the edit that was
+/// being journaled — and nothing else. The truncated tail is reported
+/// and removed on reopen.
+#[test]
+fn torn_append_loses_only_the_unacked_edit() {
+    let dir = tmp_dir("torn-append");
+    let mut store = SessionStore::create(&dir, session(8)).unwrap();
+    store.add_rule_text(RULE_A).unwrap();
+
+    let plan = Arc::new(IoFaultPlan::new().with_torn_append(0, 5));
+    store.inject_io_faults(plan.clone());
+    assert_injected(store.add_rule_text(RULE_B).unwrap_err());
+    assert_eq!(plan.faults_fired(), 1);
+    // The write-ahead discipline aborted before the in-memory apply.
+    assert_eq!(store.session().function().n_rules(), 1);
+    drop(store);
+
+    let (recovered, report) = SessionStore::open(&dir, session(8)).unwrap();
+    assert!(report.journal_truncated.is_some(), "{report}");
+    assert_eq!(recovered.session().function().n_rules(), 1);
+
+    let mut reference = session(8);
+    reference.add_rule_text(RULE_A).unwrap();
+    assert_eq!(
+        recovered.session().state().verdicts(),
+        reference.state().verdicts()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash after the journal append but before the in-memory apply: the
+/// live process never saw the edit, but recovery replays it — the
+/// journal is the source of truth once the append is durable.
+#[test]
+fn crash_after_append_recovers_the_edit() {
+    let dir = tmp_dir("crash-after-append");
+    let mut store = SessionStore::create(&dir, session(8)).unwrap();
+    store.add_rule_text(RULE_A).unwrap();
+
+    let plan = Arc::new(IoFaultPlan::new().with_crash_after_append(0));
+    store.inject_io_faults(plan.clone());
+    assert_injected(store.add_rule_text(RULE_B).unwrap_err());
+    assert_eq!(plan.faults_fired(), 1);
+    assert_eq!(store.session().function().n_rules(), 1, "not applied live");
+    drop(store);
+
+    let (recovered, report) = SessionStore::open(&dir, session(8)).unwrap();
+    assert!(report.journal_truncated.is_none(), "{report}");
+    assert_eq!(
+        recovered.session().function().n_rules(),
+        2,
+        "the durably journaled edit must be recovered"
+    );
+
+    let mut reference = session(8);
+    reference.add_rule_text(RULE_A).unwrap();
+    reference.add_rule_text(RULE_B).unwrap();
+    assert_eq!(
+        recovered.session().state().verdicts(),
+        reference.state().verdicts()
+    );
+    assert_eq!(
+        recovered.session().function_text(),
+        reference.function_text()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A silent bit flip in a snapshot write succeeds on disk but fails its
+/// CRC on open: recovery skips the corrupt generation and falls back to
+/// the previous snapshot, replaying both journal generations forward.
+#[test]
+fn snapshot_bit_flip_falls_back_one_generation() {
+    let dir = tmp_dir("snapshot-flip");
+    let mut store = SessionStore::create(&dir, session(8)).unwrap();
+    store.add_rule_text(RULE_A).unwrap();
+    assert_eq!(store.save().unwrap(), 1);
+    store.add_rule_text(RULE_B).unwrap();
+
+    let plan = Arc::new(IoFaultPlan::new().with_snapshot_bit_flip(100));
+    store.inject_io_faults(plan.clone());
+    assert_eq!(store.save().unwrap(), 2, "the corrupt write looks fine");
+    assert_eq!(plan.faults_fired(), 1);
+    store.add_rule_text(RULE_C).unwrap();
+    drop(store);
+
+    let (recovered, report) = SessionStore::open(&dir, session(8)).unwrap();
+    assert_eq!(report.snapshots_skipped, 1, "{report}");
+    assert_eq!(report.snapshot_epoch, Some(1), "fell back a generation");
+    assert_eq!(recovered.session().function().n_rules(), 3);
+
+    let mut reference = session(8);
+    for text in [RULE_A, RULE_B, RULE_C] {
+        reference.add_rule_text(text).unwrap();
+    }
+    assert_eq!(
+        recovered.session().state().verdicts(),
+        reference.state().verdicts()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash partway through writing the snapshot temp file: the rename
+/// never happens, so the previous snapshot generation stays intact and
+/// the journal still carries every edit.
+#[test]
+fn short_snapshot_write_keeps_the_old_generation() {
+    let dir = tmp_dir("short-snapshot");
+    let mut store = SessionStore::create(&dir, session(8)).unwrap();
+    store.add_rule_text(RULE_A).unwrap();
+    assert_eq!(store.save().unwrap(), 1);
+    store.add_rule_text(RULE_B).unwrap();
+
+    let plan = Arc::new(IoFaultPlan::new().with_short_snapshot_write(64));
+    store.inject_io_faults(plan.clone());
+    match store.save() {
+        Err(PersistError::InjectedFault(_)) => {}
+        other => panic!("expected injected fault, got {other:?}"),
+    }
+    assert_eq!(plan.faults_fired(), 1);
+    drop(store);
+
+    // Only the temp file of epoch 2 exists; the real snapshot was never
+    // renamed into place.
+    assert!(!dir.join("snapshot-0000000000000002.bin").exists());
+
+    let (recovered, report) = SessionStore::open(&dir, session(8)).unwrap();
+    assert_eq!(report.snapshot_epoch, Some(1), "{report}");
+    assert_eq!(recovered.session().function().n_rules(), 2);
+
+    let mut reference = session(8);
+    reference.add_rule_text(RULE_A).unwrap();
+    reference.add_rule_text(RULE_B).unwrap();
+    assert_eq!(
+        recovered.session().state().verdicts(),
+        reference.state().verdicts()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

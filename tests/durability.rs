@@ -1,0 +1,433 @@
+//! Crash-recovery equivalence: a session recovered from its durable store
+//! (latest snapshot + write-ahead journal replay) must converge to the
+//! same verdicts, fired rules, `M(r)`/`U(p)` bitmaps, history, and
+//! quarantine as the uninterrupted live session — at 1, 2, and 4 worker
+//! threads — plus golden tests for torn journals, bit-flipped frames, and
+//! stores that lost their snapshots.
+
+use proptest::prelude::*;
+use rulem::blocking::Blocker;
+use rulem::core::{store_exists, DebugSession, OrderingAlgo, SessionConfig, SessionStore};
+use rulem::datagen::Domain;
+
+/// A small demo workload: two product tables blocked on title overlap.
+fn demo_session(n_threads: usize) -> DebugSession {
+    let ds = Domain::Products.generate(7, 0.01);
+    let cands = rulem::blocking::OverlapBlocker::new(
+        "title",
+        rulem::similarity::TokenScheme::Whitespace,
+        2,
+    )
+    .block(&ds.table_a, &ds.table_b)
+    .unwrap();
+    let config = SessionConfig {
+        n_threads,
+        ..SessionConfig::default()
+    };
+    DebugSession::new(ds.table_a, ds.table_b, cands, config)
+}
+
+fn tmp_store_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rulem_durability_tests")
+        .join(format!("{name}-{}", std::process::id()));
+    // Each test owns its directory; clear leftovers from a previous run.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The edit-script alphabet the property tests draw from. Each op is
+/// applied identically to the durable store and the live reference.
+#[derive(Debug, Clone)]
+enum Op {
+    AddRule(usize),
+    RemoveRule(usize),
+    AddPred { rule: usize, pred: usize },
+    RemovePred(usize),
+    SetThreshold { pred: usize, value: f64 },
+    Undo,
+    Simplify,
+    Optimize(usize),
+    Save,
+}
+
+const RULE_MENU: &[&str] = &[
+    "exact(modelno, modelno) >= 1.0",
+    "jaccard_ws(title, title) >= 0.6",
+    "jaro_winkler(title, title) >= 0.92 AND jaccard_ws(title, title) >= 0.3",
+    "trigram(title, title) >= 0.5",
+    "levenshtein(modelno, modelno) >= 0.8",
+    "jaro(title, title) >= 0.85 AND exact(modelno, modelno) >= 1.0",
+];
+
+const PRED_MENU: &[&str] = &[
+    "jaccard_ws(title, title) >= 0.25",
+    "jaro_winkler(title, title) >= 0.9",
+    "trigram(title, title) >= 0.4",
+    "exact(modelno, modelno) >= 1.0",
+];
+
+const ALGOS: &[OrderingAlgo] = &[
+    OrderingAlgo::ByRank,
+    OrderingAlgo::GreedyCost,
+    OrderingAlgo::GreedyReduction,
+];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..RULE_MENU.len()).prop_map(Op::AddRule),
+        2 => (0..6usize).prop_map(Op::RemoveRule),
+        3 => ((0..6usize), (0..PRED_MENU.len())).prop_map(|(rule, pred)| Op::AddPred { rule, pred }),
+        2 => (0..12usize).prop_map(Op::RemovePred),
+        2 => ((0..12usize), (0.1f64..0.95)).prop_map(|(pred, value)| Op::SetThreshold { pred, value }),
+        1 => Just(Op::Undo),
+        1 => Just(Op::Simplify),
+        1 => (0..ALGOS.len()).prop_map(Op::Optimize),
+        2 => Just(Op::Save),
+    ]
+}
+
+/// Applies one op to a store (durable or ephemeral). Indices are taken
+/// modulo whatever currently exists, so scripts stay meaningful as the
+/// function evolves; ops on an empty function are skipped. Errors that
+/// the session itself rejects (e.g. removing a rule's last predicate)
+/// are fine — both sides must reject identically.
+fn apply(store: &mut SessionStore, op: &Op) {
+    let rid_at = |s: &SessionStore, i: usize| {
+        let rules = s.session().function().rules();
+        (!rules.is_empty()).then(|| rules[i % rules.len()].id)
+    };
+    let pid_at = |s: &SessionStore, i: usize| {
+        let pids: Vec<_> = s
+            .session()
+            .function()
+            .rules()
+            .iter()
+            .flat_map(|r| r.preds.iter().map(|p| p.id))
+            .collect();
+        (!pids.is_empty()).then(|| pids[i % pids.len()])
+    };
+    match op {
+        Op::AddRule(i) => {
+            store.add_rule_text(RULE_MENU[*i]).unwrap();
+        }
+        Op::RemoveRule(i) => {
+            if let Some(rid) = rid_at(store, *i) {
+                store.remove_rule(rid).unwrap();
+            }
+        }
+        Op::AddPred { rule, pred } => {
+            if let Some(rid) = rid_at(store, *rule) {
+                let p = store.parse_predicate(PRED_MENU[*pred]).unwrap();
+                store.add_predicate(rid, p).unwrap();
+            }
+        }
+        Op::RemovePred(i) => {
+            if let Some(pid) = pid_at(store, *i) {
+                // Removing the only predicate of a rule is an EditError;
+                // both sides reject it the same way.
+                let _ = store.remove_predicate(pid);
+            }
+        }
+        Op::SetThreshold { pred, value } => {
+            if let Some(pid) = pid_at(store, *pred) {
+                store.set_threshold(pid, *value).unwrap();
+            }
+        }
+        Op::Undo => {
+            store.undo().unwrap();
+        }
+        Op::Simplify => {
+            let _ = store.simplify();
+        }
+        Op::Optimize(i) => {
+            let _ = store.optimize(ALGOS[*i % ALGOS.len()]);
+        }
+        Op::Save => {
+            if store.store_dir().is_some() {
+                store.save().unwrap();
+            }
+        }
+    }
+}
+
+/// Asserts the full observable state of two sessions matches: verdicts,
+/// fired rules, per-rule `M(r)` and per-predicate `U(p)` bitmaps,
+/// function text, history (modulo wall-clock), undo depth, quarantine.
+fn assert_sessions_match(got: &DebugSession, want: &DebugSession, what: &str) {
+    assert_eq!(
+        got.function_text(),
+        want.function_text(),
+        "{what}: function text"
+    );
+    assert_eq!(
+        got.state().verdicts(),
+        want.state().verdicts(),
+        "{what}: verdicts"
+    );
+    for i in 0..want.state().n_pairs() {
+        assert_eq!(
+            got.state().fired_rule(i),
+            want.state().fired_rule(i),
+            "{what}: fired rule for pair {i}"
+        );
+    }
+    for rule in want.function().rules() {
+        assert_eq!(
+            got.state().rule_bitmap(rule.id),
+            want.state().rule_bitmap(rule.id),
+            "{what}: M({}) differs",
+            rule.id
+        );
+        for pred in &rule.preds {
+            assert_eq!(
+                got.state().pred_bitmap(pred.id),
+                want.state().pred_bitmap(pred.id),
+                "{what}: U({}) differs",
+                pred.id
+            );
+        }
+    }
+    assert_eq!(got.quarantined(), want.quarantined(), "{what}: quarantine");
+    assert_eq!(got.undo_depth(), want.undo_depth(), "{what}: undo depth");
+    let hist = |s: &DebugSession| -> Vec<(String, usize, usize)> {
+        s.history()
+            .iter()
+            .map(|e| (e.description.clone(), e.n_changed, e.pairs_examined))
+            .collect()
+    };
+    assert_eq!(hist(got), hist(want), "{what}: history");
+}
+
+/// Runs one script on a durable store and on a live ephemeral reference,
+/// then reopens the durable store and checks the recovered session against
+/// the uninterrupted one.
+fn check_recovery(name: &str, ops: &[Op], n_threads: usize) {
+    let dir = tmp_store_dir(&format!("{name}-t{n_threads}"));
+    let mut durable = SessionStore::create(&dir, demo_session(n_threads)).unwrap();
+    let mut live = SessionStore::ephemeral(demo_session(n_threads));
+    for op in ops {
+        apply(&mut durable, op);
+        apply(&mut live, op);
+    }
+    // "Crash": drop the store without a final save. Recovery must replay
+    // the journal suffix on top of the last snapshot.
+    drop(durable);
+
+    assert!(store_exists(&dir).unwrap());
+    // Note: `records_failed` may be nonzero — an edit is journaled before
+    // its outcome is known, so an edit the session rejected live (e.g.
+    // removing a rule's last predicate) is re-rejected identically here.
+    let (recovered, _report) = SessionStore::open(&dir, demo_session(n_threads)).unwrap();
+    assert_sessions_match(
+        recovered.session(),
+        live.session(),
+        &format!("{name} t={n_threads}"),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: snapshot + journal replay ≡ live session,
+    /// over random edit scripts, at every thread count.
+    #[test]
+    fn recovery_matches_live_session(ops in proptest::collection::vec(op_strategy(), 1..14)) {
+        for &n_threads in &[1usize, 2, 4] {
+            check_recovery("prop", &ops, n_threads);
+        }
+    }
+}
+
+/// Thread count must not leak into durable state: the same script run at
+/// 1, 2, and 4 threads recovers to identical observable state.
+#[test]
+fn recovered_state_identical_across_thread_counts() {
+    let ops = vec![
+        Op::AddRule(1),
+        Op::AddRule(2),
+        Op::Save,
+        Op::AddPred { rule: 0, pred: 0 },
+        Op::SetThreshold {
+            pred: 1,
+            value: 0.45,
+        },
+        Op::AddRule(0),
+        Op::RemoveRule(1),
+        Op::Undo,
+    ];
+    let mut recovered = Vec::new();
+    for &n_threads in &[1usize, 2, 4] {
+        let dir = tmp_store_dir(&format!("xthread-t{n_threads}"));
+        let mut store = SessionStore::create(&dir, demo_session(n_threads)).unwrap();
+        for op in &ops {
+            apply(&mut store, op);
+        }
+        drop(store);
+        let (back, _) = SessionStore::open(&dir, demo_session(n_threads)).unwrap();
+        recovered.push(back.into_session());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let first = &recovered[0];
+    for other in &recovered[1..] {
+        assert_sessions_match(other, first, "thread-count determinism");
+    }
+}
+
+fn latest_journal(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut journals: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("journal-"))
+                .then_some(p)
+        })
+        .collect();
+    journals.sort();
+    journals.pop().expect("store has a journal")
+}
+
+/// Golden test: garbage appended after the last valid frame (a torn
+/// final write) is truncated away; every durable record survives.
+#[test]
+fn torn_journal_tail_is_dropped() {
+    let dir = tmp_store_dir("torn-tail");
+    let mut store = SessionStore::create(&dir, demo_session(1)).unwrap();
+    let mut live = SessionStore::ephemeral(demo_session(1));
+    for op in [
+        Op::AddRule(0),
+        Op::AddRule(1),
+        Op::SetThreshold {
+            pred: 0,
+            value: 0.7,
+        },
+    ] {
+        apply(&mut store, &op);
+        apply(&mut live, &op);
+    }
+    drop(store);
+
+    // A torn append: half a length prefix and nothing else.
+    let journal = latest_journal(&dir);
+    let mut bytes = std::fs::read(&journal).unwrap();
+    bytes.extend_from_slice(&[0x42, 0x42, 0x42]);
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let (recovered, report) = SessionStore::open(&dir, demo_session(1)).unwrap();
+    assert!(
+        report.journal_truncated.is_some(),
+        "torn tail must be reported: {report}"
+    );
+    assert_sessions_match(recovered.session(), live.session(), "torn tail");
+    drop(recovered);
+
+    // The truncation was durable: a second open is clean.
+    let (_, report) = SessionStore::open(&dir, demo_session(1)).unwrap();
+    assert!(report.journal_truncated.is_none(), "second open: {report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Golden test: a bit flip inside a journal frame is caught by the CRC;
+/// replay stops at the corrupt frame and the tail is dropped.
+#[test]
+fn bit_flipped_journal_frame_truncates_there() {
+    let dir = tmp_store_dir("bit-flip");
+    let mut store = SessionStore::create(&dir, demo_session(1)).unwrap();
+    apply(&mut store, &Op::AddRule(0));
+    apply(&mut store, &Op::AddRule(1));
+    drop(store);
+
+    // Flip one byte just past the 16-byte header: inside the first frame.
+    let journal = latest_journal(&dir);
+    let mut bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 24, "journal should hold records");
+    bytes[20] ^= 0x01;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let (recovered, report) = SessionStore::open(&dir, demo_session(1)).unwrap();
+    assert!(report.journal_truncated.is_some(), "{report}");
+    assert_eq!(report.records_replayed, 0, "corruption hit the first frame");
+    assert!(recovered.session().function().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Golden test: all snapshots lost — the session is rebuilt from the
+/// journal generations alone.
+#[test]
+fn missing_snapshots_recover_from_journals() {
+    let dir = tmp_store_dir("no-snapshot");
+    let mut store = SessionStore::create(&dir, demo_session(1)).unwrap();
+    let mut live = SessionStore::ephemeral(demo_session(1));
+    for op in [
+        Op::AddRule(0),
+        Op::AddRule(2),
+        Op::Save, // epoch 1: pre-save edits live only in journal 0
+        Op::AddPred { rule: 1, pred: 0 },
+        Op::Undo,
+    ] {
+        apply(&mut store, &op);
+        apply(&mut live, &op);
+    }
+    drop(store);
+
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("snapshot-"))
+        {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    let (recovered, report) = SessionStore::open(&dir, demo_session(1)).unwrap();
+    assert_eq!(report.snapshot_epoch, None, "{report}");
+    assert!(report.records_replayed > 0);
+    assert_sessions_match(recovered.session(), live.session(), "no snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery replays the journal through the incremental engine; for a
+/// short journal on a warm snapshot it must beat a cold full re-run of
+/// the same function (the paper's motivation for materialized state).
+#[test]
+fn recovery_replays_not_reruns() {
+    let dir = tmp_store_dir("replay-speed");
+    let mut store = SessionStore::create(&dir, demo_session(1)).unwrap();
+    for op in [Op::AddRule(0), Op::AddRule(1), Op::AddRule(2), Op::Save] {
+        apply(&mut store, &op);
+    }
+    // One journaled edit on top of the snapshot.
+    apply(
+        &mut store,
+        &Op::SetThreshold {
+            pred: 2,
+            value: 0.55,
+        },
+    );
+    drop(store);
+
+    let (recovered, report) = SessionStore::open(&dir, demo_session(1)).unwrap();
+    assert_eq!(report.snapshot_epoch, Some(1));
+    assert_eq!(report.records_replayed, 1, "one edit after the snapshot");
+
+    // A full re-run from scratch examines every pair for every rule;
+    // replay only re-applied the threshold delta.
+    let replay_examined: usize = recovered
+        .session()
+        .history()
+        .last()
+        .map(|e| e.pairs_examined)
+        .unwrap();
+    let n_pairs = recovered.session().candidates().len();
+    assert!(
+        replay_examined <= n_pairs,
+        "replayed edit examined {replay_examined} of {n_pairs} pairs — \
+         that is incremental work, not a full {}-rule re-run",
+        recovered.session().function().n_rules()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
