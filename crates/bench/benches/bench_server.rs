@@ -1,0 +1,81 @@
+//! Server load benchmark: a live `em_server` driven by the closed-loop
+//! multi-client generator at 1, 4, and 16 concurrent clients. Reports
+//! edits/sec and p50/p95/p99 per-edit wire latency for each fleet size
+//! (the acceptance numbers for the interactive loop over TCP), plus a
+//! criterion measurement of the single-request round-trip floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_core::SessionConfig;
+use em_datagen::Domain;
+use em_server::{run_load, serve, Client, ServerConfig, SessionTemplate};
+use std::path::PathBuf;
+
+fn demo_template() -> SessionTemplate {
+    let config = SessionConfig {
+        n_threads: 2,
+        ..SessionConfig::default()
+    };
+    SessionTemplate::demo(Domain::Products, 0.01, 7, config).unwrap()
+}
+
+fn bench_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rulem_bench_server")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The headline table: closed-loop load at each fleet size against one
+/// durable server. Criterion's timing loop is a poor fit for a
+/// multi-client closed loop, so the load harness measures itself and the
+/// report is printed per fleet size.
+fn bench_load_fleet_sizes(_c: &mut Criterion) {
+    let root = bench_root("load");
+    let handle = serve(
+        demo_template(),
+        ServerConfig {
+            store_root: Some(root.clone()),
+            max_resident: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind load server");
+    let addr = handle.addr();
+
+    println!("server_load (edits/sec and latency percentiles per fleet size):");
+    for clients in [1usize, 4, 16] {
+        let report = run_load(addr, clients, 8).expect("load run");
+        assert_eq!(report.errors, 0, "load must be error-free: {report}");
+        println!("  {report}");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The wire round-trip floor: one client, one attached session, `ping`
+/// (no session work) vs `status` (session lock + serialize) vs an edit
+/// cycle (journaled incremental evaluation).
+fn bench_wire_round_trip(c: &mut Criterion) {
+    let handle = serve(demo_template(), ServerConfig::default()).expect("bind rtt server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.expect_ok("open rtt").expect("open");
+
+    let mut group = c.benchmark_group("server_round_trip");
+    group.sample_size(10);
+    group.bench_function("ping", |b| b.iter(|| client.expect_ok("ping").unwrap()));
+    group.bench_function("status", |b| b.iter(|| client.expect_ok("status").unwrap()));
+    group.bench_function("edit_cycle", |b| {
+        b.iter(|| {
+            client
+                .expect_ok("add jaccard_ws(title, title) >= 0.6")
+                .unwrap();
+            client.expect_ok("undo").unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_fleet_sizes, bench_wire_round_trip);
+criterion_main!(benches);

@@ -3,15 +3,69 @@
 //! output as strings (stdout-free, so the whole app is unit-testable).
 
 use crate::command::{Command, HELP};
-use em_core::{DebugSession, Memo, SessionConfig, SessionStore};
+use em_core::{
+    ChangeLine, DebugSession, HistoryLine, Memo, SessionConfig, SessionError, SessionStore,
+};
 use em_types::LabeledPair;
 use std::fmt::Write as _;
+
+/// The CLI's typed error. Every failure path through [`App::execute`]
+/// lands here — no I/O `unwrap` can kill the REPL, and callers that need
+/// to distinguish a usage mistake from a session or filesystem failure
+/// can match instead of scraping strings.
+#[derive(Debug)]
+pub enum AppError {
+    /// The command's arguments do not fit the session (index out of
+    /// range, unknown feature, …).
+    Usage(String),
+    /// The debugging session rejected the operation.
+    Session(SessionError),
+    /// A filesystem operation failed.
+    Io {
+        /// What the app was doing (includes the path).
+        what: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An import/export payload failed to (de)serialize.
+    Codec(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Usage(m) => write!(f, "{m}"),
+            AppError::Session(e) => write!(f, "{e}"),
+            AppError::Io { what, source } => write!(f, "{what}: {source}"),
+            AppError::Codec(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AppError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for AppError {
+    fn from(e: SessionError) -> Self {
+        AppError::Session(e)
+    }
+}
 
 /// The interactive application state.
 pub struct App {
     store: SessionStore,
     labels: Vec<LabeledPair>,
     quit: bool,
+    porcelain: bool,
+    /// Held for the app's lifetime when the session is durable, so no
+    /// concurrent process can write the same store directory.
+    lock: Option<em_core::StoreLock>,
 }
 
 impl App {
@@ -27,6 +81,8 @@ impl App {
             store,
             labels,
             quit: false,
+            porcelain: false,
+            lock: None,
         }
     }
 
@@ -68,6 +124,19 @@ impl App {
         self.quit
     }
 
+    /// Takes ownership of the store directory's lock; released (and the
+    /// lock file removed) when the app drops.
+    pub fn hold_lock(&mut self, lock: em_core::StoreLock) {
+        self.lock = Some(lock);
+    }
+
+    /// Switches edit and history output to machine-readable porcelain:
+    /// one line of JSON per record, the same shapes the `em_server` wire
+    /// protocol speaks (see [`em_core::porcelain`]).
+    pub fn set_porcelain(&mut self, porcelain: bool) {
+        self.porcelain = porcelain;
+    }
+
     /// Read access to the session (for the banner and tests).
     pub fn session(&self) -> &DebugSession {
         self.store.session()
@@ -99,7 +168,7 @@ impl App {
     }
 
     /// Executes one command, returning its printable output.
-    pub fn execute(&mut self, cmd: Command) -> Result<String, String> {
+    pub fn execute(&mut self, cmd: Command) -> Result<String, AppError> {
         match cmd {
             Command::Help => Ok(HELP.to_string()),
             Command::Quit => {
@@ -115,7 +184,10 @@ impl App {
                 }
             }
             Command::AddRule(text) => {
-                let (rid, report) = self.store.add_rule_text(&text).map_err(|e| e.to_string())?;
+                let (rid, report) = self.store.add_rule_text(&text)?;
+                if self.porcelain {
+                    return Ok(ChangeLine::new("add_rule", Some(rid), None, &report).to_json());
+                }
                 Ok(format!(
                     "added rule {rid}: +{} / -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_matched.len(),
@@ -156,7 +228,10 @@ impl App {
                 Ok(out)
             }
             Command::RemoveRule(rid) => {
-                let report = self.store.remove_rule(rid).map_err(|e| e.to_string())?;
+                let report = self.store.remove_rule(rid)?;
+                if self.porcelain {
+                    return Ok(ChangeLine::new("remove_rule", Some(rid), None, &report).to_json());
+                }
                 Ok(format!(
                     "removed {rid}: +{} / -{} verdicts in {:?}{}",
                     report.newly_matched.len(),
@@ -167,10 +242,12 @@ impl App {
             }
             Command::AddPredicate(rid, text) => {
                 let pred = self.parse_predicate(&text)?;
-                let (pid, report) = self
-                    .store
-                    .add_predicate(rid, pred)
-                    .map_err(|e| e.to_string())?;
+                let (pid, report) = self.store.add_predicate(rid, pred)?;
+                if self.porcelain {
+                    return Ok(
+                        ChangeLine::new("add_predicate", Some(rid), Some(pid), &report).to_json(),
+                    );
+                }
                 Ok(format!(
                     "added {pid} to {rid}: -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_unmatched.len(),
@@ -180,10 +257,12 @@ impl App {
                 ))
             }
             Command::RemovePredicate(pid) => {
-                let report = self
-                    .store
-                    .remove_predicate(pid)
-                    .map_err(|e| e.to_string())?;
+                let report = self.store.remove_predicate(pid)?;
+                if self.porcelain {
+                    return Ok(
+                        ChangeLine::new("remove_predicate", None, Some(pid), &report).to_json(),
+                    );
+                }
                 Ok(format!(
                     "removed {pid}: +{} verdicts in {:?}{}",
                     report.newly_matched.len(),
@@ -192,10 +271,10 @@ impl App {
                 ))
             }
             Command::SetThreshold(pid, threshold) => {
-                let report = self
-                    .store
-                    .set_threshold(pid, threshold)
-                    .map_err(|e| e.to_string())?;
+                let report = self.store.set_threshold(pid, threshold)?;
+                if self.porcelain {
+                    return Ok(ChangeLine::new("set_threshold", None, Some(pid), &report).to_json());
+                }
                 Ok(format!(
                     "set {pid} to {threshold}: +{} / -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_matched.len(),
@@ -205,8 +284,11 @@ impl App {
                     report_suffix(&report)
                 ))
             }
-            Command::Undo => match self.store.undo().map_err(|e| e.to_string())? {
+            Command::Undo => match self.store.undo()? {
                 None => Ok("nothing to undo".to_string()),
+                Some(report) if self.porcelain => {
+                    Ok(ChangeLine::new("undo", None, None, &report).to_json())
+                }
                 Some(report) => Ok(format!(
                     "undone: +{} / -{} verdicts in {:?} ({} edits remain undoable){}",
                     report.newly_matched.len(),
@@ -216,8 +298,11 @@ impl App {
                     report_suffix(&report)
                 )),
             },
-            Command::Resume => match self.store.resume().map_err(|e| e.to_string())? {
+            Command::Resume => match self.store.resume()? {
                 None => Ok("nothing to resume".to_string()),
+                Some(report) if self.porcelain => {
+                    Ok(ChangeLine::new("resume", None, None, &report).to_json())
+                }
                 Some(report) => Ok(format!(
                     "resumed: +{} / -{} verdicts, {} pairs examined, {:?}{}",
                     report.newly_matched.len(),
@@ -228,7 +313,7 @@ impl App {
                 )),
             },
             Command::Simplify => {
-                let report = self.store.simplify().map_err(|e| e.to_string())?;
+                let report = self.store.simplify()?;
                 if report.is_noop() {
                     Ok("already minimal".to_string())
                 } else {
@@ -243,7 +328,7 @@ impl App {
             }
             Command::Run => {
                 let start = std::time::Instant::now();
-                let stats = self.store.run_full().map_err(|e| e.to_string())?;
+                let stats = self.store.run_full()?;
                 let mut out = format!(
                     "full run in {:?}: {} matches, {} computations, {} lookups",
                     start.elapsed(),
@@ -290,16 +375,18 @@ impl App {
             }
             Command::Explain(i) => {
                 if i >= self.session().candidates().len() {
-                    return Err(format!(
+                    return Err(AppError::Usage(format!(
                         "pair index {i} out of range (0..{})",
                         self.session().candidates().len()
-                    ));
+                    )));
                 }
                 Ok(self.session().explain(i).to_string())
             }
             Command::NearMisses(fid, n) => {
                 if fid.index() >= self.session().context().registry().len() {
-                    return Err(format!("unknown feature {fid}; see `features`"));
+                    return Err(AppError::Usage(format!(
+                        "unknown feature {fid}; see `features`"
+                    )));
                 }
                 let misses = self.session_mut().near_misses(fid, n);
                 let name = self.session().context().feature_name(fid);
@@ -358,7 +445,7 @@ impl App {
             }
             Command::Optimize(algo) => {
                 let start = std::time::Instant::now();
-                self.store.optimize(algo).map_err(|e| e.to_string())?;
+                self.store.optimize(algo)?;
                 Ok(format!(
                     "reordered with {} and re-ran in {:?} ({} matches unchanged-correct)",
                     algo.label(),
@@ -380,6 +467,16 @@ impl App {
                 ))
             }
             Command::History => {
+                if self.porcelain {
+                    let lines: Vec<String> = self
+                        .session()
+                        .history()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| HistoryLine::new(i + 1, e).to_json())
+                        .collect();
+                    return Ok(lines.join("\n"));
+                }
                 if self.session().history().is_empty() {
                     return Ok("(no edits yet)".to_string());
                 }
@@ -411,7 +508,7 @@ impl App {
                 Ok(out)
             }
             Command::Save(None) => {
-                let epoch = self.store.save().map_err(|e| e.to_string())?;
+                let epoch = self.store.save().map_err(SessionError::Persist)?;
                 let dir = self
                     .store
                     .store_dir()
@@ -421,7 +518,10 @@ impl App {
             }
             Command::Save(Some(path)) => {
                 let text = self.session().function_text();
-                std::fs::write(&path, &text).map_err(|e| format!("save {path}: {e}"))?;
+                std::fs::write(&path, &text).map_err(|e| AppError::Io {
+                    what: format!("save {path}"),
+                    source: e,
+                })?;
                 Ok(format!(
                     "saved {} rules to {path}",
                     self.session().function().n_rules()
@@ -430,7 +530,7 @@ impl App {
             Command::Open(dir) => {
                 let fresh = self.fresh_session();
                 let (store, report) = SessionStore::open(std::path::Path::new(&dir), fresh)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(SessionError::Persist)?;
                 self.store = store;
                 Ok(format!(
                     "{report}\n{} rules, {} matches",
@@ -440,20 +540,25 @@ impl App {
             }
             Command::Export(path) => {
                 let snapshot = self.session().snapshot();
-                let json =
-                    serde_json::to_string_pretty(&snapshot).map_err(|e| format!("export: {e}"))?;
-                std::fs::write(&path, json).map_err(|e| format!("export {path}: {e}"))?;
+                let json = serde_json::to_string_pretty(&snapshot)
+                    .map_err(|e| AppError::Codec(format!("export: {e}")))?;
+                std::fs::write(&path, json).map_err(|e| AppError::Io {
+                    what: format!("export {path}"),
+                    source: e,
+                })?;
                 Ok(format!(
                     "exported {} rules to {path}",
                     self.session().function().n_rules()
                 ))
             }
             Command::Import(path) => {
-                let json =
-                    std::fs::read_to_string(&path).map_err(|e| format!("import {path}: {e}"))?;
-                let snapshot: em_core::SessionSnapshot =
-                    serde_json::from_str(&json).map_err(|e| format!("import {path}: {e}"))?;
-                self.store.restore(&snapshot).map_err(|e| e.to_string())?;
+                let json = std::fs::read_to_string(&path).map_err(|e| AppError::Io {
+                    what: format!("import {path}"),
+                    source: e,
+                })?;
+                let snapshot: em_core::SessionSnapshot = serde_json::from_str(&json)
+                    .map_err(|e| AppError::Codec(format!("import {path}: {e}")))?;
+                self.store.restore(&snapshot)?;
                 Ok(format!(
                     "imported {} rules from {path}: {} matches",
                     self.session().function().n_rules(),
@@ -461,8 +566,10 @@ impl App {
                 ))
             }
             Command::Load(path) => {
-                let text =
-                    std::fs::read_to_string(&path).map_err(|e| format!("load {path}: {e}"))?;
+                let text = std::fs::read_to_string(&path).map_err(|e| AppError::Io {
+                    what: format!("load {path}"),
+                    source: e,
+                })?;
                 // Replace: remove existing rules, then add the loaded ones
                 // (each applied incrementally, reusing the memo).
                 let existing: Vec<_> = self
@@ -473,7 +580,7 @@ impl App {
                     .map(|r| r.id)
                     .collect();
                 for rid in existing {
-                    self.store.remove_rule(rid).map_err(|e| e.to_string())?;
+                    self.store.remove_rule(rid)?;
                 }
                 let mut added = 0;
                 for line in text.lines() {
@@ -482,7 +589,7 @@ impl App {
                     }
                     self.store
                         .add_rule_text(line)
-                        .map_err(|e| format!("line {:?}: {e}", line))?;
+                        .map_err(|e| AppError::Usage(format!("line {:?}: {e}", line)))?;
                     added += 1;
                 }
                 Ok(format!(
@@ -493,11 +600,11 @@ impl App {
         }
     }
 
-    fn parse_predicate(&mut self, text: &str) -> Result<em_core::Predicate, String> {
+    fn parse_predicate(&mut self, text: &str) -> Result<em_core::Predicate, AppError> {
         // A predicate is a one-predicate rule in the rule language; the
         // session interns the feature and grows the memo (the interning is
         // journaled with the edit that uses it).
-        self.store.parse_predicate(text).map_err(|e| e.to_string())
+        Ok(self.store.parse_predicate(text)?)
     }
 }
 
@@ -548,7 +655,7 @@ mod tests {
         App::demo(Domain::Products, 0.01, 7, SessionConfig::default()).unwrap()
     }
 
-    fn exec(app: &mut App, line: &str) -> Result<String, String> {
+    fn exec(app: &mut App, line: &str) -> Result<String, AppError> {
         let cmd = parse(line).unwrap().expect("non-empty command");
         app.execute(cmd)
     }
@@ -607,7 +714,7 @@ mod tests {
         assert!(out.contains("partial (deadline)"), "{out}");
         assert!(out.contains("`resume` to continue"), "{out}");
         // Other edits are refused while the add is half-applied.
-        let err = exec(&mut app, "set p0 0.8").unwrap_err();
+        let err = exec(&mut app, "set p0 0.8").unwrap_err().to_string();
         assert!(err.contains("resume"), "{err}");
         // Lift the deadline; resume finishes the edit.
         app.session_mut().set_deadline(None);

@@ -22,5 +22,5 @@
 pub mod app;
 pub mod command;
 
-pub use app::App;
+pub use app::{App, AppError};
 pub use command::{parse, Command};

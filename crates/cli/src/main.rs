@@ -1,9 +1,11 @@
-//! The `rulem` binary: argument parsing and the REPL loop.
+//! The `rulem` binary: argument parsing, the REPL loop, and the
+//! `serve` / `connect` network modes.
 
 use em_blocking::Blocker;
 use em_cli::{parse, App};
 use em_core::{DebugSession, SessionConfig, SessionStore};
 use em_datagen::Domain;
+use em_server::{serve, Client, ServerConfig, SessionTemplate};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -11,15 +13,24 @@ usage:
   rulem --demo <domain> [--scale <f>] [--seed <n>] [--threads <n>] [--deadline-ms <n>]
       domains: products | restaurants | books | breakfast | movies | videogames
   rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>] [--threads <n>] [--deadline-ms <n>]
-      either mode also accepts --store <dir>
+      either mode also accepts --store <dir> and --porcelain
       CSV files: first column is the record id, header row names attributes;
       blocking is token overlap on <attr> (default min-overlap 2), or an
       exact attribute-equivalence join with ':eq'.
+  rulem serve --addr <host:port> [--store-root <dir>] [--max-conns <n>]
+              [--max-resident <n>] [dataset flags as above]
+      serves named debugging sessions over TCP; every client gets its own
+      session over the shared dataset. With --store-root each session is
+      journaled under <dir>/<name> and survives a server crash.
+  rulem connect [<host:port>]
+      line-oriented client for a running server (also works with netcat).
 
 examples:
   rulem --demo products --scale 0.05
   rulem walmart.csv amazon.csv --block title:2
   rulem yelp.csv foursquare.csv --block city:eq --threads 4 --deadline-ms 200
+  rulem serve --addr 127.0.0.1:7878 --store-root /tmp/stores --demo products
+  rulem connect 127.0.0.1:7878
 
 --threads 1 runs serially (default); --threads 0 uses all cores;
 --threads n runs matching and incremental edits on an n-worker pool.
@@ -31,37 +42,58 @@ cancels the edit in flight the same way (the session survives).
 --store <dir> makes the session durable: every edit is journaled before
 it applies, `save` folds the journal into a fresh snapshot, and starting
 with the same --store recovers the session (snapshot + journal replay),
-printing a recovery report.";
+printing a recovery report.
+
+--porcelain renders edits and history as one-line JSON records (the same
+shapes the server's wire protocol speaks) for scripted use.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let app = match build_app(&args) {
-        Ok(app) => app,
-        Err(msg) => {
-            eprintln!("{msg}\n\n{USAGE}");
-            std::process::exit(2);
-        }
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("connect") => connect_main(&args[1..]),
+        _ => repl_main(&args),
     };
-    run_repl(app);
+    if let Err(msg) = result {
+        eprintln!("{msg}\n\n{USAGE}");
+        std::process::exit(2);
+    }
 }
 
-fn build_app(args: &[String]) -> Result<App, String> {
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        return Err("rulem — interactive entity-matching debugger".to_string());
+fn repl_main(args: &[String]) -> Result<(), String> {
+    let mut app = build_app(args)?;
+    if args.iter().any(|a| a == "--porcelain") {
+        app.set_porcelain(true);
     }
+    run_repl(app);
+    Ok(())
+}
 
-    let get_flag = |name: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
-    };
+/// Everything a session or server needs about the data: the tables,
+/// blocked candidates, labels (demo mode only), and evaluation config.
+struct Dataset {
+    table_a: em_types::Table,
+    table_b: em_types::Table,
+    cands: em_types::CandidateSet,
+    labels: Vec<em_types::LabeledPair>,
+    config: SessionConfig,
+}
 
-    let n_threads: usize = get_flag("--threads")
+fn get_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Builds the dataset from either `--demo <domain>` or two CSV paths
+/// plus `--block`.
+fn build_dataset(args: &[String]) -> Result<Dataset, String> {
+    let n_threads: usize = get_flag(args, "--threads")
         .map(|s| s.parse().map_err(|_| format!("bad --threads {s:?}")))
         .transpose()?
         .unwrap_or(1);
-    let deadline = get_flag("--deadline-ms")
+    let deadline = get_flag(args, "--deadline-ms")
         .map(|s| {
             s.parse::<u64>()
                 .map_err(|_| format!("bad --deadline-ms {s:?}"))
@@ -74,7 +106,7 @@ fn build_app(args: &[String]) -> Result<App, String> {
         ..SessionConfig::default()
     };
 
-    if let Some(domain_name) = get_flag("--demo") {
+    if let Some(domain_name) = get_flag(args, "--demo") {
         let domain = match domain_name.to_lowercase().as_str() {
             "products" => Domain::Products,
             "restaurants" => Domain::Restaurants,
@@ -84,16 +116,30 @@ fn build_app(args: &[String]) -> Result<App, String> {
             "videogames" | "video-games" => Domain::VideoGames,
             other => return Err(format!("unknown demo domain {other:?}")),
         };
-        let scale: f64 = get_flag("--scale")
+        let scale: f64 = get_flag(args, "--scale")
             .map(|s| s.parse().map_err(|_| format!("bad --scale {s:?}")))
             .transpose()?
             .unwrap_or(0.05);
-        let seed: u64 = get_flag("--seed")
+        let seed: u64 = get_flag(args, "--seed")
             .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
             .transpose()?
             .unwrap_or(42);
-        let (session, labels) = App::demo_parts(domain, scale, seed, config)?;
-        return finish_app(session, labels, get_flag("--store"));
+        let ds = domain.generate(seed, scale);
+        let cands = em_blocking::OverlapBlocker::new(
+            domain.title_attr(),
+            em_similarity::TokenScheme::Whitespace,
+            2,
+        )
+        .block(&ds.table_a, &ds.table_b)
+        .map_err(|e| format!("demo blocking: {e}"))?;
+        let labels = ds.label_candidates(&cands);
+        return Ok(Dataset {
+            table_a: ds.table_a,
+            table_b: ds.table_b,
+            cands,
+            labels,
+            config,
+        });
     }
 
     // CSV mode. Positional arguments are whatever is neither a flag nor
@@ -103,8 +149,10 @@ fn build_app(args: &[String]) -> Result<App, String> {
     for a in args {
         if skip_next {
             skip_next = false;
+        } else if a == "--porcelain" {
+            // The one value-less flag.
         } else if a.starts_with("--") {
-            skip_next = true; // all our flags take a value
+            skip_next = true; // every other flag takes a value
         } else {
             files.push(a);
         }
@@ -112,7 +160,7 @@ fn build_app(args: &[String]) -> Result<App, String> {
     let [path_a, path_b] = files.as_slice() else {
         return Err("expected two CSV paths (or --demo <domain>)".to_string());
     };
-    let block = get_flag("--block").ok_or("missing --block <attr>[:k|:eq]")?;
+    let block = get_flag(args, "--block").ok_or("missing --block <attr>[:k|:eq]")?;
 
     let read_table = |path: &str| -> Result<em_types::Table, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -137,8 +185,22 @@ fn build_app(args: &[String]) -> Result<App, String> {
             .map_err(|e| e.to_string())?
     };
 
-    let session = DebugSession::new(a, b, cands, config);
-    finish_app(session, Vec::new(), get_flag("--store"))
+    Ok(Dataset {
+        table_a: a,
+        table_b: b,
+        cands,
+        labels: Vec::new(),
+        config,
+    })
+}
+
+fn build_app(args: &[String]) -> Result<App, String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err("rulem — interactive entity-matching debugger".to_string());
+    }
+    let ds = build_dataset(args)?;
+    let session = DebugSession::new(ds.table_a, ds.table_b, ds.cands, ds.config);
+    finish_app(session, ds.labels, get_flag(args, "--store"))
 }
 
 /// Binds the session to its durable store (if `--store` was given),
@@ -152,13 +214,103 @@ fn finish_app(
     let Some(dir) = store_dir else {
         return Ok(App::new(session, labels));
     };
+    // Hold the directory's lock for the life of the REPL so a concurrent
+    // server (or second REPL) can't interleave journal writes.
+    let lock = em_core::StoreLock::acquire(std::path::Path::new(dir))
+        .map_err(|e| format!("--store {dir}: {e}"))?;
     let (store, report) = SessionStore::attach(std::path::Path::new(dir), session)
         .map_err(|e| format!("--store {dir}: {e}"))?;
     match report {
         Some(report) => println!("{report}"),
         None => println!("created session store at {dir}"),
     }
-    Ok(App::with_store(store, labels))
+    let mut app = App::with_store(store, labels);
+    app.hold_lock(lock);
+    Ok(app)
+}
+
+/// `rulem serve`: run the multi-session debug server until killed.
+fn serve_main(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err("rulem serve — network server for debugging sessions".to_string());
+    }
+    let ds = build_dataset(args)?;
+    let template = SessionTemplate::new(ds.table_a, ds.table_b, ds.cands, ds.labels, ds.config);
+    let config = ServerConfig {
+        addr: get_flag(args, "--addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        store_root: get_flag(args, "--store-root").map(std::path::PathBuf::from),
+        max_resident: get_flag(args, "--max-resident")
+            .map(|s| s.parse().map_err(|_| format!("bad --max-resident {s:?}")))
+            .transpose()?
+            .unwrap_or(8),
+        max_conns: get_flag(args, "--max-conns")
+            .map(|s| s.parse().map_err(|_| format!("bad --max-conns {s:?}")))
+            .transpose()?
+            .unwrap_or(64),
+    };
+    let n_candidates = template.n_candidates();
+    let handle = serve(template, config).map_err(|e| format!("serve: {e}"))?;
+    // Banner writes must never kill the server: a supervisor may close
+    // our stdout at any point (println! would panic on EPIPE). The e2e
+    // harness greps for the exact "listening on " prefix to learn the
+    // port.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "listening on {}", handle.addr());
+    let _ = writeln!(
+        stdout,
+        "{n_candidates} candidate pairs per session; `rulem connect {}` to attach",
+        handle.addr()
+    );
+    let _ = stdout.flush();
+    // Serve until killed. Sessions are write-ahead journaled, so SIGKILL
+    // loses nothing — the next `serve --store-root` recovers on attach.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `rulem connect`: a thin interactive client for a running server.
+fn connect_main(args: &[String]) -> Result<(), String> {
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    println!("connected to {addr} — `open <name>` or `attach <name>`, then edit; `quit` leaves");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue; // the server sends no response for these
+        }
+        match client.request(trimmed) {
+            Ok((true, payload)) => println!("{payload}"),
+            Ok((false, payload)) => println!("error: {payload}"),
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                break;
+            }
+        }
+        if trimmed.eq_ignore_ascii_case("quit") {
+            break;
+        }
+    }
+    Ok(())
 }
 
 /// Routes SIGINT to the session's cancel token: Ctrl-C stops the edit in

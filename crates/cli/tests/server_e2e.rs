@@ -1,0 +1,172 @@
+//! End-to-end server harness: drive the real `rulem serve` binary over
+//! TCP with several concurrent clients (one of which is killed
+//! mid-command), SIGKILL the whole server process, restart it on the
+//! same `--store-root`, and check every session recovers — the network
+//! twin of `kill_restart.rs`.
+
+use em_core::ChangeLine;
+use em_server::Client;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Server {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe open for the server's lifetime (a closed
+    // pipe must not matter to the server, but the test shouldn't rely
+    // on that either).
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Server {
+    fn spawn(store_root: &std::path::Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rulem"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--demo",
+                "products",
+                "--scale",
+                "0.01",
+                "--seed",
+                "7",
+                "--max-resident",
+                "2",
+                "--store-root",
+            ])
+            .arg(store_root)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn rulem serve");
+        // The server prints `listening on <addr>` once the listener is
+        // live; everything before that is dataset setup.
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let addr = loop {
+            assert!(Instant::now() < deadline, "server never announced its port");
+            let mut line = String::new();
+            match stdout.read_line(&mut line) {
+                Ok(0) => panic!("server exited before announcing its port"),
+                Ok(_) => {
+                    if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                        break rest.to_string();
+                    }
+                }
+                Err(e) => panic!("reading server stdout: {e}"),
+            }
+        };
+        Server {
+            child,
+            addr,
+            _stdout: stdout,
+        }
+    }
+
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        self.child.wait().unwrap();
+    }
+}
+
+fn add_rule(c: &mut Client, rule: &str) -> ChangeLine {
+    let json = c.expect_ok(&format!("add {rule}")).unwrap();
+    ChangeLine::from_json(&json).unwrap()
+}
+
+#[test]
+fn sigkill_server_recovers_every_session_on_restart() {
+    let root = std::env::temp_dir()
+        .join("rulem_server_e2e")
+        .join(format!("root-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // ---- Life 1: three well-behaved clients + one killed mid-command.
+    let server = Server::spawn(&root);
+
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let addr = server.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.expect_ok(&format!("open client-{i}")).unwrap();
+            let change = add_rule(&mut c, "jaccard_ws(title, title) >= 0.6");
+            assert_eq!(change.completion, "complete");
+            let change = add_rule(&mut c, "exact(modelno, modelno) >= 1.0");
+            assert_eq!(change.completion, "complete");
+            // Each client acked exactly its own two edits.
+            let status = c.expect_ok("status").unwrap();
+            assert!(status.contains("\"rules\":2"), "client-{i}: {status}");
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The rogue client: opens a session, fires an edit, and vanishes
+    // without reading the response. Its acked `open` must survive; the
+    // in-flight edit either completed (journaled) or was cancelled and
+    // parked — both are recoverable.
+    {
+        let mut rogue = Client::connect(&server.addr).unwrap();
+        rogue.expect_ok("open rogue").unwrap();
+        rogue.send_only("add trigram(title, title) >= 0.4").unwrap();
+    }
+    // Give the server a beat to finish or cancel the rogue edit before
+    // the SIGKILL, so the journal reflects one of the two legal outcomes.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // ---- SIGKILL: no shutdown hook, no final save.
+    server.sigkill();
+
+    // ---- Life 2: same store root; every session recovers on attach.
+    let server = Server::spawn(&root);
+    let mut c = Client::connect(&server.addr).unwrap();
+
+    for i in 0..3 {
+        let attached = c.expect_ok(&format!("attach client-{i}")).unwrap();
+        assert!(
+            attached.contains("\"recovered\":\"") && attached.contains("\"rules\":2"),
+            "client-{i} must recover with both rules: {attached}"
+        );
+        // History is intact and in order.
+        let history = c.expect_ok("history").unwrap();
+        assert!(
+            history.contains("\"total\":2")
+                && history.contains("add rule r0")
+                && history.contains("add rule r1"),
+            "client-{i}: {history}"
+        );
+        // The recovered session keeps taking edits.
+        let change = add_rule(&mut c, "jaro_winkler(title, title) >= 0.95");
+        assert_eq!(change.completion, "complete", "client-{i}");
+    }
+
+    // The rogue session: attach, finish any parked edit, and prove the
+    // journal never double-applied.
+    let attached = c.expect_ok("attach rogue").unwrap();
+    assert!(attached.contains("\"recovered\":\""), "{attached}");
+    if attached.contains("\"pending\":true") {
+        let json = c.expect_ok("resume").unwrap();
+        assert_eq!(ChangeLine::from_json(&json).unwrap().completion, "complete");
+    }
+    let status = c.expect_ok("status").unwrap();
+    assert!(
+        status.contains("\"rules\":1") || status.contains("\"rules\":0"),
+        "rogue has at most its one edit: {status}"
+    );
+    let history = c.expect_ok("history").unwrap();
+    let adds = history.matches("add rule").count();
+    assert!(adds <= 1, "rogue edit must not double-apply: {history}");
+
+    // A brand-new session on the restarted server works too.
+    c.expect_ok("open after-restart").unwrap();
+    let change = add_rule(&mut c, "jaccard_ws(title, title) >= 0.5");
+    assert_eq!(change.completion, "complete");
+
+    server.sigkill();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,338 @@
+//! The textual command grammar shared by the CLI REPL and the server's
+//! wire protocol.
+//!
+//! Kept separate from execution so the parser is a pure, exhaustively
+//! testable function — and kept in `em-core` so the two front ends
+//! (`em-cli`'s REPL and `em-server`'s line protocol) cannot drift: both
+//! parse exactly this grammar.
+
+use crate::feature::FeatureId;
+use crate::ordering::OrderingAlgo;
+use crate::predicate::PredId;
+use crate::rule::RuleId;
+
+/// One parsed REPL command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `help`
+    Help,
+    /// `add <rule text>` — add a rule written in the rule language.
+    AddRule(String),
+    /// `rules` — list rules with ids.
+    ListRules,
+    /// `rm r<k>` — remove a rule.
+    RemoveRule(RuleId),
+    /// `addpred r<k> <predicate text>` — add a predicate to a rule.
+    AddPredicate(RuleId, String),
+    /// `rmpred p<k>` — remove a predicate.
+    RemovePredicate(PredId),
+    /// `set p<k> <threshold>` — change a predicate threshold.
+    SetThreshold(PredId, f64),
+    /// `undo` — revert the most recent edit.
+    Undo,
+    /// `resume` — finish a partially-applied edit (deadline/cancel).
+    Resume,
+    /// `simplify` — drop dominated predicates and subsumed rules.
+    Simplify,
+    /// `run` — re-run matching from scratch (memo retained).
+    Run,
+    /// `matches [n]` — show up to n matched pairs (default 10).
+    Matches(usize),
+    /// `explain <pair-index>` — trace one pair's verdict.
+    Explain(usize),
+    /// `misses f<k> [n]` — top-n unmatched pairs by feature f<k>.
+    NearMisses(FeatureId, usize),
+    /// `quality` — precision/recall against loaded labels.
+    Quality,
+    /// `stats` — estimated feature costs and predicate selectivities.
+    Stats,
+    /// `optimize [random|rank|alg5|alg6]` — reorder rules/predicates.
+    Optimize(OrderingAlgo),
+    /// `memory` — materialization footprint.
+    MemoryReport,
+    /// `history` — edit log with latencies.
+    History,
+    /// `features` — list interned features.
+    Features,
+    /// `save` — fold the journal into a fresh store snapshot;
+    /// `save <path>` — write the rule set as text.
+    Save(Option<String>),
+    /// `load <path>` — replace the rule set from a text file.
+    Load(String),
+    /// `export <path>` — write a JSON session snapshot.
+    Export(String),
+    /// `import <path>` — restore a JSON session snapshot.
+    Import(String),
+    /// `open <dir>` — open (recover) a durable session store.
+    Open(String),
+    /// `quit` / `exit`
+    Quit,
+}
+
+/// Parses one input line. Empty lines and `#` comments yield `None`.
+pub fn parse(line: &str) -> Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (word, rest) = match line.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, r.trim()),
+        None => (line, ""),
+    };
+
+    let require_arg = |what: &str| -> Result<&str, String> {
+        if rest.is_empty() {
+            Err(format!("{word}: missing {what}"))
+        } else {
+            Ok(rest)
+        }
+    };
+
+    let cmd = match word.to_lowercase().as_str() {
+        "help" | "?" => Command::Help,
+        "add" => Command::AddRule(require_arg("rule text")?.to_string()),
+        "rules" => Command::ListRules,
+        "rm" => Command::RemoveRule(parse_rule_id(require_arg("rule id (r<k>)")?)?),
+        "addpred" => {
+            let rest = require_arg("rule id and predicate text")?;
+            let (rid, pred) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "addpred: usage: addpred r<k> <predicate>".to_string())?;
+            Command::AddPredicate(parse_rule_id(rid)?, pred.trim().to_string())
+        }
+        "rmpred" => Command::RemovePredicate(parse_pred_id(require_arg("predicate id (p<k>)")?)?),
+        "set" => {
+            let rest = require_arg("predicate id and threshold")?;
+            let (pid, thr) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "set: usage: set p<k> <threshold>".to_string())?;
+            let threshold: f64 = thr
+                .trim()
+                .parse()
+                .map_err(|_| format!("set: bad threshold {:?}", thr.trim()))?;
+            if !threshold.is_finite() {
+                return Err(format!("set: threshold must be finite, got {threshold}"));
+            }
+            Command::SetThreshold(parse_pred_id(pid)?, threshold)
+        }
+        "undo" => Command::Undo,
+        "resume" => Command::Resume,
+        "simplify" => Command::Simplify,
+        "run" => Command::Run,
+        "matches" => {
+            let n = if rest.is_empty() {
+                10
+            } else {
+                rest.parse()
+                    .map_err(|_| format!("matches: bad count {rest:?}"))?
+            };
+            Command::Matches(n)
+        }
+        "explain" => Command::Explain(
+            require_arg("pair index")?
+                .parse()
+                .map_err(|_| format!("explain: bad pair index {rest:?}"))?,
+        ),
+        "misses" => {
+            let rest = require_arg("feature id (f<k>)")?;
+            let (fid, n) = match rest.split_once(char::is_whitespace) {
+                Some((f, n)) => (
+                    f,
+                    n.trim()
+                        .parse()
+                        .map_err(|_| format!("misses: bad count {:?}", n.trim()))?,
+                ),
+                None => (rest, 10),
+            };
+            Command::NearMisses(parse_feature_id(fid)?, n)
+        }
+        "quality" => Command::Quality,
+        "stats" => Command::Stats,
+        "optimize" => {
+            let algo = match rest.to_lowercase().as_str() {
+                "" | "alg6" => OrderingAlgo::GreedyReduction,
+                "alg5" => OrderingAlgo::GreedyCost,
+                "rank" => OrderingAlgo::ByRank,
+                "random" => OrderingAlgo::Random(0),
+                other => return Err(format!("optimize: unknown algorithm {other:?}")),
+            };
+            Command::Optimize(algo)
+        }
+        "memory" => Command::MemoryReport,
+        "history" => Command::History,
+        "features" => Command::Features,
+        "save" => Command::Save((!rest.is_empty()).then(|| rest.to_string())),
+        "load" => Command::Load(require_arg("path")?.to_string()),
+        "export" => Command::Export(require_arg("path")?.to_string()),
+        "import" => Command::Import(require_arg("path")?.to_string()),
+        "open" => Command::Open(require_arg("store directory")?.to_string()),
+        "quit" | "exit" | "q" => Command::Quit,
+        other => return Err(format!("unknown command {other:?}; try `help`")),
+    };
+    Ok(Some(cmd))
+}
+
+fn parse_rule_id(s: &str) -> Result<RuleId, String> {
+    s.trim()
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .map(RuleId)
+        .ok_or_else(|| format!("expected a rule id like r3, got {s:?}"))
+}
+
+fn parse_feature_id(s: &str) -> Result<FeatureId, String> {
+    s.trim()
+        .strip_prefix('f')
+        .and_then(|n| n.parse().ok())
+        .map(FeatureId)
+        .ok_or_else(|| format!("expected a feature id like f2, got {s:?}"))
+}
+
+fn parse_pred_id(s: &str) -> Result<PredId, String> {
+    s.trim()
+        .strip_prefix('p')
+        .and_then(|n| n.parse().ok())
+        .map(PredId)
+        .ok_or_else(|| format!("expected a predicate id like p7, got {s:?}"))
+}
+
+/// The `help` text.
+pub const HELP: &str = "\
+commands:
+  add <rule>            add a rule, e.g. add jaccard_ws(title, title) >= 0.7 AND exact(brand, brand) >= 1
+  rules                 list rules with ids
+  rm r<k>               remove rule r<k>
+  addpred r<k> <pred>   add a predicate to rule r<k>
+  rmpred p<k>           remove predicate p<k>
+  set p<k> <threshold>  tighten/relax predicate p<k>
+  undo                  revert the most recent edit
+  resume                finish an edit interrupted by the deadline or Ctrl-C
+  simplify              drop dominated predicates and subsumed rules
+  run                   re-run matching from scratch (memo retained)
+  matches [n]           show up to n matched pairs (default 10)
+  explain <i>           full evaluation trace of candidate pair i
+  misses f<k> [n]       top-n unmatched pairs by feature f<k> (see `features`)
+  quality               precision/recall against loaded labels
+  stats                 estimated feature costs and selectivities
+  optimize [alg]        reorder rules/predicates (alg5 | alg6 | rank | random)
+  memory                materialization memory footprint
+  history               edit log with latencies
+  features              list interned features
+  save                  fold the edit journal into a fresh store snapshot
+  save <path>           save the rule set as text
+  load <path>           load a rule set from a text file
+  export <path>         write a JSON session snapshot
+  import <path>         restore a JSON session snapshot
+  open <dir>            open (recover) a durable session store
+  quit                  exit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command_form() {
+        assert_eq!(parse("help").unwrap(), Some(Command::Help));
+        assert_eq!(
+            parse("add exact(a, b) >= 1").unwrap(),
+            Some(Command::AddRule("exact(a, b) >= 1".into()))
+        );
+        assert_eq!(parse("rules").unwrap(), Some(Command::ListRules));
+        assert_eq!(
+            parse("rm r3").unwrap(),
+            Some(Command::RemoveRule(RuleId(3)))
+        );
+        assert_eq!(
+            parse("addpred r1 jaro(x, y) >= 0.5").unwrap(),
+            Some(Command::AddPredicate(RuleId(1), "jaro(x, y) >= 0.5".into()))
+        );
+        assert_eq!(
+            parse("rmpred p9").unwrap(),
+            Some(Command::RemovePredicate(PredId(9)))
+        );
+        assert_eq!(
+            parse("set p2 0.85").unwrap(),
+            Some(Command::SetThreshold(PredId(2), 0.85))
+        );
+        assert_eq!(parse("run").unwrap(), Some(Command::Run));
+        assert_eq!(parse("undo").unwrap(), Some(Command::Undo));
+        assert_eq!(parse("resume").unwrap(), Some(Command::Resume));
+        assert_eq!(parse("simplify").unwrap(), Some(Command::Simplify));
+        assert_eq!(parse("matches").unwrap(), Some(Command::Matches(10)));
+        assert_eq!(parse("matches 25").unwrap(), Some(Command::Matches(25)));
+        assert_eq!(parse("explain 4").unwrap(), Some(Command::Explain(4)));
+        assert_eq!(
+            parse("misses f2").unwrap(),
+            Some(Command::NearMisses(FeatureId(2), 10))
+        );
+        assert_eq!(
+            parse("misses f2 5").unwrap(),
+            Some(Command::NearMisses(FeatureId(2), 5))
+        );
+        assert_eq!(parse("quality").unwrap(), Some(Command::Quality));
+        assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(
+            parse("optimize").unwrap(),
+            Some(Command::Optimize(OrderingAlgo::GreedyReduction))
+        );
+        assert_eq!(
+            parse("optimize alg5").unwrap(),
+            Some(Command::Optimize(OrderingAlgo::GreedyCost))
+        );
+        assert_eq!(parse("memory").unwrap(), Some(Command::MemoryReport));
+        assert_eq!(parse("history").unwrap(), Some(Command::History));
+        assert_eq!(parse("features").unwrap(), Some(Command::Features));
+        assert_eq!(
+            parse("save rules.txt").unwrap(),
+            Some(Command::Save(Some("rules.txt".into())))
+        );
+        assert_eq!(parse("save").unwrap(), Some(Command::Save(None)));
+        assert_eq!(
+            parse("open sessions/demo").unwrap(),
+            Some(Command::Open("sessions/demo".into()))
+        );
+        assert_eq!(
+            parse("load rules.txt").unwrap(),
+            Some(Command::Load("rules.txt".into()))
+        );
+        assert_eq!(
+            parse("export snap.json").unwrap(),
+            Some(Command::Export("snap.json".into()))
+        );
+        assert_eq!(
+            parse("import snap.json").unwrap(),
+            Some(Command::Import("snap.json".into()))
+        );
+        assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(parse("exit").unwrap(), Some(Command::Quit));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skip() {
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("   ").unwrap(), None);
+        assert_eq!(parse("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("frobnicate").unwrap_err().contains("unknown command"));
+        assert!(parse("rm 3").unwrap_err().contains("rule id"));
+        assert!(parse("set p1").unwrap_err().contains("threshold"));
+        assert!(parse("set p1 abc").unwrap_err().contains("bad threshold"));
+        assert!(parse("set p1 nan").unwrap_err().contains("finite"));
+        assert!(parse("set p1 inf").unwrap_err().contains("finite"));
+        assert!(parse("add").unwrap_err().contains("missing"));
+        assert!(parse("open").unwrap_err().contains("store directory"));
+        assert!(parse("explain x").unwrap_err().contains("bad pair index"));
+        assert!(parse("optimize alg7")
+            .unwrap_err()
+            .contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert_eq!(parse("RUN").unwrap(), Some(Command::Run));
+        assert_eq!(parse("Matches 3").unwrap(), Some(Command::Matches(3)));
+    }
+}

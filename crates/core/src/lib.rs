@@ -49,6 +49,7 @@
 
 pub mod bitmap;
 pub mod budget;
+pub mod command;
 pub mod context;
 pub mod costmodel;
 pub mod engine;
@@ -64,6 +65,7 @@ pub mod memo;
 pub mod ordering;
 pub mod parse;
 pub mod persist;
+pub mod porcelain;
 pub mod predicate;
 pub mod quality;
 mod robust;
@@ -75,6 +77,7 @@ pub mod stats;
 
 pub use bitmap::Bitmap;
 pub use budget::{CancelToken, Completion, EvalBudget, StopReason};
+pub use command::Command;
 pub use context::EvalContext;
 pub use costmodel::{cost_early_exit, cost_memo, cost_precompute, cost_rudimentary, MemoState};
 pub use engine::{
@@ -100,7 +103,11 @@ pub use ordering::{
     OrderingAlgo,
 };
 pub use parse::{parse_function, parse_measure, ParseError};
-pub use persist::{store_exists, JournalRecord, PersistError, RecoveryReport, SessionStore};
+pub use persist::{
+    session_store_dir, store_exists, JournalRecord, PersistError, RecoveryReport, SessionStore,
+    StoreLock,
+};
+pub use porcelain::{ChangeLine, HistoryLine};
 pub use predicate::{CmpOp, PredId, Predicate};
 pub use quality::QualityReport;
 pub use robust::install_quiet_panic_hook;

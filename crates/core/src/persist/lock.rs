@@ -1,0 +1,188 @@
+//! Concurrent-access guard for a store directory.
+//!
+//! Two live processes (or two in-process handles) writing the same store
+//! directory would interleave journal appends and corrupt recovery, so
+//! every front end that binds a [`super::SessionStore`] to a directory
+//! first takes a [`StoreLock`]: a `lock` file created with
+//! `create_new` (O_EXCL) holding the owner's pid.
+//!
+//! Crash-robustness matters more than strictness here: a SIGKILLed owner
+//! leaves its lock file behind, and refusing to recover such a store
+//! would defeat the whole durability layer. A lock whose recorded pid is
+//! no longer alive (checked via `/proc/<pid>` on Linux) is *stale* and is
+//! silently stolen. A pid that equals our own is treated as held — that
+//! is exactly the double-open-within-one-process case the lock exists to
+//! reject.
+
+use super::PersistError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const LOCK_FILE: &str = "lock";
+
+/// A held lock on a store directory; released on drop (best effort — a
+/// crashed owner's lock is detected as stale by the next acquirer).
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+/// Whether a process with this pid is currently alive.
+///
+/// On Linux, `/proc/<pid>` existence is authoritative enough for staleness
+/// detection (pid reuse within a store's lifetime is vanishingly rare and
+/// the failure mode is a spurious "locked" error, not corruption). On
+/// other platforms we have no portable probe, so locks are never treated
+/// as stale there.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+impl StoreLock {
+    /// Acquires the lock for `dir`, creating the directory if needed.
+    ///
+    /// Fails with [`PersistError::Locked`] when another live process (or
+    /// this one) already holds it; steals the lock when its owner is dead.
+    pub fn acquire(dir: &Path) -> Result<StoreLock, PersistError> {
+        std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        let path = dir.join(LOCK_FILE);
+        // Two attempts: one against the existing file, one after removing
+        // a stale lock. A third concurrent acquirer racing us re-creates
+        // the file atomically (create_new), so the loop cannot livelock —
+        // somebody wins each round.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner: Option<u32> = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok());
+                    match owner {
+                        // Unreadable/corrupt lock file: treat as stale.
+                        None => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        Some(pid) => {
+                            return Err(PersistError::Locked {
+                                dir: dir.display().to_string(),
+                                pid,
+                            });
+                        }
+                    }
+                }
+                Err(e) => return Err(PersistError::Io(e)),
+            }
+        }
+        Err(PersistError::Locked {
+            dir: dir.display().to_string(),
+            pid: 0,
+        })
+    }
+
+    /// The lock file's path (for tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Resolves a session *name* to its store directory under `root`,
+/// rejecting names that could escape the root or collide with store
+/// files: one path component of `[A-Za-z0-9._-]`, not starting with a
+/// dot, at most 64 bytes.
+pub fn session_store_dir(root: &Path, name: &str) -> Result<PathBuf, PersistError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.');
+    if !ok {
+        return Err(PersistError::InvalidState(format!(
+            "bad session name {name:?}: use 1–64 chars of [A-Za-z0-9._-], not starting with '.'"
+        )));
+    }
+    Ok(root.join(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rulem_lock_tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn acquire_is_exclusive_within_a_process() {
+        let dir = tmp_dir("exclusive");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        let err = StoreLock::acquire(&dir).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Locked { pid, .. } if pid == std::process::id()),
+            "{err}"
+        );
+        drop(lock);
+        // Released on drop: re-acquire succeeds.
+        let _again = StoreLock::acquire(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_lock_from_dead_pid_is_stolen() {
+        let dir = tmp_dir("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No live process has pid 0 from userspace's point of view, and
+        // /proc/0 does not exist.
+        std::fs::write(dir.join(LOCK_FILE), "0\n").unwrap();
+        let _lock = StoreLock::acquire(&dir).expect("stale lock must be stolen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lock_file_is_stale() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let _lock = StoreLock::acquire(&dir).expect("corrupt lock must be stolen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_names_are_validated() {
+        let root = Path::new("/stores");
+        assert!(session_store_dir(root, "alice-1").is_ok());
+        assert!(session_store_dir(root, "a.b_c").is_ok());
+        assert!(session_store_dir(root, "").is_err());
+        assert!(session_store_dir(root, "..").is_err());
+        assert!(session_store_dir(root, ".hidden").is_err());
+        assert!(session_store_dir(root, "a/b").is_err());
+        assert!(session_store_dir(root, "x y").is_err());
+        assert!(session_store_dir(root, &"n".repeat(65)).is_err());
+    }
+}

@@ -20,7 +20,11 @@
 //!   latest valid snapshot and replays the journal suffix through the
 //!   incremental Algorithms 7–10 (not a full re-run), reusing the
 //!   `*_budgeted` machinery so recovery itself is deadline-aware and
-//!   resumable.
+//!   resumable;
+//! * [`lock`] — a pid-stamped lock file guarding each store directory
+//!   against concurrent writers (stale locks from killed owners are
+//!   detected and stolen), plus name→directory resolution for stores
+//!   addressed by session name under a common root.
 //!
 //! A store directory holds up to two *generations* of files,
 //! `snapshot-<epoch>.bin` / `journal-<epoch>.bin`: saving folds the
@@ -30,10 +34,12 @@
 
 pub mod frame;
 pub mod journal;
+pub mod lock;
 pub mod snapshot;
 pub mod store;
 
 pub use frame::crc32;
+pub use lock::{session_store_dir, StoreLock};
 pub use store::{store_exists, JournalRecord, RecoveryReport, SessionStore};
 
 use std::fmt;
@@ -53,6 +59,13 @@ pub enum PersistError {
     /// The operation does not fit the store's current state (e.g. opening
     /// a store over a non-fresh session, or saving without a store).
     InvalidState(String),
+    /// Another live handle already holds the store directory's lock file.
+    Locked {
+        /// The locked store directory.
+        dir: String,
+        /// Pid recorded in the lock file (0 when it could not be read).
+        pid: u32,
+    },
     /// An injected I/O fault fired (test harness only): the store must be
     /// treated as crashed and reopened.
     #[cfg(feature = "fault-inject")]
@@ -67,6 +80,9 @@ impl fmt::Display for PersistError {
             PersistError::Codec(m) => write!(f, "codec error: {m}"),
             PersistError::Replay(m) => write!(f, "replay error: {m}"),
             PersistError::InvalidState(m) => write!(f, "{m}"),
+            PersistError::Locked { dir, pid } => {
+                write!(f, "store {dir} is locked by pid {pid}")
+            }
             #[cfg(feature = "fault-inject")]
             PersistError::InjectedFault(m) => write!(f, "injected fault: {m}"),
         }

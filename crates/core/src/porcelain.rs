@@ -1,0 +1,220 @@
+//! Machine-readable, one-line serializations of edit outcomes.
+//!
+//! "Porcelain" output (in the `git --porcelain` sense) is the stable,
+//! parse-friendly rendering of a [`ChangeReport`] or [`EditRecord`]: a
+//! single line of JSON with flat scalar fields. It is shared by two front
+//! ends — the `em-server` wire protocol always speaks it, and the CLI
+//! emits it under `--porcelain` — so scripted clients never scrape the
+//! human-facing text.
+//!
+//! Durations travel as integer microseconds: the vendored serde stand-in
+//! has no `Duration` support, and microseconds are the natural unit for
+//! the paper's sub-second interactive loop.
+
+use crate::budget::{Completion, StopReason};
+use crate::incremental::ChangeReport;
+use crate::predicate::PredId;
+use crate::rule::RuleId;
+use crate::session::EditRecord;
+use std::time::Duration;
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One edit outcome as a flat record: the wire/porcelain form of a
+/// [`ChangeReport`], tagged with the operation that produced it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChangeLine {
+    /// Record discriminator; always `"change"`.
+    pub event: String,
+    /// The operation: `add_rule`, `remove_rule`, `add_predicate`,
+    /// `remove_predicate`, `set_threshold`, `undo`, `resume`.
+    pub op: String,
+    /// Rule id the operation minted or targeted (e.g. `"r3"`), if any.
+    pub rule: Option<String>,
+    /// Predicate id the operation minted or targeted (e.g. `"p7"`), if any.
+    pub pred: Option<String>,
+    /// Pairs that flipped unmatch → match.
+    pub newly_matched: usize,
+    /// Pairs that flipped match → unmatch.
+    pub newly_unmatched: usize,
+    /// Pairs the edit re-examined.
+    pub pairs_examined: usize,
+    /// Similarity values computed from scratch.
+    pub feature_computations: u64,
+    /// Similarity values read from the memo.
+    pub memo_lookups: u64,
+    /// Worker threads that participated in the delta evaluation.
+    pub workers: usize,
+    /// Wall-clock latency in microseconds.
+    pub elapsed_us: u64,
+    /// `"complete"`, `"deadline"`, or `"cancelled"`.
+    pub completion: String,
+    /// Pairs still unexamined when the budget tripped (0 when complete).
+    pub remaining: usize,
+    /// Pairs quarantined by panic isolation during this edit.
+    pub quarantined: usize,
+}
+
+impl ChangeLine {
+    /// Builds the porcelain record for one edit outcome.
+    pub fn new(
+        op: &str,
+        rule: Option<RuleId>,
+        pred: Option<PredId>,
+        report: &ChangeReport,
+    ) -> Self {
+        let (completion, remaining) = match &report.completion {
+            Completion::Complete => ("complete".to_string(), 0),
+            Completion::Partial { remaining, reason } => (
+                match reason {
+                    StopReason::Deadline => "deadline".to_string(),
+                    StopReason::Cancelled => "cancelled".to_string(),
+                },
+                remaining.len(),
+            ),
+        };
+        ChangeLine {
+            event: "change".to_string(),
+            op: op.to_string(),
+            rule: rule.map(|r| r.to_string()),
+            pred: pred.map(|p| p.to_string()),
+            newly_matched: report.newly_matched.len(),
+            newly_unmatched: report.newly_unmatched.len(),
+            pairs_examined: report.pairs_examined,
+            feature_computations: report.stats.feature_computations,
+            memo_lookups: report.stats.memo_lookups,
+            workers: report.worker_stats.len(),
+            elapsed_us: micros(report.elapsed),
+            completion,
+            remaining,
+            quarantined: report.quarantined.len(),
+        }
+    }
+
+    /// Whether the edit ran to completion (nothing parked for `resume`).
+    pub fn is_complete(&self) -> bool {
+        self.completion == "complete"
+    }
+
+    /// The one-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ChangeLine serializes infallibly")
+    }
+
+    /// Parses a line produced by [`ChangeLine::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("porcelain change line: {e}"))
+    }
+}
+
+/// One history entry as a flat record: the wire/porcelain form of an
+/// [`EditRecord`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistoryLine {
+    /// Record discriminator; always `"edit"`.
+    pub event: String,
+    /// Position in the session's history, starting at 1.
+    pub seq: usize,
+    /// Human-readable description of the edit (stable: it is part of the
+    /// durable history).
+    pub description: String,
+    /// Verdicts the edit flipped.
+    pub n_changed: usize,
+    /// Pairs the edit re-examined.
+    pub pairs_examined: usize,
+    /// Worker threads that participated.
+    pub workers: usize,
+    /// Wall-clock latency in microseconds.
+    pub elapsed_us: u64,
+}
+
+impl HistoryLine {
+    /// Builds the porcelain record for history entry `seq` (1-based).
+    pub fn new(seq: usize, record: &EditRecord) -> Self {
+        HistoryLine {
+            event: "edit".to_string(),
+            seq,
+            description: record.description.clone(),
+            n_changed: record.n_changed,
+            pairs_examined: record.pairs_examined,
+            workers: record.worker_stats.len(),
+            elapsed_us: micros(record.elapsed),
+        }
+    }
+
+    /// The one-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("HistoryLine serializes infallibly")
+    }
+
+    /// Parses a line produced by [`HistoryLine::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("porcelain history line: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EvalStats;
+
+    fn demo_report() -> ChangeReport {
+        ChangeReport {
+            newly_matched: vec![1, 4, 9],
+            newly_unmatched: vec![2],
+            pairs_examined: 120,
+            stats: EvalStats {
+                feature_computations: 80,
+                memo_lookups: 40,
+                predicate_evals: 120,
+                rule_evals: 120,
+            },
+            worker_stats: Vec::new(),
+            elapsed: Duration::from_micros(1500),
+            completion: Completion::Complete,
+            quarantined: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn change_line_roundtrips_and_is_one_line() {
+        let line = ChangeLine::new("add_rule", Some(RuleId(3)), None, &demo_report());
+        let json = line.to_json();
+        assert!(!json.contains('\n'), "porcelain must be one line: {json}");
+        assert!(json.contains("\"rule\":\"r3\""), "{json}");
+        assert!(line.is_complete());
+        assert_eq!(ChangeLine::from_json(&json).unwrap(), line);
+    }
+
+    #[test]
+    fn partial_completion_carries_reason_and_remaining() {
+        let mut report = demo_report();
+        report.completion = Completion::Partial {
+            remaining: vec![7, 8, 9],
+            reason: StopReason::Cancelled,
+        };
+        let line = ChangeLine::new("set_threshold", None, Some(PredId(2)), &report);
+        assert!(!line.is_complete());
+        assert_eq!(line.completion, "cancelled");
+        assert_eq!(line.remaining, 3);
+        assert_eq!(line.pred.as_deref(), Some("p2"));
+    }
+
+    #[test]
+    fn history_line_roundtrips() {
+        let record = EditRecord {
+            description: "add rule r0".to_string(),
+            n_changed: 5,
+            pairs_examined: 100,
+            worker_stats: Vec::new(),
+            elapsed: Duration::from_millis(2),
+        };
+        let line = HistoryLine::new(1, &record);
+        let json = line.to_json();
+        assert!(!json.contains('\n'));
+        assert_eq!(HistoryLine::from_json(&json).unwrap(), line);
+        assert_eq!(line.elapsed_us, 2000);
+    }
+}

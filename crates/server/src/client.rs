@@ -1,0 +1,57 @@
+//! A minimal blocking client for the wire protocol — what `rulem connect`
+//! and the load harness are built on.
+
+use crate::proto;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to an `em_server`, speaking request lines and reading
+/// framed responses.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line and reads its framed response:
+    /// `(ok, payload)`. Blank lines and comments get no response — do not
+    /// send them through here.
+    pub fn request(&mut self, line: &str) -> std::io::Result<(bool, String)> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        match proto::read_frame(&mut self.reader)? {
+            Some(frame) => Ok(frame),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Sends a request and fails unless the server answered `ok`.
+    pub fn expect_ok(&mut self, line: &str) -> std::io::Result<String> {
+        let (ok, payload) = self.request(line)?;
+        if ok {
+            Ok(payload)
+        } else {
+            Err(std::io::Error::other(format!("{line:?} failed: {payload}")))
+        }
+    }
+
+    /// Writes a line *without* reading the response — for tests that kill
+    /// the connection mid-command.
+    pub fn send_only(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+}

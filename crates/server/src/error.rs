@@ -1,0 +1,81 @@
+//! The server's typed error: every failure a connection can provoke.
+//!
+//! Nothing a client sends may kill the process — each variant renders to
+//! one human-readable `err` frame, and the connection (and every other
+//! connection) keeps running.
+
+use em_core::{PersistError, SessionError};
+use std::fmt;
+
+/// Errors from the session manager, the executor, or the server loop.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The request line did not parse or its arguments are invalid.
+    BadRequest(String),
+    /// No session with that name exists (in memory or on disk).
+    UnknownSession(String),
+    /// `open` of a name that is already a session.
+    SessionExists(String),
+    /// A session command arrived before `open`/`attach`.
+    NoSession,
+    /// A grammar command that cannot run over the wire (file paths,
+    /// REPL-only verbs).
+    Unsupported(String),
+    /// The debugging session rejected the edit (unknown id, pending
+    /// resume, parse failure, …).
+    Session(SessionError),
+    /// The durable store failed (I/O, corruption, or a held lock).
+    Persist(PersistError),
+    /// Admission control refused the connection or command.
+    Busy(String),
+    /// A socket-level failure on this connection.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::UnknownSession(n) => {
+                write!(f, "no session named {n:?} (see `sessions`)")
+            }
+            ServerError::SessionExists(n) => write!(f, "session {n} already exists"),
+            ServerError::NoSession => {
+                write!(f, "not attached: `open <name>` or `attach <name>` first")
+            }
+            ServerError::Unsupported(m) => write!(f, "unsupported over the wire: {m}"),
+            ServerError::Session(e) => write!(f, "{e}"),
+            ServerError::Persist(e) => write!(f, "{e}"),
+            ServerError::Busy(m) => write!(f, "busy: {m}"),
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Persist(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        ServerError::Session(e)
+    }
+}
+
+impl From<PersistError> for ServerError {
+    fn from(e: PersistError) -> Self {
+        ServerError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}

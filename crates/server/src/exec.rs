@@ -1,0 +1,615 @@
+//! Command execution over the wire: every grammar command rendered as
+//! machine-readable porcelain.
+//!
+//! Where the CLI's `App` renders human-facing prose, the server renders
+//! every success as JSON — one record per line (JSONL for listings) using
+//! the shared [`em_core::porcelain`] shapes for edits and history, plus a
+//! few server-local record types for queries. Scripted clients parse the
+//! `event` field; humans on netcat still get something legible.
+//!
+//! File-path commands (`save <path>`, `load`, `export`, `import`, REPL
+//! `open <dir>`) are refused: the server's filesystem is not the
+//! client's, and durable state is managed per-session by the
+//! [`crate::manager::SessionManager`].
+
+use crate::error::ServerError;
+use em_core::command::{Command, HELP};
+use em_core::{ChangeLine, HistoryLine, SessionStore};
+use em_types::LabeledPair;
+
+/// A free-form text payload (help, explain, stats — outputs whose shape
+/// is inherently prose).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct TextLine {
+    /// Always `"text"`.
+    pub event: String,
+    /// The prose (may contain newlines).
+    pub text: String,
+}
+
+fn text(s: impl Into<String>) -> String {
+    serde_json::to_string(&TextLine {
+        event: "text".to_string(),
+        text: s.into(),
+    })
+    .expect("TextLine serializes infallibly")
+}
+
+/// An edit verb that had nothing to do (`undo` with empty stack, `resume`
+/// with nothing parked).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct NoopLine {
+    /// Always `"noop"`.
+    pub event: String,
+    /// The verb that no-opped.
+    pub op: String,
+}
+
+/// Outcome of a journaled full re-run.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct RunLine {
+    /// Always `"run"`.
+    pub event: String,
+    /// Match count after the run.
+    pub matches: usize,
+    /// Similarity values computed from scratch.
+    pub feature_computations: u64,
+    /// Similarity values read from the memo.
+    pub memo_lookups: u64,
+    /// Pairs under panic quarantine after the run.
+    pub quarantined: usize,
+}
+
+/// Outcome of `simplify`.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct SimplifyLine {
+    /// Always `"simplify"`.
+    pub event: String,
+    /// Dominated predicates removed.
+    pub dominated: usize,
+    /// Unsatisfiable rules removed.
+    pub unsatisfiable: usize,
+    /// Subsumed rules removed.
+    pub subsumed: usize,
+    /// Rules remaining after simplification.
+    pub rules: usize,
+}
+
+/// Outcome of `optimize <algo>`.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct OptimizeLine {
+    /// Always `"optimize"`.
+    pub event: String,
+    /// The ordering algorithm applied.
+    pub algo: String,
+    /// Match count after the re-run (unchanged by construction).
+    pub matches: usize,
+}
+
+/// Precision/recall against the loaded labels.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct QualityLine {
+    /// Always `"quality"`.
+    pub event: String,
+    /// Precision in `[0, 1]`.
+    pub precision: f64,
+    /// Recall in `[0, 1]`.
+    pub recall: f64,
+    /// F1 in `[0, 1]`.
+    pub f1: f64,
+    /// Confusion-matrix counts.
+    pub true_positives: usize,
+    /// Pairs matched but labeled non-match.
+    pub false_positives: usize,
+    /// Pairs labeled match but unmatched.
+    pub false_negatives: usize,
+    /// Pairs correctly unmatched.
+    pub true_negatives: usize,
+}
+
+/// Memory footprint of the session's derived state.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct MemoryLine {
+    /// Always `"memory"`.
+    pub event: String,
+    /// Feature memo bytes.
+    pub memo_bytes: usize,
+    /// Values stored in the memo.
+    pub memo_values: usize,
+    /// Rule/predicate bitmap bytes.
+    pub bitmap_bytes: usize,
+    /// Total derived-state bytes.
+    pub total_bytes: usize,
+}
+
+/// Header for a `matches <n>` listing (followed by [`MatchLine`]s).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct MatchesLine {
+    /// Always `"matches"`.
+    pub event: String,
+    /// Total match count (listing shows at most the requested limit).
+    pub total: usize,
+    /// How many [`MatchLine`] records follow.
+    pub shown: usize,
+}
+
+/// One matched pair.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct MatchLine {
+    /// Always `"match"`.
+    pub event: String,
+    /// Candidate pair index.
+    pub pair: usize,
+    /// Rule that fired (e.g. `"r2"`), when known.
+    pub rule: Option<String>,
+    /// Left record id.
+    pub a: String,
+    /// Right record id.
+    pub b: String,
+}
+
+/// One near-miss pair from `misses <feature> <n>`.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct MissLine {
+    /// Always `"miss"`.
+    pub event: String,
+    /// Candidate pair index.
+    pub pair: usize,
+    /// The feature's similarity value for this pair.
+    pub value: f64,
+    /// Left record id.
+    pub a: String,
+    /// Right record id.
+    pub b: String,
+}
+
+/// One rule in a `rules` listing.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct RuleLine {
+    /// Always `"rule"`.
+    pub event: String,
+    /// Rule id (e.g. `"r0"`).
+    pub id: String,
+    /// The rule in the rule language.
+    pub text: String,
+}
+
+/// One interned feature in a `features` listing.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct FeatureLine {
+    /// Always `"feature"`.
+    pub event: String,
+    /// Feature id (e.g. `"f0"`).
+    pub id: String,
+    /// Feature name (e.g. `"jaccard_ws(title, title)"`).
+    pub name: String,
+}
+
+/// Outcome of a `save` (snapshot compaction).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct SavedLine {
+    /// Always `"saved"`.
+    pub event: String,
+    /// The new snapshot epoch.
+    pub epoch: u64,
+}
+
+/// One session's row in a `sessions` listing (built by the manager,
+/// serialized here).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct SessionEntry {
+    /// The session name.
+    pub name: String,
+    /// Whether its state is in memory (vs evicted to its snapshot).
+    pub resident: bool,
+    /// Whether an edit holds its lock right now (detail fields are 0).
+    pub busy: bool,
+    /// Rules in the matching function.
+    pub rules: usize,
+    /// Current match count.
+    pub matches: usize,
+    /// Whether a budget-interrupted edit is parked.
+    pub pending: bool,
+}
+
+/// Status of one session (the `status` verb).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct StatusLine {
+    /// Always `"status"`.
+    pub event: String,
+    /// The session name.
+    pub name: String,
+    /// Whether this connection is attached to it.
+    pub attached: bool,
+    /// Rules in the matching function.
+    pub rules: usize,
+    /// Predicates across all rules.
+    pub predicates: usize,
+    /// Current match count.
+    pub matches: usize,
+    /// Whether a budget-interrupted edit is parked (`resume` finishes it).
+    pub pending: bool,
+    /// Snapshot epoch (`None` for ephemeral sessions).
+    pub epoch: Option<u64>,
+    /// Journal records appended since the last snapshot.
+    pub journal_records: usize,
+}
+
+/// Serializes a `sessions` listing as JSONL, one row per line. An empty
+/// registry yields a single `{"event":"sessions","total":0}` header.
+pub fn sessions_json(entries: Vec<SessionEntry>) -> String {
+    #[derive(serde::Serialize)]
+    struct Header {
+        event: String,
+        total: usize,
+    }
+    let header = serde_json::to_string(&Header {
+        event: "sessions".to_string(),
+        total: entries.len(),
+    })
+    .expect("header serializes");
+    jsonl(header, entries)
+}
+
+/// Serializes one [`StatusLine`].
+#[allow(clippy::too_many_arguments)]
+pub fn status_json(
+    name: &str,
+    attached: bool,
+    rules: usize,
+    predicates: usize,
+    matches: usize,
+    pending: bool,
+    epoch: Option<u64>,
+    journal_records: usize,
+) -> String {
+    serde_json::to_string(&StatusLine {
+        event: "status".to_string(),
+        name: name.to_string(),
+        attached,
+        rules,
+        predicates,
+        matches,
+        pending,
+        epoch,
+        journal_records,
+    })
+    .expect("StatusLine serializes infallibly")
+}
+
+fn ids_of(store: &SessionStore, pair: usize) -> (String, String) {
+    let session = store.session();
+    let p = session.candidates().pair(pair);
+    let a = session.context().table_a().record(p.a).id().to_string();
+    let b = session.context().table_b().record(p.b).id().to_string();
+    (a, b)
+}
+
+fn jsonl<T: serde::Serialize>(header: String, rows: impl IntoIterator<Item = T>) -> String {
+    let mut out = header;
+    for row in rows {
+        out.push('\n');
+        out.push_str(&serde_json::to_string(&row).expect("row serializes"));
+    }
+    out
+}
+
+/// Executes one grammar command against a session store, returning the
+/// porcelain payload. Edits go through the store's journaled wrappers so
+/// every change a client makes is crash-durable.
+pub fn execute(
+    store: &mut SessionStore,
+    labels: &[LabeledPair],
+    cmd: &Command,
+) -> Result<String, ServerError> {
+    match cmd {
+        Command::Help => Ok(text(HELP)),
+        Command::AddRule(rule_text) => {
+            let (rid, report) = store.add_rule_text(rule_text)?;
+            Ok(ChangeLine::new("add_rule", Some(rid), None, &report).to_json())
+        }
+        Command::RemoveRule(rid) => {
+            let report = store.remove_rule(*rid)?;
+            Ok(ChangeLine::new("remove_rule", Some(*rid), None, &report).to_json())
+        }
+        Command::AddPredicate(rid, pred_text) => {
+            let pred = store.parse_predicate(pred_text)?;
+            let (pid, report) = store.add_predicate(*rid, pred)?;
+            Ok(ChangeLine::new("add_predicate", Some(*rid), Some(pid), &report).to_json())
+        }
+        Command::RemovePredicate(pid) => {
+            let report = store.remove_predicate(*pid)?;
+            Ok(ChangeLine::new("remove_predicate", None, Some(*pid), &report).to_json())
+        }
+        Command::SetThreshold(pid, threshold) => {
+            let report = store.set_threshold(*pid, *threshold)?;
+            Ok(ChangeLine::new("set_threshold", None, Some(*pid), &report).to_json())
+        }
+        Command::Undo => match store.undo()? {
+            None => Ok(serde_json::to_string(&NoopLine {
+                event: "noop".to_string(),
+                op: "undo".to_string(),
+            })
+            .expect("NoopLine serializes")),
+            Some(report) => Ok(ChangeLine::new("undo", None, None, &report).to_json()),
+        },
+        Command::Resume => match store.resume()? {
+            None => Ok(serde_json::to_string(&NoopLine {
+                event: "noop".to_string(),
+                op: "resume".to_string(),
+            })
+            .expect("NoopLine serializes")),
+            Some(report) => Ok(ChangeLine::new("resume", None, None, &report).to_json()),
+        },
+        Command::Run => {
+            let stats = store.run_full()?;
+            Ok(serde_json::to_string(&RunLine {
+                event: "run".to_string(),
+                matches: store.session().n_matches(),
+                feature_computations: stats.feature_computations,
+                memo_lookups: stats.memo_lookups,
+                quarantined: store.session().quarantined().len(),
+            })
+            .expect("RunLine serializes"))
+        }
+        Command::Simplify => {
+            let report = store.simplify()?;
+            Ok(serde_json::to_string(&SimplifyLine {
+                event: "simplify".to_string(),
+                dominated: report.dominated_predicates.len(),
+                unsatisfiable: report.unsatisfiable_rules.len(),
+                subsumed: report.subsumed_rules.len(),
+                rules: store.session().function().n_rules(),
+            })
+            .expect("SimplifyLine serializes"))
+        }
+        Command::Optimize(algo) => {
+            store.optimize(*algo)?;
+            Ok(serde_json::to_string(&OptimizeLine {
+                event: "optimize".to_string(),
+                algo: algo.label().to_string(),
+                matches: store.session().n_matches(),
+            })
+            .expect("OptimizeLine serializes"))
+        }
+        Command::ListRules => {
+            let session = store.session();
+            #[derive(serde::Serialize)]
+            struct Header {
+                event: String,
+                n_rules: usize,
+                n_predicates: usize,
+                matches: usize,
+            }
+            let header = serde_json::to_string(&Header {
+                event: "rules".to_string(),
+                n_rules: session.function().n_rules(),
+                n_predicates: session.function().n_predicates(),
+                matches: session.n_matches(),
+            })
+            .expect("header serializes");
+            let rows: Vec<RuleLine> = session
+                .function()
+                .rules()
+                .iter()
+                .map(|rule| {
+                    let preds: Vec<String> = rule
+                        .preds
+                        .iter()
+                        .map(|bp| {
+                            format!(
+                                "{} {} {}",
+                                session.context().feature_name(bp.pred.feature),
+                                bp.pred.op,
+                                bp.pred.threshold
+                            )
+                        })
+                        .collect();
+                    RuleLine {
+                        event: "rule".to_string(),
+                        id: rule.id.to_string(),
+                        text: preds.join(" AND "),
+                    }
+                })
+                .collect();
+            Ok(jsonl(header, rows))
+        }
+        Command::Matches(limit) => {
+            let shown: Vec<usize> = store
+                .session()
+                .matches()
+                .iter()
+                .take(*limit)
+                .copied()
+                .collect();
+            let total = store.session().matches().len();
+            let header = serde_json::to_string(&MatchesLine {
+                event: "matches".to_string(),
+                total,
+                shown: shown.len(),
+            })
+            .expect("MatchesLine serializes");
+            let rows: Vec<MatchLine> = shown
+                .into_iter()
+                .map(|i| {
+                    let (a, b) = ids_of(store, i);
+                    MatchLine {
+                        event: "match".to_string(),
+                        pair: i,
+                        rule: store.session().state().fired_rule(i).map(|r| r.to_string()),
+                        a,
+                        b,
+                    }
+                })
+                .collect();
+            Ok(jsonl(header, rows))
+        }
+        Command::Explain(i) => {
+            if *i >= store.session().candidates().len() {
+                return Err(ServerError::BadRequest(format!(
+                    "pair index {i} out of range (0..{})",
+                    store.session().candidates().len()
+                )));
+            }
+            Ok(text(store.session().explain(*i).to_string()))
+        }
+        Command::NearMisses(fid, n) => {
+            if fid.index() >= store.session().context().registry().len() {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown feature {fid}; see `features`"
+                )));
+            }
+            let misses = store.session_mut().near_misses(*fid, *n);
+            let name = store.session().context().feature_name(*fid);
+            #[derive(serde::Serialize)]
+            struct Header {
+                event: String,
+                feature: String,
+                count: usize,
+            }
+            let header = serde_json::to_string(&Header {
+                event: "near_misses".to_string(),
+                feature: name,
+                count: misses.len(),
+            })
+            .expect("header serializes");
+            let rows: Vec<MissLine> = misses
+                .into_iter()
+                .map(|(i, v)| {
+                    let (a, b) = ids_of(store, i);
+                    MissLine {
+                        event: "miss".to_string(),
+                        pair: i,
+                        value: v,
+                        a,
+                        b,
+                    }
+                })
+                .collect();
+            Ok(jsonl(header, rows))
+        }
+        Command::Quality => {
+            if labels.is_empty() {
+                return Ok(text("no labels loaded"));
+            }
+            let q = store.session().quality(labels);
+            Ok(serde_json::to_string(&QualityLine {
+                event: "quality".to_string(),
+                precision: q.precision(),
+                recall: q.recall(),
+                f1: q.f1(),
+                true_positives: q.true_positives,
+                false_positives: q.false_positives,
+                false_negatives: q.false_negatives,
+                true_negatives: q.true_negatives,
+            })
+            .expect("QualityLine serializes"))
+        }
+        Command::Stats => {
+            if store.session().function().is_empty() {
+                return Ok(text("(no rules — nothing to estimate)"));
+            }
+            let session = store.session();
+            let stats = session.estimate_stats();
+            let mut out = String::from("feature costs (ns/eval):");
+            for f in session.function().features() {
+                out.push_str(&format!(
+                    "\n  {:<40} {:>12.0}",
+                    session.context().feature_name(f),
+                    stats.cost(f)
+                ));
+            }
+            out.push_str(&format!("\nmemo lookup δ: {:.0} ns", stats.lookup_cost()));
+            out.push_str("\npredicate selectivities:");
+            for (rid, bp) in session.function().predicates() {
+                out.push_str(&format!(
+                    "\n  {rid}/{} sel = {:.4}",
+                    bp.id,
+                    stats.sel(bp.id)
+                ));
+            }
+            Ok(text(out))
+        }
+        Command::MemoryReport => {
+            let m = store.session().memory_report();
+            Ok(serde_json::to_string(&MemoryLine {
+                event: "memory".to_string(),
+                memo_bytes: m.memo_bytes,
+                memo_values: {
+                    use em_core::Memo;
+                    store.session().state().memo.stored()
+                },
+                bitmap_bytes: m.bitmap_bytes,
+                total_bytes: m.total_bytes(),
+            })
+            .expect("MemoryLine serializes"))
+        }
+        Command::History => {
+            let rows: Vec<HistoryLine> = store
+                .session()
+                .history()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| HistoryLine::new(i + 1, e))
+                .collect();
+            #[derive(serde::Serialize)]
+            struct Header {
+                event: String,
+                total: usize,
+            }
+            let header = serde_json::to_string(&Header {
+                event: "history".to_string(),
+                total: rows.len(),
+            })
+            .expect("header serializes");
+            Ok(jsonl(header, rows))
+        }
+        Command::Features => {
+            let session = store.session();
+            let rows: Vec<FeatureLine> = session
+                .context()
+                .registry()
+                .iter()
+                .map(|(fid, _)| FeatureLine {
+                    event: "feature".to_string(),
+                    id: fid.to_string(),
+                    name: session.context().feature_name(fid),
+                })
+                .collect();
+            #[derive(serde::Serialize)]
+            struct Header {
+                event: String,
+                total: usize,
+            }
+            let header = serde_json::to_string(&Header {
+                event: "features".to_string(),
+                total: rows.len(),
+            })
+            .expect("header serializes");
+            Ok(jsonl(header, rows))
+        }
+        Command::Save(None) => {
+            if store.store_dir().is_none() {
+                return Err(ServerError::Unsupported(
+                    "this session is ephemeral (server started without --store-root)".to_string(),
+                ));
+            }
+            let epoch = store.save()?;
+            Ok(serde_json::to_string(&SavedLine {
+                event: "saved".to_string(),
+                epoch,
+            })
+            .expect("SavedLine serializes"))
+        }
+        Command::Save(Some(_))
+        | Command::Load(_)
+        | Command::Export(_)
+        | Command::Import(_)
+        | Command::Open(_) => Err(ServerError::Unsupported(
+            "file-path commands run on the server's filesystem; use the CLI locally".to_string(),
+        )),
+        Command::Quit => Err(ServerError::Unsupported(
+            "quit closes the connection (handled by the server loop)".to_string(),
+        )),
+    }
+}

@@ -1,0 +1,129 @@
+//! Closed-loop multi-client load generator.
+//!
+//! Each simulated client opens (or attaches to) its *own* session and
+//! drives a net-zero edit script — add a rule, tighten its threshold,
+//! undo both — waiting for each response before sending the next request
+//! (closed loop, so latency percentiles reflect server-side queuing, not
+//! client-side pile-up). The script being net-zero makes runs idempotent:
+//! every session ends as it began, so repeated measurements at 1/4/16
+//! clients are comparable.
+
+use crate::client::Client;
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+
+/// The per-iteration edit script: two journaled edits, net zero.
+const EDITS_PER_ITERATION: usize = 2;
+
+/// Aggregate results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Edits completed across all clients.
+    pub edits: usize,
+    /// Requests that returned an `err` frame (zero in a healthy run).
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Median edit latency.
+    pub p50: Duration,
+    /// 95th-percentile edit latency.
+    pub p95: Duration,
+    /// 99th-percentile edit latency.
+    pub p99: Duration,
+    /// Completed edits per wall-clock second.
+    pub edits_per_sec: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} clients: {} edits in {:?} ({:.0} edits/s), p50 {:?} p95 {:?} p99 {:?}, {} errors",
+            self.clients,
+            self.edits,
+            self.elapsed,
+            self.edits_per_sec,
+            self.p50,
+            self.p95,
+            self.p99,
+            self.errors
+        )
+    }
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `iterations` of the edit script on each of `clients` concurrent
+/// connections against the server at `addr`. Client `i` uses session
+/// `load-<i>` (created on first use, attached thereafter).
+pub fn run_load(
+    addr: impl ToSocketAddrs,
+    clients: usize,
+    iterations: usize,
+) -> std::io::Result<LoadReport> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other("no address resolved"))?;
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for i in 0..clients {
+        workers.push(std::thread::spawn(
+            move || -> std::io::Result<(Vec<Duration>, usize)> {
+                let mut client = Client::connect(addr)?;
+                let name = format!("load-{i}");
+                // First run creates the session; later runs attach to it.
+                let (opened, _) = client.request(&format!("open {name}"))?;
+                if !opened {
+                    client.expect_ok(&format!("attach {name}"))?;
+                }
+                let mut latencies = Vec::with_capacity(iterations * EDITS_PER_ITERATION);
+                let mut errors = 0usize;
+                let mut edit = |client: &mut Client, line: &str| -> std::io::Result<()> {
+                    let t0 = Instant::now();
+                    let (ok, _) = client.request(line)?;
+                    latencies.push(t0.elapsed());
+                    if !ok {
+                        errors += 1;
+                    }
+                    Ok(())
+                };
+                for _ in 0..iterations {
+                    edit(&mut client, "add jaccard_ws(title, title) >= 0.6")?;
+                    edit(&mut client, "undo")?;
+                }
+                Ok((latencies, errors))
+            },
+        ));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    for w in workers {
+        let (lat, err) = w
+            .join()
+            .map_err(|_| std::io::Error::other("load worker panicked"))??;
+        latencies.extend(lat);
+        errors += err;
+    }
+    let elapsed = start.elapsed();
+    latencies.sort();
+    let edits = latencies.len();
+    Ok(LoadReport {
+        clients,
+        edits,
+        errors,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        edits_per_sec: edits as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
+}

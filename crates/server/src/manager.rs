@@ -1,0 +1,503 @@
+//! [`SessionManager`]: many named, durable, independently-locked
+//! debugging sessions over one shared dataset.
+//!
+//! The server process owns one dataset (tables + blocked candidate pairs,
+//! captured in a [`SessionTemplate`]) and any number of named sessions
+//! over it — one per analyst, experiment, or load-generator client. Each
+//! session is a [`SessionStore`] (PR 4's journaled [`DebugSession`])
+//! behind its own mutex, so edits to different sessions run concurrently
+//! while edits to one session serialize.
+//!
+//! Residency is bounded: with a durable store root configured, at most
+//! `max_resident` sessions keep their in-memory state (memo, bitmaps —
+//! tens of MB each at scale). Opening or touching a session beyond that
+//! evicts the least-recently-used idle session *to its snapshot* (a
+//! `save()` fold, then the memory is dropped); the next `attach` lazily
+//! recovers it from disk through the PR 4 journal-replay path. Eviction
+//! is therefore crash-equivalent by construction — an evicted-and-
+//! recovered session is bit-identical to one that survived a SIGKILL.
+//!
+//! Every resident durable session holds its directory's [`StoreLock`],
+//! so two server processes (or a server and a CLI) can never interleave
+//! writes to one store.
+
+use crate::error::ServerError;
+use crate::exec;
+use em_blocking::Blocker;
+use em_core::persist::{session_store_dir, store_exists, StoreLock};
+use em_core::{CancelToken, Command, DebugSession, SessionConfig, SessionStore};
+use em_types::{CandidateSet, LabeledPair, Table};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The dataset every session is built over: two tables, their blocked
+/// candidate pairs, optional ground-truth labels, and the session config
+/// (worker threads, per-edit deadline).
+#[derive(Debug, Clone)]
+pub struct SessionTemplate {
+    table_a: Table,
+    table_b: Table,
+    cands: CandidateSet,
+    labels: Vec<LabeledPair>,
+    config: SessionConfig,
+}
+
+impl SessionTemplate {
+    /// Wraps an already-prepared dataset.
+    pub fn new(
+        table_a: Table,
+        table_b: Table,
+        cands: CandidateSet,
+        labels: Vec<LabeledPair>,
+        config: SessionConfig,
+    ) -> Self {
+        SessionTemplate {
+            table_a,
+            table_b,
+            cands,
+            labels,
+            config,
+        }
+    }
+
+    /// Builds the synthetic demo dataset (same pipeline as the CLI's
+    /// `--demo`): generate, block on title overlap, label.
+    pub fn demo(
+        domain: em_datagen::Domain,
+        scale: f64,
+        seed: u64,
+        config: SessionConfig,
+    ) -> Result<Self, ServerError> {
+        let ds = domain.generate(seed, scale);
+        let cands = em_blocking::OverlapBlocker::new(
+            domain.title_attr(),
+            em_similarity::TokenScheme::Whitespace,
+            2,
+        )
+        .block(&ds.table_a, &ds.table_b)
+        .map_err(|e| ServerError::BadRequest(format!("demo blocking: {e}")))?;
+        let labels = ds.label_candidates(&cands);
+        Ok(SessionTemplate::new(
+            ds.table_a, ds.table_b, cands, labels, config,
+        ))
+    }
+
+    /// A fresh, empty session over the template's dataset — what `open`
+    /// starts from and what store recovery replays into.
+    pub fn fresh(&self) -> DebugSession {
+        DebugSession::new(
+            self.table_a.clone(),
+            self.table_b.clone(),
+            self.cands.clone(),
+            self.config.clone(),
+        )
+    }
+
+    /// The ground-truth labels (for `quality` over the wire).
+    pub fn labels(&self) -> &[LabeledPair] {
+        &self.labels
+    }
+
+    /// Number of candidate pairs per session.
+    pub fn n_candidates(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// The configured per-edit deadline.
+    pub fn deadline(&self) -> Option<std::time::Duration> {
+        self.config.deadline
+    }
+}
+
+/// What a session slot currently holds in memory.
+#[derive(Default)]
+struct Resident {
+    /// `Some` while resident; `None` after eviction (durable sessions
+    /// only — ephemeral sessions are never evicted).
+    store: Option<SessionStore>,
+    /// Held for the lifetime of residency on a durable store.
+    lock: Option<StoreLock>,
+}
+
+/// One named session: its state mutex and LRU stamp.
+struct Slot {
+    name: String,
+    state: Mutex<Resident>,
+    last_used: AtomicU64,
+}
+
+/// Owns every named session; see the module docs.
+pub struct SessionManager {
+    template: SessionTemplate,
+    store_root: Option<PathBuf>,
+    max_resident: usize,
+    registry: Mutex<HashMap<String, Arc<Slot>>>,
+    clock: AtomicU64,
+}
+
+/// What [`SessionManager::attach`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttachInfo {
+    /// The session name.
+    pub name: String,
+    /// Recovery report when the session was recovered from disk for this
+    /// attach; `None` when it was already resident.
+    pub recovered: Option<String>,
+    /// Whether a budget-interrupted edit is parked (send `resume`).
+    pub pending: bool,
+    /// Rules currently in the matching function.
+    pub n_rules: usize,
+    /// Current match count.
+    pub n_matches: usize,
+}
+
+impl SessionManager {
+    /// Creates a manager. With `store_root = None` sessions are ephemeral
+    /// (and never evicted); with a root, each session lives in
+    /// `<root>/<name>` and at most `max_resident` stay in memory.
+    pub fn new(
+        template: SessionTemplate,
+        store_root: Option<PathBuf>,
+        max_resident: usize,
+    ) -> Self {
+        SessionManager {
+            template,
+            store_root,
+            max_resident: max_resident.max(1),
+            registry: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The dataset template (read access, e.g. for banners).
+    pub fn template(&self) -> &SessionTemplate {
+        &self.template
+    }
+
+    fn registry(&self) -> MutexGuard<'_, HashMap<String, Arc<Slot>>> {
+        self.registry.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn touch(&self, slot: &Slot) {
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Validates `name` and resolves its store directory (if durable).
+    fn dir_for(&self, name: &str) -> Result<Option<PathBuf>, ServerError> {
+        // Validate the name even for ephemeral managers, so the namespace
+        // stays portable to a durable root.
+        let probe = self
+            .store_root
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."));
+        let dir = session_store_dir(&probe, name).map_err(ServerError::Persist)?;
+        Ok(self.store_root.is_some().then_some(dir))
+    }
+
+    /// Creates a fresh session named `name` (and its durable store, if
+    /// this manager has a root). Fails if the name is taken — in memory
+    /// or on disk.
+    pub fn open(&self, name: &str) -> Result<(), ServerError> {
+        let dir = self.dir_for(name)?;
+        let slot = {
+            let mut reg = self.registry();
+            if reg.contains_key(name) {
+                return Err(ServerError::SessionExists(name.to_string()));
+            }
+            if let Some(dir) = &dir {
+                if store_exists(dir).map_err(ServerError::Persist)? {
+                    return Err(ServerError::SessionExists(format!(
+                        "{name} (on disk; `attach {name}` instead)"
+                    )));
+                }
+            }
+            let slot = Arc::new(Slot {
+                name: name.to_string(),
+                state: Mutex::new(Resident::default()),
+                last_used: AtomicU64::new(0),
+            });
+            reg.insert(name.to_string(), Arc::clone(&slot));
+            slot
+        };
+        let built = (|| -> Result<(), ServerError> {
+            let mut state = lock_state(&slot);
+            match &dir {
+                Some(dir) => {
+                    let lock = StoreLock::acquire(dir).map_err(ServerError::Persist)?;
+                    state.store = Some(
+                        SessionStore::create(dir, self.template.fresh())
+                            .map_err(ServerError::Persist)?,
+                    );
+                    state.lock = Some(lock);
+                }
+                None => state.store = Some(SessionStore::ephemeral(self.template.fresh())),
+            }
+            Ok(())
+        })();
+        match built {
+            Ok(()) => {
+                self.touch(&slot);
+                self.evict_over_limit(Some(name));
+                Ok(())
+            }
+            Err(e) => {
+                self.registry().remove(name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Attaches to an existing session, lazily recovering it from its
+    /// store when evicted (or first seen after a server restart).
+    pub fn attach(&self, name: &str) -> Result<AttachInfo, ServerError> {
+        let dir = self.dir_for(name)?;
+        let slot = {
+            let mut reg = self.registry();
+            match reg.get(name) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    // Unknown in memory: a durable store on disk (from a
+                    // previous server life) still counts as existing.
+                    let on_disk = match &dir {
+                        Some(dir) => store_exists(dir).map_err(ServerError::Persist)?,
+                        None => false,
+                    };
+                    if !on_disk {
+                        return Err(ServerError::UnknownSession(name.to_string()));
+                    }
+                    let slot = Arc::new(Slot {
+                        name: name.to_string(),
+                        state: Mutex::new(Resident::default()),
+                        last_used: AtomicU64::new(0),
+                    });
+                    reg.insert(name.to_string(), Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        let mut state = lock_state(&slot);
+        let recovered = self.ensure_resident(&slot, &mut state)?;
+        let store = state.store.as_ref().expect("resident after ensure");
+        let info = AttachInfo {
+            name: name.to_string(),
+            recovered,
+            pending: store.session().pending_resume().is_some(),
+            n_rules: store.session().function().n_rules(),
+            n_matches: store.session().n_matches(),
+        };
+        drop(state);
+        self.touch(&slot);
+        self.evict_over_limit(Some(name));
+        Ok(info)
+    }
+
+    /// Brings an evicted slot back from its store directory.
+    fn ensure_resident(
+        &self,
+        slot: &Slot,
+        state: &mut Resident,
+    ) -> Result<Option<String>, ServerError> {
+        if state.store.is_some() {
+            return Ok(None);
+        }
+        let Some(root) = &self.store_root else {
+            // Ephemeral sessions are never evicted, so a non-resident
+            // ephemeral slot cannot exist.
+            return Err(ServerError::UnknownSession(slot.name.clone()));
+        };
+        let dir = session_store_dir(root, &slot.name).map_err(ServerError::Persist)?;
+        let lock = StoreLock::acquire(&dir).map_err(ServerError::Persist)?;
+        let (store, report) =
+            SessionStore::open(&dir, self.template.fresh()).map_err(ServerError::Persist)?;
+        state.store = Some(store);
+        state.lock = Some(lock);
+        Ok(Some(report.to_string()))
+    }
+
+    /// Runs `f` with exclusive access to the named session's store,
+    /// recovering it first if evicted. The workhorse behind both
+    /// [`SessionManager::execute`] and test/ops access.
+    pub fn with_session<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut SessionStore, &[LabeledPair]) -> R,
+    ) -> Result<R, ServerError> {
+        let slot = {
+            let reg = self.registry();
+            match reg.get(name) {
+                Some(slot) => Arc::clone(slot),
+                None => return Err(ServerError::UnknownSession(name.to_string())),
+            }
+        };
+        let mut state = lock_state(&slot);
+        self.ensure_resident(&slot, &mut state)?;
+        let store = state.store.as_mut().expect("resident after ensure");
+        let out = f(store, &self.template.labels);
+        drop(state);
+        self.touch(&slot);
+        self.evict_over_limit(Some(name));
+        Ok(out)
+    }
+
+    /// Executes one grammar command against the named session, returning
+    /// the porcelain JSON payload.
+    pub fn execute(&self, name: &str, cmd: &Command) -> Result<String, ServerError> {
+        self.with_session(name, |store, labels| exec::execute(store, labels, cmd))?
+    }
+
+    /// The named session's cancel token (for disconnect watchdogs).
+    pub fn cancel_token(&self, name: &str) -> Result<CancelToken, ServerError> {
+        self.with_session(name, |store, _| store.session().cancel_token())
+    }
+
+    /// One status line (JSON) for the attached session.
+    pub fn status_json(&self, name: &str) -> Result<String, ServerError> {
+        self.with_session(name, |store, _| {
+            let s = store.session();
+            exec::status_json(
+                name,
+                true,
+                s.function().n_rules(),
+                s.function().n_predicates(),
+                s.n_matches(),
+                s.pending_resume().is_some(),
+                store.epoch(),
+                store.records_since_save(),
+            )
+        })
+    }
+
+    /// JSON listing of every known session (resident or evicted). Slots
+    /// busy under another connection's edit are listed without detail
+    /// rather than blocking.
+    pub fn sessions_json(&self) -> String {
+        let slots: Vec<Arc<Slot>> = self.registry().values().cloned().collect();
+        let mut entries = Vec::new();
+        for slot in slots {
+            let entry = match slot.state.try_lock() {
+                Ok(state) => match &state.store {
+                    Some(store) => exec::SessionEntry {
+                        name: slot.name.clone(),
+                        resident: true,
+                        busy: false,
+                        rules: store.session().function().n_rules(),
+                        matches: store.session().n_matches(),
+                        pending: store.session().pending_resume().is_some(),
+                    },
+                    None => exec::SessionEntry {
+                        name: slot.name.clone(),
+                        resident: false,
+                        busy: false,
+                        rules: 0,
+                        matches: 0,
+                        pending: false,
+                    },
+                },
+                Err(_) => exec::SessionEntry {
+                    name: slot.name.clone(),
+                    resident: true,
+                    busy: true,
+                    rules: 0,
+                    matches: 0,
+                    pending: false,
+                },
+            };
+            entries.push(entry);
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        exec::sessions_json(entries)
+    }
+
+    /// Number of sessions currently resident in memory.
+    pub fn resident_count(&self) -> usize {
+        let slots: Vec<Arc<Slot>> = self.registry().values().cloned().collect();
+        slots
+            .iter()
+            .filter(|s| match s.state.try_lock() {
+                Ok(state) => state.store.is_some(),
+                Err(_) => true, // busy ⇒ resident
+            })
+            .count()
+    }
+
+    /// Evicts least-recently-used idle sessions to their snapshots until
+    /// at most `max_resident` remain resident. `keep` (the session that
+    /// triggered the check) is never evicted. Ephemeral managers never
+    /// evict — there is no disk to evict to.
+    fn evict_over_limit(&self, keep: Option<&str>) {
+        if self.store_root.is_none() {
+            return;
+        }
+        loop {
+            let slots: Vec<Arc<Slot>> = self.registry().values().cloned().collect();
+            // Resident slots, least-recently-used first.
+            let mut resident: Vec<&Arc<Slot>> = slots
+                .iter()
+                .filter(|s| match s.state.try_lock() {
+                    Ok(state) => state.store.is_some(),
+                    Err(_) => true,
+                })
+                .collect();
+            if resident.len() <= self.max_resident {
+                return;
+            }
+            resident.sort_by_key(|s| s.last_used.load(Ordering::Relaxed));
+            let victim = resident.into_iter().find(|s| keep != Some(s.name.as_str()));
+            let Some(victim) = victim else { return };
+            // A busy victim (edit in flight) is skipped this round; the
+            // next command completion re-runs the check.
+            let Ok(mut state) = victim.state.try_lock() else {
+                return;
+            };
+            let Some(store) = state.store.as_mut() else {
+                continue;
+            };
+            // Fold the journal into a snapshot, then drop the memory and
+            // the directory lock. On save failure the session stays
+            // resident — losing memory bounds beats losing edits.
+            match store.save() {
+                Ok(_) => {
+                    state.store = None;
+                    state.lock = None;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Saves every resident durable session (graceful shutdown). Returns
+    /// how many saved cleanly.
+    pub fn save_all(&self) -> usize {
+        let slots: Vec<Arc<Slot>> = self.registry().values().cloned().collect();
+        let mut saved = 0;
+        for slot in slots {
+            let mut state = lock_state(&slot);
+            if let Some(store) = state.store.as_mut() {
+                if store.store_dir().is_some() && store.save().is_ok() {
+                    saved += 1;
+                }
+            }
+        }
+        saved
+    }
+
+    /// All known session names, sorted (tests and the load harness).
+    pub fn session_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.registry().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Locks a slot's state, recovering from a poisoned mutex: the store
+/// layer has its own consistency discipline (write-ahead journal), so a
+/// panicked edit leaves the on-disk session recoverable even if the
+/// in-memory half is suspect.
+fn lock_state(slot: &Slot) -> MutexGuard<'_, Resident> {
+    slot.state.lock().unwrap_or_else(|p| p.into_inner())
+}

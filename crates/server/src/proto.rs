@@ -1,0 +1,242 @@
+//! The wire protocol: line-oriented requests, length-prefixed responses.
+//!
+//! **Requests** are one UTF-8 line each (at most [`MAX_LINE`] bytes,
+//! `\n`-terminated, `\r\n` tolerated). A line is either a session-control
+//! verb (`open`, `attach`, `detach`, `deadline`, `sessions`, `status`,
+//! `ping`) or any command of the shared REPL grammar
+//! ([`em_core::command`]), executed against the connection's attached
+//! session. Blank lines and `#` comments are ignored (no response), so a
+//! human driving the server through netcat can paste annotated scripts.
+//!
+//! **Responses** are framed so payloads can span lines and carry exact
+//! byte counts: a header line `ok <len>\n` or `err <len>\n` followed by
+//! exactly `<len>` bytes of UTF-8 payload. Successful payloads are
+//! one-line JSON records (see [`em_core::porcelain`]); error payloads are
+//! human-readable messages. The framing keeps the protocol
+//! netcat-debuggable while letting clients read without guessing where a
+//! response ends.
+//!
+//! Note one deliberate shadowing: in the REPL grammar `open <dir>` opens
+//! a store *directory*; on the wire `open <name>` creates a named
+//! *session* (the server owns the directories). File-path commands
+//! (`save <path>`, `load`, `export`, `import`, REPL-`open`) are rejected
+//! over the wire — the server's filesystem is not the client's.
+
+use em_core::command::{self, Command};
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Upper bound on one request line, in bytes.
+pub const MAX_LINE: usize = 16 * 1024;
+
+/// Upper bound a client accepts for one response payload, in bytes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `open <name>` — create a fresh named session and attach to it.
+    Open(String),
+    /// `attach <name>` — attach to an existing session, recovering it
+    /// from its durable store if it is not resident.
+    Attach(String),
+    /// `detach` — drop this connection's session binding.
+    Detach,
+    /// `deadline <ms>` / `deadline off` — set or lift the attached
+    /// session's per-edit wall-clock budget.
+    Deadline(Option<Duration>),
+    /// `sessions` — list every session the server knows about.
+    Sessions,
+    /// `status` — the attached session's status.
+    Status,
+    /// `ping` — liveness probe.
+    Ping,
+    /// Any command of the shared REPL grammar, run on the attached
+    /// session.
+    Cmd(Command),
+}
+
+/// Parses one request line. Blank lines and `#` comments yield `None`.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let (word, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, r.trim()),
+        None => (trimmed, ""),
+    };
+    let named = |what: &str| -> Result<String, String> {
+        if rest.is_empty() {
+            Err(format!("{word}: missing {what}"))
+        } else if rest.split_whitespace().count() > 1 {
+            Err(format!("{word}: expected one {what}, got {rest:?}"))
+        } else {
+            Ok(rest.to_string())
+        }
+    };
+    let req = match word.to_lowercase().as_str() {
+        "open" => Request::Open(named("session name")?),
+        "attach" => Request::Attach(named("session name")?),
+        "detach" => Request::Detach,
+        "deadline" => match rest.to_lowercase().as_str() {
+            "" => return Err("deadline: missing <ms> or `off`".to_string()),
+            "off" | "none" => Request::Deadline(None),
+            ms => Request::Deadline(Some(Duration::from_millis(
+                ms.parse()
+                    .map_err(|_| format!("deadline: bad milliseconds {ms:?}"))?,
+            ))),
+        },
+        "sessions" => Request::Sessions,
+        "status" => Request::Status,
+        "ping" => Request::Ping,
+        _ => match command::parse(trimmed)? {
+            Some(cmd) => Request::Cmd(cmd),
+            None => return Ok(None),
+        },
+    };
+    Ok(Some(req))
+}
+
+/// Writes one framed response: `ok|err <len>\n` + payload, flushed.
+pub fn write_frame(w: &mut impl Write, ok: bool, payload: &str) -> std::io::Result<()> {
+    let status = if ok { "ok" } else { "err" };
+    writeln!(w, "{status} {}", payload.len())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one framed response. Returns `None` on clean EOF at a frame
+/// boundary; mid-frame EOF and malformed headers are errors.
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<(bool, String)>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end();
+    let bad = || {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed frame header {header:?}"),
+        )
+    };
+    let (status, len) = header.split_once(' ').ok_or_else(bad)?;
+    let ok = match status {
+        "ok" => true,
+        "err" => false,
+        _ => return Err(bad()),
+    };
+    let len: usize = len.parse().map_err(|_| bad())?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let payload = String::from_utf8(payload)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 payload"))?;
+    Ok(Some((ok, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(
+            parse_request("open alice").unwrap(),
+            Some(Request::Open("alice".into()))
+        );
+        assert_eq!(
+            parse_request("ATTACH bob-2").unwrap(),
+            Some(Request::Attach("bob-2".into()))
+        );
+        assert_eq!(parse_request("detach").unwrap(), Some(Request::Detach));
+        assert_eq!(parse_request("sessions").unwrap(), Some(Request::Sessions));
+        assert_eq!(parse_request("status").unwrap(), Some(Request::Status));
+        assert_eq!(parse_request("ping").unwrap(), Some(Request::Ping));
+        assert_eq!(
+            parse_request("deadline 250").unwrap(),
+            Some(Request::Deadline(Some(Duration::from_millis(250))))
+        );
+        assert_eq!(
+            parse_request("deadline off").unwrap(),
+            Some(Request::Deadline(None))
+        );
+    }
+
+    #[test]
+    fn grammar_commands_pass_through() {
+        assert_eq!(
+            parse_request("run").unwrap(),
+            Some(Request::Cmd(Command::Run))
+        );
+        assert_eq!(
+            parse_request("add exact(a, b) >= 1").unwrap(),
+            Some(Request::Cmd(Command::AddRule("exact(a, b) >= 1".into())))
+        );
+        // Wire `open` shadows REPL `open <dir>`: a one-word operand is a
+        // session name, never a directory.
+        assert_eq!(
+            parse_request("open store/dir").unwrap(),
+            Some(Request::Open("store/dir".into()))
+        );
+    }
+
+    #[test]
+    fn blanks_comments_and_errors() {
+        assert_eq!(parse_request("").unwrap(), None);
+        assert_eq!(parse_request("  # note").unwrap(), None);
+        assert!(parse_request("open").unwrap_err().contains("session name"));
+        assert!(parse_request("open a b").unwrap_err().contains("one"));
+        assert!(parse_request("deadline soon").unwrap_err().contains("bad"));
+        assert!(parse_request("frobnicate")
+            .unwrap_err()
+            .contains("unknown command"));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, true, "{\"event\":\"pong\"}").unwrap();
+        write_frame(&mut buf, false, "no session").unwrap();
+        write_frame(&mut buf, true, "").unwrap();
+        let mut r = std::io::BufReader::new(buf.as_slice());
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((true, "{\"event\":\"pong\"}".to_string()))
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((false, "no session".to_string()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some((true, String::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn frames_with_multiline_payload_roundtrip() {
+        let payload = "line one\nline two\nline three";
+        let mut buf = Vec::new();
+        write_frame(&mut buf, true, payload).unwrap();
+        let mut r = std::io::BufReader::new(buf.as_slice());
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((true, payload.to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_errors() {
+        for bad in ["gibberish\n", "ok nope\n", "maybe 3\nabc"] {
+            let mut r = std::io::BufReader::new(bad.as_bytes());
+            assert!(read_frame(&mut r).is_err(), "{bad:?} must not parse");
+        }
+        // Mid-frame EOF.
+        let mut r = std::io::BufReader::new("ok 10\nabc".as_bytes());
+        assert!(read_frame(&mut r).is_err());
+    }
+}

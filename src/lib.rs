@@ -18,6 +18,9 @@
 //! * [`datagen`] (`em-datagen`) — the six Table 2 dataset generators;
 //! * [`rulegen`] (`em-rulegen`) — decision-tree / random-forest rule
 //!   learning;
+//! * [`server`] (`em-server`) — the debug loop over TCP: a wire
+//!   protocol, a multi-session manager with LRU eviction-to-snapshot,
+//!   and a multi-client load harness;
 //! * [`types`] (`em-types`) — tables, records, candidate pairs.
 //!
 //! ## Example
@@ -44,5 +47,6 @@ pub use em_blocking as blocking;
 pub use em_core as core;
 pub use em_datagen as datagen;
 pub use em_rulegen as rulegen;
+pub use em_server as server;
 pub use em_similarity as similarity;
 pub use em_types as types;
