@@ -1,0 +1,127 @@
+//! Machine-readable kernel benchmark: scalar vs batched ns/pair for every
+//! feature of the Table 3 menu, written to `BENCH_similarity.json`.
+//!
+//! This is the first `BENCH_*.json` trajectory artifact: a stable,
+//! parseable record of per-kernel cost that successive PRs can diff. The
+//! markdown twin (`exp_table3`) stays the human-readable paper artifact;
+//! this file is for machines.
+//!
+//! Env:
+//! - `SCALE`      dataset scale (default 0.1, see `em_bench::scale`)
+//! - `BENCH_OUT`  output path (default `BENCH_similarity.json`)
+
+use em_bench::{scale, Workload};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Accumulate repetitions until the measurement dwarfs timer noise,
+/// keeping the fastest repetition (the standard noise-robust estimator —
+/// same scheme as `FunctionStats::estimate`).
+fn best_ns_per_pair(n_pairs: usize, mut run: impl FnMut()) -> f64 {
+    const MIN_MEASURE_NS: u128 = 2_000_000;
+    const MAX_REPS: u32 = 50;
+    run(); // untimed warm-up
+    let mut best = f64::INFINITY;
+    let mut spent = 0u128;
+    let mut reps = 0u32;
+    while (spent < MIN_MEASURE_NS || reps < 3) && reps < MAX_REPS {
+        let start = Instant::now();
+        run();
+        let elapsed = start.elapsed().as_nanos();
+        spent += elapsed;
+        best = best.min(elapsed as f64 / n_pairs as f64);
+        reps += 1;
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    feature: String,
+    scalar_ns_per_pair: f64,
+    batched_ns_per_pair: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    dataset: String,
+    scale: f64,
+    sample_pairs: usize,
+    /// Per-kernel costs, sorted by batched cost ascending.
+    kernels: Vec<KernelRow>,
+    /// Feature names in Table 3 cost order (cheapest batched kernel first).
+    table3_order: Vec<String>,
+    /// Kernels at least 3x faster batched than scalar.
+    kernels_at_3x_or_better: usize,
+}
+
+fn main() {
+    let sc = scale();
+    let w = Workload::products(sc, 16);
+
+    let sample: Vec<_> = w
+        .cands
+        .as_slice()
+        .iter()
+        .step_by((w.cands.len() / 2_000).max(1))
+        .take(2_000)
+        .copied()
+        .collect();
+    let n = sample.len();
+
+    let mut kernels: Vec<KernelRow> = w
+        .features
+        .iter()
+        .map(|&f| {
+            let scalar = best_ns_per_pair(n, || {
+                let mut acc = 0.0;
+                for &p in &sample {
+                    acc += w.ctx.compute(f, p);
+                }
+                std::hint::black_box(acc);
+            });
+            let mut vals = vec![0.0; n];
+            let batched = best_ns_per_pair(n, || {
+                w.ctx.compute_batch(f, &sample, &mut vals);
+                std::hint::black_box(&vals);
+            });
+            KernelRow {
+                feature: w.ctx.feature_name(f),
+                scalar_ns_per_pair: (scalar * 10.0).round() / 10.0,
+                batched_ns_per_pair: (batched * 10.0).round() / 10.0,
+                speedup: (scalar / batched.max(f64::MIN_POSITIVE) * 100.0).round() / 100.0,
+            }
+        })
+        .collect();
+    kernels.sort_by(|a, b| {
+        a.batched_ns_per_pair
+            .partial_cmp(&b.batched_ns_per_pair)
+            .expect("finite timings")
+    });
+
+    let report = BenchReport {
+        dataset: "products".to_string(),
+        scale: sc,
+        sample_pairs: n,
+        table3_order: kernels.iter().map(|k| k.feature.clone()).collect(),
+        kernels_at_3x_or_better: kernels.iter().filter(|k| k.speedup >= 3.0).count(),
+        kernels,
+    };
+
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_similarity.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("artifact written");
+
+    eprintln!(
+        "wrote {path}: {} kernels over {n} pairs, {} at >= 3x batched speedup",
+        report.kernels.len(),
+        report.kernels_at_3x_or_better
+    );
+    for k in &report.kernels {
+        eprintln!(
+            "  {:<40} scalar {:>9.1} ns  batched {:>9.1} ns  ({:>5.2}x)",
+            k.feature, k.scalar_ns_per_pair, k.batched_ns_per_pair, k.speedup
+        );
+    }
+}

@@ -3,9 +3,12 @@
 //! The paper measures each similarity function over Walmart/Amazon
 //! attribute pairs; the relative ordering (exact ≪ edit measures ≪ token
 //! measures ≪ TF-IDF family, with Soft TF-IDF(title, title) the most
-//! expensive) is the reproduced shape.
+//! expensive) is the reproduced shape. Both the per-pair scalar path and
+//! the columnar batched kernels are timed — the batched column is what
+//! `FunctionStats::estimate` now calibrates α(f, r) against.
 
-use em_bench::{header, row, scale, Workload};
+use em_bench::{header, row, scale, Workload, SEED};
+use em_core::{run_memo, Executor};
 use std::time::Instant;
 
 fn main() {
@@ -24,7 +27,7 @@ fn main() {
         .copied()
         .collect();
 
-    let mut rows: Vec<(String, f64)> = w
+    let mut rows: Vec<(String, f64, f64)> = w
         .features
         .iter()
         .map(|&f| {
@@ -34,14 +37,48 @@ fn main() {
                 acc += w.ctx.compute(f, p);
             }
             std::hint::black_box(acc);
-            let us = start.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
-            (w.ctx.feature_name(f), us)
+            let scalar_us = start.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
+
+            let mut vals = vec![0.0; sample.len()];
+            w.ctx.compute_batch(f, &sample, &mut vals); // warm-up
+            let start = Instant::now();
+            w.ctx.compute_batch(f, &sample, &mut vals);
+            std::hint::black_box(&vals);
+            let batched_us = start.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
+
+            (w.ctx.feature_name(f), scalar_us, batched_us)
         })
         .collect();
-    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
+    rows.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite timings"));
 
-    header(&["Feature", "µs / evaluation"]);
-    for (name, us) in rows {
-        row(&[name, format!("{us:.2}")]);
+    header(&["Feature", "µs / eval (scalar)", "µs / eval (batched)"]);
+    for (name, scalar_us, batched_us) in rows {
+        row(&[name, format!("{scalar_us:.3}"), format!("{batched_us:.3}")]);
     }
+
+    // Full-run wall time: the batched memo engine over every candidate
+    // pair, serial vs a 4-worker pool.
+    let func = w.function_with_rules(8, SEED);
+    let mut wall = Vec::new();
+    for threads in [1usize, 4] {
+        let exec = if threads == 1 {
+            Executor::serial()
+        } else {
+            Executor::pool(threads)
+        };
+        let (outcome, _) = run_memo(&func, &w.ctx, &w.cands, false, &exec); // warm-up
+        std::hint::black_box(outcome.verdicts.len());
+        let start = Instant::now();
+        let (outcome, _) = run_memo(&func, &w.ctx, &w.cands, false, &exec);
+        std::hint::black_box(outcome.verdicts.len());
+        wall.push((threads, start.elapsed().as_secs_f64() * 1e3));
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nFull run (batched memo engine, 8 rules, {} pairs): {:.1} ms at 1 thread, \
+         {:.1} ms at 4 threads ({host_cores} host core(s)).",
+        w.cands.len(),
+        wall[0].1,
+        wall[1].1
+    );
 }

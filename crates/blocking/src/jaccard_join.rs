@@ -12,9 +12,8 @@
 //! exact Jaccard verification.
 
 use crate::{Blocker, BlockingError};
-use em_similarity::TokenScheme;
-use em_types::{CandidateSet, PairIdx, Table};
-use std::collections::HashMap;
+use em_similarity::{build_token_column, distinct_intersection, TokenScheme};
+use em_types::{CandidateSet, PairIdx, Table, TokenArena, TokenColumn};
 
 /// Emits exactly the pairs whose chosen attribute has token-set Jaccard at
 /// least `threshold` (an *exact* similarity join, unlike the recall-lossy
@@ -36,11 +35,14 @@ impl JaccardJoinBlocker {
         }
     }
 
-    fn distinct_tokens(&self, value: &str) -> Vec<String> {
-        let mut toks = self.scheme.tokenize(value);
-        toks.sort_unstable();
-        toks.dedup();
-        toks
+    /// The token scheme the blocker tokenizes under.
+    pub fn scheme(&self) -> TokenScheme {
+        self.scheme
+    }
+
+    /// The blocking attribute name.
+    pub fn attr(&self) -> &str {
+        &self.attr
     }
 }
 
@@ -51,8 +53,17 @@ fn prefix_len(len: usize, t: f64) -> usize {
     len.saturating_sub(required_overlap) + 1
 }
 
-impl Blocker for JaccardJoinBlocker {
-    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+impl JaccardJoinBlocker {
+    /// Blocks and *keeps* the token columns it built (see
+    /// [`crate::OverlapBlocker::block_prepared`]): tokens are interned
+    /// through `arena`, the prefix index and verification run on token ids,
+    /// and the columns are handed back for reuse by evaluation.
+    pub fn block_prepared(
+        &self,
+        a: &Table,
+        b: &Table,
+        arena: &mut TokenArena,
+    ) -> Result<(CandidateSet, TokenColumn, TokenColumn), BlockingError> {
         let attr_a = a
             .schema()
             .attr_id(&self.attr)
@@ -69,87 +80,94 @@ impl Blocker for JaccardJoinBlocker {
             })?;
         let t = self.threshold;
 
-        // Tokenize both sides once.
-        let tokens_a: Vec<Option<Vec<String>>> = a
-            .iter()
-            .map(|r| r.value(attr_a.index()).map(|v| self.distinct_tokens(v)))
-            .collect();
-        let tokens_b: Vec<Option<Vec<String>>> = b
-            .iter()
-            .map(|r| r.value(attr_b.index()).map(|v| self.distinct_tokens(v)))
-            .collect();
+        // Tokenize and intern both sides once.
+        let col_a = build_token_column(
+            self.scheme,
+            a.iter().map(|r| r.value(attr_a.index())),
+            arena,
+        );
+        let col_b = build_token_column(
+            self.scheme,
+            b.iter().map(|r| r.value(attr_b.index())),
+            arena,
+        );
+        let rank = arena.text_ranks();
 
-        // Global token order: ascending document frequency, so prefixes
-        // hold the *rarest* tokens and postings stay short.
-        let mut df: HashMap<&str, usize> = HashMap::new();
-        for toks in tokens_a.iter().chain(&tokens_b).flatten() {
-            for tok in toks {
-                *df.entry(tok).or_insert(0) += 1;
+        // Global document frequency per token id (each record counts a
+        // token once) and each record's distinct ids in the canonical
+        // order: ascending df, ties by token text.
+        let mut df: Vec<usize> = vec![0; arena.len()];
+        let distinct = |col: &TokenColumn| -> Vec<Vec<u32>> {
+            (0..col.n_records() as u32)
+                .map(|row| {
+                    let mut ids: Vec<u32> = Vec::new();
+                    for &id in col.sorted(row) {
+                        if ids.last() != Some(&id) {
+                            ids.push(id);
+                        }
+                    }
+                    ids
+                })
+                .collect()
+        };
+        let mut ids_a = distinct(&col_a);
+        let mut ids_b = distinct(&col_b);
+        for ids in ids_a.iter().chain(&ids_b) {
+            for &id in ids {
+                df[id as usize] += 1;
             }
         }
-        // Canonically sort each record's tokens by the global order
-        // (ascending document frequency, ties by the token itself).
-        let canon = |toks: &Option<Vec<String>>| -> Option<Vec<String>> {
-            toks.as_ref().map(|ts| {
-                let mut ts = ts.clone();
-                ts.sort_by(|x, y| (df[x.as_str()], x).cmp(&(df[y.as_str()], y)));
-                ts
-            })
-        };
-        let tokens_a: Vec<Option<Vec<String>>> = tokens_a.iter().map(canon).collect();
-        let tokens_b: Vec<Option<Vec<String>>> = tokens_b.iter().map(canon).collect();
+        for ids in ids_a.iter_mut().chain(ids_b.iter_mut()) {
+            ids.sort_unstable_by_key(|&id| (df[id as usize], rank[id as usize]));
+        }
 
         // Index table A's prefixes.
-        let mut index: HashMap<&str, Vec<u32>> = HashMap::new();
-        for (row, toks) in tokens_a.iter().enumerate() {
-            let Some(toks) = toks else { continue };
-            if toks.is_empty() {
-                continue;
-            }
-            for tok in toks.iter().take(prefix_len(toks.len(), t)) {
-                index.entry(tok).or_default().push(row as u32);
+        let mut index: Vec<Vec<u32>> = vec![Vec::new(); arena.len()];
+        for (row, ids) in ids_a.iter().enumerate() {
+            for &id in ids.iter().take(prefix_len(ids.len(), t)) {
+                index[id as usize].push(row as u32);
             }
         }
 
         // Probe with B's prefixes; verify exact Jaccard on survivors.
         let mut out = CandidateSet::new();
         let mut seen: Vec<u32> = Vec::new();
-        for (brow, toks_b) in tokens_b.iter().enumerate() {
-            let Some(toks_b) = toks_b else { continue };
-            if toks_b.is_empty() {
+        for (brow, ids) in ids_b.iter().enumerate() {
+            if ids.is_empty() {
                 continue;
             }
             seen.clear();
-            for tok in toks_b.iter().take(prefix_len(toks_b.len(), t)) {
-                if let Some(rows) = index.get(tok.as_str()) {
-                    seen.extend_from_slice(rows);
-                }
+            for &id in ids.iter().take(prefix_len(ids.len(), t)) {
+                seen.extend_from_slice(&index[id as usize]);
             }
             seen.sort_unstable();
             seen.dedup();
             for &arow in &seen {
-                let toks_a = tokens_a[arow as usize]
-                    .as_ref()
-                    .expect("indexed rows have tokens");
+                let na = col_a.unique(arow);
+                let nb = ids.len();
                 // Size filter: |B| must lie in [t·|A|, |A|/t].
-                let (la, lb) = (toks_a.len() as f64, toks_b.len() as f64);
+                let (la, lb) = (na as f64, nb as f64);
                 if lb < t * la || lb > la / t {
                     continue;
                 }
-                // Exact verification (both sides are distinct-token sets).
-                let set_a: std::collections::HashSet<&str> =
-                    toks_a.iter().map(String::as_str).collect();
-                let inter = toks_b
-                    .iter()
-                    .filter(|tk| set_a.contains(tk.as_str()))
-                    .count();
-                let union = toks_a.len() + toks_b.len() - inter;
+                // Exact verification by sorted-slice merge.
+                let inter =
+                    distinct_intersection(col_a.sorted(arow), col_b.sorted(brow as u32), &rank);
+                let union = na + nb - inter;
                 if inter as f64 >= t * union as f64 {
                     out.push(PairIdx::new(arow, brow as u32));
                 }
             }
         }
-        Ok(out)
+        Ok((out, col_a, col_b))
+    }
+}
+
+impl Blocker for JaccardJoinBlocker {
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+        let mut arena = TokenArena::new();
+        self.block_prepared(a, b, &mut arena)
+            .map(|(cands, ..)| cands)
     }
 
     fn name(&self) -> String {

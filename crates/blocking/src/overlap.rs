@@ -1,9 +1,8 @@
 //! Overlap blocking: an inverted-index join on shared tokens.
 
 use crate::{Blocker, BlockingError};
-use em_similarity::TokenScheme;
-use em_types::{CandidateSet, PairIdx, Table};
-use std::collections::HashMap;
+use em_similarity::{build_token_column, TokenScheme};
+use em_types::{CandidateSet, PairIdx, Table, TokenArena, TokenColumn};
 
 /// Keeps pairs whose chosen attribute shares at least `min_overlap` distinct
 /// tokens under the given [`TokenScheme`].
@@ -29,16 +28,27 @@ impl OverlapBlocker {
         }
     }
 
-    fn distinct_tokens(&self, value: &str) -> Vec<String> {
-        let mut toks = self.scheme.tokenize(value);
-        toks.sort_unstable();
-        toks.dedup();
-        toks
+    /// The token scheme the blocker tokenizes under.
+    pub fn scheme(&self) -> TokenScheme {
+        self.scheme
     }
-}
 
-impl Blocker for OverlapBlocker {
-    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+    /// The blocking attribute name.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// Blocks and *keeps* the token columns it built: both sides are
+    /// tokenized once, interned through `arena`, joined on token ids, and
+    /// the columns handed back so evaluation can reuse them instead of
+    /// re-tokenizing (the columns pair with `arena` and this blocker's
+    /// scheme/attribute).
+    pub fn block_prepared(
+        &self,
+        a: &Table,
+        b: &Table,
+        arena: &mut TokenArena,
+    ) -> Result<(CandidateSet, TokenColumn, TokenColumn), BlockingError> {
         let attr_a = a
             .schema()
             .attr_id(&self.attr)
@@ -54,42 +64,67 @@ impl Blocker for OverlapBlocker {
                 table: "B",
             })?;
 
-        // Inverted index over A.
-        let mut index: HashMap<String, Vec<u32>> = HashMap::new();
-        for (row, rec) in a.iter().enumerate() {
-            if let Some(v) = rec.value(attr_a.index()) {
-                for t in self.distinct_tokens(v) {
-                    index.entry(t).or_default().push(row as u32);
-                }
+        let col_a = build_token_column(
+            self.scheme,
+            a.iter().map(|r| r.value(attr_a.index())),
+            arena,
+        );
+        let col_b = build_token_column(
+            self.scheme,
+            b.iter().map(|r| r.value(attr_b.index())),
+            arena,
+        );
+
+        // Inverted index over A: token id → A-rows containing it (each row
+        // once per distinct token).
+        let mut index: Vec<Vec<u32>> = vec![Vec::new(); arena.len()];
+        for row in 0..col_a.n_records() as u32 {
+            for id in distinct_ids(col_a.sorted(row)) {
+                index[id as usize].push(row);
             }
         }
 
-        // Probe with B, counting hits per A-row.
+        // Probe with B, counting hits per A-row in a dense counter.
         let mut out = CandidateSet::new();
-        let mut hits: HashMap<u32, usize> = HashMap::new();
-        for (brow, rec) in b.iter().enumerate() {
-            let Some(v) = rec.value(attr_b.index()) else {
-                continue;
-            };
-            hits.clear();
-            for t in self.distinct_tokens(v) {
-                if let Some(rows) = index.get(&t) {
-                    for &arow in rows {
-                        *hits.entry(arow).or_insert(0) += 1;
+        let mut hits: Vec<usize> = vec![0; a.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        for brow in 0..col_b.n_records() as u32 {
+            for id in distinct_ids(col_b.sorted(brow)) {
+                for &arow in &index[id as usize] {
+                    if hits[arow as usize] == 0 {
+                        touched.push(arow);
                     }
+                    hits[arow as usize] += 1;
                 }
             }
-            let mut survivors: Vec<u32> = hits
-                .iter()
-                .filter(|&(_, &c)| c >= self.min_overlap)
-                .map(|(&arow, _)| arow)
-                .collect();
-            survivors.sort_unstable(); // deterministic output order
-            for arow in survivors {
-                out.push(PairIdx::new(arow, brow as u32));
+            touched.sort_unstable(); // deterministic output order
+            for &arow in &touched {
+                if hits[arow as usize] >= self.min_overlap {
+                    out.push(PairIdx::new(arow, brow));
+                }
+                hits[arow as usize] = 0;
             }
+            touched.clear();
         }
-        Ok(out)
+        Ok((out, col_a, col_b))
+    }
+}
+
+/// Iterates the distinct ids of a text-sorted slice (duplicates of one id
+/// are adjacent).
+fn distinct_ids(sorted: &[u32]) -> impl Iterator<Item = u32> + '_ {
+    sorted
+        .iter()
+        .enumerate()
+        .filter(|&(i, &id)| i == 0 || sorted[i - 1] != id)
+        .map(|(_, &id)| id)
+}
+
+impl Blocker for OverlapBlocker {
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockingError> {
+        let mut arena = TokenArena::new();
+        self.block_prepared(a, b, &mut arena)
+            .map(|(cands, ..)| cands)
     }
 
     fn name(&self) -> String {

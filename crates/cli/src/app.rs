@@ -426,7 +426,9 @@ impl App {
                 if self.session().function().is_empty() {
                     return Ok("(no rules — nothing to estimate)".to_string());
                 }
-                let stats = self.session().estimate_stats();
+                // Cache the sampled stats on the session so later `explain`
+                // output carries per-predicate cost annotations.
+                let stats = self.session_mut().refresh_stats();
                 let mut out = String::from("feature costs (ns/eval):");
                 for f in self.session().function().features() {
                     let _ = write!(

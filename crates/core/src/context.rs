@@ -8,13 +8,59 @@
 //! `A.x` plus all non-missing values of `B.y`.
 
 use crate::feature::{FeatureDef, FeatureId, FeatureRegistry};
-use em_similarity::{IdfTable, Measure, TokenScheme};
-use em_types::{AttrId, PairIdx, Table};
+use em_similarity::{
+    build_base_column, build_token_column, BaseColumn, IdfTable, Measure, PreparedIdf,
+    PreparedView, SimScratch, TokenChars, TokenScheme,
+};
+use em_types::{AttrId, PairIdx, Table, TokenArena, TokenColumn};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Key of a prepared IDF table.
 type CorpusKey = (TokenScheme, AttrId, AttrId);
+
+thread_local! {
+    /// Per-thread kernel scratch for the prepared scalar path: each worker
+    /// reuses one set of buffers across every `compute` call, so the
+    /// steady-state per-pair allocation count is zero.
+    static SIM_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
+/// Interned token state for one [`TokenScheme`]: the arena shared by every
+/// column of that scheme, a lexicographic rank snapshot covering all interned
+/// ids, per-token normalized chars, and the token columns per attribute.
+#[derive(Debug, Clone, Default)]
+struct SchemeColumns {
+    arena: TokenArena,
+    rank: Arc<Vec<u32>>,
+    token_chars: Arc<TokenChars>,
+    toks_a: HashMap<AttrId, Arc<TokenColumn>>,
+    toks_b: HashMap<AttrId, Arc<TokenColumn>>,
+}
+
+impl SchemeColumns {
+    /// Refreshes the derived snapshots after the arena grew.
+    fn refresh(&mut self) {
+        self.rank = Arc::new(self.arena.text_ranks());
+        let mut tc = TokenChars::clone(&self.token_chars);
+        tc.extend_from(&self.arena);
+        self.token_chars = Arc::new(tc);
+    }
+}
+
+/// Columnar state built once per attribute (and once per `(scheme,
+/// attribute)`) at feature-registration time and reused by every evaluation.
+#[derive(Debug, Clone, Default)]
+struct PreparedState {
+    /// Arena of trimmed attribute values shared by all base columns, so
+    /// Exact equality is id equality across tables.
+    value_arena: TokenArena,
+    cols_a: HashMap<AttrId, Arc<BaseColumn>>,
+    cols_b: HashMap<AttrId, Arc<BaseColumn>>,
+    schemes: HashMap<TokenScheme, SchemeColumns>,
+    pidf: HashMap<CorpusKey, Arc<PreparedIdf>>,
+}
 
 /// Everything needed to compute feature values for candidate pairs.
 ///
@@ -26,6 +72,7 @@ pub struct EvalContext {
     table_b: Arc<Table>,
     registry: FeatureRegistry,
     idf: HashMap<CorpusKey, Arc<IdfTable>>,
+    prepared: PreparedState,
     /// Test-only fault injection plan (see [`crate::fault`]).
     #[cfg(feature = "fault-inject")]
     fault: Option<Arc<crate::fault::FaultPlan>>,
@@ -39,6 +86,7 @@ impl EvalContext {
             table_b,
             registry: FeatureRegistry::new(),
             idf: HashMap::new(),
+            prepared: PreparedState::default(),
             #[cfg(feature = "fault-inject")]
             fault: None,
         }
@@ -96,7 +144,132 @@ impl EvalContext {
         if let Some(scheme) = measure.corpus_scheme() {
             self.ensure_corpus(scheme, attr_a, attr_b);
         }
+        self.ensure_prepared(measure, attr_a, attr_b);
         id
+    }
+
+    /// Builds (or reuses) the columnar state a feature's kernels run on:
+    /// base columns per attribute, token columns per `(scheme, attribute)`,
+    /// per-token chars and id-keyed IDF weights where the measure needs
+    /// them. Idempotent; growth of a scheme arena refreshes the rank and
+    /// char snapshots so ids from *all* columns stay comparable.
+    fn ensure_prepared(&mut self, measure: Measure, attr_a: AttrId, attr_b: AttrId) {
+        if !self.prepared.cols_a.contains_key(&attr_a) {
+            let col = build_base_column(
+                self.table_a.iter().map(|r| r.value(attr_a.index())),
+                &mut self.prepared.value_arena,
+            );
+            self.prepared.cols_a.insert(attr_a, Arc::new(col));
+        }
+        if !self.prepared.cols_b.contains_key(&attr_b) {
+            let col = build_base_column(
+                self.table_b.iter().map(|r| r.value(attr_b.index())),
+                &mut self.prepared.value_arena,
+            );
+            self.prepared.cols_b.insert(attr_b, Arc::new(col));
+        }
+        let Some(scheme) = measure.token_scheme() else {
+            return;
+        };
+        let sc = self.prepared.schemes.entry(scheme).or_default();
+        let mut grew = false;
+        if !sc.toks_a.contains_key(&attr_a) {
+            let before = sc.arena.len();
+            let col = build_token_column(
+                scheme,
+                self.table_a.iter().map(|r| r.value(attr_a.index())),
+                &mut sc.arena,
+            );
+            sc.toks_a.insert(attr_a, Arc::new(col));
+            grew |= sc.arena.len() != before;
+        }
+        if !sc.toks_b.contains_key(&attr_b) {
+            let before = sc.arena.len();
+            let col = build_token_column(
+                scheme,
+                self.table_b.iter().map(|r| r.value(attr_b.index())),
+                &mut sc.arena,
+            );
+            sc.toks_b.insert(attr_b, Arc::new(col));
+            grew |= sc.arena.len() != before;
+        }
+        if grew || sc.rank.len() != sc.arena.len() {
+            sc.refresh();
+        }
+        if let Some(cscheme) = measure.corpus_scheme() {
+            let key = (cscheme, attr_a, attr_b);
+            if !self.prepared.pidf.contains_key(&key) {
+                // `ensure_corpus` ran first, and the corpus tokenizes the
+                // same two columns just interned, so every token with a
+                // document-frequency entry already has an arena id.
+                if let Some(idf) = self.idf.get(&key) {
+                    let pidf = PreparedIdf::build(idf, &sc.arena);
+                    self.prepared.pidf.insert(key, Arc::new(pidf));
+                }
+            }
+        }
+    }
+
+    /// Adopts token columns a blocker already built (see
+    /// `OverlapBlocker::block_prepared`), so evaluation skips re-tokenizing
+    /// the blocking attribute. No-op if this scheme already has prepared
+    /// state — its arena's id space would clash with the blocker's.
+    pub fn adopt_token_columns(
+        &mut self,
+        scheme: TokenScheme,
+        attr_a: AttrId,
+        attr_b: AttrId,
+        arena: TokenArena,
+        col_a: TokenColumn,
+        col_b: TokenColumn,
+    ) {
+        if self.prepared.schemes.contains_key(&scheme)
+            || col_a.n_records() != self.table_a.len()
+            || col_b.n_records() != self.table_b.len()
+        {
+            return;
+        }
+        let mut sc = SchemeColumns {
+            arena,
+            ..SchemeColumns::default()
+        };
+        sc.toks_a.insert(attr_a, Arc::new(col_a));
+        sc.toks_b.insert(attr_b, Arc::new(col_b));
+        sc.refresh();
+        self.prepared.schemes.insert(scheme, sc);
+    }
+
+    /// Assembles the borrowed columnar view feature `fid`'s kernels run on,
+    /// or `None` when the feature's columns were never prepared (e.g. a
+    /// registry restored from a snapshot) — callers fall back to the
+    /// string-at-a-time path.
+    pub fn prepared_for(&self, fid: FeatureId) -> Option<PreparedView<'_>> {
+        let def = self.registry.try_def(fid)?;
+        let base_a = self.prepared.cols_a.get(&def.attr_a)?.as_ref();
+        let base_b = self.prepared.cols_b.get(&def.attr_b)?.as_ref();
+        let mut view = PreparedView {
+            base_a,
+            base_b,
+            tok_a: None,
+            tok_b: None,
+            rank: None,
+            token_chars: None,
+            idf: None,
+        };
+        if let Some(scheme) = def.measure.token_scheme() {
+            let sc = self.prepared.schemes.get(&scheme)?;
+            view.tok_a = Some(sc.toks_a.get(&def.attr_a)?.as_ref());
+            view.tok_b = Some(sc.toks_b.get(&def.attr_b)?.as_ref());
+            view.rank = Some(&sc.rank[..]);
+            if def.measure.needs_token_chars() {
+                view.token_chars = Some(sc.token_chars.as_ref());
+            }
+        }
+        if let Some(cscheme) = def.measure.corpus_scheme() {
+            let key = (cscheme, def.attr_a, def.attr_b);
+            view.idf = Some(self.prepared.pidf.get(&key)?.as_ref());
+        }
+        Some(view)
     }
 
     fn ensure_corpus(&mut self, scheme: TokenScheme, attr_a: AttrId, attr_b: AttrId) {
@@ -118,6 +291,20 @@ impl EvalContext {
         self.idf
             .get(&(scheme, def.attr_a, def.attr_b))
             .map(|a| a.as_ref())
+    }
+
+    /// True when a fault plan intercepts computations (test builds only).
+    /// Engines then stay on the scalar per-pair path, whose budget checks
+    /// and panic isolation have per-pair granularity.
+    pub(crate) fn has_fault_plan(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.fault.is_some()
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
     }
 
     /// Computes the value of feature `fid` for candidate pair `pair`.
@@ -144,12 +331,54 @@ impl EvalContext {
                 return v;
             }
         }
+        if let Some(view) = self.prepared_for(fid) {
+            let def = self.registry.def(fid);
+            return SIM_SCRATCH.with(|s| {
+                def.measure
+                    .similarity_prepared(&view, pair, &mut s.borrow_mut())
+            });
+        }
         let def = self.registry.def(fid);
         let va = self.table_a.value(pair.a, def.attr_a);
         let vb = self.table_b.value(pair.b, def.attr_b);
         match (va, vb) {
             (Some(x), Some(y)) => def.measure.similarity_with(x, y, self.idf_for(def)),
             _ => 0.0,
+        }
+    }
+
+    /// Computes feature `fid` for a whole chunk of pairs at once, writing
+    /// into `out` (same length as `pairs`). Values match [`Self::compute`]
+    /// bit-for-bit — NaN normalizes to 0.0 here too — but the batch kernels
+    /// amortize dispatch and reuse scratch across the chunk.
+    ///
+    /// Falls back to the scalar path per pair when the feature has no
+    /// prepared columns or a fault plan is installed (faults key on the
+    /// individual pair).
+    pub fn compute_batch(&self, fid: FeatureId, pairs: &[PairIdx], out: &mut [f64]) {
+        debug_assert_eq!(pairs.len(), out.len());
+        #[cfg(feature = "fault-inject")]
+        if self.fault.is_some() {
+            for (slot, &pair) in out.iter_mut().zip(pairs) {
+                *slot = self.compute(fid, pair);
+            }
+            return;
+        }
+        match self.prepared_for(fid) {
+            Some(view) => {
+                let def = self.registry.def(fid);
+                def.measure.similarity_batch(&view, pairs, out);
+                for v in out.iter_mut() {
+                    if v.is_nan() {
+                        *v = 0.0;
+                    }
+                }
+            }
+            None => {
+                for (slot, &pair) in out.iter_mut().zip(pairs) {
+                    *slot = self.compute(fid, pair);
+                }
+            }
         }
     }
 
@@ -231,5 +460,75 @@ mod tests {
         let mut c = ctx();
         let f = c.feature(Measure::Jaro, "title", "modelno").unwrap();
         assert_eq!(c.feature_name(f), "jaro(title, modelno)");
+    }
+
+    #[test]
+    fn registered_features_have_prepared_views() {
+        let mut c = ctx();
+        for m in Measure::paper_menu() {
+            let f = c.feature(m, "title", "title").unwrap();
+            assert!(
+                c.prepared_for(f).is_some(),
+                "no prepared view for {}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let mut c = ctx();
+        let pairs: Vec<PairIdx> = (0..2u32)
+            .flat_map(|a| (0..2u32).map(move |b| PairIdx::new(a, b)))
+            .collect();
+        for m in Measure::paper_menu() {
+            let f = c.feature(m, "title", "title").unwrap();
+            let mut out = vec![f64::NAN; pairs.len()];
+            c.compute_batch(f, &pairs, &mut out);
+            for (&pair, &got) in pairs.iter().zip(&out) {
+                let want = c.compute(f, pair);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{} on {pair:?}: batch {got} vs scalar {want}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adopted_blocking_columns_are_reused() {
+        use em_similarity::build_token_column;
+        let mut c = ctx();
+        let attr = c.table_a().schema().attr_id("title").unwrap();
+        let mut arena = TokenArena::new();
+        let col_a = build_token_column(
+            TokenScheme::Whitespace,
+            c.table_a().iter().map(|r| r.value(attr.index())),
+            &mut arena,
+        );
+        let col_b = build_token_column(
+            TokenScheme::Whitespace,
+            c.table_b().iter().map(|r| r.value(attr.index())),
+            &mut arena,
+        );
+        c.adopt_token_columns(TokenScheme::Whitespace, attr, attr, arena, col_a, col_b);
+        let f = c
+            .feature(Measure::Jaccard(TokenScheme::Whitespace), "title", "title")
+            .unwrap();
+        let view = c.prepared_for(f).expect("adopted columns should serve");
+        assert!(view.tok_a.is_some() && view.rank.is_some());
+        assert_eq!(c.compute(f, PairIdx::new(0, 0)), {
+            let ta: std::collections::HashSet<String> = TokenScheme::Whitespace
+                .tokenize("apple ipod nano")
+                .into_iter()
+                .collect();
+            let tb: std::collections::HashSet<String> = TokenScheme::Whitespace
+                .tokenize("apple ipod nano 16gb")
+                .into_iter()
+                .collect();
+            ta.intersection(&tb).count() as f64 / ta.union(&tb).count() as f64
+        });
     }
 }

@@ -7,6 +7,12 @@
 //! `|C|` for a predicted total runtime. Probabilities follow the paper's
 //! independence assumptions: predicates with different features are
 //! independent, and `sel(⋀ pᵢ) = Π sel(pᵢ)`.
+//!
+//! `cost(f)` comes from [`FunctionStats::estimate`], which times features
+//! through the batched kernel path the engines actually run — so every
+//! formula here is calibrated to per-pair *batch* cost, keeping the model
+//! honest after the columnar refactor made computation much cheaper
+//! relative to the memo lookup δ.
 
 use crate::feature::FeatureId;
 use crate::function::MatchingFunction;

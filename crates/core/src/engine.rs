@@ -18,7 +18,9 @@ use crate::executor::{partition, run_sharded, split_mut, Executor};
 use crate::feature::FeatureId;
 use crate::function::MatchingFunction;
 use crate::memo::{DenseMemo, Memo, MemoShard};
-use crate::robust::{drive_pairs, fold_outcomes, DriveOutcome, PairList, PairSink};
+use crate::robust::{
+    drive_pairs, drive_pairs_batched, fold_outcomes, BatchSink, DriveOutcome, PairList, PairSink,
+};
 use em_types::{CandidateSet, PairIdx};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -503,6 +505,145 @@ pub(crate) fn eval_rule_memoized<M: Memo>(
     true
 }
 
+/// How many pairs one batched evaluation chunk covers. Large enough that a
+/// per-feature kernel amortizes its dispatch over many pairs, small enough
+/// that early exit keeps pruning (a chunk's survivors shrink rule by rule)
+/// and a mid-chunk panic re-runs few pairs.
+pub(crate) const BATCH_CHUNK: usize = 256;
+
+/// Reusable buffers for [`eval_rules_batched`], held per worker shard so the
+/// steady state allocates nothing per chunk.
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    /// Chunk-local positions whose verdict is still undecided, ascending.
+    alive: Vec<usize>,
+    /// Positions that passed every predicate of the current rule so far.
+    survivors: Vec<usize>,
+    next: Vec<usize>,
+    /// Positions whose current feature value was not memoized.
+    uncached: Vec<usize>,
+    upairs: Vec<PairIdx>,
+    /// Global candidate indices matching `uncached` (memo keys).
+    ukeys: Vec<usize>,
+    uvals: Vec<f64>,
+    /// Feature value per chunk-local position (current predicate).
+    vals: Vec<f64>,
+}
+
+impl BatchScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Evaluates the whole matching function over one chunk of pairs,
+/// column-wise: per rule, per predicate, the chunk's surviving pairs are
+/// partitioned into memoized and uncomputed, the uncomputed remainder is
+/// evaluated with **one** [`EvalContext::compute_batch`] call, and the
+/// survivor list is filtered by the threshold.
+///
+/// Per pair this visits exactly the `(rule, predicate)` sequence Algorithm 4
+/// visits — entering rules until one fires, evaluating predicates until one
+/// fails — so verdicts, memo contents, and every [`EvalStats`] counter are
+/// identical to the scalar path; only the iteration order across pairs
+/// differs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_rules_batched<M: Memo>(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    pairs: &[PairIdx],
+    indices: &[usize],
+    memo: &mut M,
+    stats: &mut EvalStats,
+    scratch: &mut BatchScratch,
+    mut on_fire: impl FnMut(usize, crate::rule::RuleId),
+    mut on_false: impl FnMut(crate::predicate::PredId, usize),
+) {
+    let BatchScratch {
+        alive,
+        survivors,
+        next,
+        uncached,
+        upairs,
+        ukeys,
+        uvals,
+        vals,
+    } = scratch;
+    let k = indices.len();
+    alive.clear();
+    alive.extend(0..k);
+    vals.clear();
+    vals.resize(k, 0.0);
+    for rule in func.rules() {
+        if alive.is_empty() {
+            break;
+        }
+        survivors.clear();
+        survivors.extend_from_slice(alive);
+        stats.rule_evals += survivors.len() as u64;
+        for bp in &rule.preds {
+            if survivors.is_empty() {
+                break;
+            }
+            let f = bp.pred.feature;
+            uncached.clear();
+            upairs.clear();
+            ukeys.clear();
+            for &pos in survivors.iter() {
+                let gi = indices[pos];
+                match memo.get(gi, f) {
+                    Some(v) => {
+                        stats.memo_lookups += 1;
+                        vals[pos] = v;
+                    }
+                    None => {
+                        uncached.push(pos);
+                        upairs.push(pairs[gi]);
+                        ukeys.push(gi);
+                    }
+                }
+            }
+            if !uncached.is_empty() {
+                uvals.clear();
+                uvals.resize(uncached.len(), 0.0);
+                ctx.compute_batch(f, upairs, uvals);
+                stats.feature_computations += uncached.len() as u64;
+                memo.put_column(f, ukeys, uvals);
+                for (j, &pos) in uncached.iter().enumerate() {
+                    vals[pos] = uvals[j];
+                }
+            }
+            stats.predicate_evals += survivors.len() as u64;
+            next.clear();
+            for &pos in survivors.iter() {
+                if bp.pred.eval(vals[pos]) {
+                    next.push(pos);
+                } else {
+                    on_false(bp.id, indices[pos]);
+                }
+            }
+            std::mem::swap(survivors, next);
+        }
+        if !survivors.is_empty() {
+            // Survivors fired this rule: report them and strike them from
+            // the alive list (both ascending, so one merge pass suffices).
+            for &pos in survivors.iter() {
+                on_fire(indices[pos], rule.id);
+            }
+            next.clear();
+            let mut s = 0;
+            for &pos in alive.iter() {
+                if s < survivors.len() && survivors[s] == pos {
+                    s += 1;
+                } else {
+                    next.push(pos);
+                }
+            }
+            std::mem::swap(alive, next);
+        }
+    }
+}
+
 /// Algorithm 4 — early exit with dynamic memoing, writing into a
 /// caller-supplied memo (dense or sparse). Serial: this is the single-shard
 /// workhorse the parallel entry points fan out over (a generic [`Memo`]
@@ -545,6 +686,7 @@ pub fn run_memo_with_budgeted<M: Memo>(
         memo: &'a mut M,
         verdicts: &'a mut [bool],
         stats: &'a mut EvalStats,
+        scratch: BatchScratch,
     }
     impl<M: Memo> PairSink for Sink<'_, M> {
         fn process(&mut self, i: usize) {
@@ -566,8 +708,34 @@ pub fn run_memo_with_budgeted<M: Memo>(
             }
         }
     }
+    impl<M: Memo> BatchSink for Sink<'_, M> {
+        fn process_batch(&mut self, indices: &[usize]) {
+            let Sink {
+                func,
+                ctx,
+                pairs,
+                memo,
+                verdicts,
+                stats,
+                scratch,
+                ..
+            } = self;
+            eval_rules_batched(
+                func,
+                ctx,
+                pairs,
+                indices,
+                &mut **memo,
+                stats,
+                scratch,
+                |gi, _| verdicts[gi] = true,
+                |_, _| {},
+            );
+        }
+    }
 
     let mut checker = budget.checker();
+    let batched = !check_cache_first && !ctx.has_fault_plan();
     let mut sink = Sink {
         func,
         ctx,
@@ -576,8 +744,14 @@ pub fn run_memo_with_budgeted<M: Memo>(
         memo,
         verdicts: &mut verdicts,
         stats: &mut stats,
+        scratch: BatchScratch::new(),
     };
-    let drive = drive_pairs(&PairList::Range(0..cands.len()), &mut checker, &mut sink);
+    let list = PairList::Range(0..cands.len());
+    let drive = if batched {
+        drive_pairs_batched(&list, &mut checker, &mut sink, BATCH_CHUNK)
+    } else {
+        drive_pairs(&list, &mut checker, &mut sink)
+    };
     let (completion, quarantined, _) = fold_outcomes([drive]);
 
     MatchOutcome {
@@ -673,6 +847,7 @@ pub fn run_memo_into_budgeted(
         memo: &'b mut MemoShard<'a>,
         verdicts: &'b mut [bool],
         stats: &'b mut EvalStats,
+        scratch: BatchScratch,
     }
     impl PairSink for Sink<'_, '_> {
         fn process(&mut self, i: usize) {
@@ -694,7 +869,35 @@ pub fn run_memo_into_budgeted(
             }
         }
     }
+    impl BatchSink for Sink<'_, '_> {
+        fn process_batch(&mut self, indices: &[usize]) {
+            let Sink {
+                func,
+                ctx,
+                pairs,
+                base,
+                memo,
+                verdicts,
+                stats,
+                scratch,
+                ..
+            } = self;
+            let base = *base;
+            eval_rules_batched(
+                func,
+                ctx,
+                pairs,
+                indices,
+                &mut **memo,
+                stats,
+                scratch,
+                |gi, _| verdicts[gi - base] = true,
+                |_, _| {},
+            );
+        }
+    }
 
+    let batched = !check_cache_first && !ctx.has_fault_plan();
     let shards = run_sharded(exec, shards, |_, shard| {
         let mut checker = budget.checker();
         let range = shard.range.clone();
@@ -707,8 +910,14 @@ pub fn run_memo_into_budgeted(
             memo: &mut shard.memo,
             verdicts: &mut *shard.verdicts,
             stats: &mut shard.stats,
+            scratch: BatchScratch::new(),
         };
-        shard.drive = drive_pairs(&PairList::Range(range), &mut checker, &mut sink);
+        let list = PairList::Range(range);
+        shard.drive = if batched {
+            drive_pairs_batched(&list, &mut checker, &mut sink, BATCH_CHUNK)
+        } else {
+            drive_pairs(&list, &mut checker, &mut sink)
+        };
     });
 
     let mut stats = EvalStats::default();

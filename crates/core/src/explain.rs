@@ -11,6 +11,7 @@ use crate::feature::FeatureId;
 use crate::function::MatchingFunction;
 use crate::predicate::{CmpOp, PredId};
 use crate::rule::RuleId;
+use crate::stats::FunctionStats;
 use em_types::PairIdx;
 use std::fmt;
 
@@ -31,6 +32,11 @@ pub struct PredicateTrace {
     pub threshold: f64,
     /// Whether the predicate held.
     pub passed: bool,
+    /// Estimated cost of computing this feature, in ns/pair, when
+    /// statistics were supplied (see [`explain_with_costs`]). Measured
+    /// through the batched kernel path, so it is the cost the engines —
+    /// and the §5.5 ordering model — actually pay per pair.
+    pub cost_ns: Option<f64>,
 }
 
 /// Trace of one rule evaluation.
@@ -71,6 +77,19 @@ pub struct Explanation {
 
 /// Traces the evaluation of `func` on `pair`, computing every feature.
 pub fn explain(func: &MatchingFunction, ctx: &EvalContext, pair: PairIdx) -> Explanation {
+    explain_with_costs(func, ctx, pair, None)
+}
+
+/// Like [`explain`], additionally annotating each predicate with the
+/// estimated per-pair cost of its feature when `stats` are available —
+/// so the analyst sees not just *why* a pair matched but *what each
+/// predicate costs*, the quantity the ordering optimizer trades on.
+pub fn explain_with_costs(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    pair: PairIdx,
+    stats: Option<&FunctionStats>,
+) -> Explanation {
     let mut rules = Vec::with_capacity(func.n_rules());
     let mut fired = None;
     for rule in func.rules() {
@@ -96,6 +115,7 @@ pub fn explain(func: &MatchingFunction, ctx: &EvalContext, pair: PairIdx) -> Exp
                 op: bp.pred.op,
                 threshold: bp.pred.threshold,
                 passed,
+                cost_ns: stats.map(|s| s.cost(bp.pred.feature)),
             });
         }
         if satisfied && fired.is_none() {
@@ -139,7 +159,7 @@ impl fmt::Display for Explanation {
                 if rt.satisfied { "satisfied" } else { "failed" }
             )?;
             for pt in &rt.predicates {
-                writeln!(
+                write!(
                     f,
                     "    [{}] {} = {:.4} {} {:.2}",
                     if pt.passed { "ok" } else { "XX" },
@@ -148,6 +168,10 @@ impl fmt::Display for Explanation {
                     pt.op,
                     pt.threshold
                 )?;
+                if let Some(cost) = pt.cost_ns {
+                    write!(f, "  (~{cost:.0} ns/pair)")?;
+                }
+                writeln!(f)?;
             }
         }
         Ok(())
@@ -205,5 +229,20 @@ mod tests {
         assert!(text.contains("NO MATCH"));
         assert!(text.contains("exact(name, name)"));
         assert!(text.contains("XX"));
+        assert!(!text.contains("ns/pair"), "no stats → no cost annotation");
+    }
+
+    #[test]
+    fn costs_attach_when_stats_supplied() {
+        let (ctx, func) = fixture();
+        let f = func.features()[0];
+        let stats = FunctionStats::synthetic([(f, 250.0)], [], 1.0);
+        let e = explain_with_costs(&func, &ctx, PairIdx::new(0, 0), Some(&stats));
+        assert_eq!(e.rules[0].predicates[0].cost_ns, Some(250.0));
+        let text = e.to_string();
+        assert!(text.contains("(~250 ns/pair)"), "{text}");
+        // Plain explain leaves the field empty.
+        let plain = explain(&func, &ctx, PairIdx::new(0, 0));
+        assert_eq!(plain.rules[0].predicates[0].cost_ns, None);
     }
 }

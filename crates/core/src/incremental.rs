@@ -124,6 +124,14 @@ struct DeltaParts {
     drives: Vec<DriveOutcome>,
 }
 
+/// Shards per worker when a delta runs on a pool. Affected lists are often
+/// skewed — a rule edit touches clusters of similar pairs whose features
+/// cost very different amounts — so cutting finer than one shard per worker
+/// lets the pool's index-stealing rebalance the tail. Per-shard stats are
+/// folded back to one [`WorkerStats`] entry per worker so consumers keep
+/// seeing the worker-shaped breakdown.
+const DELTA_SHARDS_PER_WORKER: usize = 4;
+
 /// Runs `process` over every affected pair, partitioned across the
 /// executor's workers. Each worker sees the pre-edit `state` read-only plus
 /// its own memo overlay; the shards' event logs come back concatenated in
@@ -141,7 +149,13 @@ fn eval_delta(
     budget: &EvalBudget,
     process: impl Fn(&mut DeltaShard<'_>, usize) + Sync,
 ) -> DeltaParts {
-    let ranges = partition(affected.len(), exec.n_workers());
+    let n_workers = exec.n_workers();
+    let n_shards = if exec.is_parallel() {
+        n_workers * DELTA_SHARDS_PER_WORKER
+    } else {
+        n_workers
+    };
+    let ranges = partition(affected.len(), n_shards);
     let shards: Vec<(Range<usize>, DeltaShard<'_>, DriveOutcome)> = ranges
         .into_iter()
         .map(|range| {
@@ -190,14 +204,22 @@ fn eval_delta(
     });
 
     let mut parts = DeltaParts::default();
-    for (worker, (_, shard, drive)) in shards.into_iter().enumerate() {
+    for (shard_idx, (_, shard, drive)) in shards.into_iter().enumerate() {
+        // Fold shard stats back to a per-worker breakdown: shard `s` is
+        // attributed to worker `s % n_workers`, matching the round-robin
+        // order an idle pool would claim indices in.
+        let worker = shard_idx % n_workers;
+        if parts.worker_stats.len() <= worker {
+            parts.worker_stats.push(WorkerStats {
+                worker,
+                ..WorkerStats::default()
+            });
+        }
         parts.stats.absorb(&shard.stats);
         parts.pairs_examined += drive.pairs_examined;
-        parts.worker_stats.push(WorkerStats {
-            worker,
-            pairs_examined: drive.pairs_examined,
-            stats: shard.stats,
-        });
+        let ws = &mut parts.worker_stats[worker];
+        ws.pairs_examined += drive.pairs_examined;
+        ws.stats.absorb(&shard.stats);
         parts.memo_entries.extend(shard.memo.into_local());
         parts.events.extend(shard.events);
         parts.drives.push(drive);

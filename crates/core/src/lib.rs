@@ -87,7 +87,7 @@ pub use engine::{
 };
 pub use exact::{optimal_rule_order, ExactOrder, MAX_EXACT_RULES};
 pub use executor::{partition, run_sharded, split_mut, Executor};
-pub use explain::{Explanation, PredicateTrace, RuleTrace};
+pub use explain::{explain_with_costs, Explanation, PredicateTrace, RuleTrace};
 #[cfg(feature = "fault-inject")]
 pub use fault::{AppendFault, FaultPlan, IoFaultPlan, SnapshotFault};
 pub use feature::{FeatureDef, FeatureId, FeatureRegistry};

@@ -10,7 +10,7 @@ use crate::budget::{CancelToken, Completion, EvalBudget};
 use crate::context::EvalContext;
 use crate::engine::EvalStats;
 use crate::executor::Executor;
-use crate::explain::{explain, Explanation};
+use crate::explain::{explain_with_costs, Explanation};
 use crate::feature::FeatureId;
 use crate::function::{EditError, MatchingFunction};
 use crate::incremental::{self, ChangeReport, PendingDelta, WorkerStats};
@@ -145,6 +145,10 @@ pub struct DebugSession {
     /// are whatever the last successful evaluation left behind.
     quarantined: Vec<usize>,
     pending: Option<PendingWork>,
+    /// Most recent sampled statistics ([`DebugSession::refresh_stats`] /
+    /// [`DebugSession::optimize`]); lets `explain` annotate predicates
+    /// with per-pair feature costs without re-sampling.
+    last_stats: Option<FunctionStats>,
 }
 
 impl DebugSession {
@@ -174,6 +178,7 @@ impl DebugSession {
             cancel: CancelToken::default(),
             quarantined: Vec::new(),
             pending: None,
+            last_stats: None,
         }
     }
 
@@ -744,6 +749,20 @@ impl DebugSession {
         )
     }
 
+    /// Like [`DebugSession::estimate_stats`], additionally caching the
+    /// result so later [`DebugSession::explain`] calls can annotate
+    /// predicates with per-pair feature costs for free.
+    pub fn refresh_stats(&mut self) -> FunctionStats {
+        let stats = self.estimate_stats();
+        self.last_stats = Some(stats.clone());
+        stats
+    }
+
+    /// The most recently sampled statistics, if any pass has run.
+    pub fn cached_stats(&self) -> Option<&FunctionStats> {
+        self.last_stats.as_ref()
+    }
+
     /// Applies the full §5.5 ordering optimization (Lemma 3 predicate
     /// orders + the chosen rule-ordering algorithm), then re-runs matching
     /// so the materialized state reflects the new order. Returns the
@@ -751,7 +770,7 @@ impl DebugSession {
     /// persist).
     pub fn optimize(&mut self, algo: OrderingAlgo) -> Result<EvalStats, EditError> {
         self.ensure_idle()?;
-        let stats = self.estimate_stats();
+        let stats = self.refresh_stats();
         ordering::optimize(&mut self.func, &stats, algo);
         Ok(self.run_full())
     }
@@ -796,7 +815,15 @@ impl DebugSession {
     /// the analyst knows the trace was recomputed for a pair matching
     /// skipped.
     pub fn explain(&self, pair_index: usize) -> Explanation {
-        let mut e = explain(&self.func, &self.ctx, self.cands.pair(pair_index));
+        // Attach per-pair feature costs whenever a stats pass has run
+        // (`stats` command or `optimize`), so the analyst sees what each
+        // predicate costs alongside why it passed or failed.
+        let mut e = explain_with_costs(
+            &self.func,
+            &self.ctx,
+            self.cands.pair(pair_index),
+            self.last_stats.as_ref(),
+        );
         e.quarantined = self.quarantined.binary_search(&pair_index).is_ok();
         e
     }

@@ -72,24 +72,56 @@ impl FunctionStats {
             return stats;
         }
 
-        // Feature costs: wall-clock the computation of each feature over
-        // the sample. Values are kept so selectivities reuse them.
+        // Feature costs: wall-clock each feature over the sample through
+        // the batched kernel path — the same code the engines run — so the
+        // cost model's α(f, r) inputs reflect per-pair *batch* cost rather
+        // than the scalar path. Values are kept so selectivities reuse them.
+        //
+        // Batched kernels finish a small sample in microseconds, where a
+        // single wall-clock reading is dominated by scheduler noise and the
+        // resulting feature *ordering* flips from run to run (breaking the
+        // determinism `optimize` callers observe). So: one untimed warm-up,
+        // then repeat until enough time has accumulated, keeping the fastest
+        // repetition — the standard noise-robust estimator.
+        const MIN_MEASURE_NS: u128 = 50_000;
+        const MAX_REPS: u32 = 64;
         let features = func.features();
+        let pairs: Vec<_> = indices.iter().map(|&i| cands.pair(i)).collect();
         let mut values: HashMap<FeatureId, Vec<f64>> = HashMap::new();
         for &f in &features {
-            let mut vals = Vec::with_capacity(indices.len());
-            let start = Instant::now();
-            for &i in &indices {
+            let mut vals = vec![0.0; indices.len()];
+            let batch_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.compute_batch(f, &pairs, &mut vals);
+            }))
+            .is_ok();
+            let per_eval = if batch_ok {
+                let mut best = f64::INFINITY;
+                let mut spent = 0u128;
+                let mut reps = 0u32;
+                while (spent < MIN_MEASURE_NS || reps < 3) && reps < MAX_REPS {
+                    let start = Instant::now();
+                    ctx.compute_batch(f, &pairs, &mut vals);
+                    let elapsed = start.elapsed().as_nanos();
+                    spent += elapsed;
+                    best = best.min(elapsed as f64 / indices.len() as f64);
+                    reps += 1;
+                }
+                best
+            } else {
                 // A panicking feature must not abort statistics estimation —
-                // estimation is advisory. Score the pair 0.0 and move on;
-                // matching itself quarantines such pairs.
-                let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    ctx.compute(f, cands.pair(i))
-                }))
-                .unwrap_or(0.0);
-                vals.push(v);
-            }
-            let per_eval = start.elapsed().as_nanos() as f64 / indices.len() as f64;
+                // estimation is advisory. Re-score each pair individually,
+                // 0.0 where it panics; matching itself quarantines such
+                // pairs. One timed pass suffices: the catch_unwind framing
+                // dwarfs timer noise.
+                let start = Instant::now();
+                for (slot, &i) in vals.iter_mut().zip(&indices) {
+                    *slot = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ctx.compute(f, cands.pair(i))
+                    }))
+                    .unwrap_or(0.0);
+                }
+                start.elapsed().as_nanos() as f64 / indices.len() as f64
+            };
             stats.feature_cost.insert(f, per_eval.max(1.0));
             values.insert(f, vals);
         }

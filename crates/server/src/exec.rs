@@ -509,8 +509,10 @@ pub fn execute(
             if store.session().function().is_empty() {
                 return Ok(text("(no rules — nothing to estimate)"));
             }
+            // Cache the sampled stats on the session so later `explain`
+            // responses carry per-predicate cost annotations.
+            let stats = store.session_mut().refresh_stats();
             let session = store.session();
-            let stats = session.estimate_stats();
             let mut out = String::from("feature costs (ns/eval):");
             for f in session.function().features() {
                 out.push_str(&format!(

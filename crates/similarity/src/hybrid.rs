@@ -2,7 +2,7 @@
 //! Monge-Elkan and Soft TF-IDF.
 
 use crate::edit::jaro_winkler;
-use crate::tfidf::{norm, weight_vector, IdfTable};
+use crate::tfidf::{norm_entries, weight_entries, IdfTable};
 
 /// Monge-Elkan similarity with Jaro-Winkler as the inner measure,
 /// symmetrized by averaging both directions.
@@ -41,9 +41,9 @@ pub fn soft_tfidf(a: &[String], b: &[String], idf: Option<&IdfTable>, threshold:
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let va = weight_vector(a, idf);
-    let vb = weight_vector(b, idf);
-    let denom = norm(&va) * norm(&vb);
+    let va = weight_entries(a, idf);
+    let vb = weight_entries(b, idf);
+    let denom = norm_entries(&va) * norm_entries(&vb);
     if denom == 0.0 {
         return 0.0;
     }
@@ -57,25 +57,25 @@ pub fn soft_tfidf(a: &[String], b: &[String], idf: Option<&IdfTable>, threshold:
     s.clamp(0.0, 1.0)
 }
 
-fn directed_soft_dot(
-    va: &std::collections::HashMap<String, f64>,
-    vb: &std::collections::HashMap<String, f64>,
-    threshold: f64,
-) -> f64 {
+/// Directed soft dot over text-sorted weight entries. Iteration order (and
+/// therefore best-match tie-breaking and float accumulation order) is the
+/// token text order on both sides, which the id-keyed batched kernel
+/// reproduces exactly.
+fn directed_soft_dot(va: &[(&str, f64)], vb: &[(&str, f64)], threshold: f64) -> f64 {
     let mut dot = 0.0;
-    for (t, wa) in va {
+    for &(t, wa) in va {
         // Exact matches short-circuit the inner scan.
-        if let Some(wb) = vb.get(t) {
-            dot += wa * wb;
+        if let Ok(k) = vb.binary_search_by(|&(u, _)| u.cmp(t)) {
+            dot += wa * vb[k].1;
             continue;
         }
         let mut best = 0.0f64;
         let mut best_w = 0.0f64;
-        for (u, wb) in vb {
+        for &(u, wb) in vb {
             let s = jaro_winkler(t, u);
             if s >= threshold && s > best {
                 best = s;
-                best_w = *wb;
+                best_w = wb;
             }
         }
         if best > 0.0 {

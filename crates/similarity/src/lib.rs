@@ -32,6 +32,7 @@ mod edit;
 mod hybrid;
 mod numeric;
 mod phonetic;
+mod prepared;
 mod set;
 mod tfidf;
 mod tokenize;
@@ -40,9 +41,19 @@ pub use edit::{jaro, jaro_winkler, levenshtein_distance, levenshtein_similarity}
 pub use hybrid::{monge_elkan, soft_tfidf};
 pub use numeric::{extract_number, numeric_similarity};
 pub use phonetic::{soundex_code, soundex_similarity};
-pub use set::{cosine_set, dice, jaccard, overlap_coefficient};
+pub use prepared::{
+    build_base_column, build_token_column, distinct_intersection, BaseColumn, PreparedIdf,
+    PreparedView, SimScratch, TokenChars,
+};
+pub use set::{
+    cosine_from_counts, cosine_set, dice, dice_from_counts, jaccard, jaccard_from_counts,
+    overlap_coefficient, overlap_from_counts,
+};
 pub use tfidf::{tfidf_cosine, IdfTable};
-pub use tokenize::{normalize, qgrams, tokens_alnum, tokens_ws, TokenScheme};
+pub use tokenize::{
+    normalize, normalize_chars_into, qgrams, qgrams_into, tokens_alnum, tokens_alnum_into,
+    tokens_ws, tokens_ws_into, TokenBuf, TokenScheme,
+};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

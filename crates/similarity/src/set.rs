@@ -23,6 +23,14 @@ fn intersection_sizes(a: &[String], b: &[String]) -> (usize, usize, usize) {
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|`. Both token lists empty ⇒ 1.0.
 pub fn jaccard(a: &[String], b: &[String]) -> f64 {
     let (inter, na, nb) = intersection_sizes(a, b);
+    jaccard_from_counts(inter, na, nb)
+}
+
+/// [`jaccard`] from precomputed distinct-token counts. The batched kernels
+/// compute `(inter, na, nb)` by merging sorted interned slices and share the
+/// float formula with the scalar path through these helpers, so both paths
+/// produce bitwise-identical scores.
+pub fn jaccard_from_counts(inter: usize, na: usize, nb: usize) -> f64 {
     let union = na + nb - inter;
     if union == 0 {
         return 1.0;
@@ -33,6 +41,11 @@ pub fn jaccard(a: &[String], b: &[String]) -> f64 {
 /// Set cosine `|A ∩ B| / sqrt(|A| · |B|)`. Both empty ⇒ 1.0; one empty ⇒ 0.0.
 pub fn cosine_set(a: &[String], b: &[String]) -> f64 {
     let (inter, na, nb) = intersection_sizes(a, b);
+    cosine_from_counts(inter, na, nb)
+}
+
+/// [`cosine_set`] from precomputed distinct-token counts.
+pub fn cosine_from_counts(inter: usize, na: usize, nb: usize) -> f64 {
     if na == 0 && nb == 0 {
         return 1.0;
     }
@@ -45,6 +58,11 @@ pub fn cosine_set(a: &[String], b: &[String]) -> f64 {
 /// Dice coefficient `2|A ∩ B| / (|A| + |B|)`. Both empty ⇒ 1.0.
 pub fn dice(a: &[String], b: &[String]) -> f64 {
     let (inter, na, nb) = intersection_sizes(a, b);
+    dice_from_counts(inter, na, nb)
+}
+
+/// [`dice`] from precomputed distinct-token counts.
+pub fn dice_from_counts(inter: usize, na: usize, nb: usize) -> f64 {
     if na + nb == 0 {
         return 1.0;
     }
@@ -55,6 +73,11 @@ pub fn dice(a: &[String], b: &[String]) -> f64 {
 /// empty ⇒ 0.0.
 pub fn overlap_coefficient(a: &[String], b: &[String]) -> f64 {
     let (inter, na, nb) = intersection_sizes(a, b);
+    overlap_from_counts(inter, na, nb)
+}
+
+/// [`overlap_coefficient`] from precomputed distinct-token counts.
+pub fn overlap_from_counts(inter: usize, na: usize, nb: usize) -> f64 {
     let min = na.min(nb);
     if na == 0 && nb == 0 {
         return 1.0;

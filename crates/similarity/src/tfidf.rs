@@ -53,7 +53,16 @@ impl IdfTable {
         self.idf
             .get(token)
             .copied()
-            .unwrap_or_else(|| ((1 + self.n_docs) as f64).ln() + 1.0)
+            .unwrap_or_else(|| self.oov_weight())
+    }
+
+    /// The weight assigned to out-of-corpus tokens: `ln(1 + N) + 1`.
+    ///
+    /// Exposed so prepared (token-id keyed) weight tables can reproduce the
+    /// exact fallback for tokens interned after the table was built.
+    #[inline]
+    pub fn oov_weight(&self) -> f64 {
+        ((1 + self.n_docs) as f64).ln() + 1.0
     }
 
     /// Number of distinct tokens with statistics.
@@ -67,28 +76,44 @@ impl IdfTable {
     }
 }
 
-/// Builds the TF-IDF weight vector of a token bag (term frequency × IDF),
-/// using weight 1.0 for every token when no table is supplied.
-pub(crate) fn weight_vector(tokens: &[String], idf: Option<&IdfTable>) -> HashMap<String, f64> {
-    let mut tf: HashMap<String, f64> = HashMap::with_capacity(tokens.len());
-    for t in tokens {
-        *tf.entry(t.clone()).or_insert(0.0) += 1.0;
-    }
-    for (t, w) in tf.iter_mut() {
+/// Builds the TF-IDF weight entries of a token bag (term frequency × IDF,
+/// weight 1.0 per token when no table is supplied), **sorted by token text**
+/// with one entry per distinct token.
+///
+/// Text order makes every downstream float accumulation deterministic: the
+/// batched kernels iterate id-keyed entries in the same text order, so the
+/// two paths sum identical sequences and agree bitwise.
+pub(crate) fn weight_entries<'a>(
+    tokens: &'a [String],
+    idf: Option<&IdfTable>,
+) -> Vec<(&'a str, f64)> {
+    let mut refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+    refs.sort_unstable();
+    let mut out = Vec::with_capacity(refs.len());
+    let mut i = 0;
+    while i < refs.len() {
+        let t = refs[i];
+        let mut j = i + 1;
+        while j < refs.len() && refs[j] == t {
+            j += 1;
+        }
         let iw = idf.map_or(1.0, |table| table.weight(t));
-        *w *= iw;
+        out.push((t, (j - i) as f64 * iw));
+        i = j;
     }
-    tf
+    out
 }
 
-pub(crate) fn norm(v: &HashMap<String, f64>) -> f64 {
-    v.values().map(|w| w * w).sum::<f64>().sqrt()
+/// Euclidean norm of a weight-entry vector, accumulated in entry order.
+pub(crate) fn norm_entries(v: &[(&str, f64)]) -> f64 {
+    v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
 }
 
 /// TF-IDF weighted cosine similarity between two token bags.
 ///
 /// Both bags empty ⇒ 1.0; exactly one empty ⇒ 0.0. Without an [`IdfTable`]
-/// this degenerates to plain term-frequency cosine.
+/// this degenerates to plain term-frequency cosine. The dot product is a
+/// sorted two-pointer merge, so the accumulation order is deterministic.
 pub fn tfidf_cosine(a: &[String], b: &[String], idf: Option<&IdfTable>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
@@ -96,18 +121,22 @@ pub fn tfidf_cosine(a: &[String], b: &[String], idf: Option<&IdfTable>) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let va = weight_vector(a, idf);
-    let vb = weight_vector(b, idf);
-    let (small, big) = if va.len() <= vb.len() {
-        (&va, &vb)
-    } else {
-        (&vb, &va)
-    };
-    let dot: f64 = small
-        .iter()
-        .filter_map(|(t, w)| big.get(t).map(|w2| w * w2))
-        .sum();
-    let denom = norm(&va) * norm(&vb);
+    let va = weight_entries(a, idf);
+    let vb = weight_entries(b, idf);
+    let mut dot = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < va.len() && j < vb.len() {
+        match va[i].0.cmp(vb[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += va[i].1 * vb[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let denom = norm_entries(&va) * norm_entries(&vb);
     if denom == 0.0 {
         return 0.0;
     }

@@ -17,11 +17,82 @@ pub enum TokenScheme {
 impl TokenScheme {
     /// Tokenizes `s` according to this scheme.
     pub fn tokenize(&self, s: &str) -> Vec<String> {
+        let mut out = TokenBuf::new();
+        let mut chars = Vec::new();
+        self.tokenize_into(s, &mut chars, &mut out);
+        out.to_vec()
+    }
+
+    /// Tokenizes `s` into `out`, reusing its string allocations (and the
+    /// `chars` scratch buffer for q-gram schemes). Produces exactly the
+    /// tokens of [`TokenScheme::tokenize`], without per-call allocation
+    /// once the buffers are warm.
+    pub fn tokenize_into(&self, s: &str, chars: &mut Vec<char>, out: &mut TokenBuf) {
+        out.clear();
         match *self {
-            TokenScheme::Whitespace => tokens_ws(s),
-            TokenScheme::Alnum => tokens_alnum(s),
-            TokenScheme::QGram(q) => qgrams(s, q.max(1) as usize),
+            TokenScheme::Whitespace => tokens_ws_into(s, out),
+            TokenScheme::Alnum => tokens_alnum_into(s, out),
+            TokenScheme::QGram(q) => qgrams_into(s, q.max(1) as usize, chars, out),
         }
+    }
+}
+
+/// A reusable bag of token strings: `clear()` resets the logical length but
+/// keeps every `String`'s allocation, so steady-state tokenization does not
+/// touch the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct TokenBuf {
+    bufs: Vec<String>,
+    len: usize,
+}
+
+impl TokenBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the logical length, keeping allocations.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of tokens currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no tokens are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th token.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        &self.bufs[i]
+    }
+
+    /// Iterates the held tokens in order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.bufs[..self.len].iter().map(String::as_str)
+    }
+
+    /// Appends one token, filled in place by `fill` on a recycled `String`.
+    pub fn push_token(&mut self, fill: impl FnOnce(&mut String)) {
+        if self.len == self.bufs.len() {
+            self.bufs.push(String::new());
+        }
+        let s = &mut self.bufs[self.len];
+        s.clear();
+        fill(s);
+        self.len += 1;
+    }
+
+    /// Copies the held tokens into a fresh `Vec<String>`.
+    pub fn to_vec(&self) -> Vec<String> {
+        self.bufs[..self.len].to_vec()
     }
 }
 
@@ -30,7 +101,22 @@ impl TokenScheme {
 /// This is the canonical normalization applied before character-level
 /// measures so that case and formatting differences do not dominate.
 pub fn normalize(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+    let mut chars = Vec::with_capacity(s.len());
+    normalize_chars_into(s, &mut chars);
+    chars.into_iter().collect()
+}
+
+/// Writes the characters of [`normalize`]`(s)` into `out` (cleared first),
+/// without allocating once `out` is warm.
+pub fn normalize_chars_into(s: &str, out: &mut Vec<char>) {
+    out.clear();
+    normalize_chars_append(s, out);
+}
+
+/// Appends normalized characters to `out` without clearing; the trailing-space
+/// trim only ever removes a space this call pushed, so pre-existing contents
+/// (e.g. q-gram padding) are safe.
+fn normalize_chars_append(s: &str, out: &mut Vec<char>) {
     let mut last_space = true; // swallow leading whitespace
     for c in s.chars() {
         if c.is_whitespace() {
@@ -45,36 +131,66 @@ pub fn normalize(s: &str) -> String {
             last_space = false;
         }
     }
-    if out.ends_with(' ') {
+    if out.last() == Some(&' ') {
         out.pop();
     }
-    out
 }
 
 /// Whitespace tokens of the lowercased string.
 pub fn tokens_ws(s: &str) -> Vec<String> {
-    s.split_whitespace().map(|t| t.to_lowercase()).collect()
+    let mut out = TokenBuf::new();
+    tokens_ws_into(s, &mut out);
+    out.to_vec()
+}
+
+/// [`tokens_ws`] into a reusable buffer (cleared first).
+///
+/// Lowercasing stays at the `str` level (`str::to_lowercase` applies the
+/// Greek final-sigma rule, which char-wise lowercasing does not), with an
+/// allocation-free fast path for ASCII tokens.
+pub fn tokens_ws_into(s: &str, out: &mut TokenBuf) {
+    out.clear();
+    for t in s.split_whitespace() {
+        out.push_token(|buf| {
+            if t.is_ascii() {
+                for b in t.bytes() {
+                    buf.push(b.to_ascii_lowercase() as char);
+                }
+            } else {
+                buf.push_str(&t.to_lowercase());
+            }
+        });
+    }
 }
 
 /// Maximal alphanumeric runs of the lowercased string.
 ///
 /// `"WH-1000XM4"` → `["wh", "1000xm4"]`.
 pub fn tokens_alnum(s: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    for c in s.chars() {
-        if c.is_alphanumeric() {
-            for lc in c.to_lowercase() {
-                cur.push(lc);
+    let mut out = TokenBuf::new();
+    tokens_alnum_into(s, &mut out);
+    out.to_vec()
+}
+
+/// [`tokens_alnum`] into a reusable buffer (cleared first).
+pub fn tokens_alnum_into(s: &str, out: &mut TokenBuf) {
+    out.clear();
+    let mut rest = s;
+    while let Some(start) = rest.find(|c: char| c.is_alphanumeric()) {
+        let run_and_tail = &rest[start..];
+        let end = run_and_tail
+            .find(|c: char| !c.is_alphanumeric())
+            .unwrap_or(run_and_tail.len());
+        let run = &run_and_tail[..end];
+        out.push_token(|buf| {
+            for c in run.chars() {
+                for lc in c.to_lowercase() {
+                    buf.push(lc);
+                }
             }
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
-        }
+        });
+        rest = &run_and_tail[end..];
     }
-    if !cur.is_empty() {
-        out.push(cur);
-    }
-    out
 }
 
 /// Padded character q-grams of the lowercased, whitespace-normalized string.
@@ -83,18 +199,31 @@ pub fn tokens_alnum(s: &str) -> Vec<String> {
 /// (the standard convention) so that prefixes and suffixes are represented;
 /// an empty string yields no q-grams.
 pub fn qgrams(s: &str, q: usize) -> Vec<String> {
-    let norm = normalize(s);
-    if norm.is_empty() {
-        return Vec::new();
+    let mut out = TokenBuf::new();
+    let mut chars = Vec::new();
+    qgrams_into(s, q, &mut chars, &mut out);
+    out.to_vec()
+}
+
+/// [`qgrams`] into a reusable buffer (cleared first), normalizing through the
+/// `chars` scratch.
+pub fn qgrams_into(s: &str, q: usize, chars: &mut Vec<char>, out: &mut TokenBuf) {
+    out.clear();
+    chars.clear();
+    let pad = q - 1;
+    chars.extend(std::iter::repeat_n('#', pad));
+    normalize_chars_append(s, chars);
+    if chars.len() == pad {
+        return; // empty after normalization: no q-grams
     }
-    let mut padded: Vec<char> = Vec::with_capacity(norm.chars().count() + 2 * (q - 1));
-    padded.extend(std::iter::repeat_n('#', q - 1));
-    padded.extend(norm.chars());
-    padded.extend(std::iter::repeat_n('$', q - 1));
-    if padded.len() < q {
-        return vec![padded.into_iter().collect()];
+    chars.extend(std::iter::repeat_n('$', pad));
+    if chars.len() < q {
+        out.push_token(|buf| buf.extend(chars.iter()));
+        return;
     }
-    padded.windows(q).map(|w| w.iter().collect()).collect()
+    for w in chars.windows(q) {
+        out.push_token(|buf| buf.extend(w.iter()));
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +283,32 @@ mod tests {
             vec!["a".to_string(), "b".to_string()]
         );
         assert_eq!(TokenScheme::QGram(2).tokenize("ab"), vec!["#a", "ab", "b$"]);
+    }
+
+    #[test]
+    fn ws_final_sigma_matches_str_lowercase() {
+        // str::to_lowercase applies the Greek final-sigma rule; the scratch
+        // path must preserve it through its non-ASCII fallback.
+        let toks = tokens_ws("ΣΊΣΥΦΟΣ ΑΒΓ");
+        assert_eq!(toks, vec!["σίσυφος", "αβγ"]);
+        assert!(toks[0].ends_with('ς'));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let mut out = TokenBuf::new();
+        let mut chars = Vec::new();
+        for scheme in [
+            TokenScheme::Whitespace,
+            TokenScheme::Alnum,
+            TokenScheme::QGram(3),
+        ] {
+            for s in ["Apple iPod", "WH-1000XM4", "", "  ", "ÜBER straße", "ab"] {
+                scheme.tokenize_into(s, &mut chars, &mut out);
+                let fresh = scheme.tokenize(s);
+                let reused: Vec<String> = out.iter().map(str::to_string).collect();
+                assert_eq!(reused, fresh, "{scheme:?} on {s:?}");
+            }
+        }
     }
 }

@@ -1,0 +1,352 @@
+//! Token interning: arenas of `u32` token ids and columnar per-record
+//! token/character storage.
+//!
+//! Tokenizing and lowercasing attribute values on every similarity call is
+//! the dominant cost of feature evaluation. The types here let a table's
+//! attribute values be interned **once**, at load time, into dense `u32`
+//! token ids; the similarity kernels then run on integer slices. This crate
+//! deliberately knows nothing about token *schemes* — callers (blocking,
+//! the similarity crate) pass already-tokenized strings in, so no
+//! dependency cycle forms.
+//!
+//! Three pieces:
+//!
+//! - [`TokenArena`]: a string → `u32` interner shared by every column that
+//!   must produce *comparable* ids (both tables' columns of one scheme).
+//! - [`TokenColumn`]: per-record token-id lists over one attribute column,
+//!   stored twice — in original token order (hybrid measures sum in token
+//!   order) and sorted by token *text* (set measures merge-intersect).
+//!   Text order is stable under arena growth, so columns never need
+//!   rebuilding when later features intern new tokens.
+//! - [`CharColumn`]: per-row `char` slices (normalized attribute values,
+//!   or per-token characters), for the edit-distance family.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interns token strings into dense `u32` ids.
+///
+/// Ids are assigned in first-seen order and never change; the arena is
+/// append-only. All columns whose token ids must be comparable (e.g. the
+/// `A`-side and `B`-side columns of one feature) must intern through the
+/// same arena.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TokenArena {
+    #[serde(skip)]
+    map: HashMap<String, u32>,
+    texts: Vec<String>,
+}
+
+impl TokenArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `token`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        let id = self.texts.len() as u32;
+        self.texts.push(token.to_string());
+        self.map.insert(token.to_string(), id);
+        id
+    }
+
+    /// The id of `token`, if already interned.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.map.get(token).copied()
+    }
+
+    /// The text behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not issued by this arena.
+    #[inline]
+    pub fn text(&self, id: u32) -> &str {
+        &self.texts[id as usize]
+    }
+
+    /// Number of distinct tokens interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// True when no tokens have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// `rank[id]` = position of `id`'s text in the lexicographic order of
+    /// all interned texts. Merge kernels compare ranks instead of strings;
+    /// the snapshot must be retaken after the arena grows.
+    pub fn text_ranks(&self) -> Vec<u32> {
+        let mut by_text: Vec<u32> = (0..self.texts.len() as u32).collect();
+        by_text.sort_unstable_by(|&x, &y| self.texts[x as usize].cmp(&self.texts[y as usize]));
+        let mut rank = vec![0u32; by_text.len()];
+        for (pos, &id) in by_text.iter().enumerate() {
+            rank[id as usize] = pos as u32;
+        }
+        rank
+    }
+
+    /// Rebuilds the text → id map after deserialization (it is not
+    /// serialized).
+    pub fn rebuild_index(&mut self) {
+        self.map = self
+            .texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+}
+
+/// Per-record token-id lists over one attribute column.
+///
+/// Each record's tokens are stored twice: `ids` keeps the original token
+/// order (order-sensitive hybrid measures), `sorted` keeps them sorted by
+/// token **text** with duplicates retained (set measures merge; TF-IDF
+/// run-length encodes). `unique` caches the distinct-token count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenColumn {
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+    sorted: Vec<u32>,
+    unique: Vec<u32>,
+}
+
+impl Default for TokenColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenColumn {
+    /// An empty column (use [`TokenColumn::push_record`] to fill).
+    pub fn new() -> Self {
+        TokenColumn {
+            offsets: vec![0],
+            ids: Vec::new(),
+            sorted: Vec::new(),
+            unique: Vec::new(),
+        }
+    }
+
+    /// Appends one record's tokens (already interned through `arena`), in
+    /// original order. A missing value is an empty slice. Returns the row.
+    pub fn push_record(&mut self, token_ids: &[u32], arena: &TokenArena) -> u32 {
+        let row = self.unique.len() as u32;
+        self.ids.extend_from_slice(token_ids);
+        let start = self.sorted.len();
+        self.sorted.extend_from_slice(token_ids);
+        // Sort by text, not by id: text order is stable when the arena
+        // grows, so merge kernels built on a later rank snapshot stay
+        // correct. Distinct ids never share a text, so duplicates of one
+        // id are adjacent.
+        self.sorted[start..].sort_unstable_by(|&x, &y| arena.text(x).cmp(arena.text(y)));
+        let mut unique = 0u32;
+        let mut prev = None;
+        for &id in &self.sorted[start..] {
+            if prev != Some(id) {
+                unique += 1;
+                prev = Some(id);
+            }
+        }
+        self.offsets.push(self.ids.len() as u32);
+        self.unique.push(unique);
+        row
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn n_records(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// The record's token ids in original token order.
+    #[inline]
+    pub fn ids(&self, row: u32) -> &[u32] {
+        let (s, e) = self.bounds(row);
+        &self.ids[s..e]
+    }
+
+    /// The record's token ids sorted by token text (duplicates retained).
+    #[inline]
+    pub fn sorted(&self, row: u32) -> &[u32] {
+        let (s, e) = self.bounds(row);
+        &self.sorted[s..e]
+    }
+
+    /// Number of distinct tokens in the record.
+    #[inline]
+    pub fn unique(&self, row: u32) -> usize {
+        self.unique[row as usize] as usize
+    }
+
+    #[inline]
+    fn bounds(&self, row: u32) -> (usize, usize) {
+        let r = row as usize;
+        (self.offsets[r] as usize, self.offsets[r + 1] as usize)
+    }
+}
+
+/// Per-row character slices: normalized attribute values (row = record) or
+/// per-token characters (row = token id).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CharColumn {
+    offsets: Vec<u32>,
+    chars: Vec<char>,
+}
+
+impl Default for CharColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CharColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        CharColumn {
+            offsets: vec![0],
+            chars: Vec::new(),
+        }
+    }
+
+    /// Appends one row of characters, returning its index.
+    pub fn push(&mut self, chars: impl IntoIterator<Item = char>) -> u32 {
+        let row = self.offsets.len() as u32 - 1;
+        self.chars.extend(chars);
+        self.offsets.push(self.chars.len() as u32);
+        row
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The characters of `row`.
+    #[inline]
+    pub fn slice(&self, row: u32) -> &[char] {
+        let r = row as usize;
+        &self.chars[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut arena = TokenArena::new();
+        let a = arena.intern("apple");
+        let b = arena.intern("banana");
+        assert_eq!(arena.intern("apple"), a);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.text(a), "apple");
+        assert_eq!(arena.get("banana"), Some(b));
+        assert_eq!(arena.get("cherry"), None);
+    }
+
+    #[test]
+    fn text_ranks_are_lexicographic() {
+        let mut arena = TokenArena::new();
+        let z = arena.intern("zebra");
+        let a = arena.intern("ant");
+        let m = arena.intern("mole");
+        let rank = arena.text_ranks();
+        assert_eq!(rank[a as usize], 0);
+        assert_eq!(rank[m as usize], 1);
+        assert_eq!(rank[z as usize], 2);
+    }
+
+    #[test]
+    fn ranks_refresh_after_growth() {
+        let mut arena = TokenArena::new();
+        let b = arena.intern("bb");
+        let rank1 = arena.text_ranks();
+        assert_eq!(rank1[b as usize], 0);
+        let a = arena.intern("aa");
+        let rank2 = arena.text_ranks();
+        assert_eq!(rank2[a as usize], 0);
+        assert_eq!(rank2[b as usize], 1);
+    }
+
+    #[test]
+    fn token_column_orders() {
+        let mut arena = TokenArena::new();
+        let z = arena.intern("zebra");
+        let a = arena.intern("ant");
+        let mut col = TokenColumn::new();
+        // "zebra ant zebra": original order kept, sorted is by text.
+        let row = col.push_record(&[z, a, z], &arena);
+        assert_eq!(col.ids(row), &[z, a, z]);
+        assert_eq!(col.sorted(row), &[a, z, z]);
+        assert_eq!(col.unique(row), 2);
+    }
+
+    #[test]
+    fn token_column_empty_record() {
+        let arena = TokenArena::new();
+        let mut col = TokenColumn::new();
+        let row = col.push_record(&[], &arena);
+        assert!(col.ids(row).is_empty());
+        assert!(col.sorted(row).is_empty());
+        assert_eq!(col.unique(row), 0);
+        assert_eq!(col.n_records(), 1);
+    }
+
+    #[test]
+    fn sorted_order_is_stable_under_growth() {
+        // Ids assigned out of text order: the per-record sort must not
+        // depend on id magnitude.
+        let mut arena = TokenArena::new();
+        let ids: Vec<u32> = ["m", "z", "a"].iter().map(|t| arena.intern(t)).collect();
+        let mut col = TokenColumn::new();
+        let row = col.push_record(&ids, &arena);
+        let texts: Vec<&str> = col.sorted(row).iter().map(|&i| arena.text(i)).collect();
+        assert_eq!(texts, vec!["a", "m", "z"]);
+        // Growing the arena afterwards does not perturb stored order.
+        arena.intern("k");
+        let texts: Vec<&str> = col.sorted(row).iter().map(|&i| arena.text(i)).collect();
+        assert_eq!(texts, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn char_column_rows() {
+        let mut col = CharColumn::new();
+        let r0 = col.push("abc".chars());
+        let r1 = col.push("".chars());
+        let r2 = col.push("über".chars());
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.slice(r0), &['a', 'b', 'c']);
+        assert!(col.slice(r1).is_empty());
+        assert_eq!(col.slice(r2), &['ü', 'b', 'e', 'r']);
+    }
+
+    #[test]
+    fn arena_serde_roundtrip_rebuilds_index() {
+        let mut arena = TokenArena::new();
+        arena.intern("x");
+        arena.intern("y");
+        let j = serde_json::to_string(&arena).unwrap();
+        let mut back: TokenArena = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.get("x"), None, "map must not be serialized");
+        back.rebuild_index();
+        assert_eq!(back.get("x"), Some(0));
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -28,12 +28,14 @@
 //! assert_eq!(cands.len(), 2);
 //! ```
 
+mod arena;
 mod csv;
 mod pairs;
 mod record;
 mod schema;
 mod table;
 
+pub use arena::{CharColumn, TokenArena, TokenColumn};
 pub use csv::{parse_csv, write_csv, CsvError};
 pub use pairs::{CandidateSet, Label, LabeledPair, PairIdx};
 pub use record::Record;

@@ -1,0 +1,87 @@
+//! Engine-level equivalence for the columnar fast path: the batched
+//! (feature, chunk) drive (`run_memo` with `check_cache_first = false`)
+//! must produce exactly the reference verdicts, and must be invariant
+//! across 1, 2, and 4 worker threads — verdicts, work counters, and
+//! memo contents alike. The kernel-level bitwise law lives in
+//! `crates/similarity/tests/batch_equivalence.rs`; this file checks the
+//! whole pipeline from `EvalContext` preparation through the memo.
+
+mod common;
+
+use common::{random_workload, reference_verdicts};
+use proptest::prelude::*;
+use rulem::core::{run_memo, Executor, Memo};
+use rulem::similarity::Measure;
+use rulem::types::{CandidateSet, Record, Schema, Table};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_drive_matches_reference_at_1_2_4_threads(seed in 0u64..10_000) {
+        let w = random_workload(seed);
+        let expected = reference_verdicts(&w);
+
+        // check_cache_first = false selects the batched per-(feature,
+        // chunk) drive; serial is the baseline the pools must match.
+        let (serial, serial_memo) =
+            run_memo(&w.func, &w.ctx, &w.cands, false, &Executor::serial());
+        prop_assert_eq!(&serial.verdicts, &expected, "batched serial");
+
+        for threads in [2usize, 4] {
+            let (par, par_memo) =
+                run_memo(&w.func, &w.ctx, &w.cands, false, &Executor::pool(threads));
+            prop_assert_eq!(&par.verdicts, &expected, "batched, {} threads", threads);
+            // Early-exit order is fixed per pair, so the work done and the
+            // memo cells filled are thread-count invariant.
+            prop_assert_eq!(par.stats, serial.stats, "stats, {} threads", threads);
+            prop_assert_eq!(
+                par_memo.stored(),
+                serial_memo.stored(),
+                "memo cells, {} threads",
+                threads
+            );
+        }
+    }
+}
+
+/// NaN normalization happens at the memo boundary: `compute_batch` must
+/// hand back the same already-normalized values as scalar `compute`
+/// (NaN → 0.0), even for features that go NaN on real data — here
+/// `NumericAbs` over non-numeric text.
+#[test]
+fn batch_normalizes_nan_like_scalar() {
+    let schema = Schema::new(["price"]);
+    let mut a = Table::new("A", schema.clone());
+    let mut b = Table::new("B", schema);
+    a.push(Record::new("a0", ["12.5"]));
+    a.push(Record::new("a1", ["not a number"]));
+    a.push(Record::with_missing("a2", vec![None]));
+    b.push(Record::new("b0", ["12.0"]));
+    b.push(Record::new("b1", ["n/a"]));
+
+    let mut ctx = rulem::core::EvalContext::from_tables(a, b);
+    let f = ctx
+        .feature(Measure::NumericAbs { scale: 10.0 }, "price", "price")
+        .unwrap();
+
+    let cands = CandidateSet::cartesian(ctx.table_a(), ctx.table_b());
+    let pairs: Vec<_> = cands.iter().map(|(_, p)| p).collect();
+    let mut batch = vec![f64::NAN; pairs.len()];
+    ctx.compute_batch(f, &pairs, &mut batch);
+
+    for (k, &pair) in pairs.iter().enumerate() {
+        let scalar = ctx.compute(f, pair);
+        assert!(
+            !batch[k].is_nan(),
+            "batch slot {k} leaked NaN past the memo boundary"
+        );
+        assert_eq!(
+            batch[k].to_bits(),
+            scalar.to_bits(),
+            "pair {pair:?}: batch {} != scalar {}",
+            batch[k],
+            scalar
+        );
+    }
+}
