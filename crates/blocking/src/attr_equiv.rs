@@ -84,6 +84,16 @@ impl Blocker for AttrEquivalenceBlocker {
     fn name(&self) -> String {
         format!("attr_equivalence({})", self.attr)
     }
+
+    /// The case-*sensitive* join guarantees `exact(attr, attr) = 1` for
+    /// every candidate (both trim before comparing, exactly like
+    /// [`em_similarity::Measure::Exact`]). The case-insensitive variant
+    /// does not: it blocks `"Books"` with `"books"`, which `exact` scores 0.
+    fn guarantee(&self) -> Option<em_similarity::JoinGuarantee> {
+        (!self.case_insensitive).then(|| {
+            em_similarity::JoinGuarantee::new(em_similarity::Measure::Exact, &self.attr, 1.0)
+        })
+    }
 }
 
 #[cfg(test)]

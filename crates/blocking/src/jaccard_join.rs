@@ -173,6 +173,17 @@ impl Blocker for JaccardJoinBlocker {
     fn name(&self) -> String {
         format!("jaccard_join({}, t={})", self.attr, self.threshold)
     }
+
+    /// The join is exact: every emitted pair has token-set Jaccard at
+    /// least the threshold, so `jaccard_S(attr, attr) >= t` holds for the
+    /// whole candidate set.
+    fn guarantee(&self) -> Option<em_similarity::JoinGuarantee> {
+        Some(em_similarity::JoinGuarantee::new(
+            em_similarity::Measure::Jaccard(self.scheme),
+            &self.attr,
+            self.threshold,
+        ))
+    }
 }
 
 #[cfg(test)]

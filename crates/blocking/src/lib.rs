@@ -76,6 +76,16 @@ pub trait Blocker {
 
     /// Human-readable name for reports.
     fn name(&self) -> String;
+
+    /// The similarity lower bound this blocker guarantees for every
+    /// candidate pair it emits, if it is an exact similarity join.
+    ///
+    /// `None` for recall-lossy or guarantee-free blockers (overlap,
+    /// cartesian). The static analyzer uses the guarantee to flag rule
+    /// predicates that are vacuously true on the candidate set.
+    fn guarantee(&self) -> Option<em_similarity::JoinGuarantee> {
+        None
+    }
 }
 
 /// The no-op blocker: every pair survives.

@@ -4,7 +4,8 @@
 
 use crate::command::{Command, HELP};
 use em_core::{
-    ChangeLine, DebugSession, HistoryLine, Memo, SessionConfig, SessionError, SessionStore,
+    ChangeLine, DebugSession, HistoryLine, LintLine, Memo, SessionConfig, SessionError,
+    SessionStore,
 };
 use em_types::LabeledPair;
 use std::fmt::Write as _;
@@ -168,7 +169,36 @@ impl App {
     }
 
     /// Executes one command, returning its printable output.
+    ///
+    /// Edits that *introduce* static-analysis findings (a rule that can
+    /// never fire, a newly subsumed rule, …) get the new findings appended
+    /// as advisories — as `lint` porcelain lines in porcelain mode, as
+    /// `lint:` text lines otherwise. Run `lint` for the full report.
     pub fn execute(&mut self, cmd: Command) -> Result<String, AppError> {
+        let watch = matches!(
+            cmd,
+            Command::AddRule(_)
+                | Command::RemoveRule(_)
+                | Command::AddPredicate(..)
+                | Command::RemovePredicate(_)
+                | Command::SetThreshold(..)
+        );
+        let before = watch.then(|| self.session().analyze());
+        let mut out = self.execute_inner(cmd)?;
+        if let Some(before) = before {
+            let after = self.session().analyze();
+            for d in em_core::new_diagnostics(&before, &after) {
+                if self.porcelain {
+                    let _ = write!(out, "\n{}", LintLine::new(d).to_json());
+                } else {
+                    let _ = write!(out, "\nlint: {}", render_diagnostic(d));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn execute_inner(&mut self, cmd: Command) -> Result<String, AppError> {
         match cmd {
             Command::Help => Ok(HELP.to_string()),
             Command::Quit => {
@@ -325,6 +355,29 @@ impl App {
                         self.session().function().n_rules()
                     ))
                 }
+            }
+            Command::Lint => {
+                let diags = self.session().analyze();
+                if self.porcelain {
+                    let lines: Vec<String> =
+                        diags.iter().map(|d| LintLine::new(d).to_json()).collect();
+                    return Ok(lines.join("\n"));
+                }
+                if diags.is_empty() {
+                    return Ok("no findings".to_string());
+                }
+                let count = |s: em_core::Severity| diags.iter().filter(|d| d.severity == s).count();
+                let mut out = format!(
+                    "{} finding(s): {} error(s), {} warning(s), {} info",
+                    diags.len(),
+                    count(em_core::Severity::Error),
+                    count(em_core::Severity::Warning),
+                    count(em_core::Severity::Info),
+                );
+                for d in &diags {
+                    let _ = write!(out, "\n  {}", render_diagnostic(d));
+                }
+                Ok(out)
             }
             Command::Run => {
                 let start = std::time::Instant::now();
@@ -610,6 +663,20 @@ impl App {
     }
 }
 
+/// One human-readable lint finding: `severity[kind] message (fix: `…`)`.
+fn render_diagnostic(d: &em_core::Diagnostic) -> String {
+    let mut out = format!("{}[{}] {}", d.severity, d.kind, d.message);
+    if let Some(fix) = &d.fix {
+        let _ = write!(
+            out,
+            " (fix: `{}`{})",
+            fix.command_text(),
+            if d.safe { ", safe" } else { "" }
+        );
+    }
+    out
+}
+
 /// Extra report lines for an interrupted or fault-isolated edit; empty
 /// when the edit completed cleanly.
 fn report_suffix(report: &em_core::ChangeReport) -> String {
@@ -779,6 +846,61 @@ mod tests {
         let out = exec(&mut app2, &format!("import {path}")).unwrap();
         assert!(out.contains("imported 1 rules"), "{out}");
         assert_eq!(app2.session().n_matches(), matches_before);
+    }
+
+    #[test]
+    fn lint_reports_and_edit_advisories() {
+        let mut app = demo_app();
+        assert_eq!(exec(&mut app, "lint").unwrap(), "no findings");
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        assert_eq!(exec(&mut app, "lint").unwrap(), "no findings");
+        // A subsumed duplicate-threshold rule arrives: the add itself
+        // carries the advisory...
+        let out = exec(&mut app, "add jaccard_ws(title, title) >= 0.9").unwrap();
+        assert!(out.contains("lint: warning[subsumed_rule]"), "{out}");
+        assert!(out.contains("fix: `rm r1`, safe"), "{out}");
+        // ...and `lint` keeps reporting it.
+        let out = exec(&mut app, "lint").unwrap();
+        assert!(
+            out.contains("1 finding(s): 0 error(s), 1 warning(s)"),
+            "{out}"
+        );
+        assert!(out.contains("subsumed by earlier rule r0"), "{out}");
+        // Applying the suggested fix clears it.
+        exec(&mut app, "rm r1").unwrap();
+        assert_eq!(exec(&mut app, "lint").unwrap(), "no findings");
+        // An unchanged re-run introduces nothing: no advisory on this edit.
+        let out = exec(&mut app, "set p0 0.7").unwrap();
+        assert!(!out.contains("lint:"), "{out}");
+    }
+
+    #[test]
+    fn porcelain_lint_lines() {
+        let mut app = demo_app();
+        app.set_porcelain(true);
+        exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        // Edit advisory: the ChangeLine comes first, lint lines after.
+        let out = exec(&mut app, "add jaccard_ws(title, title) >= 0.6").unwrap();
+        let mut lines = out.lines();
+        assert!(
+            ChangeLine::from_json(lines.next().unwrap()).is_ok(),
+            "{out}"
+        );
+        let lint = LintLine::from_json(lines.next().unwrap()).unwrap();
+        assert_eq!(lint.kind, "duplicate_rule");
+        assert_eq!(lint.rule, "r1");
+        assert_eq!(lint.other_rule.as_deref(), Some("r0"));
+        assert_eq!(lint.fix.as_deref(), Some("rm r1"));
+        assert!(lint.safe);
+        // The lint command emits one line per finding.
+        let out = exec(&mut app, "lint").unwrap();
+        assert_eq!(out.lines().count(), 1);
+        assert_eq!(
+            LintLine::from_json(out.lines().next().unwrap())
+                .unwrap()
+                .severity,
+            "warning"
+        );
     }
 
     #[test]

@@ -12,11 +12,14 @@ const USAGE: &str = "\
 usage:
   rulem --demo <domain> [--scale <f>] [--seed <n>] [--threads <n>] [--deadline-ms <n>]
       domains: products | restaurants | books | breakfast | movies | videogames
-  rulem <a.csv> <b.csv> --block <attr>[:<min-overlap>] [--threads <n>] [--deadline-ms <n>]
+  rulem <a.csv> <b.csv> --block <attr>[:<spec>] [--threads <n>] [--deadline-ms <n>]
       either mode also accepts --store <dir> and --porcelain
       CSV files: first column is the record id, header row names attributes;
-      blocking is token overlap on <attr> (default min-overlap 2), or an
-      exact attribute-equivalence join with ':eq'.
+      blocking <spec> is a token min-overlap count on <attr> (default 2),
+      ':eq' for an exact attribute-equivalence join, or ':j<t>' for a
+      jaccard similarity join at threshold <t> (e.g. title:j0.6). The
+      ':eq' and ':j' joins carry a similarity guarantee that `lint` uses
+      to flag predicates the blocking step already satisfies.
   rulem serve --addr <host:port> [--store-root <dir>] [--max-conns <n>]
               [--max-resident <n>] [dataset flags as above]
       serves named debugging sessions over TCP; every client gets its own
@@ -77,6 +80,10 @@ struct Dataset {
     cands: em_types::CandidateSet,
     labels: Vec<em_types::LabeledPair>,
     config: SessionConfig,
+    /// Similarity floors the blocking step guarantees for every candidate
+    /// pair (empty for lossy blockers) — fed to the static analyzer so
+    /// `lint` can flag predicates blocking already satisfies.
+    guarantees: Vec<em_similarity::JoinGuarantee>,
 }
 
 fn get_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -139,6 +146,8 @@ fn build_dataset(args: &[String]) -> Result<Dataset, String> {
             cands,
             labels,
             config,
+            // Token-overlap blocking is lossy: no join guarantee.
+            guarantees: Vec::new(),
         });
     }
 
@@ -174,15 +183,26 @@ fn build_dataset(args: &[String]) -> Result<Dataset, String> {
     let b = read_table(path_b)?;
 
     let (attr, spec) = block.split_once(':').unwrap_or((block, "2"));
-    let cands = if spec == "eq" {
-        em_blocking::AttrEquivalenceBlocker::new(attr)
-            .block(&a, &b)
-            .map_err(|e| e.to_string())?
+    let (cands, guarantees) = if spec == "eq" {
+        // Case-sensitive: only exact equality carries the `exact(k, k) = 1`
+        // join guarantee the analyzer consumes.
+        let blocker = em_blocking::AttrEquivalenceBlocker::case_sensitive(attr);
+        let cands = blocker.block(&a, &b).map_err(|e| e.to_string())?;
+        (cands, blocker.guarantee().into_iter().collect())
+    } else if let Some(t) = spec.strip_prefix('j') {
+        let t: f64 = t
+            .parse()
+            .map_err(|_| format!("bad jaccard threshold {t:?} (want e.g. :j0.6)"))?;
+        let blocker =
+            em_blocking::JaccardJoinBlocker::new(attr, em_similarity::TokenScheme::Whitespace, t);
+        let cands = blocker.block(&a, &b).map_err(|e| e.to_string())?;
+        (cands, blocker.guarantee().into_iter().collect())
     } else {
         let k: usize = spec.parse().map_err(|_| format!("bad overlap {spec:?}"))?;
-        em_blocking::OverlapBlocker::new(attr, em_similarity::TokenScheme::Whitespace, k)
-            .block(&a, &b)
-            .map_err(|e| e.to_string())?
+        let blocker =
+            em_blocking::OverlapBlocker::new(attr, em_similarity::TokenScheme::Whitespace, k);
+        let cands = blocker.block(&a, &b).map_err(|e| e.to_string())?;
+        (cands, blocker.guarantee().into_iter().collect())
     };
 
     Ok(Dataset {
@@ -191,6 +211,7 @@ fn build_dataset(args: &[String]) -> Result<Dataset, String> {
         cands,
         labels: Vec::new(),
         config,
+        guarantees,
     })
 }
 
@@ -199,7 +220,8 @@ fn build_app(args: &[String]) -> Result<App, String> {
         return Err("rulem — interactive entity-matching debugger".to_string());
     }
     let ds = build_dataset(args)?;
-    let session = DebugSession::new(ds.table_a, ds.table_b, ds.cands, ds.config);
+    let mut session = DebugSession::new(ds.table_a, ds.table_b, ds.cands, ds.config);
+    session.set_block_guarantees(ds.guarantees);
     finish_app(session, ds.labels, get_flag(args, "--store"))
 }
 
@@ -235,7 +257,8 @@ fn serve_main(args: &[String]) -> Result<(), String> {
         return Err("rulem serve — network server for debugging sessions".to_string());
     }
     let ds = build_dataset(args)?;
-    let template = SessionTemplate::new(ds.table_a, ds.table_b, ds.cands, ds.labels, ds.config);
+    let template = SessionTemplate::new(ds.table_a, ds.table_b, ds.cands, ds.labels, ds.config)
+        .with_guarantees(ds.guarantees);
     let config = ServerConfig {
         addr: get_flag(args, "--addr")
             .unwrap_or("127.0.0.1:7878")

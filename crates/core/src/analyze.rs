@@ -1,0 +1,1192 @@
+//! Static analysis of matching functions: an abstract-interpretation pass
+//! over the rule program using a per-feature interval domain.
+//!
+//! The debugging loop of the paper finds rule defects by *running* the
+//! rules and inspecting verdicts. A whole class of defects is decidable
+//! from the rule text alone: contradictory predicates, rules shadowed by
+//! looser rules, thresholds outside a measure's codomain, predicates made
+//! vacuous by the blocking step. This module derives them statically, so
+//! the analyst gets instant feedback on every edit before any evaluation
+//! is spent.
+//!
+//! ## The domain
+//!
+//! Each rule is a conjunction of `feature op threshold` predicates. Its
+//! *normal form* assigns every referenced feature one [`Interval`]: the
+//! intersection of all the rule's bounds on that feature, further
+//! intersected with the feature's measure [`Codomain`] (`[0, 1]` for
+//! similarities, `{0, 1}` for equality-style measures like `exact`).
+//! Emptiness, implication, and equality of normal forms then decide the
+//! diagnostics:
+//!
+//! | kind | severity | meaning |
+//! |------|----------|---------|
+//! | [`DiagnosticKind::UnsatisfiableRule`] | error | some interval is empty — the rule can never fire |
+//! | [`DiagnosticKind::OutOfRangeThreshold`] | error / warning | threshold outside the codomain: the predicate can never hold (error) or always holds (warning) |
+//! | [`DiagnosticKind::TautologicalPredicate`] | warning | threshold at the codomain floor for `>=` (or ceiling for `<=`) — the predicate accepts every possible value |
+//! | [`DiagnosticKind::RedundantPredicate`] | warning | implied by a sibling predicate on the same feature |
+//! | [`DiagnosticKind::DuplicateRule`] | warning | identical normal form to an earlier rule |
+//! | [`DiagnosticKind::SubsumedRule`] | warning | another rule's intervals contain this rule's — it never changes the match set |
+//! | [`DiagnosticKind::BlockingVacuousPredicate`] | info | the candidate join's guarantee already implies the predicate for every candidate pair |
+//!
+//! ## Fix-its and the soundness contract
+//!
+//! Every diagnostic carries an optional [`FixIt`] expressed in the session
+//! edit grammar (drop predicate, drop rule, clamp threshold), so fixes
+//! replay through the incremental engine like any analyst edit. A
+//! diagnostic with [`Diagnostic::safe`] `== true` promises that applying
+//! its fix-it leaves **all verdicts bitwise unchanged** (for
+//! blocking-vacuous predicates: unchanged on the blocked candidate set)
+//! **and** leaves every surviving rule's `M(r)` bitmap and every
+//! surviving predicate's `U(p)` bitmap bitwise unchanged under the
+//! early-exit engines. The second half is why evaluation *order* matters
+//! to safety: a rule subsumed by an **earlier** rule never fires (safe to
+//! drop), while one subsumed by a **later** rule re-attributes its
+//! matches to the subsumer when dropped — verdict-equal but not
+//! attribution-equal, so `safe == false`. Likewise a redundant predicate
+//! is safe to drop only when an implying sibling is ordered before it.
+//! That contract is enforced by the `analyze_soundness` proptest at the
+//! workspace root, which applies safe fixes through the session edit path
+//! at 1/2/4 threads and compares verdicts, `M(r)`/`U(p)` bitmaps, and
+//! history counters.
+//!
+//! Diagnostics are deterministic and severity-ranked: sorted by severity
+//! (errors first), then rule position in evaluation order, then predicate
+//! position, then kind.
+
+use crate::context::EvalContext;
+use crate::feature::FeatureId;
+use crate::function::MatchingFunction;
+use crate::predicate::{CmpOp, PredId};
+use crate::rule::{BoundRule, RuleId};
+use em_similarity::{Codomain, JoinGuarantee};
+use std::fmt;
+
+/// Normalized bounds on one feature: the tightest lower bound (`Ge`/`Gt`)
+/// and upper bound (`Le`/`Lt`) a rule imposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (`NEG_INFINITY` when unconstrained).
+    pub lo: f64,
+    /// True when the lower bound is open (`Gt` rather than `Ge`).
+    pub lo_strict: bool,
+    /// Upper bound (`INFINITY` when unconstrained).
+    pub hi: f64,
+    /// True when the upper bound is open (`Lt` rather than `Le`).
+    pub hi_strict: bool,
+}
+
+impl Interval {
+    /// The interval accepting every value.
+    pub fn unconstrained() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            lo_strict: false,
+            hi: f64::INFINITY,
+            hi_strict: false,
+        }
+    }
+
+    /// The closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Self {
+        Interval {
+            lo,
+            lo_strict: false,
+            hi,
+            hi_strict: false,
+        }
+    }
+
+    /// The interval a single `op threshold` bound accepts.
+    pub fn of_bound(op: CmpOp, threshold: f64) -> Self {
+        let mut iv = Interval::unconstrained();
+        iv.add_bound(op, threshold);
+        iv
+    }
+
+    /// True when no value satisfies the bounds.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_strict || self.hi_strict))
+    }
+
+    /// Whether every value accepted by `self` is accepted by `other`
+    /// (`self ⊆ other`, so `other` is implied by `self`).
+    pub fn implies(&self, other: &Interval) -> bool {
+        let lo_ok =
+            self.lo > other.lo || (self.lo == other.lo && (self.lo_strict || !other.lo_strict));
+        let hi_ok =
+            self.hi < other.hi || (self.hi == other.hi && (self.hi_strict || !other.hi_strict));
+        lo_ok && hi_ok
+    }
+
+    /// Whether `value` satisfies the bounds.
+    pub fn contains(&self, value: f64) -> bool {
+        let lo_ok = if self.lo_strict {
+            value > self.lo
+        } else {
+            value >= self.lo
+        };
+        let hi_ok = if self.hi_strict {
+            value < self.hi
+        } else {
+            value <= self.hi
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Tightens the interval by one `op threshold` bound.
+    pub fn add_bound(&mut self, op: CmpOp, t: f64) {
+        match op {
+            CmpOp::Ge if t > self.lo => {
+                self.lo = t;
+                self.lo_strict = false;
+            }
+            CmpOp::Gt if t > self.lo || (t == self.lo && !self.lo_strict) => {
+                self.lo = t;
+                self.lo_strict = true;
+            }
+            CmpOp::Le if t < self.hi => {
+                self.hi = t;
+                self.hi_strict = false;
+            }
+            CmpOp::Lt if t < self.hi || (t == self.hi && !self.hi_strict) => {
+                self.hi = t;
+                self.hi_strict = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// The interval restricted to a measure's codomain.
+    ///
+    /// For a binary codomain the result is *snapped* to the subset of the
+    /// two endpoint values the interval accepts (`[1, 1]`, `[0, 0]`,
+    /// `[0, 1]`, or empty), which is what makes `exact >= 0.3` and
+    /// `exact >= 1` share one normal form.
+    pub fn clamp_to(&self, cod: &Codomain) -> Interval {
+        if cod.binary {
+            return match (self.contains(cod.lo), self.contains(cod.hi)) {
+                (true, true) => Interval::closed(cod.lo, cod.hi),
+                (true, false) => Interval::closed(cod.lo, cod.lo),
+                (false, true) => Interval::closed(cod.hi, cod.hi),
+                // Canonical empty interval.
+                (false, false) => Interval {
+                    lo: cod.hi,
+                    lo_strict: true,
+                    hi: cod.lo,
+                    hi_strict: true,
+                },
+            };
+        }
+        let mut out = *self;
+        if out.lo < cod.lo {
+            out.lo = cod.lo;
+            out.lo_strict = false;
+        }
+        if out.hi > cod.hi {
+            out.hi = cod.hi;
+            out.hi_strict = false;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}, {}{}",
+            if self.lo_strict { '(' } else { '[' },
+            self.lo,
+            self.hi,
+            if self.hi_strict { ')' } else { ']' },
+        )
+    }
+}
+
+/// The raw per-feature intervals of one rule (codomain not applied), in
+/// first-appearance order of features.
+pub fn rule_intervals(rule: &BoundRule) -> Vec<(FeatureId, Interval)> {
+    let mut index: std::collections::HashMap<FeatureId, usize> = std::collections::HashMap::new();
+    let mut out: Vec<(FeatureId, Interval)> = Vec::new();
+    for bp in &rule.preds {
+        let slot = *index.entry(bp.pred.feature).or_insert_with(|| {
+            out.push((bp.pred.feature, Interval::unconstrained()));
+            out.len() - 1
+        });
+        out[slot].1.add_bound(bp.pred.op, bp.pred.threshold);
+    }
+    out
+}
+
+/// How bad a diagnostic is. Ordered so that sorting ascending puts the
+/// most severe first: `Error < Warning < Info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The rule program is defective: some rule or predicate can never
+    /// have an effect the analyst intended (e.g. a rule that cannot fire).
+    Error,
+    /// Redundancy: removing the flagged element changes nothing.
+    Warning,
+    /// Advisory relative to the current candidate set (blocking).
+    Info,
+}
+
+impl Severity {
+    /// Stable lowercase label used in porcelain output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The catalog of statically decidable rule defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagnosticKind {
+    /// Some feature's interval (after codomain clamping) is empty.
+    UnsatisfiableRule,
+    /// A threshold lies outside the measure's codomain.
+    OutOfRangeThreshold,
+    /// The predicate accepts every value the measure can produce.
+    TautologicalPredicate,
+    /// A sibling predicate on the same feature already implies this one.
+    RedundantPredicate,
+    /// Identical normal form to an earlier rule.
+    DuplicateRule,
+    /// Another rule fires whenever this one does.
+    SubsumedRule,
+    /// The blocking join's guarantee implies the predicate for every
+    /// candidate pair.
+    BlockingVacuousPredicate,
+}
+
+impl DiagnosticKind {
+    /// Stable snake_case label used in porcelain output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiagnosticKind::UnsatisfiableRule => "unsatisfiable_rule",
+            DiagnosticKind::OutOfRangeThreshold => "out_of_range_threshold",
+            DiagnosticKind::TautologicalPredicate => "tautological_predicate",
+            DiagnosticKind::RedundantPredicate => "redundant_predicate",
+            DiagnosticKind::DuplicateRule => "duplicate_rule",
+            DiagnosticKind::SubsumedRule => "subsumed_rule",
+            DiagnosticKind::BlockingVacuousPredicate => "blocking_vacuous_predicate",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A suggested repair, expressed in the session edit grammar so it can be
+/// applied through the incremental engine (and undone) like any edit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FixIt {
+    /// Remove the whole rule (`rm r<k>`).
+    DropRule(RuleId),
+    /// Remove one predicate (`rmpred p<k>`).
+    DropPredicate(PredId),
+    /// Replace the predicate's threshold (`set p<k> <t>`).
+    ClampThreshold(PredId, f64),
+}
+
+impl FixIt {
+    /// The fix as a REPL/wire command line (the grammar of
+    /// [`crate::command::parse`]).
+    pub fn command_text(&self) -> String {
+        match self {
+            FixIt::DropRule(r) => format!("rm {r}"),
+            FixIt::DropPredicate(p) => format!("rmpred {p}"),
+            FixIt::ClampThreshold(p, t) => format!("set {p} {t}"),
+        }
+    }
+
+    /// The fix as a parsed [`crate::command::Command`].
+    pub fn to_command(&self) -> crate::command::Command {
+        match *self {
+            FixIt::DropRule(r) => crate::command::Command::RemoveRule(r),
+            FixIt::DropPredicate(p) => crate::command::Command::RemovePredicate(p),
+            FixIt::ClampThreshold(p, t) => crate::command::Command::SetThreshold(p, t),
+        }
+    }
+}
+
+impl fmt::Display for FixIt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.command_text())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What was found.
+    pub kind: DiagnosticKind,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The rule the finding is about.
+    pub rule: RuleId,
+    /// The rule's position in the evaluation order (0-based) — *where* in
+    /// the rule program the problem is.
+    pub rule_pos: usize,
+    /// The predicate the finding is about, for predicate-level kinds.
+    pub pred: Option<PredId>,
+    /// The predicate's position within its rule (0-based).
+    pub pred_pos: Option<usize>,
+    /// The feature involved, when the finding is about one feature.
+    pub feature: Option<FeatureId>,
+    /// The other rule involved (the subsumer, or the first duplicate).
+    pub other_rule: Option<RuleId>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Suggested repair in the edit grammar, when one exists.
+    pub fix: Option<FixIt>,
+    /// When true, applying [`Diagnostic::fix`] is guaranteed to leave all
+    /// verdicts bitwise unchanged (for blocking-vacuous findings:
+    /// unchanged on the blocked candidate set).
+    pub safe: bool,
+}
+
+impl Diagnostic {
+    /// Identity of the finding modulo message text — used to tell which
+    /// diagnostics an edit *introduced* (see [`new_diagnostics`]).
+    pub fn key(&self) -> (DiagnosticKind, RuleId, Option<PredId>, Option<RuleId>) {
+        (self.kind, self.rule, self.pred, self.other_rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)?;
+        if let Some(fix) = &self.fix {
+            write!(
+                f,
+                " (fix: `{fix}`{})",
+                if self.safe { ", safe" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The diagnostics in `after` whose [`Diagnostic::key`] does not appear in
+/// `before` — what an edit introduced.
+pub fn new_diagnostics<'a>(before: &[Diagnostic], after: &'a [Diagnostic]) -> Vec<&'a Diagnostic> {
+    let seen: std::collections::HashSet<_> = before.iter().map(|d| d.key()).collect();
+    after.iter().filter(|d| !seen.contains(&d.key())).collect()
+}
+
+/// Analyzes `func` against an evaluation context and the blocking step's
+/// join guarantees.
+///
+/// Codomains come from each feature's measure in the context's registry;
+/// `guarantees` (from `Blocker::guarantee()` in `em-blocking`) are matched
+/// to features by measure and attribute names. Diagnostics come back
+/// sorted by severity (errors first), then rule position, then predicate
+/// position.
+pub fn analyze(
+    func: &MatchingFunction,
+    ctx: &EvalContext,
+    guarantees: &[JoinGuarantee],
+) -> Vec<Diagnostic> {
+    let reg = ctx.registry();
+    let schema_a = ctx.table_a().schema();
+    let schema_b = ctx.table_b().schema();
+    // Resolve each guarantee to the features it bounds: same measure, and
+    // both attribute names equal to the guaranteed attribute.
+    let mut mins: std::collections::HashMap<FeatureId, f64> = std::collections::HashMap::new();
+    for g in guarantees {
+        for (fid, def) in reg.iter() {
+            if def.measure == g.measure
+                && schema_a.attr_name(def.attr_a) == Some(g.attr.as_str())
+                && schema_b.attr_name(def.attr_b) == Some(g.attr.as_str())
+            {
+                let min = mins.entry(fid).or_insert(f64::NEG_INFINITY);
+                if g.min_similarity > *min {
+                    *min = g.min_similarity;
+                }
+            }
+        }
+    }
+    analyze_with(
+        func,
+        |fid| {
+            reg.try_def(fid)
+                .map(|d| d.measure.codomain())
+                .unwrap_or(Codomain::UNIT)
+        },
+        |fid| mins.get(&fid).copied(),
+        |fid| ctx.feature_name(fid),
+    )
+}
+
+/// The context-free core of [`analyze`]: codomains, blocking bounds, and
+/// feature names are supplied by the caller (tests use plain `f<k>`
+/// names and all-`UNIT` codomains).
+pub fn analyze_with(
+    func: &MatchingFunction,
+    codomain_of: impl Fn(FeatureId) -> Codomain,
+    guaranteed_min: impl Fn(FeatureId) -> Option<f64>,
+    name_of: impl Fn(FeatureId) -> String,
+) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    // Per rule: raw intervals, clamped normal form, unsatisfiability.
+    struct RuleNf {
+        rule: RuleId,
+        pos: usize,
+        /// (feature, clamped interval) sorted by feature id.
+        normal: Vec<(FeatureId, Interval)>,
+        unsat: bool,
+    }
+    let mut nfs: Vec<RuleNf> = Vec::new();
+
+    for (pos, rule) in func.rules().iter().enumerate() {
+        let raw = rule_intervals(rule);
+        let mut normal: Vec<(FeatureId, Interval)> = raw
+            .iter()
+            .map(|&(f, iv)| (f, iv.clamp_to(&codomain_of(f))))
+            .collect();
+        normal.sort_by_key(|&(f, _)| f);
+        let unsat = normal.iter().any(|(_, iv)| iv.is_empty());
+
+        if unsat {
+            let bad: Vec<String> = normal
+                .iter()
+                .filter(|(_, iv)| iv.is_empty())
+                .map(|(f, _)| name_of(*f))
+                .collect();
+            out.push(Diagnostic {
+                kind: DiagnosticKind::UnsatisfiableRule,
+                severity: Severity::Error,
+                rule: rule.id,
+                rule_pos: pos,
+                pred: None,
+                pred_pos: None,
+                feature: raw
+                    .iter()
+                    .find(|(f, iv)| iv.clamp_to(&codomain_of(*f)).is_empty())
+                    .map(|(f, _)| *f),
+                other_rule: None,
+                message: format!(
+                    "rule {} can never fire: contradictory bounds on {}",
+                    rule.id,
+                    bad.join(", ")
+                ),
+                // The rule never fires, so dropping it flips no verdict.
+                fix: Some(FixIt::DropRule(rule.id)),
+                safe: true,
+            });
+        }
+
+        analyze_predicates(
+            rule,
+            pos,
+            &raw,
+            &codomain_of,
+            &guaranteed_min,
+            &name_of,
+            &mut out,
+        );
+
+        nfs.push(RuleNf {
+            rule: rule.id,
+            pos,
+            normal,
+            unsat,
+        });
+    }
+
+    // Duplicate and subsumed rules, over the clamped normal forms.
+    // Unsatisfiable rules are excluded: they already carry an error, and
+    // an empty rule is trivially subsumed by everything.
+    for i in 0..nfs.len() {
+        if nfs[i].unsat {
+            continue;
+        }
+        let mut duplicate_of: Option<&RuleNf> = None;
+        let mut subsumed_by: Option<&RuleNf> = None;
+        for j in 0..nfs.len() {
+            if i == j || nfs[j].unsat {
+                continue;
+            }
+            let (s, g) = (&nfs[i], &nfs[j]);
+            if j < i && s.normal == g.normal {
+                duplicate_of = Some(g);
+                break; // duplicate beats subsumption; earliest twin wins
+            }
+            // `g` subsumes `s` when every constraint of `g` is implied by
+            // `s`'s interval on that feature (features `g` leaves
+            // unconstrained are trivially implied).
+            let g_implied = g.normal.iter().all(|(gf, giv)| {
+                let siv = s
+                    .normal
+                    .iter()
+                    .find(|(sf, _)| sf == gf)
+                    .map(|&(_, iv)| iv)
+                    .unwrap_or_else(Interval::unconstrained);
+                siv.implies(giv)
+            });
+            if g_implied && s.normal != g.normal && subsumed_by.is_none() {
+                subsumed_by = Some(g);
+            }
+        }
+        let (kind, other) = match (duplicate_of, subsumed_by) {
+            (Some(g), _) => (DiagnosticKind::DuplicateRule, g),
+            (None, Some(g)) => (DiagnosticKind::SubsumedRule, g),
+            (None, None) => continue,
+        };
+        let s = &nfs[i];
+        out.push(Diagnostic {
+            kind,
+            severity: Severity::Warning,
+            rule: s.rule,
+            rule_pos: s.pos,
+            pred: None,
+            pred_pos: None,
+            feature: None,
+            other_rule: Some(other.rule),
+            message: match kind {
+                DiagnosticKind::DuplicateRule => format!(
+                    "rule {} is identical to rule {} (same normal form)",
+                    s.rule, other.rule
+                ),
+                _ if other.pos < s.pos => format!(
+                    "rule {} is subsumed by earlier rule {}: whenever {} fires, {} already fired",
+                    s.rule, other.rule, s.rule, other.rule
+                ),
+                _ => format!(
+                    "rule {} is subsumed by later rule {} (dropping it re-attributes its \
+                     matches to {}, verdicts unchanged)",
+                    s.rule, other.rule, other.rule
+                ),
+            },
+            fix: Some(FixIt::DropRule(s.rule)),
+            // Dropping is attribution-safe only when the subsumer comes
+            // EARLIER in evaluation order: then the subsumed rule never
+            // fires under early exit and removing it is a strict no-op.
+            // A later subsumer still makes the drop verdict-safe, but
+            // pairs it claimed re-attribute to the subsumer (`M(r)`
+            // bitmaps shift), so it is not marked safe.
+            safe: other.pos < s.pos,
+        });
+    }
+
+    // Deterministic, severity-ranked order. Rule-level findings sort
+    // before predicate-level findings of the same rule.
+    out.sort_by(|a, b| {
+        (
+            a.severity,
+            a.rule_pos,
+            a.pred_pos.map_or(-1, |p| p as i64),
+            a.kind,
+        )
+            .cmp(&(
+                b.severity,
+                b.rule_pos,
+                b.pred_pos.map_or(-1, |p| p as i64),
+                b.kind,
+            ))
+    });
+    out
+}
+
+/// Predicate-level diagnostics for one rule: out-of-range thresholds,
+/// tautologies, redundancy, and blocking-vacuous predicates.
+fn analyze_predicates(
+    rule: &BoundRule,
+    pos: usize,
+    raw: &[(FeatureId, Interval)],
+    codomain_of: &impl Fn(FeatureId) -> Codomain,
+    guaranteed_min: &impl Fn(FeatureId) -> Option<f64>,
+    name_of: &impl Fn(FeatureId) -> String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let single_pred = rule.preds.len() == 1;
+    // Earlier same-feature duplicates, for keep-first redundancy.
+    let mut seen_binding: Vec<(FeatureId, CmpOp, f64)> = Vec::new();
+
+    for (ppos, bp) in rule.preds.iter().enumerate() {
+        let f = bp.pred.feature;
+        let (op, t) = (bp.pred.op, bp.pred.threshold);
+        let cod = codomain_of(f);
+        let name = name_of(f);
+        let mk = |kind, severity, message, fix, safe| Diagnostic {
+            kind,
+            severity,
+            rule: rule.id,
+            rule_pos: pos,
+            pred: Some(bp.id),
+            pred_pos: Some(ppos),
+            feature: Some(f),
+            other_rule: None,
+            message,
+            fix,
+            safe,
+        };
+
+        // 1. Out-of-range threshold: outside the codomain's value range.
+        if t < cod.lo || t > cod.hi {
+            let dead = matches!(op, CmpOp::Ge | CmpOp::Gt if t > cod.hi)
+                || matches!(op, CmpOp::Le | CmpOp::Lt if t < cod.lo);
+            let clamp = if t > cod.hi { cod.hi } else { cod.lo };
+            // Clamping is semantics-preserving only when the predicate is
+            // vacuous both before and after: `f >= t` with `t < lo`
+            // clamps to `f >= lo` (still always true); the strict forms
+            // would start excluding the endpoint.
+            let clamp_safe = !dead && matches!(op, CmpOp::Ge | CmpOp::Le);
+            out.push(mk(
+                DiagnosticKind::OutOfRangeThreshold,
+                if dead { Severity::Error } else { Severity::Warning },
+                format!(
+                    "threshold {t} of {} ({name} {op} {t}) is outside {name}'s range [{}, {}]: the predicate {} holds",
+                    bp.id,
+                    cod.lo,
+                    cod.hi,
+                    if dead { "never" } else { "always" }
+                ),
+                Some(FixIt::ClampThreshold(bp.id, clamp)),
+                clamp_safe,
+            ));
+            continue; // dead/vacuous already said it all for this predicate
+        }
+
+        // 2. Tautological predicate: threshold at the codomain floor for a
+        // closed lower bound (or ceiling for a closed upper bound).
+        if (op == CmpOp::Ge && t == cod.lo) || (op == CmpOp::Le && t == cod.hi) {
+            let fix = (!single_pred).then_some(FixIt::DropPredicate(bp.id));
+            out.push(mk(
+                DiagnosticKind::TautologicalPredicate,
+                Severity::Warning,
+                format!(
+                    "{} ({name} {op} {t}) accepts every value in {name}'s range [{}, {}]{}",
+                    bp.id,
+                    cod.lo,
+                    cod.hi,
+                    if single_pred {
+                        " — the rule matches every pair"
+                    } else {
+                        ""
+                    }
+                ),
+                fix,
+                fix.is_some(),
+            ));
+            continue;
+        }
+
+        // 3. Redundant predicate: the rule's raw interval on this feature
+        // is just as tight without it (a sibling imposes an equal or
+        // stricter same-direction bound). Mirrors `simplify`'s dominance
+        // pass, which removes exactly these.
+        let iv = raw
+            .iter()
+            .find(|(rf, _)| *rf == f)
+            .map(|&(_, iv)| iv)
+            .expect("feature has an interval");
+        let binding = match op {
+            CmpOp::Ge => iv.lo == t && !iv.lo_strict,
+            CmpOp::Gt => iv.lo == t && iv.lo_strict,
+            CmpOp::Le => iv.hi == t && !iv.hi_strict,
+            CmpOp::Lt => iv.hi == t && iv.hi_strict,
+        };
+        let duplicate_binding = binding && seen_binding.contains(&(f, op, t));
+        if binding && !duplicate_binding {
+            seen_binding.push((f, op, t));
+        }
+        if !binding || duplicate_binding {
+            // Dropping is *attribution*-safe (leaves the per-predicate
+            // `U(p)` bitmaps of the survivors untouched, not just the
+            // verdicts) only when an implying sibling is ordered BEFORE
+            // this predicate: then every pair failing here already
+            // short-circuited earlier, so this predicate never evaluated
+            // false and its removal re-examines nothing.
+            let implied_by_earlier = rule.preds[..ppos].iter().any(|q| {
+                q.pred.feature == f
+                    && Interval::of_bound(q.pred.op, q.pred.threshold)
+                        .implies(&Interval::of_bound(op, t))
+            });
+            out.push(mk(
+                DiagnosticKind::RedundantPredicate,
+                Severity::Warning,
+                if duplicate_binding {
+                    format!("{} ({name} {op} {t}) duplicates an earlier predicate", bp.id)
+                } else if implied_by_earlier {
+                    format!(
+                        "{} ({name} {op} {t}) is implied by a stricter earlier sibling bound on {name}",
+                        bp.id
+                    )
+                } else {
+                    format!(
+                        "{} ({name} {op} {t}) is implied by a stricter later sibling bound on {name} \
+                         (dropping it shifts per-predicate attribution, not verdicts)",
+                        bp.id
+                    )
+                },
+                Some(FixIt::DropPredicate(bp.id)),
+                implied_by_earlier,
+            ));
+            continue;
+        }
+
+        // 4. Blocking-vacuous: every candidate pair already satisfies the
+        // predicate because the join guarantees `feature >= min`.
+        if let Some(min) = guaranteed_min(f) {
+            let candidate_range = Interval::closed(min, cod.hi).clamp_to(&cod);
+            let pred_iv = Interval::of_bound(op, t);
+            if !candidate_range.is_empty() && candidate_range.implies(&pred_iv) {
+                let fix = (!single_pred).then_some(FixIt::DropPredicate(bp.id));
+                out.push(mk(
+                    DiagnosticKind::BlockingVacuousPredicate,
+                    Severity::Info,
+                    format!(
+                        "{} ({name} {op} {t}) already holds for every candidate pair: blocking guarantees {name} >= {min}",
+                        bp.id
+                    ),
+                    fix,
+                    fix.is_some(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId(i)
+    }
+
+    /// Analyzer over all-UNIT codomains, no guarantees.
+    fn lint(func: &MatchingFunction) -> Vec<Diagnostic> {
+        analyze_with(func, |_| Codomain::UNIT, |_| None, |f| f.to_string())
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<DiagnosticKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_function_has_no_diagnostics() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.8)
+                .pred(f(1), CmpOp::Ge, 0.5),
+        )
+        .unwrap();
+        func.add_rule(Rule::new().pred(f(2), CmpOp::Ge, 0.9))
+            .unwrap();
+        assert!(lint(&func).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_rule_flagged_with_safe_drop() {
+        let mut func = MatchingFunction::new();
+        let rid = func
+            .add_rule(
+                Rule::new()
+                    .pred(f(0), CmpOp::Ge, 0.8)
+                    .pred(f(0), CmpOp::Lt, 0.5),
+            )
+            .unwrap();
+        let diags = lint(&func);
+        assert_eq!(diags[0].kind, DiagnosticKind::UnsatisfiableRule);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].fix, Some(FixIt::DropRule(rid)));
+        assert!(diags[0].safe);
+    }
+
+    #[test]
+    fn codomain_makes_high_threshold_unsatisfiable() {
+        // f >= 1.5 alone: raw interval non-empty, clamped interval empty.
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 1.5))
+            .unwrap();
+        let diags = lint(&func);
+        assert!(
+            kinds(&diags).contains(&DiagnosticKind::UnsatisfiableRule),
+            "{diags:?}"
+        );
+        let oor = diags
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::OutOfRangeThreshold)
+            .expect("out-of-range also flagged");
+        assert_eq!(oor.severity, Severity::Error);
+        assert!(!oor.safe, "clamping a dead bound changes semantics");
+        assert_eq!(
+            oor.fix,
+            Some(FixIt::ClampThreshold(func.rules()[0].preds[0].id, 1.0))
+        );
+    }
+
+    #[test]
+    fn below_floor_ge_is_vacuous_and_safely_clampable() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, -0.5)
+                .pred(f(1), CmpOp::Ge, 0.7),
+        )
+        .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::OutOfRangeThreshold]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].safe, "Ge clamp to the floor stays vacuous");
+        assert_eq!(
+            diags[0].fix,
+            Some(FixIt::ClampThreshold(func.rules()[0].preds[0].id, 0.0))
+        );
+        // The strict form is not safely clampable: f > 0 excludes 0.
+        let mut func2 = MatchingFunction::new();
+        func2
+            .add_rule(
+                Rule::new()
+                    .pred(f(0), CmpOp::Gt, -0.5)
+                    .pred(f(1), CmpOp::Ge, 0.7),
+            )
+            .unwrap();
+        let diags2 = lint(&func2);
+        assert_eq!(kinds(&diags2), vec![DiagnosticKind::OutOfRangeThreshold]);
+        assert!(!diags2[0].safe);
+    }
+
+    #[test]
+    fn tautological_predicate_at_floor() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.0)
+                .pred(f(1), CmpOp::Ge, 0.7),
+        )
+        .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::TautologicalPredicate]);
+        let pid = func.rules()[0].preds[0].id;
+        assert_eq!(diags[0].fix, Some(FixIt::DropPredicate(pid)));
+        assert!(diags[0].safe);
+    }
+
+    #[test]
+    fn tautological_single_predicate_has_no_fix() {
+        // Dropping the only predicate is not expressible (EmptyRule), and
+        // dropping the rule would change verdicts (it matches everything).
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.0))
+            .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::TautologicalPredicate]);
+        assert_eq!(diags[0].fix, None);
+        assert!(!diags[0].safe);
+        assert!(diags[0].message.contains("matches every pair"));
+    }
+
+    #[test]
+    fn redundant_predicate_flagged() {
+        // Loose bound AFTER the strict one: never evaluated false under
+        // early exit, so dropping it is attribution-safe.
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.7)
+                .pred(f(0), CmpOp::Ge, 0.5),
+        )
+        .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::RedundantPredicate]);
+        let loose = func.rules()[0].preds[1].id;
+        assert_eq!(diags[0].pred, Some(loose));
+        assert_eq!(diags[0].fix, Some(FixIt::DropPredicate(loose)));
+        assert!(diags[0].safe);
+    }
+
+    #[test]
+    fn redundant_predicate_before_its_implier_is_not_attribution_safe() {
+        // Loose bound BEFORE the strict one: it short-circuits some
+        // pairs, so dropping it shifts `U(p)` attribution to the strict
+        // sibling — still flagged, fix still offered, but not safe.
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(0), CmpOp::Ge, 0.7),
+        )
+        .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::RedundantPredicate]);
+        let loose = func.rules()[0].preds[0].id;
+        assert_eq!(diags[0].pred, Some(loose));
+        assert_eq!(diags[0].fix, Some(FixIt::DropPredicate(loose)));
+        assert!(!diags[0].safe);
+        assert!(
+            diags[0].message.contains("later sibling"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn rule_subsumed_by_later_rule_is_not_attribution_safe() {
+        // r0 ⊆ r1 with the subsumer LATER: r0 fires first for its pairs,
+        // so dropping it re-attributes those matches to r1. Verdict-safe
+        // but not attribution-safe.
+        let mut func = MatchingFunction::new();
+        let tight = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.9))
+            .unwrap();
+        let loose = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.6))
+            .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::SubsumedRule]);
+        assert_eq!(diags[0].rule, tight);
+        assert_eq!(diags[0].other_rule, Some(loose));
+        assert_eq!(diags[0].fix, Some(FixIt::DropRule(tight)));
+        assert!(!diags[0].safe);
+        assert!(
+            diags[0].message.contains("later rule"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn duplicate_binding_predicates_keep_first() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(0), CmpOp::Ge, 0.5),
+        )
+        .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::RedundantPredicate]);
+        assert_eq!(diags[0].pred, Some(func.rules()[0].preds[1].id));
+        assert!(diags[0].message.contains("duplicates"));
+    }
+
+    #[test]
+    fn duplicate_rule_flags_the_later_one() {
+        let mut func = MatchingFunction::new();
+        let first = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
+        let second = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::DuplicateRule]);
+        assert_eq!(diags[0].rule, second);
+        assert_eq!(diags[0].other_rule, Some(first));
+        assert_eq!(diags[0].fix, Some(FixIt::DropRule(second)));
+        assert!(diags[0].safe);
+    }
+
+    #[test]
+    fn binary_codomain_unifies_equivalent_thresholds() {
+        // On {0,1}-valued exact, `f >= 0.3` and `f >= 1` mean the same
+        // thing — the clamped normal forms agree, so it's a duplicate.
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.3))
+            .unwrap();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 1.0))
+            .unwrap();
+        let diags = analyze_with(&func, |_| Codomain::BINARY, |_| None, |f| f.to_string());
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::DuplicateRule]);
+    }
+
+    #[test]
+    fn subsumed_rule_flagged_with_subsumer() {
+        let mut func = MatchingFunction::new();
+        let strict = func
+            .add_rule(
+                Rule::new()
+                    .pred(f(0), CmpOp::Ge, 0.8)
+                    .pred(f(1), CmpOp::Ge, 0.5),
+            )
+            .unwrap();
+        let loose = func
+            .add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.6))
+            .unwrap();
+        let diags = lint(&func);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::SubsumedRule]);
+        assert_eq!(diags[0].rule, strict);
+        assert_eq!(diags[0].other_rule, Some(loose));
+        assert_eq!(diags[0].fix, Some(FixIt::DropRule(strict)));
+    }
+
+    #[test]
+    fn band_rule_not_subsumed_by_half_open() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.3)
+                .pred(f(0), CmpOp::Lt, 0.6),
+        )
+        .unwrap();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.3)
+                .pred(f(1), CmpOp::Ge, 0.5),
+        )
+        .unwrap();
+        assert!(lint(&func).is_empty());
+    }
+
+    #[test]
+    fn blocking_guarantee_makes_predicate_vacuous() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(1), CmpOp::Ge, 0.9),
+        )
+        .unwrap();
+        // Blocking guarantees f0 >= 0.6 for every candidate pair.
+        let diags = analyze_with(
+            &func,
+            |_| Codomain::UNIT,
+            |fid| (fid == f(0)).then_some(0.6),
+            |f| f.to_string(),
+        );
+        assert_eq!(
+            kinds(&diags),
+            vec![DiagnosticKind::BlockingVacuousPredicate]
+        );
+        assert_eq!(diags[0].severity, Severity::Info);
+        let pid = func.rules()[0].preds[0].id;
+        assert_eq!(diags[0].fix, Some(FixIt::DropPredicate(pid)));
+        assert!(diags[0].safe);
+        // A threshold above the guarantee is NOT vacuous.
+        let diags = analyze_with(
+            &func,
+            |_| Codomain::UNIT,
+            |fid| (fid == f(0)).then_some(0.4),
+            |f| f.to_string(),
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn blocking_vacuous_single_predicate_has_no_fix() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
+        let diags = analyze_with(&func, |_| Codomain::UNIT, |_| Some(0.6), |f| f.to_string());
+        assert_eq!(
+            kinds(&diags),
+            vec![DiagnosticKind::BlockingVacuousPredicate]
+        );
+        assert_eq!(diags[0].fix, None);
+        assert!(!diags[0].safe);
+    }
+
+    #[test]
+    fn diagnostics_ordered_by_severity_then_position() {
+        let mut func = MatchingFunction::new();
+        // r0: redundant predicate (warning).
+        func.add_rule(
+            Rule::new()
+                .pred(f(0), CmpOp::Ge, 0.5)
+                .pred(f(0), CmpOp::Ge, 0.7),
+        )
+        .unwrap();
+        // r1: unsatisfiable (error) — must sort first despite later rule.
+        func.add_rule(
+            Rule::new()
+                .pred(f(1), CmpOp::Ge, 0.8)
+                .pred(f(1), CmpOp::Lt, 0.2),
+        )
+        .unwrap();
+        // r2: vacuous via guarantee (info) — must sort last.
+        func.add_rule(
+            Rule::new()
+                .pred(f(2), CmpOp::Ge, 0.1)
+                .pred(f(1), CmpOp::Ge, 0.9),
+        )
+        .unwrap();
+        let diags = analyze_with(
+            &func,
+            |_| Codomain::UNIT,
+            |fid| (fid == f(2)).then_some(0.3),
+            |f| f.to_string(),
+        );
+        assert_eq!(
+            kinds(&diags),
+            vec![
+                DiagnosticKind::UnsatisfiableRule,
+                DiagnosticKind::RedundantPredicate,
+                DiagnosticKind::BlockingVacuousPredicate,
+            ]
+        );
+        // Determinism: same input, same output.
+        let again = analyze_with(
+            &func,
+            |_| Codomain::UNIT,
+            |fid| (fid == f(2)).then_some(0.3),
+            |f| f.to_string(),
+        );
+        assert_eq!(diags, again);
+    }
+
+    #[test]
+    fn fix_its_render_in_the_edit_grammar() {
+        assert_eq!(FixIt::DropRule(RuleId(3)).command_text(), "rm r3");
+        assert_eq!(FixIt::DropPredicate(PredId(7)).command_text(), "rmpred p7");
+        assert_eq!(
+            FixIt::ClampThreshold(PredId(2), 1.0).command_text(),
+            "set p2 1"
+        );
+        // And they parse back through the shared grammar.
+        for fix in [
+            FixIt::DropRule(RuleId(3)),
+            FixIt::DropPredicate(PredId(7)),
+            FixIt::ClampThreshold(PredId(2), 1.0),
+        ] {
+            let parsed = crate::command::parse(&fix.command_text()).unwrap().unwrap();
+            assert_eq!(parsed, fix.to_command());
+        }
+    }
+
+    #[test]
+    fn new_diagnostics_diff() {
+        let mut func = MatchingFunction::new();
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
+        let before = lint(&func);
+        assert!(before.is_empty());
+        func.add_rule(Rule::new().pred(f(0), CmpOp::Ge, 0.5))
+            .unwrap();
+        let after = lint(&func);
+        let fresh = new_diagnostics(&before, &after);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].kind, DiagnosticKind::DuplicateRule);
+        // Unchanged set diffs to nothing.
+        assert!(new_diagnostics(&after, &after).is_empty());
+    }
+
+    #[test]
+    fn interval_display_and_contains() {
+        let iv = Interval::of_bound(CmpOp::Ge, 0.5);
+        assert_eq!(iv.to_string(), "[0.5, inf]");
+        assert!(iv.contains(0.5));
+        let iv = Interval::of_bound(CmpOp::Gt, 0.5);
+        assert!(!iv.contains(0.5));
+        assert!(iv.contains(0.6));
+    }
+}

@@ -34,6 +34,9 @@ pub enum Command {
     Resume,
     /// `simplify` — drop dominated predicates and subsumed rules.
     Simplify,
+    /// `lint` — static analysis: report unsatisfiable/duplicate/subsumed
+    /// rules, redundant or vacuous predicates, with fix-it suggestions.
+    Lint,
     /// `run` — re-run matching from scratch (memo retained).
     Run,
     /// `matches [n]` — show up to n matched pairs (default 10).
@@ -118,6 +121,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         "undo" => Command::Undo,
         "resume" => Command::Resume,
         "simplify" => Command::Simplify,
+        "lint" => Command::Lint,
         "run" => Command::Run,
         "matches" => {
             let n = if rest.is_empty() {
@@ -208,6 +212,7 @@ commands:
   undo                  revert the most recent edit
   resume                finish an edit interrupted by the deadline or Ctrl-C
   simplify              drop dominated predicates and subsumed rules
+  lint                  static analysis: dead/duplicate/subsumed rules, vacuous predicates, fix-its
   run                   re-run matching from scratch (memo retained)
   matches [n]           show up to n matched pairs (default 10)
   explain <i>           full evaluation trace of candidate pair i
@@ -258,6 +263,8 @@ mod tests {
         assert_eq!(parse("undo").unwrap(), Some(Command::Undo));
         assert_eq!(parse("resume").unwrap(), Some(Command::Resume));
         assert_eq!(parse("simplify").unwrap(), Some(Command::Simplify));
+        assert_eq!(parse("lint").unwrap(), Some(Command::Lint));
+        assert_eq!(parse("LINT").unwrap(), Some(Command::Lint));
         assert_eq!(parse("matches").unwrap(), Some(Command::Matches(10)));
         assert_eq!(parse("matches 25").unwrap(), Some(Command::Matches(25)));
         assert_eq!(parse("explain 4").unwrap(), Some(Command::Explain(4)));

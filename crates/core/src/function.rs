@@ -23,6 +23,11 @@ pub enum EditError {
     /// partially applied; it must be resumed (or the state rebuilt with a
     /// full run) before further edits.
     PendingResume,
+    /// A predicate threshold was NaN or infinite. Comparisons against
+    /// non-finite thresholds are either vacuous or never satisfiable and
+    /// are always an input bug, so they are rejected at the edit boundary
+    /// (the parser rejects them too; this guards the programmatic path).
+    NonFiniteThreshold,
 }
 
 impl fmt::Display for EditError {
@@ -39,6 +44,9 @@ impl fmt::Display for EditError {
                 f,
                 "a previous edit is partially applied; resume it (or re-run matching) first"
             ),
+            EditError::NonFiniteThreshold => {
+                write!(f, "threshold must be a finite number (not NaN or infinite)")
+            }
         }
     }
 }
@@ -69,6 +77,9 @@ impl MatchingFunction {
         if rule.is_empty() {
             return Err(EditError::EmptyRule);
         }
+        if rule.predicates().iter().any(|p| !p.threshold.is_finite()) {
+            return Err(EditError::NonFiniteThreshold);
+        }
         let id = RuleId(self.next_rule);
         self.next_rule += 1;
         let preds = rule
@@ -92,6 +103,9 @@ impl MatchingFunction {
 
     /// Appends `pred` to rule `rule_id` (at the end of its evaluation order).
     pub fn add_predicate(&mut self, rule_id: RuleId, pred: Predicate) -> Result<PredId, EditError> {
+        if !pred.threshold.is_finite() {
+            return Err(EditError::NonFiniteThreshold);
+        }
         let rule = self
             .rules
             .iter_mut()
@@ -122,6 +136,9 @@ impl MatchingFunction {
 
     /// Replaces the threshold of predicate `pid`, returning the old value.
     pub fn set_threshold(&mut self, pid: PredId, threshold: f64) -> Result<f64, EditError> {
+        if !threshold.is_finite() {
+            return Err(EditError::NonFiniteThreshold);
+        }
         for rule in &mut self.rules {
             for bp in &mut rule.preds {
                 if bp.id == pid {
@@ -187,9 +204,10 @@ impl MatchingFunction {
     /// The distinct features referenced anywhere in the function, in
     /// first-appearance order — the "used features" of Table 2.
     pub fn features(&self) -> Vec<FeatureId> {
+        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for (_, bp) in self.predicates() {
-            if !out.contains(&bp.pred.feature) {
+            if seen.insert(bp.pred.feature) {
                 out.push(bp.pred.feature);
             }
         }
@@ -295,6 +313,29 @@ mod tests {
     fn empty_rule_rejected() {
         let mut f = MatchingFunction::new();
         assert_eq!(f.add_rule(Rule::new()), Err(EditError::EmptyRule));
+    }
+
+    #[test]
+    fn non_finite_thresholds_rejected_on_every_edit_path() {
+        let (mut f, r1, _) = two_rule_function();
+        let pid = f.rules()[0].preds[0].id;
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                f.add_rule(Rule::new().pred(FeatureId(0), CmpOp::Ge, bad)),
+                Err(EditError::NonFiniteThreshold)
+            );
+            assert_eq!(
+                f.add_predicate(r1, Predicate::new(FeatureId(0), CmpOp::Ge, bad)),
+                Err(EditError::NonFiniteThreshold)
+            );
+            assert_eq!(
+                f.set_threshold(pid, bad),
+                Err(EditError::NonFiniteThreshold)
+            );
+        }
+        // Rejections leave the function untouched.
+        assert_eq!(f.n_rules(), 2);
+        assert_eq!(f.rules()[0].preds[0].pred.threshold, 0.9);
     }
 
     #[test]

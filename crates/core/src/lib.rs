@@ -47,6 +47,7 @@
 //! assert_eq!(session.state().fired_rule(0), Some(rid));
 //! ```
 
+pub mod analyze;
 pub mod bitmap;
 pub mod budget;
 pub mod command;
@@ -75,6 +76,9 @@ pub mod simplify;
 pub mod state;
 pub mod stats;
 
+pub use analyze::{
+    analyze, analyze_with, new_diagnostics, Diagnostic, DiagnosticKind, FixIt, Interval, Severity,
+};
 pub use bitmap::Bitmap;
 pub use budget::{CancelToken, Completion, EvalBudget, StopReason};
 pub use command::Command;
@@ -102,12 +106,12 @@ pub use ordering::{
     optimize, optimize_predicate_orders, order_predicates, order_rules, order_rules_sample_greedy,
     OrderingAlgo,
 };
-pub use parse::{parse_function, parse_measure, ParseError};
+pub use parse::{parse_function, parse_measure, ParseError, ParseErrorKind, Span};
 pub use persist::{
     session_store_dir, store_exists, JournalRecord, PersistError, RecoveryReport, SessionStore,
     StoreLock,
 };
-pub use porcelain::{ChangeLine, HistoryLine};
+pub use porcelain::{ChangeLine, HistoryLine, LintLine};
 pub use predicate::{CmpOp, PredId, Predicate};
 pub use quality::QualityReport;
 pub use robust::install_quiet_panic_hook;

@@ -29,9 +29,9 @@ use crate::rule::Rule;
 use em_similarity::{Measure, TokenScheme};
 use std::fmt;
 
-/// Errors raised by the rule-text parser.
+/// What went wrong while parsing rule text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParseError {
+pub enum ParseErrorKind {
     /// A measure name was not recognized.
     UnknownMeasure(String),
     /// An attribute name does not exist in the table schema.
@@ -44,14 +44,76 @@ pub enum ParseError {
     Empty,
 }
 
+/// Where in the rule text a parse error occurred. Both coordinates are
+/// 1-based; `0` means "not applicable" (e.g. a single-predicate parse has
+/// no line, a rule-level error has no predicate index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Input line number (1-based, counting every line including comments
+    /// and blanks, as an editor would).
+    pub line: usize,
+    /// Predicate index within the rule (1-based, in `AND` order).
+    pub pred: usize,
+}
+
+/// Errors raised by the rule-text parser, with the position of the
+/// offending predicate when one is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where, when the input had enough structure to say.
+    pub span: Option<Span>,
+}
+
+impl ParseError {
+    /// An error with no position information.
+    pub fn new(kind: ParseErrorKind) -> Self {
+        ParseError { kind, span: None }
+    }
+
+    /// Records the 1-based predicate index (kept if already set — the
+    /// innermost position wins).
+    pub fn at_pred(mut self, pred: usize) -> Self {
+        let span = self.span.get_or_insert(Span::default());
+        if span.pred == 0 {
+            span.pred = pred;
+        }
+        self
+    }
+
+    /// Records the 1-based input line (kept if already set).
+    pub fn at_line(mut self, line: usize) -> Self {
+        let span = self.span.get_or_insert(Span::default());
+        if span.line == 0 {
+            span.line = line;
+        }
+        self
+    }
+}
+
+impl From<ParseErrorKind> for ParseError {
+    fn from(kind: ParseErrorKind) -> Self {
+        ParseError::new(kind)
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParseError::UnknownMeasure(m) => write!(f, "unknown measure {m:?}"),
-            ParseError::UnknownAttr(a) => write!(f, "unknown attribute {a:?}"),
-            ParseError::Malformed(s) => write!(f, "malformed predicate {s:?}"),
-            ParseError::BadNumber(s) => write!(f, "bad threshold {s:?}"),
-            ParseError::Empty => write!(f, "no rules in input"),
+        if let Some(span) = &self.span {
+            match (span.line, span.pred) {
+                (0, 0) => {}
+                (l, 0) => write!(f, "line {l}: ")?,
+                (0, p) => write!(f, "predicate {p}: ")?,
+                (l, p) => write!(f, "line {l}, predicate {p}: ")?,
+            }
+        }
+        match &self.kind {
+            ParseErrorKind::UnknownMeasure(m) => write!(f, "unknown measure {m:?}"),
+            ParseErrorKind::UnknownAttr(a) => write!(f, "unknown attribute {a:?}"),
+            ParseErrorKind::Malformed(s) => write!(f, "malformed predicate {s:?}"),
+            ParseErrorKind::BadNumber(s) => write!(f, "bad threshold {s:?}"),
+            ParseErrorKind::Empty => write!(f, "no rules in input"),
         }
     }
 }
@@ -146,56 +208,59 @@ fn parse_predicate(
     ctx: &mut EvalContext,
 ) -> Result<crate::predicate::Predicate, ParseError> {
     let text = text.trim();
-    let open = text
-        .find('(')
-        .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
-    let close = text
-        .find(')')
-        .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
+    let malformed = || ParseError::new(ParseErrorKind::Malformed(text.to_string()));
+    let open = text.find('(').ok_or_else(malformed)?;
+    let close = text.find(')').ok_or_else(malformed)?;
     if close < open {
-        return Err(ParseError::Malformed(text.to_string()));
+        return Err(malformed());
     }
 
     let measure_name = text[..open].trim();
     let measure = parse_measure(measure_name)
-        .ok_or_else(|| ParseError::UnknownMeasure(measure_name.to_string()))?;
+        .ok_or_else(|| ParseError::new(ParseErrorKind::UnknownMeasure(measure_name.to_string())))?;
 
     let args: Vec<&str> = text[open + 1..close].split(',').map(str::trim).collect();
     if args.len() != 2 {
-        return Err(ParseError::Malformed(text.to_string()));
+        return Err(malformed());
     }
 
     let rest = text[close + 1..].trim();
     let (op, num) = [">=", "<=", ">", "<"]
         .iter()
         .find_map(|sym| rest.strip_prefix(sym).map(|n| (*sym, n)))
-        .ok_or_else(|| ParseError::Malformed(text.to_string()))?;
-    let op = CmpOp::parse(op).ok_or_else(|| ParseError::Malformed(text.to_string()))?;
+        .ok_or_else(malformed)?;
+    let op = CmpOp::parse(op).ok_or_else(malformed)?;
     let threshold: f64 = num
         .trim()
         .parse()
-        .map_err(|_| ParseError::BadNumber(num.trim().to_string()))?;
+        .map_err(|_| ParseError::new(ParseErrorKind::BadNumber(num.trim().to_string())))?;
     // `"nan"` and `"inf"` parse as f64; a non-finite threshold would make
     // every comparison vacuous (or NaN-poison downstream ordering), so
     // reject it here at the one gate all rule text passes through.
     if !threshold.is_finite() {
-        return Err(ParseError::BadNumber(num.trim().to_string()));
+        return Err(ParseError::new(ParseErrorKind::BadNumber(
+            num.trim().to_string(),
+        )));
     }
 
-    let feature = ctx
-        .feature(measure, args[0], args[1])
-        .ok_or_else(|| ParseError::UnknownAttr(format!("{} / {}", args[0], args[1])))?;
+    let feature = ctx.feature(measure, args[0], args[1]).ok_or_else(|| {
+        ParseError::new(ParseErrorKind::UnknownAttr(format!(
+            "{} / {}",
+            args[0], args[1]
+        )))
+    })?;
     Ok(crate::predicate::Predicate::new(feature, op, threshold))
 }
 
-/// Parses one rule (a conjunction).
+/// Parses one rule (a conjunction). Errors carry the 1-based index of the
+/// offending predicate.
 pub fn parse_rule(text: &str, ctx: &mut EvalContext) -> Result<Rule, ParseError> {
     let mut rule = Rule::new();
-    for pred_text in split_keyword(text, "and") {
+    for (i, pred_text) in split_keyword(text, "and").into_iter().enumerate() {
         if pred_text.trim().is_empty() {
-            return Err(ParseError::Malformed(text.to_string()));
+            return Err(ParseError::new(ParseErrorKind::Malformed(text.to_string())).at_pred(i + 1));
         }
-        let pred = parse_predicate(pred_text, ctx)?;
+        let pred = parse_predicate(pred_text, ctx).map_err(|e| e.at_pred(i + 1))?;
         rule = Rule::with(
             rule.predicates()
                 .iter()
@@ -207,9 +272,11 @@ pub fn parse_rule(text: &str, ctx: &mut EvalContext) -> Result<Rule, ParseError>
 }
 
 /// Parses a full matching function: rules separated by `OR` or newlines.
+/// Errors carry the 1-based input line and predicate index of the
+/// offending predicate.
 pub fn parse_function(text: &str, ctx: &mut EvalContext) -> Result<MatchingFunction, ParseError> {
     let mut func = MatchingFunction::new();
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -218,13 +285,14 @@ pub fn parse_function(text: &str, ctx: &mut EvalContext) -> Result<MatchingFunct
             if rule_text.trim().is_empty() {
                 continue;
             }
-            let rule = parse_rule(rule_text, ctx)?;
-            func.add_rule(rule)
-                .map_err(|e| ParseError::Malformed(e.to_string()))?;
+            let rule = parse_rule(rule_text, ctx).map_err(|e| e.at_line(lineno + 1))?;
+            func.add_rule(rule).map_err(|e| {
+                ParseError::new(ParseErrorKind::Malformed(e.to_string())).at_line(lineno + 1)
+            })?;
         }
     }
     if func.is_empty() {
-        return Err(ParseError::Empty);
+        return Err(ParseError::new(ParseErrorKind::Empty));
     }
     Ok(func)
 }
@@ -331,24 +399,69 @@ mod tests {
         let mut c = ctx();
         assert!(matches!(
             parse_function("frobnicate(title, title) >= 1", &mut c),
-            Err(ParseError::UnknownMeasure(_))
+            Err(ParseError {
+                kind: ParseErrorKind::UnknownMeasure(_),
+                ..
+            })
         ));
         assert!(matches!(
             parse_function("exact(nope, title) >= 1", &mut c),
-            Err(ParseError::UnknownAttr(_))
+            Err(ParseError {
+                kind: ParseErrorKind::UnknownAttr(_),
+                ..
+            })
         ));
         assert!(matches!(
             parse_function("exact(title, title) >= banana", &mut c),
-            Err(ParseError::BadNumber(_))
+            Err(ParseError {
+                kind: ParseErrorKind::BadNumber(_),
+                ..
+            })
         ));
         assert!(matches!(
             parse_function("exact(title title) >= 1", &mut c),
-            Err(ParseError::Malformed(_))
+            Err(ParseError {
+                kind: ParseErrorKind::Malformed(_),
+                ..
+            })
         ));
         assert!(matches!(
             parse_function("  \n# only a comment\n", &mut c),
-            Err(ParseError::Empty)
+            Err(ParseError {
+                kind: ParseErrorKind::Empty,
+                span: None,
+            })
         ));
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let mut c = ctx();
+        // Line 1 is a comment, line 2 is fine, line 3's SECOND predicate
+        // (after the AND) is broken.
+        let text = "# rules\n\
+                    exact(modelno, modelno) >= 1\n\
+                    jaro(title, title) >= 0.9 AND frobnicate(title, title) >= 1";
+        let err = parse_function(text, &mut c).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownMeasure(_)));
+        assert_eq!(err.span, Some(Span { line: 3, pred: 2 }));
+        assert_eq!(
+            err.to_string(),
+            "line 3, predicate 2: unknown measure \"frobnicate\""
+        );
+
+        // Single-rule parses report the predicate but have no line.
+        let err = parse_rule("exact(title, title) >= banana", &mut c).unwrap_err();
+        assert_eq!(err.span, Some(Span { line: 0, pred: 1 }));
+        assert_eq!(err.to_string(), "predicate 1: bad threshold \"banana\"");
+
+        // The innermost position wins: at_pred/at_line never overwrite.
+        let err = ParseError::new(ParseErrorKind::Empty)
+            .at_pred(2)
+            .at_pred(9)
+            .at_line(4)
+            .at_line(9);
+        assert_eq!(err.span, Some(Span { line: 4, pred: 2 }));
     }
 
     #[test]
@@ -362,7 +475,13 @@ mod tests {
             "exact(title, title) >= infinity",
         ] {
             assert!(
-                matches!(parse_function(text, &mut c), Err(ParseError::BadNumber(_))),
+                matches!(
+                    parse_function(text, &mut c),
+                    Err(ParseError {
+                        kind: ParseErrorKind::BadNumber(_),
+                        ..
+                    })
+                ),
                 "{text:?} must be rejected"
             );
         }

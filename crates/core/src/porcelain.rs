@@ -11,6 +11,7 @@
 //! has no `Duration` support, and microseconds are the natural unit for
 //! the paper's sub-second interactive loop.
 
+use crate::analyze::Diagnostic;
 use crate::budget::{Completion, StopReason};
 use crate::incremental::ChangeReport;
 use crate::predicate::PredId;
@@ -155,6 +156,71 @@ impl HistoryLine {
     }
 }
 
+/// One static-analysis finding as a flat record: the wire/porcelain form
+/// of a [`Diagnostic`] (the `lint` command emits one line per finding;
+/// the edit path emits them as advisories when an edit introduces new
+/// findings).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LintLine {
+    /// Record discriminator; always `"lint"`.
+    pub event: String,
+    /// The diagnostic kind's stable snake_case label, e.g.
+    /// `"unsatisfiable_rule"`.
+    pub kind: String,
+    /// `"error"`, `"warning"`, or `"info"`.
+    pub severity: String,
+    /// The rule the finding is about (e.g. `"r3"`).
+    pub rule: String,
+    /// The rule's 0-based position in evaluation order.
+    pub rule_pos: usize,
+    /// The predicate the finding is about (e.g. `"p7"`), if any.
+    pub pred: Option<String>,
+    /// The predicate's 0-based position within its rule, if any.
+    pub pred_pos: Option<usize>,
+    /// The feature involved (e.g. `"f2"`), if any.
+    pub feature: Option<String>,
+    /// The other rule involved (subsumer / first duplicate), if any.
+    pub other_rule: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Suggested repair as a command line in the edit grammar (e.g.
+    /// `"rm r3"`), if one exists.
+    pub fix: Option<String>,
+    /// Whether applying `fix` is guaranteed to leave all verdicts bitwise
+    /// unchanged.
+    pub safe: bool,
+}
+
+impl LintLine {
+    /// Builds the porcelain record for one diagnostic.
+    pub fn new(d: &Diagnostic) -> Self {
+        LintLine {
+            event: "lint".to_string(),
+            kind: d.kind.label().to_string(),
+            severity: d.severity.label().to_string(),
+            rule: d.rule.to_string(),
+            rule_pos: d.rule_pos,
+            pred: d.pred.map(|p| p.to_string()),
+            pred_pos: d.pred_pos,
+            feature: d.feature.map(|f| f.to_string()),
+            other_rule: d.other_rule.map(|r| r.to_string()),
+            message: d.message.clone(),
+            fix: d.fix.map(|f| f.command_text()),
+            safe: d.safe,
+        }
+    }
+
+    /// The one-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("LintLine serializes infallibly")
+    }
+
+    /// Parses a line produced by [`LintLine::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("porcelain lint line: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +266,33 @@ mod tests {
         assert_eq!(line.completion, "cancelled");
         assert_eq!(line.remaining, 3);
         assert_eq!(line.pred.as_deref(), Some("p2"));
+    }
+
+    #[test]
+    fn lint_line_roundtrips() {
+        use crate::analyze::{DiagnosticKind, FixIt, Severity};
+        use crate::feature::FeatureId;
+        let d = Diagnostic {
+            kind: DiagnosticKind::RedundantPredicate,
+            severity: Severity::Warning,
+            rule: RuleId(2),
+            rule_pos: 1,
+            pred: Some(PredId(7)),
+            pred_pos: Some(0),
+            feature: Some(FeatureId(3)),
+            other_rule: None,
+            message: "p7 is implied by a stricter sibling bound on f3".to_string(),
+            fix: Some(FixIt::DropPredicate(PredId(7))),
+            safe: true,
+        };
+        let line = LintLine::new(&d);
+        let json = line.to_json();
+        assert!(!json.contains('\n'), "porcelain must be one line: {json}");
+        assert!(json.contains("\"event\":\"lint\""), "{json}");
+        assert!(json.contains("\"kind\":\"redundant_predicate\""), "{json}");
+        assert!(json.contains("\"severity\":\"warning\""), "{json}");
+        assert!(json.contains("\"fix\":\"rmpred p7\""), "{json}");
+        assert_eq!(LintLine::from_json(&json).unwrap(), line);
     }
 
     #[test]

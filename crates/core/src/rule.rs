@@ -87,9 +87,10 @@ impl BoundRule {
     /// The distinct features referenced by this rule, in first-appearance
     /// order — `feature(r)` in the paper's notation.
     pub fn features(&self) -> Vec<FeatureId> {
+        let mut seen = std::collections::HashSet::with_capacity(self.preds.len());
         let mut out = Vec::new();
         for bp in &self.preds {
-            if !out.contains(&bp.pred.feature) {
+            if seen.insert(bp.pred.feature) {
                 out.push(bp.pred.feature);
             }
         }
@@ -101,11 +102,16 @@ impl BoundRule {
     ///
     /// Returns `(feature, positions-of-its-predicates)` pairs.
     pub fn feature_groups(&self) -> Vec<(FeatureId, Vec<usize>)> {
+        let mut index: std::collections::HashMap<FeatureId, usize> =
+            std::collections::HashMap::with_capacity(self.preds.len());
         let mut groups: Vec<(FeatureId, Vec<usize>)> = Vec::new();
         for (i, bp) in self.preds.iter().enumerate() {
-            match groups.iter_mut().find(|(f, _)| *f == bp.pred.feature) {
-                Some((_, positions)) => positions.push(i),
-                None => groups.push((bp.pred.feature, vec![i])),
+            match index.entry(bp.pred.feature) {
+                std::collections::hash_map::Entry::Occupied(slot) => groups[*slot.get()].1.push(i),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(groups.len());
+                    groups.push((bp.pred.feature, vec![i]));
+                }
             }
         }
         groups
@@ -174,6 +180,37 @@ mod tests {
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0], (FeatureId(2), vec![0, 2]));
         assert_eq!(groups[1], (FeatureId(0), vec![1]));
+    }
+
+    #[test]
+    fn wide_rule_features_and_groups_stay_ordered() {
+        // A 64-feature rule with two predicates per feature, interleaved
+        // so first-appearance order differs from id order — exercises the
+        // indexed dedup path on a realistically wide (forest-extracted)
+        // rule.
+        let n = 64u32;
+        let mut preds = Vec::new();
+        let mut id = 0u64;
+        for f in (0..n).rev() {
+            preds.push(bp(id, f, CmpOp::Ge, 0.3));
+            id += 1;
+        }
+        for f in (0..n).rev() {
+            preds.push(bp(id, f, CmpOp::Le, 0.9));
+            id += 1;
+        }
+        let r = BoundRule {
+            id: RuleId(0),
+            preds,
+        };
+        let expected: Vec<FeatureId> = (0..n).rev().map(FeatureId).collect();
+        assert_eq!(r.features(), expected);
+        let groups = r.feature_groups();
+        assert_eq!(groups.len(), n as usize);
+        for (i, (f, positions)) in groups.iter().enumerate() {
+            assert_eq!(*f, FeatureId(n - 1 - i as u32));
+            assert_eq!(positions, &vec![i, i + n as usize]);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::feature::FeatureId;
 use crate::function::{EditError, MatchingFunction};
 use crate::incremental::{self, ChangeReport, PendingDelta, WorkerStats};
 use crate::ordering::{self, OrderingAlgo};
-use crate::parse::{self, ParseError};
+use crate::parse::{self, ParseError, ParseErrorKind};
 use crate::predicate::{PredId, Predicate};
 use crate::quality::QualityReport;
 use crate::rule::{Rule, RuleId};
@@ -149,6 +149,11 @@ pub struct DebugSession {
     /// [`DebugSession::optimize`]); lets `explain` annotate predicates
     /// with per-pair feature costs without re-sampling.
     last_stats: Option<FunctionStats>,
+    /// Similarity lower bounds the blocking step guarantees for every
+    /// candidate pair (from `Blocker::guarantee()`). Session-local
+    /// advisory metadata: consumed by [`DebugSession::analyze`], not
+    /// persisted with snapshots (the blocker is not part of the session).
+    block_guarantees: Vec<em_similarity::JoinGuarantee>,
 }
 
 impl DebugSession {
@@ -179,7 +184,33 @@ impl DebugSession {
             quarantined: Vec::new(),
             pending: None,
             last_stats: None,
+            block_guarantees: Vec::new(),
         }
+    }
+
+    /// Declares the similarity lower bounds the blocking step guarantees
+    /// for every candidate pair (see `Blocker::guarantee()` in
+    /// `em-blocking`). [`DebugSession::analyze`] uses them to flag
+    /// predicates that are vacuously true on the candidate set.
+    pub fn set_block_guarantees(
+        &mut self,
+        guarantees: impl Into<Vec<em_similarity::JoinGuarantee>>,
+    ) {
+        self.block_guarantees = guarantees.into();
+    }
+
+    /// The declared blocking guarantees.
+    pub fn block_guarantees(&self) -> &[em_similarity::JoinGuarantee] {
+        &self.block_guarantees
+    }
+
+    /// Statically analyzes the current matching function: unsatisfiable,
+    /// duplicate, and subsumed rules; redundant, tautological,
+    /// out-of-range, and blocking-vacuous predicates — each with a fix-it
+    /// in the edit grammar where one exists. Read-only and cheap (no
+    /// candidate evaluation); see [`crate::analyze`].
+    pub fn analyze(&self) -> Vec<crate::analyze::Diagnostic> {
+        crate::analyze::analyze(&self.func, &self.ctx, &self.block_guarantees)
     }
 
     /// A clone of the session's cancel token. Cancelling it (e.g. from a
@@ -342,10 +373,12 @@ impl DebugSession {
         self.state.memo.ensure_features(self.ctx.registry().len());
         match rule.predicates() {
             [pred] => Ok(*pred),
-            other => Err(SessionError::Parse(ParseError::Malformed(format!(
-                "expected exactly one predicate, got {}",
-                other.len()
-            )))),
+            other => Err(SessionError::Parse(ParseError::new(
+                ParseErrorKind::Malformed(format!(
+                    "expected exactly one predicate, got {}",
+                    other.len()
+                )),
+            ))),
         }
     }
 
@@ -989,9 +1022,11 @@ impl DebugSession {
             let ok_a = self.ctx.table_a().schema().len() > def.attr_a.index();
             let ok_b = self.ctx.table_b().schema().len() > def.attr_b.index();
             if !ok_a || !ok_b {
-                return Err(SessionError::Parse(ParseError::UnknownAttr(format!(
-                    "snapshot feature {old_id} references attributes outside this schema"
-                ))));
+                return Err(SessionError::Parse(ParseError::new(
+                    ParseErrorKind::UnknownAttr(format!(
+                        "snapshot feature {old_id} references attributes outside this schema"
+                    )),
+                )));
             }
             let new_id = self.ctx.feature_by_ids(def.measure, def.attr_a, def.attr_b);
             id_map.insert(*old_id, new_id);
@@ -1007,10 +1042,12 @@ impl DebugSession {
                 let Some(&new_id) = id_map.get(&bp.pred.feature) else {
                     // A hand-edited snapshot can reference a feature id it
                     // never declared; reject rather than panic.
-                    return Err(SessionError::Parse(ParseError::Malformed(format!(
-                        "snapshot rule references undeclared feature {}",
-                        bp.pred.feature
-                    ))));
+                    return Err(SessionError::Parse(ParseError::new(
+                        ParseErrorKind::Malformed(format!(
+                            "snapshot rule references undeclared feature {}",
+                            bp.pred.feature
+                        )),
+                    )));
                 };
                 let mut pred = bp.pred;
                 pred.feature = new_id;

@@ -20,9 +20,10 @@
 //!    implied by `s`'s predicates on the same feature. Whenever `s` fires,
 //!    `g` fires too, so removing `s` changes nothing.
 
+use crate::analyze::{rule_intervals, Interval};
 use crate::function::MatchingFunction;
 use crate::predicate::{CmpOp, PredId};
-use crate::rule::{BoundRule, RuleId};
+use crate::rule::RuleId;
 
 /// What [`simplify`] removed.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -47,79 +48,6 @@ impl SimplifyReport {
     pub fn n_removed(&self) -> usize {
         self.dominated_predicates.len() + self.unsatisfiable_rules.len() + self.subsumed_rules.len()
     }
-}
-
-/// Normalized bounds of one rule: per feature, the tightest lower bound
-/// (`Ge`/`Gt`) and upper bound (`Le`/`Lt`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Interval {
-    lo: f64,
-    lo_strict: bool, // Gt vs Ge
-    hi: f64,
-    hi_strict: bool, // Lt vs Le
-}
-
-impl Interval {
-    fn unconstrained() -> Self {
-        Interval {
-            lo: f64::NEG_INFINITY,
-            lo_strict: false,
-            hi: f64::INFINITY,
-            hi_strict: false,
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.lo > self.hi || (self.lo == self.hi && (self.lo_strict || self.hi_strict))
-    }
-
-    /// Whether every value accepted by `self` is accepted by `other`
-    /// (i.e. `self ⊆ other`, so `other` is implied by `self`).
-    fn implies(&self, other: &Interval) -> bool {
-        let lo_ok =
-            self.lo > other.lo || (self.lo == other.lo && (self.lo_strict || !other.lo_strict));
-        let hi_ok =
-            self.hi < other.hi || (self.hi == other.hi && (self.hi_strict || !other.hi_strict));
-        lo_ok && hi_ok
-    }
-}
-
-fn rule_intervals(rule: &BoundRule) -> Vec<(crate::feature::FeatureId, Interval)> {
-    let mut out: Vec<(crate::feature::FeatureId, Interval)> = Vec::new();
-    for bp in &rule.preds {
-        let iv = out
-            .iter_mut()
-            .find(|(f, _)| *f == bp.pred.feature)
-            .map(|(_, iv)| iv);
-        let iv = match iv {
-            Some(iv) => iv,
-            None => {
-                out.push((bp.pred.feature, Interval::unconstrained()));
-                &mut out.last_mut().expect("just pushed").1
-            }
-        };
-        let t = bp.pred.threshold;
-        match bp.pred.op {
-            CmpOp::Ge if t > iv.lo => {
-                iv.lo = t;
-                iv.lo_strict = false;
-            }
-            CmpOp::Gt if t > iv.lo || (t == iv.lo && !iv.lo_strict) => {
-                iv.lo = t;
-                iv.lo_strict = true;
-            }
-            CmpOp::Le if t < iv.hi => {
-                iv.hi = t;
-                iv.hi_strict = false;
-            }
-            CmpOp::Lt if t < iv.hi || (t == iv.hi && !iv.hi_strict) => {
-                iv.hi = t;
-                iv.hi_strict = true;
-            }
-            _ => {}
-        }
-    }
-    out
 }
 
 /// Simplifies `func` in place, returning what was removed. Verdicts are

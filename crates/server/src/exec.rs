@@ -14,7 +14,7 @@
 
 use crate::error::ServerError;
 use em_core::command::{Command, HELP};
-use em_core::{ChangeLine, HistoryLine, SessionStore};
+use em_core::{ChangeLine, Diagnostic, HistoryLine, LintLine, SessionStore};
 use em_types::LabeledPair;
 
 /// A free-form text payload (help, explain, stats — outputs whose shape
@@ -294,6 +294,18 @@ fn jsonl<T: serde::Serialize>(header: String, rows: impl IntoIterator<Item = T>)
     out
 }
 
+/// Appends one [`LintLine`] per diagnostic the edit *introduced* (present
+/// after, absent before) to the edit's porcelain payload, mirroring the
+/// CLI's advisory behavior so wire clients see regressions immediately.
+fn with_lint_advisories(store: &SessionStore, before: &[Diagnostic], mut out: String) -> String {
+    let after = store.session().analyze();
+    for d in em_core::new_diagnostics(before, &after) {
+        out.push('\n');
+        out.push_str(&LintLine::new(d).to_json());
+    }
+    out
+}
+
 /// Executes one grammar command against a session store, returning the
 /// porcelain payload. Edits go through the store's journaled wrappers so
 /// every change a client makes is crash-durable.
@@ -305,25 +317,35 @@ pub fn execute(
     match cmd {
         Command::Help => Ok(text(HELP)),
         Command::AddRule(rule_text) => {
+            let before = store.session().analyze();
             let (rid, report) = store.add_rule_text(rule_text)?;
-            Ok(ChangeLine::new("add_rule", Some(rid), None, &report).to_json())
+            let out = ChangeLine::new("add_rule", Some(rid), None, &report).to_json();
+            Ok(with_lint_advisories(store, &before, out))
         }
         Command::RemoveRule(rid) => {
+            let before = store.session().analyze();
             let report = store.remove_rule(*rid)?;
-            Ok(ChangeLine::new("remove_rule", Some(*rid), None, &report).to_json())
+            let out = ChangeLine::new("remove_rule", Some(*rid), None, &report).to_json();
+            Ok(with_lint_advisories(store, &before, out))
         }
         Command::AddPredicate(rid, pred_text) => {
+            let before = store.session().analyze();
             let pred = store.parse_predicate(pred_text)?;
             let (pid, report) = store.add_predicate(*rid, pred)?;
-            Ok(ChangeLine::new("add_predicate", Some(*rid), Some(pid), &report).to_json())
+            let out = ChangeLine::new("add_predicate", Some(*rid), Some(pid), &report).to_json();
+            Ok(with_lint_advisories(store, &before, out))
         }
         Command::RemovePredicate(pid) => {
+            let before = store.session().analyze();
             let report = store.remove_predicate(*pid)?;
-            Ok(ChangeLine::new("remove_predicate", None, Some(*pid), &report).to_json())
+            let out = ChangeLine::new("remove_predicate", None, Some(*pid), &report).to_json();
+            Ok(with_lint_advisories(store, &before, out))
         }
         Command::SetThreshold(pid, threshold) => {
+            let before = store.session().analyze();
             let report = store.set_threshold(*pid, *threshold)?;
-            Ok(ChangeLine::new("set_threshold", None, Some(*pid), &report).to_json())
+            let out = ChangeLine::new("set_threshold", None, Some(*pid), &report).to_json();
+            Ok(with_lint_advisories(store, &before, out))
         }
         Command::Undo => match store.undo()? {
             None => Ok(serde_json::to_string(&NoopLine {
@@ -351,6 +373,29 @@ pub fn execute(
                 quarantined: store.session().quarantined().len(),
             })
             .expect("RunLine serializes"))
+        }
+        Command::Lint => {
+            let diags = store.session().analyze();
+            #[derive(serde::Serialize)]
+            struct Header {
+                event: String,
+                total: usize,
+                errors: usize,
+                warnings: usize,
+                infos: usize,
+            }
+            use em_core::Severity;
+            let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+            let header = serde_json::to_string(&Header {
+                event: "lint_report".to_string(),
+                total: diags.len(),
+                errors: count(Severity::Error),
+                warnings: count(Severity::Warning),
+                infos: count(Severity::Info),
+            })
+            .expect("header serializes");
+            let rows: Vec<LintLine> = diags.iter().map(LintLine::new).collect();
+            Ok(jsonl(header, rows))
         }
         Command::Simplify => {
             let report = store.simplify()?;

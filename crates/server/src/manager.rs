@@ -42,6 +42,7 @@ pub struct SessionTemplate {
     cands: CandidateSet,
     labels: Vec<LabeledPair>,
     config: SessionConfig,
+    guarantees: Vec<em_similarity::JoinGuarantee>,
 }
 
 impl SessionTemplate {
@@ -59,7 +60,20 @@ impl SessionTemplate {
             cands,
             labels,
             config,
+            guarantees: Vec::new(),
         }
+    }
+
+    /// Records the blocking join guarantees of the dataset's blocker, so
+    /// every session minted by [`SessionTemplate::fresh`] can feed them
+    /// to the static analyzer (`lint` flags predicates the blocking step
+    /// already guarantees).
+    pub fn with_guarantees(
+        mut self,
+        guarantees: impl Into<Vec<em_similarity::JoinGuarantee>>,
+    ) -> Self {
+        self.guarantees = guarantees.into();
+        self
     }
 
     /// Builds the synthetic demo dataset (same pipeline as the CLI's
@@ -87,12 +101,14 @@ impl SessionTemplate {
     /// A fresh, empty session over the template's dataset — what `open`
     /// starts from and what store recovery replays into.
     pub fn fresh(&self) -> DebugSession {
-        DebugSession::new(
+        let mut session = DebugSession::new(
             self.table_a.clone(),
             self.table_b.clone(),
             self.cands.clone(),
             self.config.clone(),
-        )
+        );
+        session.set_block_guarantees(self.guarantees.clone());
+        session
     }
 
     /// The ground-truth labels (for `quality` over the wire).

@@ -3,7 +3,7 @@
 //! disconnect → `resume` recovery path, and the store-lock guard.
 
 use em_core::persist::{session_store_dir, StoreLock};
-use em_core::{ChangeLine, PersistError, SessionConfig};
+use em_core::{ChangeLine, LintLine, PersistError, SessionConfig};
 use em_datagen::Domain;
 use em_server::{read_frame, serve, Client, ServerConfig, ServerHandle, SessionTemplate};
 use std::io::BufReader;
@@ -280,4 +280,49 @@ fn resident_sessions_hold_their_store_lock_until_evicted() {
     assert!(attached.contains("\"recovered\""), "{attached}");
 
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The `lint` verb returns a `lint_report` header plus one `lint` line
+/// per finding, edits that introduce a finding append advisory lint
+/// lines after the `change` record, and a fix-it applied over the wire
+/// clears the finding.
+#[test]
+fn lint_over_the_wire_reports_advises_and_fixes() {
+    let handle = serve_ephemeral();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.expect_ok("open linty").unwrap();
+
+    // A clean (empty) function lints clean: header only, no rows.
+    let payload = c.expect_ok("lint").unwrap();
+    assert!(payload.contains("\"event\":\"lint_report\""), "{payload}");
+    assert!(payload.contains("\"total\":0"), "{payload}");
+    assert!(!payload.contains('\n'), "clean lint is one line: {payload}");
+
+    // An edit that introduces a finding carries advisory lint lines
+    // after its change record.
+    c.expect_ok("add jaccard_ws(title, title) >= 0.6").unwrap();
+    let payload = c.expect_ok("add jaccard_ws(title, title) >= 0.6").unwrap();
+    let mut lines = payload.lines();
+    let change = ChangeLine::from_json(lines.next().unwrap()).unwrap();
+    assert_eq!(change.op, "add_rule");
+    let advisory = LintLine::from_json(lines.next().unwrap()).unwrap();
+    assert_eq!(advisory.kind, "duplicate_rule");
+    assert_eq!(advisory.severity, "warning");
+    assert_eq!(advisory.rule, "r1");
+    assert_eq!(advisory.other_rule.as_deref(), Some("r0"));
+    assert!(advisory.safe, "dropping a duplicate rule is verdict-safe");
+
+    // `lint` now reports the standing finding.
+    let payload = c.expect_ok("lint").unwrap();
+    assert!(payload.contains("\"total\":1"), "{payload}");
+    assert!(payload.contains("\"warnings\":1"), "{payload}");
+    assert!(payload.contains("\"kind\":\"duplicate_rule\""), "{payload}");
+
+    // Applying the suggested fix over the wire clears it.
+    let fix = advisory.fix.expect("duplicate rule has a fix-it");
+    let payload = c.expect_ok(&fix).unwrap();
+    let change = ChangeLine::from_json(payload.lines().next().unwrap()).unwrap();
+    assert_eq!(change.op, "remove_rule");
+    let payload = c.expect_ok("lint").unwrap();
+    assert!(payload.contains("\"total\":0"), "{payload}");
 }

@@ -106,12 +106,110 @@ pub enum Measure {
     },
 }
 
+/// The set of values a [`Measure`] can produce — its *codomain*.
+///
+/// Every measure in the menu is normalized into `[0, 1]`; a few are
+/// *binary* (they only ever produce the two endpoint values, like
+/// `exact`'s 0-or-1). The static analyzer uses this to clamp rule
+/// intervals and to recognize thresholds that are tautological or out of
+/// range, so the bounds here must be sound: a measure may never return a
+/// value outside its declared codomain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Codomain {
+    /// Smallest value the measure can produce.
+    pub lo: f64,
+    /// Largest value the measure can produce.
+    pub hi: f64,
+    /// True when only the two endpoints occur (e.g. `exact`: {0, 1}).
+    pub binary: bool,
+}
+
+impl Codomain {
+    /// The continuous unit interval `[0, 1]` — most similarities.
+    pub const UNIT: Codomain = Codomain {
+        lo: 0.0,
+        hi: 1.0,
+        binary: false,
+    };
+
+    /// The two-point set `{0, 1}` — equality-style measures.
+    pub const BINARY: Codomain = Codomain {
+        lo: 0.0,
+        hi: 1.0,
+        binary: true,
+    };
+
+    /// Whether `value` lies inside the codomain (endpoint-inclusive; for
+    /// binary codomains, whether it is one of the two endpoints).
+    pub fn contains(&self, value: f64) -> bool {
+        if self.binary {
+            value == self.lo || value == self.hi
+        } else {
+            value >= self.lo && value <= self.hi
+        }
+    }
+}
+
+/// A lower bound on one measure that a blocking join guarantees for
+/// *every* candidate pair it emits.
+///
+/// An exact similarity join (e.g. [`Measure::Jaccard`] at threshold `t`)
+/// only outputs pairs with `measure(attr, attr) ≥ t`, so any rule
+/// predicate implied by that bound is vacuously true on the candidate set.
+/// Blockers that provide such a guarantee report it through
+/// `Blocker::guarantee()` (in `em-blocking`), and the static analyzer
+/// consumes it to flag blocking-vacuous predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinGuarantee {
+    /// The measure whose value is bounded.
+    pub measure: Measure,
+    /// Attribute name the join compared (same name on both tables).
+    pub attr: String,
+    /// Every emitted pair satisfies `measure(attr, attr) >= min_similarity`.
+    pub min_similarity: f64,
+}
+
+impl JoinGuarantee {
+    /// A guarantee that `measure(attr, attr) >= min_similarity` holds for
+    /// every candidate pair.
+    pub fn new(measure: Measure, attr: impl Into<String>, min_similarity: f64) -> Self {
+        JoinGuarantee {
+            measure,
+            attr: attr.into(),
+            min_similarity,
+        }
+    }
+}
+
+impl fmt::Display for JoinGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({a}, {a}) >= {t}",
+            self.measure,
+            a = self.attr,
+            t = self.min_similarity
+        )
+    }
+}
+
 impl Measure {
     /// Soft TF-IDF with the conventional 0.9 closeness threshold.
     pub fn soft_tfidf(scheme: TokenScheme) -> Self {
         Measure::SoftTfIdf {
             scheme,
             threshold: 0.9,
+        }
+    }
+
+    /// The set of values this measure can produce (see [`Codomain`]).
+    ///
+    /// All menu measures are normalized into `[0, 1]`; `exact` and
+    /// `soundex` are binary (codes either agree or they don't).
+    pub fn codomain(&self) -> Codomain {
+        match self {
+            Measure::Exact | Measure::Soundex => Codomain::BINARY,
+            _ => Codomain::UNIT,
         }
     }
 
@@ -356,5 +454,39 @@ mod tests {
         assert!(Measure::TfIdf(TokenScheme::Whitespace).needs_corpus());
         assert!(Measure::soft_tfidf(TokenScheme::Whitespace).needs_corpus());
         assert!(!Measure::Jaccard(TokenScheme::Whitespace).needs_corpus());
+    }
+
+    #[test]
+    fn codomains_are_sound_on_samples() {
+        // Every menu measure's output on a sample grid must land inside
+        // its declared codomain — the analyzer's clamping relies on it.
+        let samples = [
+            ("", ""),
+            ("a", ""),
+            ("apple ipod nano", "apple ipod"),
+            ("sony walkman", "bose headphones"),
+            ("12.5", "13"),
+            ("identical text", "identical text"),
+        ];
+        for m in Measure::paper_menu() {
+            let cod = m.codomain();
+            assert_eq!((cod.lo, cod.hi), (0.0, 1.0), "{m}");
+            for (a, b) in samples {
+                let v = m.similarity_with(a, b, None);
+                assert!(cod.contains(v), "{m}({a:?},{b:?}) = {v} escapes codomain");
+            }
+        }
+        assert!(Measure::Exact.codomain().binary);
+        assert!(Measure::Soundex.codomain().binary);
+        assert!(!Measure::Jaro.codomain().binary);
+        assert!(!Codomain::BINARY.contains(0.5));
+        assert!(Codomain::UNIT.contains(0.5));
+        assert!(!Codomain::UNIT.contains(1.5));
+    }
+
+    #[test]
+    fn join_guarantee_display() {
+        let g = JoinGuarantee::new(Measure::Jaccard(TokenScheme::Whitespace), "title", 0.6);
+        assert_eq!(g.to_string(), "jaccard_ws(title, title) >= 0.6");
     }
 }

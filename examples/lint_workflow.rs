@@ -1,0 +1,163 @@
+//! The static-analysis workflow: lint a ruleset before spending any
+//! evaluation on it, read the fix-its, and let the safe ones repair the
+//! program without touching a single verdict.
+//!
+//! Run the walkthrough with:
+//!
+//! ```text
+//! cargo run --example lint_workflow
+//! ```
+//!
+//! CI uses the same binary as a lint gate over the bundled rulesets:
+//!
+//! ```text
+//! cargo run --example lint_workflow -- examples/rulesets/products_clean.rules --expect-clean
+//! cargo run --example lint_workflow -- examples/rulesets/products_broken.rules --expect-errors
+//! ```
+//!
+//! `--expect-clean` exits nonzero on *any* finding; `--expect-errors`
+//! exits nonzero unless at least one error-severity finding appears.
+
+use rulem::blocking::{AttrEquivalenceBlocker, Blocker, OverlapBlocker};
+use rulem::core::{Command, DebugSession, Diagnostic, SessionConfig, Severity};
+use rulem::datagen::Domain;
+use rulem::similarity::TokenScheme;
+
+/// A small products session. With `eq_join`, candidates come from an
+/// equality join on `modelno` — which carries a join *guarantee* the
+/// analyzer uses to spot predicates blocking already satisfies.
+fn demo_session(eq_join: bool) -> DebugSession {
+    let ds = Domain::Products.generate(42, 0.02);
+    let (cands, guarantees) = if eq_join {
+        let blocker = AttrEquivalenceBlocker::case_sensitive("modelno");
+        let cands = blocker.block(&ds.table_a, &ds.table_b).expect("modelno");
+        (cands, blocker.guarantee().into_iter().collect())
+    } else {
+        let blocker = OverlapBlocker::new("title", TokenScheme::Whitespace, 2);
+        let cands = blocker.block(&ds.table_a, &ds.table_b).expect("title");
+        (cands, Vec::new())
+    };
+    let mut session = DebugSession::new(ds.table_a, ds.table_b, cands, SessionConfig::default());
+    session.set_block_guarantees(guarantees);
+    session
+}
+
+/// Loads a `.rules` file (one rule per line, `#` comments) into the
+/// session through the ordinary edit path.
+fn load_rules(session: &mut DebugSession, path: &str) -> usize {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let mut n = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        session.add_rule_text(line).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        n += 1;
+    }
+    n
+}
+
+fn print_findings(diags: &[Diagnostic]) {
+    if diags.is_empty() {
+        println!("  no findings");
+        return;
+    }
+    for d in diags {
+        println!("  {d}");
+    }
+}
+
+fn count(diags: &[Diagnostic], severity: Severity) -> usize {
+    diags.iter().filter(|d| d.severity == severity).count()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // CI gate mode: lint one ruleset file and enforce the expectation.
+    if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
+        let mut session = demo_session(false);
+        let n = load_rules(&mut session, path);
+        let diags = session.analyze();
+        println!("{path}: {n} rules, {} finding(s)", diags.len());
+        print_findings(&diags);
+        let errors = count(&diags, Severity::Error);
+        if args.iter().any(|a| a == "--expect-clean") && !diags.is_empty() {
+            eprintln!(
+                "FAIL: expected a clean ruleset, got {} finding(s)",
+                diags.len()
+            );
+            std::process::exit(1);
+        }
+        if args.iter().any(|a| a == "--expect-errors") && errors == 0 {
+            eprintln!("FAIL: expected error-severity findings, got none");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Walkthrough. 1: the clean ruleset lints clean.
+    println!("1. lint examples/rulesets/products_clean.rules");
+    let mut session = demo_session(false);
+    load_rules(&mut session, "examples/rulesets/products_clean.rules");
+    print_findings(&session.analyze());
+
+    // 2: the broken ruleset trips every diagnostic kind. Blocking here is
+    // an equality join on modelno, so its guarantee makes the analyzer
+    // flag `exact(modelno, modelno) >= 0.5` as vacuous too.
+    println!("\n2. lint examples/rulesets/products_broken.rules (modelno eq-join)");
+    let mut session = demo_session(true);
+    load_rules(&mut session, "examples/rulesets/products_broken.rules");
+    let diags = session.analyze();
+    print_findings(&diags);
+    println!(
+        "  => {} error(s), {} warning(s), {} info",
+        count(&diags, Severity::Error),
+        count(&diags, Severity::Warning),
+        count(&diags, Severity::Info)
+    );
+
+    // 3: apply the safe fix-its round by round. Safe fixes are
+    // verdict-invariant by contract, so the match count never moves.
+    println!("\n3. apply safe fix-its to a fixpoint");
+    let matches_before = session.n_matches();
+    loop {
+        let fixes: Vec<Command> = session
+            .analyze()
+            .iter()
+            .filter(|d| d.safe)
+            .filter_map(|d| d.fix.as_ref().map(|f| f.to_command()))
+            .collect();
+        if fixes.is_empty() {
+            break;
+        }
+        for cmd in fixes.iter().rev() {
+            let report = match cmd {
+                Command::RemoveRule(rid) => session.remove_rule(*rid).expect("live rule"),
+                Command::RemovePredicate(pid) => {
+                    session.remove_predicate(*pid).expect("live predicate")
+                }
+                Command::SetThreshold(pid, t) => {
+                    session.set_threshold(*pid, *t).expect("live predicate")
+                }
+                other => unreachable!("safe fix is always an edit: {other:?}"),
+            };
+            assert_eq!(report.newly_matched.len() + report.newly_unmatched.len(), 0);
+        }
+    }
+    assert_eq!(session.n_matches(), matches_before);
+    println!(
+        "  matches unchanged at {}; function is now:\n{}",
+        matches_before,
+        session.function_text()
+    );
+    println!("\n  remaining (unsafe-to-autofix) findings:");
+    print_findings(&session.analyze());
+}

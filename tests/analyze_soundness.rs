@@ -1,0 +1,158 @@
+//! The static analyzer's soundness contract (`em_core::analyze`): every
+//! fix-it marked `safe` is verdict-invariant. For random rule programs,
+//! applying all safe fixes through the session edit paths — to a
+//! fixpoint — must leave the overall verdict vector, every surviving
+//! rule's match bitmap `M(r)`, and every surviving predicate's bitmap
+//! `U(p)` bitwise unchanged, and each fix edit must report zero flipped
+//! pairs. The whole contract must hold identically at 1, 2, and 4 worker
+//! threads, and the analyzer must prescribe the same fixes regardless of
+//! thread count.
+
+mod common;
+
+use common::random_workload;
+use proptest::prelude::*;
+use rulem::core::{Bitmap, Command, DebugSession, PredId, Rule, RuleId, SessionConfig};
+
+fn build_session(seed: u64, n_threads: usize) -> DebugSession {
+    let w = random_workload(seed);
+    let mut s = DebugSession::with_context(
+        w.ctx,
+        w.cands,
+        SessionConfig {
+            n_threads,
+            ..SessionConfig::default()
+        },
+    );
+    for rule in w.func.rules() {
+        let mut r = Rule::new();
+        for bp in &rule.preds {
+            r = r.pred(bp.pred.feature, bp.pred.op, bp.pred.threshold);
+        }
+        s.add_rule(r).expect("random rules are well-formed");
+    }
+    s
+}
+
+/// Applies every safe fix the analyzer suggests, round by round until
+/// clean (later rounds can surface findings the earlier fixes exposed).
+/// Returns the applied fixes in order, asserting each one flips nothing.
+fn apply_safe_fixes(s: &mut DebugSession) -> Vec<String> {
+    let mut applied = Vec::new();
+    for _round in 0..32 {
+        let fixes: Vec<Command> = s
+            .analyze()
+            .iter()
+            .filter(|d| d.safe)
+            .filter_map(|d| d.fix.as_ref().map(|f| f.to_command()))
+            .collect();
+        if fixes.is_empty() {
+            return applied;
+        }
+        // Reverse order: rule-level findings sort before their own
+        // rules' predicate-level findings, so the reverse applies inner
+        // fixes before the drop that would strand them.
+        for cmd in fixes.iter().rev() {
+            let report = match cmd {
+                Command::RemoveRule(rid) => s.remove_rule(*rid).expect("fix targets live rule"),
+                Command::RemovePredicate(pid) => s
+                    .remove_predicate(*pid)
+                    .expect("fix targets live predicate"),
+                Command::SetThreshold(pid, t) => s
+                    .set_threshold(*pid, *t)
+                    .expect("fix targets live predicate"),
+                other => panic!("safe fix must be an edit command, got {other:?}"),
+            };
+            assert!(
+                report.newly_matched.is_empty() && report.newly_unmatched.is_empty(),
+                "safe fix {cmd:?} flipped {} + {} verdicts",
+                report.newly_matched.len(),
+                report.newly_unmatched.len()
+            );
+            applied.push(format!("{cmd:?}"));
+        }
+    }
+    panic!("safe fixes did not reach a fixpoint");
+}
+
+// Bitmaps are materialized lazily (a rule that never fired, or a
+// predicate never observed false, has none yet) — normalize absent to
+// all-clear so "missing" and "empty" compare equal.
+fn rule_bitmaps(s: &DebugSession) -> Vec<(RuleId, Bitmap)> {
+    let empty = Bitmap::new(s.candidates().len());
+    s.function()
+        .rules()
+        .iter()
+        .map(|r| {
+            let bm = s.state().rule_bitmap(r.id).unwrap_or(&empty);
+            (r.id, bm.clone())
+        })
+        .collect()
+}
+
+fn pred_bitmaps(s: &DebugSession) -> Vec<(PredId, Bitmap)> {
+    let empty = Bitmap::new(s.candidates().len());
+    s.function()
+        .predicates()
+        .map(|(_, bp)| {
+            let bm = s.state().pred_bitmap(bp.id).unwrap_or(&empty);
+            (bp.id, bm.clone())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn safe_fixes_preserve_verdicts_and_bitmaps_at_any_thread_count(seed in 0u64..10_000) {
+        let mut per_thread: Vec<(Vec<bool>, Vec<String>, String)> = Vec::new();
+
+        for n_threads in [1usize, 2, 4] {
+            let mut s = build_session(seed, n_threads);
+            let verdicts_before = s.state().verdicts().to_vec();
+            let rules_before = rule_bitmaps(&s);
+            let preds_before = pred_bitmaps(&s);
+
+            let applied = apply_safe_fixes(&mut s);
+
+            // The verdict vector is bitwise unchanged.
+            prop_assert_eq!(
+                s.state().verdicts(),
+                verdicts_before.as_slice(),
+                "verdicts changed (threads={}, fixes={:?})",
+                n_threads,
+                applied
+            );
+            // Every surviving rule keeps its M(r) bitmap, every surviving
+            // predicate its U(p) bitmap.
+            let rules_after = rule_bitmaps(&s);
+            for (rid, after) in &rules_after {
+                if let Some((_, before)) = rules_before.iter().find(|(r, _)| r == rid) {
+                    prop_assert_eq!(before, after, "M({}) changed", rid);
+                }
+            }
+            for (pid, after) in &pred_bitmaps(&s) {
+                if let Some((_, before)) = preds_before.iter().find(|(p, _)| p == pid) {
+                    prop_assert_eq!(before, after, "U({}) changed", pid);
+                }
+            }
+            // Each fix edit entered the history reporting zero flips.
+            let fix_records = &s.history()[s.history().len() - applied.len()..];
+            for record in fix_records {
+                prop_assert_eq!(record.n_changed, 0, "{}", record.description);
+            }
+
+            per_thread.push((verdicts_before, applied, s.function_text()));
+        }
+
+        // The analyzer is thread-count-independent: same data, same
+        // fixes, same final function, same verdicts.
+        let (v1, fixes1, func1) = &per_thread[0];
+        for (v, fixes, func) in &per_thread[1..] {
+            prop_assert_eq!(v, v1);
+            prop_assert_eq!(fixes, fixes1);
+            prop_assert_eq!(func, func1);
+        }
+    }
+}
