@@ -54,6 +54,89 @@ fn bench_load_fleet_sizes(_c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Closed-loop *read* load: `clients` connections split round-robin
+/// across `addrs`, each attaching to the shared session and looping
+/// `status` + `matches 5`. Returns (reads, reads/sec).
+fn read_load(addrs: &[std::net::SocketAddr], clients: usize, iterations: usize) -> (usize, f64) {
+    let start = std::time::Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let addr = addrs[i % addrs.len()];
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.expect_ok("attach alice").expect("attach");
+                for _ in 0..iterations {
+                    c.expect_ok("status").expect("status");
+                    c.expect_ok("matches 5").expect("matches");
+                }
+                iterations * 2
+            })
+        })
+        .collect();
+    let reads: usize = workers
+        .into_iter()
+        .map(|w| w.join().expect("read worker"))
+        .sum();
+    (
+        reads,
+        reads as f64 / start.elapsed().as_secs_f64().max(1e-9),
+    )
+}
+
+/// The replication payoff: read throughput against the leader alone vs
+/// the same fleet split across leader + one journal-shipping follower.
+/// The follower serves reads from replayed state, so the sweep shows how
+/// much read capacity a replica adds without touching write latency.
+fn bench_replicated_reads(_c: &mut Criterion) {
+    let root = bench_root("replicated-reads");
+    let leader = serve(
+        demo_template(),
+        ServerConfig {
+            store_root: Some(root.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind leader");
+    let follower = serve(
+        demo_template(),
+        ServerConfig {
+            follow: Some(leader.addr().to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind follower");
+
+    let mut c = Client::connect(leader.addr()).expect("connect leader");
+    c.expect_ok("open alice").expect("open");
+    c.expect_ok("add jaccard_ws(title, title) >= 0.6")
+        .expect("seed rule");
+
+    // Let the follower bootstrap and drain to zero lag before measuring.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while follower.manager().replication_lag("alice") != Some(0) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never converged"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    println!("replicated_reads (same fleet, leader-only vs leader+follower):");
+    for clients in [4usize, 16] {
+        let (reads, leader_only) = read_load(&[leader.addr()], clients, 16);
+        let (_, with_follower) = read_load(&[leader.addr(), follower.addr()], clients, 16);
+        println!(
+            "  {clients} clients x {reads} reads: leader-only {leader_only:.0} reads/s, \
+             leader+follower {with_follower:.0} reads/s ({:+.0}%)",
+            (with_follower / leader_only - 1.0) * 100.0
+        );
+    }
+
+    follower.shutdown();
+    leader.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// The wire round-trip floor: one client, one attached session, `ping`
 /// (no session work) vs `status` (session lock + serialize) vs an edit
 /// cycle (journaled incremental evaluation).
@@ -77,5 +160,10 @@ fn bench_wire_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_load_fleet_sizes, bench_wire_round_trip);
+criterion_group!(
+    benches,
+    bench_load_fleet_sizes,
+    bench_replicated_reads,
+    bench_wire_round_trip
+);
 criterion_main!(benches);

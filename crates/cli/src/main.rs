@@ -21,12 +21,22 @@ usage:
       ':eq' and ':j' joins carry a similarity guarantee that `lint` uses
       to flag predicates the blocking step already satisfies.
   rulem serve --addr <host:port> [--store-root <dir>] [--max-conns <n>]
-              [--max-resident <n>] [dataset flags as above]
+              [--max-resident <n>] [--workers <n>] [--queue-budget-ms <n>]
+              [--rate <per-sec>[:<burst>]] [--follow <leader-addr>]
+              [--promote-on-loss] [dataset flags as above]
       serves named debugging sessions over TCP; every client gets its own
       session over the shared dataset. With --store-root each session is
       journaled under <dir>/<name> and survives a server crash.
-  rulem connect [<host:port>]
+      Commands queue through fair-share admission (--workers execute them
+      round-robin across connections; a command waiting past
+      --queue-budget-ms is shed with `overloaded` + a retry hint; --rate
+      token-buckets each connection). With --follow the server runs as a
+      read-only replica of the leader at <leader-addr>, streaming its
+      journal frames; `promote` (or --promote-on-loss after the leader
+      stays unreachable) flips it to a leader that accepts mutations.
+  rulem connect [<host:port>] [--timeout-ms <n>]
       line-oriented client for a running server (also works with netcat).
+      --timeout-ms bounds connect and each response read.
 
 examples:
   rulem --demo products --scale 0.05
@@ -271,7 +281,37 @@ fn serve_main(args: &[String]) -> Result<(), String> {
         max_conns: get_flag(args, "--max-conns")
             .map(|s| s.parse().map_err(|_| format!("bad --max-conns {s:?}")))
             .transpose()?
-            .unwrap_or(64),
+            .unwrap_or(1024),
+        admission: {
+            let mut admission = em_server::AdmissionConfig::default();
+            if let Some(s) = get_flag(args, "--workers") {
+                admission.workers = s.parse().map_err(|_| format!("bad --workers {s:?}"))?;
+            }
+            if let Some(s) = get_flag(args, "--queue-budget-ms") {
+                let ms: u64 = s
+                    .parse()
+                    .map_err(|_| format!("bad --queue-budget-ms {s:?}"))?;
+                admission.queue_budget = std::time::Duration::from_millis(ms);
+            }
+            if let Some(s) = get_flag(args, "--rate") {
+                // <per-sec> or <per-sec>:<burst>
+                let (per_sec, burst) = match s.split_once(':') {
+                    Some((p, b)) => (p, Some(b)),
+                    None => (s, None),
+                };
+                let per_sec: f64 = per_sec.parse().map_err(|_| format!("bad --rate {s:?}"))?;
+                let burst: f64 = match burst {
+                    Some(b) => b.parse().map_err(|_| format!("bad --rate burst {b:?}"))?,
+                    None => (per_sec * 2.0).max(1.0),
+                };
+                admission.rate = Some(em_server::RateLimit { per_sec, burst });
+            }
+            admission
+        },
+        follow: get_flag(args, "--follow").map(str::to_string),
+        promote_on_loss: args.iter().any(|a| a == "--promote-on-loss"),
+        #[cfg(feature = "fault-inject")]
+        net_faults: None,
     };
     let n_candidates = template.n_candidates();
     let handle = serve(template, config).map_err(|e| format!("serve: {e}"))?;
@@ -301,7 +341,18 @@ fn connect_main(args: &[String]) -> Result<(), String> {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("127.0.0.1:7878");
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let timeouts = match get_flag(args, "--timeout-ms") {
+        Some(s) => {
+            let ms: u64 = s.parse().map_err(|_| format!("bad --timeout-ms {s:?}"))?;
+            em_server::Timeouts {
+                connect: Some(std::time::Duration::from_millis(ms)),
+                read: Some(std::time::Duration::from_millis(ms)),
+            }
+        }
+        None => em_server::Timeouts::default(),
+    };
+    let mut client =
+        Client::connect_with(addr, timeouts).map_err(|e| format!("connect {addr}: {e}"))?;
     println!("connected to {addr} — `open <name>` or `attach <name>`, then edit; `quit` leaves");
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();

@@ -1,0 +1,172 @@
+//! Failover, end to end with real processes: a leader and a follower
+//! `rulem serve` binary wired over TCP, the leader SIGKILLed with no
+//! shutdown hook, and the follower promoted — mutations must then land
+//! on the promoted follower with the replicated history intact.
+
+use em_core::ChangeLine;
+use em_server::Client;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Server {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe open for the server's lifetime.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Server {
+    /// Spawns `rulem serve` on the demo dataset; `extra` carries the
+    /// replication flags (`--follow <addr>`, ...).
+    fn spawn(store_root: &std::path::Path, extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rulem"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--demo",
+                "products",
+                "--scale",
+                "0.01",
+                "--seed",
+                "7",
+                "--store-root",
+            ])
+            .arg(store_root)
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn rulem serve");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let addr = loop {
+            assert!(Instant::now() < deadline, "server never announced its port");
+            let mut line = String::new();
+            match stdout.read_line(&mut line) {
+                Ok(0) => panic!("server exited before announcing its port"),
+                Ok(_) => {
+                    if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                        break rest.to_string();
+                    }
+                }
+                Err(e) => panic!("reading server stdout: {e}"),
+            }
+        };
+        Server {
+            child,
+            addr,
+            _stdout: stdout,
+        }
+    }
+
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        self.child.wait().unwrap();
+    }
+}
+
+/// Attaches to `name` on the follower (retrying while the replica
+/// bootstraps) and waits for its status to report zero frames of lag.
+fn wait_replicated(addr: &str, name: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up on {name}"
+        );
+        if let Ok(mut c) = Client::connect(addr) {
+            if let Ok((true, _)) = c.request(&format!("attach {name}")) {
+                if let Ok((true, status)) = c.request("status") {
+                    if status.contains("\"lag\":0") {
+                        return c;
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkill_leader_promote_follower_mutations_land_with_history_intact() {
+    let base = std::env::temp_dir()
+        .join("rulem_replication_e2e")
+        .join(format!("root-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let leader_root = base.join("leader");
+    let follower_root = base.join("follower");
+
+    // ---- Life 1: leader takes edits, follower journals along.
+    let leader = Server::spawn(&leader_root, &[]);
+    let follower = Server::spawn(&follower_root, &["--follow", &leader.addr]);
+
+    let mut c = Client::connect(&leader.addr).unwrap();
+    c.expect_ok("open alice").unwrap();
+    for rule in [
+        "jaccard_ws(title, title) >= 0.6",
+        "exact(modelno, modelno) >= 1.0",
+        "trigram(title, title) >= 0.5",
+    ] {
+        let json = c.expect_ok(&format!("add {rule}")).unwrap();
+        assert_eq!(ChangeLine::from_json(&json).unwrap().completion, "complete");
+    }
+    c.expect_ok("undo").unwrap();
+
+    // The follower converges to within zero journal frames and serves
+    // the replicated history read-only.
+    let mut f = wait_replicated(&follower.addr, "alice");
+    let status = f.expect_ok("status").unwrap();
+    assert!(
+        status.contains("\"role\":\"follower\"")
+            && status.contains(&format!("\"leader\":\"{}\"", leader.addr)),
+        "{status}"
+    );
+    let history = f.expect_ok("history").unwrap();
+    assert!(history.contains("\"total\":4"), "{history}");
+    let (ok, payload) = f.request("add jaro_winkler(title, title) >= 0.9").unwrap();
+    assert!(
+        !ok && payload.starts_with("read_only:"),
+        "follower must refuse mutations: {payload}"
+    );
+
+    // ---- SIGKILL the leader: no shutdown hook, no final save.
+    leader.sigkill();
+
+    // ---- Promote: the follower becomes the leader and takes writes.
+    let promoted = f.expect_ok("promote").unwrap();
+    assert!(promoted.contains("\"event\":\"promoted\""), "{promoted}");
+
+    let status = f.expect_ok("status").unwrap();
+    assert!(status.contains("\"role\":\"leader\""), "{status}");
+    // The replicated history survived the failover intact...
+    let history = f.expect_ok("history").unwrap();
+    assert!(history.contains("\"total\":4"), "{history}");
+    // ...and mutations now land on top of it.
+    let json = f
+        .expect_ok("add jaro_winkler(title, title) >= 0.9")
+        .unwrap();
+    assert_eq!(ChangeLine::from_json(&json).unwrap().completion, "complete");
+    let history = f.expect_ok("history").unwrap();
+    assert!(history.contains("\"total\":5"), "{history}");
+    let status = f.expect_ok("status").unwrap();
+    assert!(status.contains("\"rules\":3"), "{status}");
+
+    // The promoted session is durable on the follower's own store root:
+    // a SIGKILL + restart of the new leader keeps everything.
+    follower.sigkill();
+    let restarted = Server::spawn(&follower_root, &[]);
+    let mut r = Client::connect(&restarted.addr).unwrap();
+    let attached = r.expect_ok("attach alice").unwrap();
+    assert!(
+        attached.contains("\"recovered\":\"") && attached.contains("\"rules\":3"),
+        "promoted session must survive a restart: {attached}"
+    );
+    let history = r.expect_ok("history").unwrap();
+    assert!(history.contains("\"total\":5"), "{history}");
+
+    restarted.sigkill();
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -108,8 +108,9 @@ pub use ordering::{
 };
 pub use parse::{parse_function, parse_measure, ParseError, ParseErrorKind, Span};
 pub use persist::{
-    session_store_dir, store_exists, JournalRecord, PersistError, RecoveryReport, SessionStore,
-    StoreLock,
+    decode_record, install_snapshot_bytes, replay_record, session_store_dir, store_exists,
+    JournalRecord, JournalTailer, PersistError, RecoveryReport, SessionStore, StoreLock, TailBatch,
+    TailResult, Watermark,
 };
 pub use porcelain::{ChangeLine, HistoryLine, LintLine};
 pub use predicate::{CmpOp, PredId, Predicate};

@@ -164,6 +164,56 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Golden SIGKILL-the-owner scenario: a lock file stamped with the
+    /// pid of a real process that has since died must be stolen, so a
+    /// killed server never bricks its store directories.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn lock_left_by_a_real_dead_process_is_stolen() {
+        let dir = tmp_dir("dead-owner");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn /bin/true");
+        let pid = child.id();
+        child.wait().expect("child exits");
+        // `wait` has reaped the child: its pid is gone from /proc. Write
+        // it into the lock file exactly as the dead owner would have.
+        std::fs::write(dir.join(LOCK_FILE), format!("{pid}\n")).unwrap();
+        let lock = StoreLock::acquire(&dir).expect("dead owner's lock must be stolen");
+        // The stolen lock now carries our pid and excludes a second open.
+        let err = StoreLock::acquire(&dir).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Locked { pid, .. } if pid == std::process::id()),
+            "{err}"
+        );
+        drop(lock);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The inverse golden case: a lock held by a *live* foreign process
+    /// must be respected, not stolen.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn lock_held_by_a_live_process_is_respected() {
+        let dir = tmp_dir("live-owner");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut child = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleep");
+        let pid = child.id();
+        std::fs::write(dir.join(LOCK_FILE), format!("{pid}\n")).unwrap();
+        let err = StoreLock::acquire(&dir).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Locked { pid: p, .. } if p == pid),
+            "{err}"
+        );
+        child.kill().ok();
+        child.wait().ok();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn corrupt_lock_file_is_stale() {
         let dir = tmp_dir("corrupt");

@@ -37,10 +37,15 @@ pub mod journal;
 pub mod lock;
 pub mod snapshot;
 pub mod store;
+pub mod tail;
 
 pub use frame::crc32;
 pub use lock::{session_store_dir, StoreLock};
-pub use store::{store_exists, JournalRecord, RecoveryReport, SessionStore};
+pub use store::{
+    decode_record, install_snapshot_bytes, replay_record, store_exists, JournalRecord,
+    RecoveryReport, SessionStore,
+};
+pub use tail::{JournalTailer, TailBatch, TailResult, Watermark};
 
 use std::fmt;
 

@@ -180,17 +180,17 @@ pub struct SessionStore {
     backend: Option<Backend>,
 }
 
-fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+pub(crate) fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("snapshot-{epoch:016x}.bin"))
 }
 
-fn journal_path(dir: &Path, epoch: u64) -> PathBuf {
+pub(crate) fn journal_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("journal-{epoch:016x}.bin"))
 }
 
 /// Epochs present in `dir` for the given file kind, ascending. A missing
 /// directory is an empty store, not an error.
-fn list_epochs(dir: &Path, prefix: &str) -> Result<Vec<u64>, PersistError> {
+pub(crate) fn list_epochs(dir: &Path, prefix: &str) -> Result<Vec<u64>, PersistError> {
     let rd = match std::fs::read_dir(dir) {
         Ok(rd) => rd,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -705,10 +705,60 @@ impl Backend {
 
 // ---- recovery helpers -----------------------------------------------------
 
-fn decode_record(payload: &[u8]) -> Result<JournalRecord, PersistError> {
+/// Decodes one journal frame payload into a [`JournalRecord`]. Public so
+/// replication followers can decode frames shipped off another store's
+/// journal (the payloads [`crate::persist::tail::JournalTailer`] yields).
+pub fn decode_record(payload: &[u8]) -> Result<JournalRecord, PersistError> {
     let s = std::str::from_utf8(payload)
         .map_err(|_| PersistError::Corrupt("journal record: not UTF-8".into()))?;
     serde_json::from_str(s).map_err(|e| PersistError::Codec(format!("journal record: {e}")))
+}
+
+/// Replays one shipped journal record through a live session — the same
+/// path crash recovery takes. The session's deadline is lifted for the
+/// duration (replay must terminate even under a budget that would park
+/// every edit), the record is applied through the incremental edit
+/// methods (Algorithms 7–10), and any budget-parked remainder is settled
+/// before the deadline is restored.
+///
+/// `Ok(false)` means the edit failed during replay; since the record was
+/// journaled *before* its live outcome, a deterministic failure replays
+/// as the same failure and is not an inconsistency.
+pub fn replay_record(
+    session: &mut DebugSession,
+    record: &JournalRecord,
+) -> Result<bool, PersistError> {
+    let saved_deadline = session.config().deadline;
+    session.set_deadline(None);
+    let applied = apply_record(session, record).is_ok();
+    let settled = settle(session);
+    session.set_deadline(saved_deadline);
+    settled?;
+    Ok(applied)
+}
+
+/// Installs raw snapshot bytes (as shipped off another store's directory
+/// by [`crate::persist::tail::JournalTailer::newest_snapshot`]) into a
+/// fresh session, returning the snapshot's epoch. This is how a
+/// replication follower bootstraps a session whose early journal
+/// generations have been compacted away.
+pub fn install_snapshot_bytes(
+    session: &mut DebugSession,
+    bytes: &[u8],
+) -> Result<u64, PersistError> {
+    if !session.function().is_empty()
+        || !session.history().is_empty()
+        || !session.context().registry().is_empty()
+    {
+        return Err(PersistError::InvalidState(
+            "a snapshot must be installed into a fresh session (no rules, features, or history)"
+                .into(),
+        ));
+    }
+    let dec = decode_snapshot(bytes)?;
+    let epoch = dec.epoch;
+    install_snapshot(session, dec)?;
+    Ok(epoch)
 }
 
 /// Installs a decoded snapshot into a fresh session: features re-intern in

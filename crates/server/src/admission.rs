@@ -1,0 +1,621 @@
+//! Graceful degradation: fair-share command admission.
+//!
+//! PR 5's only overload defense was a hard connection cap — client 65 got
+//! a `busy` refusal even if the other 64 were idle. This module replaces
+//! that with *queueing and shedding at the command level*:
+//!
+//! * every connection registers a [`ConnQueue`]; commands become tickets
+//!   in a per-connection FIFO;
+//! * a small worker pool drains tickets **round-robin across
+//!   connections** — one greedy client cannot starve the rest, because
+//!   each rotation takes at most one of its commands;
+//! * an optional per-connection **token bucket** delays (not refuses) a
+//!   client that bursts past its rate, pushing its tickets' eligibility
+//!   into the future;
+//! * tickets that sit past the queue budget are **shed by deadline** with
+//!   a typed `overloaded` error carrying a retry-after hint — the bounded
+//!   queue degrades into increased latency first and explicit shedding
+//!   second, never into silent refusals.
+//!
+//! Connection handler threads are closed-loop (one in-flight command
+//! each), so the per-connection queues hold at most one ticket and total
+//! queue depth is bounded by the connection count; the explicit
+//! `queue_capacity` is a second line of defense for embedders that
+//! pipeline.
+
+use crate::error::ServerError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Per-connection token-bucket rate limit.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimit {
+    /// Sustained commands per second one connection may issue.
+    pub per_sec: f64,
+    /// Burst allowance (bucket capacity), in commands.
+    pub burst: f64,
+}
+
+/// Admission-control configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Worker threads executing queued commands.
+    pub workers: usize,
+    /// Hard bound on queued tickets across all connections.
+    pub queue_capacity: usize,
+    /// How long a ticket may wait (queueing + throttle delay) before it
+    /// is shed with `overloaded`.
+    pub queue_budget: Duration,
+    /// Optional per-connection token bucket; `None` relies on round-robin
+    /// fairness alone.
+    pub rate: Option<RateLimit>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            queue_budget: Duration::from_secs(5),
+            rate: None,
+        }
+    }
+}
+
+/// Monotonic counters describing what admission control has done.
+#[derive(Debug, Default)]
+pub struct AdmissionCounters {
+    /// Tickets accepted into the queue.
+    pub admitted: AtomicU64,
+    /// Tickets whose job ran to completion.
+    pub executed: AtomicU64,
+    /// Tickets shed (deadline passed in queue, queue full, or shutdown).
+    pub shed: AtomicU64,
+    /// Tickets whose eligibility the token bucket pushed into the future.
+    pub throttled: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`AdmissionCounters`] plus queue depth.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct AdmissionSnapshot {
+    /// Tickets accepted into the queue so far.
+    pub admitted: u64,
+    /// Tickets executed so far.
+    pub executed: u64,
+    /// Tickets shed so far.
+    pub shed: u64,
+    /// Tickets delayed by the token bucket so far.
+    pub throttled: u64,
+    /// Tickets queued right now.
+    pub depth: u64,
+}
+
+/// A queued command: runs on a worker thread, yields the response
+/// payload.
+pub type Job = Box<dyn FnOnce() -> Result<String, ServerError> + Send>;
+
+struct Ticket {
+    job: Job,
+    tx: mpsc::Sender<Result<String, ServerError>>,
+    enqueued: Instant,
+    not_before: Instant,
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+#[derive(Default)]
+struct Conn {
+    queue: VecDeque<Ticket>,
+    bucket: Option<Bucket>,
+}
+
+struct State {
+    conns: HashMap<u64, Conn>,
+    /// Round-robin rotation: registration order, scanned from `cursor`.
+    order: Vec<u64>,
+    cursor: usize,
+    total_queued: usize,
+    closed: bool,
+}
+
+struct Inner {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    /// Signaled when a ticket lands or the queue closes.
+    work: Condvar,
+    counters: AdmissionCounters,
+}
+
+/// The shared admission queue: owns the worker pool.
+pub struct AdmissionQueue {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// One connection's handle into the queue; dropping it deregisters the
+/// connection (pending tickets are still drained).
+pub struct ConnQueue {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl AdmissionQueue {
+    /// Builds the queue and spawns its workers.
+    pub fn new(config: AdmissionConfig) -> AdmissionQueue {
+        let inner = Arc::new(Inner {
+            config,
+            state: Mutex::new(State {
+                conns: HashMap::new(),
+                order: Vec::new(),
+                cursor: 0,
+                total_queued: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            counters: AdmissionCounters::default(),
+        });
+        let mut workers = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            if let Ok(h) = thread::Builder::new()
+                .name(format!("em-server-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+            {
+                workers.push(h);
+            }
+        }
+        AdmissionQueue {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Registers a connection for fair-share scheduling.
+    pub fn register(&self) -> ConnQueue {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        let mut state = lock(&self.inner.state);
+        state.conns.insert(
+            id,
+            Conn {
+                queue: VecDeque::new(),
+                bucket: self.inner.config.rate.map(|r| Bucket {
+                    tokens: r.burst.max(1.0),
+                    refilled: Instant::now(),
+                }),
+            },
+        );
+        state.order.push(id);
+        ConnQueue {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// Current counters + queue depth.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let depth = lock(&self.inner.state).total_queued as u64;
+        let c = &self.inner.counters;
+        AdmissionSnapshot {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            executed: c.executed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            throttled: c.throttled.load(Ordering::Relaxed),
+            depth,
+        }
+    }
+
+    /// Closes the queue (pending tickets are shed) and joins the workers.
+    pub fn shutdown(&self) {
+        {
+            let mut state = lock(&self.inner.state);
+            state.closed = true;
+        }
+        self.inner.work.notify_all();
+        let mut workers = lock(&self.workers);
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AdmissionQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ConnQueue {
+    /// Submits one command and blocks until it executed or was shed.
+    /// Fair-share scheduling means the wait is bounded by the queue
+    /// budget plus one command's execution time on a worker.
+    pub fn run(&self, job: Job) -> Result<String, ServerError> {
+        let budget = self.inner.config.queue_budget;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = lock(&self.inner.state);
+            if state.closed {
+                return Err(ServerError::Busy("server is shutting down".into()));
+            }
+            if state.total_queued >= self.inner.config.queue_capacity {
+                self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServerError::Overloaded {
+                    queued_ms: 0,
+                    retry_after_ms: retry_after_ms(budget),
+                });
+            }
+            let now = Instant::now();
+            let conn = state
+                .conns
+                .get_mut(&self.id)
+                .expect("registered connection");
+            let not_before = match (&mut conn.bucket, self.inner.config.rate) {
+                (Some(bucket), Some(rate)) => {
+                    let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+                    bucket.tokens = (bucket.tokens + elapsed * rate.per_sec).min(rate.burst);
+                    bucket.refilled = now;
+                    bucket.tokens -= 1.0;
+                    if bucket.tokens >= 0.0 {
+                        now
+                    } else {
+                        self.inner
+                            .counters
+                            .throttled
+                            .fetch_add(1, Ordering::Relaxed);
+                        now + Duration::from_secs_f64(-bucket.tokens / rate.per_sec)
+                    }
+                }
+                _ => now,
+            };
+            conn.queue.push_back(Ticket {
+                job,
+                tx,
+                enqueued: now,
+                not_before,
+            });
+            state.total_queued += 1;
+            self.inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.work.notify_one();
+        rx.recv().unwrap_or_else(|_| {
+            Err(ServerError::Busy(
+                "command dropped during server shutdown".into(),
+            ))
+        })
+    }
+}
+
+impl Drop for ConnQueue {
+    fn drop(&mut self) {
+        let mut state = lock(&self.inner.state);
+        // Leave any queued tickets where they are — workers still drain
+        // them (the closed-loop handler cannot actually have one in
+        // flight while dropping, but embedders might).
+        if let Some(conn) = state.conns.get(&self.id) {
+            if conn.queue.is_empty() {
+                state.conns.remove(&self.id);
+                state.order.retain(|&c| c != self.id);
+            }
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The retry-after hint: a fraction of the queue budget, floored so
+/// clients never busy-spin.
+fn retry_after_ms(budget: Duration) -> u64 {
+    (budget.as_millis() as u64 / 4).max(50)
+}
+
+fn worker_loop(inner: &Inner) {
+    let budget = inner.config.queue_budget;
+    let mut state = lock(&inner.state);
+    loop {
+        let now = Instant::now();
+        // Round-robin scan from the cursor for an eligible ticket.
+        let mut picked: Option<Ticket> = None;
+        let mut next_eligible: Option<Instant> = None;
+        let n = state.order.len();
+        for step in 0..n {
+            let pos = (state.cursor + step) % n;
+            let id = state.order[pos];
+            let Some(conn) = state.conns.get_mut(&id) else {
+                continue;
+            };
+            let Some(front) = conn.queue.front() else {
+                continue;
+            };
+            if front.not_before <= now {
+                picked = conn.queue.pop_front();
+                state.total_queued -= 1;
+                state.cursor = (pos + 1) % n;
+                break;
+            }
+            next_eligible = Some(match next_eligible {
+                Some(t) => t.min(front.not_before),
+                None => front.not_before,
+            });
+        }
+
+        match picked {
+            Some(ticket) => {
+                let closed = state.closed;
+                drop(state);
+                let waited = ticket.enqueued.elapsed();
+                if closed || waited > budget {
+                    inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = ticket.tx.send(Err(ServerError::Overloaded {
+                        queued_ms: waited.as_millis() as u64,
+                        retry_after_ms: retry_after_ms(budget),
+                    }));
+                } else {
+                    // A panicking job must not kill the worker; the
+                    // session layer's own quarantine makes this path
+                    // cold.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(ticket.job))
+                        .unwrap_or_else(|_| Err(ServerError::Busy("command panicked".into())));
+                    inner.counters.executed.fetch_add(1, Ordering::Relaxed);
+                    let _ = ticket.tx.send(result);
+                }
+                state = lock(&inner.state);
+            }
+            None => {
+                if state.closed && state.total_queued == 0 {
+                    return;
+                }
+                // Sleep until the earliest throttled ticket matures, new
+                // work arrives, or a poll tick passes (covers shutdown).
+                let wait = next_eligible
+                    .map(|t| t.saturating_duration_since(now))
+                    .unwrap_or(Duration::from_millis(100))
+                    .min(Duration::from_millis(100));
+                let (s, _) = inner
+                    .work
+                    .wait_timeout(state, wait.max(Duration::from_millis(1)))
+                    .unwrap_or_else(|p| {
+                        let (g, t) = p.into_inner();
+                        (g, t)
+                    });
+                state = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn queue(config: AdmissionConfig) -> AdmissionQueue {
+        AdmissionQueue::new(config)
+    }
+
+    #[test]
+    fn runs_jobs_and_counts() {
+        let q = queue(AdmissionConfig {
+            workers: 2,
+            ..AdmissionConfig::default()
+        });
+        let conn = q.register();
+        let out = conn.run(Box::new(|| Ok("done".to_string()))).unwrap();
+        assert_eq!(out, "done");
+        let snap = q.snapshot();
+        assert_eq!(snap.admitted, 1);
+        assert_eq!(snap.executed, 1);
+        assert_eq!(snap.shed, 0);
+        q.shutdown();
+    }
+
+    #[test]
+    fn many_connections_all_admitted_none_refused() {
+        // 64 closed-loop clients against 2 workers: everything queues,
+        // nothing is refused — the acceptance criterion in miniature.
+        let q = Arc::new(queue(AdmissionConfig {
+            workers: 2,
+            queue_budget: Duration::from_secs(30),
+            ..AdmissionConfig::default()
+        }));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            handles.push(thread::spawn(move || {
+                let conn = q.register();
+                for _ in 0..3 {
+                    let out = conn
+                        .run(Box::new(|| Ok("ok".to_string())))
+                        .expect("no refusals under fair admission");
+                    assert_eq!(out, "ok");
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 64 * 3);
+        let snap = q.snapshot();
+        assert_eq!(snap.executed, 64 * 3);
+        assert_eq!(snap.shed, 0);
+    }
+
+    #[test]
+    fn round_robin_interleaves_a_greedy_connection() {
+        // One worker; connection A floods 6 jobs (pipelined via threads),
+        // connection B submits 1. B must not wait for all of A.
+        let q = Arc::new(queue(AdmissionConfig {
+            workers: 1,
+            queue_budget: Duration::from_secs(30),
+            ..AdmissionConfig::default()
+        }));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let conn_a = Arc::new(q.register());
+        let conn_b = q.register();
+
+        // Stall the worker so A's flood queues up behind the stall.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            let conn_a = Arc::clone(&conn_a);
+            thread::spawn(move || {
+                conn_a
+                    .run(Box::new(move || {
+                        let (m, cv) = &*gate;
+                        let mut open = lock(m);
+                        while !*open {
+                            open = cv.wait(open).unwrap_or_else(|p| p.into_inner());
+                        }
+                        Ok("stall".into())
+                    }))
+                    .unwrap();
+            });
+        }
+        thread::sleep(Duration::from_millis(50));
+
+        let mut floods = Vec::new();
+        for i in 0..4 {
+            let conn_a = Arc::clone(&conn_a);
+            let order = Arc::clone(&order);
+            floods.push(thread::spawn(move || {
+                conn_a
+                    .run(Box::new(move || {
+                        lock(&order).push(format!("a{i}"));
+                        Ok("a".into())
+                    }))
+                    .unwrap();
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        let order_b = Arc::clone(&order);
+        let b = thread::spawn(move || {
+            conn_b
+                .run(Box::new(move || {
+                    lock(&order_b).push("b".to_string());
+                    Ok("b".into())
+                }))
+                .unwrap();
+        });
+        thread::sleep(Duration::from_millis(50));
+        {
+            let (m, cv) = &*gate;
+            *lock(m) = true;
+            cv.notify_all();
+        }
+        for h in floods {
+            h.join().unwrap();
+        }
+        b.join().unwrap();
+        let order = lock(&order).clone();
+        let b_pos = order.iter().position(|s| s == "b").expect("b ran");
+        assert!(
+            b_pos <= 1,
+            "round-robin must run b after at most one of a's queued jobs, got {order:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_sheds_with_retry_hint() {
+        let q = queue(AdmissionConfig {
+            workers: 1,
+            queue_budget: Duration::from_millis(50),
+            ..AdmissionConfig::default()
+        });
+        let conn = Arc::new(q.register());
+        // Occupy the only worker well past the budget.
+        let blocker = {
+            let conn = Arc::clone(&conn);
+            thread::spawn(move || {
+                conn.run(Box::new(|| {
+                    thread::sleep(Duration::from_millis(300));
+                    Ok("slow".into())
+                }))
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        let err = conn
+            .run(Box::new(|| Ok("too late".into())))
+            .expect_err("must shed after the budget");
+        match err {
+            ServerError::Overloaded {
+                queued_ms,
+                retry_after_ms,
+            } => {
+                assert!(queued_ms >= 50, "waited {queued_ms} ms");
+                assert!(retry_after_ms >= 50);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        assert_eq!(q.snapshot().shed, 1);
+        blocker.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn token_bucket_delays_but_still_executes() {
+        let q = queue(AdmissionConfig {
+            workers: 2,
+            queue_budget: Duration::from_secs(10),
+            rate: Some(RateLimit {
+                per_sec: 50.0,
+                burst: 1.0,
+            }),
+            ..AdmissionConfig::default()
+        });
+        let conn = q.register();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            conn.run(Box::new(|| Ok("ok".into()))).unwrap();
+        }
+        // Burst 1 + 3 throttled at 50/s ⇒ at least ~60 ms of shaping.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(40),
+            "bucket must shape the burst, took {:?}",
+            t0.elapsed()
+        );
+        let snap = q.snapshot();
+        assert_eq!(snap.executed, 4);
+        assert_eq!(snap.shed, 0);
+        assert!(snap.throttled >= 2, "snap: {snap:?}");
+    }
+
+    #[test]
+    fn queue_capacity_refuses_with_overloaded_not_busy() {
+        let q = queue(AdmissionConfig {
+            workers: 1,
+            queue_capacity: 1,
+            queue_budget: Duration::from_secs(10),
+            ..AdmissionConfig::default()
+        });
+        let conn = Arc::new(q.register());
+        let blocker = {
+            let conn = Arc::clone(&conn);
+            thread::spawn(move || {
+                conn.run(Box::new(|| {
+                    thread::sleep(Duration::from_millis(200));
+                    Ok("slow".into())
+                }))
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        // Worker holds ticket 1; ticket 2 fills the capacity-1 queue.
+        let conn2 = Arc::clone(&conn);
+        let queued = thread::spawn(move || conn2.run(Box::new(|| Ok("q".into()))));
+        thread::sleep(Duration::from_millis(50));
+        let err = conn
+            .run(Box::new(|| Ok("no room".into())))
+            .expect_err("capacity overflow must shed");
+        assert!(matches!(err, ServerError::Overloaded { .. }), "got {err}");
+        blocker.join().unwrap().unwrap();
+        queued.join().unwrap().unwrap();
+    }
+}

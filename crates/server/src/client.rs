@@ -1,57 +1,431 @@
-//! A minimal blocking client for the wire protocol — what `rulem connect`
-//! and the load harness are built on.
+//! Blocking clients for the wire protocol.
+//!
+//! [`Client`] is the minimal transport `rulem connect` and the load
+//! harness are built on: one TCP connection, request lines out, framed
+//! responses back, with connect/read timeouts and a typed
+//! [`ClientError::Timeout`] instead of blocking forever on a black-holed
+//! address.
+//!
+//! [`ResilientClient`] wraps it with reconnect-and-reattach: when the
+//! transport dies mid-command it redials with exponential backoff +
+//! jitter, re-attaches its session, and — if the server parked the
+//! interrupted edit when the disconnect watchdog fired — finishes that
+//! edit with an idempotent `resume` instead of blindly resending it.
 
 use crate::proto;
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default connect timeout when none is configured.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A client-side failure, separating "the server took too long" from
+/// "the transport broke".
+#[derive(Debug)]
+pub enum ClientError {
+    /// A connect or read exceeded its timeout budget.
+    Timeout {
+        /// What was being waited on (`"connect"`, `"read"`).
+        what: &'static str,
+        /// The budget that ran out.
+        after: Duration,
+    },
+    /// The server answered with an `err` frame (protocol-level failure,
+    /// transport is fine).
+    Refused(String),
+    /// The transport failed: connection reset, EOF mid-frame, bad frame.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout { what, after } => {
+                write!(f, "{what} timed out after {} ms", after.as_millis())
+            }
+            ClientError::Refused(m) => write!(f, "server refused: {m}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for std::io::Error {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Io(io) => io,
+            ClientError::Timeout { .. } => {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, e.to_string())
+            }
+            ClientError::Refused(m) => std::io::Error::other(m),
+        }
+    }
+}
+
+/// Timeout budgets for one connection. `None` means block indefinitely —
+/// the pre-timeout behavior, kept available for interactive use.
+#[derive(Debug, Clone, Copy)]
+pub struct Timeouts {
+    /// Budget for the TCP connect itself.
+    pub connect: Option<Duration>,
+    /// Budget for each response read (header or payload bytes).
+    pub read: Option<Duration>,
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Timeouts {
+            connect: Some(DEFAULT_CONNECT_TIMEOUT),
+            read: None,
+        }
+    }
+}
 
 /// One connection to an `em_server`, speaking request lines and reading
 /// framed responses.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    timeouts: Timeouts,
+}
+
+/// True when an I/O error is a timeout firing (Unix sockets report
+/// `WouldBlock` for an elapsed `SO_RCVTIMEO`, Windows `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 impl Client {
-    /// Connects to a running server.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+    /// Connects with default timeouts (bounded connect, unbounded reads).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Timeouts::default())
+    }
+
+    /// Connects with explicit timeout budgets.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeouts: Timeouts,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<_> = addr.to_socket_addrs().map_err(ClientError::Io)?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
+        }
+        let mut last: Option<ClientError> = None;
+        for sa in addrs {
+            let attempt = match timeouts.connect {
+                Some(budget) => TcpStream::connect_timeout(&sa, budget).map_err(|e| {
+                    if is_timeout(&e) {
+                        ClientError::Timeout {
+                            what: "connect",
+                            after: budget,
+                        }
+                    } else {
+                        ClientError::Io(e)
+                    }
+                }),
+                None => TcpStream::connect(sa).map_err(ClientError::Io),
+            };
+            match attempt {
+                Ok(writer) => {
+                    writer.set_nodelay(true).map_err(ClientError::Io)?;
+                    writer
+                        .set_read_timeout(timeouts.read)
+                        .map_err(ClientError::Io)?;
+                    let reader = BufReader::new(writer.try_clone().map_err(ClientError::Io)?);
+                    return Ok(Client {
+                        writer,
+                        reader,
+                        timeouts,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one address was tried"))
+    }
+
+    /// Changes the per-read budget on the live connection.
+    pub fn set_read_timeout(&mut self, read: Option<Duration>) -> Result<(), ClientError> {
+        self.writer
+            .set_read_timeout(read)
+            .map_err(ClientError::Io)?;
+        self.timeouts.read = read;
+        Ok(())
     }
 
     /// Sends one request line and reads its framed response:
     /// `(ok, payload)`. Blank lines and comments get no response — do not
     /// send them through here.
-    pub fn request(&mut self, line: &str) -> std::io::Result<(bool, String)> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        match proto::read_frame(&mut self.reader)? {
-            Some(frame) => Ok(frame),
-            None => Err(std::io::Error::new(
+    pub fn request(&mut self, line: &str) -> Result<(bool, String), ClientError> {
+        self.send_only(line)?;
+        self.read_response()
+    }
+
+    /// Reads one framed response without sending anything.
+    pub fn read_response(&mut self) -> Result<(bool, String), ClientError> {
+        match proto::read_frame(&mut self.reader) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            )),
+            ))),
+            Err(e) if is_timeout(&e) => Err(ClientError::Timeout {
+                what: "read",
+                after: self.timeouts.read.unwrap_or(Duration::ZERO),
+            }),
+            Err(e) => Err(ClientError::Io(e)),
         }
     }
 
     /// Sends a request and fails unless the server answered `ok`.
-    pub fn expect_ok(&mut self, line: &str) -> std::io::Result<String> {
+    pub fn expect_ok(&mut self, line: &str) -> Result<String, ClientError> {
         let (ok, payload) = self.request(line)?;
         if ok {
             Ok(payload)
         } else {
-            Err(std::io::Error::other(format!("{line:?} failed: {payload}")))
+            Err(ClientError::Refused(format!("{line:?} failed: {payload}")))
         }
     }
 
     /// Writes a line *without* reading the response — for tests that kill
     /// the connection mid-command.
-    pub fn send_only(&mut self, line: &str) -> std::io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
+    pub fn send_only(&mut self, line: &str) -> Result<(), ClientError> {
+        let io = |e| ClientError::Io(e);
+        self.writer.write_all(line.as_bytes()).map_err(io)?;
+        self.writer.write_all(b"\n").map_err(io)?;
+        self.writer.flush().map_err(io)
+    }
+
+    /// Tears the transport down (both directions); every subsequent use
+    /// fails. The fault hook [`ResilientClient::kill_transport`] rides on
+    /// this.
+    pub fn shutdown(&self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+// ---- resilient wrapper ------------------------------------------------------
+
+/// Reconnection policy: exponential backoff with jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Redial attempts before giving up.
+    pub max_attempts: u32,
+    /// First backoff interval; doubles each attempt.
+    pub base_delay: Duration,
+    /// Ceiling on one backoff interval (pre-jitter).
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-jitter delay before attempt `n` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        // Full jitter: uniform in [exp/2, exp], so synchronized clients
+        // (say, every follower of a SIGKILLed leader) fan out in time.
+        let nanos = exp.as_nanos() as u64;
+        Duration::from_nanos(nanos / 2 + cheap_rand() % (nanos / 2 + 1))
+    }
+}
+
+/// A cheap, dependency-free jitter source (splitmix over the monotonic
+/// clock + a per-process counter); not for anything but spreading retries.
+fn cheap_rand() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CTR: AtomicU64 = AtomicU64::new(0);
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64)
+        ^ (std::process::id() as u64) << 32
+        ^ CTR.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Counters describing what resilience machinery actually did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResilienceStats {
+    /// Successful redials after a transport failure.
+    pub reconnects: u64,
+    /// Parked edits finished with `resume` after a reconnect.
+    pub resumes: u64,
+    /// Commands resent because the session had nothing parked.
+    pub retries: u64,
+}
+
+/// A [`Client`] that survives its transport: redials with backoff +
+/// jitter, re-attaches its session, and resumes parked edits.
+pub struct ResilientClient {
+    addr: String,
+    timeouts: Timeouts,
+    policy: RetryPolicy,
+    session: Option<String>,
+    inner: Option<Client>,
+    stats: ResilienceStats,
+}
+
+impl ResilientClient {
+    /// Connects eagerly (one dial, no retries — failing fast on a bad
+    /// address beats retrying a typo).
+    pub fn connect(
+        addr: &str,
+        timeouts: Timeouts,
+        policy: RetryPolicy,
+    ) -> Result<ResilientClient, ClientError> {
+        let inner = Client::connect_with(addr, timeouts)?;
+        Ok(ResilientClient {
+            addr: addr.to_string(),
+            timeouts,
+            policy,
+            session: None,
+            inner: Some(inner),
+            stats: ResilienceStats::default(),
+        })
+    }
+
+    /// What the resilience machinery has done so far.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// Attaches to (or opens) a session and remembers it for reattach.
+    /// `create` sends `open` on an unknown session instead of failing.
+    pub fn attach(&mut self, name: &str, create: bool) -> Result<String, ClientError> {
+        self.session = Some(name.to_string());
+        let attach = self.request(&format!("attach {name}"))?;
+        match attach {
+            (true, payload) => Ok(payload),
+            (false, payload) if create && payload.contains("no session") => {
+                match self.request(&format!("open {name}"))? {
+                    (true, p) => Ok(p),
+                    (false, p) => Err(ClientError::Refused(p)),
+                }
+            }
+            (false, payload) => Err(ClientError::Refused(payload)),
+        }
+    }
+
+    /// Tears down the live transport without telling the server — the
+    /// test hook for "the network died mid-command".
+    pub fn kill_transport(&mut self) {
+        if let Some(c) = &self.inner {
+            c.shutdown();
+        }
+    }
+
+    /// Sends one request, transparently redialing (and reattaching, and
+    /// resuming any edit the server parked for us) when the transport
+    /// fails. Protocol-level `err` frames are returned, not retried.
+    pub fn request(&mut self, line: &str) -> Result<(bool, String), ClientError> {
+        // First try on the live connection, if any.
+        if let Some(c) = self.inner.as_mut() {
+            match c.request(line) {
+                Ok(frame) => return Ok(frame),
+                Err(ClientError::Timeout { what, after }) => {
+                    // A timed-out read leaves the stream mid-frame; the
+                    // connection is poisoned either way. Drop it and fall
+                    // through to the redial path.
+                    let _ = (what, after);
+                    self.inner = None;
+                }
+                Err(ClientError::Io(_)) => self.inner = None,
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.redial()?;
+            // Fresh connection, command not yet sent: plain retry.
+            if let Some(c) = self.inner.as_mut() {
+                return c.request(line);
+            }
+        }
+
+        // The command was in flight when the transport died: reconnect,
+        // reattach, and either finish the parked edit (`resume`) or
+        // resend.
+        self.redial()?;
+        if let Some(name) = self.session.clone() {
+            let attach_payload = {
+                let c = self.inner.as_mut().expect("redial sets inner");
+                match c.request(&format!("attach {name}"))? {
+                    (true, p) => p,
+                    (false, p) => return Err(ClientError::Refused(p)),
+                }
+            };
+            // The attach payload reports whether the disconnect watchdog
+            // parked our interrupted edit; `"pending":true` means the
+            // idempotent completion is `resume`, not a resend (which
+            // could double-apply).
+            if attach_payload.contains("\"pending\":true") {
+                self.stats.resumes += 1;
+                let c = self.inner.as_mut().expect("redial sets inner");
+                return c.request("resume");
+            }
+        }
+        self.stats.retries += 1;
+        let c = self.inner.as_mut().expect("redial sets inner");
+        c.request(line)
+    }
+
+    /// Sends a request and fails unless the server answered `ok`.
+    pub fn expect_ok(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.request(line)? {
+            (true, payload) => Ok(payload),
+            (false, payload) => Err(ClientError::Refused(format!("{line:?} failed: {payload}"))),
+        }
+    }
+
+    /// Redials with exponential backoff + jitter until a connect lands or
+    /// the policy's attempts run out.
+    fn redial(&mut self) -> Result<(), ClientError> {
+        if self.inner.is_some() {
+            return Ok(());
+        }
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.policy.max_attempts {
+            match Client::connect_with(&self.addr as &str, self.timeouts) {
+                Ok(c) => {
+                    self.inner = Some(c);
+                    self.stats.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(self.policy.delay(attempt));
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Io(std::io::Error::other("redial failed with no attempts"))
+        }))
     }
 }

@@ -28,6 +28,21 @@ pub enum ServerError {
     Persist(PersistError),
     /// Admission control refused the connection or command.
     Busy(String),
+    /// A mutating command reached a read-only replica; the payload names
+    /// the leader so clients can redirect.
+    ReadOnly {
+        /// Address of the leader this follower replicates from.
+        leader: String,
+    },
+    /// Admission control shed the command: it sat in the queue past its
+    /// deadline (or the queue was full). Clients should back off for the
+    /// hinted interval and retry.
+    Overloaded {
+        /// How long the command waited before being shed.
+        queued_ms: u64,
+        /// Suggested client back-off before retrying.
+        retry_after_ms: u64,
+    },
     /// A socket-level failure on this connection.
     Io(std::io::Error),
 }
@@ -47,6 +62,19 @@ impl fmt::Display for ServerError {
             ServerError::Session(e) => write!(f, "{e}"),
             ServerError::Persist(e) => write!(f, "{e}"),
             ServerError::Busy(m) => write!(f, "busy: {m}"),
+            ServerError::ReadOnly { leader } => write!(
+                f,
+                "read_only: this server is a replica of {leader}; send mutations to the leader \
+                 (or `promote` this one)"
+            ),
+            ServerError::Overloaded {
+                queued_ms,
+                retry_after_ms,
+            } => write!(
+                f,
+                "overloaded: command shed after {queued_ms} ms in queue; retry after \
+                 {retry_after_ms} ms"
+            ),
             ServerError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -233,6 +233,15 @@ pub struct StatusLine {
     pub epoch: Option<u64>,
     /// Journal records appended since the last snapshot.
     pub journal_records: usize,
+    /// This server's replication role: `"leader"` or `"follower"`.
+    pub role: String,
+    /// The leader this server replicates from (followers only).
+    pub leader: Option<String>,
+    /// Replication lag in journal frames (followers only): how many
+    /// durable frames the leader holds that this replica has not applied.
+    pub lag: Option<u64>,
+    /// Commands shed by admission control since startup (whole server).
+    pub shed: u64,
 }
 
 /// Serializes a `sessions` listing as JSONL, one row per line. An empty
@@ -252,29 +261,45 @@ pub fn sessions_json(entries: Vec<SessionEntry>) -> String {
 }
 
 /// Serializes one [`StatusLine`].
-#[allow(clippy::too_many_arguments)]
-pub fn status_json(
-    name: &str,
-    attached: bool,
-    rules: usize,
-    predicates: usize,
-    matches: usize,
-    pending: bool,
-    epoch: Option<u64>,
-    journal_records: usize,
-) -> String {
-    serde_json::to_string(&StatusLine {
-        event: "status".to_string(),
-        name: name.to_string(),
-        attached,
-        rules,
-        predicates,
-        matches,
-        pending,
-        epoch,
-        journal_records,
-    })
-    .expect("StatusLine serializes infallibly")
+pub fn status_json(line: StatusLine) -> String {
+    serde_json::to_string(&line).expect("StatusLine serializes infallibly")
+}
+
+/// True when `cmd` changes session state (every such change is journaled
+/// on the leader and shipped to followers) — a read-only replica must
+/// refuse it with `read_only` rather than fork its own timeline. Queries
+/// that only warm caches (`stats`, `misses`) stay allowed: the memo and
+/// cost cache are derived state, not part of the replicated timeline.
+pub fn mutates(cmd: &Command) -> bool {
+    match cmd {
+        Command::AddRule(_)
+        | Command::RemoveRule(_)
+        | Command::AddPredicate(..)
+        | Command::RemovePredicate(_)
+        | Command::SetThreshold(..)
+        | Command::Undo
+        | Command::Resume
+        | Command::Simplify
+        | Command::Run
+        | Command::Optimize(_)
+        | Command::Save(_)
+        | Command::Load(_)
+        | Command::Import(_)
+        | Command::Open(_) => true,
+        Command::Help
+        | Command::ListRules
+        | Command::Lint
+        | Command::Matches(_)
+        | Command::Explain(_)
+        | Command::NearMisses(..)
+        | Command::Quality
+        | Command::Stats
+        | Command::MemoryReport
+        | Command::History
+        | Command::Features
+        | Command::Export(_)
+        | Command::Quit => false,
+    }
 }
 
 fn ids_of(store: &SessionStore, pair: usize) -> (String, String) {

@@ -27,17 +27,21 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod error;
 pub mod exec;
 pub mod load;
 pub mod manager;
 pub mod proto;
+pub mod replica;
 pub mod server;
 
-pub use client::Client;
+pub use admission::{AdmissionConfig, AdmissionQueue, AdmissionSnapshot, RateLimit};
+pub use client::{Client, ClientError, ResilienceStats, ResilientClient, RetryPolicy, Timeouts};
 pub use error::ServerError;
 pub use load::{run_load, LoadReport};
-pub use manager::{AttachInfo, SessionManager, SessionTemplate};
+pub use manager::{AttachInfo, Role, SessionManager, SessionTemplate};
 pub use proto::{parse_request, read_frame, write_frame, Request, MAX_FRAME, MAX_LINE};
+pub use replica::{FollowerOpts, Replicator};
 pub use server::{serve, ServerConfig, ServerHandle};

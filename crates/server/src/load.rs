@@ -7,8 +7,13 @@
 //! client-side pile-up). The script being net-zero makes runs idempotent:
 //! every session ends as it began, so repeated measurements at 1/4/16
 //! clients are comparable.
+//!
+//! Clients are [`ResilientClient`]s, so the report also tallies what the
+//! degradation machinery did: `busy` refusals, `overloaded` sheds, and
+//! transport-level retries/resumes — all of which should stay zero on a
+//! healthy server with fair admission.
 
-use crate::client::Client;
+use crate::client::{ResilientClient, RetryPolicy, Timeouts};
 use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
@@ -24,6 +29,13 @@ pub struct LoadReport {
     pub edits: usize,
     /// Requests that returned an `err` frame (zero in a healthy run).
     pub errors: usize,
+    /// `err` frames that were `busy:` connection refusals.
+    pub refused: usize,
+    /// `err` frames that were `overloaded:` queue sheds.
+    pub shed: usize,
+    /// Transport-level recoveries: reconnect-and-resend plus
+    /// reconnect-and-resume, summed across clients.
+    pub retried: usize,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Median edit latency.
@@ -40,7 +52,8 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} clients: {} edits in {:?} ({:.0} edits/s), p50 {:?} p95 {:?} p99 {:?}, {} errors",
+            "{} clients: {} edits in {:?} ({:.0} edits/s), p50 {:?} p95 {:?} p99 {:?}, \
+             {} errors ({} busy, {} shed), {} retried",
             self.clients,
             self.edits,
             self.elapsed,
@@ -48,7 +61,10 @@ impl std::fmt::Display for LoadReport {
             self.p50,
             self.p95,
             self.p99,
-            self.errors
+            self.errors,
+            self.refused,
+            self.shed,
+            self.retried
         )
     }
 }
@@ -59,6 +75,16 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-worker tallies folded into the final [`LoadReport`].
+#[derive(Default)]
+struct WorkerTally {
+    latencies: Vec<Duration>,
+    errors: usize,
+    refused: usize,
+    shed: usize,
+    retried: usize,
 }
 
 /// Runs `iterations` of the edit script on each of `clients` concurrent
@@ -77,41 +103,57 @@ pub fn run_load(
     let mut workers = Vec::new();
     for i in 0..clients {
         workers.push(std::thread::spawn(
-            move || -> std::io::Result<(Vec<Duration>, usize)> {
-                let mut client = Client::connect(addr)?;
+            move || -> std::io::Result<WorkerTally> {
+                let mut client = ResilientClient::connect(
+                    &addr.to_string(),
+                    Timeouts::default(),
+                    RetryPolicy::default(),
+                )?;
                 let name = format!("load-{i}");
-                // First run creates the session; later runs attach to it.
-                let (opened, _) = client.request(&format!("open {name}"))?;
-                if !opened {
-                    client.expect_ok(&format!("attach {name}"))?;
-                }
-                let mut latencies = Vec::with_capacity(iterations * EDITS_PER_ITERATION);
-                let mut errors = 0usize;
-                let mut edit = |client: &mut Client, line: &str| -> std::io::Result<()> {
+                client.attach(&name, true)?;
+                let mut tally = WorkerTally {
+                    latencies: Vec::with_capacity(iterations * EDITS_PER_ITERATION),
+                    ..WorkerTally::default()
+                };
+                let edit = |client: &mut ResilientClient, tally: &mut WorkerTally, line: &str| {
                     let t0 = Instant::now();
-                    let (ok, _) = client.request(line)?;
-                    latencies.push(t0.elapsed());
+                    let (ok, payload) = client.request(line)?;
+                    tally.latencies.push(t0.elapsed());
                     if !ok {
-                        errors += 1;
+                        tally.errors += 1;
+                        if payload.starts_with("busy:") {
+                            tally.refused += 1;
+                        } else if payload.starts_with("overloaded:") {
+                            tally.shed += 1;
+                        }
                     }
-                    Ok(())
+                    Ok::<(), crate::client::ClientError>(())
                 };
                 for _ in 0..iterations {
-                    edit(&mut client, "add jaccard_ws(title, title) >= 0.6")?;
-                    edit(&mut client, "undo")?;
+                    edit(
+                        &mut client,
+                        &mut tally,
+                        "add jaccard_ws(title, title) >= 0.6",
+                    )?;
+                    edit(&mut client, &mut tally, "undo")?;
                 }
-                Ok((latencies, errors))
+                let stats = client.stats();
+                tally.retried = (stats.retries + stats.resumes) as usize;
+                Ok(tally)
             },
         ));
     }
     let mut latencies = Vec::new();
-    let mut errors = 0;
+    let (mut errors, mut refused, mut shed, mut retried) = (0, 0, 0, 0);
     for w in workers {
-        let (lat, err) = w
+        let tally = w
             .join()
             .map_err(|_| std::io::Error::other("load worker panicked"))??;
-        latencies.extend(lat);
-        errors += err;
+        latencies.extend(tally.latencies);
+        errors += tally.errors;
+        refused += tally.refused;
+        shed += tally.shed;
+        retried += tally.retried;
     }
     let elapsed = start.elapsed();
     latencies.sort();
@@ -120,6 +162,9 @@ pub fn run_load(
         clients,
         edits,
         errors,
+        refused,
+        shed,
+        retried,
         elapsed,
         p50: percentile(&latencies, 0.50),
         p95: percentile(&latencies, 0.95),

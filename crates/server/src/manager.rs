@@ -21,11 +21,15 @@
 //! so two server processes (or a server and a CLI) can never interleave
 //! writes to one store.
 
+use crate::admission::{AdmissionQueue, AdmissionSnapshot};
 use crate::error::ServerError;
 use crate::exec;
 use em_blocking::Blocker;
 use em_core::persist::{session_store_dir, store_exists, StoreLock};
-use em_core::{CancelToken, Command, DebugSession, SessionConfig, SessionStore};
+use em_core::{
+    install_snapshot_bytes, replay_record, CancelToken, Command, DebugSession, JournalRecord,
+    JournalTailer, SessionConfig, SessionStore, Watermark,
+};
 use em_types::{CandidateSet, LabeledPair, Table};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -144,6 +148,34 @@ struct Slot {
     last_used: AtomicU64,
 }
 
+/// Which side of replication this server plays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations; serves `replicate`/`snapshot` off its stores.
+    Leader,
+    /// Replays the leader's journals; serves reads, refuses mutations.
+    Follower {
+        /// The leader's address, echoed in `read_only` refusals.
+        leader: String,
+    },
+}
+
+/// One replica session's replication progress.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaProgress {
+    watermark: Watermark,
+    behind: u64,
+}
+
+/// Operational state beside the session registry: replication role,
+/// per-session replication progress, and the admission queue handle
+/// (for surfacing shed counts in `status`).
+struct Ops {
+    role: Role,
+    replicas: HashMap<String, ReplicaProgress>,
+    admission: Option<Arc<AdmissionQueue>>,
+}
+
 /// Owns every named session; see the module docs.
 pub struct SessionManager {
     template: SessionTemplate,
@@ -151,6 +183,7 @@ pub struct SessionManager {
     max_resident: usize,
     registry: Mutex<HashMap<String, Arc<Slot>>>,
     clock: AtomicU64,
+    ops: Mutex<Ops>,
 }
 
 /// What [`SessionManager::attach`] found.
@@ -184,6 +217,11 @@ impl SessionManager {
             max_resident: max_resident.max(1),
             registry: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
+            ops: Mutex::new(Ops {
+                role: Role::Leader,
+                replicas: HashMap::new(),
+                admission: None,
+            }),
         }
     }
 
@@ -371,20 +409,41 @@ impl SessionManager {
         self.with_session(name, |store, _| store.session().cancel_token())
     }
 
-    /// One status line (JSON) for the attached session.
+    /// One status line (JSON) for the attached session, including the
+    /// server's replication role, this session's replication lag (frames
+    /// the follower is behind the leader's durable journal), and the
+    /// admission queue's shed count.
     pub fn status_json(&self, name: &str) -> Result<String, ServerError> {
+        let (role, leader, lag, shed) = {
+            let ops = self.ops();
+            let (role, leader) = match &ops.role {
+                Role::Leader => ("leader".to_string(), None),
+                Role::Follower { leader } => ("follower".to_string(), Some(leader.clone())),
+            };
+            let lag = match &ops.role {
+                Role::Leader => None,
+                Role::Follower { .. } => Some(ops.replicas.get(name).map_or(0, |p| p.behind)),
+            };
+            let shed = ops.admission.as_ref().map_or(0, |a| a.snapshot().shed);
+            (role, leader, lag, shed)
+        };
         self.with_session(name, |store, _| {
             let s = store.session();
-            exec::status_json(
-                name,
-                true,
-                s.function().n_rules(),
-                s.function().n_predicates(),
-                s.n_matches(),
-                s.pending_resume().is_some(),
-                store.epoch(),
-                store.records_since_save(),
-            )
+            exec::status_json(exec::StatusLine {
+                event: "status".to_string(),
+                name: name.to_string(),
+                attached: true,
+                rules: s.function().n_rules(),
+                predicates: s.function().n_predicates(),
+                matches: s.n_matches(),
+                pending: s.pending_resume().is_some(),
+                epoch: store.epoch(),
+                journal_records: store.records_since_save(),
+                role,
+                leader,
+                lag,
+                shed,
+            })
         })
     }
 
@@ -473,6 +532,12 @@ impl SessionManager {
             let Some(store) = state.store.as_mut() else {
                 continue;
             };
+            // An ephemeral slot (a replica on a follower) has no disk to
+            // evict to — and every later LRU candidate would be one too,
+            // so stop rather than spin.
+            if store.store_dir().is_none() {
+                return;
+            }
             // Fold the journal into a snapshot, then drop the memory and
             // the directory lock. On save failure the session stays
             // resident — losing memory bounds beats losing edits.
@@ -507,6 +572,263 @@ impl SessionManager {
         let mut names: Vec<String> = self.registry().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    // ---- replication: role, replica slots, leader-side shipping ----------
+
+    fn ops(&self) -> MutexGuard<'_, Ops> {
+        self.ops.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// This server's replication role.
+    pub fn role(&self) -> Role {
+        self.ops().role.clone()
+    }
+
+    /// Sets the replication role (done once at startup; `promote` flips
+    /// it at runtime).
+    pub fn set_role(&self, role: Role) {
+        self.ops().role = role;
+    }
+
+    /// True while this manager replays a leader instead of accepting
+    /// mutations.
+    pub fn is_follower(&self) -> bool {
+        matches!(self.ops().role, Role::Follower { .. })
+    }
+
+    /// Wires in the admission queue so `status` can surface shed counts.
+    pub fn set_admission(&self, queue: Arc<AdmissionQueue>) {
+        self.ops().admission = Some(queue);
+    }
+
+    /// A snapshot of the admission counters, when a queue is wired in.
+    pub fn admission_snapshot(&self) -> Option<AdmissionSnapshot> {
+        let ops = self.ops();
+        ops.admission.as_ref().map(|a| a.snapshot())
+    }
+
+    /// The replication watermark of a replica session (`None` until its
+    /// snapshot bootstrap).
+    pub fn replica_watermark(&self, name: &str) -> Option<Watermark> {
+        self.ops().replicas.get(name).map(|p| p.watermark)
+    }
+
+    /// Records replication progress for a replica session. `behind` is
+    /// how many durable frames the leader still holds past the watermark
+    /// — the session's replication lag.
+    pub fn set_replica_watermark(&self, name: &str, watermark: Watermark, behind: u64) {
+        self.ops()
+            .replicas
+            .insert(name.to_string(), ReplicaProgress { watermark, behind });
+    }
+
+    /// A replica session's replication lag in frames, when known.
+    pub fn replication_lag(&self, name: &str) -> Option<u64> {
+        self.ops().replicas.get(name).map(|p| p.behind)
+    }
+
+    /// Installs a leader-shipped snapshot as a fresh *ephemeral* replica
+    /// session (replacing any previous incarnation). Replicas stay
+    /// ephemeral until `promote` binds them to durable stores — their
+    /// durability *is* the leader's journal.
+    pub fn install_replica(&self, name: &str, snapshot: &[u8]) -> Result<(), ServerError> {
+        // Validate the name through the same path durable sessions use.
+        self.dir_for(name)?;
+        let mut session = self.template.fresh();
+        install_snapshot_bytes(&mut session, snapshot).map_err(ServerError::Persist)?;
+        let slot = Arc::new(Slot {
+            name: name.to_string(),
+            state: Mutex::new(Resident {
+                store: Some(SessionStore::ephemeral(session)),
+                lock: None,
+            }),
+            last_used: AtomicU64::new(0),
+        });
+        self.registry().insert(name.to_string(), Arc::clone(&slot));
+        self.touch(&slot);
+        Ok(())
+    }
+
+    /// Forgets a replica session (before a snapshot resync).
+    pub fn drop_replica(&self, name: &str) {
+        self.registry().remove(name);
+        self.ops().replicas.remove(name);
+    }
+
+    /// Replays leader journal records into a replica session through the
+    /// same incremental edit paths recovery uses.
+    pub fn apply_replica_records(
+        &self,
+        name: &str,
+        records: &[JournalRecord],
+    ) -> Result<(), ServerError> {
+        self.with_session(name, |store, _| -> Result<(), ServerError> {
+            for rec in records {
+                replay_record(store.session_mut(), rec).map_err(ServerError::Persist)?;
+            }
+            Ok(())
+        })?
+    }
+
+    /// Leader side of journal shipping: frames of `name`'s on-disk
+    /// journal past the watermark `(epoch, idx)`, as a `replicate`
+    /// response payload. Works off disk, not memory — every applied edit
+    /// is fsync'd before it is applied, so the durable journal is never
+    /// behind the session.
+    pub fn replicate_json(
+        &self,
+        name: &str,
+        epoch: u64,
+        idx: u64,
+        max: usize,
+    ) -> Result<String, ServerError> {
+        let dir = self.durable_dir(name)?;
+        let from = Watermark { epoch, idx };
+        let result = JournalTailer::new(&dir)
+            .tail(from, max.max(1))
+            .map_err(ServerError::Persist)?;
+        Ok(crate::replica::encode_replicate(from, result))
+    }
+
+    /// Leader side of bootstrap/resync: the named session's newest
+    /// on-disk snapshot, base64-framed.
+    pub fn snapshot_json(&self, name: &str) -> Result<String, ServerError> {
+        let dir = self.durable_dir(name)?;
+        match JournalTailer::new(&dir)
+            .newest_snapshot()
+            .map_err(ServerError::Persist)?
+        {
+            Some((epoch, bytes)) => Ok(crate::replica::encode_snapshot_response(epoch, &bytes)),
+            None => Err(ServerError::Unsupported(format!(
+                "no usable snapshot on disk for {name} yet"
+            ))),
+        }
+    }
+
+    /// Resolves a session's durable directory or explains why replication
+    /// cannot serve it.
+    fn durable_dir(&self, name: &str) -> Result<PathBuf, ServerError> {
+        let Some(dir) = self.dir_for(name)? else {
+            return Err(ServerError::Unsupported(
+                "replication needs a durable store (start the leader with --store-root)"
+                    .to_string(),
+            ));
+        };
+        if !store_exists(&dir).map_err(ServerError::Persist)? {
+            return Err(ServerError::UnknownSession(name.to_string()));
+        }
+        Ok(dir)
+    }
+
+    /// Flips a follower to leader: stops accepting replicated frames
+    /// (the replicator thread observes the role change and exits),
+    /// settles any parked work, and binds every replica session to a
+    /// durable store under this server's own root (when it has one).
+    /// Returns the `promoted` payload.
+    pub fn promote(&self) -> Result<String, ServerError> {
+        let prior = {
+            let mut ops = self.ops();
+            match std::mem::replace(&mut ops.role, Role::Leader) {
+                Role::Leader => {
+                    return Err(ServerError::BadRequest("already the leader".to_string()))
+                }
+                Role::Follower { leader } => {
+                    ops.replicas.clear();
+                    leader
+                }
+            }
+        };
+        let slots: Vec<Arc<Slot>> = self.registry().values().cloned().collect();
+        let mut sessions = 0usize;
+        let mut durable = 0usize;
+        let mut notes: Vec<String> = Vec::new();
+        for slot in slots {
+            let mut state = lock_state(&slot);
+            let Some(store) = state.store.as_mut() else {
+                continue;
+            };
+            sessions += 1;
+            // Settle parked work with the deadline lifted, so the new
+            // leader starts from a fully applied state.
+            let saved_deadline = store.session().config().deadline;
+            store.session_mut().set_deadline(None);
+            while store.session().pending_resume().is_some() {
+                match store.resume() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        notes.push(format!("{}: settle failed: {e}", slot.name));
+                        break;
+                    }
+                }
+            }
+            store.session_mut().set_deadline(saved_deadline);
+            // Bind to a durable store under our own root.
+            if store.store_dir().is_some() {
+                durable += 1;
+                continue;
+            }
+            let Some(root) = &self.store_root else {
+                continue; // stays ephemeral: no root configured
+            };
+            let dir = match session_store_dir(root, &slot.name) {
+                Ok(dir) => dir,
+                Err(e) => {
+                    notes.push(format!("{}: {e}", slot.name));
+                    continue;
+                }
+            };
+            if store_exists(&dir).unwrap_or(false) {
+                notes.push(format!(
+                    "{}: store directory already exists; staying ephemeral",
+                    slot.name
+                ));
+                continue;
+            }
+            // Take the directory lock *before* consuming the session, so
+            // a lock failure costs nothing.
+            let lock = match StoreLock::acquire(&dir) {
+                Ok(lock) => lock,
+                Err(e) => {
+                    notes.push(format!("{}: store lock: {e}; staying ephemeral", slot.name));
+                    continue;
+                }
+            };
+            let session = state
+                .store
+                .take()
+                .expect("checked resident above")
+                .into_session();
+            match SessionStore::create(&dir, session) {
+                Ok(new_store) => {
+                    state.store = Some(new_store);
+                    state.lock = Some(lock);
+                    durable += 1;
+                }
+                Err(e) => {
+                    // A hard I/O failure mid-create consumed the session;
+                    // the slot is dead and says so.
+                    notes.push(format!("{}: durable bind failed: {e}", slot.name));
+                }
+            }
+        }
+        #[derive(serde::Serialize)]
+        struct Promoted {
+            event: String,
+            prior_leader: String,
+            sessions: usize,
+            durable: usize,
+            notes: Vec<String>,
+        }
+        Ok(serde_json::to_string(&Promoted {
+            event: "promoted".to_string(),
+            prior_leader: prior,
+            sessions,
+            durable,
+            notes,
+        })
+        .expect("Promoted serializes"))
     }
 }
 

@@ -32,6 +32,13 @@ pub const MAX_LINE: usize = 16 * 1024;
 /// Upper bound a client accepts for one response payload, in bytes.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Frames one `replicate` response ships when the request names no `max`.
+pub const DEFAULT_REPLICATE_MAX: usize = 256;
+
+/// Hard ceiling on frames per `replicate` response, whatever the request
+/// asks for — keeps one response under the frame cap.
+pub const MAX_REPLICATE_MAX: usize = 4096;
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -51,6 +58,26 @@ pub enum Request {
     Status,
     /// `ping` — liveness probe.
     Ping,
+    /// `replicate <session> <epoch> <idx> [max]` — ship journal frames of
+    /// the named session past the watermark `(epoch, idx)`; followers
+    /// poll this on the leader.
+    Replicate {
+        /// Session whose journal to tail.
+        name: String,
+        /// Watermark epoch (journal generation).
+        epoch: u64,
+        /// Frames already consumed within that generation.
+        idx: u64,
+        /// Maximum frames to ship in one response.
+        max: usize,
+    },
+    /// `snapshot <session>` — ship the named session's newest on-disk
+    /// snapshot (binary payload); how a follower bootstraps or resyncs a
+    /// session whose early journal generations were compacted away.
+    Snapshot(String),
+    /// `promote` — flip this follower to leader: stop replicating, settle
+    /// parked work, take the store locks, accept mutations.
+    Promote,
     /// Any command of the shared REPL grammar, run on the attached
     /// session.
     Cmd(Command),
@@ -90,6 +117,27 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         "sessions" => Request::Sessions,
         "status" => Request::Status,
         "ping" => Request::Ping,
+        "replicate" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() < 3 || parts.len() > 4 {
+                return Err("replicate: expected <session> <epoch> <idx> [max]".to_string());
+            }
+            let num = |what: &str, s: &str| -> Result<u64, String> {
+                s.parse()
+                    .map_err(|_| format!("replicate: bad {what} {s:?}"))
+            };
+            Request::Replicate {
+                name: parts[0].to_string(),
+                epoch: num("epoch", parts[1])?,
+                idx: num("idx", parts[2])?,
+                max: parts
+                    .get(3)
+                    .map_or(Ok(DEFAULT_REPLICATE_MAX as u64), |s| num("max", s))?
+                    .min(MAX_REPLICATE_MAX as u64) as usize,
+            }
+        }
+        "snapshot" => Request::Snapshot(named("session name")?),
+        "promote" => Request::Promote,
         _ => match command::parse(trimmed)? {
             Some(cmd) => Request::Cmd(cmd),
             None => return Ok(None),
@@ -166,6 +214,52 @@ mod tests {
             parse_request("deadline off").unwrap(),
             Some(Request::Deadline(None))
         );
+    }
+
+    #[test]
+    fn replication_verbs_parse() {
+        assert_eq!(
+            parse_request("replicate alice 3 17").unwrap(),
+            Some(Request::Replicate {
+                name: "alice".into(),
+                epoch: 3,
+                idx: 17,
+                max: DEFAULT_REPLICATE_MAX,
+            })
+        );
+        assert_eq!(
+            parse_request("replicate alice 0 0 64").unwrap(),
+            Some(Request::Replicate {
+                name: "alice".into(),
+                epoch: 0,
+                idx: 0,
+                max: 64,
+            })
+        );
+        // Requested max is clamped to the hard ceiling.
+        assert_eq!(
+            parse_request("replicate alice 0 0 999999").unwrap(),
+            Some(Request::Replicate {
+                name: "alice".into(),
+                epoch: 0,
+                idx: 0,
+                max: MAX_REPLICATE_MAX,
+            })
+        );
+        assert_eq!(
+            parse_request("snapshot alice").unwrap(),
+            Some(Request::Snapshot("alice".into()))
+        );
+        assert_eq!(parse_request("promote").unwrap(), Some(Request::Promote));
+        assert!(parse_request("replicate alice")
+            .unwrap_err()
+            .contains("expected"));
+        assert!(parse_request("replicate alice x 0")
+            .unwrap_err()
+            .contains("bad epoch"));
+        assert!(parse_request("snapshot")
+            .unwrap_err()
+            .contains("session name"));
     }
 
     #[test]

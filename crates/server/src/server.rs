@@ -20,9 +20,12 @@
 //! confined to their thread (and the session layer's own panic
 //! quarantine already isolates per-pair evaluation faults).
 
+use crate::admission::{AdmissionConfig, AdmissionQueue, ConnQueue};
 use crate::error::ServerError;
-use crate::manager::{SessionManager, SessionTemplate};
+use crate::exec;
+use crate::manager::{Role, SessionManager, SessionTemplate};
 use crate::proto::{self, Request, MAX_LINE};
+use crate::replica::{FollowerOpts, Replicator};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -46,9 +49,23 @@ pub struct ServerConfig {
     /// How many sessions may stay resident in memory (LRU beyond this
     /// are evicted to their snapshots). Ignored without a store root.
     pub max_resident: usize,
-    /// Concurrent-connection cap; further clients are refused with a
-    /// framed `busy` error.
+    /// Hard safety bound on concurrent connections; beyond it clients are
+    /// refused with a framed `busy` error. Fairness under load comes from
+    /// the admission queue, so this default is deliberately high — it
+    /// exists to bound thread count, not to shed load.
     pub max_conns: usize,
+    /// Command-level admission control (fair-share queue, shedding).
+    pub admission: AdmissionConfig,
+    /// Run as a read-only follower replicating the leader at this
+    /// address.
+    pub follow: Option<String>,
+    /// With `follow`: self-promote to leader when the leader stays
+    /// unreachable past the replicator's retry policy.
+    pub promote_on_loss: bool,
+    /// Test-only injection of network faults into the replication
+    /// stream.
+    #[cfg(feature = "fault-inject")]
+    pub net_faults: Option<Arc<crate::replica::NetFaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -57,17 +74,25 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             store_root: None,
             max_resident: 8,
-            max_conns: 64,
+            max_conns: 1024,
+            admission: AdmissionConfig::default(),
+            follow: None,
+            promote_on_loss: false,
+            #[cfg(feature = "fault-inject")]
+            net_faults: None,
         }
     }
 }
 
-/// A running server: owns the accept thread and the session manager.
+/// A running server: owns the accept thread, the admission queue, the
+/// replicator (followers), and the session manager.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
     manager: Arc<SessionManager>,
+    admission: Arc<AdmissionQueue>,
+    replicator: Option<Replicator>,
 }
 
 impl ServerHandle {
@@ -81,10 +106,20 @@ impl ServerHandle {
         &self.manager
     }
 
-    /// Stops accepting, lets handlers drain, and saves every resident
-    /// durable session. Returns how many sessions saved cleanly.
+    /// Admission-control counters (tests, the load harness).
+    pub fn admission_snapshot(&self) -> crate::admission::AdmissionSnapshot {
+        self.admission.snapshot()
+    }
+
+    /// Stops accepting, stops replicating, drains the admission queue,
+    /// and saves every resident durable session. Returns how many
+    /// sessions saved cleanly.
     pub fn shutdown(mut self) -> usize {
         self.stop_accepting();
+        if let Some(r) = self.replicator.take() {
+            r.stop();
+        }
+        self.admission.shutdown();
         self.manager.save_all()
     }
 
@@ -99,6 +134,9 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_accepting();
+        if let Some(r) = self.replicator.take() {
+            r.stop();
+        }
     }
 }
 
@@ -114,26 +152,50 @@ pub fn serve(template: SessionTemplate, config: ServerConfig) -> std::io::Result
         config.store_root.clone(),
         config.max_resident,
     ));
+    let admission = Arc::new(AdmissionQueue::new(config.admission));
+    manager.set_admission(Arc::clone(&admission));
+    let replicator = match &config.follow {
+        Some(leader) => {
+            manager.set_role(Role::Follower {
+                leader: leader.clone(),
+            });
+            let opts = FollowerOpts {
+                promote_on_loss: config.promote_on_loss,
+                ..FollowerOpts::new(leader.clone())
+            };
+            Some(Replicator::spawn(
+                Arc::clone(&manager),
+                opts,
+                #[cfg(feature = "fault-inject")]
+                config.net_faults.clone(),
+            ))
+        }
+        None => None,
+    };
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept_thread = {
         let manager = Arc::clone(&manager);
+        let admission = Arc::clone(&admission);
         let shutdown = Arc::clone(&shutdown);
         let max_conns = config.max_conns.max(1);
         thread::Builder::new()
             .name("em-server-accept".to_string())
-            .spawn(move || accept_loop(listener, manager, shutdown, max_conns))?
+            .spawn(move || accept_loop(listener, manager, admission, shutdown, max_conns))?
     };
     Ok(ServerHandle {
         addr,
         shutdown,
         accept_thread: Some(accept_thread),
         manager,
+        admission,
+        replicator,
     })
 }
 
 fn accept_loop(
     listener: TcpListener,
     manager: Arc<SessionManager>,
+    admission: Arc<AdmissionQueue>,
     shutdown: Arc<AtomicBool>,
     max_conns: usize,
 ) {
@@ -155,6 +217,7 @@ fn accept_loop(
                     continue; // stream drops → close
                 }
                 let manager = Arc::clone(&manager);
+                let admission = Arc::clone(&admission);
                 let shutdown = Arc::clone(&shutdown);
                 let conn_active = Arc::clone(&active);
                 let spawned = thread::Builder::new()
@@ -169,7 +232,8 @@ fn accept_loop(
                             }
                         }
                         let _release = Release(conn_active);
-                        handle_connection(stream, &manager, &shutdown);
+                        let queue = admission.register();
+                        handle_connection(stream, &manager, &queue, &shutdown);
                     });
                 if spawned.is_err() {
                     active.fetch_sub(1, Ordering::AcqRel);
@@ -240,7 +304,12 @@ impl LineReader {
     }
 }
 
-fn handle_connection(stream: TcpStream, manager: &Arc<SessionManager>, shutdown: &AtomicBool) {
+fn handle_connection(
+    stream: TcpStream,
+    manager: &Arc<SessionManager>,
+    queue: &ConnQueue,
+    shutdown: &AtomicBool,
+) {
     let _ = stream.set_nodelay(true);
     // One timeout serves three purposes: the main loop polls `shutdown`,
     // the watchdog polls its stop flag, and neither can block forever on
@@ -297,7 +366,7 @@ fn handle_connection(stream: TcpStream, manager: &Arc<SessionManager>, shutdown:
             let _ = proto::write_frame(&mut writer, true, "{\"event\":\"bye\"}");
             return;
         }
-        let result = dispatch(manager, &mut attached, &writer, request);
+        let result = dispatch(manager, &mut attached, &writer, queue, request);
         if respond(&mut writer, result).is_err() {
             return;
         }
@@ -320,8 +389,23 @@ fn dispatch(
     manager: &Arc<SessionManager>,
     attached: &mut Option<String>,
     client: &TcpStream,
+    queue: &ConnQueue,
     request: Request,
 ) -> Result<String, ServerError> {
+    // A follower refuses anything that would fork its timeline from the
+    // leader's journal: session creation, deadline changes (they alter
+    // how future replayed edits park), and every mutating grammar
+    // command. The refusal names the leader so clients can redirect.
+    if let Role::Follower { leader } = manager.role() {
+        let mutating = match &request {
+            Request::Open(_) | Request::Deadline(_) => true,
+            Request::Cmd(cmd) => exec::mutates(cmd),
+            _ => false,
+        };
+        if mutating {
+            return Err(ServerError::ReadOnly { leader });
+        }
+    }
     match request {
         Request::Open(name) => {
             manager.open(&name)?;
@@ -371,10 +455,34 @@ fn dispatch(
         Request::Sessions => Ok(manager.sessions_json()),
         Request::Status => manager.status_json(attached_name(attached)?),
         Request::Ping => Ok("{\"event\":\"pong\"}".to_string()),
+        Request::Replicate {
+            name,
+            epoch,
+            idx,
+            max,
+        } => manager.replicate_json(&name, epoch, idx, max),
+        Request::Snapshot(name) => manager.snapshot_json(&name),
+        Request::Promote => manager.promote(),
         Request::Cmd(cmd) => {
             let name = attached_name(attached)?.to_string();
             let token = manager.cancel_token(&name)?;
-            with_disconnect_watchdog(client, token, || manager.execute(&name, &cmd))
+            // Commands go through the fair-share admission queue: the
+            // connection thread blocks (closed loop) while a worker runs
+            // the command round-robin across connections. The disconnect
+            // watchdog still rides along via a cloned stream handle.
+            match client.try_clone() {
+                Ok(peek) => {
+                    let manager = Arc::clone(manager);
+                    queue.run(Box::new(move || {
+                        with_disconnect_watchdog(&peek, token, || manager.execute(&name, &cmd))
+                    }))
+                }
+                // No watchdog if the clone failed; the command still runs.
+                Err(_) => {
+                    let manager = Arc::clone(manager);
+                    queue.run(Box::new(move || manager.execute(&name, &cmd)))
+                }
+            }
         }
     }
 }

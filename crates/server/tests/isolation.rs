@@ -294,10 +294,10 @@ fn sixteen_clients_zero_lost_edits() {
     let handle = serve(
         demo_template(2),
         ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
             store_root: Some(root.clone()),
             max_resident: 4, // 16 sessions through 4 resident slots
             max_conns: 32,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
