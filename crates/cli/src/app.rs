@@ -498,6 +498,46 @@ impl App {
                 }
                 Ok(out)
             }
+            Command::Status => {
+                let (store_bytes, journal_bytes) = self.store.usage();
+                let disk_free = self.store.store_dir().and_then(em_core::disk_free);
+                if self.porcelain {
+                    #[derive(serde::Serialize)]
+                    struct StatusOut {
+                        event: String,
+                        store_dir: Option<String>,
+                        epoch: Option<u64>,
+                        journal_records: usize,
+                        store_bytes: u64,
+                        journal_bytes: u64,
+                        disk_free: Option<u64>,
+                    }
+                    return Ok(serde_json::to_string(&StatusOut {
+                        event: "status".to_string(),
+                        store_dir: self.store.store_dir().map(|d| d.display().to_string()),
+                        epoch: self.store.epoch(),
+                        journal_records: self.store.records_since_save(),
+                        store_bytes,
+                        journal_bytes,
+                        disk_free,
+                    })
+                    .expect("StatusOut serializes"));
+                }
+                let Some(dir) = self.store.store_dir() else {
+                    return Ok("ephemeral session — no store directory".to_string());
+                };
+                let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+                Ok(format!(
+                    "store: {} (epoch {}, {} journal records since save)\n\
+                     snapshots: {:.2} MB | journals: {:.2} MB | disk free: {}",
+                    dir.display(),
+                    self.store.epoch().unwrap_or(0),
+                    self.store.records_since_save(),
+                    mb(store_bytes),
+                    mb(journal_bytes),
+                    disk_free.map_or("unknown".to_string(), |b| format!("{:.2} MB", mb(b))),
+                ))
+            }
             Command::Optimize(algo) => {
                 let start = std::time::Instant::now();
                 self.store.optimize(algo)?;

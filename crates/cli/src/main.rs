@@ -37,6 +37,12 @@ usage:
   rulem connect [<host:port>] [--timeout-ms <n>]
       line-oriented client for a running server (also works with netcat).
       --timeout-ms bounds connect and each response read.
+  rulem scrub <store-dir> [--repair]
+      offline integrity check of a session store: verifies both snapshot
+      generations and every journal CRC frame, reporting torn tails, bit
+      flips, missing generations, orphan temp files, and stale locks.
+      With --repair, restores the newest provably consistent state.
+      Exits 0 when the store is serviceable, 1 when it is not.
 
 examples:
   rulem --demo products --scale 0.05
@@ -65,6 +71,7 @@ fn main() {
     let result = match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
+        Some("scrub") => scrub_main(&args[1..]),
         _ => repl_main(&args),
     };
     if let Err(msg) = result {
@@ -327,11 +334,84 @@ fn serve_main(args: &[String]) -> Result<(), String> {
         handle.addr()
     );
     let _ = stdout.flush();
-    // Serve until killed. Sessions are write-ahead journaled, so SIGKILL
-    // loses nothing — the next `serve --store-root` recovers on attach.
+    // Serve until asked to stop. SIGTERM (a supervisor's stop) and the
+    // wire `shutdown` verb both drain: parked edits settle, every
+    // resident session folds into a fresh snapshot, and the store locks
+    // release — so a *planned* restart never pays journal replay. SIGKILL
+    // still loses nothing: sessions are write-ahead journaled and the
+    // next `serve --store-root` recovers on attach.
+    install_sigterm_flag();
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if handle.shutdown_requested() || sigterm_requested() {
+            let saved = handle.shutdown();
+            let _ = writeln!(std::io::stdout(), "drained: {saved} session(s) saved");
+            return Ok(());
+        }
     }
+}
+
+/// The flag [`install_sigterm_flag`]'s handler raises; polled by the
+/// serve loop. A handler may only do async-signal-safe work, so it
+/// stores one atomic and the drain itself runs on the main thread.
+#[cfg(unix)]
+static SIGTERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_flag() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        SIGTERM.store(true, std::sync::atomic::Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM_NO: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NO, on_sigterm);
+    }
+}
+
+#[cfg(unix)]
+fn sigterm_requested() -> bool {
+    SIGTERM.load(std::sync::atomic::Ordering::Acquire)
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_flag() {}
+
+#[cfg(not(unix))]
+fn sigterm_requested() -> bool {
+    false
+}
+
+/// `rulem scrub <dir> [--repair]`: offline store integrity check.
+fn scrub_main(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<&str> = None;
+    let mut repair = false;
+    for a in args {
+        match a.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => return Err("rulem scrub — session store integrity check".into()),
+            other if !other.starts_with("--") && dir.is_none() => dir = Some(other),
+            other => return Err(format!("scrub: unexpected argument {other:?}")),
+        }
+    }
+    let dir = dir.ok_or("scrub: missing <store-dir>")?;
+    let report = match em_core::scrub(std::path::Path::new(dir), repair) {
+        Ok(report) => report,
+        Err(e) => {
+            // An operational refusal (store locked by a live process, an
+            // unreadable directory), not a usage error: no usage dump.
+            eprintln!("scrub: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{report}");
+    if !report.serviceable {
+        // Not a usage error: report printed, signal via exit code only.
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 /// `rulem connect`: a thin interactive client for a running server.

@@ -69,9 +69,13 @@ impl Server {
 }
 
 /// Attaches to `name` on the follower (retrying while the replica
-/// bootstraps) and waits for its status to report zero frames of lag.
-fn wait_replicated(addr: &str, name: &str) -> Client {
+/// bootstraps) and waits until it has fully converged: zero frames of
+/// reported lag AND the expected history length. The lag figure alone is
+/// not enough — it is a snapshot from the follower's last sync round, so
+/// it can read 0 measured *before* the leader's latest edits landed.
+fn wait_replicated(addr: &str, name: &str, want_history: usize) -> Client {
     let deadline = Instant::now() + Duration::from_secs(60);
+    let want = format!("\"total\":{want_history}");
     loop {
         assert!(
             Instant::now() < deadline,
@@ -81,7 +85,11 @@ fn wait_replicated(addr: &str, name: &str) -> Client {
             if let Ok((true, _)) = c.request(&format!("attach {name}")) {
                 if let Ok((true, status)) = c.request("status") {
                     if status.contains("\"lag\":0") {
-                        return c;
+                        if let Ok((true, history)) = c.request("history") {
+                            if history.contains(&want) {
+                                return c;
+                            }
+                        }
                     }
                 }
             }
@@ -117,7 +125,7 @@ fn sigkill_leader_promote_follower_mutations_land_with_history_intact() {
 
     // The follower converges to within zero journal frames and serves
     // the replicated history read-only.
-    let mut f = wait_replicated(&follower.addr, "alice");
+    let mut f = wait_replicated(&follower.addr, "alice", 4);
     let status = f.expect_ok("status").unwrap();
     assert!(
         status.contains("\"role\":\"follower\"")

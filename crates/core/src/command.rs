@@ -49,6 +49,9 @@ pub enum Command {
     Quality,
     /// `stats` — estimated feature costs and predicate selectivities.
     Stats,
+    /// `status` — session health: store footprint, journal backlog, disk
+    /// free space, and degraded state.
+    Status,
     /// `optimize [random|rank|alg5|alg6]` — reorder rules/predicates.
     Optimize(OrderingAlgo),
     /// `memory` — materialization footprint.
@@ -152,6 +155,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         }
         "quality" => Command::Quality,
         "stats" => Command::Stats,
+        "status" => Command::Status,
         "optimize" => {
             let algo = match rest.to_lowercase().as_str() {
                 "" | "alg6" => OrderingAlgo::GreedyReduction,
@@ -219,6 +223,7 @@ commands:
   misses f<k> [n]       top-n unmatched pairs by feature f<k> (see `features`)
   quality               precision/recall against loaded labels
   stats                 estimated feature costs and selectivities
+  status                session health: store/journal bytes, disk free, degraded state
   optimize [alg]        reorder rules/predicates (alg5 | alg6 | rank | random)
   memory                materialization memory footprint
   history               edit log with latencies
@@ -278,6 +283,7 @@ mod tests {
         );
         assert_eq!(parse("quality").unwrap(), Some(Command::Quality));
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("status").unwrap(), Some(Command::Status));
         assert_eq!(
             parse("optimize").unwrap(),
             Some(Command::Optimize(OrderingAlgo::GreedyReduction))

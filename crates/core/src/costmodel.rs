@@ -148,6 +148,12 @@ pub fn rule_cost_memo(rule: &BoundRule, stats: &FunctionStats, state: &MemoState
 /// C₄ — early exit with dynamic memoing (Algorithm 4): C₃ with per-feature
 /// costs replaced by their memo-aware expectations, α evolving across the
 /// rule sequence.
+///
+/// The paper's hierarchy C₄ ≤ C₃ holds exactly when `δ ≤ cost(f)` for
+/// every referenced feature. Measured statistics can violate that
+/// hypothesis — a batched kernel's per-pair cost can undercut the memo
+/// lookup — and then this function truthfully predicts that Algorithm 4's
+/// unconditional memoing costs *more* than plain early exit.
 pub fn cost_memo(func: &MatchingFunction, stats: &FunctionStats) -> f64 {
     let mut cost = 0.0;
     let mut reach = 1.0;

@@ -8,9 +8,28 @@
 //! ships in a default build.
 
 use crate::budget::CancelToken;
+use crate::persist::vfs::DiskOp;
 use em_types::PairIdx;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Decrements a countdown cell; true exactly once, when it hits zero.
+/// `-1` is disarmed. Shared by [`IoFaultPlan`] and [`DiskFaultPlan`].
+fn countdown(cell: &AtomicI64) -> bool {
+    loop {
+        let v = cell.load(Ordering::SeqCst);
+        if v < 0 {
+            return false;
+        }
+        let (next, fire) = if v == 0 { (-1, true) } else { (v - 1, false) };
+        if cell
+            .compare_exchange(v, next, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return fire;
+        }
+    }
+}
 
 /// A recipe of faults to inject into feature computation.
 #[derive(Debug, Default)]
@@ -200,32 +219,15 @@ impl IoFaultPlan {
         self.fired.load(Ordering::SeqCst)
     }
 
-    /// Decrements a countdown; true exactly once, when it hits zero.
-    fn countdown(cell: &AtomicI64) -> bool {
-        loop {
-            let v = cell.load(Ordering::SeqCst);
-            if v < 0 {
-                return false;
-            }
-            let (next, fire) = if v == 0 { (-1, true) } else { (v - 1, false) };
-            if cell
-                .compare_exchange(v, next, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                return fire;
-            }
-        }
-    }
-
     /// Consulted by the store before each journal append.
     pub fn on_append(&self) -> AppendFault {
-        if Self::countdown(&self.torn_append) {
+        if countdown(&self.torn_append) {
             self.fired.fetch_add(1, Ordering::SeqCst);
             return AppendFault::Torn {
                 keep: self.torn_keep.load(Ordering::SeqCst) as usize,
             };
         }
-        if Self::countdown(&self.crash_after_append) {
+        if countdown(&self.crash_after_append) {
             self.fired.fetch_add(1, Ordering::SeqCst);
             return AppendFault::CrashAfterAppend;
         }
@@ -245,6 +247,90 @@ impl IoFaultPlan {
             return SnapshotFault::ShortWrite(keep as usize);
         }
         SnapshotFault::None
+    }
+}
+
+/// The disk-shaped failure an injected [`DiskFaultPlan`] arm produces —
+/// the extension of [`AppendFault`]/[`SnapshotFault`] (crash-shaped
+/// faults) to unhealthy-disk faults: the process survives, the write
+/// fails, and the caller must propagate a typed error without losing the
+/// pre-write state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// ENOSPC: nothing lands.
+    NoSpace,
+    /// EIO-shaped generic failure: nothing lands.
+    Io,
+    /// Only the first `keep` bytes of the write land before it fails.
+    ShortWrite {
+        /// Bytes that reach the disk.
+        keep: usize,
+    },
+    /// A rename is refused; the temp file stays behind.
+    RenameFail,
+}
+
+#[derive(Debug)]
+struct DiskArm {
+    op: DiskOp,
+    countdown: AtomicI64,
+    fault: DiskFault,
+}
+
+/// One-shot disk faults keyed by persist write site.
+///
+/// Each arm is a per-op countdown: `fail_op(JournalAppend, 2, NoSpace)`
+/// makes the third vfs call tagged [`DiskOp::JournalAppend`] from now
+/// fail with ENOSPC, then disarms. Wrap the plan in a
+/// [`crate::persist::vfs::FaultVfs`] and hand that to
+/// `SessionStore::create_on`/`open_on` (or `SessionManager::set_vfs`).
+#[derive(Debug, Default)]
+pub struct DiskFaultPlan {
+    arms: Vec<DiskArm>,
+    fired: AtomicU64,
+    ops_seen: AtomicU64,
+}
+
+impl DiskFaultPlan {
+    /// A plan injecting nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails the `nth` vfs call tagged `op` from now (0 = the next one)
+    /// with `fault`.
+    pub fn fail_op(mut self, op: DiskOp, nth: u64, fault: DiskFault) -> Self {
+        self.arms.push(DiskArm {
+            op,
+            countdown: AtomicI64::new(nth as i64),
+            fault,
+        });
+        self
+    }
+
+    /// Faults fired so far. A sweep over `nth` can stop when a pass
+    /// completes with zero fired faults: the countdown outlived the
+    /// workload's writes at that site.
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Total vfs write-path calls observed (all ops).
+    pub fn ops_seen(&self) -> u64 {
+        self.ops_seen.load(Ordering::SeqCst)
+    }
+
+    /// Consulted by [`crate::persist::vfs::FaultVfs`] before every
+    /// write-path call.
+    pub fn on_disk_op(&self, op: DiskOp) -> Option<DiskFault> {
+        self.ops_seen.fetch_add(1, Ordering::Relaxed);
+        for arm in &self.arms {
+            if arm.op == op && countdown(&arm.countdown) {
+                self.fired.fetch_add(1, Ordering::SeqCst);
+                return Some(arm.fault);
+            }
+        }
+        None
     }
 }
 
@@ -276,6 +362,27 @@ mod tests {
         let plan = IoFaultPlan::new().with_snapshot_bit_flip(40);
         assert_eq!(plan.on_snapshot_write(), SnapshotFault::FlipByte(40));
         assert_eq!(plan.on_snapshot_write(), SnapshotFault::None);
+    }
+
+    #[test]
+    fn disk_plan_counts_per_op_and_fires_once() {
+        let plan = DiskFaultPlan::new()
+            .fail_op(DiskOp::JournalAppend, 1, DiskFault::NoSpace)
+            .fail_op(DiskOp::SnapshotRename, 0, DiskFault::RenameFail);
+        // Other ops never trip the journal-append arm.
+        assert_eq!(plan.on_disk_op(DiskOp::SnapshotWrite), None);
+        assert_eq!(plan.on_disk_op(DiskOp::JournalAppend), None);
+        assert_eq!(
+            plan.on_disk_op(DiskOp::JournalAppend),
+            Some(DiskFault::NoSpace)
+        );
+        assert_eq!(plan.on_disk_op(DiskOp::JournalAppend), None);
+        assert_eq!(
+            plan.on_disk_op(DiskOp::SnapshotRename),
+            Some(DiskFault::RenameFail)
+        );
+        assert_eq!(plan.faults_fired(), 2);
+        assert_eq!(plan.ops_seen(), 5);
     }
 
     #[test]

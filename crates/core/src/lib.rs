@@ -93,7 +93,7 @@ pub use exact::{optimal_rule_order, ExactOrder, MAX_EXACT_RULES};
 pub use executor::{partition, run_sharded, split_mut, Executor};
 pub use explain::{explain_with_costs, Explanation, PredicateTrace, RuleTrace};
 #[cfg(feature = "fault-inject")]
-pub use fault::{AppendFault, FaultPlan, IoFaultPlan, SnapshotFault};
+pub use fault::{AppendFault, DiskFault, DiskFaultPlan, FaultPlan, IoFaultPlan, SnapshotFault};
 pub use feature::{FeatureDef, FeatureId, FeatureRegistry};
 pub use function::{EditError, MatchingFunction};
 pub use incremental::{
@@ -107,10 +107,13 @@ pub use ordering::{
     OrderingAlgo,
 };
 pub use parse::{parse_function, parse_measure, ParseError, ParseErrorKind, Span};
+#[cfg(feature = "fault-inject")]
+pub use persist::vfs::FaultVfs;
 pub use persist::{
-    decode_record, install_snapshot_bytes, replay_record, session_store_dir, store_exists,
-    JournalRecord, JournalTailer, PersistError, RecoveryReport, SessionStore, StoreLock, TailBatch,
-    TailResult, Watermark,
+    decode_record, disk_free, install_snapshot_bytes, replay_record, scrub, session_store_dir,
+    store_exists, DiskErrorKind, DiskOp, JournalRecord, JournalTailer, PersistError, RealVfs,
+    RecoveryReport, ScrubClass, ScrubFinding, ScrubReport, SessionStore, StoreLock, TailBatch,
+    TailResult, Vfs, Watermark,
 };
 pub use porcelain::{ChangeLine, HistoryLine, LintLine};
 pub use predicate::{CmpOp, PredId, Predicate};

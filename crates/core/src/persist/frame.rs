@@ -13,9 +13,10 @@
 //! its checksum matches — a torn tail (partial write at crash) and a
 //! bit-flipped body are both detected the same way.
 
+use super::vfs::{classify, DiskErrorKind, DiskOp, Vfs};
 use super::PersistError;
 use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 /// Frames larger than this are rejected as corrupt rather than allocated:
@@ -213,32 +214,47 @@ pub(crate) fn read_frame(buf: &[u8], offset: usize) -> FrameRead<'_> {
 /// sibling temp file which is fsynced, renamed over `path`, and the
 /// directory is fsynced so the rename itself is durable. A crash at any
 /// point leaves either the old file or the new one, never a mixture.
-pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+///
+/// On *any* failure the temp file is removed (best effort), so a disk
+/// fault mid-write leaves at most an orphan `.tmp` for scrub to sweep —
+/// never a half-written file under the final name.
+pub(crate) fn atomic_write(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let dir = path
         .parent()
         .ok_or_else(|| PersistError::Corrupt(format!("{}: no parent directory", path.display())))?;
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = File::create(&tmp).map_err(PersistError::Io)?;
-        f.write_all(bytes).map_err(PersistError::Io)?;
-        f.sync_all().map_err(PersistError::Io)?;
-    }
-    std::fs::rename(&tmp, path).map_err(PersistError::Io)?;
-    sync_dir(dir)
+    let write = |vfs: &dyn Vfs| -> Result<(), PersistError> {
+        let mut f = vfs.create(&tmp, DiskOp::SnapshotWrite)?;
+        vfs.write_all(&mut f, bytes, DiskOp::SnapshotWrite)?;
+        vfs.sync_all(&f, DiskOp::SnapshotWrite)?;
+        drop(f);
+        vfs.rename(&tmp, path, DiskOp::SnapshotRename)?;
+        sync_dir(vfs, dir)
+    };
+    write(vfs).inspect_err(|_| {
+        // A failed rename (or an interrupted write) must not leave a
+        // stray temp file to be mistaken for progress; if even the
+        // remove fails, scrub classifies the leftover as an orphan.
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Fsyncs a directory so a completed rename/create within it is durable.
-pub(crate) fn sync_dir(dir: &Path) -> Result<(), PersistError> {
-    // Some platforms refuse to open directories for writing; opening
-    // read-only is sufficient for fsync on unix, and on platforms where
-    // directory fsync is unsupported the error is ignored (the rename is
-    // still atomic).
+pub(crate) fn sync_dir(vfs: &dyn Vfs, dir: &Path) -> Result<(), PersistError> {
+    // Opening read-only is sufficient for fsync on unix; on platforms
+    // where directory fsync is unsupported the failure is tolerated (the
+    // rename is still atomic), but on Linux a failing directory fsync is
+    // a real durability loss and propagates.
     match File::open(dir) {
-        Ok(d) => {
-            let _ = d.sync_all();
-            Ok(())
-        }
-        Err(e) => Err(PersistError::Io(e)),
+        Ok(d) => match vfs.sync_all(&d, DiskOp::DirSync) {
+            Ok(()) => Ok(()),
+            Err(PersistError::Disk {
+                kind: DiskErrorKind::Io(_),
+                ..
+            }) if cfg!(not(target_os = "linux")) => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(e) => Err(classify(DiskOp::DirSync, e)),
     }
 }
 
@@ -320,10 +336,11 @@ mod tests {
     fn atomic_write_replaces_content() {
         let dir = std::env::temp_dir().join("rulem_frame_test");
         std::fs::create_dir_all(&dir).unwrap();
+        let vfs = super::super::vfs::RealVfs;
         let path = dir.join("blob.bin");
-        atomic_write(&path, b"one").unwrap();
+        atomic_write(&vfs, &path, b"one").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"one");
-        atomic_write(&path, b"two").unwrap();
+        atomic_write(&vfs, &path, b"two").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"two");
         assert!(
             !path.with_extension("tmp").exists(),

@@ -12,21 +12,33 @@
 //! of the durable prefix and the file is truncated there, so subsequent
 //! appends continue from a clean boundary.
 //!
+//! A *failed* append (ENOSPC mid-frame, a dying disk) must not leave its
+//! partial frame for the next append to bury mid-file — such a buried
+//! tear would truncate away every record after it on the next open. The
+//! journal therefore tracks its durable length and truncates back to it
+//! before surfacing any append error.
+//!
 //! The journal layer deals in opaque payload bytes; the record schema
 //! (JSON [`super::JournalRecord`]s) lives in [`super::store`].
 
 use super::frame::{encode_frame, read_frame, sync_dir, FrameRead};
 use super::snapshot::{decode_header, encode_header, JOURNAL_MAGIC};
+use super::vfs::{DiskOp, Vfs};
 use super::PersistError;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
+use std::sync::Arc;
 
 /// An open, append-ready journal file.
 #[derive(Debug)]
 pub(crate) struct Journal {
     file: File,
     epoch: u64,
+    /// Bytes of well-formed content (header + whole frames) known to be
+    /// on disk: the position a failed append truncates back to.
+    len: u64,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// What [`Journal::open_existing`] recovered.
@@ -42,25 +54,32 @@ pub(crate) struct JournalScan {
 impl Journal {
     /// Creates an empty journal (header only) at `path`, fsyncing the file
     /// and its directory.
-    pub(crate) fn create(path: &Path, epoch: u64) -> Result<Self, PersistError> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)
-            .map_err(PersistError::Io)?;
-        file.write_all(&encode_header(JOURNAL_MAGIC, epoch))
-            .map_err(PersistError::Io)?;
-        file.sync_all().map_err(PersistError::Io)?;
+    pub(crate) fn create(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+        epoch: u64,
+    ) -> Result<Self, PersistError> {
+        let header = encode_header(JOURNAL_MAGIC, epoch);
+        let mut file = vfs.create(path, DiskOp::JournalCreate)?;
+        vfs.write_all(&mut file, &header, DiskOp::JournalCreate)?;
+        vfs.sync_all(&file, DiskOp::JournalCreate)?;
         if let Some(dir) = path.parent() {
-            sync_dir(dir)?;
+            sync_dir(vfs.as_ref(), dir)?;
         }
-        Ok(Journal { file, epoch })
+        Ok(Journal {
+            file,
+            epoch,
+            len: header.len() as u64,
+            vfs: Arc::clone(vfs),
+        })
     }
 
     /// Opens an existing journal, returning every durable record and
     /// truncating the file at the first torn or corrupt frame.
-    pub(crate) fn open_existing(path: &Path) -> Result<JournalScan, PersistError> {
+    pub(crate) fn open_existing(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+    ) -> Result<JournalScan, PersistError> {
         let mut bytes = Vec::new();
         File::open(path)
             .map_err(PersistError::Io)?
@@ -94,10 +113,15 @@ impl Journal {
         if truncated.is_some() {
             // Cut the torn tail so future appends start at a frame
             // boundary, and make the cut durable.
-            file.set_len(offset as u64).map_err(PersistError::Io)?;
-            file.sync_all().map_err(PersistError::Io)?;
+            vfs.set_len(&file, offset as u64, DiskOp::Truncate)?;
+            vfs.sync_all(&file, DiskOp::Truncate)?;
         }
-        let mut journal = Journal { file, epoch };
+        let mut journal = Journal {
+            file,
+            epoch,
+            len: offset as u64,
+            vfs: Arc::clone(vfs),
+        };
         journal.seek_end(offset)?;
         Ok(JournalScan {
             journal,
@@ -116,15 +140,45 @@ impl Journal {
 
     /// Appends one record payload as a checksummed frame and fsyncs it.
     /// The caller must not mutate session state until this returns `Ok`.
+    ///
+    /// On failure the file is restored to its pre-append length (best
+    /// effort — the open-time scan backstops it), so a partial frame can
+    /// never be buried mid-file by a later successful append.
     pub(crate) fn append(&mut self, payload: &[u8]) -> Result<(), PersistError> {
-        self.write_raw(&encode_frame(payload))
+        let frame = encode_frame(payload);
+        let write = self
+            .vfs
+            .write_all(&mut self.file, &frame, DiskOp::JournalAppend)
+            .and_then(|()| self.vfs.sync_data(&self.file, DiskOp::JournalAppend));
+        match write {
+            Ok(()) => {
+                self.len += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Restore the pre-append length. Deliberately raw file
+                // calls: the vfs fault plan must not fail the cleanup of
+                // the failure it just injected, and if the disk is too
+                // sick even for this, the next open truncates the tear.
+                let _ = self.file.set_len(self.len);
+                let _ = self.file.sync_data();
+                let _ = self.seek_end(self.len as usize);
+                Err(e)
+            }
+        }
     }
 
-    /// Writes raw bytes and fsyncs — also the hook the fault-injection
-    /// harness uses to land a deliberately torn prefix.
+    /// Writes raw bytes and fsyncs — the hook the fault-injection harness
+    /// uses to land a deliberately torn prefix (simulating a crash, so
+    /// *no* truncate-back happens here; the torn bytes must stay for
+    /// recovery to find).
+    #[cfg_attr(not(any(test, feature = "fault-inject")), allow(dead_code))]
     pub(crate) fn write_raw(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
-        self.file.write_all(bytes).map_err(PersistError::Io)?;
-        self.file.sync_data().map_err(PersistError::Io)
+        self.vfs
+            .write_all(&mut self.file, bytes, DiskOp::JournalAppend)?;
+        self.vfs.sync_data(&self.file, DiskOp::JournalAppend)?;
+        self.len += bytes.len() as u64;
+        Ok(())
     }
 
     pub(crate) fn epoch(&self) -> u64 {
@@ -134,6 +188,7 @@ impl Journal {
 
 #[cfg(test)]
 mod tests {
+    use super::super::vfs::RealVfs;
     use super::*;
     use std::path::PathBuf;
 
@@ -145,13 +200,14 @@ mod tests {
 
     #[test]
     fn roundtrip_and_reopen() {
+        let vfs = RealVfs::arc();
         let path = tmp("roundtrip.bin");
-        let mut j = Journal::create(&path, 3).unwrap();
+        let mut j = Journal::create(&vfs, &path, 3).unwrap();
         j.append(b"one").unwrap();
         j.append(b"two").unwrap();
         drop(j);
 
-        let scan = Journal::open_existing(&path).unwrap();
+        let scan = Journal::open_existing(&vfs, &path).unwrap();
         assert_eq!(scan.journal.epoch(), 3);
         assert_eq!(scan.payloads, vec![b"one".to_vec(), b"two".to_vec()]);
         assert!(scan.truncated.is_none());
@@ -160,14 +216,15 @@ mod tests {
         let mut j = scan.journal;
         j.append(b"three").unwrap();
         drop(j);
-        let scan = Journal::open_existing(&path).unwrap();
+        let scan = Journal::open_existing(&vfs, &path).unwrap();
         assert_eq!(scan.payloads.len(), 3);
     }
 
     #[test]
     fn torn_tail_is_truncated_once() {
+        let vfs = RealVfs::arc();
         let path = tmp("torn.bin");
-        let mut j = Journal::create(&path, 0).unwrap();
+        let mut j = Journal::create(&vfs, &path, 0).unwrap();
         j.append(b"keep").unwrap();
         // Simulate a crash mid-append: half a frame lands on disk.
         let torn = encode_frame(b"lost-to-the-crash");
@@ -175,7 +232,7 @@ mod tests {
         drop(j);
 
         let before = std::fs::metadata(&path).unwrap().len();
-        let scan = Journal::open_existing(&path).unwrap();
+        let scan = Journal::open_existing(&vfs, &path).unwrap();
         assert_eq!(scan.payloads, vec![b"keep".to_vec()]);
         assert!(scan.truncated.is_some());
         let after = std::fs::metadata(&path).unwrap().len();
@@ -183,17 +240,18 @@ mod tests {
         drop(scan.journal);
 
         // A second open sees a clean journal.
-        let scan = Journal::open_existing(&path).unwrap();
+        let scan = Journal::open_existing(&vfs, &path).unwrap();
         assert_eq!(scan.payloads, vec![b"keep".to_vec()]);
         assert!(scan.truncated.is_none());
     }
 
     #[test]
     fn bad_magic_rejected() {
+        let vfs = RealVfs::arc();
         let path = tmp("magic.bin");
         std::fs::write(&path, b"NOPE0000000000000000").unwrap();
         assert!(matches!(
-            Journal::open_existing(&path),
+            Journal::open_existing(&vfs, &path),
             Err(PersistError::Corrupt(_))
         ));
     }

@@ -14,11 +14,11 @@
 //! is exactly the double-open-within-one-process case the lock exists to
 //! reject.
 
+use super::vfs::{classify, DiskOp, RealVfs, Vfs};
 use super::PersistError;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const LOCK_FILE: &str = "lock";
+pub(crate) const LOCK_FILE: &str = "lock";
 
 /// A held lock on a store directory; released on drop (best effort — a
 /// crashed owner's lock is detected as stale by the next acquirer).
@@ -42,12 +42,40 @@ fn pid_alive(pid: u32) -> bool {
     }
 }
 
+/// Who (if anyone) holds the lock file in `dir`: `(pid, alive)`. A lock
+/// file whose content does not parse reports `(0, false)` — stale by
+/// definition. `None` when no lock file exists. Read-only: used by scrub
+/// to classify stale locks without stealing them as a side effect.
+pub(crate) fn lock_owner(dir: &Path) -> Option<(u32, bool)> {
+    let path = dir.join(LOCK_FILE);
+    if !path.exists() {
+        return None;
+    }
+    match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+    {
+        Some(pid) => Some((pid, pid_alive(pid))),
+        None => Some((0, false)),
+    }
+}
+
 impl StoreLock {
     /// Acquires the lock for `dir`, creating the directory if needed.
     ///
     /// Fails with [`PersistError::Locked`] when another live process (or
     /// this one) already holds it; steals the lock when its owner is dead.
     pub fn acquire(dir: &Path) -> Result<StoreLock, PersistError> {
+        Self::acquire_on(&RealVfs::arc(), dir)
+    }
+
+    /// [`StoreLock::acquire`] through an explicit [`Vfs`], so the lock
+    /// stamp — also a persist write site — is fault-injectable and fails
+    /// with a typed [`PersistError::Disk`] on a sick disk.
+    pub fn acquire_on(
+        vfs: &std::sync::Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<StoreLock, PersistError> {
         std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
         let path = dir.join(LOCK_FILE);
         // Two attempts: one against the existing file, one after removing
@@ -55,14 +83,20 @@ impl StoreLock {
         // the file atomically (create_new), so the loop cannot livelock —
         // somebody wins each round.
         for _ in 0..2 {
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
+            match vfs.create_new(&path, DiskOp::Lock) {
                 Ok(mut f) => {
-                    let _ = writeln!(f, "{}", std::process::id());
-                    let _ = f.sync_all();
+                    // The stamp must land before the lock is considered
+                    // held: an empty lock file reads as stale and would
+                    // be stolen out from under us.
+                    let stamp = format!("{}\n", std::process::id());
+                    let write = vfs
+                        .write_all(&mut f, stamp.as_bytes(), DiskOp::Lock)
+                        .and_then(|()| vfs.sync_all(&f, DiskOp::Lock));
+                    if let Err(e) = write {
+                        drop(f);
+                        let _ = std::fs::remove_file(&path);
+                        return Err(e);
+                    }
                     return Ok(StoreLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
@@ -85,7 +119,7 @@ impl StoreLock {
                         }
                     }
                 }
-                Err(e) => return Err(PersistError::Io(e)),
+                Err(e) => return Err(classify(DiskOp::Lock, e)),
             }
         }
         Err(PersistError::Locked {

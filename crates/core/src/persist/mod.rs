@@ -24,7 +24,15 @@
 //! * [`lock`] — a pid-stamped lock file guarding each store directory
 //!   against concurrent writers (stale locks from killed owners are
 //!   detected and stolen), plus name→directory resolution for stores
-//!   addressed by session name under a common root.
+//!   addressed by session name under a common root;
+//! * [`vfs`] — the injectable filesystem layer every persist *write*
+//!   funnels through, classifying failures (ENOSPC, EIO, short write,
+//!   failed rename) into typed [`PersistError::Disk`] errors and — under
+//!   `fault-inject` — failing any chosen write site on demand;
+//! * [`scrub`] — the fsck for store directories: walk both generations,
+//!   verify every CRC frame, classify damage (torn tail, bit flip,
+//!   missing generation, orphan tmp, stale lock), and optionally repair
+//!   back to the newest provably-consistent state.
 //!
 //! A store directory holds up to two *generations* of files,
 //! `snapshot-<epoch>.bin` / `journal-<epoch>.bin`: saving folds the
@@ -35,17 +43,21 @@
 pub mod frame;
 pub mod journal;
 pub mod lock;
+pub mod scrub;
 pub mod snapshot;
 pub mod store;
 pub mod tail;
+pub mod vfs;
 
 pub use frame::crc32;
 pub use lock::{session_store_dir, StoreLock};
+pub use scrub::{scrub, ScrubClass, ScrubFinding, ScrubReport};
 pub use store::{
     decode_record, install_snapshot_bytes, replay_record, store_exists, JournalRecord,
     RecoveryReport, SessionStore,
 };
 pub use tail::{JournalTailer, TailBatch, TailResult, Watermark};
+pub use vfs::{disk_free, DiskErrorKind, DiskOp, RealVfs, Vfs};
 
 use std::fmt;
 
@@ -54,6 +66,20 @@ use std::fmt;
 pub enum PersistError {
     /// The underlying filesystem operation failed.
     Io(std::io::Error),
+    /// A persist *write site* failed in a disk-shaped way (ENOSPC, EIO,
+    /// short write, failed rename). Unlike [`PersistError::Io`], the
+    /// operation is named, so a server can refuse further mutations with
+    /// "degraded: journal-append failed (no space left on device)" and a
+    /// probe can test exactly the failed class before re-admitting
+    /// writes. The pre-write state is intact: a failed journal append is
+    /// truncated back, a failed snapshot write leaves the previous
+    /// generation untouched.
+    Disk {
+        /// Which write site failed.
+        op: vfs::DiskOp,
+        /// How it failed.
+        kind: vfs::DiskErrorKind,
+    },
     /// A file exists but its content is torn, checksum-invalid, or
     /// structurally impossible.
     Corrupt(String),
@@ -81,6 +107,9 @@ impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Disk { op, kind } => {
+                write!(f, "disk error during {op}: {kind}")
+            }
             PersistError::Corrupt(m) => write!(f, "corrupt store: {m}"),
             PersistError::Codec(m) => write!(f, "codec error: {m}"),
             PersistError::Replay(m) => write!(f, "replay error: {m}"),

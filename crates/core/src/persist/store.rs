@@ -23,6 +23,7 @@
 use super::frame::{atomic_write, read_file_opt};
 use super::journal::Journal;
 use super::snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot};
+use super::vfs::{DiskOp, RealVfs, Vfs};
 use super::PersistError;
 use crate::engine::EvalStats;
 use crate::feature::{FeatureDef, FeatureRegistry};
@@ -34,12 +35,11 @@ use crate::session::{DebugSession, SessionError, SessionSnapshot};
 use crate::simplify::SimplifyReport;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "fault-inject")]
 use crate::fault::{AppendFault, IoFaultPlan, SnapshotFault};
-#[cfg(feature = "fault-inject")]
-use std::sync::Arc;
 
 /// Journal records autosave tolerates before folding them into a fresh
 /// snapshot. Every record replays in delta time, so this bounds recovery
@@ -160,6 +160,9 @@ impl fmt::Display for RecoveryReport {
 #[derive(Debug)]
 struct Backend {
     dir: PathBuf,
+    /// The filesystem every write goes through (real in production, a
+    /// fault-injecting wrapper under test).
+    vfs: Arc<dyn Vfs>,
     journal: Journal,
     /// Current generation: the epoch of the newest snapshot.
     epoch: u64,
@@ -236,6 +239,16 @@ impl SessionStore {
     /// already hold one), snapshotting the session's current state as
     /// epoch 0.
     pub fn create(dir: &Path, session: DebugSession) -> Result<Self, PersistError> {
+        Self::create_on(RealVfs::arc(), dir, session)
+    }
+
+    /// [`SessionStore::create`] through an explicit [`Vfs`] — the entry
+    /// point fault-injection harnesses use to make any write site fail.
+    pub fn create_on(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        session: DebugSession,
+    ) -> Result<Self, PersistError> {
         std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
         if store_exists(dir)? {
             return Err(PersistError::InvalidState(format!(
@@ -244,13 +257,14 @@ impl SessionStore {
             )));
         }
         let bytes = encode_snapshot(&session, 0)?;
-        atomic_write(&snapshot_path(dir, 0), &bytes)?;
-        let journal = Journal::create(&journal_path(dir, 0), 0)?;
+        atomic_write(vfs.as_ref(), &snapshot_path(dir, 0), &bytes)?;
+        let journal = Journal::create(&vfs, &journal_path(dir, 0), 0)?;
         let journaled_features = session.context().registry().len();
         Ok(SessionStore {
             session,
             backend: Some(Backend {
                 dir: dir.to_path_buf(),
+                vfs,
                 journal,
                 epoch: 0,
                 records_since_save: 0,
@@ -271,6 +285,15 @@ impl SessionStore {
     /// journal suffix through the incremental engine. The journal is
     /// truncated at the first torn or corrupt frame.
     pub fn open(dir: &Path, session: DebugSession) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::open_on(RealVfs::arc(), dir, session)
+    }
+
+    /// [`SessionStore::open`] through an explicit [`Vfs`].
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        session: DebugSession,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
         let t0 = Instant::now();
         if !session.function().is_empty()
             || !session.history().is_empty()
@@ -311,6 +334,18 @@ impl SessionStore {
                 Err(_) => snapshots_skipped += 1,
             }
         }
+        if !snapshots.is_empty() && snapshot_epoch.is_none() {
+            // Every generation on disk is corrupt. Replaying journals
+            // over an *empty* session would silently reconstruct a state
+            // that never existed (the journals are suffixes, not the full
+            // history) — refuse with a typed error instead.
+            return Err(PersistError::Corrupt(format!(
+                "all {} snapshot generation(s) in {} are corrupt; run `scrub --repair` to \
+                 salvage what the journals allow, or restore from a replica",
+                snapshots.len(),
+                dir.display()
+            )));
+        }
 
         // Replay the journal suffix. The session's deadline is lifted for
         // the duration: replay must terminate even under a budget that
@@ -327,7 +362,26 @@ impl SessionStore {
             .filter(|&e| snapshot_epoch.is_none_or(|s| e >= s))
             .collect();
         for (i, &epoch) in relevant.iter().enumerate() {
-            let scan = Journal::open_existing(&journal_path(dir, epoch))?;
+            let scan = match Journal::open_existing(&vfs, &journal_path(dir, epoch)) {
+                Ok(scan) => scan,
+                Err(PersistError::Io(e)) => return Err(PersistError::Io(e)),
+                Err(e) => {
+                    // An unreadable journal header — a crash or disk
+                    // fault struck during `Journal::create`, before any
+                    // record could have been appended — is a tear at
+                    // offset zero: nothing in this generation or later
+                    // is reachable. Drop the files so the next open is
+                    // clean.
+                    journal_truncated = Some(format!(
+                        "journal epoch {epoch} unreadable ({e}); dropped it and {} later journal(s)",
+                        relevant.len() - i - 1
+                    ));
+                    for &later in &relevant[i..] {
+                        let _ = std::fs::remove_file(journal_path(dir, later));
+                    }
+                    break;
+                }
+            };
             for payload in &scan.payloads {
                 let record = decode_record(payload)?;
                 if apply_record(&mut session, &record).is_err() {
@@ -359,13 +413,14 @@ impl SessionStore {
                 let e = j.epoch().max(base);
                 (j, e)
             }
-            None => (Journal::create(&journal_path(dir, base), base)?, base),
+            None => (Journal::create(&vfs, &journal_path(dir, base), base)?, base),
         };
         let journaled_features = session.context().registry().len();
         let store = SessionStore {
             session,
             backend: Some(Backend {
                 dir: dir.to_path_buf(),
+                vfs,
                 journal,
                 epoch,
                 records_since_save: 0,
@@ -391,11 +446,20 @@ impl SessionStore {
         dir: &Path,
         session: DebugSession,
     ) -> Result<(Self, Option<RecoveryReport>), PersistError> {
+        Self::attach_on(RealVfs::arc(), dir, session)
+    }
+
+    /// [`SessionStore::attach`] through an explicit [`Vfs`].
+    pub fn attach_on(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        session: DebugSession,
+    ) -> Result<(Self, Option<RecoveryReport>), PersistError> {
         if store_exists(dir)? {
-            let (store, report) = Self::open(dir, session)?;
+            let (store, report) = Self::open_on(vfs, dir, session)?;
             Ok((store, Some(report)))
         } else {
-            Ok((Self::create(dir, session)?, None))
+            Ok((Self::create_on(vfs, dir, session)?, None))
         }
     }
 
@@ -450,6 +514,46 @@ impl SessionStore {
         }
     }
 
+    /// Tests whether the store directory accepts writes again: a small
+    /// create + fsync + remove through the store's [`Vfs`], tagged
+    /// [`DiskOp::Probe`]. This is how a degraded server decides the disk
+    /// has recovered. Ephemeral stores trivially succeed.
+    pub fn probe_write(&self) -> Result<(), PersistError> {
+        let Some(b) = self.backend.as_ref() else {
+            return Ok(());
+        };
+        let path = b.dir.join("probe.tmp");
+        let result = (|| {
+            let mut f = b.vfs.create(&path, DiskOp::Probe)?;
+            b.vfs.write_all(&mut f, b"probe\n", DiskOp::Probe)?;
+            b.vfs.sync_all(&f, DiskOp::Probe)
+        })();
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+
+    /// On-disk footprint of this store: `(snapshot_bytes, journal_bytes)`
+    /// summed over every generation present. `(0, 0)` for ephemeral
+    /// stores and on any listing error (the numbers are advisory — they
+    /// feed `status`, not correctness).
+    pub fn usage(&self) -> (u64, u64) {
+        let Some(dir) = self.store_dir() else {
+            return (0, 0);
+        };
+        let size_of = |path: PathBuf| std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let sum = |prefix: &str, path_of: fn(&Path, u64) -> PathBuf| -> u64 {
+            list_epochs(dir, prefix)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|e| size_of(path_of(dir, e)))
+                .sum()
+        };
+        (
+            sum("snapshot-", snapshot_path),
+            sum("journal-", journal_path),
+        )
+    }
+
     // ---- compaction -------------------------------------------------------
 
     /// Folds the journal into a fresh snapshot at the next epoch and
@@ -484,8 +588,36 @@ impl SessionStore {
                 }
             }
         }
-        atomic_write(&snapshot_path(&b.dir, new_epoch), &bytes)?;
-        b.journal = Journal::create(&journal_path(&b.dir, new_epoch), new_epoch)?;
+        // Order matters on a failing disk: the new generation's journal
+        // must exist *before* its snapshot becomes visible. If the
+        // snapshot landed first and the journal create then failed, the
+        // live store would keep appending acked edits to the OLD journal
+        // — which recovery ignores once a newer snapshot exists, silently
+        // losing them. The reverse failure is harmless: an empty
+        // journal-(e+1) beside snapshot-e replays nothing.
+        let journal = Journal::create(&b.vfs, &journal_path(&b.dir, new_epoch), new_epoch)?;
+        if let Err(e) = atomic_write(b.vfs.as_ref(), &snapshot_path(&b.dir, new_epoch), &bytes) {
+            // Roll back so the on-disk best generation stays `epoch`.
+            // Cleanup is raw `std::fs` — the vfs fault plan must not fail
+            // its own recovery. The failure may have struck AFTER the
+            // rename (e.g. the directory fsync): then snapshot-(e+1) is
+            // already visible and complete, and removing the journal
+            // while leaving the snapshot would strand every later append
+            // to journal-e. So: remove the snapshot first, and if it is
+            // visible but unremovable, commit forward instead — live
+            // appends must land in the generation recovery will read.
+            let final_path = snapshot_path(&b.dir, new_epoch);
+            if final_path.exists() && std::fs::remove_file(&final_path).is_err() {
+                b.journal = journal;
+                b.epoch = new_epoch;
+                b.records_since_save = 0;
+                b.journaled_features = self.session.context().registry().len();
+            } else {
+                let _ = std::fs::remove_file(journal_path(&b.dir, new_epoch));
+            }
+            return Err(e);
+        }
+        b.journal = journal;
         let prune_below = b.epoch;
         b.epoch = new_epoch;
         b.records_since_save = 0;

@@ -251,6 +251,7 @@ impl JournalTailer {
 mod tests {
     use super::super::frame::encode_frame;
     use super::super::journal::Journal;
+    use super::super::vfs::RealVfs;
     use super::*;
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -284,7 +285,7 @@ mod tests {
     #[test]
     fn tails_frames_and_advances_watermark() {
         let dir = tmp_dir("basic");
-        let mut j = Journal::create(&journal_path(&dir, 0), 0).unwrap();
+        let mut j = Journal::create(&RealVfs::arc(), &journal_path(&dir, 0), 0).unwrap();
         j.append(b"one").unwrap();
         j.append(b"two").unwrap();
 
@@ -310,7 +311,7 @@ mod tests {
     #[test]
     fn max_limits_batch_and_reports_lag() {
         let dir = tmp_dir("max");
-        let mut j = Journal::create(&journal_path(&dir, 0), 0).unwrap();
+        let mut j = Journal::create(&RealVfs::arc(), &journal_path(&dir, 0), 0).unwrap();
         for i in 0..5 {
             j.append(format!("r{i}").as_bytes()).unwrap();
         }
@@ -329,7 +330,7 @@ mod tests {
     #[test]
     fn torn_tail_is_end_of_durable_data_not_truncated() {
         let dir = tmp_dir("torn");
-        let mut j = Journal::create(&journal_path(&dir, 0), 0).unwrap();
+        let mut j = Journal::create(&RealVfs::arc(), &journal_path(&dir, 0), 0).unwrap();
         j.append(b"keep").unwrap();
         let torn = encode_frame(b"in-flight");
         j.write_raw(&torn[..torn.len() / 2]).unwrap();
@@ -352,12 +353,12 @@ mod tests {
     #[test]
     fn crosses_compaction_boundary() {
         let dir = tmp_dir("compaction");
-        let mut j0 = Journal::create(&journal_path(&dir, 0), 0).unwrap();
+        let mut j0 = Journal::create(&RealVfs::arc(), &journal_path(&dir, 0), 0).unwrap();
         j0.append(b"e0-a").unwrap();
         j0.append(b"e0-b").unwrap();
         drop(j0);
         // "save()" happened: a fresh journal opens at epoch 1.
-        let mut j1 = Journal::create(&journal_path(&dir, 1), 1).unwrap();
+        let mut j1 = Journal::create(&RealVfs::arc(), &journal_path(&dir, 1), 1).unwrap();
 
         let tailer = JournalTailer::new(&dir);
         // A watermark mid-epoch-0 picks up the epoch-0 remainder and lands
@@ -386,7 +387,7 @@ mod tests {
     #[test]
     fn diverged_watermark_is_too_old() {
         let dir = tmp_dir("diverged");
-        let mut j = Journal::create(&journal_path(&dir, 0), 0).unwrap();
+        let mut j = Journal::create(&RealVfs::arc(), &journal_path(&dir, 0), 0).unwrap();
         j.append(b"only").unwrap();
         let tailer = JournalTailer::new(&dir);
         // Claims a generation that does not exist.

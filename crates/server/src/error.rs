@@ -43,6 +43,15 @@ pub enum ServerError {
         /// Suggested client back-off before retrying.
         retry_after_ms: u64,
     },
+    /// A persist write failed on this session's store, flipping it into
+    /// degraded (read-only) mode: reads, `explain`, and `lint` keep
+    /// serving; mutations are refused until a probe write succeeds.
+    Degraded {
+        /// The persist write site that failed (e.g. `journal-append`).
+        op: String,
+    },
+    /// A response payload exceeded the wire's frame cap.
+    TooLarge(String),
     /// A socket-level failure on this connection.
     Io(std::io::Error),
 }
@@ -75,6 +84,12 @@ impl fmt::Display for ServerError {
                 "overloaded: command shed after {queued_ms} ms in queue; retry after \
                  {retry_after_ms} ms"
             ),
+            ServerError::Degraded { op } => write!(
+                f,
+                "degraded: {op} failed on this session's store; serving reads only until a \
+                 probe write succeeds (free disk space or `scrub --repair`, then retry)"
+            ),
+            ServerError::TooLarge(m) => write!(f, "too_large: {m}"),
             ServerError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

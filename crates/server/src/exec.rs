@@ -242,6 +242,16 @@ pub struct StatusLine {
     pub lag: Option<u64>,
     /// Commands shed by admission control since startup (whole server).
     pub shed: u64,
+    /// Bytes across all snapshot generations on disk (0 when ephemeral).
+    pub store_bytes: u64,
+    /// Bytes across all journal generations on disk (0 when ephemeral).
+    pub journal_bytes: u64,
+    /// Free bytes on the filesystem holding the store (`None` when
+    /// ephemeral or when the platform offers no probe).
+    pub disk_free: Option<u64>,
+    /// The persist write site whose failure flipped this session into
+    /// degraded (read-only) mode; `None` when healthy.
+    pub degraded: Option<String>,
 }
 
 /// Serializes a `sessions` listing as JSONL, one row per line. An empty
@@ -289,6 +299,7 @@ pub fn mutates(cmd: &Command) -> bool {
         Command::Help
         | Command::ListRules
         | Command::Lint
+        | Command::Status
         | Command::Matches(_)
         | Command::Explain(_)
         | Command::NearMisses(..)
@@ -601,6 +612,30 @@ pub fn execute(
                 ));
             }
             Ok(text(out))
+        }
+        Command::Status => {
+            // The full status line (role, lag, degraded state) is
+            // assembled by the session manager, which owns that context;
+            // this level reports the store's own disk footprint.
+            let (store_bytes, journal_bytes) = store.usage();
+            #[derive(serde::Serialize)]
+            struct StoreStatus {
+                event: String,
+                epoch: Option<u64>,
+                journal_records: usize,
+                store_bytes: u64,
+                journal_bytes: u64,
+                disk_free: Option<u64>,
+            }
+            Ok(serde_json::to_string(&StoreStatus {
+                event: "status".to_string(),
+                epoch: store.epoch(),
+                journal_records: store.records_since_save(),
+                store_bytes,
+                journal_bytes,
+                disk_free: store.store_dir().and_then(em_core::disk_free),
+            })
+            .expect("StoreStatus serializes"))
         }
         Command::MemoryReport => {
             let m = store.session().memory_report();

@@ -33,6 +33,8 @@ pub struct LoadReport {
     pub refused: usize,
     /// `err` frames that were `overloaded:` queue sheds.
     pub shed: usize,
+    /// `err` frames that were `degraded:` disk-failure refusals.
+    pub degraded: usize,
     /// Transport-level recoveries: reconnect-and-resend plus
     /// reconnect-and-resume, summed across clients.
     pub retried: usize,
@@ -53,7 +55,7 @@ impl std::fmt::Display for LoadReport {
         write!(
             f,
             "{} clients: {} edits in {:?} ({:.0} edits/s), p50 {:?} p95 {:?} p99 {:?}, \
-             {} errors ({} busy, {} shed), {} retried",
+             {} errors ({} busy, {} shed, {} degraded), {} retried",
             self.clients,
             self.edits,
             self.elapsed,
@@ -64,6 +66,7 @@ impl std::fmt::Display for LoadReport {
             self.errors,
             self.refused,
             self.shed,
+            self.degraded,
             self.retried
         )
     }
@@ -84,6 +87,7 @@ struct WorkerTally {
     errors: usize,
     refused: usize,
     shed: usize,
+    degraded: usize,
     retried: usize,
 }
 
@@ -125,6 +129,8 @@ pub fn run_load(
                             tally.refused += 1;
                         } else if payload.starts_with("overloaded:") {
                             tally.shed += 1;
+                        } else if payload.starts_with("degraded:") {
+                            tally.degraded += 1;
                         }
                     }
                     Ok::<(), crate::client::ClientError>(())
@@ -144,7 +150,7 @@ pub fn run_load(
         ));
     }
     let mut latencies = Vec::new();
-    let (mut errors, mut refused, mut shed, mut retried) = (0, 0, 0, 0);
+    let (mut errors, mut refused, mut shed, mut degraded, mut retried) = (0, 0, 0, 0, 0);
     for w in workers {
         let tally = w
             .join()
@@ -153,6 +159,7 @@ pub fn run_load(
         errors += tally.errors;
         refused += tally.refused;
         shed += tally.shed;
+        degraded += tally.degraded;
         retried += tally.retried;
     }
     let elapsed = start.elapsed();
@@ -164,6 +171,7 @@ pub fn run_load(
         errors,
         refused,
         shed,
+        degraded,
         retried,
         elapsed,
         p50: percentile(&latencies, 0.50),

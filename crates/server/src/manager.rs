@@ -28,7 +28,8 @@ use em_blocking::Blocker;
 use em_core::persist::{session_store_dir, store_exists, StoreLock};
 use em_core::{
     install_snapshot_bytes, replay_record, CancelToken, Command, DebugSession, JournalRecord,
-    JournalTailer, SessionConfig, SessionStore, Watermark,
+    JournalTailer, PersistError, RealVfs, SessionConfig, SessionError, SessionStore, Vfs,
+    Watermark,
 };
 use em_types::{CandidateSet, LabeledPair, Table};
 use std::collections::HashMap;
@@ -160,11 +161,15 @@ pub enum Role {
     },
 }
 
-/// One replica session's replication progress.
+/// One replica session's replication progress. `behind` stays `None`
+/// from snapshot bootstrap until the first `replicate` round reports how
+/// many durable frames the leader holds past the watermark — claiming
+/// zero lag before that measurement would let clients polling for
+/// `"lag":0` proceed against a replica that has applied nothing yet.
 #[derive(Debug, Clone, Copy)]
 struct ReplicaProgress {
     watermark: Watermark,
-    behind: u64,
+    behind: Option<u64>,
 }
 
 /// Operational state beside the session registry: replication role,
@@ -174,6 +179,13 @@ struct Ops {
     role: Role,
     replicas: HashMap<String, ReplicaProgress>,
     admission: Option<Arc<AdmissionQueue>>,
+    /// Sessions whose last persist write failed, keyed by name, holding
+    /// the failed [`em_core::DiskOp`]'s name. A degraded session serves
+    /// reads but refuses mutations until a probe write succeeds.
+    degraded: HashMap<String, String>,
+    /// The filesystem every durable store writes through. `RealVfs` in
+    /// production; fault-injection tests swap in a failing one.
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Owns every named session; see the module docs.
@@ -221,6 +233,8 @@ impl SessionManager {
                 role: Role::Leader,
                 replicas: HashMap::new(),
                 admission: None,
+                degraded: HashMap::new(),
+                vfs: RealVfs::arc(),
             }),
         }
     }
@@ -282,9 +296,10 @@ impl SessionManager {
             let mut state = lock_state(&slot);
             match &dir {
                 Some(dir) => {
-                    let lock = StoreLock::acquire(dir).map_err(ServerError::Persist)?;
+                    let vfs = self.vfs();
+                    let lock = StoreLock::acquire_on(&vfs, dir).map_err(ServerError::Persist)?;
                     state.store = Some(
-                        SessionStore::create(dir, self.template.fresh())
+                        SessionStore::create_on(vfs, dir, self.template.fresh())
                             .map_err(ServerError::Persist)?,
                     );
                     state.lock = Some(lock);
@@ -365,9 +380,10 @@ impl SessionManager {
             return Err(ServerError::UnknownSession(slot.name.clone()));
         };
         let dir = session_store_dir(root, &slot.name).map_err(ServerError::Persist)?;
-        let lock = StoreLock::acquire(&dir).map_err(ServerError::Persist)?;
-        let (store, report) =
-            SessionStore::open(&dir, self.template.fresh()).map_err(ServerError::Persist)?;
+        let vfs = self.vfs();
+        let lock = StoreLock::acquire_on(&vfs, &dir).map_err(ServerError::Persist)?;
+        let (store, report) = SessionStore::open_on(vfs, &dir, self.template.fresh())
+            .map_err(ServerError::Persist)?;
         state.store = Some(store);
         state.lock = Some(lock);
         Ok(Some(report.to_string()))
@@ -400,8 +416,40 @@ impl SessionManager {
 
     /// Executes one grammar command against the named session, returning
     /// the porcelain JSON payload.
+    ///
+    /// Disk-failure state machine: a mutating command whose persist write
+    /// fails flips the session *degraded* — reads, `explain`, and `lint`
+    /// keep serving, but further mutations are refused with a typed
+    /// `degraded:` error naming the failed write site. Each refused
+    /// mutation first probes the store directory with a tiny
+    /// write+fsync; the first probe that succeeds (space freed, disk
+    /// replaced) flips the session healthy again and the command runs.
     pub fn execute(&self, name: &str, cmd: &Command) -> Result<String, ServerError> {
-        self.with_session(name, |store, labels| exec::execute(store, labels, cmd))?
+        let mutating = exec::mutates(cmd);
+        if mutating {
+            if let Some(op) = self.degraded_op(name) {
+                let recovered = self.with_session(name, |store, _| store.probe_write().is_ok())?;
+                if !recovered {
+                    return Err(ServerError::Degraded { op });
+                }
+                self.ops().degraded.remove(name);
+            }
+        }
+        let result = self.with_session(name, |store, labels| exec::execute(store, labels, cmd))?;
+        if mutating {
+            if let Err(e) = &result {
+                if let Some(op) = disk_op_of(e) {
+                    self.ops().degraded.insert(name.to_string(), op);
+                }
+            }
+        }
+        result
+    }
+
+    /// The failed write site that put `name` into degraded mode, when it
+    /// is degraded.
+    pub fn degraded_op(&self, name: &str) -> Option<String> {
+        self.ops().degraded.get(name).cloned()
     }
 
     /// The named session's cancel token (for disconnect watchdogs).
@@ -414,21 +462,28 @@ impl SessionManager {
     /// the follower is behind the leader's durable journal), and the
     /// admission queue's shed count.
     pub fn status_json(&self, name: &str) -> Result<String, ServerError> {
-        let (role, leader, lag, shed) = {
+        let (role, leader, lag, shed, degraded) = {
             let ops = self.ops();
             let (role, leader) = match &ops.role {
                 Role::Leader => ("leader".to_string(), None),
                 Role::Follower { leader } => ("follower".to_string(), Some(leader.clone())),
             };
+            // A follower that has not measured this session's lag yet
+            // (or never bootstrapped it) reports `null`, never a false
+            // zero — `wait for "lag":0` is the documented convergence
+            // probe, and it must not pass before the first replicate
+            // round has actually caught the replica up.
             let lag = match &ops.role {
                 Role::Leader => None,
-                Role::Follower { .. } => Some(ops.replicas.get(name).map_or(0, |p| p.behind)),
+                Role::Follower { .. } => ops.replicas.get(name).and_then(|p| p.behind),
             };
             let shed = ops.admission.as_ref().map_or(0, |a| a.snapshot().shed);
-            (role, leader, lag, shed)
+            let degraded = ops.degraded.get(name).cloned();
+            (role, leader, lag, shed, degraded)
         };
         self.with_session(name, |store, _| {
             let s = store.session();
+            let (store_bytes, journal_bytes) = store.usage();
             exec::status_json(exec::StatusLine {
                 event: "status".to_string(),
                 name: name.to_string(),
@@ -443,6 +498,10 @@ impl SessionManager {
                 leader,
                 lag,
                 shed,
+                store_bytes,
+                journal_bytes,
+                disk_free: store.store_dir().and_then(em_core::disk_free),
+                degraded,
             })
         })
     }
@@ -602,6 +661,18 @@ impl SessionManager {
         self.ops().admission = Some(queue);
     }
 
+    /// The [`Vfs`] durable stores write through.
+    fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.ops().vfs)
+    }
+
+    /// Swaps the [`Vfs`] every *subsequently opened* store writes through
+    /// — the hook fault-injection tests use to make a session's disk
+    /// fail. Already-resident stores keep the vfs they were opened with.
+    pub fn set_vfs(&self, vfs: Arc<dyn Vfs>) {
+        self.ops().vfs = vfs;
+    }
+
     /// A snapshot of the admission counters, when a queue is wired in.
     pub fn admission_snapshot(&self) -> Option<AdmissionSnapshot> {
         let ops = self.ops();
@@ -616,16 +687,19 @@ impl SessionManager {
 
     /// Records replication progress for a replica session. `behind` is
     /// how many durable frames the leader still holds past the watermark
-    /// — the session's replication lag.
-    pub fn set_replica_watermark(&self, name: &str, watermark: Watermark, behind: u64) {
+    /// — the session's replication lag — or `None` right after a
+    /// snapshot bootstrap, before any `replicate` round has measured it.
+    pub fn set_replica_watermark(&self, name: &str, watermark: Watermark, behind: Option<u64>) {
         self.ops()
             .replicas
             .insert(name.to_string(), ReplicaProgress { watermark, behind });
     }
 
-    /// A replica session's replication lag in frames, when known.
+    /// A replica session's replication lag in frames. `None` until the
+    /// first `replicate` round against the leader has measured it — a
+    /// freshly bootstrapped replica's lag is unknown, not zero.
     pub fn replication_lag(&self, name: &str) -> Option<u64> {
-        self.ops().replicas.get(name).map(|p| p.behind)
+        self.ops().replicas.get(name).and_then(|p| p.behind)
     }
 
     /// Installs a leader-shipped snapshot as a fresh *ephemeral* replica
@@ -699,11 +773,116 @@ impl SessionManager {
             .newest_snapshot()
             .map_err(ServerError::Persist)?
         {
-            Some((epoch, bytes)) => Ok(crate::replica::encode_snapshot_response(epoch, &bytes)),
+            Some((epoch, bytes)) => {
+                // The whole snapshot ships base64 in ONE response frame;
+                // a snapshot that cannot fit must be refused with a typed
+                // error, not shipped as a frame the client will reject
+                // mid-read (`read_frame` hard-fails past MAX_FRAME).
+                let b64_len = bytes.len().div_ceil(3) * 4;
+                const ENVELOPE: usize = 256; // JSON field names, epoch, crc
+                if b64_len + ENVELOPE > crate::proto::MAX_FRAME {
+                    return Err(ServerError::TooLarge(format!(
+                        "snapshot of {name} is {} bytes ({b64_len} base64-encoded), over the \
+                         {}-byte response frame cap; copy the store directory or restore from \
+                         a filesystem backup instead",
+                        bytes.len(),
+                        crate::proto::MAX_FRAME
+                    )));
+                }
+                Ok(crate::replica::encode_snapshot_response(epoch, &bytes))
+            }
             None => Err(ServerError::Unsupported(format!(
                 "no usable snapshot on disk for {name} yet"
             ))),
         }
+    }
+
+    /// Runs an integrity scrub over the named session's store directory
+    /// — both snapshot generations and every journal CRC frame — and
+    /// returns the report as JSON. The session is dropped from residency
+    /// first *without* a save (a failing disk is exactly when scrub runs,
+    /// and the journal already holds every acked edit) so scrub can take
+    /// the directory lock. With `repair`, the newest provably consistent
+    /// state is restored on disk; the next `attach` recovers from it.
+    pub fn scrub_json(&self, name: &str, repair: bool) -> Result<String, ServerError> {
+        let dir = self.durable_dir(name)?;
+        if let Some(slot) = self.registry().get(name).cloned() {
+            let mut state = lock_state(&slot);
+            state.store = None;
+            state.lock = None;
+        }
+        let report = em_core::scrub(&dir, repair).map_err(ServerError::Persist)?;
+        #[derive(serde::Serialize)]
+        struct ScrubLine {
+            event: String,
+            dir: String,
+            repair: bool,
+            findings: Vec<em_core::ScrubFinding>,
+            snapshots_valid: Vec<u64>,
+            journals_valid: Vec<u64>,
+            frames_verified: u64,
+            serviceable: bool,
+        }
+        Ok(serde_json::to_string(&ScrubLine {
+            event: "scrub".to_string(),
+            dir: report.dir,
+            repair: report.repair,
+            findings: report.findings,
+            snapshots_valid: report.snapshots_valid,
+            journals_valid: report.journals_valid,
+            frames_verified: report.frames_verified,
+            serviceable: report.serviceable,
+        })
+        .expect("ScrubLine serializes"))
+    }
+
+    /// Drain for a planned shutdown: settles every parked edit with the
+    /// deadline lifted, folds each durable session's journal into a fresh
+    /// snapshot, and releases the store locks — so acked edits are never
+    /// lost to a planned restart and the next process can take the locks
+    /// immediately. Returns `(sessions, saved, notes)`; a session whose
+    /// save fails stays journaled on disk (nothing acked is lost) and is
+    /// named in `notes`.
+    pub fn drain(&self) -> (usize, usize, Vec<String>) {
+        let slots: Vec<Arc<Slot>> = self.registry().values().cloned().collect();
+        let mut sessions = 0usize;
+        let mut saved = 0usize;
+        let mut notes: Vec<String> = Vec::new();
+        for slot in slots {
+            let mut state = lock_state(&slot);
+            let Some(store) = state.store.as_mut() else {
+                continue;
+            };
+            sessions += 1;
+            let saved_deadline = store.session().config().deadline;
+            store.session_mut().set_deadline(None);
+            while store.session().pending_resume().is_some() {
+                match store.resume() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        notes.push(format!("{}: settle failed: {e}", slot.name));
+                        break;
+                    }
+                }
+            }
+            store.session_mut().set_deadline(saved_deadline);
+            if store.store_dir().is_none() {
+                continue; // ephemeral: nothing durable to fold or unlock
+            }
+            match store.save() {
+                Ok(_) => {
+                    saved += 1;
+                    state.store = None;
+                    state.lock = None;
+                }
+                Err(e) => notes.push(format!(
+                    "{}: save failed: {e} (journal still holds every acked edit)",
+                    slot.name
+                )),
+            }
+        }
+        (sessions, saved, notes)
     }
 
     /// Resolves a session's durable directory or explains why replication
@@ -838,4 +1017,20 @@ impl SessionManager {
 /// in-memory half is suspect.
 fn lock_state(slot: &Slot) -> MutexGuard<'_, Resident> {
     slot.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The failed [`em_core::DiskOp`]'s name when `e` is (or wraps) a typed
+/// disk error — the signal that flips a session into degraded mode.
+/// Injected faults count too: the fault harness exists to prove exactly
+/// this path.
+fn disk_op_of(e: &ServerError) -> Option<String> {
+    let persist = match e {
+        ServerError::Persist(p) => p,
+        ServerError::Session(SessionError::Persist(p)) => p,
+        _ => return None,
+    };
+    match persist {
+        PersistError::Disk { op, .. } => Some(op.to_string()),
+        _ => None,
+    }
 }

@@ -78,6 +78,20 @@ pub enum Request {
     /// `promote` — flip this follower to leader: stop replicating, settle
     /// parked work, take the store locks, accept mutations.
     Promote,
+    /// `scrub <session> [--repair]` — walk the named session's store
+    /// (both snapshot generations + journals), verify every CRC frame,
+    /// and report findings; with `--repair`, restore the newest provably
+    /// consistent state.
+    Scrub {
+        /// Session whose store directory to scrub.
+        name: String,
+        /// Whether to repair findings instead of just reporting them.
+        repair: bool,
+    },
+    /// `shutdown` — drain the server: stop accepting new connections,
+    /// settle parked edits, snapshot every resident session, release the
+    /// store locks, exit.
+    Shutdown,
     /// Any command of the shared REPL grammar, run on the attached
     /// session.
     Cmd(Command),
@@ -138,6 +152,21 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         }
         "snapshot" => Request::Snapshot(named("session name")?),
         "promote" => Request::Promote,
+        "scrub" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                [name] => Request::Scrub {
+                    name: name.to_string(),
+                    repair: false,
+                },
+                [name, "--repair"] => Request::Scrub {
+                    name: name.to_string(),
+                    repair: true,
+                },
+                _ => return Err("scrub: expected <session> [--repair]".to_string()),
+            }
+        }
+        "shutdown" => Request::Shutdown,
         _ => match command::parse(trimmed)? {
             Some(cmd) => Request::Cmd(cmd),
             None => return Ok(None),
@@ -251,6 +280,23 @@ mod tests {
             Some(Request::Snapshot("alice".into()))
         );
         assert_eq!(parse_request("promote").unwrap(), Some(Request::Promote));
+        assert_eq!(
+            parse_request("scrub alice").unwrap(),
+            Some(Request::Scrub {
+                name: "alice".into(),
+                repair: false,
+            })
+        );
+        assert_eq!(
+            parse_request("scrub alice --repair").unwrap(),
+            Some(Request::Scrub {
+                name: "alice".into(),
+                repair: true,
+            })
+        );
+        assert!(parse_request("scrub").unwrap_err().contains("expected"));
+        assert!(parse_request("scrub a b").unwrap_err().contains("expected"));
+        assert_eq!(parse_request("shutdown").unwrap(), Some(Request::Shutdown));
         assert!(parse_request("replicate alice")
             .unwrap_err()
             .contains("expected"));

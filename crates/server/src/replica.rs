@@ -558,7 +558,7 @@ fn replication_cycle(
                     epoch: resp.epoch,
                     idx: resp.idx,
                 },
-                resp.behind,
+                Some(resp.behind),
             );
             if resp.behind == 0 {
                 break;
@@ -579,7 +579,12 @@ fn bootstrap_replica(
     manager
         .install_replica(name, &bytes)
         .map_err(|e| CycleError::Protocol(e.to_string()))?;
-    manager.set_replica_watermark(name, Watermark { epoch, idx: 0 }, 0);
+    // Lag is deliberately *unknown* here, not zero: the snapshot may be
+    // generations behind the leader's journal, and the caller's next
+    // `replicate` round is what measures the real distance. Claiming
+    // zero would let a `status` poll observe `"lag":0` against a replica
+    // that has applied nothing yet.
+    manager.set_replica_watermark(name, Watermark { epoch, idx: 0 }, None);
     Ok(())
 }
 

@@ -112,15 +112,23 @@ impl ServerHandle {
     }
 
     /// Stops accepting, stops replicating, drains the admission queue,
-    /// and saves every resident durable session. Returns how many
-    /// sessions saved cleanly.
+    /// then drains sessions: parked edits are settled, every resident
+    /// durable session is folded into a fresh snapshot, and the store
+    /// locks are released. Returns how many sessions saved cleanly.
     pub fn shutdown(mut self) -> usize {
         self.stop_accepting();
         if let Some(r) = self.replicator.take() {
             r.stop();
         }
         self.admission.shutdown();
-        self.manager.save_all()
+        let (_, saved, _) = self.manager.drain();
+        saved
+    }
+
+    /// True once a client's `shutdown` verb has requested a drain; the
+    /// embedding process should call [`ServerHandle::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
     }
 
     fn stop_accepting(&mut self) {
@@ -366,7 +374,7 @@ fn handle_connection(
             let _ = proto::write_frame(&mut writer, true, "{\"event\":\"bye\"}");
             return;
         }
-        let result = dispatch(manager, &mut attached, &writer, queue, request);
+        let result = dispatch(manager, &mut attached, &writer, queue, shutdown, request);
         if respond(&mut writer, result).is_err() {
             return;
         }
@@ -390,6 +398,7 @@ fn dispatch(
     attached: &mut Option<String>,
     client: &TcpStream,
     queue: &ConnQueue,
+    shutdown: &AtomicBool,
     request: Request,
 ) -> Result<String, ServerError> {
     // A follower refuses anything that would fork its timeline from the
@@ -463,6 +472,29 @@ fn dispatch(
         } => manager.replicate_json(&name, epoch, idx, max),
         Request::Snapshot(name) => manager.snapshot_json(&name),
         Request::Promote => manager.promote(),
+        Request::Scrub { name, repair } => manager.scrub_json(&name, repair),
+        Request::Shutdown => {
+            // Raise the flag first so no new lines are read anywhere,
+            // then drain: settle parked edits, snapshot residents,
+            // release the store locks. The embedding process observes
+            // the flag (`ServerHandle::shutdown_requested`) and exits.
+            shutdown.store(true, Ordering::Release);
+            let (sessions, saved, notes) = manager.drain();
+            #[derive(serde::Serialize)]
+            struct Drained {
+                event: String,
+                sessions: usize,
+                saved: usize,
+                notes: Vec<String>,
+            }
+            Ok(serde_json::to_string(&Drained {
+                event: "shutdown".to_string(),
+                sessions,
+                saved,
+                notes,
+            })
+            .expect("Drained serializes"))
+        }
         Request::Cmd(cmd) => {
             let name = attached_name(attached)?.to_string();
             let token = manager.cancel_token(&name)?;

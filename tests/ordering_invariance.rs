@@ -38,14 +38,32 @@ proptest! {
 
     #[test]
     fn cost_model_hierarchy(seed in 0u64..10_000) {
-        // C4 (memo + EE) ≤ C3 (EE) ≤ C1 (rudimentary), for any function
-        // and any statistics.
+        // C4 (memo + EE) ≤ C3 (EE) ≤ C1 (rudimentary). C3 ≤ C1 is
+        // unconditional (early exit only ever skips work), but C4 ≤ C3
+        // is the paper's theorem *under its hypothesis* that a memo
+        // lookup is no dearer than recomputing any feature (δ ≤ cost(f)).
+        // The measured statistics can violate that hypothesis — batched
+        // kernels make some features cheaper per pair than the measured
+        // δ, especially in unoptimized builds — and there the model
+        // truthfully predicts that unconditional memoing is a loss.
+        // Normalize δ under the hypothesis before asserting, so the
+        // recurrence itself is checked deterministically on every seed.
         let w = random_workload(seed);
-        let stats = FunctionStats::estimate(&w.func, &w.ctx, &w.cands, 1.0, seed);
+        let mut stats = FunctionStats::estimate(&w.func, &w.ctx, &w.cands, 1.0, seed);
         let c1 = cost_rudimentary(&w.func, &stats);
         let c3 = cost_early_exit(&w.func, &stats);
-        let c4 = cost_memo(&w.func, &stats);
         prop_assert!(c3 <= c1 + 1e-9, "C3 {c3} > C1 {c1}");
+
+        let min_cost = w
+            .func
+            .predicates()
+            .map(|(_, bp)| stats.cost(bp.pred.feature))
+            .fold(f64::INFINITY, f64::min);
+        if min_cost.is_finite() {
+            stats.set_lookup_cost(stats.lookup_cost().min(min_cost));
+        }
+        let c3 = cost_early_exit(&w.func, &stats);
+        let c4 = cost_memo(&w.func, &stats);
         prop_assert!(c4 <= c3 + 1e-9, "C4 {c4} > C3 {c3}");
         prop_assert!(c4 >= 0.0 && c4.is_finite());
     }
