@@ -50,6 +50,19 @@ fn bench_load_fleet_sizes(_c: &mut Criterion) {
         println!("  {report}");
     }
 
+    // The observability tax: the same 16-client load with the metrics
+    // registry recording vs disabled. `bench_server_json` measures this
+    // properly (alternating reps, min-of-reps) for BENCH_server.json;
+    // this is the quick interactive read.
+    em_metrics::set_enabled(false);
+    let bare = run_load(addr, 16, 8).expect("bare load run");
+    em_metrics::set_enabled(true);
+    let instrumented = run_load(addr, 16, 8).expect("instrumented load run");
+    println!(
+        "metrics overhead at 16 clients: p50 {:?} instrumented vs {:?} bare",
+        instrumented.p50, bare.p50
+    );
+
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -83,10 +96,11 @@ fn read_load(addrs: &[std::net::SocketAddr], clients: usize, iterations: usize) 
     )
 }
 
-/// The replication payoff: read throughput against the leader alone vs
-/// the same fleet split across leader + one journal-shipping follower.
-/// The follower serves reads from replayed state, so the sweep shows how
-/// much read capacity a replica adds without touching write latency.
+/// The replication payoff: read throughput for a fixed fleet against the
+/// leader alone vs the same fleet split across the leader plus 1, 2, and
+/// 4 journal-shipping followers. Followers serve reads from replayed
+/// state, so the sweep shows how read capacity scales with fan-out
+/// without touching write latency.
 fn bench_replicated_reads(_c: &mut Criterion) {
     let root = bench_root("replicated-reads");
     let leader = serve(
@@ -97,42 +111,54 @@ fn bench_replicated_reads(_c: &mut Criterion) {
         },
     )
     .expect("bind leader");
-    let follower = serve(
-        demo_template(),
-        ServerConfig {
-            follow: Some(leader.addr().to_string()),
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind follower");
+    let followers: Vec<_> = (0..4)
+        .map(|_| {
+            serve(
+                demo_template(),
+                ServerConfig {
+                    follow: Some(leader.addr().to_string()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind follower")
+        })
+        .collect();
 
     let mut c = Client::connect(leader.addr()).expect("connect leader");
     c.expect_ok("open alice").expect("open");
     c.expect_ok("add jaccard_ws(title, title) >= 0.6")
         .expect("seed rule");
 
-    // Let the follower bootstrap and drain to zero lag before measuring.
+    // Let every follower bootstrap and drain to zero lag before measuring.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-    while follower.manager().replication_lag("alice") != Some(0) {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "follower never converged"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(20));
+    for follower in &followers {
+        while follower.manager().replication_lag("alice") != Some(0) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "follower never converged"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
     }
 
-    println!("replicated_reads (same fleet, leader-only vs leader+follower):");
-    for clients in [4usize, 16] {
-        let (reads, leader_only) = read_load(&[leader.addr()], clients, 16);
-        let (_, with_follower) = read_load(&[leader.addr(), follower.addr()], clients, 16);
+    println!("replicated_reads (16 clients, leader + 0/1/2/4 followers):");
+    let mut leader_only = 0.0f64;
+    for n in [0usize, 1, 2, 4] {
+        let mut addrs = vec![leader.addr()];
+        addrs.extend(followers[..n].iter().map(|f| f.addr()));
+        let (reads, rps) = read_load(&addrs, 16, 16);
+        if n == 0 {
+            leader_only = rps;
+        }
         println!(
-            "  {clients} clients x {reads} reads: leader-only {leader_only:.0} reads/s, \
-             leader+follower {with_follower:.0} reads/s ({:+.0}%)",
-            (with_follower / leader_only - 1.0) * 100.0
+            "  {n} follower(s) x {reads} reads: {rps:.0} reads/s ({:+.0}%)",
+            (rps / leader_only.max(1e-9) - 1.0) * 100.0
         );
     }
 
-    follower.shutdown();
+    for follower in followers {
+        follower.shutdown();
+    }
     leader.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -23,7 +23,8 @@ usage:
   rulem serve --addr <host:port> [--store-root <dir>] [--max-conns <n>]
               [--max-resident <n>] [--workers <n>] [--queue-budget-ms <n>]
               [--rate <per-sec>[:<burst>]] [--follow <leader-addr>]
-              [--promote-on-loss] [dataset flags as above]
+              [--promote-on-loss] [--metrics-addr <host:port>]
+              [--no-metrics] [--log-json] [dataset flags as above]
       serves named debugging sessions over TCP; every client gets its own
       session over the shared dataset. With --store-root each session is
       journaled under <dir>/<name> and survives a server crash.
@@ -34,10 +35,16 @@ usage:
       read-only replica of the leader at <leader-addr>, streaming its
       journal frames; `promote` (or --promote-on-loss after the leader
       stays unreachable) flips it to a leader that accepts mutations.
+      --metrics-addr serves a Prometheus-style text exposition of the
+      process metrics registry over HTTP (`:0` picks a free port; the
+      `metrics` wire verb returns the same registry as JSON either way);
+      --no-metrics disables all metric recording; --log-json writes
+      structured JSON operational events (resyncs, degraded flips, scrub
+      findings, drain) to stderr, one object per line.
   rulem connect [<host:port>] [--timeout-ms <n>]
       line-oriented client for a running server (also works with netcat).
       --timeout-ms bounds connect and each response read.
-  rulem scrub <store-dir> [--repair]
+  rulem scrub <store-dir> [--repair] [--log-json]
       offline integrity check of a session store: verifies both snapshot
       generations and every journal CRC frame, reporting torn tails, bit
       flips, missing generations, orphan temp files, and stale locks.
@@ -273,6 +280,12 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         return Err("rulem serve — network server for debugging sessions".to_string());
     }
+    if args.iter().any(|a| a == "--no-metrics") {
+        em_metrics::set_enabled(false);
+    }
+    if args.iter().any(|a| a == "--log-json") {
+        em_metrics::events::set_json_events(true);
+    }
     let ds = build_dataset(args)?;
     let template = SessionTemplate::new(ds.table_a, ds.table_b, ds.cands, ds.labels, ds.config)
         .with_guarantees(ds.guarantees);
@@ -315,6 +328,7 @@ fn serve_main(args: &[String]) -> Result<(), String> {
             }
             admission
         },
+        metrics_addr: get_flag(args, "--metrics-addr").map(str::to_string),
         follow: get_flag(args, "--follow").map(str::to_string),
         promote_on_loss: args.iter().any(|a| a == "--promote-on-loss"),
         #[cfg(feature = "fault-inject")]
@@ -328,6 +342,10 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     // port.
     let mut stdout = std::io::stdout();
     let _ = writeln!(stdout, "listening on {}", handle.addr());
+    // Same contract for the metrics listener: tests grep "metrics on ".
+    if let Some(addr) = handle.metrics_addr() {
+        let _ = writeln!(stdout, "metrics on {addr}");
+    }
     let _ = writeln!(
         stdout,
         "{n_candidates} candidate pairs per session; `rulem connect {}` to attach",
@@ -391,6 +409,7 @@ fn scrub_main(args: &[String]) -> Result<(), String> {
     for a in args {
         match a.as_str() {
             "--repair" => repair = true,
+            "--log-json" => em_metrics::events::set_json_events(true),
             "--help" | "-h" => return Err("rulem scrub — session store integrity check".into()),
             other if !other.starts_with("--") && dir.is_none() => dir = Some(other),
             other => return Err(format!("scrub: unexpected argument {other:?}")),
@@ -434,6 +453,23 @@ fn connect_main(args: &[String]) -> Result<(), String> {
     let mut client =
         Client::connect_with(addr, timeouts).map_err(|e| format!("connect {addr}: {e}"))?;
     println!("connected to {addr} — `open <name>` or `attach <name>`, then edit; `quit` leaves");
+    // Surface replication topology up front: anyone connecting to a
+    // leader with followers (or to a follower) sees it without asking.
+    if let Ok((true, payload)) = client.request("replicas") {
+        #[derive(serde::Deserialize)]
+        struct ReplicasHead {
+            role: String,
+            count: usize,
+        }
+        if let Ok(head) = serde_json::from_str::<ReplicasHead>(&payload) {
+            if head.role == "follower" || head.count > 0 {
+                println!(
+                    "{}: {} replica stream(s) known — `replicas` for watermarks",
+                    head.role, head.count
+                );
+            }
+        }
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     loop {

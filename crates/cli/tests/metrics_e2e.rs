@@ -1,0 +1,160 @@
+//! End-to-end observability smoke against the real `rulem` binary: a
+//! server started with `--metrics-addr` announces its exposition
+//! listener, every scrape taken while 16 clients edit concurrently is
+//! well-formed, the `metrics` wire verb serves the JSON view over the
+//! same registry, and `--log-json` writes machine-readable event lines
+//! to stderr (the drain summary on graceful shutdown is the guaranteed
+//! one). This is the test CI's `metrics` job runs.
+
+use em_server::Client;
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 16;
+
+struct Server {
+    child: Child,
+    addr: String,
+    metrics_addr: SocketAddr,
+    stderr: Option<std::process::ChildStderr>,
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Server {
+    /// Spawns `rulem serve --metrics-addr 127.0.0.1:0 --log-json` and
+    /// reads both banners: `listening on <addr>` then `metrics on <addr>`.
+    fn spawn() -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rulem"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--log-json",
+                "--demo",
+                "products",
+                "--scale",
+                "0.01",
+                "--seed",
+                "7",
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn rulem serve");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut addr = None;
+        let metrics_addr = loop {
+            assert!(Instant::now() < deadline, "server never announced");
+            let mut line = String::new();
+            match stdout.read_line(&mut line) {
+                Ok(0) => panic!("server exited before announcing"),
+                Ok(_) => {
+                    if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                        addr = Some(rest.to_string());
+                    } else if let Some(rest) = line.trim().strip_prefix("metrics on ") {
+                        break rest.parse().expect("metrics addr parses");
+                    }
+                }
+                Err(e) => panic!("reading server stdout: {e}"),
+            }
+        };
+        Server {
+            stderr: child.stderr.take(),
+            child,
+            addr: addr.expect("wire banner precedes metrics banner"),
+            metrics_addr,
+            _stdout: stdout,
+        }
+    }
+}
+
+#[test]
+fn exposition_stays_well_formed_under_load_and_events_are_json() {
+    let mut server = Server::spawn();
+
+    // A cold scrape works before any client connects.
+    let body = em_metrics::http::scrape(&server.metrics_addr).expect("cold scrape");
+    em_metrics::expo::validate_exposition(&body).expect("cold exposition");
+
+    // 16 clients, each editing its own session, while this thread
+    // scrapes continuously. Every single scrape must validate — a
+    // truncated write or interleaved response fails the test.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = server.addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.expect_ok(&format!("open e2e-{i}")).unwrap();
+                c.expect_ok("add jaccard_ws(title, title) >= 0.6").unwrap();
+                c.expect_ok("set p0 0.55").unwrap();
+                c.expect_ok("undo").unwrap();
+                c.expect_ok("status").unwrap();
+            })
+        })
+        .collect();
+    let mut scrapes = 0usize;
+    while workers.iter().any(|w| !w.is_finished()) {
+        let body = em_metrics::http::scrape(&server.metrics_addr).expect("scrape under load");
+        em_metrics::expo::validate_exposition(&body)
+            .unwrap_or_else(|e| panic!("malformed exposition under load: {e}"));
+        scrapes += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(scrapes >= 1, "load finished before the first scrape");
+
+    // The quiesced exposition carries the load's fingerprints, and the
+    // `metrics` verb serves the JSON view of the same registry.
+    let body = em_metrics::http::scrape(&server.metrics_addr).expect("final scrape");
+    em_metrics::expo::validate_exposition(&body).expect("final exposition");
+    for needle in [
+        "em_cmd_latency_ns",
+        "em_conns_opened_total",
+        "em_memo_hits_total",
+        "em_admission_admitted_total",
+    ] {
+        assert!(body.contains(needle), "missing {needle}");
+    }
+    let mut c = Client::connect(&server.addr).unwrap();
+    let json = c.expect_ok("metrics").unwrap();
+    assert!(
+        json.starts_with('{') && json.contains("em_memo_hits_total"),
+        "{json:.200}"
+    );
+
+    // Graceful shutdown → drain summary → with `--log-json` the drain
+    // event is a JSON line on stderr.
+    let payload = c.expect_ok("shutdown").unwrap();
+    assert!(payload.contains("\"event\":\"shutdown\""), "{payload}");
+    drop(c);
+    server.child.wait().expect("server exits after shutdown");
+
+    let mut stderr = String::new();
+    server
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .expect("drain stderr");
+    #[derive(serde::Deserialize)]
+    struct EventLine {
+        event: String,
+    }
+    let drained = stderr.lines().any(|line| {
+        serde_json::from_str::<EventLine>(line)
+            .map(|e| e.event == "drain")
+            .unwrap_or(false)
+    });
+    assert!(
+        drained,
+        "expected a JSON drain event on stderr, got: {stderr:.400}"
+    );
+}

@@ -63,6 +63,7 @@ pub mod feature;
 pub mod function;
 pub mod incremental;
 pub mod memo;
+pub mod obs;
 pub mod ordering;
 pub mod parse;
 pub mod persist;

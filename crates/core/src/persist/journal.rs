@@ -146,12 +146,18 @@ impl Journal {
     /// never be buried mid-file by a later successful append.
     pub(crate) fn append(&mut self, payload: &[u8]) -> Result<(), PersistError> {
         let frame = encode_frame(payload);
+        let t0 = em_metrics::enabled().then(std::time::Instant::now);
         let write = self
             .vfs
             .write_all(&mut self.file, &frame, DiskOp::JournalAppend)
             .and_then(|()| self.vfs.sync_data(&self.file, DiskOp::JournalAppend));
         match write {
             Ok(()) => {
+                if let Some(t0) = t0 {
+                    let m = crate::obs::core_metrics();
+                    m.journal_appends.inc();
+                    m.journal_append_ns.record_duration(t0.elapsed());
+                }
                 self.len += frame.len() as u64;
                 Ok(())
             }

@@ -377,6 +377,37 @@ pub fn scrub(dir: &Path, repair: bool) -> Result<ScrubReport, PersistError> {
 
     journals_valid.sort_unstable();
     journals_valid.dedup();
+    let m = crate::obs::core_metrics();
+    m.scrubs.inc();
+    m.scrub_findings.add(findings.len() as u64);
+    for f in &findings {
+        em_metrics::events::emit(
+            "scrub_finding",
+            &[
+                (
+                    "class",
+                    em_metrics::events::Field::Str(&format!("{:?}", f.class)),
+                ),
+                ("detail", em_metrics::events::Field::Str(&f.detail)),
+                ("repaired", em_metrics::events::Field::Bool(f.repaired)),
+            ],
+        );
+    }
+    em_metrics::events::emit(
+        "scrub",
+        &[
+            (
+                "dir",
+                em_metrics::events::Field::Str(&dir.display().to_string()),
+            ),
+            ("repair", em_metrics::events::Field::Bool(repair)),
+            (
+                "findings",
+                em_metrics::events::Field::U64(findings.len() as u64),
+            ),
+            ("serviceable", em_metrics::events::Field::Bool(serviceable)),
+        ],
+    );
     Ok(ScrubReport {
         dir: dir.display().to_string(),
         repair,

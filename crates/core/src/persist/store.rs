@@ -560,6 +560,7 @@ impl SessionStore {
     /// prunes everything older than the previous generation. Returns the
     /// new epoch.
     pub fn save(&mut self) -> Result<u64, PersistError> {
+        let save_t0 = em_metrics::enabled().then(std::time::Instant::now);
         let Some(b) = self.backend.as_mut() else {
             return Err(PersistError::InvalidState(
                 "session has no store attached (run with --store <dir>)".into(),
@@ -634,6 +635,11 @@ impl SessionStore {
             if epoch < prune_below {
                 let _ = std::fs::remove_file(journal_path(&b.dir, epoch));
             }
+        }
+        if let Some(t0) = save_t0 {
+            let m = crate::obs::core_metrics();
+            m.snapshot_saves.inc();
+            m.snapshot_save_ns.record_duration(t0.elapsed());
         }
         Ok(new_epoch)
     }

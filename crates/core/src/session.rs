@@ -754,6 +754,7 @@ impl DebugSession {
     /// runs to completion, discards any pending resume, and rebuilds the
     /// quarantine list from what this run observed.
     pub fn run_full(&mut self) -> EvalStats {
+        let t0 = std::time::Instant::now();
         let outcome = run_full_budgeted(
             &self.func,
             &self.ctx,
@@ -767,6 +768,8 @@ impl DebugSession {
         self.quarantined = outcome.quarantined;
         self.quarantined.sort_unstable();
         self.quarantined.dedup();
+        crate::obs::core_metrics().full_runs.inc();
+        crate::obs::record_eval(&outcome.stats, self.quarantined.len(), false, t0.elapsed());
         outcome.stats
     }
 
@@ -921,6 +924,13 @@ impl DebugSession {
     }
 
     fn log(&mut self, description: String, report: &ChangeReport) {
+        crate::obs::core_metrics().edits.inc();
+        crate::obs::record_eval(
+            &report.stats,
+            report.quarantined.len(),
+            matches!(report.completion, Completion::Partial { .. }),
+            report.elapsed,
+        );
         self.history.push(EditRecord {
             description,
             n_changed: report.n_changed(),

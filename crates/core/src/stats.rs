@@ -122,7 +122,11 @@ impl FunctionStats {
                 }
                 start.elapsed().as_nanos() as f64 / indices.len() as f64
             };
-            stats.feature_cost.insert(f, per_eval.max(1.0));
+            let per_eval = per_eval.max(1.0);
+            crate::obs::core_metrics()
+                .kernel_ns_per_pair
+                .record(per_eval as u64);
+            stats.feature_cost.insert(f, per_eval);
             values.insert(f, vals);
         }
 

@@ -1,0 +1,151 @@
+//! Structured JSON event log.
+//!
+//! One line per event on stderr: `{"ts_ms":...,"event":"...",...}`.
+//! Off by default; `--log-json` turns it on. Tests can capture events
+//! in-process instead of scraping stderr.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static JSON_EVENTS: AtomicBool = AtomicBool::new(false);
+static CAPTURE: AtomicBool = AtomicBool::new(false);
+static CAPTURED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Enables the structured event log on stderr (`--log-json`).
+pub fn set_json_events(on: bool) {
+    JSON_EVENTS.store(on, Ordering::Relaxed);
+}
+
+pub fn json_events_enabled() -> bool {
+    JSON_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Test hook: capture events into a buffer instead of (in addition to
+/// nothing — capture does not require stderr logging to be on).
+pub fn set_capture(on: bool) {
+    if on {
+        CAPTURED.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+    CAPTURE.store(on, Ordering::Relaxed);
+}
+
+/// Test hook: drain everything captured since [`set_capture`].
+pub fn drain_captured() -> Vec<String> {
+    std::mem::take(&mut *CAPTURED.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// A field value in a structured event.
+pub enum Field<'a> {
+    Str(&'a str),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    /// Renders as `null` when `None`.
+    OptU64(Option<u64>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits one structured event line. A no-op unless `--log-json` is on or
+/// a test capture is active, so call sites don't need to guard.
+pub fn emit(event: &str, fields: &[(&str, Field<'_>)]) {
+    let log = json_events_enabled();
+    let cap = CAPTURE.load(Ordering::Relaxed);
+    if !log && !cap {
+        return;
+    }
+    let mut line = String::with_capacity(64);
+    let _ = write!(line, "{{\"ts_ms\":{},\"event\":\"", crate::coarse_ms());
+    escape_into(&mut line, event);
+    line.push('"');
+    for (k, v) in fields {
+        line.push_str(",\"");
+        escape_into(&mut line, k);
+        line.push_str("\":");
+        match v {
+            Field::Str(s) => {
+                line.push('"');
+                escape_into(&mut line, s);
+                line.push('"');
+            }
+            Field::U64(n) => {
+                let _ = write!(line, "{n}");
+            }
+            Field::I64(n) => {
+                let _ = write!(line, "{n}");
+            }
+            Field::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(line, "{x}");
+                } else {
+                    line.push_str("null");
+                }
+            }
+            Field::Bool(b) => {
+                let _ = write!(line, "{b}");
+            }
+            Field::OptU64(o) => match o {
+                Some(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                None => line.push_str("null"),
+            },
+        }
+    }
+    line.push('}');
+    if cap {
+        CAPTURED
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(line.clone());
+    }
+    if log {
+        eprintln!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_shapes_json() {
+        set_capture(true);
+        emit(
+            "replica_resync",
+            &[
+                ("session", Field::Str("al\"ice")),
+                ("epoch", Field::U64(3)),
+                ("behind", Field::OptU64(None)),
+                ("ok", Field::Bool(true)),
+            ],
+        );
+        let lines = drain_captured();
+        set_capture(false);
+        assert_eq!(lines.len(), 1);
+        let l = &lines[0];
+        assert!(l.contains("\"event\":\"replica_resync\""), "{l}");
+        assert!(l.contains("\"session\":\"al\\\"ice\""), "{l}");
+        assert!(l.contains("\"epoch\":3"), "{l}");
+        assert!(l.contains("\"behind\":null"), "{l}");
+        assert!(l.contains("\"ok\":true"), "{l}");
+        assert!(l.starts_with("{\"ts_ms\":"), "{l}");
+        assert!(l.ends_with('}'), "{l}");
+    }
+}

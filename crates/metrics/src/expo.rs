@@ -1,0 +1,360 @@
+//! Exposition: Prometheus text format, porcelain JSON, and a validator.
+//!
+//! Both renderers walk the same sorted registry snapshot, so output is
+//! byte-stable across runs modulo the metric values themselves.
+
+use crate::registry::{bucket_upper_bound, Instrument, Registry};
+use crate::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers per family, cumulative
+/// `_bucket{le=...}` lines for histograms, last-value gauges for series.
+pub fn render_prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (family, labels, inst) in reg.snapshot() {
+        if family != last_family {
+            if let Some(help) = reg.help_for(&family) {
+                let _ = writeln!(out, "# HELP {family} {}", help.replace('\n', " "));
+            }
+            let kind = match &inst {
+                Instrument::Counter(_) => "counter",
+                Instrument::Gauge(_) | Instrument::Series(_) => "gauge",
+                Instrument::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            last_family = family.clone();
+        }
+        match inst {
+            Instrument::Counter(c) => {
+                let _ = writeln!(out, "{family}{labels} {}", c.get());
+            }
+            Instrument::Gauge(g) => {
+                let _ = writeln!(out, "{family}{labels} {}", g.get());
+            }
+            Instrument::Series(s) => {
+                let _ = writeln!(out, "{family}{labels} {}", s.last());
+            }
+            Instrument::Histogram(h) => {
+                let snap = h.snapshot();
+                render_histogram_text(&mut out, &family, &labels, &snap);
+            }
+        }
+    }
+    out
+}
+
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        // `{a="b"}` → `{a="b",le="..."}`
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+fn render_histogram_text(out: &mut String, family: &str, labels: &str, snap: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    for (idx, &n) in snap.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        let le = bucket_upper_bound(idx);
+        let _ = writeln!(
+            out,
+            "{family}_bucket{} {cum}",
+            with_le(labels, &le.to_string())
+        );
+    }
+    let _ = writeln!(out, "{family}_bucket{} {cum}", with_le(labels, "+Inf"));
+    let _ = writeln!(out, "{family}_sum{labels} {}", snap.sum);
+    let _ = writeln!(out, "{family}_count{labels} {}", snap.count);
+}
+
+// --- porcelain JSON ---------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry as one porcelain JSON object (the `metrics` wire
+/// verb): counters and gauges as numbers, histograms as
+/// `{count,sum,mean,p50,p90,p99,max}`, series as `[[tick_ms,value],...]`.
+/// Keys are sorted (registry order), so the shape is deterministic.
+pub fn render_json(reg: &Registry) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    let mut series = String::new();
+    for (family, labels, inst) in reg.snapshot() {
+        let name = json_escape(&format!("{family}{labels}"));
+        match inst {
+            Instrument::Counter(c) => {
+                if !counters.is_empty() {
+                    counters.push(',');
+                }
+                let _ = write!(counters, "\"{name}\":{}", c.get());
+            }
+            Instrument::Gauge(g) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                let _ = write!(gauges, "\"{name}\":{}", g.get());
+            }
+            Instrument::Histogram(h) => {
+                if !histograms.is_empty() {
+                    histograms.push(',');
+                }
+                let s = h.snapshot();
+                let max = s
+                    .buckets
+                    .iter()
+                    .rposition(|&n| n > 0)
+                    .map(bucket_upper_bound)
+                    .unwrap_or(0);
+                let _ = write!(
+                    histograms,
+                    "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                    s.count,
+                    s.sum,
+                    s.mean(),
+                    s.quantile(0.5),
+                    s.quantile(0.9),
+                    s.quantile(0.99),
+                    max
+                );
+            }
+            Instrument::Series(sr) => {
+                if !series.is_empty() {
+                    series.push(',');
+                }
+                let points: Vec<String> = sr
+                    .snapshot()
+                    .into_iter()
+                    .map(|(t, v)| format!("[{t},{v}]"))
+                    .collect();
+                let _ = write!(series, "\"{name}\":[{}]", points.join(","));
+            }
+        }
+    }
+    format!(
+        "{{\"event\":\"metrics\",\"uptime_ms\":{},\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}},\"series\":{{{series}}}}}",
+        crate::coarse_ms()
+    )
+}
+
+// --- validation -------------------------------------------------------
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_block(s: &str) -> bool {
+    // `{k="v",k2="v2"}` — values may contain escaped quotes/backslashes.
+    let Some(body) = s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return false;
+    };
+    let mut rest = body;
+    loop {
+        let Some(eq) = rest.find('=') else {
+            return false;
+        };
+        let (key, after) = rest.split_at(eq);
+        if !valid_metric_name(key) {
+            return false;
+        }
+        let Some(after) = after.strip_prefix("=\"") else {
+            return false;
+        };
+        // Scan the quoted value honouring backslash escapes.
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in after.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let Some(end) = end else {
+            return false;
+        };
+        rest = &after[end + 1..];
+        if rest.is_empty() {
+            return true;
+        }
+        let Some(r) = rest.strip_prefix(',') else {
+            return false;
+        };
+        rest = r;
+    }
+}
+
+/// Checks a text-exposition body line by line: every non-comment line must
+/// be `name[{labels}] value`, histogram `le` buckets must be cumulative
+/// (non-decreasing) and terminated by `+Inf`. Returns the first offending
+/// line on failure.
+pub fn validate_exposition(body: &str) -> Result<(), String> {
+    let mut bucket_track: Option<(String, u64)> = None; // (series key, last cum)
+    for (lineno, line) in body.lines().enumerate() {
+        let fail = |why: &str| Err(format!("line {}: {why}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return fail("comment is neither HELP nor TYPE");
+            }
+            continue;
+        }
+        // Split `name{labels} value` — the value is after the last space
+        // *outside* the label block.
+        let (name_part, value_part) = match line.rfind(' ') {
+            Some(i) => (&line[..i], &line[i + 1..]),
+            None => return fail("no value"),
+        };
+        if value_part != "+Inf"
+            && value_part != "-Inf"
+            && value_part != "NaN"
+            && value_part.parse::<f64>().is_err()
+        {
+            return fail("unparseable value");
+        }
+        let (name, labels) = match name_part.find('{') {
+            Some(i) => (&name_part[..i], &name_part[i..]),
+            None => (name_part, ""),
+        };
+        if !valid_metric_name(name) {
+            return fail("bad metric name");
+        }
+        if !labels.is_empty() && !valid_label_block(labels) {
+            return fail("bad label block");
+        }
+        // Histogram bucket lines: cumulative within one (name, non-le
+        // labels) series, +Inf terminal.
+        if name.ends_with("_bucket") {
+            let le = labels
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next());
+            let Some(le) = le else {
+                return fail("_bucket line without le label");
+            };
+            let series_key = format!("{name}{}", labels.replace(&format!("le=\"{le}\""), ""));
+            let cum: u64 = match value_part.parse() {
+                Ok(v) => v,
+                Err(_) => return fail("non-integer bucket count"),
+            };
+            match &mut bucket_track {
+                Some((key, last)) if *key == series_key => {
+                    if cum < *last {
+                        return fail("bucket counts not cumulative");
+                    }
+                    *last = cum;
+                }
+                _ => bucket_track = Some((series_key, cum)),
+            }
+            if le == "+Inf" {
+                bucket_track = None;
+            }
+        } else if let Some((key, _)) = &bucket_track {
+            return fail(&format!("histogram {key} not terminated by le=\"+Inf\""));
+        }
+    }
+    if let Some((key, _)) = bucket_track {
+        return Err(format!("histogram {key} not terminated by le=\"+Inf\""));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn demo_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("em_alpha_total", "alpha things").add(3);
+        r.counter_with("em_beta_total", &[("kind", "x")], "beta by kind")
+            .add(1);
+        r.counter_with("em_beta_total", &[("kind", "y")], "").add(2);
+        r.gauge("em_depth", "queue depth").set(7);
+        let h = r.histogram("em_lat_ns", "latency");
+        for v in [5u64, 9, 1000, 64_000] {
+            h.record(v);
+        }
+        r.series_sampled("em_lag_series", "lag over time", 8, Box::new(|| 42))
+            .push(100, 5);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_is_valid_and_stable() {
+        let _g = crate::test_lock();
+        let r = demo_registry();
+        let a = render_prometheus(&r);
+        let b = render_prometheus(&r);
+        assert_eq!(a, b, "deterministic output");
+        validate_exposition(&a).expect("self-rendered exposition must validate");
+        assert!(a.contains("# TYPE em_alpha_total counter"));
+        assert!(a.contains("em_beta_total{kind=\"x\"} 1"));
+        assert!(a.contains("em_beta_total{kind=\"y\"} 2"));
+        assert!(a.contains("# TYPE em_lat_ns histogram"));
+        assert!(a.contains("em_lat_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(a.contains("em_lat_ns_count 4"));
+    }
+
+    #[test]
+    fn json_is_stable_and_structured() {
+        let _g = crate::test_lock();
+        let r = demo_registry();
+        let a = render_json(&r);
+        assert_eq!(a, render_json(&r));
+        assert!(a.starts_with("{\"event\":\"metrics\""));
+        assert!(a.contains("\"em_alpha_total\":3"));
+        assert!(a.contains("\"em_beta_total{kind=\\\"x\\\"}\":1"));
+        assert!(a.contains("\"em_depth\":7"));
+        assert!(a.contains("\"count\":4"));
+        assert!(a.contains("\"em_lag_series\":[[100,5]]"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("em_ok 1\n").is_ok());
+        assert!(validate_exposition("em_ok{a=\"b\"} 2.5\n").is_ok());
+        assert!(validate_exposition("bad name 1\n").is_err());
+        assert!(validate_exposition("em_ok{a=b} 1\n").is_err());
+        assert!(validate_exposition("em_ok notanumber\n").is_err());
+        assert!(validate_exposition("# BOGUS comment\n").is_err());
+        // Non-cumulative buckets rejected.
+        let bad = "em_h_bucket{le=\"1\"} 5\nem_h_bucket{le=\"2\"} 3\nem_h_bucket{le=\"+Inf\"} 5\n";
+        assert!(validate_exposition(bad).is_err());
+        // Unterminated histogram rejected.
+        assert!(validate_exposition("em_h_bucket{le=\"1\"} 5\n").is_err());
+    }
+}

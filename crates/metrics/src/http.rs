@@ -1,0 +1,168 @@
+//! A hand-rolled text-exposition HTTP listener (`--metrics-addr`).
+//!
+//! One blocking thread, GET-only, no keep-alive, no deps: accept, read
+//! the request head, write `200 text/plain` with the rendered registry,
+//! close. Scrapers are rare (seconds apart) and the render is cheap, so
+//! nothing fancier is warranted.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running exposition listener; dropping it stops the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with `--metrics-addr 127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Starts the exposition listener on `addr`. Every GET — whatever the
+/// path — answers with `render()` as `text/plain; version=0.0.4`.
+pub fn serve_exposition(
+    addr: &str,
+    render: Arc<dyn Fn() -> String + Send + Sync>,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("em-metrics-http".into())
+        .spawn(move || loop {
+            if stop2.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Serve inline: exposition is cheap and scrapes are
+                    // seconds apart; a slow client can't block more than
+                    // the read/write timeouts.
+                    let _ = handle(stream, render.as_ref());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        })
+        .expect("spawn metrics http thread");
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn handle(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or a sane cap); we only
+    // care about the request line.
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 4096 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let (status, body) = if request_line.starts_with("GET ") {
+        ("200 OK", render())
+    } else {
+        ("405 Method Not Allowed", String::from("GET only\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    let _ = stream.flush();
+    Ok(())
+}
+
+/// Client-side scrape helper: one GET, returns the response body. Used by
+/// tests and the CI smoke so they don't need an HTTP client dependency.
+pub fn scrape(addr: &SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: metrics\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some(split) = response.find("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body split in scrape response",
+        ));
+    };
+    if !response.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape status: {}", response.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(response[split + 4..].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_rendered_body() {
+        let server =
+            serve_exposition("127.0.0.1:0", Arc::new(|| String::from("em_up 1\n"))).unwrap();
+        let body = scrape(&server.addr()).unwrap();
+        assert_eq!(body, "em_up 1\n");
+        crate::expo::validate_exposition(&body).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let server = serve_exposition("127.0.0.1:0", Arc::new(|| String::from("x 1\n"))).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"POST / HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Process-global observability registry.
+//!
+//! Everything here is built for the *hot path*: recording a counter hit or
+//! a latency sample must cost a handful of nanoseconds and never take a
+//! lock. The design, bottom up:
+//!
+//! - [`Counter`] — monotonically increasing, sharded across cache-line
+//!   padded atomics so concurrent writers don't bounce a single line;
+//!   summed on read.
+//! - [`Gauge`] — a single `AtomicI64`; point-in-time values (queue depth,
+//!   replication lag).
+//! - [`Histogram`] — log-linear buckets (4 sub-buckets per power-of-two
+//!   octave, ≤ 25% relative error), lock-free `fetch_add` recording,
+//!   merge-on-read snapshots. Quantiles come from the snapshot and return
+//!   the containing bucket's upper bound, so they are always an upper
+//!   bound on the true order statistic.
+//! - [`Series`] — a fixed-capacity ring buffer of `(tick_ms, value)`
+//!   samples, fed once a second by the clock thread from registered
+//!   sampler closures (lag, shed churn, eviction churn).
+//! - [`Registry`] — a process-global name → instrument map. Instrument
+//!   handles are `Arc`s: call sites cache them once (`OnceLock`) and the
+//!   registry is only locked at registration and exposition time, never
+//!   per record.
+//!
+//! Wall-clock timestamps come from a dedicated clock thread that bumps a
+//! coarse millisecond counter ([`coarse_ms`]) — hot paths never call
+//! `SystemTime::now`. Short-duration timing (per-command latency) uses
+//! `Instant` at call sites that are already per-request, never per-pair.
+//!
+//! The whole subsystem can be disabled with [`set_enabled`] (the
+//! `--no-metrics` flag): every record path checks one relaxed atomic load
+//! first, which is the entire cost when disabled.
+
+pub mod events;
+pub mod expo;
+pub mod http;
+mod registry;
+
+pub use registry::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram,
+    HistogramSnapshot, Instrument, Registry, Series,
+};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables metric recording (`--no-metrics`).
+/// Disabled instruments freeze at their current values; reads still work.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is enabled. One relaxed load; called first by every
+/// record path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global registry. First use starts the clock thread.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        start_clock();
+        Registry::new()
+    })
+}
+
+// --- coarse clock -----------------------------------------------------
+
+static COARSE_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Milliseconds since the clock thread started (process uptime, roughly).
+/// Updated every ~10 ms by the clock thread; zero until [`registry`] is
+/// first touched. Cheap enough for any loop.
+#[inline]
+pub fn coarse_ms() -> u64 {
+    COARSE_MS.load(Ordering::Relaxed)
+}
+
+fn start_clock() {
+    static STARTED: OnceLock<()> = OnceLock::new();
+    STARTED.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("em-metrics-clock".into())
+            .spawn(|| {
+                let origin = std::time::Instant::now();
+                let mut last_sample = 0u64;
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    let now = origin.elapsed().as_millis() as u64;
+                    COARSE_MS.store(now, Ordering::Relaxed);
+                    // Drive the ring-buffer series roughly once a second.
+                    if now.saturating_sub(last_sample) >= 1000 {
+                        last_sample = now;
+                        registry().run_samplers(now);
+                    }
+                }
+            })
+            .expect("spawn metrics clock thread");
+    });
+}
+
+/// Serializes unit tests that toggle [`set_enabled`] or assert exact
+/// counts — the flag is process-global and cargo runs tests in threads.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_flag_gates_recording() {
+        let _g = test_lock();
+        let c = Counter::new();
+        c.inc();
+        assert_eq!(c.get(), 1);
+        set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 1, "disabled counter must not move");
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn clock_ticks() {
+        let _ = registry();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        assert!(coarse_ms() > 0, "clock thread should have ticked");
+    }
+}

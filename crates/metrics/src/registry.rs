@@ -1,0 +1,666 @@
+//! Instruments and the name → instrument map.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+// --- counter ----------------------------------------------------------
+
+/// Number of independent cache-line-padded shards per counter. Writers
+/// pick a shard from a thread-local, so two threads incrementing the same
+/// counter almost never touch the same cache line.
+const COUNTER_SHARDS: usize = 16;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter, sharded for write scalability.
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a sticky shard index, assigned round-robin.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter {
+            shards: Default::default(),
+        }
+    }
+
+    pub fn arc() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() || n == 0 {
+            return;
+        }
+        MY_SHARD.with(|&i| {
+            self.shards[i].0.fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    /// Sums the shards. Reads are rare (exposition, `status`); writes never
+    /// wait for them.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+// --- gauge ------------------------------------------------------------
+
+/// A point-in-time signed value (queue depth, replication lag).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    pub fn arc() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+// --- histogram --------------------------------------------------------
+
+/// Sub-buckets per power-of-two octave: 4, giving a worst-case relative
+/// error of 25% on any recorded value — plenty for latency distributions
+/// spanning nanoseconds to seconds.
+const SUB_BITS: u32 = 2;
+const SUB: usize = 1 << SUB_BITS;
+/// Values 0..4 get exact buckets; octaves 2..=63 get 4 each.
+pub(crate) const NUM_BUCKETS: usize = SUB * 63;
+
+/// Maps a value to its bucket. Monotone: v ≤ w ⇒ index(v) ≤ index(w).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let b = 63 - v.leading_zeros(); // position of the most significant bit, ≥ 2
+        SUB * (b as usize - 1) + ((v >> (b - SUB_BITS)) & (SUB as u64 - 1)) as usize
+    }
+}
+
+/// Smallest value landing in bucket `idx`.
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let b = idx / SUB + 1;
+        let sub = (idx % SUB) as u64;
+        (1u64 << b) + sub * (1u64 << (b - SUB_BITS as usize))
+    }
+}
+
+/// Largest value landing in bucket `idx`.
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else if idx + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(idx + 1) - 1
+    }
+}
+
+/// A log-linear-bucketed histogram with lock-free recording.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub fn arc() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A merge-on-read copy. Concurrent writers may make `count` lag the
+    /// bucket sums by a few in-flight samples; quiesce before asserting
+    /// exact equality.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count, s.sum)
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets. Snapshots merge
+/// associatively: `merge(a, b)` equals recording both sample sets into
+/// one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (rank `max(1, ceil(q·count))` in sorted order). Always ≥ the true
+    /// order statistic; the bucket's lower bound is always ≤ it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bucket(q).map(bucket_upper_bound).unwrap_or(0)
+    }
+
+    /// Index of the bucket holding the `q`-quantile sample, or `None` if
+    /// the histogram is empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return Some(i);
+            }
+        }
+        // count ran ahead of the bucket stores under concurrent writes;
+        // fall back to the last non-empty bucket.
+        self.buckets.iter().rposition(|&b| b > 0)
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// --- ring-buffer time series ------------------------------------------
+
+/// A fixed-capacity ring of `(tick_ms, value)` samples. Pushes are rare
+/// (once a second from the clock thread) so a mutex is fine; the hot path
+/// never touches a series directly.
+pub struct Series {
+    cap: usize,
+    ring: Mutex<VecDeque<(u64, i64)>>,
+}
+
+impl Series {
+    pub fn new(cap: usize) -> Self {
+        Series {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn arc(cap: usize) -> Arc<Self> {
+        Arc::new(Self::new(cap))
+    }
+
+    pub fn push(&self, tick_ms: u64, value: i64) {
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back((tick_ms, value));
+    }
+
+    pub fn snapshot(&self) -> Vec<(u64, i64)> {
+        match self.ring.lock() {
+            Ok(g) => g.iter().copied().collect(),
+            Err(p) => p.into_inner().iter().copied().collect(),
+        }
+    }
+
+    /// Most recent sample value, or 0 when empty.
+    pub fn last(&self) -> i64 {
+        self.snapshot().last().map(|&(_, v)| v).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Series {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Series(len={})", self.snapshot().len())
+    }
+}
+
+// --- registry ---------------------------------------------------------
+
+/// One registered instrument.
+#[derive(Clone)]
+pub enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Series(Arc<Series>),
+}
+
+struct Sampler {
+    series: Arc<Series>,
+    f: Box<dyn Fn() -> i64 + Send + Sync>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Keyed `(family, label_block)` where `label_block` is either empty
+    /// or `{k="v",...}` — tuple ordering keeps every family's label sets
+    /// contiguous in exposition regardless of how names would sort flat.
+    instruments: BTreeMap<(String, String), Instrument>,
+    /// One help string per family.
+    help: BTreeMap<String, String>,
+}
+
+/// The name → instrument map. Locked only at registration and exposition
+/// time; call sites hold `Arc` handles and record lock-free.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    samplers: Mutex<Vec<Sampler>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner::default()),
+            samplers: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Renders `[(k, v)]` as a `{k="v",...}` label block (empty for no
+    /// labels). Values are escaped per the Prometheus text format.
+    pub fn label_block(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+
+    fn get_or_insert(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let key = (family.to_string(), Self::label_block(labels));
+        let mut inner = self.lock();
+        if !help.is_empty() {
+            inner
+                .help
+                .entry(family.to_string())
+                .or_insert_with(|| help.to_string());
+        }
+        inner.instruments.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get-or-create a counter. The same name always returns the same
+    /// underlying instrument.
+    pub fn counter(&self, family: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(family, &[], help)
+    }
+
+    pub fn counter_with(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.get_or_insert(family, labels, help, || Instrument::Counter(Counter::arc())) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, family: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(family, &[], help)
+    }
+
+    pub fn gauge_with(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(family, labels, help, || Instrument::Gauge(Gauge::arc())) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    pub fn histogram(&self, family: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(family, &[], help)
+    }
+
+    pub fn histogram_with(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(family, labels, help, || {
+            Instrument::Histogram(Histogram::arc())
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or replaces) an *existing* instrument handle under a
+    /// name. This is how per-instance instruments (a server's admission
+    /// counters) join the global exposition while staying the single
+    /// source of truth for that instance's `status`.
+    pub fn register(&self, family: &str, labels: &[(&str, &str)], help: &str, inst: Instrument) {
+        let key = (family.to_string(), Self::label_block(labels));
+        let mut inner = self.lock();
+        if !help.is_empty() {
+            inner.help.insert(family.to_string(), help.to_string());
+        }
+        inner.instruments.insert(key, inst);
+    }
+
+    /// Creates a ring-buffer series fed once a second by the clock thread
+    /// with the value of `f`.
+    pub fn series_sampled(
+        &self,
+        family: &str,
+        help: &str,
+        cap: usize,
+        f: Box<dyn Fn() -> i64 + Send + Sync>,
+    ) -> Arc<Series> {
+        let series = Series::arc(cap);
+        self.register(family, &[], help, Instrument::Series(Arc::clone(&series)));
+        let mut samplers = match self.samplers.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        // Replace an existing sampler for the same series family rather
+        // than accumulating duplicates across re-registration.
+        samplers.push(Sampler {
+            series: Arc::clone(&series),
+            f,
+        });
+        series
+    }
+
+    /// Called by the clock thread about once a second.
+    pub(crate) fn run_samplers(&self, tick_ms: u64) {
+        let samplers = match self.samplers.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for s in samplers.iter() {
+            s.series.push(tick_ms, (s.f)());
+        }
+    }
+
+    /// A deterministic (sorted) snapshot of every instrument, for the
+    /// exposition renderers.
+    pub fn snapshot(&self) -> Vec<(String, String, Instrument)> {
+        let inner = self.lock();
+        inner
+            .instruments
+            .iter()
+            .map(|((fam, labels), inst)| (fam.clone(), labels.clone(), inst.clone()))
+            .collect()
+    }
+
+    pub fn help_for(&self, family: &str) -> Option<String> {
+        self.lock().help.get(family).cloned()
+    }
+
+    /// Looks up a single instrument by family + rendered label block.
+    pub fn find(&self, family: &str, labels: &[(&str, &str)]) -> Option<Instrument> {
+        let key = (family.to_string(), Self::label_block(labels));
+        self.lock().instruments.get(&key).cloned()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_contain() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            15,
+            16,
+            100,
+            1000,
+            1_000_000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "monotone at {v}");
+            assert!(
+                bucket_lower_bound(idx) <= v && v <= bucket_upper_bound(idx),
+                "v={v} idx={idx} lo={} hi={}",
+                bucket_lower_bound(idx),
+                bucket_upper_bound(idx)
+            );
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn every_bucket_boundary_round_trips() {
+        for idx in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lo), idx, "lower bound of {idx}");
+            let hi = bucket_upper_bound(idx);
+            assert_eq!(bucket_index(hi), idx, "upper bound of {idx}");
+        }
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let _g = crate::test_lock();
+        let c = Counter::arc();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn quantile_of_known_distribution() {
+        let _g = crate::test_lock();
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 is sample rank 50 = value 50; bucket upper bound must be ≥ 50
+        // and within 25% relative error.
+        let p50 = s.quantile(0.5);
+        assert!((50..=63).contains(&p50), "p50={p50}");
+        let p100 = s.quantile(1.0);
+        assert!((100..=127).contains(&p100), "p100={p100}");
+        assert_eq!(s.quantile(0.0), 1, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn series_ring_caps() {
+        let s = Series::new(3);
+        for i in 0..10 {
+            s.push(i, i as i64);
+        }
+        assert_eq!(s.snapshot(), vec![(7, 7), (8, 8), (9, 9)]);
+        assert_eq!(s.last(), 9);
+    }
+
+    #[test]
+    fn registry_same_name_same_instrument() {
+        let _g = crate::test_lock();
+        let r = Registry::new();
+        let a = r.counter("em_test_total", "help");
+        let b = r.counter("em_test_total", "");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.help_for("em_test_total").as_deref(), Some("help"));
+        let labeled = r.counter_with("em_test_total2", &[("k", "v")], "");
+        labeled.add(5);
+        match r.find("em_test_total2", &[("k", "v")]) {
+            Some(Instrument::Counter(c)) => assert_eq!(c.get(), 5),
+            other => panic!("lookup failed: {:?}", other.is_some()),
+        }
+    }
+}

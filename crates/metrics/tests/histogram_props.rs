@@ -1,0 +1,131 @@
+//! Property tests for the log-linear histogram: merge associativity,
+//! thread-count invariance, and quantile bounds against a sorted-vec
+//! oracle at 1/2/4 recording threads.
+
+use em_metrics::{bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Values spanning many octaves so every code path in the bucketer runs.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..8,
+            0u64..1_000,
+            0u64..1_000_000,
+            0u64..1_000_000_000_000,
+            (u64::MAX - 1_000)..u64::MAX,
+        ],
+        1..120,
+    )
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Records `values` split round-robin across `threads` threads.
+fn record_threaded(values: &[u64], threads: usize) -> HistogramSnapshot {
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            let chunk: Vec<u64> = values.iter().copied().skip(t).step_by(threads).collect();
+            std::thread::spawn(move || {
+                for v in chunk {
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    h.snapshot()
+}
+
+/// The oracle order statistic matching `HistogramSnapshot::quantile`'s
+/// rank definition: the sample of rank `max(1, ceil(q·n))`.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging snapshots == recording the concatenation into one
+        // histogram.
+        let mut concat: Vec<u64> = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        prop_assert_eq!(&left, &record_all(&concat));
+    }
+
+    #[test]
+    fn threaded_recording_equals_serial(values in arb_samples()) {
+        let serial = record_all(&values);
+        for threads in [1usize, 2, 4] {
+            let snap = record_threaded(&values, threads);
+            prop_assert_eq!(&snap, &serial, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_sorted_vec_oracle(values in arb_samples()) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for threads in [1usize, 2, 4] {
+            let snap = record_threaded(&values, threads);
+            prop_assert_eq!(snap.count, values.len() as u64);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let want = oracle(&sorted, q);
+                let bucket = snap.quantile_bucket(q).expect("non-empty");
+                let (lo, hi) = (bucket_lower_bound(bucket), bucket_upper_bound(bucket));
+                prop_assert!(
+                    lo <= want && want <= hi,
+                    "q={} want={} bucket=[{}, {}] threads={}",
+                    q, want, lo, hi, threads
+                );
+                // The reported quantile (bucket upper bound) never
+                // understates the true order statistic.
+                prop_assert!(snap.quantile(q) >= want);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_and_count_are_exact(values in arb_samples()) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let want_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, want_sum);
+        let bucket_total: u64 = snap.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, snap.count);
+    }
+}

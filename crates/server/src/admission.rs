@@ -66,16 +66,25 @@ impl Default for AdmissionConfig {
 }
 
 /// Monotonic counters describing what admission control has done.
+///
+/// Backed by `em_metrics` instruments so one queue's counters can be
+/// registered into the process-global exposition and remain the *single*
+/// source for both `status` and `metrics` — the two surfaces read the
+/// same atomics and can never disagree.
 #[derive(Debug, Default)]
 pub struct AdmissionCounters {
     /// Tickets accepted into the queue.
-    pub admitted: AtomicU64,
+    pub admitted: Arc<em_metrics::Counter>,
     /// Tickets whose job ran to completion.
-    pub executed: AtomicU64,
+    pub executed: Arc<em_metrics::Counter>,
     /// Tickets shed (deadline passed in queue, queue full, or shutdown).
-    pub shed: AtomicU64,
+    pub shed: Arc<em_metrics::Counter>,
     /// Tickets whose eligibility the token bucket pushed into the future.
-    pub throttled: AtomicU64,
+    pub throttled: Arc<em_metrics::Counter>,
+    /// Time tickets spent queued before executing or being shed.
+    pub queue_wait_ns: Arc<em_metrics::Histogram>,
+    /// Tickets queued right now (mirrors the queue's `total_queued`).
+    pub depth: Arc<em_metrics::Gauge>,
 }
 
 /// A point-in-time snapshot of [`AdmissionCounters`] plus queue depth.
@@ -198,17 +207,24 @@ impl AdmissionQueue {
         }
     }
 
-    /// Current counters + queue depth.
+    /// Current counters + queue depth, read from the same instruments
+    /// the metrics exposition serves.
     pub fn snapshot(&self) -> AdmissionSnapshot {
         let depth = lock(&self.inner.state).total_queued as u64;
         let c = &self.inner.counters;
         AdmissionSnapshot {
-            admitted: c.admitted.load(Ordering::Relaxed),
-            executed: c.executed.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            throttled: c.throttled.load(Ordering::Relaxed),
+            admitted: c.admitted.get(),
+            executed: c.executed.get(),
+            shed: c.shed.get(),
+            throttled: c.throttled.get(),
             depth,
         }
+    }
+
+    /// The queue's instruments, for registration into the global metrics
+    /// registry (see `serve`).
+    pub fn counters(&self) -> &AdmissionCounters {
+        &self.inner.counters
     }
 
     /// Closes the queue (pending tickets are shed) and joins the workers.
@@ -244,7 +260,7 @@ impl ConnQueue {
                 return Err(ServerError::Busy("server is shutting down".into()));
             }
             if state.total_queued >= self.inner.config.queue_capacity {
-                self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.inner.counters.shed.inc();
                 return Err(ServerError::Overloaded {
                     queued_ms: 0,
                     retry_after_ms: retry_after_ms(budget),
@@ -264,10 +280,7 @@ impl ConnQueue {
                     if bucket.tokens >= 0.0 {
                         now
                     } else {
-                        self.inner
-                            .counters
-                            .throttled
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.inner.counters.throttled.inc();
                         now + Duration::from_secs_f64(-bucket.tokens / rate.per_sec)
                     }
                 }
@@ -280,7 +293,8 @@ impl ConnQueue {
                 not_before,
             });
             state.total_queued += 1;
-            self.inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            self.inner.counters.admitted.inc();
+            self.inner.counters.depth.set(state.total_queued as i64);
         }
         self.inner.work.notify_one();
         rx.recv().unwrap_or_else(|_| {
@@ -337,6 +351,7 @@ fn worker_loop(inner: &Inner) {
             if front.not_before <= now {
                 picked = conn.queue.pop_front();
                 state.total_queued -= 1;
+                inner.counters.depth.set(state.total_queued as i64);
                 state.cursor = (pos + 1) % n;
                 break;
             }
@@ -351,8 +366,9 @@ fn worker_loop(inner: &Inner) {
                 let closed = state.closed;
                 drop(state);
                 let waited = ticket.enqueued.elapsed();
+                inner.counters.queue_wait_ns.record_duration(waited);
                 if closed || waited > budget {
-                    inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    inner.counters.shed.inc();
                     let _ = ticket.tx.send(Err(ServerError::Overloaded {
                         queued_ms: waited.as_millis() as u64,
                         retry_after_ms: retry_after_ms(budget),
@@ -363,7 +379,7 @@ fn worker_loop(inner: &Inner) {
                     // cold.
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(ticket.job))
                         .unwrap_or_else(|_| Err(ServerError::Busy("command panicked".into())));
-                    inner.counters.executed.fetch_add(1, Ordering::Relaxed);
+                    inner.counters.executed.inc();
                     let _ = ticket.tx.send(result);
                 }
                 state = lock(&inner.state);

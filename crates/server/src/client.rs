@@ -325,7 +325,11 @@ impl ResilientClient {
         let attach = self.request(&format!("attach {name}"))?;
         match attach {
             (true, payload) => Ok(payload),
-            (false, payload) if create && payload.contains("no session") => {
+            (false, payload)
+                if create
+                    && crate::proto::error_kind(&payload)
+                        == crate::proto::ErrorKind::UnknownSession =>
+            {
                 match self.request(&format!("open {name}"))? {
                     (true, p) => Ok(p),
                     (false, p) => Err(ClientError::Refused(p)),

@@ -56,20 +56,49 @@ pub enum ServerError {
     Io(std::io::Error),
 }
 
+impl ServerError {
+    /// The typed wire kind rendered as this error's payload prefix.
+    /// [`crate::proto::error_kind`] recovers it client-side, so counters
+    /// keyed on it survive any rewording of the detail text.
+    pub fn kind(&self) -> crate::proto::ErrorKind {
+        use crate::proto::ErrorKind;
+        match self {
+            ServerError::BadRequest(_) => ErrorKind::BadRequest,
+            ServerError::UnknownSession(_) => ErrorKind::UnknownSession,
+            ServerError::SessionExists(_) => ErrorKind::SessionExists,
+            ServerError::NoSession => ErrorKind::NotAttached,
+            ServerError::Unsupported(_) => ErrorKind::Unsupported,
+            ServerError::Session(_) => ErrorKind::Edit,
+            ServerError::Persist(_) => ErrorKind::Persist,
+            ServerError::Busy(_) => ErrorKind::Busy,
+            ServerError::ReadOnly { .. } => ErrorKind::ReadOnly,
+            ServerError::Overloaded { .. } => ErrorKind::Overloaded,
+            ServerError::Degraded { .. } => ErrorKind::Degraded,
+            ServerError::TooLarge(_) => ErrorKind::TooLarge,
+            ServerError::Io(_) => ErrorKind::Io,
+        }
+    }
+}
+
 impl fmt::Display for ServerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServerError::UnknownSession(n) => {
-                write!(f, "no session named {n:?} (see `sessions`)")
+                write!(
+                    f,
+                    "unknown_session: no session named {n:?} (see `sessions`)"
+                )
             }
-            ServerError::SessionExists(n) => write!(f, "session {n} already exists"),
+            ServerError::SessionExists(n) => {
+                write!(f, "session_exists: session {n} already exists")
+            }
             ServerError::NoSession => {
                 write!(f, "not attached: `open <name>` or `attach <name>` first")
             }
             ServerError::Unsupported(m) => write!(f, "unsupported over the wire: {m}"),
-            ServerError::Session(e) => write!(f, "{e}"),
-            ServerError::Persist(e) => write!(f, "{e}"),
+            ServerError::Session(e) => write!(f, "edit: {e}"),
+            ServerError::Persist(e) => write!(f, "persist: {e}"),
             ServerError::Busy(m) => write!(f, "busy: {m}"),
             ServerError::ReadOnly { leader } => write!(
                 f,
@@ -120,5 +149,65 @@ impl From<PersistError> for ServerError {
 impl From<std::io::Error> for ServerError {
     fn from(e: std::io::Error) -> Self {
         ServerError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{error_kind, ErrorKind};
+
+    /// Golden: every variant's rendered payload starts with its typed
+    /// prefix, and `error_kind` recovers exactly that kind. A failure
+    /// here means a wire-protocol change — fix the wording, not the test,
+    /// unless the prefix table in `proto.rs` moved too.
+    #[test]
+    fn every_variant_renders_its_typed_prefix() {
+        let samples: Vec<ServerError> = vec![
+            ServerError::BadRequest("nope".into()),
+            ServerError::UnknownSession("ghost".into()),
+            ServerError::SessionExists("alice".into()),
+            ServerError::NoSession,
+            ServerError::Unsupported("save <path>".into()),
+            ServerError::Session(em_core::SessionError::Edit(em_core::EditError::EmptyRule)),
+            ServerError::Persist(em_core::PersistError::Corrupt("y".into())),
+            ServerError::Busy("18 active connections".into()),
+            ServerError::ReadOnly {
+                leader: "127.0.0.1:7777".into(),
+            },
+            ServerError::Overloaded {
+                queued_ms: 100,
+                retry_after_ms: 50,
+            },
+            ServerError::Degraded {
+                op: "journal-append".into(),
+            },
+            ServerError::TooLarge("snapshot of 99 bytes".into()),
+            ServerError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone")),
+        ];
+        assert_eq!(
+            samples.len(),
+            ErrorKind::all().len(),
+            "one sample per typed kind"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for e in &samples {
+            let kind = e.kind();
+            let rendered = e.to_string();
+            assert!(
+                rendered.starts_with(&format!("{}:", kind.prefix())),
+                "{kind:?} must render as `{}: ...`, got {rendered:?}",
+                kind.prefix()
+            );
+            assert_eq!(
+                error_kind(&rendered),
+                kind,
+                "round-trip through the payload: {rendered:?}"
+            );
+            seen.insert(kind);
+        }
+        assert_eq!(seen.len(), ErrorKind::all().len(), "all kinds distinct");
+        assert_eq!(error_kind("free-form text"), ErrorKind::Unknown);
+        assert_eq!(error_kind("mystery: text"), ErrorKind::Unknown);
     }
 }

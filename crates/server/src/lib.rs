@@ -17,6 +17,9 @@
 //! * [`server`] — accept loop, admission control (connection cap with
 //!   fast `busy` refusal), and the per-command disconnect watchdog that
 //!   cancels an edit whose client vanished;
+//! * [`obs`] — pre-registered server instruments in the process-global
+//!   [`em_metrics`] registry: per-verb latency histograms, typed error
+//!   counters, connection/eviction/replication telemetry;
 //! * [`client`] — a minimal blocking client ( `rulem connect`, tests);
 //! * [`load`] — a closed-loop multi-client load generator reporting
 //!   p50/p95/p99 edit latency and edits/sec.
@@ -33,6 +36,7 @@ pub mod error;
 pub mod exec;
 pub mod load;
 pub mod manager;
+pub mod obs;
 pub mod proto;
 pub mod replica;
 pub mod server;

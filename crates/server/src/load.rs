@@ -125,12 +125,13 @@ pub fn run_load(
                     tally.latencies.push(t0.elapsed());
                     if !ok {
                         tally.errors += 1;
-                        if payload.starts_with("busy:") {
-                            tally.refused += 1;
-                        } else if payload.starts_with("overloaded:") {
-                            tally.shed += 1;
-                        } else if payload.starts_with("degraded:") {
-                            tally.degraded += 1;
+                        // Tally by typed kind, not text: a reworded error
+                        // message can no longer silently zero a counter.
+                        match crate::proto::error_kind(&payload) {
+                            crate::proto::ErrorKind::Busy => tally.refused += 1,
+                            crate::proto::ErrorKind::Overloaded => tally.shed += 1,
+                            crate::proto::ErrorKind::Degraded => tally.degraded += 1,
+                            _ => {}
                         }
                     }
                     Ok::<(), crate::client::ClientError>(())

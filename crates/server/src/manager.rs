@@ -172,12 +172,27 @@ struct ReplicaProgress {
     behind: Option<u64>,
 }
 
+/// The leader's view of one follower's progress on one session,
+/// refreshed by every `replicate` poll it serves.
+#[derive(Debug, Clone)]
+struct FollowerProgress {
+    /// The watermark the response advanced the follower to.
+    watermark: Watermark,
+    /// Durable frames the leader still held past that watermark.
+    behind: u64,
+    /// Coarse-clock timestamp of the poll (for staleness in `replicas`).
+    seen_ms: u64,
+}
+
 /// Operational state beside the session registry: replication role,
 /// per-session replication progress, and the admission queue handle
 /// (for surfacing shed counts in `status`).
 struct Ops {
     role: Role,
     replicas: HashMap<String, ReplicaProgress>,
+    /// Leader side: per-`(peer, session)` progress of followers, learned
+    /// from the `replicate` polls this server answers.
+    followers: HashMap<(String, String), FollowerProgress>,
     admission: Option<Arc<AdmissionQueue>>,
     /// Sessions whose last persist write failed, keyed by name, holding
     /// the failed [`em_core::DiskOp`]'s name. A degraded session serves
@@ -232,6 +247,7 @@ impl SessionManager {
             ops: Mutex::new(Ops {
                 role: Role::Leader,
                 replicas: HashMap::new(),
+                followers: HashMap::new(),
                 admission: None,
                 degraded: HashMap::new(),
                 vfs: RealVfs::arc(),
@@ -433,13 +449,26 @@ impl SessionManager {
                     return Err(ServerError::Degraded { op });
                 }
                 self.ops().degraded.remove(name);
+                crate::obs::server_metrics().degraded_recovered.inc();
+                em_metrics::events::emit(
+                    "degraded_recovered",
+                    &[("session", em_metrics::events::Field::Str(name))],
+                );
             }
         }
         let result = self.with_session(name, |store, labels| exec::execute(store, labels, cmd))?;
         if mutating {
             if let Err(e) = &result {
                 if let Some(op) = disk_op_of(e) {
-                    self.ops().degraded.insert(name.to_string(), op);
+                    self.ops().degraded.insert(name.to_string(), op.clone());
+                    crate::obs::server_metrics().degraded_entered.inc();
+                    em_metrics::events::emit(
+                        "degraded",
+                        &[
+                            ("session", em_metrics::events::Field::Str(name)),
+                            ("op", em_metrics::events::Field::Str(&op)),
+                        ],
+                    );
                 }
             }
         }
@@ -604,6 +633,11 @@ impl SessionManager {
                 Ok(_) => {
                     state.store = None;
                     state.lock = None;
+                    crate::obs::server_metrics().evictions.inc();
+                    em_metrics::events::emit(
+                        "evict",
+                        &[("session", em_metrics::events::Field::Str(&victim.name))],
+                    );
                 }
                 Err(_) => return,
             }
@@ -693,6 +727,11 @@ impl SessionManager {
         self.ops()
             .replicas
             .insert(name.to_string(), ReplicaProgress { watermark, behind });
+        if let Some(behind) = behind {
+            crate::obs::server_metrics()
+                .repl_lag
+                .set(i64::try_from(behind).unwrap_or(i64::MAX));
+        }
     }
 
     /// A replica session's replication lag in frames. `None` until the
@@ -756,13 +795,100 @@ impl SessionManager {
         epoch: u64,
         idx: u64,
         max: usize,
+        peer: Option<String>,
     ) -> Result<String, ServerError> {
         let dir = self.durable_dir(name)?;
         let from = Watermark { epoch, idx };
         let result = JournalTailer::new(&dir)
             .tail(from, max.max(1))
             .map_err(ServerError::Persist)?;
+        if let (Some(peer), em_core::TailResult::Batch(batch)) = (peer, &result) {
+            self.note_follower(peer, name, batch.watermark, batch.behind);
+        }
         Ok(crate::replica::encode_replicate(from, result))
+    }
+
+    /// Records one follower poll (leader side) and refreshes the
+    /// worst-follower-lag gauge.
+    fn note_follower(&self, peer: String, session: &str, watermark: Watermark, behind: u64) {
+        let mut ops = self.ops();
+        ops.followers.insert(
+            (peer, session.to_string()),
+            FollowerProgress {
+                watermark,
+                behind,
+                seen_ms: em_metrics::coarse_ms(),
+            },
+        );
+        let worst = ops.followers.values().map(|f| f.behind).max().unwrap_or(0);
+        crate::obs::server_metrics()
+            .follower_lag_max
+            .set(i64::try_from(worst).unwrap_or(i64::MAX));
+    }
+
+    /// The `replicas` verb: on a leader, every follower's `(epoch, idx)`
+    /// watermark and measured lag as observed from its `replicate`
+    /// polls; on a follower, its own per-session replication progress
+    /// against the leader. Sorted by `(peer, session)` for stable
+    /// porcelain.
+    pub fn replicas_json(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct ReplicaRow {
+            peer: String,
+            session: String,
+            epoch: u64,
+            idx: u64,
+            behind: Option<u64>,
+            age_ms: Option<u64>,
+        }
+        #[derive(serde::Serialize)]
+        struct ReplicasLine {
+            event: String,
+            role: String,
+            count: usize,
+            replicas: Vec<ReplicaRow>,
+        }
+        let ops = self.ops();
+        let now = em_metrics::coarse_ms();
+        let (role, mut rows): (&str, Vec<ReplicaRow>) = match &ops.role {
+            Role::Leader => (
+                "leader",
+                ops.followers
+                    .iter()
+                    .map(|((peer, session), f)| ReplicaRow {
+                        peer: peer.clone(),
+                        session: session.clone(),
+                        epoch: f.watermark.epoch,
+                        idx: f.watermark.idx,
+                        behind: Some(f.behind),
+                        age_ms: Some(now.saturating_sub(f.seen_ms)),
+                    })
+                    .collect(),
+            ),
+            Role::Follower { leader } => (
+                "follower",
+                ops.replicas
+                    .iter()
+                    .map(|(session, p)| ReplicaRow {
+                        peer: leader.clone(),
+                        session: session.clone(),
+                        epoch: p.watermark.epoch,
+                        idx: p.watermark.idx,
+                        behind: p.behind,
+                        age_ms: None,
+                    })
+                    .collect(),
+            ),
+        };
+        drop(ops);
+        rows.sort_by(|a, b| (&a.peer, &a.session).cmp(&(&b.peer, &b.session)));
+        serde_json::to_string(&ReplicasLine {
+            event: "replicas".to_string(),
+            role: role.to_string(),
+            count: rows.len(),
+            replicas: rows,
+        })
+        .expect("ReplicasLine serializes")
     }
 
     /// Leader side of bootstrap/resync: the named session's newest
@@ -882,6 +1008,14 @@ impl SessionManager {
                 )),
             }
         }
+        em_metrics::events::emit(
+            "drain",
+            &[
+                ("sessions", em_metrics::events::Field::U64(sessions as u64)),
+                ("saved", em_metrics::events::Field::U64(saved as u64)),
+                ("notes", em_metrics::events::Field::U64(notes.len() as u64)),
+            ],
+        );
         (sessions, saved, notes)
     }
 

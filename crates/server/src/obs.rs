@@ -1,0 +1,271 @@
+//! Server-side observability: the process-global instruments the server
+//! layers record into, pre-registered so the hot path never takes the
+//! registry lock.
+//!
+//! Everything here lives in the global [`em_metrics::registry()`], which
+//! is what the `metrics` wire verb and the `--metrics-addr` exposition
+//! listener render. Per-server-instance state (the admission queue's
+//! counters) is registered into the same registry by `serve()` with
+//! replace semantics — in the ordinary one-server-per-process deployment
+//! the exposition therefore always reads the *same* `Arc`s that `status`
+//! reads, so the two surfaces can never disagree.
+//!
+//! Cardinality rules (see DESIGN.md §14): label values are drawn from
+//! closed sets only — grammar verbs ([`crate::proto::ALL_VERBS`]) and
+//! typed error kinds ([`ErrorKind::name`]). The one client-influenced
+//! label, `session` on the per-session edit-latency histogram, is capped
+//! at [`MAX_SESSION_LABELS`] distinct values; overflow lands in
+//! `session="__other"` rather than growing the registry without bound.
+
+use crate::proto::ErrorKind;
+use em_metrics::{registry, Counter, Gauge, Histogram, Instrument};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Distinct `session` label values before overflow goes to `__other`.
+pub const MAX_SESSION_LABELS: usize = 32;
+
+/// Pre-registered handles on every server-layer instrument.
+pub struct ServerMetrics {
+    /// Connections accepted (`em_conns_opened_total`).
+    pub conns_opened: Arc<Counter>,
+    /// Connections closed (`em_conns_closed_total`).
+    pub conns_closed: Arc<Counter>,
+    /// Connections currently open (`em_conns_active`).
+    pub conns_active: Arc<Gauge>,
+    /// Sessions evicted to their snapshots (`em_evictions_total`).
+    pub evictions: Arc<Counter>,
+    /// Sessions that entered degraded mode (`em_degraded_entered_total`).
+    pub degraded_entered: Arc<Counter>,
+    /// Degraded sessions recovered by a probe write
+    /// (`em_degraded_recovered_total`).
+    pub degraded_recovered: Arc<Counter>,
+    /// Follower side: this replica's measured lag in frames
+    /// (`em_replication_lag_frames`; last measured session wins).
+    pub repl_lag: Arc<Gauge>,
+    /// Leader side: the worst lag across known followers
+    /// (`em_follower_lag_max_frames`).
+    pub follower_lag_max: Arc<Gauge>,
+    /// Follower side: snapshot resyncs (`em_replication_resyncs_total`).
+    pub repl_resyncs: Arc<Counter>,
+    /// Follower side: leader connections lost and re-established
+    /// (`em_replication_reconnects_total`).
+    pub repl_reconnects: Arc<Counter>,
+    /// Per-verb request latency (`em_cmd_latency_ns{cmd=...}`),
+    /// pre-registered over [`crate::proto::ALL_VERBS`].
+    cmd_latency: HashMap<&'static str, Arc<Histogram>>,
+    /// Error frames by typed kind (`em_errors_total{kind=...}`).
+    errors: HashMap<ErrorKind, Arc<Counter>>,
+    /// Per-session edit latency
+    /// (`em_session_edit_latency_ns{session=...}`), capped.
+    session_edit_latency: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let reg = registry();
+        let mut cmd_latency = HashMap::with_capacity(crate::proto::ALL_VERBS.len());
+        for verb in crate::proto::ALL_VERBS {
+            cmd_latency.insert(
+                *verb,
+                reg.histogram_with(
+                    "em_cmd_latency_ns",
+                    &[("cmd", verb)],
+                    "Wire request latency by verb, in nanoseconds",
+                ),
+            );
+        }
+        let mut errors = HashMap::new();
+        for kind in ErrorKind::all().into_iter().chain([ErrorKind::Unknown]) {
+            errors.insert(
+                kind,
+                reg.counter_with(
+                    "em_errors_total",
+                    &[("kind", kind.name())],
+                    "Error frames written, by typed error kind",
+                ),
+            );
+        }
+        let conns_active = reg.gauge("em_conns_active", "Connections currently open");
+        let repl_lag = reg.gauge(
+            "em_replication_lag_frames",
+            "Follower: measured replication lag in journal frames",
+        );
+        reg.series_sampled("em_conns_active_ts", "Open connections over time", 512, {
+            let g = Arc::clone(&conns_active);
+            Box::new(move || g.get())
+        });
+        reg.series_sampled(
+            "em_admission_depth_ts",
+            "Admission queue depth over time",
+            512,
+            Box::new(|| match registry().find("em_admission_depth", &[]) {
+                Some(Instrument::Gauge(g)) => g.get(),
+                _ => 0,
+            }),
+        );
+        reg.series_sampled(
+            "em_replication_lag_ts",
+            "Replication lag over time (frames)",
+            512,
+            {
+                let g = Arc::clone(&repl_lag);
+                Box::new(move || g.get())
+            },
+        );
+        ServerMetrics {
+            conns_opened: reg.counter("em_conns_opened_total", "Connections accepted"),
+            conns_closed: reg.counter("em_conns_closed_total", "Connections closed"),
+            conns_active,
+            evictions: reg.counter(
+                "em_evictions_total",
+                "Sessions evicted to their snapshots by the residency limit",
+            ),
+            degraded_entered: reg.counter(
+                "em_degraded_entered_total",
+                "Sessions flipped into degraded (read-only) mode by a failed persist write",
+            ),
+            degraded_recovered: reg.counter(
+                "em_degraded_recovered_total",
+                "Degraded sessions recovered by a successful probe write",
+            ),
+            repl_lag,
+            follower_lag_max: reg.gauge(
+                "em_follower_lag_max_frames",
+                "Leader: worst replication lag across known followers, in frames",
+            ),
+            repl_resyncs: reg.counter(
+                "em_replication_resyncs_total",
+                "Follower: snapshot resyncs (compaction overrun or divergence)",
+            ),
+            repl_reconnects: reg.counter(
+                "em_replication_reconnects_total",
+                "Follower: leader connections lost and re-established",
+            ),
+            cmd_latency,
+            errors,
+            session_edit_latency: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one served request: its latency under the verb's histogram
+    /// and, for error responses, the typed-kind error counter.
+    pub fn observe_request(&self, verb: &'static str, elapsed: Duration, err: Option<ErrorKind>) {
+        if let Some(h) = self.cmd_latency.get(verb) {
+            h.record_duration(elapsed);
+        }
+        if let Some(kind) = err {
+            if let Some(c) = self.errors.get(&kind) {
+                c.inc();
+            }
+        }
+    }
+
+    /// Records one edit-path command latency under the session's label,
+    /// capping distinct sessions at [`MAX_SESSION_LABELS`].
+    pub fn record_session_edit(&self, session: &str, elapsed: Duration) {
+        if !em_metrics::enabled() {
+            return;
+        }
+        let hist = {
+            let mut map = self
+                .session_edit_latency
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if let Some(h) = map.get(session) {
+                Arc::clone(h)
+            } else {
+                let label = if map.len() < MAX_SESSION_LABELS {
+                    session
+                } else {
+                    "__other"
+                };
+                let h = registry().histogram_with(
+                    "em_session_edit_latency_ns",
+                    &[("session", label)],
+                    "Edit-path command latency by session, in nanoseconds",
+                );
+                map.insert(label.to_string(), Arc::clone(&h));
+                if label != session {
+                    // Remember the overflow routing for this session too,
+                    // so later edits skip the registry call.
+                    map.insert(session.to_string(), Arc::clone(&h));
+                }
+                h
+            }
+        };
+        hist.record_duration(elapsed);
+    }
+}
+
+/// The process-global server metrics (created, and registered into the
+/// global registry, on first use).
+pub fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(ServerMetrics::new)
+}
+
+/// RAII tick for one connection's lifecycle: increments opened/active on
+/// construction, closed/active on drop (handler panics included).
+pub struct ConnGuard;
+
+impl ConnGuard {
+    /// Marks a connection opened.
+    pub fn open() -> ConnGuard {
+        let m = server_metrics();
+        m.conns_opened.inc();
+        m.conns_active.add(1);
+        ConnGuard
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let m = server_metrics();
+        m.conns_closed.inc();
+        m.conns_active.add(-1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_labels_cap_at_limit_plus_overflow() {
+        let m = server_metrics();
+        for i in 0..(MAX_SESSION_LABELS + 10) {
+            m.record_session_edit(&format!("cap-test-{i}"), Duration::from_nanos(10));
+        }
+        let map = m
+            .session_edit_latency
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        // Other tests in this binary may have claimed label slots first;
+        // the invariant is the cap on *registered labels*, not on map
+        // entries (overflow sessions alias the same `__other` histogram).
+        let distinct_labels: std::collections::HashSet<&str> = map
+            .keys()
+            .map(|s| s.as_str())
+            .filter(|s| {
+                registry()
+                    .find("em_session_edit_latency_ns", &[("session", s)])
+                    .is_some()
+            })
+            .collect();
+        assert!(distinct_labels.len() <= MAX_SESSION_LABELS + 1);
+        assert!(map.contains_key("__other"));
+    }
+
+    #[test]
+    fn conn_guard_balances_active_gauge() {
+        let m = server_metrics();
+        let before = m.conns_active.get();
+        {
+            let _g = ConnGuard::open();
+            assert_eq!(m.conns_active.get(), before + 1);
+        }
+        assert_eq!(m.conns_active.get(), before);
+    }
+}

@@ -92,6 +92,12 @@ pub enum Request {
     /// settle parked edits, snapshot every resident session, release the
     /// store locks, exit.
     Shutdown,
+    /// `metrics` — the process-global metrics registry as porcelain JSON
+    /// (counters, gauges, histogram summaries, ring-buffer series).
+    Metrics,
+    /// `replicas` — on a leader, every follower's `(epoch, idx)` watermark
+    /// and measured lag, as observed from its `replicate` polls.
+    Replicas,
     /// Any command of the shared REPL grammar, run on the attached
     /// session.
     Cmd(Command),
@@ -167,12 +173,233 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             }
         }
         "shutdown" => Request::Shutdown,
+        "metrics" => Request::Metrics,
+        "replicas" => Request::Replicas,
         _ => match command::parse(trimmed)? {
             Some(cmd) => Request::Cmd(cmd),
             None => return Ok(None),
         },
     };
     Ok(Some(req))
+}
+
+impl Request {
+    /// The wire verb this request dispatches as — the `cmd` label of its
+    /// latency histogram. Stable and low-cardinality by construction: one
+    /// value per grammar word, never derived from client-supplied text.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Open(_) => "open",
+            Request::Attach(_) => "attach",
+            Request::Detach => "detach",
+            Request::Deadline(_) => "deadline",
+            Request::Sessions => "sessions",
+            Request::Status => "status",
+            Request::Ping => "ping",
+            Request::Replicate { .. } => "replicate",
+            Request::Snapshot(_) => "snapshot",
+            Request::Promote => "promote",
+            Request::Scrub { .. } => "scrub",
+            Request::Shutdown => "shutdown",
+            Request::Metrics => "metrics",
+            Request::Replicas => "replicas",
+            Request::Cmd(cmd) => cmd_verb(cmd),
+        }
+    }
+}
+
+/// The grammar word of a REPL command (the `Request::Cmd` payloads).
+fn cmd_verb(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Help => "help",
+        Command::AddRule(_) => "add",
+        Command::ListRules => "rules",
+        Command::RemoveRule(_) => "rm",
+        Command::AddPredicate(..) => "addpred",
+        Command::RemovePredicate(_) => "rmpred",
+        Command::SetThreshold(..) => "set",
+        Command::Undo => "undo",
+        Command::Resume => "resume",
+        Command::Simplify => "simplify",
+        Command::Lint => "lint",
+        Command::Run => "run",
+        Command::Matches(_) => "matches",
+        Command::Explain(_) => "explain",
+        Command::NearMisses(..) => "misses",
+        Command::Quality => "quality",
+        Command::Stats => "stats",
+        Command::Status => "status",
+        Command::Optimize(_) => "optimize",
+        Command::MemoryReport => "memory",
+        Command::History => "history",
+        Command::Features => "features",
+        Command::Save(_) => "save",
+        Command::Load(_) => "load",
+        Command::Export(_) => "export",
+        Command::Import(_) => "import",
+        Command::Open(_) => "open",
+        Command::Quit => "quit",
+    }
+}
+
+/// Every verb [`Request::verb`] can return, for pre-registering the
+/// per-command latency histograms (the hot-path lookup is then a plain
+/// `HashMap` read, no registry lock). Sorted; `open` and `status` are
+/// shared between the wire and the grammar, so they appear once.
+pub const ALL_VERBS: &[&str] = &[
+    "add",
+    "addpred",
+    "attach",
+    "deadline",
+    "detach",
+    "explain",
+    "export",
+    "features",
+    "help",
+    "history",
+    "import",
+    "lint",
+    "load",
+    "matches",
+    "memory",
+    "metrics",
+    "misses",
+    "open",
+    "optimize",
+    "ping",
+    "promote",
+    "quality",
+    "quit",
+    "replicas",
+    "replicate",
+    "resume",
+    "rm",
+    "rmpred",
+    "rules",
+    "run",
+    "save",
+    "scrub",
+    "sessions",
+    "set",
+    "shutdown",
+    "simplify",
+    "snapshot",
+    "stats",
+    "status",
+    "undo",
+];
+
+/// The typed kind of an `err` payload, recovered from its stable prefix.
+///
+/// Every [`crate::ServerError`] variant renders as `<prefix>: <detail>`
+/// with a prefix from this table, so clients tally refusals by *kind*
+/// instead of string-matching free-form text — a wording change in the
+/// detail can no longer silently zero a counter. The prefix table is
+/// pinned by a golden test; changing a prefix is a wire-protocol change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// `bad request` — the request line did not parse.
+    BadRequest,
+    /// `unknown_session` — no session with that name.
+    UnknownSession,
+    /// `session_exists` — `open` of an existing name.
+    SessionExists,
+    /// `not attached` — a session command before `open`/`attach`.
+    NotAttached,
+    /// `unsupported over the wire` — REPL-only verb.
+    Unsupported,
+    /// `edit` — the debugging session rejected the edit.
+    Edit,
+    /// `persist` — the durable store failed.
+    Persist,
+    /// `busy` — admission refused the connection.
+    Busy,
+    /// `read_only` — a mutation reached a replica.
+    ReadOnly,
+    /// `overloaded` — the command was shed from the admission queue.
+    Overloaded,
+    /// `degraded` — the session's store is in degraded (read-only) mode.
+    Degraded,
+    /// `too_large` — a response exceeded the frame cap.
+    TooLarge,
+    /// `i/o error` — a socket-level failure.
+    Io,
+    /// No recognised prefix.
+    Unknown,
+}
+
+impl ErrorKind {
+    /// The wire prefix (the text before the first `:` of an `err`
+    /// payload).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad request",
+            ErrorKind::UnknownSession => "unknown_session",
+            ErrorKind::SessionExists => "session_exists",
+            ErrorKind::NotAttached => "not attached",
+            ErrorKind::Unsupported => "unsupported over the wire",
+            ErrorKind::Edit => "edit",
+            ErrorKind::Persist => "persist",
+            ErrorKind::Busy => "busy",
+            ErrorKind::ReadOnly => "read_only",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Degraded => "degraded",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Io => "i/o error",
+            ErrorKind::Unknown => "",
+        }
+    }
+
+    /// A metric-label-safe identifier for this kind (snake_case, no
+    /// spaces) — the `kind` label of `em_errors_total`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownSession => "unknown_session",
+            ErrorKind::SessionExists => "session_exists",
+            ErrorKind::NotAttached => "not_attached",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Edit => "edit",
+            ErrorKind::Persist => "persist",
+            ErrorKind::Busy => "busy",
+            ErrorKind::ReadOnly => "read_only",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Degraded => "degraded",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Io => "io",
+            ErrorKind::Unknown => "unknown",
+        }
+    }
+
+    /// Every typed kind, for exhaustive golden tests.
+    pub fn all() -> [ErrorKind; 13] {
+        [
+            ErrorKind::BadRequest,
+            ErrorKind::UnknownSession,
+            ErrorKind::SessionExists,
+            ErrorKind::NotAttached,
+            ErrorKind::Unsupported,
+            ErrorKind::Edit,
+            ErrorKind::Persist,
+            ErrorKind::Busy,
+            ErrorKind::ReadOnly,
+            ErrorKind::Overloaded,
+            ErrorKind::Degraded,
+            ErrorKind::TooLarge,
+            ErrorKind::Io,
+        ]
+    }
+}
+
+/// Classifies an `err` payload by its typed prefix.
+pub fn error_kind(payload: &str) -> ErrorKind {
+    let Some((prefix, _)) = payload.split_once(':') else {
+        return ErrorKind::Unknown;
+    };
+    ErrorKind::all()
+        .into_iter()
+        .find(|k| k.prefix() == prefix)
+        .unwrap_or(ErrorKind::Unknown)
 }
 
 /// Writes one framed response: `ok|err <len>\n` + payload, flushed.
@@ -220,6 +447,66 @@ pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<(bool, String)
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_parsed_verb_is_preregistered() {
+        // A verb missing from ALL_VERBS would silently fall back to the
+        // registry-locked path for its latency histogram; keep the table
+        // exhaustive and duplicate-free.
+        let mut sorted = ALL_VERBS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, ALL_VERBS, "ALL_VERBS sorted and unique");
+        for line in [
+            "open a",
+            "attach a",
+            "detach",
+            "deadline off",
+            "sessions",
+            "status",
+            "ping",
+            "replicate a 0 0",
+            "snapshot a",
+            "promote",
+            "scrub a",
+            "shutdown",
+            "metrics",
+            "replicas",
+            "help",
+            "add x",
+            "rules",
+            "rm r1",
+            "addpred r1 x",
+            "rmpred p1",
+            "set p1 0.5",
+            "undo",
+            "resume",
+            "simplify",
+            "lint",
+            "run",
+            "matches",
+            "explain 0",
+            "misses f1",
+            "quality",
+            "stats",
+            "optimize",
+            "memory",
+            "history",
+            "features",
+            "save",
+            "load x",
+            "export x",
+            "import x",
+            "quit",
+        ] {
+            let req = parse_request(line).unwrap().unwrap();
+            assert!(
+                ALL_VERBS.contains(&req.verb()),
+                "verb {:?} of {line:?} not pre-registered",
+                req.verb()
+            );
+        }
+    }
 
     #[test]
     fn control_verbs_parse() {

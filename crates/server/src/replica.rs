@@ -445,6 +445,11 @@ fn replication_loop(
             }
             Err(CycleError::Transport) => {
                 client = None;
+                crate::obs::server_metrics().repl_reconnects.inc();
+                em_metrics::events::emit(
+                    "replica_reconnect",
+                    &[("leader", em_metrics::events::Field::Str(&opts.leader))],
+                );
             }
             Err(CycleError::Protocol(_)) => {
                 // A refused verb or malformed payload: not a dead leader.
@@ -530,6 +535,7 @@ fn replication_cycle(
             if resp.resync {
                 // Fell behind compaction (or diverged): rebuild from a
                 // fresh snapshot.
+                note_resync(&name, "compacted");
                 manager.drop_replica(&name);
                 bootstrap_replica(manager, c, &name)?;
                 continue;
@@ -547,6 +553,7 @@ fn replication_cycle(
                 };
                 if manager.apply_replica_records(&name, &records).is_err() {
                     // Replay failure is divergence: resync from snapshot.
+                    note_resync(&name, "diverged");
                     manager.drop_replica(&name);
                     bootstrap_replica(manager, c, &name)?;
                     continue;
@@ -566,6 +573,18 @@ fn replication_cycle(
         }
     }
     Ok(())
+}
+
+/// Counts one snapshot resync and emits its structured event.
+fn note_resync(session: &str, reason: &str) {
+    crate::obs::server_metrics().repl_resyncs.inc();
+    em_metrics::events::emit(
+        "replica_resync",
+        &[
+            ("session", em_metrics::events::Field::Str(session)),
+            ("reason", em_metrics::events::Field::Str(reason)),
+        ],
+    );
 }
 
 /// Fetches and installs the leader's newest snapshot for `name`.

@@ -56,6 +56,10 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Command-level admission control (fair-share queue, shedding).
     pub admission: AdmissionConfig,
+    /// Bind address for the Prometheus-style text exposition listener
+    /// (`:0` picks a free port); `None` disables it. The `metrics` wire
+    /// verb works either way.
+    pub metrics_addr: Option<String>,
     /// Run as a read-only follower replicating the leader at this
     /// address.
     pub follow: Option<String>,
@@ -76,6 +80,7 @@ impl Default for ServerConfig {
             max_resident: 8,
             max_conns: 1024,
             admission: AdmissionConfig::default(),
+            metrics_addr: None,
             follow: None,
             promote_on_loss: false,
             #[cfg(feature = "fault-inject")]
@@ -93,12 +98,19 @@ pub struct ServerHandle {
     manager: Arc<SessionManager>,
     admission: Arc<AdmissionQueue>,
     replicator: Option<Replicator>,
+    metrics: Option<em_metrics::http::MetricsServer>,
 }
 
 impl ServerHandle {
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics exposition listener's bound address, when one was
+    /// configured via [`ServerConfig::metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.addr())
     }
 
     /// The shared session manager (tests, embedding).
@@ -162,6 +174,60 @@ pub fn serve(template: SessionTemplate, config: ServerConfig) -> std::io::Result
     ));
     let admission = Arc::new(AdmissionQueue::new(config.admission));
     manager.set_admission(Arc::clone(&admission));
+    // Expose this server's admission instruments through the global
+    // registry (replace semantics: in the ordinary one-server-per-process
+    // deployment the exposition and `status` read the SAME Arcs, so the
+    // two surfaces cannot disagree; in-process test fleets each keep
+    // their own counters and the registry shows the last server's).
+    crate::obs::server_metrics();
+    {
+        use em_metrics::Instrument;
+        let reg = em_metrics::registry();
+        let c = admission.counters();
+        reg.register(
+            "em_admission_admitted_total",
+            &[],
+            "Commands admitted to the fair-share queue",
+            Instrument::Counter(Arc::clone(&c.admitted)),
+        );
+        reg.register(
+            "em_admission_executed_total",
+            &[],
+            "Admitted commands that ran to completion",
+            Instrument::Counter(Arc::clone(&c.executed)),
+        );
+        reg.register(
+            "em_admission_shed_total",
+            &[],
+            "Commands shed by admission control (deadline, full queue, shutdown)",
+            Instrument::Counter(Arc::clone(&c.shed)),
+        );
+        reg.register(
+            "em_admission_throttled_total",
+            &[],
+            "Commands delayed by the per-connection token bucket",
+            Instrument::Counter(Arc::clone(&c.throttled)),
+        );
+        reg.register(
+            "em_admission_queue_wait_ns",
+            &[],
+            "Time commands spent queued before executing or being shed, in nanoseconds",
+            Instrument::Histogram(Arc::clone(&c.queue_wait_ns)),
+        );
+        reg.register(
+            "em_admission_depth",
+            &[],
+            "Commands queued right now",
+            Instrument::Gauge(Arc::clone(&c.depth)),
+        );
+    }
+    let metrics = match &config.metrics_addr {
+        Some(addr) => Some(em_metrics::http::serve_exposition(
+            addr,
+            Arc::new(|| em_metrics::expo::render_prometheus(em_metrics::registry())),
+        )?),
+        None => None,
+    };
     let replicator = match &config.follow {
         Some(leader) => {
             manager.set_role(Role::Follower {
@@ -197,6 +263,7 @@ pub fn serve(template: SessionTemplate, config: ServerConfig) -> std::io::Result
         manager,
         admission,
         replicator,
+        metrics,
     })
 }
 
@@ -318,6 +385,7 @@ fn handle_connection(
     queue: &ConnQueue,
     shutdown: &AtomicBool,
 ) {
+    let _conn = crate::obs::ConnGuard::open();
     let _ = stream.set_nodelay(true);
     // One timeout serves three purposes: the main loop polls `shutdown`,
     // the watchdog polls its stop flag, and neither can block forever on
@@ -374,7 +442,18 @@ fn handle_connection(
             let _ = proto::write_frame(&mut writer, true, "{\"event\":\"bye\"}");
             return;
         }
+        let verb = request.verb();
+        let is_edit = matches!(&request, Request::Cmd(cmd) if exec::mutates(cmd));
+        let t0 = std::time::Instant::now();
         let result = dispatch(manager, &mut attached, &writer, queue, shutdown, request);
+        let elapsed = t0.elapsed();
+        let obs = crate::obs::server_metrics();
+        obs.observe_request(verb, elapsed, result.as_ref().err().map(|e| e.kind()));
+        if is_edit {
+            if let Some(name) = attached.as_deref() {
+                obs.record_session_edit(name, elapsed);
+            }
+        }
         if respond(&mut writer, result).is_err() {
             return;
         }
@@ -469,9 +548,16 @@ fn dispatch(
             epoch,
             idx,
             max,
-        } => manager.replicate_json(&name, epoch, idx, max),
+        } => {
+            // The leader's view of its followers comes from these polls:
+            // note who asked and how far behind they still are.
+            let peer = client.peer_addr().ok().map(|a| a.to_string());
+            manager.replicate_json(&name, epoch, idx, max, peer)
+        }
         Request::Snapshot(name) => manager.snapshot_json(&name),
         Request::Promote => manager.promote(),
+        Request::Metrics => Ok(em_metrics::expo::render_json(em_metrics::registry())),
+        Request::Replicas => Ok(manager.replicas_json()),
         Request::Scrub { name, repair } => manager.scrub_json(&name, repair),
         Request::Shutdown => {
             // Raise the flag first so no new lines are read anywhere,
